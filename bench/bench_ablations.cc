@@ -1,0 +1,166 @@
+// Ablation studies for the design choices called out in DESIGN.md §5:
+//   1. price-grid resolution T (paper claims 100 buckets suffice);
+//   2. round-1 co-interest pruning (revenue-neutral at θ ≤ 0, big speedup);
+//   3. later-round stale-edge pruning (speed/quality trade);
+//   4. exact blossom vs greedy matching oracle inside Algorithm 1;
+//   5. min-slack vs product composition of the stochastic mixed constraints;
+//   6. the Section 1 α-weighted profit/surplus seller utility;
+//   7. the frequent-itemset engine behind the FreqItemset baseline.
+
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "pricing/offer_pricer.h"
+#include "util/timer.h"
+
+using namespace bundlemine;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  bench::DefineCommonFlags(&flags);
+  flags.Parse(argc, argv);
+
+  bench::BenchData data = bench::LoadData(flags);
+
+  // ---- 1. Grid resolution. ----
+  {
+    TablePrinter table("Ablation 1 — price-grid resolution T (Pure Matching)");
+    table.SetHeader({"T", "coverage", "time (s)"});
+    for (int levels : {10, 25, 50, 100, 300, 1000, 0}) {
+      BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
+      problem.price_levels = levels;
+      WallTimer timer;
+      BundleSolution s = RunMethod("pure-matching", problem);
+      table.AddRow({levels == 0 ? "exact" : StrFormat("%d", levels),
+                    bench::Pct(RevenueCoverage(s, data.wtp)),
+                    StrFormat("%.2f", timer.Seconds())});
+    }
+    table.Print();
+    std::printf("  paper: \"larger numbers [than 100] do not result in much "
+                "higher revenue\"\n");
+  }
+
+  // ---- 2 & 3. Pruning strategies. ----
+  {
+    TablePrinter table("Ablations 2-3 — Algorithm 1 pruning strategies");
+    table.SetHeader({"co-interest", "stale-edge", "method", "coverage", "time (s)"});
+    for (bool co : {true, false}) {
+      for (bool stale : {true, false}) {
+        for (const char* key : {"pure-matching", "mixed-matching"}) {
+          BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
+          problem.prune_co_interest = co;
+          problem.prune_stale_edges = stale;
+          WallTimer timer;
+          BundleSolution s = RunMethod(key, problem);
+          table.AddRow({co ? "on" : "off", stale ? "on" : "off",
+                        MethodDisplayName(key),
+                        bench::Pct(RevenueCoverage(s, data.wtp)),
+                        StrFormat("%.2f", timer.Seconds())});
+        }
+      }
+    }
+    table.Print();
+    std::printf("  expected: identical coverage at theta=0 with co-interest "
+                "pruning, large time savings\n");
+  }
+
+  // ---- 4. Matching oracle. ----
+  {
+    TablePrinter table("Ablation 4 — exact blossom vs greedy matching oracle");
+    table.SetHeader({"oracle", "strategy", "coverage", "time (s)"});
+    for (int limit : {4000, 0}) {  // 0 forces the greedy oracle.
+      for (const char* key : {"pure-matching", "mixed-matching"}) {
+        BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
+        problem.exact_matching_limit = limit;
+        WallTimer timer;
+        BundleSolution s = RunMethod(key, problem);
+        table.AddRow({limit == 0 ? "greedy 1/2-approx" : "exact blossom",
+                      MethodDisplayName(key),
+                      bench::Pct(RevenueCoverage(s, data.wtp)),
+                      StrFormat("%.2f", timer.Seconds())});
+      }
+    }
+    table.Print();
+  }
+
+  // ---- 5. Mixed stochastic composition. ----
+  {
+    TablePrinter table(
+        "Ablation 5 — mixed upgrade-constraint composition (gamma = 5)");
+    table.SetHeader({"composition", "method", "coverage", "time (s)"});
+    for (MixedComposition comp :
+         {MixedComposition::kMinSlack, MixedComposition::kProduct}) {
+      for (const char* key : {"mixed-matching", "mixed-greedy"}) {
+        BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
+        problem.adoption = AdoptionModel::Sigmoid(5.0);
+        problem.mixed_composition = comp;
+        WallTimer timer;
+        BundleSolution s = RunMethod(key, problem);
+        table.AddRow({comp == MixedComposition::kMinSlack ? "min-slack" : "product",
+                      MethodDisplayName(key),
+                      bench::Pct(RevenueCoverage(s, data.wtp)),
+                      StrFormat("%.2f", timer.Seconds())});
+      }
+    }
+    table.Print();
+    std::printf("  both recover the deterministic conjunction as gamma grows; "
+                "product is the more conservative finite-gamma model\n");
+  }
+
+  // ---- 6. Profit/surplus utility weight (paper Section 1's α). ----
+  {
+    TablePrinter table(
+        "Ablation 6 — seller utility weight (alpha·profit + (1-alpha)·surplus, "
+        "per-item pricing)");
+    table.SetHeader({"alpha", "revenue", "consumer surplus", "utility",
+                     "expected buyers"});
+    OfferPricer pricer(AdoptionModel::Step(),
+                       static_cast<int>(flags.GetInt("levels")));
+    for (double w : {1.0, 0.9, 0.75, 0.6, 0.5}) {
+      double revenue = 0.0, surplus = 0.0, utility = 0.0, buyers = 0.0;
+      for (ItemId i = 0; i < data.wtp.num_items(); ++i) {
+        WelfarePricedOffer o =
+            pricer.PriceOfferWelfare(data.wtp.ItemVector(i), 1.0, w);
+        revenue += o.revenue;
+        surplus += o.surplus;
+        utility += o.utility;
+        buyers += o.expected_buyers;
+      }
+      table.AddRow({StrFormat("%.2f", w), StrFormat("%.0f", revenue),
+                    StrFormat("%.0f", surplus), StrFormat("%.0f", utility),
+                    StrFormat("%.0f", buyers)});
+    }
+    table.Print();
+    std::printf("  paper evaluates alpha = 1 (revenue maximization) WLOG; lower\n"
+                "  alpha trades margin for consumer surplus and adoption\n");
+  }
+
+  // ---- 7. Frequent-itemset engine behind the FreqItemset baseline. ----
+  {
+    TablePrinter table("Ablation 7 — mining engine (Mixed FreqItemset)");
+    table.SetHeader({"engine", "coverage", "time (s)"});
+    struct EngineRow {
+      MinerEngine engine;
+      const char* name;
+    };
+    for (const EngineRow& row :
+         {EngineRow{MinerEngine::kMafia, "MAFIA (maximal-first)"},
+          EngineRow{MinerEngine::kApriori, "Apriori + maximal filter"},
+          EngineRow{MinerEngine::kFpGrowth, "FP-Growth + maximal filter"}}) {
+      BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
+      problem.freq_miner = row.engine;
+      // All-frequent engines blow up at the paper's 0.1% support (the reason
+      // the paper mines *maximal* sets); compare at 4% where the full
+      // enumeration stays tractable.
+      problem.freq_min_support = 0.04;
+      WallTimer timer;
+      BundleSolution s = RunMethod("mixed-freq", problem);
+      table.AddRow({row.name, bench::Pct(RevenueCoverage(s, data.wtp)),
+                    StrFormat("%.2f", timer.Seconds())});
+    }
+    table.Print();
+    std::printf("  identical configurations by construction; runtime differs.\n"
+                "  note: support raised to 4%% — at the paper's 0.1%% only the\n"
+                "  maximal-first miner is tractable\n");
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace bundlemine {
+namespace bench {
+
+void DefineCommonFlags(FlagSet* flags) {
+  flags->Define("scale", "small",
+                "dataset profile: tiny | small | medium | paper");
+  flags->Define("seed", "42", "generator seed");
+  flags->Define("lambda", "1.25", "ratings→WTP conversion factor (paper: 1.25)");
+  flags->Define("levels", "100", "price grid resolution T (paper: 100; 0 = exact)");
+  flags->Define("theta", "0", "bundling coefficient θ");
+  flags->Define("k", "0", "max bundle size (0 = unconstrained)");
+  flags->Define("csv", "", "optional CSV output path");
+}
+
+BenchData LoadData(const FlagSet& flags) {
+  GeneratorConfig config = ProfileByName(
+      flags.GetString("scale"), static_cast<std::uint64_t>(flags.GetInt("seed")));
+  RatingsDataset dataset = GenerateAmazonLike(config);
+  WtpMatrix wtp = WtpMatrix::FromRatings(dataset, flags.GetDouble("lambda"));
+  DatasetStats stats = dataset.Stats();
+  std::printf(
+      "# dataset: scale=%s seed=%lld | %d users, %d items, %lld ratings "
+      "(%.1f per user) | lambda=%.2f total WTP=%.0f\n",
+      flags.GetString("scale").c_str(), flags.GetInt("seed"), stats.num_users,
+      stats.num_items, static_cast<long long>(stats.num_ratings),
+      stats.mean_ratings_per_user, flags.GetDouble("lambda"), wtp.TotalWtp());
+  return BenchData{std::move(dataset), std::move(wtp)};
+}
+
+BundleConfigProblem BaseProblem(const FlagSet& flags, const WtpMatrix& wtp) {
+  BundleConfigProblem problem;
+  problem.wtp = &wtp;
+  problem.theta = flags.GetDouble("theta");
+  problem.max_bundle_size = static_cast<int>(flags.GetInt("k"));
+  problem.price_levels = static_cast<int>(flags.GetInt("levels"));
+  problem.adoption = AdoptionModel::Step();
+  return problem;
+}
+
+std::string Pct(double fraction) { return StrFormat("%.1f%%", fraction * 100.0); }
+
+std::string PctSigned(double fraction) {
+  return StrFormat("%+.1f%%", fraction * 100.0);
+}
+
+}  // namespace bench
+}  // namespace bundlemine

@@ -1,0 +1,48 @@
+// Shared plumbing for the table/figure reproduction harnesses: standard
+// flags (dataset scale, seed, λ, grid resolution, CSV export), dataset
+// construction, and formatting helpers.
+//
+// Every harness prints the same rows/series its paper counterpart reports;
+// pass --csv=<path> to also dump machine-readable output for re-plotting.
+
+#ifndef BUNDLEMINE_BENCH_BENCH_COMMON_H_
+#define BUNDLEMINE_BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "core/problem.h"
+#include "core/runner.h"
+#include "data/generator.h"
+#include "data/wtp_matrix.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace bundlemine {
+namespace bench {
+
+/// Registers the flags every harness shares.
+void DefineCommonFlags(FlagSet* flags);
+
+/// Materializes the dataset selected by --scale/--seed and derives W at
+/// --lambda. Prints a one-line dataset summary.
+struct BenchData {
+  RatingsDataset dataset;
+  WtpMatrix wtp;
+};
+BenchData LoadData(const FlagSet& flags);
+
+/// Baseline problem from the common flags (θ, k, grid resolution); adoption
+/// defaults to the paper's step model.
+BundleConfigProblem BaseProblem(const FlagSet& flags, const WtpMatrix& wtp);
+
+/// "77.7%" formatting.
+std::string Pct(double fraction);
+
+/// "+7.0%" formatting for gains.
+std::string PctSigned(double fraction);
+
+}  // namespace bench
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,85 @@
+// Reproduces Figure 6: revenue gain vs cumulative running time across the
+// iterations of the matching-based and greedy algorithms, for mixed (a) and
+// pure (b) bundling.
+//
+// Paper shape: matching converges in a handful of iterations, greedy in
+// (many) hundreds/thousands of single-merge steps; for the same revenue
+// matching is faster, for the same time matching earns more — matching
+// dominates the trade-off.
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "core/metrics.h"
+
+using namespace bundlemine;
+
+namespace {
+
+void Report(const char* title, const BundleSolution& algo,
+            double components_revenue, const std::string& csv_path) {
+  TablePrinter table(title);
+  table.SetHeader({"iteration", "cumulative time (s)", "revenue", "gain"});
+  // Long greedy traces are thinned for the console (full trace in CSV).
+  std::size_t stride = std::max<std::size_t>(1, algo.trace.size() / 20);
+  for (std::size_t i = 0; i < algo.trace.size(); ++i) {
+    if (i % stride != 0 && i + 1 != algo.trace.size()) continue;
+    const IterationStat& it = algo.trace[i];
+    table.AddRow({StrFormat("%d", it.iteration),
+                  StrFormat("%.3f", it.cumulative_seconds),
+                  StrFormat("%.0f", it.total_revenue),
+                  bench::PctSigned((it.total_revenue - components_revenue) /
+                                   components_revenue)});
+  }
+  table.Print();
+  std::printf("  -> %zu iterations, %.2f s total, final gain %s\n",
+              algo.trace.size() - 1, algo.solve_seconds,
+              bench::PctSigned((algo.total_revenue - components_revenue) /
+                               components_revenue)
+                  .c_str());
+  if (!csv_path.empty()) {
+    TablePrinter full("");
+    full.SetHeader({"iteration", "seconds", "revenue"});
+    for (const IterationStat& it : algo.trace) {
+      full.AddRow({StrFormat("%d", it.iteration),
+                   StrFormat("%.4f", it.cumulative_seconds),
+                   StrFormat("%.2f", it.total_revenue)});
+    }
+    full.WriteCsvFile(csv_path);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  bench::DefineCommonFlags(&flags);
+  flags.Parse(argc, argv);
+
+  bench::BenchData data = bench::LoadData(flags);
+  BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
+  double components = RunMethod("components", problem).total_revenue;
+
+  std::string csv = flags.GetString("csv");
+  auto csv_for = [&](const char* tag) {
+    return csv.empty() ? std::string() : csv + "." + tag + ".csv";
+  };
+
+  BundleSolution mm = RunMethod("mixed-matching", problem);
+  Report("Figure 6(a) — Mixed Matching: revenue vs time", mm, components,
+         csv_for("mixed_matching"));
+  BundleSolution mg = RunMethod("mixed-greedy", problem);
+  Report("Figure 6(a) — Mixed Greedy: revenue vs time", mg, components,
+         csv_for("mixed_greedy"));
+  BundleSolution pm = RunMethod("pure-matching", problem);
+  Report("Figure 6(b) — Pure Matching: revenue vs time", pm, components,
+         csv_for("pure_matching"));
+  BundleSolution pg = RunMethod("pure-greedy", problem);
+  Report("Figure 6(b) — Pure Greedy: revenue vs time", pg, components,
+         csv_for("pure_greedy"));
+
+  std::printf(
+      "\npaper: matching needs far fewer iterations (10 vs 4347 mixed; 6 vs\n"
+      "2131 pure on the Amazon data) and less time for the same revenue\n");
+  return 0;
+}

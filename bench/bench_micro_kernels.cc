@@ -1,0 +1,148 @@
+// google-benchmark micro-kernels for the hot paths underneath every
+// experiment: single-offer pricing (grid + exact), mixed merge gain, sparse
+// vector merging, bitmap support counting, blossom matching, and one
+// enumeration step. Run with --benchmark_filter=... as usual.
+
+#include <benchmark/benchmark.h>
+
+#include "core/offer_ops.h"
+#include "data/generator.h"
+#include "data/wtp_matrix.h"
+#include "matching/max_weight_matching.h"
+#include "mining/transactions.h"
+#include "pricing/mixed_pricer.h"
+#include "pricing/offer_pricer.h"
+#include "util/rng.h"
+
+namespace bundlemine {
+namespace {
+
+SparseWtpVector RandomAudience(Rng* rng, int size, double max_w = 25.0) {
+  std::vector<WtpEntry> entries;
+  entries.reserve(static_cast<std::size_t>(size));
+  for (int u = 0; u < size; ++u) {
+    entries.push_back(WtpEntry{u, rng->UniformDouble(0.5, max_w)});
+  }
+  return SparseWtpVector(std::move(entries));
+}
+
+void BM_PriceOfferGrid(benchmark::State& state) {
+  Rng rng(1);
+  SparseWtpVector audience = RandomAudience(&rng, static_cast<int>(state.range(0)));
+  OfferPricer pricer(AdoptionModel::Step(), 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pricer.PriceOffer(audience, 1.0).revenue);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PriceOfferGrid)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_PriceOfferExact(benchmark::State& state) {
+  Rng rng(2);
+  SparseWtpVector audience = RandomAudience(&rng, static_cast<int>(state.range(0)));
+  OfferPricer pricer(AdoptionModel::Step(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pricer.PriceOffer(audience, 1.0).revenue);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PriceOfferExact)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_PriceOfferSigmoid(benchmark::State& state) {
+  Rng rng(3);
+  SparseWtpVector audience = RandomAudience(&rng, static_cast<int>(state.range(0)));
+  OfferPricer pricer(AdoptionModel::Sigmoid(10.0), 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pricer.PriceOffer(audience, 1.0).revenue);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PriceOfferSigmoid)->Arg(128)->Arg(1024);
+
+void BM_MixedMergeGain(benchmark::State& state) {
+  Rng rng(4);
+  SparseWtpVector a = RandomAudience(&rng, static_cast<int>(state.range(0)));
+  SparseWtpVector b = RandomAudience(&rng, static_cast<int>(state.range(0)));
+  OfferPricer item_pricer(AdoptionModel::Step(), 100);
+  MixedPricer mixed(AdoptionModel::Step(), 100);
+  double pa = item_pricer.PriceOffer(a, 1.0).price;
+  double pb = item_pricer.PriceOffer(b, 1.0).price;
+  SparseWtpVector pay_a = mixed.BuildStandalonePayments(a, 1.0, pa);
+  SparseWtpVector pay_b = mixed.BuildStandalonePayments(b, 1.0, pb);
+  MergeSide sa{&a, 1.0, pa, &pay_a};
+  MergeSide sb{&b, 1.0, pb, &pay_b};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mixed.MergeGain(sa, sb, 1.0).gain);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MixedMergeGain)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_SparseMerge(benchmark::State& state) {
+  Rng rng(5);
+  SparseWtpVector a = RandomAudience(&rng, static_cast<int>(state.range(0)));
+  SparseWtpVector b = RandomAudience(&rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SparseWtpVector::Merge(a, b).nnz());
+  }
+}
+BENCHMARK(BM_SparseMerge)->Arg(128)->Arg(4096);
+
+void BM_PriceMergedPair(benchmark::State& state) {
+  Rng rng(6);
+  SparseWtpVector a = RandomAudience(&rng, static_cast<int>(state.range(0)));
+  SparseWtpVector b = RandomAudience(&rng, static_cast<int>(state.range(0)));
+  OfferPricer pricer(AdoptionModel::Step(), 100);
+  std::vector<double> scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PriceMergedPair(a, b, 1.0, pricer, &scratch).revenue);
+  }
+}
+BENCHMARK(BM_PriceMergedPair)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_BitmapSupport(benchmark::State& state) {
+  Rng rng(7);
+  int users = static_cast<int>(state.range(0));
+  Bitset a(static_cast<std::size_t>(users)), b(static_cast<std::size_t>(users));
+  for (int u = 0; u < users; ++u) {
+    if (rng.Bernoulli(0.1)) a.Set(static_cast<std::size_t>(u));
+    if (rng.Bernoulli(0.1)) b.Set(static_cast<std::size_t>(u));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.AndCount(b));
+  }
+  state.SetBytesProcessed(state.iterations() * users / 8);
+}
+BENCHMARK(BM_BitmapSupport)->Arg(1024)->Arg(65536);
+
+void BM_BlossomMatching(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(8);
+  std::vector<std::tuple<int, int, double>> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.UniformDouble() < 0.1) {
+        edges.emplace_back(u, v, rng.UniformDouble(0.1, 10.0));
+      }
+    }
+  }
+  for (auto _ : state) {
+    MaxWeightMatcher matcher(n);
+    for (const auto& [u, v, w] : edges) matcher.AddEdge(u, v, w);
+    benchmark::DoNotOptimize(matcher.Solve().total_weight);
+  }
+}
+BENCHMARK(BM_BlossomMatching)->Arg(32)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_GeneratorTiny(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateAmazonLike(TinyProfile(seed++)).num_items());
+  }
+}
+BENCHMARK(BM_GeneratorTiny)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bundlemine
+
+BENCHMARK_MAIN();

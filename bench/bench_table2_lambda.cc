@@ -1,0 +1,45 @@
+// Reproduces Table 2: Components revenue coverage at different conversion
+// factors λ, under optimal per-item pricing vs the dataset's list prices.
+//
+// Paper shape: optimal pricing is *constant* across λ (W scales linearly, so
+// revenue and the coverage denominator scale together — ≈77.7% on the Amazon
+// data); list-price coverage varies with λ and peaks at λ = 1.25, where a
+// 4-star rating maps exactly to the list price.
+
+#include "bench_common.h"
+#include "core/metrics.h"
+
+using namespace bundlemine;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  bench::DefineCommonFlags(&flags);
+  flags.Parse(argc, argv);
+
+  GeneratorConfig config = ProfileByName(
+      flags.GetString("scale"), static_cast<std::uint64_t>(flags.GetInt("seed")));
+  RatingsDataset dataset = GenerateAmazonLike(config);
+  DatasetStats stats = dataset.Stats();
+  std::printf("# dataset: %d users, %d items, %lld ratings\n", stats.num_users,
+              stats.num_items, static_cast<long long>(stats.num_ratings));
+
+  TablePrinter table("Table 2 — Components revenue coverage at different λ");
+  table.SetHeader({"lambda", "Optimal pricing", "List pricing (\"Amazon's\")"});
+
+  for (double lambda : {1.00, 1.25, 1.50, 1.75, 2.00}) {
+    WtpMatrix wtp = WtpMatrix::FromRatings(dataset, lambda);
+    BundleConfigProblem problem = bench::BaseProblem(flags, wtp);
+    double optimal =
+        RevenueCoverage(RunMethod("components", problem).total_revenue, wtp);
+    double list =
+        RevenueCoverage(RunMethod("components-list", problem).total_revenue, wtp);
+    table.AddRow({StrFormat("%.2f", lambda), bench::Pct(optimal),
+                  bench::Pct(list)});
+  }
+  table.Print();
+  table.WriteCsvFile(flags.GetString("csv"));
+  std::printf(
+      "\npaper: optimal constant at 77.7%%; list pricing peaks at lambda=1.25 "
+      "(75.1%%)\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Reproduces Table 6's case study: a three-item mixed-bundling walk-through.
+//
+// The paper showcases three books (The Sands of Time / Two Little Lies /
+// Born in Fire): components priced first, then the best size-2 bundle is
+// selected among the three overlapping candidates, then extending it to the
+// size-3 bundle nets one more buyer. We search the generated catalogue for a
+// triple with the same structure — a profitable pair that remains profitable
+// when extended to the full triple — and print the paper's table layout
+// (offer / price / additional buyers / additional revenue / selected).
+
+#include <optional>
+
+#include "bench_common.h"
+#include "pricing/mixed_pricer.h"
+#include "pricing/offer_pricer.h"
+
+using namespace bundlemine;
+
+namespace {
+
+struct Component {
+  ItemId item;
+  SparseWtpVector raw;
+  PricedOffer priced;
+  SparseWtpVector payments;
+};
+
+struct CaseStudy {
+  std::array<Component, 3> c;
+  std::array<MergeGainResult, 3> pair_gain;  // (0,1), (0,2), (1,2).
+  int best_pair;                             // Index into pair order above.
+  MergeGainResult triple_gain;               // Best pair + remaining item.
+};
+
+constexpr std::pair<int, int> kPairs[3] = {{0, 1}, {0, 2}, {1, 2}};
+
+std::optional<CaseStudy> TryTriple(const WtpMatrix& wtp, ItemId a, ItemId b,
+                                   ItemId c_id, const OfferPricer& pricer,
+                                   const MixedPricer& mixed, double theta) {
+  CaseStudy cs;
+  ItemId ids[3] = {a, b, c_id};
+  for (int i = 0; i < 3; ++i) {
+    cs.c[static_cast<std::size_t>(i)].item = ids[i];
+    cs.c[static_cast<std::size_t>(i)].raw = wtp.ItemVector(ids[i]);
+    cs.c[static_cast<std::size_t>(i)].priced =
+        pricer.PriceOffer(cs.c[static_cast<std::size_t>(i)].raw, 1.0);
+    if (cs.c[static_cast<std::size_t>(i)].priced.revenue <= 0.0) return std::nullopt;
+    cs.c[static_cast<std::size_t>(i)].payments = mixed.BuildStandalonePayments(
+        cs.c[static_cast<std::size_t>(i)].raw, 1.0,
+        cs.c[static_cast<std::size_t>(i)].priced.price);
+  }
+  auto side = [&](int i) {
+    return MergeSide{&cs.c[static_cast<std::size_t>(i)].raw, 1.0,
+                     cs.c[static_cast<std::size_t>(i)].priced.price,
+                     &cs.c[static_cast<std::size_t>(i)].payments};
+  };
+
+  cs.best_pair = -1;
+  double best = 0.0;
+  for (int p = 0; p < 3; ++p) {
+    cs.pair_gain[static_cast<std::size_t>(p)] =
+        mixed.MergeGain(side(kPairs[p].first), side(kPairs[p].second), 1.0 + theta);
+    if (cs.pair_gain[static_cast<std::size_t>(p)].feasible &&
+        cs.pair_gain[static_cast<std::size_t>(p)].gain > best) {
+      best = cs.pair_gain[static_cast<std::size_t>(p)].gain;
+      cs.best_pair = p;
+    }
+  }
+  if (cs.best_pair < 0) return std::nullopt;
+
+  // Extend the winning pair with the remaining item.
+  auto [i, j] = kPairs[cs.best_pair];
+  int rest = 3 - i - j;
+  const MergeGainResult& pg = cs.pair_gain[static_cast<std::size_t>(cs.best_pair)];
+  SparseWtpVector pair_raw = SparseWtpVector::Merge(
+      cs.c[static_cast<std::size_t>(i)].raw, cs.c[static_cast<std::size_t>(j)].raw);
+  SparseWtpVector pair_payments = mixed.BuildMergedPayments(
+      side(i), side(j), 1.0 + theta, pg.bundle_price);
+  MergeSide pair_side{&pair_raw, 1.0 + theta, pg.bundle_price, &pair_payments};
+  cs.triple_gain = mixed.MergeGain(pair_side, side(rest), 1.0 + theta);
+  if (!cs.triple_gain.feasible) return std::nullopt;
+  return cs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  bench::DefineCommonFlags(&flags);
+  flags.Define("max_triples", "40000", "search budget for candidate triples");
+  flags.Parse(argc, argv);
+
+  bench::BenchData data = bench::LoadData(flags);
+  const double theta = flags.GetDouble("theta");
+  OfferPricer pricer(AdoptionModel::Step(),
+                     static_cast<int>(flags.GetInt("levels")));
+  MixedPricer mixed(AdoptionModel::Step(),
+                    static_cast<int>(flags.GetInt("levels")));
+
+  // Search co-interested triples until one exhibits the paper's structure.
+  std::optional<CaseStudy> found;
+  ItemId found_ids[3] = {0, 0, 0};
+  long long budget = flags.GetInt("max_triples");
+  auto pairs = data.wtp.CoInterestedPairs();
+  for (std::size_t p = 0; p < pairs.size() && !found; ++p) {
+    auto [a, b] = pairs[p];
+    for (ItemId c = 0; c < data.wtp.num_items() && !found; ++c) {
+      if (c == a || c == b) continue;
+      if (--budget < 0) break;
+      auto cs = TryTriple(data.wtp, a, b, c, pricer, mixed, theta);
+      if (cs) {
+        found = cs;
+        found_ids[0] = a;
+        found_ids[1] = b;
+        found_ids[2] = c;
+      }
+    }
+  }
+  if (!found) {
+    std::printf(
+        "no qualifying triple found within the search budget; rerun with a\n"
+        "different --seed or a larger --max_triples\n");
+    return 1;
+  }
+
+  const CaseStudy& cs = *found;
+  TablePrinter table(StrFormat("Table 6 — mixed bundling case study (items %d, %d, %d)",
+                               found_ids[0], found_ids[1], found_ids[2]));
+  table.SetHeader({"Offer", "Price", "Add. buyers", "Add. revenue", "Selected?"});
+  const char* names[3] = {"Book A", "Book B", "Book C"};
+  for (int i = 0; i < 3; ++i) {
+    const Component& c = cs.c[static_cast<std::size_t>(i)];
+    table.AddRow({names[i], StrFormat("%.2f", c.priced.price),
+                  StrFormat("%.0f", c.priced.expected_buyers),
+                  StrFormat("%.2f", c.priced.revenue), "X"});
+  }
+  const char* pair_names[3] = {"(Book A, Book B)", "(Book A, Book C)",
+                               "(Book B, Book C)"};
+  for (int p = 0; p < 3; ++p) {
+    const MergeGainResult& g = cs.pair_gain[static_cast<std::size_t>(p)];
+    table.AddRow({pair_names[p],
+                  g.feasible ? StrFormat("%.2f", g.bundle_price) : "-",
+                  g.feasible ? StrFormat("%.0f", g.expected_adopters) : "0",
+                  StrFormat("%.2f", g.gain), p == cs.best_pair ? "X" : ""});
+  }
+  table.AddRow({"(Book A, Book B, Book C)",
+                StrFormat("%.2f", cs.triple_gain.bundle_price),
+                StrFormat("%.0f", cs.triple_gain.expected_adopters),
+                StrFormat("%.2f", cs.triple_gain.gain), "X"});
+  table.Print();
+  table.WriteCsvFile(flags.GetString("csv"));
+  std::printf(
+      "\npaper structure: components always on offer; the best overlapping\n"
+      "pair is selected; extending it to the 3-bundle captures one more\n"
+      "segment of buyers\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Data-marketplace scenario: mixed bundling for a Data-as-a-Service catalogue.
+//
+// The paper's non-monetary motivation: a DaaS provider groups "correlated
+// data and content (such as selling a hotel list and a review database), or
+// data sets and related analysis reports". Utility only needs to be
+// additive, so here "willingness to pay" is an internal value score mined
+// from usage, and mixed bundling keeps individual datasets purchasable while
+// adding discounted bundles on top — the incremental policy of Section 4.2.
+//
+// The example demonstrates the mixed-bundling ladder: component offers stay
+// on the market, every accepted merge must clear the Guiltinan price window,
+// and each level's expected incremental revenue is reported.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/metrics.h"
+#include "core/runner.h"
+#include "data/generator.h"
+#include "data/wtp_matrix.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+using namespace bundlemine;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 23;
+
+  // A catalogue of datasets/reports; "genres" model correlated content
+  // (hotel data + hotel reviews + tourism reports…).
+  GeneratorConfig config = TinyProfile(seed);
+  config.num_items = 90;
+  config.num_users = 320;
+  config.num_genres = 10;
+  RatingsDataset usage = GenerateAmazonLike(config);
+  WtpMatrix wtp = WtpMatrix::FromRatings(usage, 1.25);
+  std::printf("marketplace: %d subscribers, %d data products, value pool %.0f\n\n",
+              wtp.num_users(), wtp.num_items(), wtp.TotalWtp());
+
+  BundleConfigProblem problem;
+  problem.wtp = &wtp;
+  problem.theta = 0.02;  // Correlated datasets are mild complements.
+  problem.price_levels = 100;
+  // Unconstrained mixed bundling on information goods converges towards one
+  // catalogue-wide bundle (the Bakos–Brynjolfsson effect); a size cap keeps
+  // the product offering to themed packs.
+  problem.max_bundle_size = 6;
+
+  BundleSolution alacarte = RunMethod("components", problem);
+  BundleSolution mixed = RunMethod("mixed-matching", problem);
+  std::printf("individual licensing:    %.0f (coverage %.1f%%)\n",
+              alacarte.total_revenue, 100 * RevenueCoverage(alacarte, wtp));
+  std::printf("with mixed bundles:      %.0f (coverage %.1f%%, gain %+.1f%%)\n\n",
+              mixed.total_revenue, 100 * RevenueCoverage(mixed, wtp),
+              100 * RevenueGain(mixed, alacarte));
+
+  // The bundling ladder: top-level bundles with their incremental value.
+  std::vector<const PricedBundle*> tops;
+  for (const PricedBundle* o : mixed.TopOffers()) {
+    if (o->items.size() >= 2) tops.push_back(o);
+  }
+  std::sort(tops.begin(), tops.end(),
+            [](const PricedBundle* a, const PricedBundle* b) {
+              return a->revenue > b->revenue;
+            });
+  TablePrinter table("top mixed bundles (components remain purchasable)");
+  table.SetHeader({"bundle", "size", "price", "expected adopters",
+                   "incremental revenue"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, tops.size()); ++i) {
+    table.AddRow({tops[i]->items.ToString(), StrFormat("%d", tops[i]->items.size()),
+                  StrFormat("%.2f", tops[i]->price),
+                  StrFormat("%.1f", tops[i]->expected_buyers),
+                  StrFormat("%.2f", tops[i]->revenue)});
+  }
+  table.Print();
+
+  // Validate the Guiltinan window for one bundle against its components.
+  if (!tops.empty()) {
+    const PricedBundle* b = tops.front();
+    double sum = 0.0, max_p = 0.0;
+    for (const PricedBundle& o : mixed.offers) {
+      if (!o.is_component_offer || o.items.size() != 1) continue;
+      if (o.items.IsSubsetOf(b->items)) {
+        sum += o.price;
+        max_p = std::max(max_p, o.price);
+      }
+    }
+    std::printf("\nprice window check for %s: max component %.2f < bundle %.2f "
+                "< component sum %.2f\n",
+                b->items.ToString().c_str(), max_p, b->price, sum);
+  }
+
+  std::printf("\ntrace: %zu matching rounds to convergence\n",
+              mixed.trace.size() - 1);
+  for (const IterationStat& it : mixed.trace) {
+    std::printf("  round %d: revenue %.0f, %d top offers, %.3fs\n", it.iteration,
+                it.total_revenue, it.num_top_offers, it.cumulative_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Travel-packages scenario: strongly complementary items under pure and
+// mixed bundling side by side.
+//
+// The paper's introduction motivates bundling with travel: "Travel packages
+// commonly bundle airfare, hotel stay, and attractions." Components of a
+// trip are strong complements — a flight is worth more with a hotel to sleep
+// in (θ > 0, the ski-rental-and-training case of Section 3.1). This example
+// sweeps θ and shows the paper's Figure 2 crossover live: pure bundling
+// overtakes mixed bundling once complementarity is strong enough, because
+// withholding the components lets the seller price the whole package at the
+// augmented willingness to pay.
+
+#include <cstdio>
+
+#include "core/metrics.h"
+#include "core/runner.h"
+#include "data/generator.h"
+#include "data/wtp_matrix.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+using namespace bundlemine;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 17;
+
+  // Travel inventory: flights, hotels, attractions grouped by destination
+  // ("genres" = destinations, so co-interest clusters by trip).
+  GeneratorConfig config = TinyProfile(seed);
+  config.num_items = 100;
+  config.num_users = 350;
+  config.num_genres = 12;  // Destinations.
+  config.genres_per_user = 2;
+  RatingsDataset interest = GenerateAmazonLike(config);
+  WtpMatrix wtp = WtpMatrix::FromRatings(interest, 1.25);
+  std::printf("%d travellers, %d travel products, aggregate WTP $%.0f\n\n",
+              wtp.num_users(), wtp.num_items(), wtp.TotalWtp());
+
+  TablePrinter table("package revenue vs complementarity theta");
+  table.SetHeader({"theta", "a-la-carte", "Pure Matching", "Mixed Matching",
+                   "pure gain", "mixed gain", "winner"});
+  for (double theta : {0.0, 0.05, 0.10, 0.15, 0.20}) {
+    BundleConfigProblem problem;
+    problem.wtp = &wtp;
+    problem.theta = theta;
+    problem.price_levels = 100;
+    problem.max_bundle_size = 5;  // Flight + hotel + up to 3 attractions.
+
+    double alacarte = RunMethod("components", problem).total_revenue;
+    double pure = RunMethod("pure-matching", problem).total_revenue;
+    double mixed = RunMethod("mixed-matching", problem).total_revenue;
+    table.AddRow({StrFormat("%.2f", theta), StrFormat("$%.0f", alacarte),
+                  StrFormat("$%.0f", pure), StrFormat("$%.0f", mixed),
+                  StrFormat("%+.1f%%", 100 * RevenueGain(pure, alacarte)),
+                  StrFormat("%+.1f%%", 100 * RevenueGain(mixed, alacarte)),
+                  pure > mixed ? "pure" : "mixed"});
+  }
+  table.Print();
+
+  std::printf(
+      "\nthe paper's Figure 2 story, in one market: mixed bundling leads for\n"
+      "weak complementarity (it also serves the single-item segments), while\n"
+      "strong complementarity favours pure packages priced at the augmented\n"
+      "willingness to pay — 'each has its own advantage depending on the\n"
+      "assumption about the complementarity among items in a bundle'.\n");
+  return 0;
+}

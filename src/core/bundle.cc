@@ -1,0 +1,77 @@
+#include "core/bundle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace bundlemine {
+
+Bundle::Bundle(std::vector<ItemId> items) : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+}
+
+Bundle Bundle::Of(ItemId item) {
+  Bundle b;
+  b.items_.push_back(item);
+  return b;
+}
+
+Bundle Bundle::FromMask(std::uint32_t mask) {
+  Bundle b;
+  for (int i = 0; i < 32; ++i) {
+    if ((mask >> i) & 1u) b.items_.push_back(i);
+  }
+  return b;
+}
+
+bool Bundle::Contains(ItemId item) const {
+  return std::binary_search(items_.begin(), items_.end(), item);
+}
+
+bool Bundle::IsSubsetOf(const Bundle& other) const {
+  return std::includes(other.items_.begin(), other.items_.end(), items_.begin(),
+                       items_.end());
+}
+
+bool Bundle::Intersects(const Bundle& other) const {
+  std::size_t i = 0, j = 0;
+  while (i < items_.size() && j < other.items_.size()) {
+    if (items_[i] == other.items_[j]) return true;
+    if (items_[i] < other.items_[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+Bundle Bundle::Union(const Bundle& a, const Bundle& b) {
+  std::vector<ItemId> merged;
+  merged.reserve(a.items_.size() + b.items_.size());
+  std::merge(a.items_.begin(), a.items_.end(), b.items_.begin(), b.items_.end(),
+             std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  Bundle out;
+  out.items_ = std::move(merged);
+  return out;
+}
+
+std::string Bundle::ToString() const {
+  constexpr std::size_t kMaxShown = 12;
+  std::string s = "{";
+  std::size_t shown = std::min(items_.size(), kMaxShown);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i > 0) s += ", ";
+    s += StrFormat("%d", items_[i]);
+  }
+  if (items_.size() > kMaxShown) {
+    s += StrFormat(", ... +%zu more", items_.size() - kMaxShown);
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace bundlemine

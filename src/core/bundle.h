@@ -1,0 +1,53 @@
+// Bundle value type: a sorted set of item ids with set-algebra helpers.
+
+#ifndef BUNDLEMINE_CORE_BUNDLE_H_
+#define BUNDLEMINE_CORE_BUNDLE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/ratings.h"
+
+namespace bundlemine {
+
+/// An immutable-by-convention set of items (sorted, distinct).
+class Bundle {
+ public:
+  Bundle() = default;
+  /// Sorts and deduplicates.
+  explicit Bundle(std::vector<ItemId> items);
+  /// Singleton bundle.
+  static Bundle Of(ItemId item);
+  /// From a ≤32-item bitmask (used by the WSP bundler).
+  static Bundle FromMask(std::uint32_t mask);
+
+  const std::vector<ItemId>& items() const { return items_; }
+  int size() const { return static_cast<int>(items_.size()); }
+  bool empty() const { return items_.empty(); }
+  bool Contains(ItemId item) const;
+  bool IsSubsetOf(const Bundle& other) const;
+  bool Intersects(const Bundle& other) const;
+
+  /// Set union of two bundles.
+  static Bundle Union(const Bundle& a, const Bundle& b);
+
+  /// "{3, 17, 42}" debugging / report rendering.
+  std::string ToString() const;
+
+  bool operator==(const Bundle& other) const { return items_ == other.items_; }
+  bool operator<(const Bundle& other) const { return items_ < other.items_; }
+
+ private:
+  std::vector<ItemId> items_;
+};
+
+/// The Eq. 1 scale that converts a bundle's raw per-user WTP sum into its
+/// effective willingness to pay: singletons are unscaled, real bundles carry
+/// the (1+θ) interaction factor.
+inline double BundleScale(int bundle_size, double theta) {
+  return bundle_size >= 2 ? 1.0 + theta : 1.0;
+}
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_CORE_BUNDLE_H_

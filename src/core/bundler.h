@@ -1,0 +1,29 @@
+// Common interface implemented by every bundle-configuration algorithm.
+
+#ifndef BUNDLEMINE_CORE_BUNDLER_H_
+#define BUNDLEMINE_CORE_BUNDLER_H_
+
+#include <string>
+
+#include "core/problem.h"
+#include "core/solution.h"
+
+namespace bundlemine {
+
+/// A bundle-configuration algorithm. Implementations are stateless across
+/// calls; all instance data lives in the problem.
+class Bundler {
+ public:
+  virtual ~Bundler() = default;
+
+  /// Solves the configuration problem. The returned solution's offers follow
+  /// the attribution rules documented on PricedBundle.
+  virtual BundleSolution Solve(const BundleConfigProblem& problem) const = 0;
+
+  /// Display name ("Pure Matching", "Mixed Greedy", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_CORE_BUNDLER_H_

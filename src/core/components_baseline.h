@@ -1,0 +1,35 @@
+// The Components (non-bundling) baseline: sell every item individually.
+//
+// Two pricing policies (paper Table 2): the revenue-optimal grid price per
+// item — the stronger baseline used throughout the evaluation — and the
+// item's list price as crawled (the "Amazon's pricing" column).
+
+#ifndef BUNDLEMINE_CORE_COMPONENTS_BASELINE_H_
+#define BUNDLEMINE_CORE_COMPONENTS_BASELINE_H_
+
+#include "core/bundler.h"
+
+namespace bundlemine {
+
+/// Per-item pricing policy.
+enum class ComponentPricing {
+  kOptimal,    ///< Revenue-maximizing grid price per item.
+  kListPrice,  ///< The dataset's list price (requires wtp.has_prices()).
+};
+
+/// Sells only individual items.
+class ComponentsBaseline : public Bundler {
+ public:
+  explicit ComponentsBaseline(ComponentPricing pricing = ComponentPricing::kOptimal)
+      : pricing_(pricing) {}
+
+  BundleSolution Solve(const BundleConfigProblem& problem) const override;
+  std::string name() const override;
+
+ private:
+  ComponentPricing pricing_;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_CORE_COMPONENTS_BASELINE_H_

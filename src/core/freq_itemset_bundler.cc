@@ -1,0 +1,184 @@
+#include "core/freq_itemset_bundler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mining/fp_growth.h"
+#include "mining/mafia.h"
+#include "mining/transactions.h"
+#include "pricing/mixed_pricer.h"
+#include "pricing/offer_pricer.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace bundlemine {
+namespace {
+
+constexpr double kGainEpsilon = 1e-9;
+
+// An evaluated candidate itemset-bundle.
+struct Candidate {
+  Bundle items;
+  double gain = 0.0;
+  double price = 0.0;
+  double revenue = 0.0;  // Pure: standalone bundle revenue.
+  double buyers = 0.0;
+};
+
+}  // namespace
+
+BundleSolution FreqItemsetBundler::Solve(const BundleConfigProblem& problem) const {
+  BM_CHECK(problem.wtp != nullptr);
+  const WtpMatrix& wtp = *problem.wtp;
+  WallTimer timer;
+  const bool pure = problem.strategy == BundlingStrategy::kPure;
+  const int k = problem.EffectiveMaxSize();
+
+  OfferPricer pricer(problem.adoption, problem.price_levels);
+  MixedPricer mixed(problem.adoption, problem.price_levels,
+                    problem.mixed_composition);
+
+  // Per-item standalone pricing (components are always available candidates).
+  std::vector<SparseWtpVector> item_raw;
+  std::vector<PricedOffer> item_priced;
+  std::vector<SparseWtpVector> item_payments;
+  item_raw.reserve(static_cast<std::size_t>(wtp.num_items()));
+  item_priced.reserve(static_cast<std::size_t>(wtp.num_items()));
+  item_payments.reserve(static_cast<std::size_t>(wtp.num_items()));
+  for (ItemId i = 0; i < wtp.num_items(); ++i) {
+    item_raw.push_back(wtp.ItemVector(i));
+    item_priced.push_back(pricer.PriceOffer(item_raw.back(), 1.0));
+    item_payments.push_back(
+        mixed.BuildStandalonePayments(item_raw.back(), 1.0, item_priced.back().price));
+  }
+
+  // Mine maximal frequent itemsets as candidate bundles.
+  TransactionDb db = TransactionDb::FromWtp(wtp);
+  MinerLimits limits;
+  // The paper's 0.1% threshold is ⌈0.001 · 4449⌉ = 5 transactions on the
+  // Amazon data; the absolute floor keeps that effective count on smaller
+  // instances (a floor of 2 makes every co-rating pair frequent and the
+  // maximal-itemset lattice explodes combinatorially).
+  limits.min_support_count = std::max(
+      5, static_cast<int>(std::ceil(problem.freq_min_support * wtp.num_users())));
+  // Mine *uncapped* maximal itemsets (the paper's protocol) and filter
+  // oversize candidates below. Pushing the size cap into the miner is both
+  // unsound for PEP and combinatorially explosive: the k-capped maximal
+  // family is vastly larger than the unrestricted one.
+  limits.max_itemset_size = 0;
+  std::vector<FrequentItemset> itemsets;
+  switch (problem.freq_miner) {
+    case MinerEngine::kMafia:
+      itemsets = MineMaximalFrequent(db, limits);
+      break;
+    case MinerEngine::kApriori:
+      itemsets = FilterMaximal(MineFrequentApriori(db, limits));
+      break;
+    case MinerEngine::kFpGrowth:
+      itemsets = FilterMaximal(MineFrequentFpGrowth(db, limits));
+      break;
+  }
+
+  // Evaluate candidates (size ≥ 2 only; size-1 candidates are the items).
+  std::vector<Candidate> candidates;
+  for (const FrequentItemset& fi : itemsets) {
+    if (static_cast<int>(fi.items.size()) < 2 ||
+        static_cast<int>(fi.items.size()) > k) {
+      continue;
+    }
+    double scale = BundleScale(static_cast<int>(fi.items.size()), problem.theta);
+    if (scale <= 0.0) continue;
+
+    Candidate c;
+    c.items = Bundle(std::vector<ItemId>(fi.items.begin(), fi.items.end()));
+    // Merge the component audiences.
+    SparseWtpVector raw;
+    for (int item : fi.items) {
+      raw = SparseWtpVector::Merge(raw, item_raw[static_cast<std::size_t>(item)]);
+    }
+    if (pure) {
+      PricedOffer priced = pricer.PriceOffer(raw, scale);
+      double parts = 0.0;
+      for (int item : fi.items) {
+        parts += item_priced[static_cast<std::size_t>(item)].revenue;
+      }
+      c.gain = priced.revenue - parts;
+      c.price = priced.price;
+      c.revenue = priced.revenue;
+      c.buyers = priced.expected_buyers;
+    } else {
+      std::vector<MergeSide> sides;
+      sides.reserve(fi.items.size());
+      for (int item : fi.items) {
+        std::size_t idx = static_cast<std::size_t>(item);
+        sides.push_back(MergeSide{&item_raw[idx], 1.0, item_priced[idx].price,
+                                  &item_payments[idx]});
+      }
+      MergeGainResult r = mixed.MultiMergeGain(sides, scale);
+      if (!r.feasible) continue;
+      c.gain = r.gain;
+      c.price = r.bundle_price;
+      c.buyers = r.expected_adopters;
+    }
+    if (c.gain > kGainEpsilon) candidates.push_back(std::move(c));
+  }
+
+  // Greedy selection by absolute gain with overlap removal.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.gain != b.gain) return a.gain > b.gain;
+              return a.items < b.items;
+            });
+  std::vector<char> covered(static_cast<std::size_t>(wtp.num_items()), 0);
+  std::vector<const Candidate*> selected;
+  for (const Candidate& c : candidates) {
+    bool free = true;
+    for (ItemId i : c.items.items()) {
+      if (covered[static_cast<std::size_t>(i)]) {
+        free = false;
+        break;
+      }
+    }
+    if (!free) continue;
+    for (ItemId i : c.items.items()) covered[static_cast<std::size_t>(i)] = 1;
+    selected.push_back(&c);
+  }
+
+  // Assemble the configuration.
+  BundleSolution solution;
+  solution.method = pure ? "Pure FreqItemset" : "Mixed FreqItemset";
+  double total = 0.0;
+  for (const Candidate* c : selected) {
+    PricedBundle pb;
+    pb.items = c->items;
+    pb.price = c->price;
+    pb.expected_buyers = c->buyers;
+    if (pure) {
+      pb.revenue = c->revenue;
+      total += c->revenue;
+    } else {
+      pb.revenue = c->gain;
+      total += c->gain;
+    }
+    solution.offers.push_back(std::move(pb));
+  }
+  for (ItemId i = 0; i < wtp.num_items(); ++i) {
+    bool inside_selected = covered[static_cast<std::size_t>(i)];
+    if (inside_selected && pure) continue;  // Pure: item only via its bundle.
+    PricedBundle pb;
+    pb.items = Bundle::Of(i);
+    pb.price = item_priced[static_cast<std::size_t>(i)].price;
+    pb.revenue = item_priced[static_cast<std::size_t>(i)].revenue;
+    pb.expected_buyers = item_priced[static_cast<std::size_t>(i)].expected_buyers;
+    pb.is_component_offer = inside_selected;  // Mixed: retained in X′.
+    solution.offers.push_back(std::move(pb));
+    total += pb.revenue;
+  }
+  solution.total_revenue = total;
+  solution.solve_seconds = timer.Seconds();
+  solution.trace.push_back(IterationStat{0, total, solution.solve_seconds,
+                                         static_cast<int>(solution.TopOffers().size())});
+  return solution;
+}
+
+}  // namespace bundlemine

@@ -1,0 +1,33 @@
+// "Frequently Bought Together" bundling baseline (paper Section 6.1.3).
+//
+// Candidate bundles are the maximal frequent itemsets of the consumer
+// transactions (items with positive WTP per consumer), mined at the paper's
+// 0.1% minimum support. The configuration is built greedily: repeatedly pick
+// the candidate with the highest absolute revenue gain over its components,
+// drop overlapping candidates, and finally sell every uncovered item
+// individually (individual items are admitted regardless of support —
+// "this favors the frequent itemset approach").
+//
+// Pure variant: gain = standalone bundle revenue − Σ component revenues.
+// Mixed variant: gain = incremental mixed-bundling gain of offering the
+// itemset alongside all of its component items (MultiMergeGain).
+
+#ifndef BUNDLEMINE_CORE_FREQ_ITEMSET_BUNDLER_H_
+#define BUNDLEMINE_CORE_FREQ_ITEMSET_BUNDLER_H_
+
+#include "core/bundler.h"
+
+namespace bundlemine {
+
+/// Pure FreqItemset / Mixed FreqItemset baselines.
+class FreqItemsetBundler : public Bundler {
+ public:
+  FreqItemsetBundler() = default;
+
+  BundleSolution Solve(const BundleConfigProblem& problem) const override;
+  std::string name() const override { return "FreqItemset"; }
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_CORE_FREQ_ITEMSET_BUNDLER_H_

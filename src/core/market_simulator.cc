@@ -1,0 +1,165 @@
+#include "core/market_simulator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace bundlemine {
+namespace {
+
+constexpr double kTie = 1e-9;
+
+// Node of the containment forest over the configuration's offers.
+struct OfferNode {
+  int offer_index;            // Into solution.offers.
+  std::vector<int> children;  // Node indices of directly nested offers.
+};
+
+// Reconstructs the laminar containment forest: each offer's parent is the
+// smallest offer strictly containing it. Returns (nodes, root node indices).
+std::pair<std::vector<OfferNode>, std::vector<int>> BuildForest(
+    const BundleSolution& solution) {
+  const auto& offers = solution.offers;
+  std::size_t n = offers.size();
+  // Sort node processing order by bundle size ascending so parents are
+  // assigned to the tightest container.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return offers[static_cast<std::size_t>(x)].items.size() <
+           offers[static_cast<std::size_t>(y)].items.size();
+  });
+
+  std::vector<OfferNode> nodes(n);
+  std::vector<int> parent(n, -1);
+  for (std::size_t i = 0; i < n; ++i) nodes[i].offer_index = static_cast<int>(i);
+  for (std::size_t a = 0; a < n; ++a) {
+    int child = order[a];
+    const Bundle& cb = offers[static_cast<std::size_t>(child)].items;
+    int best_parent = -1;
+    int best_size = 1 << 30;
+    for (std::size_t b = a + 1; b < n; ++b) {
+      int cand = order[b];
+      const Bundle& pb = offers[static_cast<std::size_t>(cand)].items;
+      if (pb.items().size() <= cb.items().size()) continue;
+      if (cb.IsSubsetOf(pb) && static_cast<int>(pb.items().size()) < best_size) {
+        best_parent = cand;
+        best_size = static_cast<int>(pb.items().size());
+      }
+    }
+    parent[static_cast<std::size_t>(child)] = best_parent;
+    if (best_parent >= 0) {
+      nodes[static_cast<std::size_t>(best_parent)].children.push_back(child);
+    }
+  }
+  std::vector<int> roots;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (parent[i] == -1) roots.push_back(static_cast<int>(i));
+  }
+  return {std::move(nodes), std::move(roots)};
+}
+
+}  // namespace
+
+MarketSimulator::MarketSimulator(const WtpMatrix& wtp, double theta)
+    : wtp_(wtp), theta_(theta) {}
+
+MarketOutcome MarketSimulator::Evaluate(const BundleSolution& solution) const {
+  MarketOutcome outcome;
+  outcome.offer_revenue.assign(solution.offers.size(), 0.0);
+
+  auto [nodes, roots] = BuildForest(solution);
+
+  // Per-consumer rational selection. For each root tree, choose either the
+  // root offer itself or the best selection over its children, recursively.
+  // Scratch buffers reused across consumers.
+  std::vector<double> node_value(nodes.size(), 0.0);
+  std::vector<char> node_take(nodes.size(), 0);  // 1 = buy this node's offer.
+
+  for (UserId u = 0; u < wtp_.num_users(); ++u) {
+    auto row = wtp_.UserItems(u);
+    if (row.empty()) continue;
+
+    // Per-offer WTP for this consumer: Eq. 1 with the raw sum over items.
+    auto offer_wtp = [&](const PricedBundle& offer) {
+      double raw = 0.0;
+      std::size_t i = 0;
+      const auto& items = offer.items.items();
+      std::size_t j = 0;
+      while (i < row.size() && j < items.size()) {
+        if (row[i].id < items[j]) {
+          ++i;
+        } else if (row[i].id > items[j]) {
+          ++j;
+        } else {
+          raw += row[i].w;
+          ++i;
+          ++j;
+        }
+      }
+      return BundleScale(offer.items.size(), theta_) * raw;
+    };
+
+    // Post-order DP over the forest (iterative: children listed before their
+    // parent is only guaranteed by recursion; use an explicit stack).
+    for (int root : roots) {
+      // Collect the subtree in DFS order.
+      std::vector<int> stack = {root};
+      std::vector<int> dfs;
+      while (!stack.empty()) {
+        int node = stack.back();
+        stack.pop_back();
+        dfs.push_back(node);
+        for (int c : nodes[static_cast<std::size_t>(node)].children) {
+          stack.push_back(c);
+        }
+      }
+      // Process children before parents.
+      for (auto it = dfs.rbegin(); it != dfs.rend(); ++it) {
+        int node = *it;
+        const PricedBundle& offer =
+            solution.offers[static_cast<std::size_t>(nodes[static_cast<std::size_t>(node)].offer_index)];
+        double own = offer_wtp(offer) - offer.price;
+        double children_value = 0.0;
+        for (int c : nodes[static_cast<std::size_t>(node)].children) {
+          children_value += node_value[static_cast<std::size_t>(c)];
+        }
+        double best = std::max(0.0, children_value);
+        // Seller-favoured tie: prefer buying the node when surplus ties.
+        if (own >= best - kTie && own >= -kTie) {
+          node_value[static_cast<std::size_t>(node)] = own;
+          node_take[static_cast<std::size_t>(node)] = 1;
+        } else {
+          node_value[static_cast<std::size_t>(node)] = best;
+          node_take[static_cast<std::size_t>(node)] = 0;
+        }
+      }
+      // Walk down: charge the first taken offer on each path.
+      stack = {root};
+      while (!stack.empty()) {
+        int node = stack.back();
+        stack.pop_back();
+        std::size_t offer_idx =
+            static_cast<std::size_t>(nodes[static_cast<std::size_t>(node)].offer_index);
+        const PricedBundle& offer = solution.offers[offer_idx];
+        if (node_take[static_cast<std::size_t>(node)]) {
+          outcome.revenue += offer.price;
+          outcome.offer_revenue[offer_idx] += offer.price;
+          outcome.consumer_surplus += offer_wtp(offer) - offer.price;
+          outcome.transactions += 1.0;
+          continue;  // Nested offers are foregone.
+        }
+        for (int c : nodes[static_cast<std::size_t>(node)].children) {
+          stack.push_back(c);
+        }
+      }
+    }
+  }
+
+  outcome.deadweight_loss =
+      wtp_.TotalWtp() - outcome.revenue - outcome.consumer_surplus;
+  return outcome;
+}
+
+}  // namespace bundlemine

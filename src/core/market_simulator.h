@@ -1,0 +1,61 @@
+// Market simulator: evaluates a bundle configuration under fully rational
+// consumer choice, independently of the algorithms that produced it.
+//
+// The paper's introduction frames the welfare quantities — a transaction
+// happens when willingness to pay clears the price, the residual value is
+// *consumer surplus*, and unserved demand is *deadweight loss*. This module
+// computes all three for any feasible configuration:
+//
+//   Σ_u Σ_i w(u,i)  =  revenue  +  consumer surplus  +  deadweight loss
+//                                                        (at θ = 0)
+//
+// Consumers choose rationally: a mixed configuration is a laminar family, so
+// the simulator reconstructs the containment forest and, per consumer and
+// per tree, dynamically programs the surplus-maximal selection — buy the
+// bundle at this node, or recurse into its children (ties break towards the
+// seller). This is deliberately *not* the incremental upgrade rule used
+// during optimization: it serves as an independent cross-check (for pure
+// configurations the two coincide exactly; for mixed configurations they
+// agree up to the documented upgrade-rule approximations).
+//
+// Deterministic (step) adoption only — rational choice under stochastic
+// adoption is not well defined.
+
+#ifndef BUNDLEMINE_CORE_MARKET_SIMULATOR_H_
+#define BUNDLEMINE_CORE_MARKET_SIMULATOR_H_
+
+#include <vector>
+
+#include "core/solution.h"
+#include "data/wtp_matrix.h"
+
+namespace bundlemine {
+
+/// Welfare decomposition of a simulated market.
+struct MarketOutcome {
+  double revenue = 0.0;
+  double consumer_surplus = 0.0;
+  double deadweight_loss = 0.0;     ///< Aggregate WTP − revenue − surplus.
+  double transactions = 0.0;        ///< Number of purchases (offers bought).
+  /// Revenue per offer, aligned with the evaluated solution's offer list.
+  std::vector<double> offer_revenue;
+};
+
+/// Simulates the market defined by `wtp` and `theta` against any feasible
+/// configuration (pure partition or mixed laminar family).
+class MarketSimulator {
+ public:
+  /// `theta` must match the θ the configuration was priced under.
+  MarketSimulator(const WtpMatrix& wtp, double theta);
+
+  /// Rational-choice market outcome for the configuration.
+  MarketOutcome Evaluate(const BundleSolution& solution) const;
+
+ private:
+  const WtpMatrix& wtp_;
+  double theta_;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_CORE_MARKET_SIMULATOR_H_

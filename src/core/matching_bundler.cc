@@ -1,0 +1,312 @@
+#include "core/matching_bundler.h"
+
+#include <algorithm>
+
+#include "core/offer_ops.h"
+#include "matching/max_weight_matching.h"
+#include "matching/simple_matchers.h"
+#include "pricing/mixed_pricer.h"
+#include "pricing/offer_pricer.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace bundlemine {
+namespace {
+
+constexpr double kGainEpsilon = 1e-9;
+
+// A vertex of the bundling graph: a live or absorbed offer.
+struct Offer {
+  Bundle items;
+  SparseWtpVector raw;
+  // Mixed bundling: per-consumer expected payment within this offer's
+  // subtree (bundle + retained components). Keeps multi-level incremental
+  // gains consistent — see MergeSide::payments.
+  SparseWtpVector payments;
+  double price = 0.0;       // Market price of this offer.
+  double standalone = 0.0;  // Standalone expected revenue at `price` (pure).
+  double buyers = 0.0;
+  double attributed = 0.0;  // Cumulative revenue of this offer's subtree.
+  double increment = 0.0;   // Own contribution (singleton rev / merge gain).
+  bool alive = true;
+  bool is_new = true;       // Formed in the previous round.
+  int child1 = -1;
+  int child2 = -1;
+};
+
+// A candidate merge with its evaluated outcome.
+struct CandidateEdge {
+  int a = 0;
+  int b = 0;
+  double gain = 0.0;
+  double price = 0.0;     // Price of the merged offer.
+  double revenue = 0.0;   // Pure: standalone revenue of the merged offer.
+  double buyers = 0.0;
+};
+
+struct SolveState {
+  const BundleConfigProblem* problem;
+  OfferPricer pricer;
+  MixedPricer mixed;
+  std::vector<Offer> offers;
+  std::vector<double> scratch;
+
+  SolveState(const BundleConfigProblem& p)
+      : problem(&p),
+        pricer(p.adoption, p.price_levels),
+        mixed(p.adoption, p.price_levels, p.mixed_composition) {}
+
+  double Scale(int size) const { return BundleScale(size, problem->theta); }
+
+  // Evaluates merging offers a and b; returns false when no positive gain.
+  bool EvaluatePair(int ai, int bi, CandidateEdge* edge) {
+    const Offer& a = offers[static_cast<std::size_t>(ai)];
+    const Offer& b = offers[static_cast<std::size_t>(bi)];
+    int merged_size = a.items.size() + b.items.size();
+    double merged_scale = Scale(merged_size);
+    if (merged_scale <= 0.0) return false;
+    edge->a = ai;
+    edge->b = bi;
+    if (problem->strategy == BundlingStrategy::kPure) {
+      PricedOffer priced =
+          PriceMergedPair(a.raw, b.raw, merged_scale, pricer, &scratch);
+      double gain = priced.revenue - a.standalone - b.standalone;
+      if (gain <= kGainEpsilon) return false;
+      edge->gain = gain;
+      edge->price = priced.price;
+      edge->revenue = priced.revenue;
+      edge->buyers = priced.expected_buyers;
+      return true;
+    }
+    MergeSide sa{&a.raw, Scale(a.items.size()), a.price, &a.payments};
+    MergeSide sb{&b.raw, Scale(b.items.size()), b.price, &b.payments};
+    MergeGainResult r = mixed.MergeGain(sa, sb, merged_scale);
+    if (!r.feasible || r.gain <= kGainEpsilon) return false;
+    edge->gain = r.gain;
+    edge->price = r.bundle_price;
+    edge->revenue = 0.0;
+    edge->buyers = r.expected_adopters;
+    return true;
+  }
+
+  double TotalRevenue() const {
+    double total = 0.0;
+    for (const Offer& o : offers) {
+      if (o.alive) total += o.attributed;
+    }
+    return total;
+  }
+
+  int AliveCount() const {
+    int n = 0;
+    for (const Offer& o : offers) n += o.alive ? 1 : 0;
+    return n;
+  }
+
+  // Collapses a selected edge into a new offer and returns its index.
+  int Merge(const CandidateEdge& edge) {
+    Offer& a = offers[static_cast<std::size_t>(edge.a)];
+    Offer& b = offers[static_cast<std::size_t>(edge.b)];
+    Offer merged;
+    merged.items = Bundle::Union(a.items, b.items);
+    merged.raw = SparseWtpVector::Merge(a.raw, b.raw);
+    merged.child1 = edge.a;
+    merged.child2 = edge.b;
+    if (problem->strategy == BundlingStrategy::kPure) {
+      merged.price = edge.price;
+      merged.standalone = edge.revenue;
+      merged.buyers = edge.buyers;
+      merged.attributed = edge.revenue;
+      merged.increment = edge.gain;
+    } else {
+      merged.price = edge.price;
+      merged.standalone = 0.0;
+      merged.buyers = edge.buyers;
+      merged.attributed = a.attributed + b.attributed + edge.gain;
+      merged.increment = edge.gain;
+      MergeSide sa{&a.raw, Scale(a.items.size()), a.price, &a.payments};
+      MergeSide sb{&b.raw, Scale(b.items.size()), b.price, &b.payments};
+      merged.payments = mixed.BuildMergedPayments(
+          sa, sb, Scale(merged.items.size()), edge.price);
+    }
+    a.alive = false;
+    b.alive = false;
+    offers.push_back(std::move(merged));
+    return static_cast<int>(offers.size()) - 1;
+  }
+};
+
+// Emits the final configuration (including mixed X′ components).
+BundleSolution BuildSolution(const SolveState& st, const char* method_name) {
+  BundleSolution solution;
+  solution.method = method_name;
+  const bool mixed = st.problem->strategy == BundlingStrategy::kMixed;
+  // Top-level offers.
+  for (const Offer& o : st.offers) {
+    if (!o.alive) continue;
+    PricedBundle pb;
+    pb.items = o.items;
+    pb.price = o.price;
+    pb.revenue = mixed ? o.increment : o.standalone;
+    pb.expected_buyers = o.buyers;
+    pb.is_component_offer = false;
+    solution.offers.push_back(std::move(pb));
+  }
+  if (mixed) {
+    // All absorbed offers are descendants of live roots: retain them in X′.
+    for (const Offer& o : st.offers) {
+      if (o.alive) continue;
+      PricedBundle pb;
+      pb.items = o.items;
+      pb.price = o.price;
+      pb.revenue = o.increment;
+      pb.expected_buyers = o.buyers;
+      pb.is_component_offer = true;
+      solution.offers.push_back(std::move(pb));
+    }
+  }
+  solution.total_revenue = st.TotalRevenue();
+  return solution;
+}
+
+}  // namespace
+
+BundleSolution MatchingBundler::Solve(const BundleConfigProblem& problem) const {
+  BM_CHECK(problem.wtp != nullptr);
+  const WtpMatrix& wtp = *problem.wtp;
+  WallTimer timer;
+  SolveState st(problem);
+  const int k = problem.EffectiveMaxSize();
+  const bool pure = problem.strategy == BundlingStrategy::kPure;
+  const char* method_name = pure ? "Pure Matching" : "Mixed Matching";
+
+  // Initialize singleton offers (= Components pricing).
+  st.offers.reserve(static_cast<std::size_t>(wtp.num_items()) * 2);
+  for (ItemId i = 0; i < wtp.num_items(); ++i) {
+    Offer o;
+    o.items = Bundle::Of(i);
+    o.raw = wtp.ItemVector(i);
+    PricedOffer priced = st.pricer.PriceOffer(o.raw, 1.0);
+    o.price = priced.price;
+    o.standalone = priced.revenue;
+    o.buyers = priced.expected_buyers;
+    o.attributed = priced.revenue;
+    o.increment = priced.revenue;
+    if (!pure) {
+      o.payments = st.mixed.BuildStandalonePayments(o.raw, 1.0, o.price);
+    }
+    st.offers.push_back(std::move(o));
+  }
+
+  int iteration = 0;
+  BundleSolution trace_holder;
+  trace_holder.trace.push_back(
+      IterationStat{0, st.TotalRevenue(), timer.Seconds(), st.AliveCount()});
+
+  while (k >= 2) {
+    ++iteration;
+    // ---- Candidate edge generation with the paper's prunings. ----
+    std::vector<CandidateEdge> edges;
+    CandidateEdge edge;
+    if (iteration == 1) {
+      if (problem.prune_co_interest) {
+        for (const auto& [i, j] : wtp.CoInterestedPairs()) {
+          if (st.EvaluatePair(i, j, &edge)) edges.push_back(edge);
+        }
+      } else {
+        for (int i = 0; i < wtp.num_items(); ++i) {
+          for (int j = i + 1; j < wtp.num_items(); ++j) {
+            if (st.EvaluatePair(i, j, &edge)) edges.push_back(edge);
+          }
+        }
+      }
+    } else {
+      // Later rounds: only edges touching a newly-formed vertex (unless the
+      // pruning is disabled), subject to the size cap and co-interest.
+      std::vector<int> alive_ids;
+      for (std::size_t idx = 0; idx < st.offers.size(); ++idx) {
+        if (st.offers[idx].alive) alive_ids.push_back(static_cast<int>(idx));
+      }
+      for (std::size_t x = 0; x < alive_ids.size(); ++x) {
+        for (std::size_t y = x + 1; y < alive_ids.size(); ++y) {
+          const Offer& a = st.offers[static_cast<std::size_t>(alive_ids[x])];
+          const Offer& b = st.offers[static_cast<std::size_t>(alive_ids[y])];
+          if (problem.prune_stale_edges && !a.is_new && !b.is_new) continue;
+          if (a.items.size() + b.items.size() > k) continue;
+          if (problem.prune_co_interest && !SupportsIntersect(a.raw, b.raw)) {
+            continue;
+          }
+          if (st.EvaluatePair(alive_ids[x], alive_ids[y], &edge)) {
+            edges.push_back(edge);
+          }
+        }
+      }
+    }
+    for (Offer& o : st.offers) o.is_new = false;
+    if (edges.empty()) break;
+
+    // ---- Maximum-weight matching over positive-gain edges. ----
+    // Compact vertex ids for offers incident to at least one edge.
+    std::vector<int> vertex_of_offer(st.offers.size(), -1);
+    std::vector<int> offer_of_vertex;
+    for (const CandidateEdge& e : edges) {
+      for (int o : {e.a, e.b}) {
+        if (vertex_of_offer[static_cast<std::size_t>(o)] == -1) {
+          vertex_of_offer[static_cast<std::size_t>(o)] =
+              static_cast<int>(offer_of_vertex.size());
+          offer_of_vertex.push_back(o);
+        }
+      }
+    }
+    int num_vertices = static_cast<int>(offer_of_vertex.size());
+
+    std::vector<int> mate;
+    bool use_exact = problem.exact_matching_limit > 0 &&
+                     num_vertices <= problem.exact_matching_limit;
+    if (use_exact) {
+      MaxWeightMatcher matcher(num_vertices);
+      for (const CandidateEdge& e : edges) {
+        matcher.AddEdge(vertex_of_offer[static_cast<std::size_t>(e.a)],
+                        vertex_of_offer[static_cast<std::size_t>(e.b)], e.gain);
+      }
+      mate = matcher.Solve().mate;
+    } else {
+      std::vector<WeightedEdge> wedges;
+      wedges.reserve(edges.size());
+      for (const CandidateEdge& e : edges) {
+        wedges.push_back(
+            WeightedEdge{vertex_of_offer[static_cast<std::size_t>(e.a)],
+                         vertex_of_offer[static_cast<std::size_t>(e.b)], e.gain});
+      }
+      mate = GreedyMaxWeightMatching(num_vertices, wedges).mate;
+    }
+
+    // ---- Collapse selected edges. ----
+    // Candidate pairs are unique, so each matched pair maps back to exactly
+    // one evaluated edge.
+    int merges = 0;
+    for (const CandidateEdge& e : edges) {
+      int va = vertex_of_offer[static_cast<std::size_t>(e.a)];
+      int vb = vertex_of_offer[static_cast<std::size_t>(e.b)];
+      if (mate[static_cast<std::size_t>(va)] == vb) {
+        st.Merge(e);
+        ++merges;
+      }
+    }
+    if (merges == 0) break;
+    trace_holder.trace.push_back(IterationStat{iteration, st.TotalRevenue(),
+                                               timer.Seconds(), st.AliveCount()});
+  }
+
+  BundleSolution solution = BuildSolution(st, method_name);
+  solution.trace = std::move(trace_holder.trace);
+  if (solution.trace.empty() ||
+      solution.trace.back().total_revenue != solution.total_revenue) {
+    solution.trace.push_back(IterationStat{iteration, solution.total_revenue,
+                                           timer.Seconds(), st.AliveCount()});
+  }
+  solution.solve_seconds = timer.Seconds();
+  return solution;
+}
+
+}  // namespace bundlemine

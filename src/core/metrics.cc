@@ -1,0 +1,27 @@
+#include "core/metrics.h"
+
+#include "util/check.h"
+
+namespace bundlemine {
+
+double RevenueCoverage(double revenue, const WtpMatrix& wtp) {
+  double total = wtp.TotalWtp();
+  if (total <= 0.0) return 0.0;
+  return revenue / total;
+}
+
+double RevenueCoverage(const BundleSolution& solution, const WtpMatrix& wtp) {
+  return RevenueCoverage(solution.total_revenue, wtp);
+}
+
+double RevenueGain(double revenue, double components_revenue) {
+  BM_CHECK_GT(components_revenue, 0.0);
+  return (revenue - components_revenue) / components_revenue;
+}
+
+double RevenueGain(const BundleSolution& solution,
+                   const BundleSolution& components) {
+  return RevenueGain(solution.total_revenue, components.total_revenue);
+}
+
+}  // namespace bundlemine

@@ -1,0 +1,24 @@
+// Evaluation metrics (paper Section 6.1.2).
+
+#ifndef BUNDLEMINE_CORE_METRICS_H_
+#define BUNDLEMINE_CORE_METRICS_H_
+
+#include "core/solution.h"
+#include "data/wtp_matrix.h"
+
+namespace bundlemine {
+
+/// Revenue coverage: revenue / total willingness to pay (the revenue upper
+/// bound a perfectly discriminating seller would extract). In [0, 1] for the
+/// step model; reported as a percentage in the paper.
+double RevenueCoverage(const BundleSolution& solution, const WtpMatrix& wtp);
+double RevenueCoverage(double revenue, const WtpMatrix& wtp);
+
+/// Revenue gain: fractional improvement over the Components baseline.
+double RevenueGain(const BundleSolution& solution,
+                   const BundleSolution& components);
+double RevenueGain(double revenue, double components_revenue);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_CORE_METRICS_H_

@@ -1,0 +1,71 @@
+// Internal helpers shared by the bundling algorithms: fast candidate-pair
+// evaluation without materializing merged sparse vectors, and support-overlap
+// tests used by the co-interest pruning.
+
+#ifndef BUNDLEMINE_CORE_OFFER_OPS_H_
+#define BUNDLEMINE_CORE_OFFER_OPS_H_
+
+#include <vector>
+
+#include "data/wtp_matrix.h"
+#include "pricing/offer_pricer.h"
+
+namespace bundlemine {
+
+/// Prices the union of two offers' audiences at the given effective scale,
+/// writing scaled WTP values into `scratch` (reused across calls to avoid
+/// per-pair allocation).
+inline PricedOffer PriceMergedPair(const SparseWtpVector& a,
+                                   const SparseWtpVector& b, double scale,
+                                   const OfferPricer& pricer,
+                                   std::vector<double>* scratch) {
+  scratch->clear();
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  std::size_t i = 0, j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    double w;
+    if (ea[i].id < eb[j].id) {
+      w = ea[i++].w;
+    } else if (ea[i].id > eb[j].id) {
+      w = eb[j++].w;
+    } else {
+      w = ea[i++].w + eb[j++].w;
+    }
+    if (w > 0.0) scratch->push_back(scale * w);
+  }
+  while (i < ea.size()) {
+    if (ea[i].w > 0.0) scratch->push_back(scale * ea[i].w);
+    ++i;
+  }
+  while (j < eb.size()) {
+    if (eb[j].w > 0.0) scratch->push_back(scale * eb[j].w);
+    ++j;
+  }
+  return pricer.PriceEffectiveValues(*scratch);
+}
+
+/// True when the two audiences share at least one consumer with positive WTP
+/// on both sides — the generalization of the paper's first-iteration pruning
+/// to later iterations over already-merged bundles.
+inline bool SupportsIntersect(const SparseWtpVector& a, const SparseWtpVector& b) {
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  std::size_t i = 0, j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].id == eb[j].id) {
+      if (ea[i].w > 0.0 && eb[j].w > 0.0) return true;
+      ++i;
+      ++j;
+    } else if (ea[i].id < eb[j].id) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_CORE_OFFER_OPS_H_

@@ -1,0 +1,42 @@
+// Method registry: maps the paper's method names to configured bundlers.
+// Shared by the benchmark harnesses, the examples, and integration tests so
+// that "Mixed Matching" means exactly the same thing everywhere.
+
+#ifndef BUNDLEMINE_CORE_RUNNER_H_
+#define BUNDLEMINE_CORE_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/bundler.h"
+
+namespace bundlemine {
+
+/// Canonical method keys:
+///   "components"        – Components, optimal per-item pricing
+///   "components-list"   – Components at dataset list prices (Table 2)
+///   "pure-matching"     – Algorithm 1, pure bundling
+///   "mixed-matching"    – Algorithm 1, mixed bundling
+///   "pure-greedy"       – Algorithm 2, pure bundling
+///   "mixed-greedy"      – Algorithm 2, mixed bundling
+///   "pure-freq"         – Pure FreqItemset baseline
+///   "mixed-freq"        – Mixed FreqItemset baseline
+///   "two-sized"         – optimal 2-sized pure bundling (k = 2 matching)
+///   "optimal-wsp"       – exact set packing over full enumeration (small N)
+///   "greedy-wsp"        – greedy set packing, w/√|b| ratio (small N)
+///   "greedy-wsp-avg"    – greedy set packing, w/|b| ratio (small N)
+///
+/// Runs the method on a copy of `problem` with the strategy (and for
+/// "two-sized" the size cap) adjusted to match the method. Aborts on an
+/// unknown key.
+BundleSolution RunMethod(const std::string& key, BundleConfigProblem problem);
+
+/// Display name for a method key ("mixed-matching" → "Mixed Matching").
+std::string MethodDisplayName(const std::string& key);
+
+/// The six bundling methods + Components compared throughout Section 6.2.
+std::vector<std::string> StandardMethodKeys();
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_CORE_RUNNER_H_

@@ -1,0 +1,116 @@
+#include "core/solution.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace bundlemine {
+namespace {
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+// Do the given offers partition {0..num_items-1}?
+bool IsPartition(const std::vector<const PricedBundle*>& offers, int num_items,
+                 std::string* error) {
+  std::vector<char> seen(static_cast<std::size_t>(num_items), 0);
+  for (const PricedBundle* o : offers) {
+    for (ItemId i : o->items.items()) {
+      if (i < 0 || i >= num_items) {
+        SetError(error, StrFormat("item %d out of range", i));
+        return false;
+      }
+      if (seen[static_cast<std::size_t>(i)]) {
+        SetError(error, StrFormat("item %d covered twice", i));
+        return false;
+      }
+      seen[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  for (int i = 0; i < num_items; ++i) {
+    if (!seen[static_cast<std::size_t>(i)]) {
+      SetError(error, StrFormat("item %d uncovered", i));
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<const PricedBundle*> BundleSolution::TopOffers() const {
+  std::vector<const PricedBundle*> top;
+  for (const PricedBundle& o : offers) {
+    if (!o.is_component_offer) top.push_back(&o);
+  }
+  return top;
+}
+
+bool IsValidPureConfiguration(const BundleSolution& solution, int num_items,
+                              std::string* error) {
+  for (const PricedBundle& o : solution.offers) {
+    if (o.is_component_offer) {
+      SetError(error, "pure configuration must not retain component offers");
+      return false;
+    }
+    if (o.items.empty()) {
+      SetError(error, "empty bundle in configuration");
+      return false;
+    }
+  }
+  return IsPartition(solution.TopOffers(), num_items, error);
+}
+
+bool IsValidMixedConfiguration(const BundleSolution& solution, int num_items,
+                               std::string* error) {
+  for (const PricedBundle& o : solution.offers) {
+    if (o.items.empty()) {
+      SetError(error, "empty bundle in configuration");
+      return false;
+    }
+  }
+  if (!IsPartition(solution.TopOffers(), num_items, error)) return false;
+
+  // Every component offer must be a strict subset of some top-level offer.
+  std::vector<const PricedBundle*> top = solution.TopOffers();
+  for (const PricedBundle& o : solution.offers) {
+    if (!o.is_component_offer) continue;
+    bool nested = false;
+    for (const PricedBundle* t : top) {
+      if (o.items.IsSubsetOf(t->items) && o.items.size() < t->items.size()) {
+        nested = true;
+        break;
+      }
+    }
+    if (!nested) {
+      SetError(error, "component offer " + o.items.ToString() +
+                          " not nested in any top-level bundle");
+      return false;
+    }
+  }
+
+  // Laminarity over the full family: disjoint or nested, pairwise.
+  for (std::size_t a = 0; a < solution.offers.size(); ++a) {
+    for (std::size_t b = a + 1; b < solution.offers.size(); ++b) {
+      const Bundle& x = solution.offers[a].items;
+      const Bundle& y = solution.offers[b].items;
+      if (!x.Intersects(y)) continue;
+      if (!x.IsSubsetOf(y) && !y.IsSubsetOf(x)) {
+        SetError(error, "offers " + x.ToString() + " and " + y.ToString() +
+                            " overlap without nesting");
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsValidConfiguration(const BundleSolution& solution, int num_items,
+                          BundlingStrategy strategy, std::string* error) {
+  return strategy == BundlingStrategy::kPure
+             ? IsValidPureConfiguration(solution, num_items, error)
+             : IsValidMixedConfiguration(solution, num_items, error);
+}
+
+}  // namespace bundlemine

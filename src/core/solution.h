@@ -1,0 +1,68 @@
+// Bundle configuration solutions: priced offers, per-iteration traces, and
+// structural validation of the pure (partition) and mixed (laminar family)
+// feasibility conditions.
+
+#ifndef BUNDLEMINE_CORE_SOLUTION_H_
+#define BUNDLEMINE_CORE_SOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/bundle.h"
+#include "core/problem.h"
+
+namespace bundlemine {
+
+/// One offer in the final configuration.
+struct PricedBundle {
+  Bundle items;
+  double price = 0.0;
+  /// Revenue attributed to this offer. For pure bundling this is the offer's
+  /// standalone expected revenue. For mixed bundling, top-level bundles carry
+  /// their *incremental* gain over the components they subsume, and retained
+  /// component offers carry their standalone revenue — so the attribution
+  /// sums to the configuration total.
+  double revenue = 0.0;
+  double expected_buyers = 0.0;
+  /// True for offers in X′ — components kept on sale under mixed bundling.
+  bool is_component_offer = false;
+};
+
+/// One row of the revenue-vs-time trace (Figure 6).
+struct IterationStat {
+  int iteration = 0;
+  double total_revenue = 0.0;
+  double cumulative_seconds = 0.0;
+  int num_top_offers = 0;
+};
+
+/// Output of a bundling algorithm.
+struct BundleSolution {
+  std::string method;
+  std::vector<PricedBundle> offers;
+  double total_revenue = 0.0;
+  std::vector<IterationStat> trace;
+  double solve_seconds = 0.0;
+
+  /// Top-level offers only (excludes mixed X′ components).
+  std::vector<const PricedBundle*> TopOffers() const;
+};
+
+/// Checks Problem 1 feasibility: the non-component offers form a strict
+/// partition of {0..num_items-1} and there are no component offers.
+bool IsValidPureConfiguration(const BundleSolution& solution, int num_items,
+                              std::string* error = nullptr);
+
+/// Checks Problem 2 feasibility: top-level offers partition the items, every
+/// component offer is a strict subset of some top-level offer, and the whole
+/// family is laminar (any two offers are disjoint or nested).
+bool IsValidMixedConfiguration(const BundleSolution& solution, int num_items,
+                               std::string* error = nullptr);
+
+/// Dispatches on strategy.
+bool IsValidConfiguration(const BundleSolution& solution, int num_items,
+                          BundlingStrategy strategy, std::string* error = nullptr);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_CORE_SOLUTION_H_

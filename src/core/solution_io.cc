@@ -1,0 +1,58 @@
+#include "core/solution_io.h"
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace bundlemine {
+
+bool SaveSolution(const BundleSolution& solution, const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"offer", "items", "price", "revenue", "expected_buyers",
+                  "is_component"});
+  for (std::size_t i = 0; i < solution.offers.size(); ++i) {
+    const PricedBundle& o = solution.offers[i];
+    std::string items;
+    for (std::size_t j = 0; j < o.items.items().size(); ++j) {
+      if (j > 0) items += ';';
+      items += StrFormat("%d", o.items.items()[j]);
+    }
+    rows.push_back({StrFormat("%zu", i), items, StrFormat("%.6f", o.price),
+                    StrFormat("%.6f", o.revenue),
+                    StrFormat("%.6f", o.expected_buyers),
+                    o.is_component_offer ? "1" : "0"});
+  }
+  return WriteCsv(path, rows);
+}
+
+std::optional<BundleSolution> LoadSolution(const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  if (!ReadCsv(path, &rows)) return std::nullopt;
+  BundleSolution solution;
+  solution.method = "loaded";
+  for (const auto& row : rows) {
+    if (row.size() != 6) return std::nullopt;
+    if (!ParseInt(row[0]).has_value()) continue;  // Header.
+    PricedBundle offer;
+    std::vector<ItemId> items;
+    for (const std::string& part : Split(row[1], ';')) {
+      auto id = ParseInt(part);
+      if (!id || *id < 0) return std::nullopt;
+      items.push_back(static_cast<ItemId>(*id));
+    }
+    auto price = ParseDouble(row[2]);
+    auto revenue = ParseDouble(row[3]);
+    auto buyers = ParseDouble(row[4]);
+    auto component = ParseInt(row[5]);
+    if (!price || !revenue || !buyers || !component) return std::nullopt;
+    offer.items = Bundle(std::move(items));
+    offer.price = *price;
+    offer.revenue = *revenue;
+    offer.expected_buyers = *buyers;
+    offer.is_component_offer = *component != 0;
+    solution.total_revenue += offer.revenue;
+    solution.offers.push_back(std::move(offer));
+  }
+  return solution;
+}
+
+}  // namespace bundlemine

@@ -1,0 +1,27 @@
+// CSV persistence for bundle configurations, so a solved configuration can be
+// exported to pricing systems / spreadsheets and reloaded for later analysis.
+//
+// Layout (one file): header
+//   offer,items,price,revenue,expected_buyers,is_component
+// where `items` is a ';'-separated item-id list.
+
+#ifndef BUNDLEMINE_CORE_SOLUTION_IO_H_
+#define BUNDLEMINE_CORE_SOLUTION_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "core/solution.h"
+
+namespace bundlemine {
+
+/// Writes the configuration to `path`. Returns false on IO failure.
+bool SaveSolution(const BundleSolution& solution, const std::string& path);
+
+/// Loads a configuration previously written by SaveSolution (traces and
+/// timings are not persisted). Returns nullopt on IO or parse failure.
+std::optional<BundleSolution> LoadSolution(const std::string& path);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_CORE_SOLUTION_IO_H_

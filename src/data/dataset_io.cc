@@ -1,0 +1,70 @@
+#include "data/dataset_io.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace bundlemine {
+
+bool SaveDataset(const RatingsDataset& data, const std::string& stem) {
+  std::vector<std::vector<std::string>> rating_rows;
+  rating_rows.push_back({"user", "item", "stars"});
+  for (const Rating& r : data.ratings()) {
+    rating_rows.push_back({StrFormat("%d", r.user), StrFormat("%d", r.item),
+                           StrFormat("%.2f", static_cast<double>(r.value))});
+  }
+  std::vector<std::vector<std::string>> price_rows;
+  price_rows.push_back({"item", "price"});
+  for (int i = 0; i < data.num_items(); ++i) {
+    price_rows.push_back({StrFormat("%d", i), StrFormat("%.2f", data.price(i))});
+  }
+  return WriteCsv(stem + ".ratings.csv", rating_rows) &&
+         WriteCsv(stem + ".prices.csv", price_rows);
+}
+
+std::optional<RatingsDataset> LoadDataset(const std::string& stem) {
+  std::vector<std::vector<std::string>> rating_rows;
+  std::vector<std::vector<std::string>> price_rows;
+  if (!ReadCsv(stem + ".ratings.csv", &rating_rows)) return std::nullopt;
+  if (!ReadCsv(stem + ".prices.csv", &price_rows)) return std::nullopt;
+
+  auto is_header = [](const std::vector<std::string>& row) {
+    return !row.empty() && !ParseDouble(row[0]).has_value();
+  };
+
+  std::vector<double> prices;
+  for (const auto& row : price_rows) {
+    if (is_header(row)) continue;
+    if (row.size() != 2) return std::nullopt;
+    auto item = ParseInt(row[0]);
+    auto price = ParseDouble(row[1]);
+    if (!item || !price || *item < 0) return std::nullopt;
+    if (static_cast<std::size_t>(*item) >= prices.size()) {
+      prices.resize(static_cast<std::size_t>(*item) + 1, 0.0);
+    }
+    prices[static_cast<std::size_t>(*item)] = *price;
+  }
+
+  std::vector<Rating> ratings;
+  int max_user = -1;
+  int max_item = -1;
+  for (const auto& row : rating_rows) {
+    if (is_header(row)) continue;
+    if (row.size() != 3) return std::nullopt;
+    auto user = ParseInt(row[0]);
+    auto item = ParseInt(row[1]);
+    auto stars = ParseDouble(row[2]);
+    if (!user || !item || !stars || *user < 0 || *item < 0) return std::nullopt;
+    ratings.push_back(Rating{static_cast<UserId>(*user), static_cast<ItemId>(*item),
+                             static_cast<float>(*stars)});
+    max_user = std::max(max_user, static_cast<int>(*user));
+    max_item = std::max(max_item, static_cast<int>(*item));
+  }
+  int num_items = std::max(static_cast<int>(prices.size()), max_item + 1);
+  prices.resize(static_cast<std::size_t>(num_items), 0.0);
+  return RatingsDataset(max_user + 1, num_items, std::move(ratings),
+                        std::move(prices));
+}
+
+}  // namespace bundlemine

@@ -1,0 +1,31 @@
+// CSV persistence for ratings datasets.
+//
+// File layout (both files share the dataset "stem"):
+//   <stem>.ratings.csv  — header `user,item,stars`, one rating per row.
+//   <stem>.prices.csv   — header `item,price`, one item per row.
+//
+// This lets users plug in a real ratings crawl (e.g. their own Amazon export)
+// in place of the synthetic generator, exercising the exact pipeline the paper
+// ran on the UIC dataset.
+
+#ifndef BUNDLEMINE_DATA_DATASET_IO_H_
+#define BUNDLEMINE_DATA_DATASET_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "data/ratings.h"
+
+namespace bundlemine {
+
+/// Writes `<stem>.ratings.csv` and `<stem>.prices.csv`.
+/// Returns false on any IO failure.
+bool SaveDataset(const RatingsDataset& data, const std::string& stem);
+
+/// Loads a dataset previously written by SaveDataset (or hand-authored in the
+/// same layout). Returns nullopt on IO or parse failure. Ids must be dense.
+std::optional<RatingsDataset> LoadDataset(const std::string& stem);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_DATA_DATASET_IO_H_

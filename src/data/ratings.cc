@@ -1,0 +1,203 @@
+#include "data/ratings.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace bundlemine {
+
+RatingsDataset::RatingsDataset(int num_users, int num_items,
+                               std::vector<Rating> ratings,
+                               std::vector<double> prices)
+    : num_users_(num_users),
+      num_items_(num_items),
+      ratings_(std::move(ratings)),
+      prices_(std::move(prices)) {
+  BM_CHECK_EQ(static_cast<int>(prices_.size()), num_items_);
+  for (const Rating& r : ratings_) {
+    BM_CHECK(r.user >= 0 && r.user < num_users_);
+    BM_CHECK(r.item >= 0 && r.item < num_items_);
+    BM_CHECK(r.value >= 0.0f);
+  }
+}
+
+RatingsDataset RatingsDataset::CoreFilter(int min_degree) const {
+  BM_CHECK_GE(min_degree, 1);
+  std::vector<bool> user_alive(static_cast<std::size_t>(num_users_), true);
+  std::vector<bool> item_alive(static_cast<std::size_t>(num_items_), true);
+
+  // Iterate to a fixed point: dropping a user lowers item degrees and vice
+  // versa. Degrees are recomputed per pass over the (small) rating list.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<int> user_deg(static_cast<std::size_t>(num_users_), 0);
+    std::vector<int> item_deg(static_cast<std::size_t>(num_items_), 0);
+    for (const Rating& r : ratings_) {
+      if (!user_alive[static_cast<std::size_t>(r.user)] ||
+          !item_alive[static_cast<std::size_t>(r.item)]) {
+        continue;
+      }
+      ++user_deg[static_cast<std::size_t>(r.user)];
+      ++item_deg[static_cast<std::size_t>(r.item)];
+    }
+    for (int u = 0; u < num_users_; ++u) {
+      if (user_alive[static_cast<std::size_t>(u)] &&
+          user_deg[static_cast<std::size_t>(u)] < min_degree) {
+        user_alive[static_cast<std::size_t>(u)] = false;
+        changed = true;
+      }
+    }
+    for (int i = 0; i < num_items_; ++i) {
+      if (item_alive[static_cast<std::size_t>(i)] &&
+          item_deg[static_cast<std::size_t>(i)] < min_degree) {
+        item_alive[static_cast<std::size_t>(i)] = false;
+        changed = true;
+      }
+    }
+  }
+
+  std::vector<UserId> user_map(static_cast<std::size_t>(num_users_), -1);
+  std::vector<ItemId> item_map(static_cast<std::size_t>(num_items_), -1);
+  int next_user = 0;
+  for (int u = 0; u < num_users_; ++u) {
+    if (user_alive[static_cast<std::size_t>(u)]) user_map[static_cast<std::size_t>(u)] = next_user++;
+  }
+  int next_item = 0;
+  std::vector<double> new_prices;
+  for (int i = 0; i < num_items_; ++i) {
+    if (item_alive[static_cast<std::size_t>(i)]) {
+      item_map[static_cast<std::size_t>(i)] = next_item++;
+      new_prices.push_back(prices_[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  std::vector<Rating> kept;
+  kept.reserve(ratings_.size());
+  for (const Rating& r : ratings_) {
+    UserId u = user_map[static_cast<std::size_t>(r.user)];
+    ItemId i = item_map[static_cast<std::size_t>(r.item)];
+    if (u >= 0 && i >= 0) kept.push_back(Rating{u, i, r.value});
+  }
+  return RatingsDataset(next_user, next_item, std::move(kept),
+                        std::move(new_prices));
+}
+
+RatingsDataset RatingsDataset::CloneUsers(double factor, Rng* rng) const {
+  BM_CHECK_GE(factor, 0.0);
+  int whole = static_cast<int>(factor);
+  double frac = factor - whole;
+
+  std::vector<Rating> out;
+  out.reserve(static_cast<std::size_t>(static_cast<double>(ratings_.size()) * factor) + 1);
+  int users_out = 0;
+  for (int c = 0; c < whole; ++c) {
+    for (const Rating& r : ratings_) {
+      out.push_back(Rating{r.user + users_out, r.item, r.value});
+    }
+    users_out += num_users_;
+  }
+  if (frac > 0.0) {
+    BM_CHECK(rng != nullptr);
+    int extra = static_cast<int>(frac * num_users_ + 0.5);
+    std::vector<UserId> ids(static_cast<std::size_t>(num_users_));
+    std::iota(ids.begin(), ids.end(), 0);
+    rng->Shuffle(&ids);
+    ids.resize(static_cast<std::size_t>(std::min(extra, num_users_)));
+    std::vector<UserId> remap(static_cast<std::size_t>(num_users_), -1);
+    for (std::size_t j = 0; j < ids.size(); ++j) {
+      remap[static_cast<std::size_t>(ids[j])] = users_out + static_cast<int>(j);
+    }
+    for (const Rating& r : ratings_) {
+      UserId nu = remap[static_cast<std::size_t>(r.user)];
+      if (nu >= 0) out.push_back(Rating{nu, r.item, r.value});
+    }
+    users_out += static_cast<int>(ids.size());
+  }
+  return RatingsDataset(users_out, num_items_, std::move(out), prices_);
+}
+
+RatingsDataset RatingsDataset::CloneItems(int factor) const {
+  BM_CHECK_GE(factor, 1);
+  std::vector<Rating> out;
+  out.reserve(ratings_.size() * static_cast<std::size_t>(factor));
+  std::vector<double> prices;
+  prices.reserve(prices_.size() * static_cast<std::size_t>(factor));
+  for (int c = 0; c < factor; ++c) {
+    for (const Rating& r : ratings_) {
+      out.push_back(Rating{r.user, r.item + c * num_items_, r.value});
+    }
+    prices.insert(prices.end(), prices_.begin(), prices_.end());
+  }
+  return RatingsDataset(num_users_, num_items_ * factor, std::move(out),
+                        std::move(prices));
+}
+
+RatingsDataset RatingsDataset::SelectItems(const std::vector<ItemId>& items) const {
+  std::vector<ItemId> item_map(static_cast<std::size_t>(num_items_), -1);
+  std::vector<double> new_prices;
+  new_prices.reserve(items.size());
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    ItemId i = items[j];
+    BM_CHECK(i >= 0 && i < num_items_);
+    BM_CHECK_MSG(item_map[static_cast<std::size_t>(i)] == -1, "duplicate item in selection");
+    item_map[static_cast<std::size_t>(i)] = static_cast<ItemId>(j);
+    new_prices.push_back(prices_[static_cast<std::size_t>(i)]);
+  }
+  std::vector<Rating> kept;
+  for (const Rating& r : ratings_) {
+    ItemId ni = item_map[static_cast<std::size_t>(r.item)];
+    if (ni >= 0) kept.push_back(Rating{r.user, ni, r.value});
+  }
+  return RatingsDataset(num_users_, static_cast<int>(items.size()),
+                        std::move(kept), std::move(new_prices));
+}
+
+std::vector<ItemId> RatingsDataset::SampleItemIds(int n, Rng* rng) const {
+  BM_CHECK_LE(n, num_items_);
+  std::vector<ItemId> ids(static_cast<std::size_t>(num_items_));
+  std::iota(ids.begin(), ids.end(), 0);
+  rng->Shuffle(&ids);
+  ids.resize(static_cast<std::size_t>(n));
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+DatasetStats RatingsDataset::Stats() const {
+  DatasetStats s;
+  s.num_users = num_users_;
+  s.num_items = num_items_;
+  s.num_ratings = static_cast<std::int64_t>(ratings_.size());
+  if (!ratings_.empty()) {
+    for (const Rating& r : ratings_) {
+      int v = static_cast<int>(r.value + 0.5f);
+      if (v >= 1 && v <= 5) s.rating_share[v] += 1.0;
+    }
+    for (int v = 1; v <= 5; ++v) {
+      s.rating_share[v] /= static_cast<double>(ratings_.size());
+    }
+    s.mean_ratings_per_user =
+        num_users_ > 0 ? static_cast<double>(ratings_.size()) / num_users_ : 0.0;
+    s.mean_ratings_per_item =
+        num_items_ > 0 ? static_cast<double>(ratings_.size()) / num_items_ : 0.0;
+  }
+  int low = 0, mid = 0, high = 0;
+  for (double p : prices_) {
+    if (p < 10.0) {
+      ++low;
+    } else if (p <= 20.0) {
+      ++mid;
+    } else {
+      ++high;
+    }
+  }
+  if (num_items_ > 0) {
+    s.price_share_low = static_cast<double>(low) / num_items_;
+    s.price_share_mid = static_cast<double>(mid) / num_items_;
+    s.price_share_high = static_cast<double>(high) / num_items_;
+  }
+  return s;
+}
+
+}  // namespace bundlemine

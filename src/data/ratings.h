@@ -1,0 +1,100 @@
+// Ratings dataset substrate.
+//
+// The paper mines willingness to pay from the UIC Amazon "Books" ratings crawl
+// (Jindal & Liu 2008): 4,449 users, 5,028 items and 108,291 ratings after
+// iteratively removing users/items with fewer than ten ratings. That crawl is
+// not publicly redistributable, so this module provides the dataset container,
+// the same dense-core filtering, and the transformations the evaluation needs
+// (user cloning for Figure 7a, item subsetting for Table 4/5 and Figure 7b).
+// The synthetic generator in generator.h produces a calibrated stand-in.
+
+#ifndef BUNDLEMINE_DATA_RATINGS_H_
+#define BUNDLEMINE_DATA_RATINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bundlemine {
+
+using UserId = std::int32_t;
+using ItemId = std::int32_t;
+
+/// One (user, item, stars) observation. Stars are on the paper's 1..5 scale.
+struct Rating {
+  UserId user = 0;
+  ItemId item = 0;
+  float value = 0.0f;
+};
+
+/// Aggregate statistics used to validate generated data against the paper's
+/// reported marginals.
+struct DatasetStats {
+  int num_users = 0;
+  int num_items = 0;
+  std::int64_t num_ratings = 0;
+  /// Fraction of ratings with value 1..5 (index 0 unused).
+  double rating_share[6] = {0, 0, 0, 0, 0, 0};
+  /// Fraction of items priced <$10 / $10–20 / >$20.
+  double price_share_low = 0.0;
+  double price_share_mid = 0.0;
+  double price_share_high = 0.0;
+  double mean_ratings_per_user = 0.0;
+  double mean_ratings_per_item = 0.0;
+};
+
+/// In-memory ratings dataset: a list of ratings plus per-item list prices.
+///
+/// Users and items are dense 0-based ids. All transformations return new
+/// datasets with compacted ids; the class is a value type.
+class RatingsDataset {
+ public:
+  RatingsDataset() = default;
+
+  /// Builds a dataset; `prices` must have one entry per item id referenced.
+  RatingsDataset(int num_users, int num_items, std::vector<Rating> ratings,
+                 std::vector<double> prices);
+
+  int num_users() const { return num_users_; }
+  int num_items() const { return num_items_; }
+  const std::vector<Rating>& ratings() const { return ratings_; }
+  const std::vector<double>& prices() const { return prices_; }
+  double price(ItemId item) const { return prices_[static_cast<std::size_t>(item)]; }
+
+  /// Iteratively removes users and items with fewer than `min_degree` ratings
+  /// until every remaining user and item has at least `min_degree`, then
+  /// compacts ids. This is the paper's preprocessing (min_degree = 10).
+  RatingsDataset CoreFilter(int min_degree) const;
+
+  /// Clones the user population by `factor` (Figure 7a's multiplication
+  /// factor; 1.0 = original). Whole copies are exact clones; a fractional
+  /// remainder is a random user subset drawn with `rng`.
+  RatingsDataset CloneUsers(double factor, Rng* rng) const;
+
+  /// Clones the item inventory by an integer `factor` (Figure 7b's item
+  /// multiples): copy c of item i becomes item c·N + i with the same price
+  /// and the same raters.
+  RatingsDataset CloneItems(int factor) const;
+
+  /// Restricts to the given items (renumbered 0..k-1 in the given order).
+  /// All users are kept (paper: "we randomly select N items ... but include
+  /// all the users"), so user ids are unchanged.
+  RatingsDataset SelectItems(const std::vector<ItemId>& items) const;
+
+  /// Draws `n` distinct item ids uniformly at random.
+  std::vector<ItemId> SampleItemIds(int n, Rng* rng) const;
+
+  /// Computes the validation statistics.
+  DatasetStats Stats() const;
+
+ private:
+  int num_users_ = 0;
+  int num_items_ = 0;
+  std::vector<Rating> ratings_;
+  std::vector<double> prices_;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_DATA_RATINGS_H_

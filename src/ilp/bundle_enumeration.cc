@@ -1,0 +1,130 @@
+#include "ilp/bundle_enumeration.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bundlemine {
+namespace {
+
+// DFS over item indices, maintaining a dense per-user accumulator of raw WTP
+// sums plus the list of users currently touched (count > 0).
+struct EnumState {
+  const WtpMatrix* wtp;
+  const OfferPricer* pricer;
+  double theta;
+
+  std::vector<double> user_sum;   // Raw WTP sum per user for current subset.
+  std::vector<int> user_count;    // #items of the subset the user rated.
+  std::vector<UserId> touched;    // Users with user_count > 0 (unordered).
+
+  std::vector<double> scratch;    // Effective WTP buffer for pricing.
+  std::vector<double>* revenue;
+  int size = 0;                   // Current subset cardinality.
+};
+
+void AddItem(EnumState* st, ItemId item) {
+  for (const WtpEntry& e : st->wtp->ItemUsers(item)) {
+    std::size_t u = static_cast<std::size_t>(e.id);
+    if (st->user_count[u] == 0) {
+      st->touched.push_back(e.id);
+      st->user_sum[u] = 0.0;
+    }
+    ++st->user_count[u];
+    st->user_sum[u] += e.w;
+  }
+  ++st->size;
+}
+
+void RemoveItem(EnumState* st, ItemId item) {
+  for (const WtpEntry& e : st->wtp->ItemUsers(item)) {
+    std::size_t u = static_cast<std::size_t>(e.id);
+    --st->user_count[u];
+    st->user_sum[u] -= e.w;
+  }
+  // Lazily compact the touched list (cheap: only on removal passes).
+  std::erase_if(st->touched, [st](UserId u) {
+    return st->user_count[static_cast<std::size_t>(u)] == 0;
+  });
+  --st->size;
+}
+
+void PriceCurrent(EnumState* st, std::uint32_t mask) {
+  double scale = st->size >= 2 ? 1.0 + st->theta : 1.0;
+  if (scale <= 0.0) {
+    (*st->revenue)[mask] = 0.0;
+    return;
+  }
+  st->scratch.clear();
+  for (UserId u : st->touched) {
+    double w = scale * st->user_sum[static_cast<std::size_t>(u)];
+    if (w > 0.0) st->scratch.push_back(w);
+  }
+  (*st->revenue)[mask] = st->pricer->PriceEffectiveValues(st->scratch).revenue;
+}
+
+void Dfs(EnumState* st, int next_item, std::uint32_t mask) {
+  int n = st->wtp->num_items();
+  for (int i = next_item; i < n; ++i) {
+    std::uint32_t child = mask | (1u << i);
+    AddItem(st, i);
+    PriceCurrent(st, child);
+    Dfs(st, i + 1, child);
+    RemoveItem(st, i);
+  }
+}
+
+}  // namespace
+
+BundleEnumeration EnumerateAllBundles(const WtpMatrix& wtp, double theta,
+                                      const OfferPricer& pricer) {
+  BM_CHECK_LE(wtp.num_items(), 25);
+  BM_CHECK_GE(wtp.num_items(), 1);
+  BundleEnumeration out;
+  out.num_items = wtp.num_items();
+  std::size_t table = static_cast<std::size_t>(1) << wtp.num_items();
+  out.revenue.assign(table, 0.0);
+  out.bundles_priced = static_cast<std::int64_t>(table) - 1;
+
+  EnumState st;
+  st.wtp = &wtp;
+  st.pricer = &pricer;
+  st.theta = theta;
+  st.user_sum.assign(static_cast<std::size_t>(wtp.num_users()), 0.0);
+  st.user_count.assign(static_cast<std::size_t>(wtp.num_users()), 0);
+  st.revenue = &out.revenue;
+  Dfs(&st, 0, 0);
+  return out;
+}
+
+std::vector<std::uint32_t> GreedyWspOverMasks(const std::vector<double>& revenue,
+                                              int num_items,
+                                              bool average_per_item) {
+  BM_CHECK_EQ(revenue.size(), static_cast<std::size_t>(1) << num_items);
+  std::vector<std::uint32_t> chosen;
+  std::uint32_t used = 0;
+  const std::uint32_t full = static_cast<std::uint32_t>((static_cast<std::uint64_t>(1) << num_items) - 1);
+  while (used != full) {
+    double best_score = 0.0;
+    std::uint32_t best_mask = 0;
+    for (std::uint32_t mask = 1; mask < revenue.size(); ++mask) {
+      if ((mask & used) != 0u) continue;
+      double r = revenue[mask];
+      if (r <= 0.0) continue;
+      double size = static_cast<double>(std::popcount(mask));
+      double score = average_per_item ? r / size : r / std::sqrt(size);
+      if (score > best_score) {
+        best_score = score;
+        best_mask = mask;
+      }
+    }
+    if (best_mask == 0) break;  // Nothing with positive revenue remains.
+    chosen.push_back(best_mask);
+    used |= best_mask;
+  }
+  return chosen;
+}
+
+}  // namespace bundlemine

@@ -1,0 +1,52 @@
+// Exhaustive candidate-bundle enumeration (paper Section 5.2 / 6.4).
+//
+// The weighted set packing route requires "enumerating and computing the
+// revenues of all possible candidate bundles beforehand, a step that by
+// itself has O(M · 2^N) complexity". This module performs that enumeration
+// for small N: every non-empty subset of items is visited once via DFS with
+// an incrementally maintained per-user WTP accumulator, and priced with the
+// standard offer pricer.
+//
+// Memory is Θ(2^N) doubles for the output table (bitmask-indexed revenues);
+// N is capped at 25 — the size at which the paper, too, declares the
+// approach infeasible.
+
+#ifndef BUNDLEMINE_ILP_BUNDLE_ENUMERATION_H_
+#define BUNDLEMINE_ILP_BUNDLE_ENUMERATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/wtp_matrix.h"
+#include "pricing/offer_pricer.h"
+
+namespace bundlemine {
+
+/// Result of enumerating all 2^N − 1 candidate bundles.
+struct BundleEnumeration {
+  int num_items = 0;
+  /// revenue[mask] = optimal single-offer revenue of the bundle whose item
+  /// set is `mask` (index 0 unused).
+  std::vector<double> revenue;
+  /// Number of bundles priced (2^N − 1).
+  std::int64_t bundles_priced = 0;
+};
+
+/// Enumerates and prices every bundle over `wtp` (θ folded in through the
+/// usual scale rule: singletons priced at raw WTP, larger bundles at
+/// (1+θ)·raw). Requires wtp.num_items() ≤ 25.
+BundleEnumeration EnumerateAllBundles(const WtpMatrix& wtp, double theta,
+                                      const OfferPricer& pricer);
+
+/// Greedy weighted set packing directly over a bitmask revenue table: pick
+/// the best-ratio bundle disjoint from everything chosen so far, repeat.
+/// Returns chosen masks; used for the paper's Greedy WSP baseline where the
+/// candidate pool is all subsets. `average_per_item` selects w/|b| (paper)
+/// versus w/√|b| (√N guarantee).
+std::vector<std::uint32_t> GreedyWspOverMasks(const std::vector<double>& revenue,
+                                              int num_items,
+                                              bool average_per_item = true);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_ILP_BUNDLE_ENUMERATION_H_

@@ -1,0 +1,57 @@
+#include "ilp/partition_dp.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace bundlemine {
+
+PartitionResult SolveOptimalPartition(const std::vector<double>& revenue,
+                                      int num_items, int max_bundle_size) {
+  BM_CHECK_GE(num_items, 1);
+  BM_CHECK_LE(num_items, 25);
+  const std::size_t table = static_cast<std::size_t>(1) << num_items;
+  BM_CHECK_EQ(revenue.size(), table);
+
+  std::vector<double> dp(table, 0.0);
+  std::vector<std::uint32_t> choice(table, 0);
+
+  for (std::size_t mask = 1; mask < table; ++mask) {
+    int low = std::countr_zero(static_cast<std::uint32_t>(mask));
+    std::uint32_t low_bit = 1u << low;
+    std::uint32_t rest = static_cast<std::uint32_t>(mask) ^ low_bit;
+
+    // The lowest item must belong to some bundle b = {low} ∪ sub, sub ⊆ rest.
+    // Enumerate sub over all submasks of rest (including empty).
+    double best = -1.0;
+    std::uint32_t best_bundle = low_bit;
+    std::uint32_t sub = rest;
+    while (true) {
+      std::uint32_t bundle = low_bit | sub;
+      if (max_bundle_size <= 0 ||
+          std::popcount(bundle) <= max_bundle_size) {
+        double value = revenue[bundle] + dp[static_cast<std::size_t>(mask) & ~bundle];
+        if (value > best) {
+          best = value;
+          best_bundle = bundle;
+        }
+      }
+      if (sub == 0) break;
+      sub = (sub - 1) & rest;
+    }
+    dp[mask] = best;
+    choice[mask] = best_bundle;
+  }
+
+  PartitionResult result;
+  result.total_revenue = dp[table - 1];
+  std::uint32_t mask = static_cast<std::uint32_t>(table - 1);
+  while (mask != 0) {
+    std::uint32_t bundle = choice[mask];
+    result.bundles.push_back(bundle);
+    mask &= ~bundle;
+  }
+  return result;
+}
+
+}  // namespace bundlemine

@@ -1,0 +1,33 @@
+// Auxiliary matchers: an exact brute-force oracle (bitmask DP) for testing
+// the blossom implementation, and a greedy 1/2-approximate matcher used as a
+// scalability fallback and in the matching-oracle ablation (DESIGN.md §5).
+
+#ifndef BUNDLEMINE_MATCHING_SIMPLE_MATCHERS_H_
+#define BUNDLEMINE_MATCHING_SIMPLE_MATCHERS_H_
+
+#include <vector>
+
+#include "matching/max_weight_matching.h"
+
+namespace bundlemine {
+
+/// Undirected weighted edge for the list-based matchers.
+struct WeightedEdge {
+  int u = 0;
+  int v = 0;
+  double w = 0.0;
+};
+
+/// Exact maximum-weight matching by DP over vertex subsets — O(2^V · V).
+/// Intended as a test oracle; requires num_vertices ≤ 24.
+MatchingResult BruteForceMaxWeightMatching(int num_vertices,
+                                           const std::vector<WeightedEdge>& edges);
+
+/// Greedy matching: scan edges by decreasing weight, keep an edge when both
+/// endpoints are free. Guarantees ≥ 1/2 of the optimal weight; O(E log E).
+MatchingResult GreedyMaxWeightMatching(int num_vertices,
+                                       const std::vector<WeightedEdge>& edges);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_MATCHING_SIMPLE_MATCHERS_H_

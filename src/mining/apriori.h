@@ -1,0 +1,36 @@
+// Apriori frequent-itemset mining (Agrawal & Srikant, VLDB 1994).
+//
+// Level-wise candidate generation with the classic prefix join + subset
+// pruning, and bitmap-intersection support counting. Serves two roles:
+// an alternative miner for the FreqItemset baseline, and — mainly — an
+// independent implementation to cross-validate the MAFIA-style maximal miner
+// (maximal(Apriori frequent) must equal the MAFIA output).
+
+#ifndef BUNDLEMINE_MINING_APRIORI_H_
+#define BUNDLEMINE_MINING_APRIORI_H_
+
+#include "mining/transactions.h"
+
+namespace bundlemine {
+
+/// Mining limits shared by both miners.
+struct MinerLimits {
+  int min_support_count = 2;     ///< Absolute support threshold (≥ 1).
+  int max_itemset_size = 0;      ///< 0 = unlimited.
+  std::size_t max_results = 200000;  ///< Safety valve; abort past this.
+};
+
+/// All frequent itemsets at the given absolute support, smallest first.
+/// Aborts (CHECK) if the result set exceeds limits.max_results — low support
+/// thresholds on dense data explode combinatorially and the caller should
+/// raise the threshold instead.
+std::vector<FrequentItemset> MineFrequentApriori(const TransactionDb& db,
+                                                 const MinerLimits& limits);
+
+/// Filters a frequent-itemset collection down to its maximal members
+/// (no frequent strict superset in the collection).
+std::vector<FrequentItemset> FilterMaximal(std::vector<FrequentItemset> itemsets);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_MINING_APRIORI_H_

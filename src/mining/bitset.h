@@ -1,0 +1,77 @@
+// Fixed-size bitset with fast intersection popcounts — the vertical bitmap
+// representation MAFIA-style miners use for support counting.
+
+#ifndef BUNDLEMINE_MINING_BITSET_H_
+#define BUNDLEMINE_MINING_BITSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace bundlemine {
+
+/// Dense bitset over positions [0, size).
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  void Set(std::size_t i) {
+    BM_DCHECK(i < size_);
+    words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+
+  bool Test(std::size_t i) const {
+    BM_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Number of set bits.
+  std::size_t Count() const {
+    std::size_t c = 0;
+    for (std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  /// Popcount of (*this ∩ other) without materializing the intersection.
+  std::size_t AndCount(const Bitset& other) const {
+    BM_DCHECK(size_ == other.size_);
+    std::size_t c = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      c += static_cast<std::size_t>(std::popcount(words_[w] & other.words_[w]));
+    }
+    return c;
+  }
+
+  /// *this ∩= other.
+  void AndWith(const Bitset& other) {
+    BM_DCHECK(size_ == other.size_);
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  }
+
+  /// out = a ∩ b (out must have the same size).
+  static void And(const Bitset& a, const Bitset& b, Bitset* out) {
+    BM_DCHECK(a.size_ == b.size_);
+    BM_DCHECK(a.size_ == out->size_);
+    for (std::size_t w = 0; w < a.words_.size(); ++w) {
+      out->words_[w] = a.words_[w] & b.words_[w];
+    }
+  }
+
+  bool operator==(const Bitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_MINING_BITSET_H_

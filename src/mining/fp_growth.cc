@@ -1,0 +1,197 @@
+#include "mining/fp_growth.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/check.h"
+
+namespace bundlemine {
+namespace {
+
+// FP-tree node. Children are kept as a sorted vector of (item, index) pairs —
+// transactions insert in a fixed global order, so binary search suffices.
+struct FpNode {
+  int item = -1;
+  int count = 0;
+  int parent = -1;
+  std::vector<std::pair<int, int>> children;  // (item, node index).
+};
+
+// An FP-tree over a (conditional) database. Item ids are *ranks* in the
+// global frequency order, so "ancestors have smaller rank" holds throughout.
+class FpTree {
+ public:
+  explicit FpTree(int num_ranks) : header_(static_cast<std::size_t>(num_ranks)) {
+    nodes_.push_back(FpNode{});  // Root.
+  }
+
+  // Inserts a rank-sorted transaction with multiplicity `count`.
+  void Insert(const std::vector<int>& ranks, int count) {
+    int node = 0;
+    for (int rank : ranks) {
+      FpNode& parent = nodes_[static_cast<std::size_t>(node)];
+      auto it = std::lower_bound(
+          parent.children.begin(), parent.children.end(), rank,
+          [](const std::pair<int, int>& c, int r) { return c.first < r; });
+      int child;
+      if (it != parent.children.end() && it->first == rank) {
+        child = it->second;
+      } else {
+        child = static_cast<int>(nodes_.size());
+        parent.children.insert(it, {rank, child});
+        FpNode fresh;
+        fresh.item = rank;
+        fresh.parent = node;
+        nodes_.push_back(fresh);
+        header_[static_cast<std::size_t>(rank)].push_back(child);
+      }
+      nodes_[static_cast<std::size_t>(child)].count += count;
+      node = child;
+    }
+  }
+
+  // Total support of a rank in this tree.
+  int RankSupport(int rank) const {
+    int total = 0;
+    for (int n : header_[static_cast<std::size_t>(rank)]) {
+      total += nodes_[static_cast<std::size_t>(n)].count;
+    }
+    return total;
+  }
+
+  // Conditional pattern base of `rank`: prefix paths with multiplicities.
+  std::vector<std::pair<std::vector<int>, int>> PatternBase(int rank) const {
+    std::vector<std::pair<std::vector<int>, int>> base;
+    for (int n : header_[static_cast<std::size_t>(rank)]) {
+      const FpNode& leaf = nodes_[static_cast<std::size_t>(n)];
+      std::vector<int> path;
+      int cur = leaf.parent;
+      while (cur != 0 && cur != -1) {
+        path.push_back(nodes_[static_cast<std::size_t>(cur)].item);
+        cur = nodes_[static_cast<std::size_t>(cur)].parent;
+      }
+      std::reverse(path.begin(), path.end());
+      if (!path.empty() || leaf.count > 0) base.emplace_back(std::move(path), leaf.count);
+    }
+    return base;
+  }
+
+  // Ranks present in this tree, ascending.
+  std::vector<int> ActiveRanks() const {
+    std::vector<int> ranks;
+    for (std::size_t r = 0; r < header_.size(); ++r) {
+      if (!header_[r].empty()) ranks.push_back(static_cast<int>(r));
+    }
+    return ranks;
+  }
+
+ private:
+  std::vector<FpNode> nodes_;
+  std::vector<std::vector<int>> header_;  // rank → node indices.
+};
+
+struct GrowthState {
+  const MinerLimits* limits;
+  const std::vector<int>* rank_to_item;
+  std::vector<FrequentItemset>* out;
+
+  void Emit(const std::vector<int>& suffix_ranks, int support) {
+    BM_CHECK_MSG(out->size() < limits->max_results,
+                 "fp-growth result explosion; raise min support");
+    std::vector<int> items;
+    items.reserve(suffix_ranks.size());
+    for (int r : suffix_ranks) {
+      items.push_back((*rank_to_item)[static_cast<std::size_t>(r)]);
+    }
+    std::sort(items.begin(), items.end());
+    out->push_back(FrequentItemset{std::move(items), support});
+  }
+};
+
+// Recursively grows patterns: `suffix` holds the ranks fixed so far.
+void Grow(const FpTree& tree, std::vector<int>* suffix, GrowthState* st) {
+  int cap = st->limits->max_itemset_size;
+  if (cap != 0 && static_cast<int>(suffix->size()) >= cap) return;
+
+  for (int rank : tree.ActiveRanks()) {
+    int support = tree.RankSupport(rank);
+    if (support < st->limits->min_support_count) continue;
+    suffix->push_back(rank);
+    st->Emit(*suffix, support);
+
+    // Build the conditional tree on rank's prefix paths, pruned to ranks
+    // that stay frequent within the projection.
+    auto base = tree.PatternBase(rank);
+    std::vector<int> cond_support(static_cast<std::size_t>(rank), 0);
+    for (const auto& [path, count] : base) {
+      for (int r : path) cond_support[static_cast<std::size_t>(r)] += count;
+    }
+    FpTree conditional(rank);
+    bool any = false;
+    for (const auto& [path, count] : base) {
+      std::vector<int> kept;
+      for (int r : path) {
+        if (cond_support[static_cast<std::size_t>(r)] >=
+            st->limits->min_support_count) {
+          kept.push_back(r);
+        }
+      }
+      if (!kept.empty()) {
+        conditional.Insert(kept, count);
+        any = true;
+      }
+    }
+    if (any) Grow(conditional, suffix, st);
+    suffix->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> MineFrequentFpGrowth(const TransactionDb& db,
+                                                  const MinerLimits& limits) {
+  BM_CHECK_GE(limits.min_support_count, 1);
+  // Global frequency order: rank 0 = most frequent item.
+  std::vector<int> frequent_items;
+  for (int i = 0; i < db.num_items(); ++i) {
+    if (db.ItemSupport(i) >= limits.min_support_count) frequent_items.push_back(i);
+  }
+  std::sort(frequent_items.begin(), frequent_items.end(), [&](int a, int b) {
+    int sa = db.ItemSupport(a), sb = db.ItemSupport(b);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  std::vector<int> item_to_rank(static_cast<std::size_t>(db.num_items()), -1);
+  for (std::size_t r = 0; r < frequent_items.size(); ++r) {
+    item_to_rank[static_cast<std::size_t>(frequent_items[r])] = static_cast<int>(r);
+  }
+
+  // Build the global FP-tree from the (vertical) transaction database.
+  FpTree tree(static_cast<int>(frequent_items.size()));
+  std::vector<int> txn;
+  for (int t = 0; t < db.num_transactions(); ++t) {
+    txn.clear();
+    for (std::size_t r = 0; r < frequent_items.size(); ++r) {
+      if (db.Column(frequent_items[r]).Test(static_cast<std::size_t>(t))) {
+        txn.push_back(static_cast<int>(r));  // Already rank-ascending.
+      }
+    }
+    if (!txn.empty()) tree.Insert(txn, 1);
+  }
+
+  std::vector<FrequentItemset> out;
+  GrowthState st{&limits, &frequent_items, &out};
+  std::vector<int> suffix;
+  Grow(tree, &suffix, &st);
+
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return out;
+}
+
+}  // namespace bundlemine

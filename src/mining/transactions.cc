@@ -1,0 +1,50 @@
+#include "mining/transactions.h"
+
+#include "util/check.h"
+
+namespace bundlemine {
+
+TransactionDb TransactionDb::FromWtp(const WtpMatrix& wtp) {
+  TransactionDb db;
+  db.num_transactions_ = wtp.num_users();
+  db.columns_.assign(static_cast<std::size_t>(wtp.num_items()),
+                     Bitset(static_cast<std::size_t>(wtp.num_users())));
+  for (ItemId i = 0; i < wtp.num_items(); ++i) {
+    for (const WtpEntry& e : wtp.ItemUsers(i)) {
+      if (e.w > 0.0) db.columns_[static_cast<std::size_t>(i)].Set(static_cast<std::size_t>(e.id));
+    }
+  }
+  return db;
+}
+
+TransactionDb TransactionDb::FromTransactions(
+    int num_items, const std::vector<std::vector<int>>& txns) {
+  TransactionDb db;
+  db.num_transactions_ = static_cast<int>(txns.size());
+  db.columns_.assign(static_cast<std::size_t>(num_items), Bitset(txns.size()));
+  for (std::size_t t = 0; t < txns.size(); ++t) {
+    for (int item : txns[t]) {
+      BM_CHECK(item >= 0 && item < num_items);
+      db.columns_[static_cast<std::size_t>(item)].Set(t);
+    }
+  }
+  return db;
+}
+
+const Bitset& TransactionDb::Column(int item) const {
+  BM_CHECK(item >= 0 && item < num_items());
+  return columns_[static_cast<std::size_t>(item)];
+}
+
+int TransactionDb::ItemSupport(int item) const {
+  return static_cast<int>(Column(item).Count());
+}
+
+int TransactionDb::Support(const std::vector<int>& itemset) const {
+  BM_CHECK(!itemset.empty());
+  Bitset acc = Column(itemset[0]);
+  for (std::size_t i = 1; i < itemset.size(); ++i) acc.AndWith(Column(itemset[i]));
+  return static_cast<int>(acc.Count());
+}
+
+}  // namespace bundlemine

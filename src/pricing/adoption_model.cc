@@ -1,0 +1,46 @@
+#include "pricing/adoption_model.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bundlemine {
+
+// Tolerance for the step comparison so that prices equal to a willingness to
+// pay (the common case: the optimal price sits exactly on a WTP value) count
+// as adopted despite floating-point rounding in grid construction.
+constexpr double kStepTolerance = 1e-9;
+
+AdoptionModel AdoptionModel::Step() {
+  return AdoptionModel(Kind::kStep, /*gamma=*/0.0, /*alpha=*/1.0, /*epsilon=*/0.0);
+}
+
+AdoptionModel AdoptionModel::StepWithBias(double alpha) {
+  BM_CHECK_GT(alpha, 0.0);
+  return AdoptionModel(Kind::kStep, /*gamma=*/0.0, alpha, /*epsilon=*/0.0);
+}
+
+AdoptionModel AdoptionModel::Sigmoid(double gamma, double alpha, double epsilon) {
+  BM_CHECK_GT(gamma, 0.0);
+  BM_CHECK_GT(alpha, 0.0);
+  return AdoptionModel(Kind::kSigmoid, gamma, alpha, epsilon);
+}
+
+double AdoptionModel::Probability(double w, double p) const {
+  return ProbabilityFromSlack(alpha_ * w - p);
+}
+
+double AdoptionModel::ProbabilityFromSlack(double slack) const {
+  if (kind_ == Kind::kStep) {
+    return slack >= -kStepTolerance ? 1.0 : 0.0;
+  }
+  double x = gamma_ * (slack + epsilon_);
+  // Numerically stable logistic.
+  if (x >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace bundlemine

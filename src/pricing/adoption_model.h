@@ -1,0 +1,63 @@
+// Stochastic adoption model (paper Section 4.1).
+//
+// A consumer u adopts an offer priced p with probability
+//     P(ν = 1 | p, w) = 1 / (1 + exp(-γ(α·w − p + ε)))
+// where w is u's willingness to pay for the offer. γ controls sensitivity to
+// price (γ → ∞ recovers the deterministic step function of Adams & Yellen),
+// α models bias towards (α > 1) or against (α < 1) adoption, and ε is the
+// small noise that makes the step limit well defined (paper: ε = 1e-6).
+//
+// The paper's default is γ = 1e6 "to simulate the step function"; this module
+// additionally provides an exact step kind so that the conventional
+// deterministic setting is not subject to floating-point sigmoid artifacts.
+
+#ifndef BUNDLEMINE_PRICING_ADOPTION_MODEL_H_
+#define BUNDLEMINE_PRICING_ADOPTION_MODEL_H_
+
+namespace bundlemine {
+
+/// Adoption-probability model: exact step or parameterized sigmoid.
+class AdoptionModel {
+ public:
+  enum class Kind {
+    kStep,     ///< P = 1 iff α·w ≥ p (deterministic convention).
+    kSigmoid,  ///< P = σ(γ(α·w − p + ε)).
+  };
+
+  /// Deterministic step model (γ → ∞ limit), α = 1.
+  static AdoptionModel Step();
+
+  /// Deterministic step model with adoption bias α (adopt iff α·w ≥ p).
+  static AdoptionModel StepWithBias(double alpha);
+
+  /// Sigmoid model with the paper's parameterization.
+  static AdoptionModel Sigmoid(double gamma, double alpha = 1.0,
+                               double epsilon = 1e-6);
+
+  Kind kind() const { return kind_; }
+  bool is_step() const { return kind_ == Kind::kStep; }
+  double gamma() const { return gamma_; }
+  double alpha() const { return alpha_; }
+  double epsilon() const { return epsilon_; }
+
+  /// Probability that a consumer with willingness to pay `w` adopts at price
+  /// `p`. For the step kind this is exactly 0 or 1.
+  double Probability(double w, double p) const;
+
+  /// Probability computed from a precomputed slack `α·w − p`; shared by the
+  /// mixed pricer which evaluates several slacks per consumer.
+  double ProbabilityFromSlack(double slack) const;
+
+ private:
+  AdoptionModel(Kind kind, double gamma, double alpha, double epsilon)
+      : kind_(kind), gamma_(gamma), alpha_(alpha), epsilon_(epsilon) {}
+
+  Kind kind_;
+  double gamma_;
+  double alpha_;
+  double epsilon_;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_PRICING_ADOPTION_MODEL_H_

@@ -1,0 +1,153 @@
+#include "pricing/joint_pair_pricer.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace bundlemine {
+namespace {
+
+constexpr double kTie = 1e-9;
+
+// One consumer's WTP for both sides.
+struct Joint {
+  double wa = 0.0;
+  double wb = 0.0;
+};
+
+std::vector<Joint> JoinPair(const SparseWtpVector& a, const SparseWtpVector& b) {
+  std::vector<Joint> out;
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  std::size_t i = 0, j = 0;
+  while (i < ea.size() || j < eb.size()) {
+    if (j >= eb.size() || (i < ea.size() && ea[i].id < eb[j].id)) {
+      out.push_back(Joint{ea[i].w, 0.0});
+      ++i;
+    } else if (i >= ea.size() || eb[j].id < ea[i].id) {
+      out.push_back(Joint{0.0, eb[j].w});
+      ++j;
+    } else {
+      out.push_back(Joint{ea[i].w, eb[j].w});
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+// Payment of consumer u at the given prices; `pab <= 0` withholds the bundle.
+// Rational choice: maximize surplus over {nothing, a, b, a+b separately};
+// among non-bundle options ties break towards the higher payment, and the
+// bundle is chosen whenever it at least ties the best alternative (a single
+// transaction dominates on indifference). The tie rule makes the threshold
+// scan in OptimizeJointPair exact.
+double Payment(const Joint& u, double theta, double pa, double pb, double pab) {
+  double best_surplus = 0.0;  // "Buy nothing".
+  double best_payment = 0.0;
+  auto consider = [&](double surplus, double payment) {
+    if (surplus > best_surplus + kTie ||
+        (surplus > best_surplus - kTie && payment > best_payment)) {
+      best_surplus = std::max(best_surplus, surplus);
+      best_payment = payment;
+    }
+  };
+  consider(u.wa - pa, pa);
+  consider(u.wb - pb, pb);
+  consider(u.wa + u.wb - pa - pb, pa + pb);
+  if (pab > 0.0) {
+    double bundle_surplus = (1.0 + theta) * (u.wa + u.wb) - pab;
+    if (bundle_surplus >= -kTie && bundle_surplus >= best_surplus - kTie) {
+      return pab;
+    }
+  }
+  return best_payment;
+}
+
+}  // namespace
+
+double JointPairRevenueAt(const SparseWtpVector& a, const SparseWtpVector& b,
+                          double theta, double price_a, double price_b,
+                          double price_bundle) {
+  double revenue = 0.0;
+  for (const Joint& u : JoinPair(a, b)) {
+    revenue += Payment(u, theta, price_a, price_b, price_bundle);
+  }
+  return revenue;
+}
+
+JointPairResult OptimizeJointPair(const SparseWtpVector& a,
+                                  const SparseWtpVector& b, double theta) {
+  JointPairResult best;
+  std::vector<Joint> joint = JoinPair(a, b);
+  if (joint.empty()) return best;
+
+  // Candidate component prices: the items' distinct positive WTP values.
+  auto candidates = [](const SparseWtpVector& v) {
+    std::vector<double> c;
+    for (const WtpEntry& e : v.entries()) {
+      if (e.w > 0.0) c.push_back(e.w);
+    }
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    return c;
+  };
+  std::vector<double> ca = candidates(a);
+  std::vector<double> cb = candidates(b);
+  if (ca.empty() || cb.empty()) return best;
+
+  for (double pa : ca) {
+    for (double pb : cb) {
+      // Without the bundle (the components-only outcome at these prices).
+      double base = 0.0;
+      // Bundle-price thresholds: u switches to the bundle at p_ab below
+      //   t_u = w_bundle − best alternative surplus.
+      std::vector<std::pair<double, double>> tb;  // (threshold, alt payment).
+      for (const Joint& u : joint) {
+        double alt_pay = Payment(u, theta, pa, pb, /*pab=*/0.0);
+        double alt_surplus = std::max(
+            {0.0, u.wa - pa, u.wb - pb, u.wa + u.wb - pa - pb});
+        base += alt_pay;
+        double wab = (1.0 + theta) * (u.wa + u.wb);
+        tb.emplace_back(wab - alt_surplus, alt_pay);
+      }
+      // No-bundle outcome.
+      if (base > best.revenue) {
+        best.revenue = base;
+        best.price_a = pa;
+        best.price_b = pb;
+        best.price_bundle = 0.0;
+        best.bundle_buyers = 0.0;
+        best.bundle_offered = false;
+      }
+      // Scan bundle-price thresholds inside the admissible window.
+      std::sort(tb.begin(), tb.end(),
+                [](const auto& x, const auto& y) { return x.first > y.first; });
+      double pmax = std::max(pa, pb);
+      double psum = pa + pb;
+      double count = 0.0;
+      double alt_sum = 0.0;
+      for (std::size_t i = 0; i < tb.size(); ++i) {
+        count += 1.0;
+        alt_sum += tb[i].second;
+        double pab = tb[i].first;
+        if (i + 1 < tb.size() && tb[i + 1].first == pab) continue;
+        if (pab <= pmax + kTie || pab >= psum - kTie) continue;
+        // Adopters pay pab instead of their alternative payment.
+        double revenue = base + pab * count - alt_sum;
+        if (revenue > best.revenue) {
+          best.revenue = revenue;
+          best.price_a = pa;
+          best.price_b = pb;
+          best.price_bundle = pab;
+          best.bundle_buyers = count;
+          best.bundle_offered = true;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace bundlemine

@@ -1,0 +1,53 @@
+// Joint component/bundle pricing for a two-item mixed offer — the relaxation
+// of the incremental policy that the paper flags as future work ("we adopt an
+// incremental policy where the prices of components are determined first …
+// We would investigate a relaxation of this policy as future work",
+// Section 4.2).
+//
+// Instead of fixing the component prices at their standalone optima, the
+// joint optimizer searches (p_a, p_b, p_ab) together under the Guiltinan
+// window p_ab ∈ (max(p_a,p_b), p_a+p_b). Consumers are rational
+// surplus maximizers choosing among: nothing, a alone, b alone, both
+// separately, or the bundle; ties break towards the seller (highest
+// payment). At θ = 0 this choice model coincides with the paper's upgrade
+// rule; joint pricing can only improve on the incremental policy because the
+// incremental solution is inside its search space.
+//
+// Complexity: |W_a| × |W_b| candidate component prices, with an O(M log M)
+// threshold scan for the bundle price at each pair — fine for case studies
+// and per-pair analyses, not meant for inner loops over all pairs.
+// Deterministic (step) adoption only.
+
+#ifndef BUNDLEMINE_PRICING_JOINT_PAIR_PRICER_H_
+#define BUNDLEMINE_PRICING_JOINT_PAIR_PRICER_H_
+
+#include "data/wtp_matrix.h"
+
+namespace bundlemine {
+
+/// Jointly optimized prices and the resulting market outcome for the
+/// two-item mixed offer {a, b, bundle}.
+struct JointPairResult {
+  double price_a = 0.0;
+  double price_b = 0.0;
+  double price_bundle = 0.0;
+  double revenue = 0.0;           ///< Total expected revenue of the pair market.
+  double bundle_buyers = 0.0;     ///< Consumers choosing the bundle.
+  bool bundle_offered = false;    ///< False when no admissible bundle helps.
+};
+
+/// Optimizes (p_a, p_b, p_ab) jointly. `theta` is the Eq. 1 bundle
+/// coefficient. Candidate component prices are the items' WTP values.
+JointPairResult OptimizeJointPair(const SparseWtpVector& a,
+                                  const SparseWtpVector& b, double theta);
+
+/// Revenue of the pair market at *fixed* prices under the same rational
+/// choice model (set price_bundle <= 0 to withhold the bundle). Exposed for
+/// tests and for evaluating the incremental policy inside this choice model.
+double JointPairRevenueAt(const SparseWtpVector& a, const SparseWtpVector& b,
+                          double theta, double price_a, double price_b,
+                          double price_bundle);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_PRICING_JOINT_PAIR_PRICER_H_

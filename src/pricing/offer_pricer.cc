@@ -1,0 +1,231 @@
+#include "pricing/offer_pricer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bundlemine {
+
+OfferPricer::OfferPricer(AdoptionModel model, int num_levels)
+    : model_(model), num_levels_(num_levels) {
+  BM_CHECK_GE(num_levels, 0);
+  if (num_levels == 0) {
+    BM_CHECK_MSG(model.is_step(), "exact pricing requires the step model");
+  }
+}
+
+PricedOffer OfferPricer::PriceOffer(const SparseWtpVector& raw, double scale) const {
+  if (raw.empty() || scale <= 0.0) return PricedOffer{};
+  std::vector<double> values;
+  values.reserve(raw.nnz());
+  for (const WtpEntry& e : raw.entries()) {
+    double w = scale * e.w;
+    if (w > 0.0) values.push_back(w);
+  }
+  return PriceEffectiveValues(values);
+}
+
+PricedOffer OfferPricer::PriceEffectiveValues(std::span<const double> wtps) const {
+  PricedOffer best;
+  if (wtps.empty()) return best;
+
+  if (num_levels_ == 0) {
+    // Exact step pricing: the optimal price is one of the α-scaled WTPs.
+    std::vector<double> values(wtps.begin(), wtps.end());
+    for (double& v : values) v *= model_.alpha();
+    std::sort(values.begin(), values.end(), std::greater<double>());
+    for (std::size_t j = 0; j < values.size(); ++j) {
+      if (values[j] <= 0.0) break;
+      double revenue = values[j] * static_cast<double>(j + 1);
+      if (revenue > best.revenue) {
+        best.revenue = revenue;
+        best.price = values[j];
+        best.expected_buyers = static_cast<double>(j + 1);
+      }
+    }
+    return best;
+  }
+
+  double max_w = 0.0;
+  for (double w : wtps) max_w = std::max(max_w, w);
+  // With adoption bias α, a consumer adopts while p ≤ α·w, so the useful
+  // price range extends to α·max_w.
+  max_w *= model_.alpha();
+  PriceGrid grid = PriceGrid::Uniform(max_w, num_levels_);
+  if (grid.empty()) return best;
+
+  // Histogram audience by willingness to pay.
+  std::vector<double> count(static_cast<std::size_t>(grid.size()), 0.0);
+  std::vector<double> wsum(static_cast<std::size_t>(grid.size()), 0.0);
+  std::vector<double> below_values;  // Sub-grid audience, handled directly.
+  for (double w : wtps) {
+    if (w <= 0.0) continue;
+    int bucket = grid.BucketFor(model_.alpha() * w);
+    if (bucket < 0) {
+      below_values.push_back(w);
+      continue;
+    }
+    count[static_cast<std::size_t>(bucket)] += 1.0;
+    wsum[static_cast<std::size_t>(bucket)] += w;
+  }
+
+  if (model_.is_step()) {
+    // adopters(t) = #consumers with α·w ≥ level(t): suffix counts.
+    double suffix = 0.0;
+    std::vector<double> adopters(static_cast<std::size_t>(grid.size()), 0.0);
+    for (int t = grid.size() - 1; t >= 0; --t) {
+      suffix += count[static_cast<std::size_t>(t)];
+      adopters[static_cast<std::size_t>(t)] = suffix;
+    }
+    for (int t = 0; t < grid.size(); ++t) {
+      double revenue = grid.level(t) * adopters[static_cast<std::size_t>(t)];
+      if (revenue > best.revenue) {
+        best.revenue = revenue;
+        best.price = grid.level(t);
+        best.expected_buyers = adopters[static_cast<std::size_t>(t)];
+      }
+    }
+    return best;
+  }
+
+  // Sigmoid: evaluate each candidate price against bucket means plus the
+  // below-grid stragglers (few; their adoption probability still matters at
+  // low prices when γ is small).
+  for (int t = 0; t < grid.size(); ++t) {
+    double p = grid.level(t);
+    double expected = 0.0;
+    for (int s = 0; s < grid.size(); ++s) {
+      double c = count[static_cast<std::size_t>(s)];
+      if (c <= 0.0) continue;
+      double mean_w = wsum[static_cast<std::size_t>(s)] / c;
+      expected += c * model_.Probability(mean_w, p);
+    }
+    for (double w : below_values) expected += model_.Probability(w, p);
+    double revenue = p * expected;
+    if (revenue > best.revenue) {
+      best.revenue = revenue;
+      best.price = p;
+      best.expected_buyers = expected;
+    }
+  }
+  return best;
+}
+
+WelfarePricedOffer OfferPricer::PriceOfferWelfare(const SparseWtpVector& raw,
+                                                  double scale,
+                                                  double profit_weight) const {
+  BM_CHECK(profit_weight >= 0.0 && profit_weight <= 1.0);
+  WelfarePricedOffer best;
+  best.utility = -1.0;
+  if (raw.empty() || scale <= 0.0) {
+    best.utility = 0.0;
+    return best;
+  }
+
+  std::vector<double> values;
+  values.reserve(raw.nnz());
+  for (const WtpEntry& e : raw.entries()) {
+    double w = scale * e.w * model_.alpha();
+    if (w > 0.0) values.push_back(w);
+  }
+  if (values.empty()) {
+    best.utility = 0.0;
+    return best;
+  }
+
+  // Candidate prices: the α-scaled WTP values (exact mode) or the grid.
+  std::vector<double> candidates;
+  if (num_levels_ == 0 || model_.is_step()) {
+    candidates = values;
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    if (num_levels_ > 0) {
+      // Honour the grid restriction: snap candidates onto grid levels.
+      double max_w = candidates.back();
+      PriceGrid grid = PriceGrid::Uniform(max_w, num_levels_);
+      candidates = grid.levels();
+    }
+  } else {
+    double max_w = *std::max_element(values.begin(), values.end());
+    candidates = PriceGrid::Uniform(max_w, num_levels_).levels();
+  }
+
+  for (double p : candidates) {
+    double revenue = 0.0;
+    double surplus = 0.0;
+    double buyers = 0.0;
+    for (double w : values) {
+      // `values` are α-scaled, so compare slack directly.
+      double prob = model_.ProbabilityFromSlack(w - p);
+      if (prob <= 0.0) continue;
+      buyers += prob;
+      revenue += prob * p;
+      surplus += prob * (w - p);
+    }
+    double utility = profit_weight * revenue + (1.0 - profit_weight) * surplus;
+    if (utility > best.utility) {
+      best.price = p;
+      best.revenue = revenue;
+      best.surplus = surplus;
+      best.utility = utility;
+      best.expected_buyers = buyers;
+    }
+  }
+  return best;
+}
+
+double OfferPricer::ExpectedBuyersAt(const SparseWtpVector& raw, double scale,
+                                     double price) const {
+  double expected = 0.0;
+  for (const WtpEntry& e : raw.entries()) {
+    double w = scale * e.w;
+    if (w <= 0.0) continue;
+    expected += model_.Probability(w, price);
+  }
+  return expected;
+}
+
+double OfferPricer::RevenueAt(const SparseWtpVector& raw, double scale,
+                              double price) const {
+  return price * ExpectedBuyersAt(raw, scale, price);
+}
+
+double OfferPricer::SampleRevenueAt(const SparseWtpVector& raw, double scale,
+                                    double price, Rng* rng) const {
+  BM_CHECK(rng != nullptr);
+  double revenue = 0.0;
+  for (const WtpEntry& e : raw.entries()) {
+    double w = scale * e.w;
+    if (w <= 0.0) continue;
+    if (rng->Bernoulli(model_.Probability(w, price))) revenue += price;
+  }
+  return revenue;
+}
+
+PricedOffer OfferPricer::PriceOfferExactStep(const SparseWtpVector& raw,
+                                             double scale) const {
+  BM_CHECK_MSG(model_.is_step(), "exact pricing requires the step model");
+  PricedOffer best;
+  if (raw.empty() || scale <= 0.0) return best;
+  std::vector<double> values;
+  values.reserve(raw.nnz());
+  for (const WtpEntry& e : raw.entries()) {
+    double w = scale * e.w * model_.alpha();
+    if (w > 0.0) values.push_back(w);
+  }
+  std::sort(values.begin(), values.end(), std::greater<double>());
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    // Price at the j-th highest WTP sells to exactly j+1 consumers.
+    double revenue = values[j] * static_cast<double>(j + 1);
+    if (revenue > best.revenue) {
+      best.revenue = revenue;
+      best.price = values[j];
+      best.expected_buyers = static_cast<double>(j + 1);
+    }
+  }
+  return best;
+}
+
+}  // namespace bundlemine

@@ -1,0 +1,107 @@
+// Single-offer revenue maximization (paper Section 4.2, pure-bundling side).
+//
+// Given the consumers' willingness to pay for one offer (a component or a
+// bundle priced independently of anything else), find the grid price that
+// maximizes expected revenue
+//     r = max_p  p · Σ_u P(adopt | p, w_u).
+//
+// Implementation follows the paper: consumers are histogrammed into the T
+// price buckets by willingness to pay, then the T candidate prices are
+// scanned. Step model: suffix counts make each scan O(T) after an O(nnz)
+// bucketing pass, and the result is *exact* for grid-restricted prices.
+// Sigmoid model: each candidate price sums bucket_count · P(bucket mean, p),
+// i.e. O(T²) after O(nnz) — matching the paper's "complexity of pricing is
+// O(M)" with a constant number of buckets.
+
+#ifndef BUNDLEMINE_PRICING_OFFER_PRICER_H_
+#define BUNDLEMINE_PRICING_OFFER_PRICER_H_
+
+#include <span>
+
+#include "data/wtp_matrix.h"
+#include "pricing/adoption_model.h"
+#include "pricing/price_grid.h"
+#include "util/rng.h"
+
+namespace bundlemine {
+
+/// Outcome of pricing a single offer.
+struct PricedOffer {
+  double price = 0.0;            ///< Revenue-maximizing grid price.
+  double revenue = 0.0;          ///< Expected revenue at that price.
+  double expected_buyers = 0.0;  ///< Expected number of adopters.
+};
+
+/// Outcome of pricing under the paper's Section 1 seller utility
+///     U_w(p) = w · profit(p) + (1 − w) · surplus(p),
+/// with zero marginal cost (profit = revenue) and consumer surplus
+/// Σ_u P(adopt) · (wtp_u − p). The paper's evaluation uses w = 1 (pure
+/// revenue maximization); this generalization lets a seller trade margin
+/// for consumer welfare.
+struct WelfarePricedOffer {
+  double price = 0.0;
+  double revenue = 0.0;
+  double surplus = 0.0;
+  double utility = 0.0;
+  double expected_buyers = 0.0;
+};
+
+/// Prices offers against an adoption model using a T-level uniform grid
+/// spanning (0, max willingness to pay of the offer's audience].
+class OfferPricer {
+ public:
+  /// `num_levels` is the paper's T (default 100). The sentinel 0 selects
+  /// *exact* pricing — candidate prices are the audience's WTP values
+  /// themselves — which is only defined for the step model and is used by
+  /// tests, the worked examples, and the grid-resolution ablation.
+  explicit OfferPricer(AdoptionModel model, int num_levels = 100);
+
+  /// Optimal grid price for an offer whose raw per-user WTP sums are `raw`
+  /// and whose effective WTP is `scale · raw[u]` (scale carries the bundle
+  /// coefficient: 1 for singletons, 1+θ for real bundles).
+  ///
+  /// Only consumers with positive WTP for the offer (its audience) enter the
+  /// adoption sum; consumers who never rated any component are not part of
+  /// the offer's consideration set.
+  PricedOffer PriceOffer(const SparseWtpVector& raw, double scale) const;
+
+  /// Same optimization over a plain span of *effective* WTP values (θ and raw
+  /// sums already folded in). Used by the exhaustive bundle enumerator, which
+  /// maintains dense accumulators instead of sparse vectors.
+  PricedOffer PriceEffectiveValues(std::span<const double> wtps) const;
+
+  /// Prices the offer under the α-weighted profit/surplus utility (Section
+  /// 1 of the paper; `profit_weight` is the paper's α, in [0, 1]). At
+  /// profit_weight = 1 this coincides with PriceOffer.
+  WelfarePricedOffer PriceOfferWelfare(const SparseWtpVector& raw, double scale,
+                                       double profit_weight) const;
+
+  /// Expected revenue of the offer at a fixed price (used by the list-price
+  /// baseline of Table 2 and by tests).
+  double RevenueAt(const SparseWtpVector& raw, double scale, double price) const;
+
+  /// Expected number of adopters at a fixed price.
+  double ExpectedBuyersAt(const SparseWtpVector& raw, double scale,
+                          double price) const;
+
+  /// One Bernoulli realization of the revenue at a fixed price — the paper
+  /// averages realized revenue over ten runs for finite γ.
+  double SampleRevenueAt(const SparseWtpVector& raw, double scale, double price,
+                         Rng* rng) const;
+
+  /// Exact (grid-free) optimal pricing for the step model: the optimal price
+  /// is one of the consumers' WTP values. Used as a test oracle and for the
+  /// grid-resolution ablation. Requires a step model.
+  PricedOffer PriceOfferExactStep(const SparseWtpVector& raw, double scale) const;
+
+  const AdoptionModel& model() const { return model_; }
+  int num_levels() const { return num_levels_; }
+
+ private:
+  AdoptionModel model_;
+  int num_levels_;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_PRICING_OFFER_PRICER_H_

@@ -1,0 +1,49 @@
+#include "pricing/price_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace bundlemine {
+
+// Relative tolerance when assigning a value to a bucket: a willingness to pay
+// that equals a grid level up to rounding must land in that level's bucket,
+// otherwise the step-model revenue at the optimal price would drop a buyer.
+constexpr double kRelTolerance = 1e-9;
+
+PriceGrid PriceGrid::Uniform(double max_price, int num_levels) {
+  BM_CHECK_GT(num_levels, 0);
+  if (max_price <= 0.0) return PriceGrid({}, 0.0);
+  double step = max_price / num_levels;
+  std::vector<double> levels(static_cast<std::size_t>(num_levels));
+  for (int t = 0; t < num_levels; ++t) levels[static_cast<std::size_t>(t)] = step * (t + 1);
+  levels.back() = max_price;  // Guard against accumulation error at the top.
+  return PriceGrid(std::move(levels), step);
+}
+
+PriceGrid PriceGrid::Explicit(std::vector<double> levels) {
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    BM_CHECK_GT(levels[i], 0.0);
+    if (i > 0) BM_CHECK_GT(levels[i], levels[i - 1]);
+  }
+  return PriceGrid(std::move(levels), 0.0);
+}
+
+int PriceGrid::BucketFor(double value) const {
+  if (levels_.empty()) return -1;
+  double tolerant = value * (1.0 + kRelTolerance) + 1e-12;
+  if (step_ > 0.0) {
+    if (tolerant < levels_.front()) return -1;
+    int idx = static_cast<int>(std::floor(tolerant / step_)) - 1;
+    idx = std::min(idx, size() - 1);
+    // Division can land one bucket low/high near boundaries; nudge precisely.
+    while (idx + 1 < size() && levels_[static_cast<std::size_t>(idx) + 1] <= tolerant) ++idx;
+    while (idx >= 0 && levels_[static_cast<std::size_t>(idx)] > tolerant) --idx;
+    return idx;
+  }
+  auto it = std::upper_bound(levels_.begin(), levels_.end(), tolerant);
+  return static_cast<int>(it - levels_.begin()) - 1;
+}
+
+}  // namespace bundlemine

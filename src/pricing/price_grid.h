@@ -1,0 +1,47 @@
+// Discretized price levels (paper Section 4.2).
+//
+// "In real-life scenarios, the seller would have a price list of T price
+// levels." We follow the paper: equi-distanced levels (bucket lookup by
+// division) or an arbitrary sorted price list (bucket lookup by binary
+// search). The paper uses T = 100 and reports that finer grids do not yield
+// materially higher revenue — an observation the bench_ablations harness
+// re-verifies.
+
+#ifndef BUNDLEMINE_PRICING_PRICE_GRID_H_
+#define BUNDLEMINE_PRICING_PRICE_GRID_H_
+
+#include <vector>
+
+namespace bundlemine {
+
+/// A sorted list of candidate price levels in (0, max].
+class PriceGrid {
+ public:
+  /// `num_levels` equi-distanced levels: max/T, 2·max/T, …, max.
+  /// An empty grid is produced when `max_price <= 0` (nothing to price).
+  static PriceGrid Uniform(double max_price, int num_levels);
+
+  /// Arbitrary strictly-increasing positive price list.
+  static PriceGrid Explicit(std::vector<double> levels);
+
+  int size() const { return static_cast<int>(levels_.size()); }
+  bool empty() const { return levels_.empty(); }
+  double level(int t) const { return levels_[static_cast<std::size_t>(t)]; }
+  const std::vector<double>& levels() const { return levels_; }
+
+  /// Index of the highest level ≤ `value` (-1 when value is below the lowest
+  /// level). O(1) for uniform grids, O(log T) otherwise. A small relative
+  /// tolerance absorbs floating-point error from grid construction.
+  int BucketFor(double value) const;
+
+ private:
+  PriceGrid(std::vector<double> levels, double step)
+      : levels_(std::move(levels)), step_(step) {}
+
+  std::vector<double> levels_;
+  double step_ = 0.0;  // > 0 for uniform grids; 0 → binary search.
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_PRICING_PRICE_GRID_H_

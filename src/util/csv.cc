@@ -1,0 +1,37 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace bundlemine {
+
+bool ReadCsv(const std::string& path, std::vector<std::vector<std::string>>* rows) {
+  std::ifstream in(path);
+  if (!in.is_open()) return false;
+  std::vector<std::vector<std::string>> parsed;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    parsed.push_back(Split(stripped, ','));
+  }
+  *rows = std::move(parsed);
+  return true;
+}
+
+bool WriteCsv(const std::string& path,
+              const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  return out.good();
+}
+
+}  // namespace bundlemine

@@ -1,0 +1,27 @@
+// Minimal CSV reading/writing used by dataset IO and benchmark result dumps.
+//
+// The format is deliberately simple: comma-separated, no quoting/escaping
+// (none of our fields contain commas), optional '#' comment lines, and an
+// optional header row. This is enough for ratings/price files and for the
+// machine-readable bench outputs consumed by plotting scripts.
+
+#ifndef BUNDLEMINE_UTIL_CSV_H_
+#define BUNDLEMINE_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace bundlemine {
+
+/// Reads every non-comment, non-empty row of a CSV file.
+/// Returns false (and leaves `rows` untouched) if the file cannot be opened.
+bool ReadCsv(const std::string& path, std::vector<std::vector<std::string>>* rows);
+
+/// Writes rows to `path`, one comma-joined line per row.
+/// Returns false if the file cannot be created.
+bool WriteCsv(const std::string& path,
+              const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_UTIL_CSV_H_

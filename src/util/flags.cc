@@ -1,0 +1,83 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace bundlemine {
+
+void FlagSet::Define(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  BM_CHECK_MSG(flags_.find(name) == flags_.end(), "flag defined twice");
+  flags_[name] = Flag{default_value, help};
+}
+
+void FlagSet::PrintUsageAndExit(const char* argv0) const {
+  std::fprintf(stderr, "usage: %s [flags]\n", argv0);
+  for (const auto& [name, flag] : flags_) {
+    std::fprintf(stderr, "  --%s=%s\n      %s\n", name.c_str(),
+                 flag.value.c_str(), flag.help.c_str());
+  }
+  std::exit(2);
+}
+
+void FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") PrintUsageAndExit(argv[0]);
+    if (!StartsWith(arg, "--")) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", argv[i]);
+      PrintUsageAndExit(argv[0]);
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value;
+    std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+      auto it = flags_.find(name);
+      bool next_is_value = (i + 1 < argc) && !StartsWith(argv[i + 1], "--");
+      if (it != flags_.end() && next_is_value) {
+        value = argv[++i];
+      } else {
+        value = "true";  // Bare boolean flag.
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      PrintUsageAndExit(argv[0]);
+    }
+    it->second.value = value;
+  }
+}
+
+std::string FlagSet::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  BM_CHECK_MSG(it != flags_.end(), "flag not defined");
+  return it->second.value;
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  auto v = ParseDouble(GetString(name));
+  BM_CHECK_MSG(v.has_value(), "flag is not a double");
+  return *v;
+}
+
+long long FlagSet::GetInt(const std::string& name) const {
+  auto v = ParseInt(GetString(name));
+  BM_CHECK_MSG(v.has_value(), "flag is not an integer");
+  return *v;
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  std::string v = GetString(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace bundlemine

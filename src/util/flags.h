@@ -1,0 +1,45 @@
+// Tiny command-line flag parser for the benchmark harness binaries.
+//
+// Supports `--name=value` and `--name value` forms plus boolean `--name`.
+// Unknown flags abort with a usage message listing the registered flags, so a
+// typo in a long benchmark invocation fails fast instead of silently running
+// the default configuration.
+
+#ifndef BUNDLEMINE_UTIL_FLAGS_H_
+#define BUNDLEMINE_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+
+namespace bundlemine {
+
+/// Declarative flag set: register flags with defaults, then Parse(argc, argv).
+class FlagSet {
+ public:
+  /// Registers a flag with a default value and a help string.
+  void Define(const std::string& name, const std::string& default_value,
+              const std::string& help);
+
+  /// Parses argv; on `--help` or unknown flags prints usage and exits.
+  void Parse(int argc, char** argv);
+
+  /// Typed accessors. Abort if the flag was never defined.
+  std::string GetString(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  long long GetInt(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+  };
+
+  void PrintUsageAndExit(const char* argv0) const;
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_UTIL_FLAGS_H_

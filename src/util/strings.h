@@ -1,0 +1,36 @@
+// Small string helpers shared by CSV IO, flags, and table printing.
+
+#ifndef BUNDLEMINE_UTIL_STRINGS_H_
+#define BUNDLEMINE_UTIL_STRINGS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bundlemine {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Parses a double; returns nullopt on any trailing garbage or empty input.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// Parses a non-negative integer; returns nullopt on failure.
+std::optional<long long> ParseInt(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Human-readable "1.23 s" / "45.6 ms" duration formatting.
+std::string FormatDuration(double seconds);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_UTIL_STRINGS_H_

@@ -1,0 +1,54 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+
+#include "util/csv.h"
+
+namespace bundlemine {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print() const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  if (!title_.empty()) std::printf("\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      std::printf("%-*s", static_cast<int>(width[i] + 2), row[i].c_str());
+    }
+    std::printf("\n");
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t w : width) total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+  }
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(stdout);
+}
+
+bool TablePrinter::WriteCsvFile(const std::string& path) const {
+  if (path.empty()) return false;
+  std::vector<std::vector<std::string>> all;
+  if (!header_.empty()) all.push_back(header_);
+  for (const auto& row : rows_) all.push_back(row);
+  return WriteCsv(path, all);
+}
+
+}  // namespace bundlemine

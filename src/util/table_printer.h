@@ -1,0 +1,41 @@
+// Aligned console table output for the benchmark harnesses.
+//
+// Every bench binary prints the same rows/series the paper's tables and
+// figures report; TablePrinter keeps those dumps readable and also supports
+// CSV export so results can be re-plotted.
+
+#ifndef BUNDLEMINE_UTIL_TABLE_PRINTER_H_
+#define BUNDLEMINE_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace bundlemine {
+
+/// Collects rows of string cells and prints them with per-column alignment.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; pass "" to omit.
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row. Rows may have fewer cells than the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders to stdout.
+  void Print() const;
+
+  /// Writes header+rows as CSV. No-op (returns false) when path is empty.
+  bool WriteCsvFile(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,131 @@
+// FP-Growth tests: textbook example plus exhaustive cross-validation against
+// Apriori (identical frequent sets + supports) and the MAFIA-style maximal
+// miner (identical maximal filtrate) over randomized databases.
+
+#include "mining/fp_growth.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "mining/mafia.h"
+#include "util/rng.h"
+
+namespace bundlemine {
+namespace {
+
+// Canonical ordering shared with Apriori output for comparison.
+std::vector<FrequentItemset> Canonical(std::vector<FrequentItemset> sets) {
+  std::sort(sets.begin(), sets.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return sets;
+}
+
+TEST(FpGrowth, TextbookExample) {
+  TransactionDb db = TransactionDb::FromTransactions(
+      5, {{0, 1, 4}, {1, 3}, {1, 2}, {0, 1, 3}, {0, 2}});
+  MinerLimits limits;
+  limits.min_support_count = 2;
+  auto frequent = MineFrequentFpGrowth(db, limits);
+  ASSERT_EQ(frequent.size(), 6u);
+  auto find = [&](std::vector<int> items) -> int {
+    for (const auto& f : frequent) {
+      if (f.items == items) return f.support;
+    }
+    return -1;
+  };
+  EXPECT_EQ(find({0}), 3);
+  EXPECT_EQ(find({1}), 4);
+  EXPECT_EQ(find({2}), 2);
+  EXPECT_EQ(find({3}), 2);
+  EXPECT_EQ(find({0, 1}), 2);
+  EXPECT_EQ(find({1, 3}), 2);
+}
+
+TEST(FpGrowth, SizeCap) {
+  TransactionDb db = TransactionDb::FromTransactions(
+      4, {{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2}});
+  MinerLimits limits;
+  limits.min_support_count = 2;
+  limits.max_itemset_size = 2;
+  auto frequent = MineFrequentFpGrowth(db, limits);
+  for (const auto& f : frequent) EXPECT_LE(f.items.size(), 2u);
+  // All 4 singletons + all 6 pairs are frequent at support 2.
+  EXPECT_EQ(frequent.size(), 10u);
+}
+
+TEST(FpGrowth, EmptyWhenNothingFrequent) {
+  TransactionDb db = TransactionDb::FromTransactions(3, {{0}, {1}, {2}});
+  MinerLimits limits;
+  limits.min_support_count = 2;
+  EXPECT_TRUE(MineFrequentFpGrowth(db, limits).empty());
+}
+
+TEST(FpGrowth, SingleDenseTransactionBlock) {
+  TransactionDb db =
+      TransactionDb::FromTransactions(3, {{0, 1, 2}, {0, 1, 2}, {0, 1, 2}});
+  MinerLimits limits;
+  limits.min_support_count = 3;
+  auto frequent = MineFrequentFpGrowth(db, limits);
+  EXPECT_EQ(frequent.size(), 7u);  // All non-empty subsets of {0,1,2}.
+  for (const auto& f : frequent) EXPECT_EQ(f.support, 3);
+}
+
+struct FpCase {
+  int num_items;
+  int num_transactions;
+  double density;
+  int min_support;
+  int max_size;
+};
+
+class FpGrowthCrossValidationTest : public ::testing::TestWithParam<FpCase> {};
+
+TEST_P(FpGrowthCrossValidationTest, AgreesWithAprioriAndMafia) {
+  const FpCase& param = GetParam();
+  Rng rng(83000u + static_cast<std::uint64_t>(param.num_items * 977 +
+                                              param.num_transactions));
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::vector<int>> txns;
+    for (int t = 0; t < param.num_transactions; ++t) {
+      std::vector<int> txn;
+      for (int i = 0; i < param.num_items; ++i) {
+        if (rng.UniformDouble() < param.density) txn.push_back(i);
+      }
+      txns.push_back(std::move(txn));
+    }
+    TransactionDb db = TransactionDb::FromTransactions(param.num_items, txns);
+    MinerLimits limits;
+    limits.min_support_count = param.min_support;
+    limits.max_itemset_size = param.max_size;
+
+    auto fp = Canonical(MineFrequentFpGrowth(db, limits));
+    auto apriori = Canonical(MineFrequentApriori(db, limits));
+    ASSERT_EQ(fp.size(), apriori.size()) << "trial " << trial;
+    for (std::size_t s = 0; s < fp.size(); ++s) {
+      EXPECT_EQ(fp[s].items, apriori[s].items) << "trial " << trial;
+      EXPECT_EQ(fp[s].support, apriori[s].support) << "trial " << trial;
+    }
+
+    auto fp_maximal = FilterMaximal(fp);
+    auto mafia = MineMaximalFrequent(db, limits);
+    ASSERT_EQ(fp_maximal.size(), mafia.size()) << "trial " << trial;
+    for (std::size_t s = 0; s < mafia.size(); ++s) {
+      EXPECT_EQ(fp_maximal[s].items, mafia[s].items) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDatabases, FpGrowthCrossValidationTest,
+    ::testing::Values(FpCase{6, 25, 0.4, 2, 0}, FpCase{8, 30, 0.3, 2, 0},
+                      FpCase{8, 40, 0.5, 4, 0}, FpCase{10, 40, 0.25, 3, 0},
+                      FpCase{10, 30, 0.5, 5, 3}, FpCase{12, 60, 0.2, 3, 0},
+                      FpCase{12, 40, 0.35, 4, 4}));
+
+}  // namespace
+}  // namespace bundlemine

@@ -1,0 +1,163 @@
+// Tests for the rational-choice market simulator and solution persistence.
+//
+// The simulator is an independent implementation of the market: for pure
+// configurations it must agree with the analytic revenue *exactly*; for
+// mixed configurations it bounds the incremental accounting; and its welfare
+// identity (WTP = revenue + surplus + deadweight at θ = 0) must hold to the
+// cent for any configuration.
+
+#include "core/market_simulator.h"
+
+#include <filesystem>
+
+#include "core/runner.h"
+#include "core/solution_io.h"
+#include "data/generator.h"
+#include "data/wtp_matrix.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace bundlemine {
+namespace {
+
+const WtpMatrix& SharedWtp() {
+  static const WtpMatrix* wtp = [] {
+    RatingsDataset data = GenerateAmazonLike(TinyProfile(99));
+    return new WtpMatrix(WtpMatrix::FromRatings(data, 1.25));
+  }();
+  return *wtp;
+}
+
+BundleConfigProblem SharedProblem() {
+  BundleConfigProblem p;
+  p.wtp = &SharedWtp();
+  p.price_levels = 100;
+  return p;
+}
+
+TEST(MarketSimulator, Table1MixedScenario) {
+  // The Section 4.2 configuration: A at $8, B at $11, bundle at $12.
+  WtpMatrix wtp = WtpMatrix::FromTriplets(
+      3, 2,
+      {{0, 0, 12.0}, {1, 0, 8.0}, {2, 0, 5.0},
+       {0, 1, 4.0},  {1, 1, 2.0}, {2, 1, 11.0}});
+  BundleSolution config;
+  PricedBundle bundle;
+  bundle.items = Bundle({0, 1});
+  bundle.price = 12.0;
+  PricedBundle a;
+  a.items = Bundle::Of(0);
+  a.price = 8.0;
+  a.is_component_offer = true;
+  PricedBundle b;
+  b.items = Bundle::Of(1);
+  b.price = 11.0;
+  b.is_component_offer = true;
+  config.offers = {bundle, a, b};
+
+  MarketSimulator sim(wtp, /*theta=*/0.0);
+  MarketOutcome out = sim.Evaluate(config);
+  // Rational at θ=0: u1 takes the bundle (16−12=4 ≥ A's 4, seller-favoured
+  // tie), u2 keeps A (8−8=0 ≥ bundle 10−12<0), u3 takes the bundle
+  // (16−12=4 > B's 0): revenue 12+8+12 = 32.
+  EXPECT_NEAR(out.revenue, 32.0, 1e-9);
+  EXPECT_NEAR(out.consumer_surplus, 4.0 + 0.0 + 4.0, 1e-9);
+  // Identity: total WTP (42) = revenue + surplus + deadweight.
+  EXPECT_NEAR(out.deadweight_loss, 42.0 - 32.0 - 8.0, 1e-9);
+  EXPECT_NEAR(out.transactions, 3.0, 1e-9);
+  // Offer attribution: bundle sells twice, A once, B never.
+  EXPECT_NEAR(out.offer_revenue[0], 24.0, 1e-9);
+  EXPECT_NEAR(out.offer_revenue[1], 8.0, 1e-9);
+  EXPECT_NEAR(out.offer_revenue[2], 0.0, 1e-9);
+}
+
+TEST(MarketSimulator, PureConfigurationsMatchAnalyticRevenueExactly) {
+  BundleConfigProblem problem = SharedProblem();
+  MarketSimulator sim(SharedWtp(), 0.0);
+  for (const char* key : {"components", "pure-matching", "pure-greedy",
+                                 "pure-freq", "two-sized"}) {
+    BundleSolution s = RunMethod(key, problem);
+    MarketOutcome out = sim.Evaluate(s);
+    EXPECT_NEAR(out.revenue, s.total_revenue, s.total_revenue * 1e-9) << key;
+  }
+}
+
+TEST(MarketSimulator, WelfareIdentityHoldsForEveryMethod) {
+  BundleConfigProblem problem = SharedProblem();
+  MarketSimulator sim(SharedWtp(), 0.0);
+  double total = SharedWtp().TotalWtp();
+  for (const std::string& key : StandardMethodKeys()) {
+    MarketOutcome out = sim.Evaluate(RunMethod(key, problem));
+    EXPECT_NEAR(out.revenue + out.consumer_surplus + out.deadweight_loss, total,
+                total * 1e-9)
+        << key;
+    EXPECT_GE(out.consumer_surplus, -1e-9) << key;
+    EXPECT_GE(out.deadweight_loss, -1e-9) << key;
+  }
+}
+
+TEST(MarketSimulator, MixedAccountingIsCloseToRationalChoice) {
+  // The incremental upgrade-rule accounting may be optimistic on deep merge
+  // ladders (consumers with cheaper nested escape routes), but must stay
+  // within a modest band of the rational-choice market.
+  BundleConfigProblem problem = SharedProblem();
+  MarketSimulator sim(SharedWtp(), 0.0);
+  for (const char* key : {"mixed-matching", "mixed-greedy", "mixed-freq"}) {
+    BundleSolution s = RunMethod(key, problem);
+    MarketOutcome out = sim.Evaluate(s);
+    EXPECT_GT(out.revenue, 0.85 * s.total_revenue) << key;
+    EXPECT_LT(out.revenue, 1.10 * s.total_revenue) << key;
+  }
+}
+
+TEST(MarketSimulator, BundlingReducesDeadweightVersusComponents) {
+  // The economic story of the paper: bundling captures value that item-level
+  // pricing leaves on the table.
+  BundleConfigProblem problem = SharedProblem();
+  MarketSimulator sim(SharedWtp(), 0.0);
+  MarketOutcome components = sim.Evaluate(RunMethod("components", problem));
+  MarketOutcome mixed = sim.Evaluate(RunMethod("mixed-matching", problem));
+  EXPECT_GT(mixed.revenue, components.revenue);
+}
+
+TEST(MarketSimulator, EmptyConfiguration) {
+  MarketSimulator sim(SharedWtp(), 0.0);
+  BundleSolution empty;
+  MarketOutcome out = sim.Evaluate(empty);
+  EXPECT_DOUBLE_EQ(out.revenue, 0.0);
+  EXPECT_DOUBLE_EQ(out.consumer_surplus, 0.0);
+  EXPECT_NEAR(out.deadweight_loss, SharedWtp().TotalWtp(), 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Solution IO.
+// ---------------------------------------------------------------------------
+
+TEST(SolutionIo, RoundTrip) {
+  BundleConfigProblem problem = SharedProblem();
+  BundleSolution s = RunMethod("mixed-matching", problem);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "bundlemine_solution.csv").string();
+  ASSERT_TRUE(SaveSolution(s, path));
+  auto loaded = LoadSolution(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->offers.size(), s.offers.size());
+  for (std::size_t i = 0; i < s.offers.size(); ++i) {
+    EXPECT_EQ(loaded->offers[i].items, s.offers[i].items);
+    EXPECT_NEAR(loaded->offers[i].price, s.offers[i].price, 1e-5);
+    EXPECT_EQ(loaded->offers[i].is_component_offer, s.offers[i].is_component_offer);
+  }
+  EXPECT_NEAR(loaded->total_revenue, s.total_revenue, 1e-3);
+  // A reloaded configuration must evaluate identically in the simulator
+  // (prices round-trip at 1e-6 resolution, hence the dollar-level bound).
+  MarketSimulator sim(SharedWtp(), 0.0);
+  EXPECT_NEAR(sim.Evaluate(*loaded).revenue, sim.Evaluate(s).revenue, 1e-2);
+  std::filesystem::remove(path);
+}
+
+TEST(SolutionIo, MissingFile) {
+  EXPECT_FALSE(LoadSolution("/nonexistent/solution.csv").has_value());
+}
+
+}  // namespace
+}  // namespace bundlemine

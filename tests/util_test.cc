@@ -1,0 +1,227 @@
+// Unit tests for util: strings, CSV, flags, RNG, timers, table printing.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "gtest/gtest.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace bundlemine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitSingleField) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\r\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" -1e3 "), -1000.0);
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.5x").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(*ParseInt("42"), 42);
+  EXPECT_EQ(*ParseInt("-7"), -7);
+  EXPECT_FALSE(ParseInt("4.2").has_value());
+  EXPECT_FALSE(ParseInt("").has_value());
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-f", "--"));
+}
+
+TEST(Strings, FormatDuration) {
+  EXPECT_EQ(FormatDuration(0.0000005), "0.5 us");
+  EXPECT_EQ(FormatDuration(0.012), "12.0 ms");
+  EXPECT_EQ(FormatDuration(2.5), "2.50 s");
+  EXPECT_EQ(FormatDuration(180.0), "3.0 min");
+}
+
+TEST(Csv, RoundTripWithCommentsSkipped) {
+  std::string path = TempPath("bundlemine_csv_test.csv");
+  ASSERT_TRUE(WriteCsv(path, {{"a", "b"}, {"1", "2"}}));
+  // Append a comment and a blank line by hand.
+  {
+    FILE* f = std::fopen(path.c_str(), "a");
+    std::fputs("# comment\n\n3,4\n", f);
+    std::fclose(f);
+  }
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ReadCsv(path, &rows));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"3", "4"}));
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, MissingFileFails) {
+  std::vector<std::vector<std::string>> rows;
+  EXPECT_FALSE(ReadCsv("/nonexistent/path/data.csv", &rows));
+}
+
+TEST(Flags, ParsesAllForms) {
+  FlagSet flags;
+  flags.Define("alpha", "1.0", "");
+  flags.Define("name", "x", "");
+  flags.Define("verbose", "false", "");
+  flags.Define("count", "3", "");
+  const char* argv[] = {"prog", "--alpha=2.5", "--name", "foo", "--verbose"};
+  flags.Parse(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha"), 2.5);
+  EXPECT_EQ(flags.GetString("name"), "foo");
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_EQ(flags.GetInt("count"), 3);  // Untouched default.
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(456);
+  bool all_equal = true;
+  bool any_diff_seed_mismatch = false;
+  for (int i = 0; i < 100; ++i) {
+    std::uint32_t va = a.NextU32();
+    std::uint32_t vb = b.NextU32();
+    std::uint32_t vc = c.NextU32();
+    if (va != vb) all_equal = false;
+    if (va != vc) any_diff_seed_mismatch = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed_mismatch);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformU32(10), 10u);
+    int v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformDoubleMeanIsHalf) {
+  Rng rng(99);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(5);
+  std::vector<double> weights = {1.0, 3.0};
+  int count1 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Categorical(weights) == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / 20000.0, 0.75, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(ZipfSampler, RanksAreSkewed) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+  // Rank 0 should get roughly 1/H(100) ≈ 19% of the mass.
+  EXPECT_NEAR(counts[0] / 50000.0, 0.19, 0.03);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  double first = t.Seconds();
+  EXPECT_GE(first, 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.Seconds(), first);
+  t.Reset();
+  EXPECT_LT(t.Seconds(), 1.0);
+}
+
+TEST(TablePrinter, WritesCsv) {
+  TablePrinter table("demo");
+  table.SetHeader({"col1", "col2"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"b", "2"});
+  std::string path = TempPath("bundlemine_table_test.csv");
+  ASSERT_TRUE(table.WriteCsvFile(path));
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ReadCsv(path, &rows));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0][0], "col1");
+  EXPECT_EQ(rows[2][1], "2");
+  std::filesystem::remove(path);
+}
+
+TEST(TablePrinter, EmptyPathReturnsFalse) {
+  TablePrinter table("");
+  EXPECT_FALSE(table.WriteCsvFile(""));
+}
+
+}  // namespace
+}  // namespace bundlemine
