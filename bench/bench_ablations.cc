@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
 
   bench::BenchData data = bench::LoadData(flags);
+  SolveContext context(bench::ContextOptions(flags));
 
   // ---- 1. Grid resolution. ----
   {
@@ -29,7 +30,7 @@ int main(int argc, char** argv) {
       BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
       problem.price_levels = levels;
       WallTimer timer;
-      BundleSolution s = RunMethod("pure-matching", problem);
+      BundleSolution s = RunMethod("pure-matching", problem, context);
       table.AddRow({levels == 0 ? "exact" : StrFormat("%d", levels),
                     bench::Pct(RevenueCoverage(s, data.wtp)),
                     StrFormat("%.2f", timer.Seconds())});
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
           problem.prune_co_interest = co;
           problem.prune_stale_edges = stale;
           WallTimer timer;
-          BundleSolution s = RunMethod(key, problem);
+          BundleSolution s = RunMethod(key, problem, context);
           table.AddRow({co ? "on" : "off", stale ? "on" : "off",
                         MethodDisplayName(key),
                         bench::Pct(RevenueCoverage(s, data.wtp)),
@@ -72,7 +73,7 @@ int main(int argc, char** argv) {
         BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
         problem.exact_matching_limit = limit;
         WallTimer timer;
-        BundleSolution s = RunMethod(key, problem);
+        BundleSolution s = RunMethod(key, problem, context);
         table.AddRow({limit == 0 ? "greedy 1/2-approx" : "exact blossom",
                       MethodDisplayName(key),
                       bench::Pct(RevenueCoverage(s, data.wtp)),
@@ -94,7 +95,7 @@ int main(int argc, char** argv) {
         problem.adoption = AdoptionModel::Sigmoid(5.0);
         problem.mixed_composition = comp;
         WallTimer timer;
-        BundleSolution s = RunMethod(key, problem);
+        BundleSolution s = RunMethod(key, problem, context);
         table.AddRow({comp == MixedComposition::kMinSlack ? "min-slack" : "product",
                       MethodDisplayName(key),
                       bench::Pct(RevenueCoverage(s, data.wtp)),
@@ -153,7 +154,7 @@ int main(int argc, char** argv) {
       // enumeration stays tractable.
       problem.freq_min_support = 0.04;
       WallTimer timer;
-      BundleSolution s = RunMethod("mixed-freq", problem);
+      BundleSolution s = RunMethod("mixed-freq", problem, context);
       table.AddRow({row.name, bench::Pct(RevenueCoverage(s, data.wtp)),
                     StrFormat("%.2f", timer.Seconds())});
     }

@@ -13,6 +13,9 @@ void DefineCommonFlags(FlagSet* flags) {
   flags->Define("levels", "100", "price grid resolution T (paper: 100; 0 = exact)");
   flags->Define("theta", "0", "bundling coefficient θ");
   flags->Define("k", "0", "max bundle size (0 = unconstrained)");
+  flags->Define("threads", "1",
+                "worker threads for candidate evaluation (matching methods "
+                "only; solutions are identical at any count)");
   flags->Define("csv", "", "optional CSV output path");
 }
 
@@ -39,6 +42,13 @@ BundleConfigProblem BaseProblem(const FlagSet& flags, const WtpMatrix& wtp) {
   problem.price_levels = static_cast<int>(flags.GetInt("levels"));
   problem.adoption = AdoptionModel::Step();
   return problem;
+}
+
+SolveContext::Options ContextOptions(const FlagSet& flags) {
+  SolveContext::Options options;
+  options.num_threads = static_cast<int>(flags.GetInt("threads"));
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  return options;
 }
 
 std::string Pct(double fraction) { return StrFormat("%.1f%%", fraction * 100.0); }

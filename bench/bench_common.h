@@ -12,6 +12,7 @@
 
 #include "core/problem.h"
 #include "core/runner.h"
+#include "core/solve_context.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
 #include "util/flags.h"
@@ -35,6 +36,11 @@ BenchData LoadData(const FlagSet& flags);
 /// Baseline problem from the common flags (θ, k, grid resolution); adoption
 /// defaults to the paper's step model.
 BundleConfigProblem BaseProblem(const FlagSet& flags, const WtpMatrix& wtp);
+
+/// SolveContext options from the common flags (--threads, --seed). Harnesses
+/// construct one context per sweep and reuse it across solves so the pricing
+/// workspaces stay warm.
+SolveContext::Options ContextOptions(const FlagSet& flags);
 
 /// "77.7%" formatting.
 std::string Pct(double fraction);

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
 
   bench::BenchData data = bench::LoadData(flags);
+  SolveContext context(bench::ContextOptions(flags));
   std::vector<std::string> methods = StandardMethodKeys();
 
   TablePrinter coverage("Figure 3(a) — revenue coverage vs γ");
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> gain_row = {StrFormat("%g", gamma)};
     for (const std::string& key : methods) {
       WallTimer timer;
-      BundleSolution s = RunMethod(key, problem);
+      BundleSolution s = RunMethod(key, problem, context);
       if (key == "components") components_revenue = s.total_revenue;
       cov_row.push_back(bench::Pct(RevenueCoverage(s, data.wtp)));
       gain_row.push_back(

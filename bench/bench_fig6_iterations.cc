@@ -57,24 +57,25 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
 
   bench::BenchData data = bench::LoadData(flags);
+  SolveContext context(bench::ContextOptions(flags));
   BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
-  double components = RunMethod("components", problem).total_revenue;
+  double components = RunMethod("components", problem, context).total_revenue;
 
   std::string csv = flags.GetString("csv");
   auto csv_for = [&](const char* tag) {
     return csv.empty() ? std::string() : csv + "." + tag + ".csv";
   };
 
-  BundleSolution mm = RunMethod("mixed-matching", problem);
+  BundleSolution mm = RunMethod("mixed-matching", problem, context);
   Report("Figure 6(a) — Mixed Matching: revenue vs time", mm, components,
          csv_for("mixed_matching"));
-  BundleSolution mg = RunMethod("mixed-greedy", problem);
+  BundleSolution mg = RunMethod("mixed-greedy", problem, context);
   Report("Figure 6(a) — Mixed Greedy: revenue vs time", mg, components,
          csv_for("mixed_greedy"));
-  BundleSolution pm = RunMethod("pure-matching", problem);
+  BundleSolution pm = RunMethod("pure-matching", problem, context);
   Report("Figure 6(b) — Pure Matching: revenue vs time", pm, components,
          csv_for("pure_matching"));
-  BundleSolution pg = RunMethod("pure-greedy", problem);
+  BundleSolution pg = RunMethod("pure-greedy", problem, context);
   Report("Figure 6(b) — Pure Greedy: revenue vs time", pg, components,
          csv_for("pure_greedy"));
 

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   bench::BenchData data = bench::LoadData(flags);
   std::string axis = flags.GetString("axis");
   Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")) + 7);
+  SolveContext context(bench::ContextOptions(flags));
 
   if (axis == "users" || axis == "both") {
     TablePrinter table("Figure 7(a) — running time (s) vs user multiplier");
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
           StrFormat("%d (%.0f%%)", scaled.num_users(), factor * 100)};
       for (const char* key : kMethods) {
         WallTimer timer;
-        RunMethod(key, problem);
+        RunMethod(key, problem, context);
         row.push_back(StrFormat("%.2f", timer.Seconds()));
       }
       table.AddRow(row);
@@ -63,7 +64,7 @@ int main(int argc, char** argv) {
           StrFormat("%d (x%d)", scaled.num_items(), factor)};
       for (const char* key : kMethods) {
         WallTimer timer;
-        RunMethod(key, problem);
+        RunMethod(key, problem, context);
         row.push_back(StrFormat("%.2f", timer.Seconds()));
       }
       table.AddRow(row);

@@ -1,9 +1,21 @@
 // google-benchmark micro-kernels for the hot paths underneath every
-// experiment: single-offer pricing (grid + exact), mixed merge gain, sparse
-// vector merging, bitmap support counting, blossom matching, and one
-// enumeration step. Run with --benchmark_filter=... as usual.
+// experiment: single-offer pricing (grid + exact, legacy vs workspace),
+// mixed merge gain, sparse vector merging, bitmap support counting, blossom
+// matching, and one enumeration step. Run with --benchmark_filter=... as
+// usual.
+//
+// The *Workspace variants price through a reusable PricingWorkspace — the
+// per-candidate path of the bundling algorithms. Every pricing benchmark
+// reports an "allocs_per_op" counter (global operator-new count divided by
+// iterations): the workspace paths must show 0 on the steady state, the
+// legacy paths show the per-call vector churn they pay for convenience.
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 
 #include "core/offer_ops.h"
 #include "data/generator.h"
@@ -12,10 +24,54 @@
 #include "mining/transactions.h"
 #include "pricing/mixed_pricer.h"
 #include "pricing/offer_pricer.h"
+#include "pricing/pricing_workspace.h"
 #include "util/rng.h"
+
+namespace {
+std::atomic<std::int64_t> g_alloc_count{0};
+}  // namespace
+
+// Count every heap allocation in the process. The default operator new[]
+// forwards here, so array news are covered too.
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  std::size_t a = static_cast<std::size_t>(align);
+  std::size_t rounded = (size + a - 1) / a * a;
+  if (rounded == 0) rounded = a;
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace bundlemine {
 namespace {
+
+std::int64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+// Runs the benchmark loop around `op` and reports allocations per iteration.
+template <typename Op>
+void LoopCountingAllocs(benchmark::State& state, Op op) {
+  op();  // Warm scratch buffers to their high-water mark before measuring.
+  std::int64_t before = AllocCount();
+  for (auto _ : state) op();
+  std::int64_t delta = AllocCount() - before;
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(delta) / static_cast<double>(state.iterations()));
+}
 
 SparseWtpVector RandomAudience(Rng* rng, int size, double max_w = 25.0) {
   std::vector<WtpEntry> entries;
@@ -30,34 +86,70 @@ void BM_PriceOfferGrid(benchmark::State& state) {
   Rng rng(1);
   SparseWtpVector audience = RandomAudience(&rng, static_cast<int>(state.range(0)));
   OfferPricer pricer(AdoptionModel::Step(), 100);
-  for (auto _ : state) {
+  LoopCountingAllocs(state, [&] {
     benchmark::DoNotOptimize(pricer.PriceOffer(audience, 1.0).revenue);
-  }
+  });
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_PriceOfferGrid)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_PriceOfferGridWorkspace(benchmark::State& state) {
+  Rng rng(1);
+  SparseWtpVector audience = RandomAudience(&rng, static_cast<int>(state.range(0)));
+  OfferPricer pricer(AdoptionModel::Step(), 100);
+  PricingWorkspace ws;
+  LoopCountingAllocs(state, [&] {
+    benchmark::DoNotOptimize(pricer.PriceOffer(audience, 1.0, &ws).revenue);
+  });
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PriceOfferGridWorkspace)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
 
 void BM_PriceOfferExact(benchmark::State& state) {
   Rng rng(2);
   SparseWtpVector audience = RandomAudience(&rng, static_cast<int>(state.range(0)));
   OfferPricer pricer(AdoptionModel::Step(), 0);
-  for (auto _ : state) {
+  LoopCountingAllocs(state, [&] {
     benchmark::DoNotOptimize(pricer.PriceOffer(audience, 1.0).revenue);
-  }
+  });
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_PriceOfferExact)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_PriceOfferExactWorkspace(benchmark::State& state) {
+  Rng rng(2);
+  SparseWtpVector audience = RandomAudience(&rng, static_cast<int>(state.range(0)));
+  OfferPricer pricer(AdoptionModel::Step(), 0);
+  PricingWorkspace ws;
+  LoopCountingAllocs(state, [&] {
+    benchmark::DoNotOptimize(pricer.PriceOffer(audience, 1.0, &ws).revenue);
+  });
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PriceOfferExactWorkspace)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
 
 void BM_PriceOfferSigmoid(benchmark::State& state) {
   Rng rng(3);
   SparseWtpVector audience = RandomAudience(&rng, static_cast<int>(state.range(0)));
   OfferPricer pricer(AdoptionModel::Sigmoid(10.0), 100);
-  for (auto _ : state) {
+  LoopCountingAllocs(state, [&] {
     benchmark::DoNotOptimize(pricer.PriceOffer(audience, 1.0).revenue);
-  }
+  });
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_PriceOfferSigmoid)->Arg(128)->Arg(1024);
+
+void BM_PriceOfferSigmoidWorkspace(benchmark::State& state) {
+  Rng rng(3);
+  SparseWtpVector audience = RandomAudience(&rng, static_cast<int>(state.range(0)));
+  OfferPricer pricer(AdoptionModel::Sigmoid(10.0), 100);
+  PricingWorkspace ws;
+  LoopCountingAllocs(state, [&] {
+    benchmark::DoNotOptimize(pricer.PriceOffer(audience, 1.0, &ws).revenue);
+  });
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PriceOfferSigmoidWorkspace)->Arg(128)->Arg(1024);
 
 void BM_MixedMergeGain(benchmark::State& state) {
   Rng rng(4);
@@ -71,12 +163,32 @@ void BM_MixedMergeGain(benchmark::State& state) {
   SparseWtpVector pay_b = mixed.BuildStandalonePayments(b, 1.0, pb);
   MergeSide sa{&a, 1.0, pa, &pay_a};
   MergeSide sb{&b, 1.0, pb, &pay_b};
-  for (auto _ : state) {
+  LoopCountingAllocs(state, [&] {
     benchmark::DoNotOptimize(mixed.MergeGain(sa, sb, 1.0).gain);
-  }
+  });
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_MixedMergeGain)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_MixedMergeGainWorkspace(benchmark::State& state) {
+  Rng rng(4);
+  SparseWtpVector a = RandomAudience(&rng, static_cast<int>(state.range(0)));
+  SparseWtpVector b = RandomAudience(&rng, static_cast<int>(state.range(0)));
+  OfferPricer item_pricer(AdoptionModel::Step(), 100);
+  MixedPricer mixed(AdoptionModel::Step(), 100);
+  double pa = item_pricer.PriceOffer(a, 1.0).price;
+  double pb = item_pricer.PriceOffer(b, 1.0).price;
+  SparseWtpVector pay_a = mixed.BuildStandalonePayments(a, 1.0, pa);
+  SparseWtpVector pay_b = mixed.BuildStandalonePayments(b, 1.0, pb);
+  MergeSide sa{&a, 1.0, pa, &pay_a};
+  MergeSide sb{&b, 1.0, pb, &pay_b};
+  PricingWorkspace ws;
+  LoopCountingAllocs(state, [&] {
+    benchmark::DoNotOptimize(mixed.MergeGain(sa, sb, 1.0, &ws).gain);
+  });
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MixedMergeGainWorkspace)->Arg(16)->Arg(128)->Arg(1024);
 
 void BM_SparseMerge(benchmark::State& state) {
   Rng rng(5);
@@ -93,10 +205,10 @@ void BM_PriceMergedPair(benchmark::State& state) {
   SparseWtpVector a = RandomAudience(&rng, static_cast<int>(state.range(0)));
   SparseWtpVector b = RandomAudience(&rng, static_cast<int>(state.range(0)));
   OfferPricer pricer(AdoptionModel::Step(), 100);
-  std::vector<double> scratch;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(PriceMergedPair(a, b, 1.0, pricer, &scratch).revenue);
-  }
+  PricingWorkspace ws;
+  LoopCountingAllocs(state, [&] {
+    benchmark::DoNotOptimize(PriceMergedPair(a, b, 1.0, pricer, &ws).revenue);
+  });
 }
 BENCHMARK(BM_PriceMergedPair)->Arg(16)->Arg(128)->Arg(1024);
 

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   GeneratorConfig config = ProfileByName(
       flags.GetString("scale"), static_cast<std::uint64_t>(flags.GetInt("seed")));
   RatingsDataset dataset = GenerateAmazonLike(config);
+  SolveContext context(bench::ContextOptions(flags));
   DatasetStats stats = dataset.Stats();
   std::printf("# dataset: %d users, %d items, %lld ratings\n", stats.num_users,
               stats.num_items, static_cast<long long>(stats.num_ratings));
@@ -30,9 +31,9 @@ int main(int argc, char** argv) {
     WtpMatrix wtp = WtpMatrix::FromRatings(dataset, lambda);
     BundleConfigProblem problem = bench::BaseProblem(flags, wtp);
     double optimal =
-        RevenueCoverage(RunMethod("components", problem).total_revenue, wtp);
+        RevenueCoverage(RunMethod("components", problem, context).total_revenue, wtp);
     double list =
-        RevenueCoverage(RunMethod("components-list", problem).total_revenue, wtp);
+        RevenueCoverage(RunMethod("components-list", problem, context).total_revenue, wtp);
     table.AddRow({StrFormat("%.2f", lambda), bench::Pct(optimal),
                   bench::Pct(list)});
   }

@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
 
   bench::BenchData data = bench::LoadData(flags);
+  SolveContext context(bench::ContextOptions(flags));
   const int num_samples = static_cast<int>(flags.GetInt("samples"));
   Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")) + 17);
 
@@ -89,7 +90,7 @@ int main(int argc, char** argv) {
       BundleConfigProblem problem = bench::BaseProblem(flags, wtp);
 
       WallTimer t_matching;
-      BundleSolution matching = RunMethod("pure-matching", problem);
+      BundleSolution matching = RunMethod("pure-matching", problem, context);
       double matching_seconds = t_matching.Seconds();
       bool has_large_bundle = false;
       for (const PricedBundle& o : matching.offers) {
@@ -105,19 +106,19 @@ int main(int argc, char** argv) {
                                       matching_seconds);
       {
         WallTimer t;
-        BundleSolution s = RunMethod("pure-greedy", problem);
+        BundleSolution s = RunMethod("pure-greedy", problem, context);
         cells[{"pure-greedy", n}].Add(RevenueCoverage(s, wtp), t.Seconds());
       }
       if (n <= 20) {
         WspTimings timings;
-        BundleSolution s = OptimalWspBundler().SolveWithTimings(problem, &timings);
+        BundleSolution s = OptimalWspBundler().SolveWithTimings(problem, context, &timings);
         cells[{"optimal-wsp", n}].Add(RevenueCoverage(s, wtp),
                                       timings.solve_seconds,
                                       timings.enumeration_seconds);
       }
       {
         WspTimings timings;
-        BundleSolution s = GreedyWspBundler().SolveWithTimings(problem, &timings);
+        BundleSolution s = GreedyWspBundler().SolveWithTimings(problem, context, &timings);
         cells[{"greedy-wsp", n}].Add(RevenueCoverage(s, wtp),
                                      timings.solve_seconds,
                                      timings.enumeration_seconds);

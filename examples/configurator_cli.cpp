@@ -1,17 +1,20 @@
 // configurator_cli — an operational command-line front end for the library.
 //
 // Loads a ratings dataset from CSV (or generates a synthetic one), runs any
-// bundling method, prints the market summary with the welfare decomposition
-// from the rational-choice simulator, and optionally exports the priced
-// configuration to CSV for downstream systems.
+// bundling method registered in the BundlerRegistry, prints the market
+// summary with the welfare decomposition from the rational-choice simulator,
+// and optionally exports the priced configuration to CSV for downstream
+// systems.
 //
-//   ./configurator_cli --scale=small --method=mixed-matching --theta=0 \
-//                      --out=config.csv
+//   ./configurator_cli --scale=small --method=mixed-matching --theta=0
+//       --out=config.csv
 //   ./configurator_cli --data=/path/to/stem --method=pure-greedy --k=3
+//   ./configurator_cli --list-methods
 
 #include <algorithm>
 #include <cstdio>
 
+#include "core/bundler_registry.h"
 #include "core/market_simulator.h"
 #include "core/metrics.h"
 #include "core/runner.h"
@@ -25,22 +28,57 @@
 
 using namespace bundlemine;
 
+namespace {
+
+// "components|pure-matching|..." — built from the registry so the help text
+// can never drift from what is actually runnable.
+std::string MethodKeyList() {
+  std::string joined;
+  for (const std::string& key : BundlerRegistry::Global().Keys()) {
+    if (!joined.empty()) joined += "|";
+    joined += key;
+  }
+  return joined;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   FlagSet flags;
   flags.Define("data", "", "dataset stem (loads <stem>.ratings.csv/.prices.csv); "
                            "empty = synthetic");
   flags.Define("scale", "small", "synthetic profile: tiny|small|medium|paper");
   flags.Define("seed", "42", "synthetic generator seed");
-  flags.Define("method", "mixed-matching",
-               "components|pure-matching|mixed-matching|pure-greedy|"
-               "mixed-greedy|pure-freq|mixed-freq|two-sized");
+  flags.Define("method", "mixed-matching", MethodKeyList());
+  flags.Define("list-methods", "false",
+               "print the registered method keys and exit");
   flags.Define("lambda", "1.25", "ratings → WTP conversion factor");
   flags.Define("theta", "0", "bundling coefficient");
   flags.Define("k", "0", "max bundle size (0 = unconstrained)");
   flags.Define("levels", "100", "price grid resolution (0 = exact)");
+  flags.Define("threads", "1", "worker threads for candidate evaluation "
+                               "(matching methods only; results are "
+                               "identical at any count)");
+  flags.Define("deadline", "0",
+               "wall-clock budget in seconds (0 = none; honored by the "
+               "matching/greedy/freq solvers, which stop refining and return "
+               "the best configuration found)");
   flags.Define("out", "", "optional CSV path for the priced configuration");
   flags.Define("top", "10", "number of bundles to print");
   flags.Parse(argc, argv);
+
+  const BundlerRegistry& registry = BundlerRegistry::Global();
+  if (flags.GetBool("list-methods")) {
+    for (const std::string& key : registry.Keys()) {
+      std::printf("%-18s %s\n", key.c_str(), registry.DisplayName(key).c_str());
+    }
+    return 0;
+  }
+  if (!registry.Has(flags.GetString("method"))) {
+    std::fprintf(stderr, "error: unknown method '%s' (known: %s)\n",
+                 flags.GetString("method").c_str(), MethodKeyList().c_str());
+    return 1;
+  }
 
   // ---- Data. ----
   RatingsDataset dataset;
@@ -67,13 +105,24 @@ int main(int argc, char** argv) {
   problem.theta = flags.GetDouble("theta");
   problem.max_bundle_size = static_cast<int>(flags.GetInt("k"));
   problem.price_levels = static_cast<int>(flags.GetInt("levels"));
-  BundleSolution components = RunMethod("components", problem);
-  BundleSolution solution = RunMethod(flags.GetString("method"), problem);
 
-  std::printf("\n%s: revenue %.2f | coverage %.1f%% | gain %+.2f%% | %.2fs\n",
+  SolveContext::Options options;
+  options.num_threads = static_cast<int>(flags.GetInt("threads"));
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  options.deadline_seconds = flags.GetDouble("deadline");
+  SolveContext context(options);
+
+  BundleSolution components = RunMethod("components", problem, context);
+  context.RestartDeadline();
+  BundleSolution solution = RunMethod(flags.GetString("method"), problem, context);
+
+  std::printf("\n%s: revenue %.2f | coverage %.1f%% | gain %+.2f%% | %.2fs | "
+              "%lld candidates priced%s\n",
               solution.method.c_str(), solution.total_revenue,
               100 * RevenueCoverage(solution, wtp),
-              100 * RevenueGain(solution, components), solution.solve_seconds);
+              100 * RevenueGain(solution, components), solution.solve_seconds,
+              static_cast<long long>(context.stats().pairs_evaluated),
+              context.stats().deadline_hit ? " (deadline hit)" : "");
 
   // ---- Welfare decomposition under rational choice. ----
   MarketSimulator simulator(wtp, problem.theta);

@@ -1,0 +1,10 @@
+#include "core/bundler.h"
+
+namespace bundlemine {
+
+BundleSolution Bundler::Solve(const BundleConfigProblem& problem) const {
+  SolveContext context;
+  return Solve(problem, context);
+}
+
+}  // namespace bundlemine

@@ -7,18 +7,28 @@
 
 #include "core/problem.h"
 #include "core/solution.h"
+#include "core/solve_context.h"
 
 namespace bundlemine {
 
 /// A bundle-configuration algorithm. Implementations are stateless across
-/// calls; all instance data lives in the problem.
+/// calls; all instance data lives in the problem, and all per-solve runtime
+/// state (scratch buffers, rng, thread pool, deadline) lives in the
+/// SolveContext.
 class Bundler {
  public:
   virtual ~Bundler() = default;
 
-  /// Solves the configuration problem. The returned solution's offers follow
-  /// the attribution rules documented on PricedBundle.
-  virtual BundleSolution Solve(const BundleConfigProblem& problem) const = 0;
+  /// Solves the configuration problem using the given runtime context. The
+  /// returned solution's offers follow the attribution rules documented on
+  /// PricedBundle. Implementations must produce identical solutions for a
+  /// serial and a multi-threaded context.
+  virtual BundleSolution Solve(const BundleConfigProblem& problem,
+                               SolveContext& context) const = 0;
+
+  /// Convenience overload: solves with a default (serial, no-deadline)
+  /// context. Derived classes inherit this via `using Bundler::Solve`.
+  BundleSolution Solve(const BundleConfigProblem& problem) const;
 
   /// Display name ("Pure Matching", "Mixed Greedy", ...).
   virtual std::string name() const = 0;

@@ -1,0 +1,116 @@
+#include "core/bundler_registry.h"
+
+#include <utility>
+
+#include "core/components_baseline.h"
+#include "core/freq_itemset_bundler.h"
+#include "core/greedy_bundler.h"
+#include "core/matching_bundler.h"
+#include "core/wsp_bundler.h"
+#include "util/check.h"
+
+namespace bundlemine {
+namespace {
+
+BundlerRegistry::ProblemAdjuster ForceStrategy(BundlingStrategy strategy) {
+  return [strategy](BundleConfigProblem* p) { p->strategy = strategy; };
+}
+
+void RegisterBuiltins(BundlerRegistry* registry) {
+  auto add = [registry](const std::string& key, BundlerRegistry::Entry entry) {
+    registry->Register(key, std::move(entry));
+  };
+
+  add("components",
+      {"Components", [] { return std::make_unique<ComponentsBaseline>(); },
+       nullptr, ""});
+  add("components-list",
+      {"Components (list price)",
+       [] {
+         return std::make_unique<ComponentsBaseline>(ComponentPricing::kListPrice);
+       },
+       nullptr, ""});
+  add("pure-matching",
+      {"Pure Matching", [] { return std::make_unique<MatchingBundler>(); },
+       ForceStrategy(BundlingStrategy::kPure), ""});
+  add("mixed-matching",
+      {"Mixed Matching", [] { return std::make_unique<MatchingBundler>(); },
+       ForceStrategy(BundlingStrategy::kMixed), ""});
+  add("pure-greedy",
+      {"Pure Greedy", [] { return std::make_unique<GreedyBundler>(); },
+       ForceStrategy(BundlingStrategy::kPure), ""});
+  add("mixed-greedy",
+      {"Mixed Greedy", [] { return std::make_unique<GreedyBundler>(); },
+       ForceStrategy(BundlingStrategy::kMixed), ""});
+  add("pure-freq",
+      {"Pure FreqItemset", [] { return std::make_unique<FreqItemsetBundler>(); },
+       ForceStrategy(BundlingStrategy::kPure), ""});
+  add("mixed-freq",
+      {"Mixed FreqItemset", [] { return std::make_unique<FreqItemsetBundler>(); },
+       ForceStrategy(BundlingStrategy::kMixed), ""});
+  add("two-sized",
+      {"2-sized Optimal", [] { return std::make_unique<MatchingBundler>(); },
+       [](BundleConfigProblem* p) {
+         p->strategy = BundlingStrategy::kPure;
+         p->max_bundle_size = 2;
+       },
+       "2-sized Optimal"});
+  add("optimal-wsp",
+      {"Optimal", [] { return std::make_unique<OptimalWspBundler>(); },
+       ForceStrategy(BundlingStrategy::kPure), ""});
+  add("greedy-wsp",
+      {"Greedy WSP", [] { return std::make_unique<GreedyWspBundler>(); },
+       ForceStrategy(BundlingStrategy::kPure), ""});
+  add("greedy-wsp-avg",
+      {"Greedy WSP (avg ratio)",
+       [] { return std::make_unique<GreedyWspBundler>(/*average_per_item=*/true); },
+       ForceStrategy(BundlingStrategy::kPure), ""});
+}
+
+}  // namespace
+
+BundlerRegistry& BundlerRegistry::Global() {
+  static BundlerRegistry* registry = [] {
+    auto* r = new BundlerRegistry();
+    RegisterBuiltins(r);
+    return r;
+  }();
+  return *registry;
+}
+
+void BundlerRegistry::Register(const std::string& key, Entry entry) {
+  BM_CHECK_MSG(entry.factory != nullptr, "registry entry needs a factory");
+  auto [it, inserted] = entries_.emplace(key, std::move(entry));
+  (void)it;
+  BM_CHECK_MSG(inserted, "duplicate method key registration");
+}
+
+bool BundlerRegistry::Has(const std::string& key) const {
+  return entries_.count(key) != 0;
+}
+
+const BundlerRegistry::Entry* BundlerRegistry::Find(const std::string& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::unique_ptr<Bundler> BundlerRegistry::Create(const std::string& key) const {
+  const Entry* entry = Find(key);
+  BM_CHECK_MSG(entry != nullptr, "unknown method key");
+  return entry->factory();
+}
+
+std::string BundlerRegistry::DisplayName(const std::string& key) const {
+  const Entry* entry = Find(key);
+  BM_CHECK_MSG(entry != nullptr, "unknown method key");
+  return entry->display_name;
+}
+
+std::vector<std::string> BundlerRegistry::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace bundlemine

@@ -6,7 +6,8 @@
 
 namespace bundlemine {
 
-BundleSolution ComponentsBaseline::Solve(const BundleConfigProblem& problem) const {
+BundleSolution ComponentsBaseline::Solve(const BundleConfigProblem& problem,
+                                         SolveContext& context) const {
   BM_CHECK(problem.wtp != nullptr);
   const WtpMatrix& wtp = *problem.wtp;
   WallTimer timer;
@@ -20,7 +21,7 @@ BundleSolution ComponentsBaseline::Solve(const BundleConfigProblem& problem) con
     PricedBundle offer;
     offer.items = Bundle::Of(i);
     if (pricing_ == ComponentPricing::kOptimal) {
-      PricedOffer priced = pricer.PriceOffer(raw, /*scale=*/1.0);
+      PricedOffer priced = pricer.PriceOffer(raw, /*scale=*/1.0, &context.workspace());
       offer.price = priced.price;
       offer.revenue = priced.revenue;
       offer.expected_buyers = priced.expected_buyers;

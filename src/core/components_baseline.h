@@ -23,7 +23,9 @@ class ComponentsBaseline : public Bundler {
   explicit ComponentsBaseline(ComponentPricing pricing = ComponentPricing::kOptimal)
       : pricing_(pricing) {}
 
-  BundleSolution Solve(const BundleConfigProblem& problem) const override;
+  using Bundler::Solve;
+  BundleSolution Solve(const BundleConfigProblem& problem,
+                       SolveContext& context) const override;
   std::string name() const override;
 
  private:

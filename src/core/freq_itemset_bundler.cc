@@ -27,7 +27,8 @@ struct Candidate {
 
 }  // namespace
 
-BundleSolution FreqItemsetBundler::Solve(const BundleConfigProblem& problem) const {
+BundleSolution FreqItemsetBundler::Solve(const BundleConfigProblem& problem,
+                                         SolveContext& context) const {
   BM_CHECK(problem.wtp != nullptr);
   const WtpMatrix& wtp = *problem.wtp;
   WallTimer timer;
@@ -37,6 +38,7 @@ BundleSolution FreqItemsetBundler::Solve(const BundleConfigProblem& problem) con
   OfferPricer pricer(problem.adoption, problem.price_levels);
   MixedPricer mixed(problem.adoption, problem.price_levels,
                     problem.mixed_composition);
+  PricingWorkspace& ws = context.workspace();
 
   // Per-item standalone pricing (components are always available candidates).
   std::vector<SparseWtpVector> item_raw;
@@ -47,7 +49,7 @@ BundleSolution FreqItemsetBundler::Solve(const BundleConfigProblem& problem) con
   item_payments.reserve(static_cast<std::size_t>(wtp.num_items()));
   for (ItemId i = 0; i < wtp.num_items(); ++i) {
     item_raw.push_back(wtp.ItemVector(i));
-    item_priced.push_back(pricer.PriceOffer(item_raw.back(), 1.0));
+    item_priced.push_back(pricer.PriceOffer(item_raw.back(), 1.0, &ws));
     item_payments.push_back(
         mixed.BuildStandalonePayments(item_raw.back(), 1.0, item_priced.back().price));
   }
@@ -82,6 +84,13 @@ BundleSolution FreqItemsetBundler::Solve(const BundleConfigProblem& problem) con
   // Evaluate candidates (size ≥ 2 only; size-1 candidates are the items).
   std::vector<Candidate> candidates;
   for (const FrequentItemset& fi : itemsets) {
+    if (context.DeadlineExceeded()) {
+      // Stop evaluating further itemsets; the configuration is assembled
+      // from what has been priced so far (plus all singletons) and stays
+      // structurally valid.
+      context.stats().deadline_hit = true;
+      break;
+    }
     if (static_cast<int>(fi.items.size()) < 2 ||
         static_cast<int>(fi.items.size()) > k) {
       continue;
@@ -96,8 +105,9 @@ BundleSolution FreqItemsetBundler::Solve(const BundleConfigProblem& problem) con
     for (int item : fi.items) {
       raw = SparseWtpVector::Merge(raw, item_raw[static_cast<std::size_t>(item)]);
     }
+    ++context.stats().pairs_evaluated;
     if (pure) {
-      PricedOffer priced = pricer.PriceOffer(raw, scale);
+      PricedOffer priced = pricer.PriceOffer(raw, scale, &ws);
       double parts = 0.0;
       for (int item : fi.items) {
         parts += item_priced[static_cast<std::size_t>(item)].revenue;
@@ -114,7 +124,7 @@ BundleSolution FreqItemsetBundler::Solve(const BundleConfigProblem& problem) con
         sides.push_back(MergeSide{&item_raw[idx], 1.0, item_priced[idx].price,
                                   &item_payments[idx]});
       }
-      MergeGainResult r = mixed.MultiMergeGain(sides, scale);
+      MergeGainResult r = mixed.MultiMergeGain(sides, scale, &ws);
       if (!r.feasible) continue;
       c.gain = r.gain;
       c.price = r.bundle_price;

@@ -24,7 +24,9 @@ class FreqItemsetBundler : public Bundler {
  public:
   FreqItemsetBundler() = default;
 
-  BundleSolution Solve(const BundleConfigProblem& problem) const override;
+  using Bundler::Solve;
+  BundleSolution Solve(const BundleConfigProblem& problem,
+                       SolveContext& context) const override;
   std::string name() const override { return "FreqItemset"; }
 };
 

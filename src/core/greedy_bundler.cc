@@ -47,7 +47,8 @@ struct HeapEntry {
 
 }  // namespace
 
-BundleSolution GreedyBundler::Solve(const BundleConfigProblem& problem) const {
+BundleSolution GreedyBundler::Solve(const BundleConfigProblem& problem,
+                                    SolveContext& context) const {
   BM_CHECK(problem.wtp != nullptr);
   const WtpMatrix& wtp = *problem.wtp;
   WallTimer timer;
@@ -58,8 +59,8 @@ BundleSolution GreedyBundler::Solve(const BundleConfigProblem& problem) const {
   OfferPricer pricer(problem.adoption, problem.price_levels);
   MixedPricer mixed(problem.adoption, problem.price_levels,
                     problem.mixed_composition);
+  PricingWorkspace& ws = context.workspace();
   std::vector<Offer> offers;
-  std::vector<double> scratch;
 
   offers.reserve(static_cast<std::size_t>(wtp.num_items()) * 2);
   double total = 0.0;
@@ -67,7 +68,7 @@ BundleSolution GreedyBundler::Solve(const BundleConfigProblem& problem) const {
     Offer o;
     o.items = Bundle::Of(i);
     o.raw = wtp.ItemVector(i);
-    PricedOffer priced = pricer.PriceOffer(o.raw, 1.0);
+    PricedOffer priced = pricer.PriceOffer(o.raw, 1.0, &ws);
     o.price = priced.price;
     o.standalone = priced.revenue;
     o.buyers = priced.expected_buyers;
@@ -84,6 +85,7 @@ BundleSolution GreedyBundler::Solve(const BundleConfigProblem& problem) const {
       IterationStat{0, total, timer.Seconds(), static_cast<int>(offers.size())});
 
   auto evaluate = [&](int ai, int bi, HeapEntry* entry) -> bool {
+    ++context.stats().pairs_evaluated;
     const Offer& a = offers[static_cast<std::size_t>(ai)];
     const Offer& b = offers[static_cast<std::size_t>(bi)];
     int merged_size = a.items.size() + b.items.size();
@@ -94,7 +96,7 @@ BundleSolution GreedyBundler::Solve(const BundleConfigProblem& problem) const {
     entry->b = bi;
     if (pure) {
       PricedOffer priced =
-          PriceMergedPair(a.raw, b.raw, merged_scale, pricer, &scratch);
+          PriceMergedPair(a.raw, b.raw, merged_scale, pricer, &ws);
       double gain = priced.revenue - a.standalone - b.standalone;
       if (gain <= kGainEpsilon) return false;
       entry->gain = gain;
@@ -107,7 +109,7 @@ BundleSolution GreedyBundler::Solve(const BundleConfigProblem& problem) const {
                  &a.payments};
     MergeSide sb{&b.raw, BundleScale(b.items.size(), problem.theta), b.price,
                  &b.payments};
-    MergeGainResult r = mixed.MergeGain(sa, sb, merged_scale);
+    MergeGainResult r = mixed.MergeGain(sa, sb, merged_scale, &ws);
     if (!r.feasible || r.gain <= kGainEpsilon) return false;
     entry->gain = r.gain;
     entry->price = r.bundle_price;
@@ -136,6 +138,10 @@ BundleSolution GreedyBundler::Solve(const BundleConfigProblem& problem) const {
 
   int iteration = 0;
   while (!heap.empty()) {
+    if (context.DeadlineExceeded()) {
+      context.stats().deadline_hit = true;
+      break;
+    }
     HeapEntry top = heap.top();
     heap.pop();
     if (!offers[static_cast<std::size_t>(top.a)].alive ||
@@ -146,6 +152,8 @@ BundleSolution GreedyBundler::Solve(const BundleConfigProblem& problem) const {
 
     // Collapse the pair.
     ++iteration;
+    context.stats().rounds = iteration;
+    ++context.stats().merges;
     Offer merged;
     {
       Offer& a = offers[static_cast<std::size_t>(top.a)];

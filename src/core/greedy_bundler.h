@@ -20,7 +20,9 @@ class GreedyBundler : public Bundler {
  public:
   GreedyBundler() = default;
 
-  BundleSolution Solve(const BundleConfigProblem& problem) const override;
+  using Bundler::Solve;
+  BundleSolution Solve(const BundleConfigProblem& problem,
+                       SolveContext& context) const override;
   std::string name() const override { return "Greedy"; }
 };
 

@@ -1,6 +1,7 @@
 #include "core/matching_bundler.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/offer_ops.h"
 #include "matching/max_weight_matching.h"
@@ -49,7 +50,6 @@ struct SolveState {
   OfferPricer pricer;
   MixedPricer mixed;
   std::vector<Offer> offers;
-  std::vector<double> scratch;
 
   SolveState(const BundleConfigProblem& p)
       : problem(&p),
@@ -59,7 +59,10 @@ struct SolveState {
   double Scale(int size) const { return BundleScale(size, problem->theta); }
 
   // Evaluates merging offers a and b; returns false when no positive gain.
-  bool EvaluatePair(int ai, int bi, CandidateEdge* edge) {
+  // Reads only shared immutable state plus the caller's workspace, so
+  // distinct candidates may be evaluated concurrently.
+  bool EvaluatePair(int ai, int bi, CandidateEdge* edge,
+                    PricingWorkspace* ws) const {
     const Offer& a = offers[static_cast<std::size_t>(ai)];
     const Offer& b = offers[static_cast<std::size_t>(bi)];
     int merged_size = a.items.size() + b.items.size();
@@ -68,8 +71,7 @@ struct SolveState {
     edge->a = ai;
     edge->b = bi;
     if (problem->strategy == BundlingStrategy::kPure) {
-      PricedOffer priced =
-          PriceMergedPair(a.raw, b.raw, merged_scale, pricer, &scratch);
+      PricedOffer priced = PriceMergedPair(a.raw, b.raw, merged_scale, pricer, ws);
       double gain = priced.revenue - a.standalone - b.standalone;
       if (gain <= kGainEpsilon) return false;
       edge->gain = gain;
@@ -80,7 +82,7 @@ struct SolveState {
     }
     MergeSide sa{&a.raw, Scale(a.items.size()), a.price, &a.payments};
     MergeSide sb{&b.raw, Scale(b.items.size()), b.price, &b.payments};
-    MergeGainResult r = mixed.MergeGain(sa, sb, merged_scale);
+    MergeGainResult r = mixed.MergeGain(sa, sb, merged_scale, ws);
     if (!r.feasible || r.gain <= kGainEpsilon) return false;
     edge->gain = r.gain;
     edge->price = r.bundle_price;
@@ -171,7 +173,8 @@ BundleSolution BuildSolution(const SolveState& st, const char* method_name) {
 
 }  // namespace
 
-BundleSolution MatchingBundler::Solve(const BundleConfigProblem& problem) const {
+BundleSolution MatchingBundler::Solve(const BundleConfigProblem& problem,
+                                      SolveContext& context) const {
   BM_CHECK(problem.wtp != nullptr);
   const WtpMatrix& wtp = *problem.wtp;
   WallTimer timer;
@@ -186,7 +189,7 @@ BundleSolution MatchingBundler::Solve(const BundleConfigProblem& problem) const 
     Offer o;
     o.items = Bundle::Of(i);
     o.raw = wtp.ItemVector(i);
-    PricedOffer priced = st.pricer.PriceOffer(o.raw, 1.0);
+    PricedOffer priced = st.pricer.PriceOffer(o.raw, 1.0, &context.workspace());
     o.price = priced.price;
     o.standalone = priced.revenue;
     o.buyers = priced.expected_buyers;
@@ -203,21 +206,61 @@ BundleSolution MatchingBundler::Solve(const BundleConfigProblem& problem) const 
   trace_holder.trace.push_back(
       IterationStat{0, st.TotalRevenue(), timer.Seconds(), st.AliveCount()});
 
+  // Candidates are evaluated in fixed-size blocks: generation appends into
+  // `pairs` and FlushBlock fans the block out across the pool, keeping only
+  // the positive-gain edges. Blocks are processed in generation order and
+  // gathered in index order, so the edge list — and hence the whole solve —
+  // stays bit-identical to a serial run while candidate memory stays bounded
+  // at the block size instead of the full O(n²) candidate set.
+  constexpr std::size_t kCandidateBlock = 8192;
+  std::vector<std::pair<int, int>> pairs;
+  std::vector<CandidateEdge> results;
+  std::vector<char> has_gain;
+  std::vector<CandidateEdge> edges;
+  pairs.reserve(kCandidateBlock);
+
+  auto flush_block = [&] {
+    if (pairs.empty()) return;
+    results.resize(pairs.size());
+    has_gain.assign(pairs.size(), 0);
+    auto evaluate = [&](std::size_t idx, int slot) {
+      has_gain[idx] = st.EvaluatePair(pairs[idx].first, pairs[idx].second,
+                                      &results[idx], &context.workspace(slot))
+                          ? 1
+                          : 0;
+    };
+    if (context.pool() != nullptr) {
+      context.pool()->ParallelFor(pairs.size(), evaluate);
+    } else {
+      for (std::size_t idx = 0; idx < pairs.size(); ++idx) evaluate(idx, 0);
+    }
+    context.stats().pairs_evaluated += static_cast<std::int64_t>(pairs.size());
+    for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+      if (has_gain[idx]) edges.push_back(results[idx]);
+    }
+    pairs.clear();
+  };
+  auto add_candidate = [&](int a, int b) {
+    pairs.emplace_back(a, b);
+    if (pairs.size() >= kCandidateBlock) flush_block();
+  };
+
   while (k >= 2) {
+    if (context.DeadlineExceeded()) {
+      context.stats().deadline_hit = true;
+      break;
+    }
     ++iteration;
-    // ---- Candidate edge generation with the paper's prunings. ----
-    std::vector<CandidateEdge> edges;
-    CandidateEdge edge;
+    context.stats().rounds = iteration;
+
+    // ---- Candidate pair generation with the paper's prunings. ----
+    edges.clear();
     if (iteration == 1) {
       if (problem.prune_co_interest) {
-        for (const auto& [i, j] : wtp.CoInterestedPairs()) {
-          if (st.EvaluatePair(i, j, &edge)) edges.push_back(edge);
-        }
+        for (const auto& [i, j] : wtp.CoInterestedPairs()) add_candidate(i, j);
       } else {
         for (int i = 0; i < wtp.num_items(); ++i) {
-          for (int j = i + 1; j < wtp.num_items(); ++j) {
-            if (st.EvaluatePair(i, j, &edge)) edges.push_back(edge);
-          }
+          for (int j = i + 1; j < wtp.num_items(); ++j) add_candidate(i, j);
         }
       }
     } else {
@@ -236,12 +279,11 @@ BundleSolution MatchingBundler::Solve(const BundleConfigProblem& problem) const 
           if (problem.prune_co_interest && !SupportsIntersect(a.raw, b.raw)) {
             continue;
           }
-          if (st.EvaluatePair(alive_ids[x], alive_ids[y], &edge)) {
-            edges.push_back(edge);
-          }
+          add_candidate(alive_ids[x], alive_ids[y]);
         }
       }
     }
+    flush_block();
     for (Offer& o : st.offers) o.is_new = false;
     if (edges.empty()) break;
 
@@ -294,6 +336,7 @@ BundleSolution MatchingBundler::Solve(const BundleConfigProblem& problem) const 
       }
     }
     if (merges == 0) break;
+    context.stats().merges += merges;
     trace_holder.trace.push_back(IterationStat{iteration, st.TotalRevenue(),
                                                timer.Seconds(), st.AliveCount()});
   }

@@ -20,12 +20,17 @@
 
 namespace bundlemine {
 
-/// Algorithm 1. Stateless; all knobs come from the problem.
+/// Algorithm 1. Stateless; all knobs come from the problem. Candidate-edge
+/// evaluation is distributed across the context's thread pool (when present);
+/// results are gathered in candidate order, so a parallel solve is
+/// bit-identical to a serial one.
 class MatchingBundler : public Bundler {
  public:
   MatchingBundler() = default;
 
-  BundleSolution Solve(const BundleConfigProblem& problem) const override;
+  using Bundler::Solve;
+  BundleSolution Solve(const BundleConfigProblem& problem,
+                       SolveContext& context) const override;
   std::string name() const override { return "Matching"; }
 };
 

@@ -9,17 +9,19 @@
 
 #include "data/wtp_matrix.h"
 #include "pricing/offer_pricer.h"
+#include "pricing/pricing_workspace.h"
 
 namespace bundlemine {
 
-/// Prices the union of two offers' audiences at the given effective scale,
-/// writing scaled WTP values into `scratch` (reused across calls to avoid
-/// per-pair allocation).
+/// Prices the union of two offers' audiences at the given effective scale.
+/// The merged scaled WTP values are staged in `ws->values` and priced through
+/// the workspace kernels — zero heap allocation once the workspace is warm.
 inline PricedOffer PriceMergedPair(const SparseWtpVector& a,
                                    const SparseWtpVector& b, double scale,
                                    const OfferPricer& pricer,
-                                   std::vector<double>* scratch) {
-  scratch->clear();
+                                   PricingWorkspace* ws) {
+  std::vector<double>& merged = ws->values;
+  merged.clear();
   const auto& ea = a.entries();
   const auto& eb = b.entries();
   std::size_t i = 0, j = 0;
@@ -32,17 +34,17 @@ inline PricedOffer PriceMergedPair(const SparseWtpVector& a,
     } else {
       w = ea[i++].w + eb[j++].w;
     }
-    if (w > 0.0) scratch->push_back(scale * w);
+    if (w > 0.0) merged.push_back(scale * w);
   }
   while (i < ea.size()) {
-    if (ea[i].w > 0.0) scratch->push_back(scale * ea[i].w);
+    if (ea[i].w > 0.0) merged.push_back(scale * ea[i].w);
     ++i;
   }
   while (j < eb.size()) {
-    if (eb[j].w > 0.0) scratch->push_back(scale * eb[j].w);
+    if (eb[j].w > 0.0) merged.push_back(scale * eb[j].w);
     ++j;
   }
-  return pricer.PriceEffectiveValues(*scratch);
+  return pricer.PriceEffectiveValues(merged, ws);
 }
 
 /// True when the two audiences share at least one consumer with positive WTP

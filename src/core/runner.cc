@@ -1,83 +1,26 @@
 #include "core/runner.h"
 
-#include "core/components_baseline.h"
-#include "core/freq_itemset_bundler.h"
-#include "core/greedy_bundler.h"
-#include "core/matching_bundler.h"
-#include "core/wsp_bundler.h"
 #include "util/check.h"
 
 namespace bundlemine {
 
 BundleSolution RunMethod(const std::string& key, BundleConfigProblem problem) {
-  if (key == "components") {
-    return ComponentsBaseline(ComponentPricing::kOptimal).Solve(problem);
-  }
-  if (key == "components-list") {
-    return ComponentsBaseline(ComponentPricing::kListPrice).Solve(problem);
-  }
-  if (key == "pure-matching") {
-    problem.strategy = BundlingStrategy::kPure;
-    return MatchingBundler().Solve(problem);
-  }
-  if (key == "mixed-matching") {
-    problem.strategy = BundlingStrategy::kMixed;
-    return MatchingBundler().Solve(problem);
-  }
-  if (key == "pure-greedy") {
-    problem.strategy = BundlingStrategy::kPure;
-    return GreedyBundler().Solve(problem);
-  }
-  if (key == "mixed-greedy") {
-    problem.strategy = BundlingStrategy::kMixed;
-    return GreedyBundler().Solve(problem);
-  }
-  if (key == "pure-freq") {
-    problem.strategy = BundlingStrategy::kPure;
-    return FreqItemsetBundler().Solve(problem);
-  }
-  if (key == "mixed-freq") {
-    problem.strategy = BundlingStrategy::kMixed;
-    return FreqItemsetBundler().Solve(problem);
-  }
-  if (key == "two-sized") {
-    problem.strategy = BundlingStrategy::kPure;
-    problem.max_bundle_size = 2;
-    BundleSolution s = MatchingBundler().Solve(problem);
-    s.method = "2-sized Optimal";
-    return s;
-  }
-  if (key == "optimal-wsp") {
-    problem.strategy = BundlingStrategy::kPure;
-    return OptimalWspBundler().Solve(problem);
-  }
-  if (key == "greedy-wsp") {
-    problem.strategy = BundlingStrategy::kPure;
-    return GreedyWspBundler().Solve(problem);
-  }
-  if (key == "greedy-wsp-avg") {
-    problem.strategy = BundlingStrategy::kPure;
-    return GreedyWspBundler(/*average_per_item=*/true).Solve(problem);
-  }
-  BM_CHECK_MSG(false, "unknown method key");
-  return {};
+  SolveContext context;
+  return RunMethod(key, std::move(problem), context);
+}
+
+BundleSolution RunMethod(const std::string& key, BundleConfigProblem problem,
+                         SolveContext& context) {
+  const BundlerRegistry::Entry* entry = BundlerRegistry::Global().Find(key);
+  BM_CHECK_MSG(entry != nullptr, "unknown method key");
+  if (entry->adjust) entry->adjust(&problem);
+  BundleSolution solution = entry->factory()->Solve(problem, context);
+  if (!entry->method_override.empty()) solution.method = entry->method_override;
+  return solution;
 }
 
 std::string MethodDisplayName(const std::string& key) {
-  if (key == "components") return "Components";
-  if (key == "components-list") return "Components (list price)";
-  if (key == "pure-matching") return "Pure Matching";
-  if (key == "mixed-matching") return "Mixed Matching";
-  if (key == "pure-greedy") return "Pure Greedy";
-  if (key == "mixed-greedy") return "Mixed Greedy";
-  if (key == "pure-freq") return "Pure FreqItemset";
-  if (key == "mixed-freq") return "Mixed FreqItemset";
-  if (key == "two-sized") return "2-sized Optimal";
-  if (key == "optimal-wsp") return "Optimal";
-  if (key == "greedy-wsp") return "Greedy WSP";
-  if (key == "greedy-wsp-avg") return "Greedy WSP (avg ratio)";
-  BM_CHECK_MSG(false, "unknown method key");
-  return key;
+  return BundlerRegistry::Global().DisplayName(key);
 }
 
 std::vector<std::string> StandardMethodKeys() {

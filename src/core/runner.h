@@ -1,6 +1,10 @@
-// Method registry: maps the paper's method names to configured bundlers.
+// Method running convenience layer over the BundlerRegistry.
+//
 // Shared by the benchmark harnesses, the examples, and integration tests so
-// that "Mixed Matching" means exactly the same thing everywhere.
+// that "Mixed Matching" means exactly the same thing everywhere. Algorithms
+// are constructed by name through BundlerRegistry::Global(); see
+// core/bundler_registry.h for the key → entry mapping and for registering
+// new methods.
 
 #ifndef BUNDLEMINE_CORE_RUNNER_H_
 #define BUNDLEMINE_CORE_RUNNER_H_
@@ -9,10 +13,11 @@
 #include <vector>
 
 #include "core/bundler.h"
+#include "core/bundler_registry.h"
 
 namespace bundlemine {
 
-/// Canonical method keys:
+/// Canonical method keys (see bundler_registry.cc for the authoritative list):
 ///   "components"        – Components, optimal per-item pricing
 ///   "components-list"   – Components at dataset list prices (Table 2)
 ///   "pure-matching"     – Algorithm 1, pure bundling
@@ -26,10 +31,13 @@ namespace bundlemine {
 ///   "greedy-wsp"        – greedy set packing, w/√|b| ratio (small N)
 ///   "greedy-wsp-avg"    – greedy set packing, w/|b| ratio (small N)
 ///
-/// Runs the method on a copy of `problem` with the strategy (and for
-/// "two-sized" the size cap) adjusted to match the method. Aborts on an
-/// unknown key.
+/// Runs the method on a copy of `problem` with the registry's adjustments
+/// (strategy, size caps) applied. Aborts on an unknown key.
 BundleSolution RunMethod(const std::string& key, BundleConfigProblem problem);
+
+/// Same, with an explicit runtime context (thread pool, deadline, stats).
+BundleSolution RunMethod(const std::string& key, BundleConfigProblem problem,
+                         SolveContext& context);
 
 /// Display name for a method key ("mixed-matching" → "Mixed Matching").
 std::string MethodDisplayName(const std::string& key);

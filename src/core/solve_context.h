@@ -1,0 +1,104 @@
+// Per-solve runtime state shared by every bundling algorithm.
+//
+// A SolveContext bundles the resources a solver needs beyond the problem
+// statement itself: a pool of PricingWorkspaces (one per worker thread, so
+// the pricing hot path never allocates), a deterministic Rng, an optional
+// wall-clock deadline, a stats sink, and an optional thread pool for
+// parallel candidate evaluation. Algorithms receive the context through
+// Bundler::Solve; the single-argument Solve overload constructs a default
+// (serial, no-deadline) context, so casual callers never see this type.
+//
+// A context may be reused across sequential solves (workspace buffers stay
+// warm, the Rng stream continues) but must not be shared by concurrent
+// solves.
+
+#ifndef BUNDLEMINE_CORE_SOLVE_CONTEXT_H_
+#define BUNDLEMINE_CORE_SOLVE_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pricing/pricing_workspace.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace bundlemine {
+
+/// Counters a solve fills in as it runs. Written only from the coordinating
+/// thread (parallel sections report batch totals after joining), so plain
+/// integers suffice and the counts are deterministic.
+struct SolveStats {
+  std::int64_t pairs_evaluated = 0;  ///< Candidate merges priced.
+  std::int64_t merges = 0;           ///< Merges committed.
+  int rounds = 0;                    ///< Matching rounds / greedy iterations.
+  bool deadline_hit = false;         ///< Solve stopped early on the deadline.
+
+  void Reset() { *this = SolveStats{}; }
+};
+
+/// Owns the runtime resources of one solve (or a sequence of solves).
+class SolveContext {
+ public:
+  struct Options {
+    /// Worker threads for candidate evaluation; <= 1 solves serially with no
+    /// thread pool at all. Results are bit-identical either way.
+    int num_threads = 1;
+    /// Seed for the context Rng (sampled adoption, randomized baselines).
+    std::uint64_t seed = 0x42ULL;
+    /// Wall-clock budget in seconds; 0 disables the deadline. Algorithms
+    /// checking the deadline stop refining and return the best configuration
+    /// found so far (always structurally valid). The check sits at round /
+    /// iteration granularity — a finer-grained mid-round abort would make
+    /// the result depend on timing and break serial/parallel bit-identity —
+    /// so a solve can overshoot the budget by up to one round.
+    double deadline_seconds = 0.0;
+  };
+
+  SolveContext() : SolveContext(Options{}) {}
+  explicit SolveContext(const Options& options);
+
+  SolveContext(const SolveContext&) = delete;
+  SolveContext& operator=(const SolveContext&) = delete;
+
+  /// Thread pool, or nullptr when the context is serial.
+  ThreadPool* pool() { return pool_.get(); }
+
+  /// Number of per-thread workspace slots (1 when serial).
+  int num_slots() const { return static_cast<int>(workspaces_.size()); }
+
+  /// Scratch workspace for worker `slot` ∈ [0, num_slots()). Slot 0 is the
+  /// coordinating thread's workspace — serial code just uses workspace().
+  PricingWorkspace& workspace(int slot = 0) { return *workspaces_[static_cast<std::size_t>(slot)]; }
+
+  Rng& rng() { return rng_; }
+  SolveStats& stats() { return stats_; }
+  const SolveStats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+  /// Seconds since construction or the last RestartDeadline().
+  double ElapsedSeconds() const { return timer_.Seconds(); }
+
+  /// True when a deadline is set and has elapsed.
+  bool DeadlineExceeded() const {
+    return options_.deadline_seconds > 0.0 &&
+           timer_.Seconds() >= options_.deadline_seconds;
+  }
+
+  /// Restarts the deadline clock (a context reused across solves budgets
+  /// each solve separately).
+  void RestartDeadline() { timer_.Reset(); }
+
+ private:
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;  // Null when serial.
+  std::vector<std::unique_ptr<PricingWorkspace>> workspaces_;
+  Rng rng_;
+  SolveStats stats_;
+  WallTimer timer_;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_CORE_SOLVE_CONTEXT_H_

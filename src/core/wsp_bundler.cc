@@ -14,13 +14,14 @@ namespace {
 // Prices one mask and fills a PricedBundle (re-pricing selected masks is
 // cheap relative to the enumeration).
 PricedBundle PriceMask(const WtpMatrix& wtp, double theta,
-                       const OfferPricer& pricer, std::uint32_t mask) {
+                       const OfferPricer& pricer, std::uint32_t mask,
+                       PricingWorkspace* ws) {
   Bundle items = Bundle::FromMask(mask);
   SparseWtpVector raw;
   for (ItemId i : items.items()) {
     raw = SparseWtpVector::Merge(raw, wtp.ItemVector(i));
   }
-  PricedOffer priced = pricer.PriceOffer(raw, BundleScale(items.size(), theta));
+  PricedOffer priced = pricer.PriceOffer(raw, BundleScale(items.size(), theta), ws);
   PricedBundle pb;
   pb.items = std::move(items);
   pb.price = priced.price;
@@ -31,7 +32,7 @@ PricedBundle PriceMask(const WtpMatrix& wtp, double theta,
 
 BundleSolution AssembleFromMasks(const BundleConfigProblem& problem,
                                  const std::vector<std::uint32_t>& masks,
-                                 const char* method) {
+                                 const char* method, PricingWorkspace* ws) {
   const WtpMatrix& wtp = *problem.wtp;
   OfferPricer pricer(problem.adoption, problem.price_levels);
   BundleSolution solution;
@@ -41,14 +42,14 @@ BundleSolution AssembleFromMasks(const BundleConfigProblem& problem,
   for (std::uint32_t mask : masks) {
     BM_CHECK_EQ(mask & used, 0u);
     used |= mask;
-    PricedBundle pb = PriceMask(wtp, problem.theta, pricer, mask);
+    PricedBundle pb = PriceMask(wtp, problem.theta, pricer, mask, ws);
     solution.total_revenue += pb.revenue;
     solution.offers.push_back(std::move(pb));
   }
   // Cover leftovers (zero-revenue items) as singletons to form a partition.
   for (int i = 0; i < wtp.num_items(); ++i) {
     if ((used >> i) & 1u) continue;
-    PricedBundle pb = PriceMask(wtp, problem.theta, pricer, 1u << i);
+    PricedBundle pb = PriceMask(wtp, problem.theta, pricer, 1u << i, ws);
     solution.total_revenue += pb.revenue;
     solution.offers.push_back(std::move(pb));
   }
@@ -59,6 +60,13 @@ BundleSolution AssembleFromMasks(const BundleConfigProblem& problem,
 
 BundleSolution OptimalWspBundler::SolveWithTimings(
     const BundleConfigProblem& problem, WspTimings* timings) const {
+  SolveContext context;
+  return SolveWithTimings(problem, context, timings);
+}
+
+BundleSolution OptimalWspBundler::SolveWithTimings(
+    const BundleConfigProblem& problem, SolveContext& context,
+    WspTimings* timings) const {
   BM_CHECK(problem.wtp != nullptr);
   BM_CHECK_MSG(problem.strategy == BundlingStrategy::kPure,
                "weighted set packing is defined for pure bundling only");
@@ -67,8 +75,8 @@ BundleSolution OptimalWspBundler::SolveWithTimings(
                "exhausts 70 GB)");
   WallTimer timer;
   OfferPricer pricer(problem.adoption, problem.price_levels);
-  BundleEnumeration enumeration =
-      EnumerateAllBundles(*problem.wtp, problem.theta, pricer);
+  BundleEnumeration enumeration = EnumerateAllBundles(
+      *problem.wtp, problem.theta, pricer, &context.workspace());
   double enum_seconds = timer.Seconds();
 
   timer.Reset();
@@ -76,7 +84,8 @@ BundleSolution OptimalWspBundler::SolveWithTimings(
       enumeration.revenue, problem.wtp->num_items(), problem.max_bundle_size);
   double solve_seconds = timer.Seconds();
 
-  BundleSolution solution = AssembleFromMasks(problem, partition.bundles, "Optimal");
+  BundleSolution solution = AssembleFromMasks(problem, partition.bundles,
+                                              "Optimal", &context.workspace());
   solution.solve_seconds = enum_seconds + solve_seconds;
   if (timings != nullptr) {
     timings->enumeration_seconds = enum_seconds;
@@ -85,20 +94,28 @@ BundleSolution OptimalWspBundler::SolveWithTimings(
   return solution;
 }
 
-BundleSolution OptimalWspBundler::Solve(const BundleConfigProblem& problem) const {
-  return SolveWithTimings(problem, nullptr);
+BundleSolution OptimalWspBundler::Solve(const BundleConfigProblem& problem,
+                                        SolveContext& context) const {
+  return SolveWithTimings(problem, context, nullptr);
 }
 
 BundleSolution GreedyWspBundler::SolveWithTimings(
     const BundleConfigProblem& problem, WspTimings* timings) const {
+  SolveContext context;
+  return SolveWithTimings(problem, context, timings);
+}
+
+BundleSolution GreedyWspBundler::SolveWithTimings(
+    const BundleConfigProblem& problem, SolveContext& context,
+    WspTimings* timings) const {
   BM_CHECK(problem.wtp != nullptr);
   BM_CHECK_MSG(problem.strategy == BundlingStrategy::kPure,
                "weighted set packing is defined for pure bundling only");
   BM_CHECK_LE(problem.wtp->num_items(), 25);
   WallTimer timer;
   OfferPricer pricer(problem.adoption, problem.price_levels);
-  BundleEnumeration enumeration =
-      EnumerateAllBundles(*problem.wtp, problem.theta, pricer);
+  BundleEnumeration enumeration = EnumerateAllBundles(
+      *problem.wtp, problem.theta, pricer, &context.workspace());
   double enum_seconds = timer.Seconds();
 
   timer.Reset();
@@ -113,7 +130,8 @@ BundleSolution GreedyWspBundler::SolveWithTimings(
       GreedyWspOverMasks(revenue, problem.wtp->num_items(), average_per_item_);
   double solve_seconds = timer.Seconds();
 
-  BundleSolution solution = AssembleFromMasks(problem, masks, "Greedy WSP");
+  BundleSolution solution =
+      AssembleFromMasks(problem, masks, "Greedy WSP", &context.workspace());
   solution.solve_seconds = enum_seconds + solve_seconds;
   if (timings != nullptr) {
     timings->enumeration_seconds = enum_seconds;
@@ -122,8 +140,9 @@ BundleSolution GreedyWspBundler::SolveWithTimings(
   return solution;
 }
 
-BundleSolution GreedyWspBundler::Solve(const BundleConfigProblem& problem) const {
-  return SolveWithTimings(problem, nullptr);
+BundleSolution GreedyWspBundler::Solve(const BundleConfigProblem& problem,
+                                       SolveContext& context) const {
+  return SolveWithTimings(problem, context, nullptr);
 }
 
 }  // namespace bundlemine

@@ -26,11 +26,16 @@ class OptimalWspBundler : public Bundler {
  public:
   OptimalWspBundler() = default;
 
-  BundleSolution Solve(const BundleConfigProblem& problem) const override;
+  using Bundler::Solve;
+  BundleSolution Solve(const BundleConfigProblem& problem,
+                       SolveContext& context) const override;
   std::string name() const override { return "Optimal"; }
 
   /// Like Solve, but also reports the enumeration/solve split (Table 5).
   BundleSolution SolveWithTimings(const BundleConfigProblem& problem,
+                                  WspTimings* timings) const;
+  BundleSolution SolveWithTimings(const BundleConfigProblem& problem,
+                                  SolveContext& context,
                                   WspTimings* timings) const;
 };
 
@@ -47,10 +52,15 @@ class GreedyWspBundler : public Bundler {
   explicit GreedyWspBundler(bool average_per_item = false)
       : average_per_item_(average_per_item) {}
 
-  BundleSolution Solve(const BundleConfigProblem& problem) const override;
+  using Bundler::Solve;
+  BundleSolution Solve(const BundleConfigProblem& problem,
+                       SolveContext& context) const override;
   std::string name() const override { return "Greedy WSP"; }
 
   BundleSolution SolveWithTimings(const BundleConfigProblem& problem,
+                                  WspTimings* timings) const;
+  BundleSolution SolveWithTimings(const BundleConfigProblem& problem,
+                                  SolveContext& context,
                                   WspTimings* timings) const;
 
  private:

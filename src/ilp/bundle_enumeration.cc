@@ -14,6 +14,7 @@ namespace {
 struct EnumState {
   const WtpMatrix* wtp;
   const OfferPricer* pricer;
+  PricingWorkspace* ws;           // Pricing scratch (caller's or local).
   double theta;
 
   std::vector<double> user_sum;   // Raw WTP sum per user for current subset.
@@ -62,7 +63,8 @@ void PriceCurrent(EnumState* st, std::uint32_t mask) {
     double w = scale * st->user_sum[static_cast<std::size_t>(u)];
     if (w > 0.0) st->scratch.push_back(w);
   }
-  (*st->revenue)[mask] = st->pricer->PriceEffectiveValues(st->scratch).revenue;
+  (*st->revenue)[mask] =
+      st->pricer->PriceEffectiveValues(st->scratch, st->ws).revenue;
 }
 
 void Dfs(EnumState* st, int next_item, std::uint32_t mask) {
@@ -79,7 +81,8 @@ void Dfs(EnumState* st, int next_item, std::uint32_t mask) {
 }  // namespace
 
 BundleEnumeration EnumerateAllBundles(const WtpMatrix& wtp, double theta,
-                                      const OfferPricer& pricer) {
+                                      const OfferPricer& pricer,
+                                      PricingWorkspace* ws) {
   BM_CHECK_LE(wtp.num_items(), 25);
   BM_CHECK_GE(wtp.num_items(), 1);
   BundleEnumeration out;
@@ -88,9 +91,11 @@ BundleEnumeration EnumerateAllBundles(const WtpMatrix& wtp, double theta,
   out.revenue.assign(table, 0.0);
   out.bundles_priced = static_cast<std::int64_t>(table) - 1;
 
+  PricingWorkspace local_ws;
   EnumState st;
   st.wtp = &wtp;
   st.pricer = &pricer;
+  st.ws = ws != nullptr ? ws : &local_ws;
   st.theta = theta;
   st.user_sum.assign(static_cast<std::size_t>(wtp.num_users()), 0.0);
   st.user_count.assign(static_cast<std::size_t>(wtp.num_users()), 0);

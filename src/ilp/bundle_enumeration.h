@@ -34,9 +34,11 @@ struct BundleEnumeration {
 
 /// Enumerates and prices every bundle over `wtp` (θ folded in through the
 /// usual scale rule: singletons priced at raw WTP, larger bundles at
-/// (1+θ)·raw). Requires wtp.num_items() ≤ 25.
+/// (1+θ)·raw). Requires wtp.num_items() ≤ 25. `ws` (optional) supplies the
+/// pricing scratch buffers so the 2^N pricing calls do not allocate.
 BundleEnumeration EnumerateAllBundles(const WtpMatrix& wtp, double theta,
-                                      const OfferPricer& pricer);
+                                      const OfferPricer& pricer,
+                                      PricingWorkspace* ws = nullptr);
 
 /// Greedy weighted set packing directly over a bitmask revenue table: pick
 /// the best-ratio bundle disjoint from everything chosen so far, repeat.

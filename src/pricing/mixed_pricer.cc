@@ -14,82 +14,48 @@ namespace {
 // and for positive-gain feasibility.
 constexpr double kMargin = 1e-9;
 
-// Joint view of one consumer across both merge sides.
-struct JointWtp {
-  std::int32_t user;
-  double raw1;  // Raw WTP sum for side 1 (0 when absent).
-  double raw2;  // Raw WTP sum for side 2.
-};
-
-// Sorted-merge join of the two sparse supports.
-std::vector<JointWtp> JoinSupports(const SparseWtpVector& a,
-                                   const SparseWtpVector& b) {
-  std::vector<JointWtp> out;
-  out.reserve(a.nnz() + b.nnz());
+// Sorted-merge join of the two sparse supports, written into `out` (cleared
+// first; no allocation once the buffer is warm).
+void JoinSupportsInto(const SparseWtpVector& a, const SparseWtpVector& b,
+                      std::vector<JointWtpEntry>* out) {
+  out->clear();
   const auto& ea = a.entries();
   const auto& eb = b.entries();
   std::size_t i = 0, j = 0;
   while (i < ea.size() && j < eb.size()) {
     if (ea[i].id < eb[j].id) {
-      out.push_back(JointWtp{ea[i].id, ea[i].w, 0.0});
+      out->push_back(JointWtpEntry{ea[i].id, ea[i].w, 0.0});
       ++i;
     } else if (ea[i].id > eb[j].id) {
-      out.push_back(JointWtp{eb[j].id, 0.0, eb[j].w});
+      out->push_back(JointWtpEntry{eb[j].id, 0.0, eb[j].w});
       ++j;
     } else {
-      out.push_back(JointWtp{ea[i].id, ea[i].w, eb[j].w});
+      out->push_back(JointWtpEntry{ea[i].id, ea[i].w, eb[j].w});
       ++i;
       ++j;
     }
   }
-  while (i < ea.size()) out.push_back(JointWtp{ea[i].id, ea[i].w, 0.0}), ++i;
-  while (j < eb.size()) out.push_back(JointWtp{eb[j].id, 0.0, eb[j].w}), ++j;
-  return out;
+  while (i < ea.size()) out->push_back(JointWtpEntry{ea[i].id, ea[i].w, 0.0}), ++i;
+  while (j < eb.size()) out->push_back(JointWtpEntry{eb[j].id, 0.0, eb[j].w}), ++j;
 }
-
-}  // namespace
-
-MixedPricer::MixedPricer(AdoptionModel model, int num_levels,
-                         MixedComposition composition)
-    : model_(model), num_levels_(num_levels), composition_(composition) {
-  BM_CHECK_GE(num_levels, 0);
-  if (num_levels == 0) {
-    BM_CHECK_MSG(model.is_step(), "exact pricing requires the step model");
-  }
-}
-
-MergeGainResult MixedPricer::MergeGain(const MergeSide& side1,
-                                       const MergeSide& side2,
-                                       double merged_scale) const {
-  BM_CHECK(side1.raw != nullptr && side2.raw != nullptr);
-  BM_CHECK(side1.payments != nullptr && side2.payments != nullptr);
-  MergeGainResult infeasible;
-  // A side that sells nothing (price 0) cannot anchor the constraint window;
-  // such merges are meaningless under the incremental policy.
-  if (side1.price <= 0.0 || side2.price <= 0.0) return infeasible;
-  if (side1.raw->empty() && side2.raw->empty()) return infeasible;
-  if (model_.is_step()) return MergeGainStep(side1, side2, merged_scale);
-  return MergeGainSigmoid(side1, side2, merged_scale);
-}
-
-namespace {
 
 // Exact step-model optimizer shared by the pair and multi-component paths:
 // the gain-maximizing price is one of the per-consumer adoption thresholds
-// inside the open window (pmax, psum).
-MergeGainResult ExactStepGain(std::vector<std::pair<double, double>> threshold_base,
-                              double pmax, double psum) {
-  std::sort(threshold_base.begin(), threshold_base.end(),
+// inside the open window (pmax, psum). Sorts `threshold_base` in place.
+MergeGainResult ExactStepGain(
+    std::vector<std::pair<double, double>>* threshold_base, double pmax,
+    double psum) {
+  std::sort(threshold_base->begin(), threshold_base->end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   MergeGainResult best;
   double count = 0.0;
   double base_sum = 0.0;
-  for (std::size_t i = 0; i < threshold_base.size(); ++i) {
+  for (std::size_t i = 0; i < threshold_base->size(); ++i) {
     count += 1.0;
-    base_sum += threshold_base[i].second;
+    base_sum += (*threshold_base)[i].second;
     // Price at this threshold keeps consumers 0..i as adopters.
-    double p = threshold_base[i].first;
-    if (i + 1 < threshold_base.size() && threshold_base[i + 1].first == p) {
+    double p = (*threshold_base)[i].first;
+    if (i + 1 < threshold_base->size() && (*threshold_base)[i + 1].first == p) {
       continue;  // Equal thresholds: evaluate once with the full count.
     }
     if (p <= pmax + kMargin || p >= psum - kMargin) continue;
@@ -107,30 +73,64 @@ MergeGainResult ExactStepGain(std::vector<std::pair<double, double>> threshold_b
 
 }  // namespace
 
+MixedPricer::MixedPricer(AdoptionModel model, int num_levels,
+                         MixedComposition composition)
+    : model_(model), num_levels_(num_levels), composition_(composition) {
+  BM_CHECK_GE(num_levels, 0);
+  if (num_levels == 0) {
+    BM_CHECK_MSG(model.is_step(), "exact pricing requires the step model");
+  }
+}
+
+MergeGainResult MixedPricer::MergeGain(const MergeSide& side1,
+                                       const MergeSide& side2,
+                                       double merged_scale) const {
+  PricingWorkspace ws;
+  return MergeGain(side1, side2, merged_scale, &ws);
+}
+
+MergeGainResult MixedPricer::MergeGain(const MergeSide& side1,
+                                       const MergeSide& side2,
+                                       double merged_scale,
+                                       PricingWorkspace* ws) const {
+  BM_CHECK(side1.raw != nullptr && side2.raw != nullptr);
+  BM_CHECK(side1.payments != nullptr && side2.payments != nullptr);
+  MergeGainResult infeasible;
+  // A side that sells nothing (price 0) cannot anchor the constraint window;
+  // such merges are meaningless under the incremental policy.
+  if (side1.price <= 0.0 || side2.price <= 0.0) return infeasible;
+  if (side1.raw->empty() && side2.raw->empty()) return infeasible;
+  if (model_.is_step()) return MergeGainStep(side1, side2, merged_scale, ws);
+  return MergeGainSigmoid(side1, side2, merged_scale, ws);
+}
+
 MergeGainResult MixedPricer::MergeGainStep(const MergeSide& side1,
                                            const MergeSide& side2,
-                                           double merged_scale) const {
+                                           double merged_scale,
+                                           PricingWorkspace* ws) const {
   const double p1 = side1.price;
   const double p2 = side2.price;
   const double psum = p1 + p2;
   const double pmax = std::max(p1, p2);
   const double alpha = model_.alpha();
 
+  JoinSupportsInto(*side1.raw, *side2.raw, &ws->joint);
+
   if (num_levels_ == 0) {
-    std::vector<std::pair<double, double>> tb;
-    for (const JointWtp& u : JoinSupports(*side1.raw, *side2.raw)) {
+    ws->threshold_base.clear();
+    for (const JointWtpEntry& u : ws->joint) {
       double aw1 = alpha * side1.scale * u.raw1;
       double aw2 = alpha * side2.scale * u.raw2;
       double awb = alpha * merged_scale * (u.raw1 + u.raw2);
       double t = std::min(awb, std::min(p1 + aw2, p2 + aw1));
       double base =
           side1.payments->ValueFor(u.user) + side2.payments->ValueFor(u.user);
-      tb.emplace_back(t, base);
+      ws->threshold_base.emplace_back(t, base);
     }
-    return ExactStepGain(std::move(tb), pmax, psum);
+    return ExactStepGain(&ws->threshold_base, pmax, psum);
   }
 
-  PriceGrid grid = PriceGrid::Uniform(psum, num_levels_);
+  UniformPriceView grid(psum, num_levels_);
   // Admissible level indices: strictly above both component prices, strictly
   // below their sum.
   int lo = 0;
@@ -141,9 +141,9 @@ MergeGainResult MixedPricer::MergeGainStep(const MergeSide& side1,
   if (lo > hi) return best;
 
   // Per-consumer adoption threshold and forgone component revenue.
-  std::vector<double> suffix_count(static_cast<std::size_t>(grid.size()) + 1, 0.0);
-  std::vector<double> suffix_base(static_cast<std::size_t>(grid.size()) + 1, 0.0);
-  for (const JointWtp& u : JoinSupports(*side1.raw, *side2.raw)) {
+  ws->suffix_count.assign(static_cast<std::size_t>(grid.size()) + 1, 0.0);
+  ws->suffix_base.assign(static_cast<std::size_t>(grid.size()) + 1, 0.0);
+  for (const JointWtpEntry& u : ws->joint) {
     double aw1 = alpha * side1.scale * u.raw1;
     double aw2 = alpha * side2.scale * u.raw2;
     double awb = alpha * merged_scale * (u.raw1 + u.raw2);
@@ -154,22 +154,24 @@ MergeGainResult MixedPricer::MergeGainStep(const MergeSide& side1,
     if (bucket < 0) continue;
     double base =
         side1.payments->ValueFor(u.user) + side2.payments->ValueFor(u.user);
-    suffix_count[static_cast<std::size_t>(bucket)] += 1.0;
-    suffix_base[static_cast<std::size_t>(bucket)] += base;
+    ws->suffix_count[static_cast<std::size_t>(bucket)] += 1.0;
+    ws->suffix_base[static_cast<std::size_t>(bucket)] += base;
   }
   for (int t = grid.size() - 1; t >= 0; --t) {
-    suffix_count[static_cast<std::size_t>(t)] += suffix_count[static_cast<std::size_t>(t) + 1];
-    suffix_base[static_cast<std::size_t>(t)] += suffix_base[static_cast<std::size_t>(t) + 1];
+    ws->suffix_count[static_cast<std::size_t>(t)] +=
+        ws->suffix_count[static_cast<std::size_t>(t) + 1];
+    ws->suffix_base[static_cast<std::size_t>(t)] +=
+        ws->suffix_base[static_cast<std::size_t>(t) + 1];
   }
 
   for (int t = lo; t <= hi; ++t) {
     double p = grid.level(t);
-    double gain = p * suffix_count[static_cast<std::size_t>(t)] -
-                  suffix_base[static_cast<std::size_t>(t)];
+    double gain = p * ws->suffix_count[static_cast<std::size_t>(t)] -
+                  ws->suffix_base[static_cast<std::size_t>(t)];
     if (gain > best.gain) {
       best.gain = gain;
       best.bundle_price = p;
-      best.expected_adopters = suffix_count[static_cast<std::size_t>(t)];
+      best.expected_adopters = ws->suffix_count[static_cast<std::size_t>(t)];
     }
   }
   best.feasible = best.gain > kMargin;
@@ -183,6 +185,13 @@ MergeGainResult MixedPricer::MergeGainStep(const MergeSide& side1,
 
 MergeGainResult MixedPricer::MultiMergeGain(const std::vector<MergeSide>& sides,
                                             double merged_scale) const {
+  PricingWorkspace ws;
+  return MultiMergeGain(sides, merged_scale, &ws);
+}
+
+MergeGainResult MixedPricer::MultiMergeGain(const std::vector<MergeSide>& sides,
+                                            double merged_scale,
+                                            PricingWorkspace* ws) const {
   BM_CHECK_GE(sides.size(), 2u);
   MergeGainResult infeasible;
   double psum = 0.0;
@@ -196,54 +205,58 @@ MergeGainResult MixedPricer::MultiMergeGain(const std::vector<MergeSide>& sides,
   const double alpha = model_.alpha();
   const std::size_t m = sides.size();
 
-  // Gather the union of supports with per-side effective WTP rows.
-  struct Row {
-    std::vector<double> w;  // Effective α-scaled WTP per side.
-    double sum = 0.0;       // Σ_j w_j (α-scaled).
-    double wb = 0.0;        // α-scaled bundle WTP.
-    double base = 0.0;      // Expected standalone component spend.
-  };
-  std::vector<std::int32_t> users;
+  // Gather the union of supports with per-side effective WTP rows, flattened
+  // into the workspace: stride doubles per user laid out as
+  //   [w_0 … w_{m-1} | Σ_j w_j | α·scale_b·Σ_j raw_j | base payment].
+  std::vector<std::int32_t>& users = ws->users;
+  users.clear();
   for (const MergeSide& s : sides) {
     for (const WtpEntry& e : s.raw->entries()) users.push_back(e.id);
   }
   std::sort(users.begin(), users.end());
   users.erase(std::unique(users.begin(), users.end()), users.end());
 
-  std::vector<Row> rows(users.size());
-  std::vector<double> raw_total(users.size(), 0.0);  // Σ_j raw_j per user.
-  for (Row& r : rows) r.w.assign(m, 0.0);
+  const std::size_t stride = m + 3;
+  const std::size_t kSum = m;
+  const std::size_t kBundle = m + 1;
+  const std::size_t kBase = m + 2;
+  std::vector<double>& rows = ws->consumer_state;
+  rows.assign(users.size() * stride, 0.0);
   for (std::size_t j = 0; j < m; ++j) {
     for (const WtpEntry& e : sides[j].raw->entries()) {
       std::size_t idx = static_cast<std::size_t>(
           std::lower_bound(users.begin(), users.end(), e.id) - users.begin());
-      rows[idx].w[j] = alpha * sides[j].scale * e.w;
-      raw_total[idx] += e.w;
+      rows[idx * stride + j] = alpha * sides[j].scale * e.w;
+      rows[idx * stride + kBundle] += e.w;  // Raw total, rescaled below.
     }
   }
-  for (std::size_t u = 0; u < rows.size(); ++u) {
-    Row& r = rows[u];
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    double* row = &rows[u * stride];
+    double sum = 0.0;
+    double base = 0.0;
     for (std::size_t j = 0; j < m; ++j) {
-      r.sum += r.w[j];
-      r.base += sides[j].payments->ValueFor(users[u]);
+      sum += row[j];
+      base += sides[j].payments->ValueFor(users[u]);
     }
-    r.wb = alpha * merged_scale * raw_total[u];
+    row[kSum] = sum;
+    row[kBundle] = alpha * merged_scale * row[kBundle];
+    row[kBase] = base;
   }
 
   if (model_.is_step() && num_levels_ == 0) {
-    std::vector<std::pair<double, double>> tb;
-    tb.reserve(rows.size());
-    for (const Row& r : rows) {
-      double t = r.wb;
+    ws->threshold_base.clear();
+    for (std::size_t u = 0; u < users.size(); ++u) {
+      const double* row = &rows[u * stride];
+      double t = row[kBundle];
       for (std::size_t j = 0; j < m; ++j) {
-        t = std::min(t, sides[j].price + (r.sum - r.w[j]));
+        t = std::min(t, sides[j].price + (row[kSum] - row[j]));
       }
-      tb.emplace_back(t, r.base);
+      ws->threshold_base.emplace_back(t, row[kBase]);
     }
-    return ExactStepGain(std::move(tb), pmax, psum);
+    return ExactStepGain(&ws->threshold_base, pmax, psum);
   }
 
-  PriceGrid grid = PriceGrid::Uniform(psum, num_levels_);
+  UniformPriceView grid(psum, num_levels_);
   int lo = 0;
   while (lo < grid.size() && grid.level(lo) <= pmax + kMargin) ++lo;
   int hi = grid.size() - 1;
@@ -253,30 +266,33 @@ MergeGainResult MixedPricer::MultiMergeGain(const std::vector<MergeSide>& sides,
 
   if (model_.is_step()) {
     // Bucket per-user adoption thresholds, as in MergeGainStep.
-    std::vector<double> suffix_count(static_cast<std::size_t>(grid.size()) + 1, 0.0);
-    std::vector<double> suffix_base(static_cast<std::size_t>(grid.size()) + 1, 0.0);
-    for (const Row& r : rows) {
-      double t = r.wb;
+    ws->suffix_count.assign(static_cast<std::size_t>(grid.size()) + 1, 0.0);
+    ws->suffix_base.assign(static_cast<std::size_t>(grid.size()) + 1, 0.0);
+    for (std::size_t u = 0; u < users.size(); ++u) {
+      const double* row = &rows[u * stride];
+      double t = row[kBundle];
       for (std::size_t j = 0; j < m; ++j) {
-        t = std::min(t, sides[j].price + (r.sum - r.w[j]));
+        t = std::min(t, sides[j].price + (row[kSum] - row[j]));
       }
       int bucket = grid.BucketFor(t);
       if (bucket < 0) continue;
-      suffix_count[static_cast<std::size_t>(bucket)] += 1.0;
-      suffix_base[static_cast<std::size_t>(bucket)] += r.base;
+      ws->suffix_count[static_cast<std::size_t>(bucket)] += 1.0;
+      ws->suffix_base[static_cast<std::size_t>(bucket)] += row[kBase];
     }
     for (int t = grid.size() - 1; t >= 0; --t) {
-      suffix_count[static_cast<std::size_t>(t)] += suffix_count[static_cast<std::size_t>(t) + 1];
-      suffix_base[static_cast<std::size_t>(t)] += suffix_base[static_cast<std::size_t>(t) + 1];
+      ws->suffix_count[static_cast<std::size_t>(t)] +=
+          ws->suffix_count[static_cast<std::size_t>(t) + 1];
+      ws->suffix_base[static_cast<std::size_t>(t)] +=
+          ws->suffix_base[static_cast<std::size_t>(t) + 1];
     }
     for (int t = lo; t <= hi; ++t) {
       double p = grid.level(t);
-      double gain = p * suffix_count[static_cast<std::size_t>(t)] -
-                    suffix_base[static_cast<std::size_t>(t)];
+      double gain = p * ws->suffix_count[static_cast<std::size_t>(t)] -
+                    ws->suffix_base[static_cast<std::size_t>(t)];
       if (gain > best.gain) {
         best.gain = gain;
         best.bundle_price = p;
-        best.expected_adopters = suffix_count[static_cast<std::size_t>(t)];
+        best.expected_adopters = ws->suffix_count[static_cast<std::size_t>(t)];
       }
     }
   } else {
@@ -284,11 +300,12 @@ MergeGainResult MixedPricer::MultiMergeGain(const std::vector<MergeSide>& sides,
       double p = grid.level(t);
       double gain = 0.0;
       double adopters = 0.0;
-      for (const Row& r : rows) {
-        double min_slack = r.wb - p;
+      for (std::size_t u = 0; u < users.size(); ++u) {
+        const double* row = &rows[u * stride];
+        double min_slack = row[kBundle] - p;
         double prob_product = model_.ProbabilityFromSlack(min_slack);
         for (std::size_t j = 0; j < m; ++j) {
-          double slack = (r.sum - r.w[j]) - (p - sides[j].price);
+          double slack = (row[kSum] - row[j]) - (p - sides[j].price);
           min_slack = std::min(min_slack, slack);
           if (composition_ == MixedComposition::kProduct) {
             prob_product *= model_.ProbabilityFromSlack(slack);
@@ -298,7 +315,7 @@ MergeGainResult MixedPricer::MultiMergeGain(const std::vector<MergeSide>& sides,
                           ? model_.ProbabilityFromSlack(min_slack)
                           : prob_product;
         adopters += prob;
-        gain += prob * (p - r.base);
+        gain += prob * (p - row[kBase]);
       }
       if (gain > best.gain) {
         best.gain = gain;
@@ -334,8 +351,10 @@ SparseWtpVector MixedPricer::BuildMergedPayments(const MergeSide& side1,
   const double alpha = model_.alpha();
   const double p1 = side1.price;
   const double p2 = side2.price;
+  std::vector<JointWtpEntry> joint;
+  JoinSupportsInto(*side1.raw, *side2.raw, &joint);
   std::vector<WtpEntry> entries;
-  for (const JointWtp& u : JoinSupports(*side1.raw, *side2.raw)) {
+  for (const JointWtpEntry& u : joint) {
     double aw1 = alpha * side1.scale * u.raw1;
     double aw2 = alpha * side2.scale * u.raw2;
     double awb = alpha * merged_scale * (u.raw1 + u.raw2);
@@ -366,14 +385,15 @@ SparseWtpVector MixedPricer::BuildMergedPayments(const MergeSide& side1,
 
 MergeGainResult MixedPricer::MergeGainSigmoid(const MergeSide& side1,
                                               const MergeSide& side2,
-                                              double merged_scale) const {
+                                              double merged_scale,
+                                              PricingWorkspace* ws) const {
   const double p1 = side1.price;
   const double p2 = side2.price;
   const double psum = p1 + p2;
   const double pmax = std::max(p1, p2);
   const double alpha = model_.alpha();
 
-  PriceGrid grid = PriceGrid::Uniform(psum, num_levels_);
+  UniformPriceView grid(psum, num_levels_);
   int lo = 0;
   while (lo < grid.size() && grid.level(lo) <= pmax + kMargin) ++lo;
   int hi = grid.size() - 1;
@@ -382,31 +402,32 @@ MergeGainResult MixedPricer::MergeGainSigmoid(const MergeSide& side1,
   if (lo > hi) return best;
 
   // Precompute per-consumer effective WTPs and standalone purchase
-  // probabilities (independent of the bundle price).
-  struct ConsumerState {
-    double aw1, aw2, awb;
-    double base;  // p1·P(buy c1) + p2·P(buy c2).
-  };
-  std::vector<ConsumerState> consumers;
-  const std::vector<JointWtp> joint = JoinSupports(*side1.raw, *side2.raw);
-  consumers.reserve(joint.size());
-  for (const JointWtp& u : joint) {
-    ConsumerState s;
-    s.aw1 = alpha * side1.scale * u.raw1;
-    s.aw2 = alpha * side2.scale * u.raw2;
-    s.awb = alpha * merged_scale * (u.raw1 + u.raw2);
-    s.base = side1.payments->ValueFor(u.user) + side2.payments->ValueFor(u.user);
-    consumers.push_back(s);
+  // probabilities (independent of the bundle price), flattened as
+  // [aw1, aw2, awb, base] per consumer.
+  JoinSupportsInto(*side1.raw, *side2.raw, &ws->joint);
+  constexpr std::size_t kStride = 4;
+  std::vector<double>& consumers = ws->consumer_state;
+  consumers.clear();
+  for (const JointWtpEntry& u : ws->joint) {
+    consumers.push_back(alpha * side1.scale * u.raw1);
+    consumers.push_back(alpha * side2.scale * u.raw2);
+    consumers.push_back(alpha * merged_scale * (u.raw1 + u.raw2));
+    consumers.push_back(side1.payments->ValueFor(u.user) +
+                        side2.payments->ValueFor(u.user));
   }
 
   for (int t = lo; t <= hi; ++t) {
     double p = grid.level(t);
     double gain = 0.0;
     double adopters = 0.0;
-    for (const ConsumerState& s : consumers) {
-      double slack_afford = s.awb - p;
-      double slack_up1 = s.aw2 - (p - p1);
-      double slack_up2 = s.aw1 - (p - p2);
+    for (std::size_t u = 0; u + kStride <= consumers.size(); u += kStride) {
+      double aw1 = consumers[u];
+      double aw2 = consumers[u + 1];
+      double awb = consumers[u + 2];
+      double base = consumers[u + 3];
+      double slack_afford = awb - p;
+      double slack_up1 = aw2 - (p - p1);
+      double slack_up2 = aw1 - (p - p2);
       double prob;
       if (composition_ == MixedComposition::kMinSlack) {
         prob = model_.ProbabilityFromSlack(
@@ -417,7 +438,7 @@ MergeGainResult MixedPricer::MergeGainSigmoid(const MergeSide& side1,
                model_.ProbabilityFromSlack(slack_up2);
       }
       adopters += prob;
-      gain += prob * (p - s.base);
+      gain += prob * (p - base);
     }
     if (gain > best.gain) {
       best.gain = gain;

@@ -36,6 +36,7 @@
 #include "data/wtp_matrix.h"
 #include "pricing/adoption_model.h"
 #include "pricing/offer_pricer.h"
+#include "pricing/pricing_workspace.h"
 
 namespace bundlemine {
 
@@ -81,8 +82,14 @@ class MixedPricer {
   /// Evaluates offering the merged bundle (raw WTP = side1.raw + side2.raw,
   /// effective scale `merged_scale` = 1+θ) alongside both sides at their
   /// fixed prices. Searches grid prices inside (max(p1,p2), p1+p2).
+  ///
+  /// The workspace-taking overload is allocation-free on warm buffers — the
+  /// per-candidate path of the bundling algorithms; the convenience overload
+  /// routes through it with a throwaway workspace.
   MergeGainResult MergeGain(const MergeSide& side1, const MergeSide& side2,
                             double merged_scale) const;
+  MergeGainResult MergeGain(const MergeSide& side1, const MergeSide& side2,
+                            double merged_scale, PricingWorkspace* ws) const;
 
   /// Generalization to m ≥ 2 components offered alongside the bundle (used
   /// by the mixed frequent-itemset baseline, whose candidate bundles come
@@ -92,6 +99,8 @@ class MixedPricer {
   /// MergeGain (asserted in tests).
   MergeGainResult MultiMergeGain(const std::vector<MergeSide>& sides,
                                  double merged_scale) const;
+  MergeGainResult MultiMergeGain(const std::vector<MergeSide>& sides,
+                                 double merged_scale, PricingWorkspace* ws) const;
 
   /// Materializes the payment vector of the merged offer at the chosen
   /// bundle price: adopters pay `price`; everyone else keeps paying what
@@ -110,9 +119,9 @@ class MixedPricer {
 
  private:
   MergeGainResult MergeGainStep(const MergeSide& side1, const MergeSide& side2,
-                                double merged_scale) const;
+                                double merged_scale, PricingWorkspace* ws) const;
   MergeGainResult MergeGainSigmoid(const MergeSide& side1, const MergeSide& side2,
-                                   double merged_scale) const;
+                                   double merged_scale, PricingWorkspace* ws) const;
 
   AdoptionModel model_;
   int num_levels_;

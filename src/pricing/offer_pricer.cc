@@ -6,84 +6,75 @@
 #include "util/check.h"
 
 namespace bundlemine {
+namespace {
 
-OfferPricer::OfferPricer(AdoptionModel model, int num_levels)
-    : model_(model), num_levels_(num_levels) {
-  BM_CHECK_GE(num_levels, 0);
-  if (num_levels == 0) {
-    BM_CHECK_MSG(model.is_step(), "exact pricing requires the step model");
-  }
-}
-
-PricedOffer OfferPricer::PriceOffer(const SparseWtpVector& raw, double scale) const {
-  if (raw.empty() || scale <= 0.0) return PricedOffer{};
-  std::vector<double> values;
-  values.reserve(raw.nnz());
-  for (const WtpEntry& e : raw.entries()) {
-    double w = scale * e.w;
-    if (w > 0.0) values.push_back(w);
-  }
-  return PriceEffectiveValues(values);
-}
-
-PricedOffer OfferPricer::PriceEffectiveValues(std::span<const double> wtps) const {
+// Exact step-model kernel shared by PriceEffectiveValues' exact mode and
+// PriceOfferExactStep: `values` holds α-scaled effective WTPs and is sorted
+// descending in place; pricing at the j-th highest value sells to exactly
+// j+1 consumers, so a single scan finds the revenue-maximizing price.
+PricedOffer ExactStepScan(std::vector<double>* values) {
+  std::sort(values->begin(), values->end(), std::greater<double>());
   PricedOffer best;
-  if (wtps.empty()) return best;
-
-  if (num_levels_ == 0) {
-    // Exact step pricing: the optimal price is one of the α-scaled WTPs.
-    std::vector<double> values(wtps.begin(), wtps.end());
-    for (double& v : values) v *= model_.alpha();
-    std::sort(values.begin(), values.end(), std::greater<double>());
-    for (std::size_t j = 0; j < values.size(); ++j) {
-      if (values[j] <= 0.0) break;
-      double revenue = values[j] * static_cast<double>(j + 1);
-      if (revenue > best.revenue) {
-        best.revenue = revenue;
-        best.price = values[j];
-        best.expected_buyers = static_cast<double>(j + 1);
-      }
+  for (std::size_t j = 0; j < values->size(); ++j) {
+    double v = (*values)[j];
+    if (v <= 0.0) break;
+    double revenue = v * static_cast<double>(j + 1);
+    if (revenue > best.revenue) {
+      best.revenue = revenue;
+      best.price = v;
+      best.expected_buyers = static_cast<double>(j + 1);
     }
-    return best;
   }
+  return best;
+}
 
+// Grid pricing over n effective WTP values accessed through get(i); values
+// ≤ 0 are skipped. Histogram + model-specific scan, allocation-free on warm
+// workspace buffers. The accessor indirection lets PriceOffer's singleton
+// fast path feed sparse entries directly without staging a value buffer.
+template <typename GetValue>
+PricedOffer PriceGridValues(const AdoptionModel& model, int num_levels,
+                            std::size_t n, GetValue get, PricingWorkspace* ws) {
+  PricedOffer best;
   double max_w = 0.0;
-  for (double w : wtps) max_w = std::max(max_w, w);
+  for (std::size_t i = 0; i < n; ++i) max_w = std::max(max_w, get(i));
   // With adoption bias α, a consumer adopts while p ≤ α·w, so the useful
   // price range extends to α·max_w.
-  max_w *= model_.alpha();
-  PriceGrid grid = PriceGrid::Uniform(max_w, num_levels_);
+  max_w *= model.alpha();
+  UniformPriceView grid(max_w, num_levels);
   if (grid.empty()) return best;
+  const std::size_t levels = static_cast<std::size_t>(grid.size());
 
   // Histogram audience by willingness to pay.
-  std::vector<double> count(static_cast<std::size_t>(grid.size()), 0.0);
-  std::vector<double> wsum(static_cast<std::size_t>(grid.size()), 0.0);
-  std::vector<double> below_values;  // Sub-grid audience, handled directly.
-  for (double w : wtps) {
+  ws->bucket_count.assign(levels, 0.0);
+  ws->bucket_wsum.assign(levels, 0.0);
+  ws->below_grid.clear();  // Sub-grid audience, handled directly.
+  for (std::size_t i = 0; i < n; ++i) {
+    double w = get(i);
     if (w <= 0.0) continue;
-    int bucket = grid.BucketFor(model_.alpha() * w);
+    int bucket = grid.BucketFor(model.alpha() * w);
     if (bucket < 0) {
-      below_values.push_back(w);
+      ws->below_grid.push_back(w);
       continue;
     }
-    count[static_cast<std::size_t>(bucket)] += 1.0;
-    wsum[static_cast<std::size_t>(bucket)] += w;
+    ws->bucket_count[static_cast<std::size_t>(bucket)] += 1.0;
+    ws->bucket_wsum[static_cast<std::size_t>(bucket)] += w;
   }
 
-  if (model_.is_step()) {
+  if (model.is_step()) {
     // adopters(t) = #consumers with α·w ≥ level(t): suffix counts.
     double suffix = 0.0;
-    std::vector<double> adopters(static_cast<std::size_t>(grid.size()), 0.0);
+    ws->suffix_count.assign(levels, 0.0);
     for (int t = grid.size() - 1; t >= 0; --t) {
-      suffix += count[static_cast<std::size_t>(t)];
-      adopters[static_cast<std::size_t>(t)] = suffix;
+      suffix += ws->bucket_count[static_cast<std::size_t>(t)];
+      ws->suffix_count[static_cast<std::size_t>(t)] = suffix;
     }
     for (int t = 0; t < grid.size(); ++t) {
-      double revenue = grid.level(t) * adopters[static_cast<std::size_t>(t)];
+      double revenue = grid.level(t) * ws->suffix_count[static_cast<std::size_t>(t)];
       if (revenue > best.revenue) {
         best.revenue = revenue;
         best.price = grid.level(t);
-        best.expected_buyers = adopters[static_cast<std::size_t>(t)];
+        best.expected_buyers = ws->suffix_count[static_cast<std::size_t>(t)];
       }
     }
     return best;
@@ -96,12 +87,12 @@ PricedOffer OfferPricer::PriceEffectiveValues(std::span<const double> wtps) cons
     double p = grid.level(t);
     double expected = 0.0;
     for (int s = 0; s < grid.size(); ++s) {
-      double c = count[static_cast<std::size_t>(s)];
+      double c = ws->bucket_count[static_cast<std::size_t>(s)];
       if (c <= 0.0) continue;
-      double mean_w = wsum[static_cast<std::size_t>(s)] / c;
-      expected += c * model_.Probability(mean_w, p);
+      double mean_w = ws->bucket_wsum[static_cast<std::size_t>(s)] / c;
+      expected += c * model.Probability(mean_w, p);
     }
-    for (double w : below_values) expected += model_.Probability(w, p);
+    for (double w : ws->below_grid) expected += model.Probability(w, p);
     double revenue = p * expected;
     if (revenue > best.revenue) {
       best.revenue = revenue;
@@ -112,9 +103,89 @@ PricedOffer OfferPricer::PriceEffectiveValues(std::span<const double> wtps) cons
   return best;
 }
 
+}  // namespace
+
+OfferPricer::OfferPricer(AdoptionModel model, int num_levels)
+    : model_(model), num_levels_(num_levels) {
+  BM_CHECK_GE(num_levels, 0);
+  if (num_levels == 0) {
+    BM_CHECK_MSG(model.is_step(), "exact pricing requires the step model");
+  }
+}
+
+PricedOffer OfferPricer::PriceOffer(const SparseWtpVector& raw, double scale) const {
+  PricingWorkspace ws;
+  return PriceOffer(raw, scale, &ws);
+}
+
+PricedOffer OfferPricer::PriceOffer(const SparseWtpVector& raw, double scale,
+                                    PricingWorkspace* ws) const {
+  if (raw.empty() || scale <= 0.0) return PricedOffer{};
+  const std::vector<WtpEntry>& entries = raw.entries();
+
+  if (scale == 1.0) {
+    // Common singleton case: when every entry is already positive, price
+    // directly off the sparse entries — no intermediate value buffer.
+    bool all_positive = true;
+    for (const WtpEntry& e : entries) {
+      if (e.w <= 0.0) {
+        all_positive = false;
+        break;
+      }
+    }
+    if (all_positive) {
+      if (num_levels_ == 0) {
+        ws->exact_values.clear();
+        for (const WtpEntry& e : entries) {
+          ws->exact_values.push_back(model_.alpha() * e.w);
+        }
+        return ExactStepScan(&ws->exact_values);
+      }
+      return PriceGridValues(
+          model_, num_levels_, entries.size(),
+          [&entries](std::size_t i) { return entries[i].w; }, ws);
+    }
+  }
+
+  ws->values.clear();
+  for (const WtpEntry& e : entries) {
+    double w = scale * e.w;
+    if (w > 0.0) ws->values.push_back(w);
+  }
+  return PriceEffectiveValues(ws->values, ws);
+}
+
+PricedOffer OfferPricer::PriceEffectiveValues(std::span<const double> wtps) const {
+  PricingWorkspace ws;
+  return PriceEffectiveValues(wtps, &ws);
+}
+
+PricedOffer OfferPricer::PriceEffectiveValues(std::span<const double> wtps,
+                                              PricingWorkspace* ws) const {
+  if (wtps.empty()) return PricedOffer{};
+
+  if (num_levels_ == 0) {
+    // Exact step pricing: the optimal price is one of the α-scaled WTPs.
+    ws->exact_values.clear();
+    for (double w : wtps) ws->exact_values.push_back(model_.alpha() * w);
+    return ExactStepScan(&ws->exact_values);
+  }
+
+  return PriceGridValues(model_, num_levels_, wtps.size(),
+                         [wtps](std::size_t i) { return wtps[i]; }, ws);
+}
+
 WelfarePricedOffer OfferPricer::PriceOfferWelfare(const SparseWtpVector& raw,
                                                   double scale,
                                                   double profit_weight) const {
+  PricingWorkspace ws;
+  return PriceOfferWelfare(raw, scale, profit_weight, &ws);
+}
+
+WelfarePricedOffer OfferPricer::PriceOfferWelfare(const SparseWtpVector& raw,
+                                                  double scale,
+                                                  double profit_weight,
+                                                  PricingWorkspace* ws) const {
   BM_CHECK(profit_weight >= 0.0 && profit_weight <= 1.0);
   WelfarePricedOffer best;
   best.utility = -1.0;
@@ -123,8 +194,8 @@ WelfarePricedOffer OfferPricer::PriceOfferWelfare(const SparseWtpVector& raw,
     return best;
   }
 
-  std::vector<double> values;
-  values.reserve(raw.nnz());
+  std::vector<double>& values = ws->values;
+  values.clear();
   for (const WtpEntry& e : raw.entries()) {
     double w = scale * e.w * model_.alpha();
     if (w > 0.0) values.push_back(w);
@@ -135,21 +206,24 @@ WelfarePricedOffer OfferPricer::PriceOfferWelfare(const SparseWtpVector& raw,
   }
 
   // Candidate prices: the α-scaled WTP values (exact mode) or the grid.
-  std::vector<double> candidates;
+  std::vector<double>& candidates = ws->candidates;
+  candidates.clear();
   if (num_levels_ == 0 || model_.is_step()) {
-    candidates = values;
+    candidates.assign(values.begin(), values.end());
     std::sort(candidates.begin(), candidates.end());
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
     if (num_levels_ > 0) {
       // Honour the grid restriction: snap candidates onto grid levels.
       double max_w = candidates.back();
-      PriceGrid grid = PriceGrid::Uniform(max_w, num_levels_);
-      candidates = grid.levels();
+      UniformPriceView grid(max_w, num_levels_);
+      candidates.clear();
+      for (int t = 0; t < grid.size(); ++t) candidates.push_back(grid.level(t));
     }
   } else {
     double max_w = *std::max_element(values.begin(), values.end());
-    candidates = PriceGrid::Uniform(max_w, num_levels_).levels();
+    UniformPriceView grid(max_w, num_levels_);
+    for (int t = 0; t < grid.size(); ++t) candidates.push_back(grid.level(t));
   }
 
   for (double p : candidates) {
@@ -207,25 +281,14 @@ double OfferPricer::SampleRevenueAt(const SparseWtpVector& raw, double scale,
 PricedOffer OfferPricer::PriceOfferExactStep(const SparseWtpVector& raw,
                                              double scale) const {
   BM_CHECK_MSG(model_.is_step(), "exact pricing requires the step model");
-  PricedOffer best;
-  if (raw.empty() || scale <= 0.0) return best;
+  if (raw.empty() || scale <= 0.0) return PricedOffer{};
   std::vector<double> values;
   values.reserve(raw.nnz());
   for (const WtpEntry& e : raw.entries()) {
     double w = scale * e.w * model_.alpha();
     if (w > 0.0) values.push_back(w);
   }
-  std::sort(values.begin(), values.end(), std::greater<double>());
-  for (std::size_t j = 0; j < values.size(); ++j) {
-    // Price at the j-th highest WTP sells to exactly j+1 consumers.
-    double revenue = values[j] * static_cast<double>(j + 1);
-    if (revenue > best.revenue) {
-      best.revenue = revenue;
-      best.price = values[j];
-      best.expected_buyers = static_cast<double>(j + 1);
-    }
-  }
-  return best;
+  return ExactStepScan(&values);
 }
 
 }  // namespace bundlemine

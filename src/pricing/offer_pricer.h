@@ -21,6 +21,7 @@
 #include "data/wtp_matrix.h"
 #include "pricing/adoption_model.h"
 #include "pricing/price_grid.h"
+#include "pricing/pricing_workspace.h"
 #include "util/rng.h"
 
 namespace bundlemine {
@@ -63,18 +64,32 @@ class OfferPricer {
   /// Only consumers with positive WTP for the offer (its audience) enter the
   /// adoption sum; consumers who never rated any component are not part of
   /// the offer's consideration set.
+  ///
+  /// The workspace-taking overload performs no heap allocation once the
+  /// workspace buffers are warm; the convenience overload routes through it
+  /// with a throwaway workspace. When `scale == 1` and every entry is
+  /// positive (the common singleton case) the offer is priced directly off
+  /// the sparse entries without staging an intermediate value buffer.
   PricedOffer PriceOffer(const SparseWtpVector& raw, double scale) const;
+  PricedOffer PriceOffer(const SparseWtpVector& raw, double scale,
+                         PricingWorkspace* ws) const;
 
   /// Same optimization over a plain span of *effective* WTP values (θ and raw
   /// sums already folded in). Used by the exhaustive bundle enumerator, which
-  /// maintains dense accumulators instead of sparse vectors.
+  /// maintains dense accumulators instead of sparse vectors. `wtps` may alias
+  /// `ws->values` (the kernels never write that buffer).
   PricedOffer PriceEffectiveValues(std::span<const double> wtps) const;
+  PricedOffer PriceEffectiveValues(std::span<const double> wtps,
+                                   PricingWorkspace* ws) const;
 
   /// Prices the offer under the α-weighted profit/surplus utility (Section
   /// 1 of the paper; `profit_weight` is the paper's α, in [0, 1]). At
   /// profit_weight = 1 this coincides with PriceOffer.
   WelfarePricedOffer PriceOfferWelfare(const SparseWtpVector& raw, double scale,
                                        double profit_weight) const;
+  WelfarePricedOffer PriceOfferWelfare(const SparseWtpVector& raw, double scale,
+                                       double profit_weight,
+                                       PricingWorkspace* ws) const;
 
   /// Expected revenue of the offer at a fixed price (used by the list-price
   /// baseline of Table 2 and by tests).

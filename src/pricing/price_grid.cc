@@ -7,11 +7,6 @@
 
 namespace bundlemine {
 
-// Relative tolerance when assigning a value to a bucket: a willingness to pay
-// that equals a grid level up to rounding must land in that level's bucket,
-// otherwise the step-model revenue at the optimal price would drop a buyer.
-constexpr double kRelTolerance = 1e-9;
-
 PriceGrid PriceGrid::Uniform(double max_price, int num_levels) {
   BM_CHECK_GT(num_levels, 0);
   if (max_price <= 0.0) return PriceGrid({}, 0.0);
@@ -32,7 +27,7 @@ PriceGrid PriceGrid::Explicit(std::vector<double> levels) {
 
 int PriceGrid::BucketFor(double value) const {
   if (levels_.empty()) return -1;
-  double tolerant = value * (1.0 + kRelTolerance) + 1e-12;
+  double tolerant = value * (1.0 + kPriceGridRelTolerance) + 1e-12;
   if (step_ > 0.0) {
     if (tolerant < levels_.front()) return -1;
     int idx = static_cast<int>(std::floor(tolerant / step_)) - 1;

@@ -10,9 +10,17 @@
 #ifndef BUNDLEMINE_PRICING_PRICE_GRID_H_
 #define BUNDLEMINE_PRICING_PRICE_GRID_H_
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 namespace bundlemine {
+
+/// Relative tolerance when assigning a value to a bucket: a willingness to
+/// pay that equals a grid level up to rounding must land in that level's
+/// bucket, otherwise the step-model revenue at the optimal price would drop a
+/// buyer.
+inline constexpr double kPriceGridRelTolerance = 1e-9;
 
 /// A sorted list of candidate price levels in (0, max].
 class PriceGrid {
@@ -40,6 +48,43 @@ class PriceGrid {
 
   std::vector<double> levels_;
   double step_ = 0.0;  // > 0 for uniform grids; 0 → binary search.
+};
+
+/// Allocation-free view of a uniform grid: levels are computed on the fly
+/// instead of materialized, but level values and bucket assignment are
+/// bit-identical to PriceGrid::Uniform(max_price, num_levels) — the pricing
+/// hot path relies on that equivalence (asserted in tests).
+class UniformPriceView {
+ public:
+  UniformPriceView(double max_price, int num_levels)
+      : max_(max_price),
+        step_(max_price > 0.0 ? max_price / num_levels : 0.0),
+        size_(max_price > 0.0 ? num_levels : 0) {}
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// t-th level: step · (t+1), with the top level pinned to max_price exactly
+  /// as PriceGrid::Uniform pins it against accumulation error.
+  double level(int t) const { return t + 1 == size_ ? max_ : step_ * (t + 1); }
+
+  /// Index of the highest level ≤ value (-1 below the lowest level); same
+  /// tolerance and boundary nudging as PriceGrid::BucketFor.
+  int BucketFor(double value) const {
+    if (size_ == 0) return -1;
+    double tolerant = value * (1.0 + kPriceGridRelTolerance) + 1e-12;
+    if (tolerant < level(0)) return -1;
+    int idx = static_cast<int>(std::floor(tolerant / step_)) - 1;
+    idx = std::min(idx, size_ - 1);
+    while (idx + 1 < size_ && level(idx + 1) <= tolerant) ++idx;
+    while (idx >= 0 && level(idx) > tolerant) --idx;
+    return idx;
+  }
+
+ private:
+  double max_;
+  double step_;
+  int size_;
 };
 
 }  // namespace bundlemine

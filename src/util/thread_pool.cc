@@ -1,0 +1,70 @@
+#include "util/thread_pool.h"
+
+namespace bundlemine {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int workers = num_threads - 1;  // The calling thread is slot 0.
+  if (workers < 0) workers = 0;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    // Worker slots start at 1; slot 0 is the calling thread.
+    workers_.emplace_back([this, slot = i + 1] { WorkerLoop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop(int slot) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    (*job)(slot);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, const std::function<void(std::size_t, int)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::function<void(int)> job = [&](int slot) {
+    for (std::size_t i; (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+      fn(i, slot);
+    }
+  };
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    active_ = num_workers();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  job(0);  // The calling thread participates as slot 0.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  job_ = nullptr;
+}
+
+}  // namespace bundlemine

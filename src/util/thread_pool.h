@@ -1,0 +1,66 @@
+// Minimal fixed-size thread pool for per-round candidate evaluation.
+//
+// The solver work-loops are bulk-synchronous: each round produces a batch of
+// independent pricing evaluations whose results must be gathered in a fixed
+// order. ParallelFor hands out indices through an atomic counter (dynamic
+// load balancing — candidate costs vary wildly with audience size) while the
+// caller writes results into pre-sized slots indexed by `index`, so the
+// gathered output is independent of thread scheduling and bit-identical to a
+// serial run.
+
+#ifndef BUNDLEMINE_UTIL_THREAD_POOL_H_
+#define BUNDLEMINE_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bundlemine {
+
+/// Fixed set of worker threads executing fork-join jobs. Construction with
+/// `num_threads <= 1` creates no workers; every job then runs inline on the
+/// calling thread, which keeps the serial path free of synchronization.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 when the pool runs inline).
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Worker-slot count for per-thread scratch: the workers plus the calling
+  /// thread, which participates in every job.
+  int num_slots() const { return num_workers() + 1; }
+
+  /// Runs fn(index, slot) for every index in [0, n), distributing indices
+  /// across the workers and the calling thread; blocks until all complete.
+  /// `slot` ∈ [0, num_slots()) identifies the executing thread and is stable
+  /// within one call — callers use it to index per-thread workspaces. `fn`
+  /// must be safe to invoke concurrently for distinct indices.
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t index, int slot)>& fn);
+
+ private:
+  void WorkerLoop(int slot);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int slot)>* job_ = nullptr;  // Guarded by mu_.
+  std::uint64_t generation_ = 0;                        // Bumped per job.
+  int active_ = 0;                                      // Workers still in job.
+  bool shutdown_ = false;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_UTIL_THREAD_POOL_H_

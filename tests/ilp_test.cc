@@ -213,7 +213,9 @@ TEST(PartitionDp, MatchesBruteForceOnRandomTables) {
       for (std::uint32_t b : dp.bundles) {
         EXPECT_EQ(covered & b, 0u);
         covered |= b;
-        if (k > 0) EXPECT_LE(std::popcount(b), k);
+        if (k > 0) {
+          EXPECT_LE(std::popcount(b), k);
+        }
       }
       EXPECT_EQ(covered, (1u << n) - 1);
     }

@@ -14,6 +14,12 @@
 #include "util/rng.h"
 #include "util/timer.h"
 
+// Older googletest releases (pre-1.11) ship GTEST_FLAG but not the
+// GTEST_FLAG_SET wrapper; fall back to assigning the flag directly.
+#ifndef GTEST_FLAG_SET
+#define GTEST_FLAG_SET(flag, value) (::testing::GTEST_FLAG(flag) = (value))
+#endif
+
 namespace bundlemine {
 namespace {
 

@@ -197,7 +197,7 @@ TEST(WallTimer, MeasuresElapsedTime) {
   double first = t.Seconds();
   EXPECT_GE(first, 0.0);
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.Seconds(), first);
   t.Reset();
   EXPECT_LT(t.Seconds(), 1.0);
