@@ -1,6 +1,10 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/json.h"
 
 namespace bundlemine {
 namespace bench {
@@ -14,9 +18,11 @@ void DefineCommonFlags(FlagSet* flags) {
   flags->Define("theta", "0", "bundling coefficient θ");
   flags->Define("k", "0", "max bundle size (0 = unconstrained)");
   flags->Define("threads", "1",
-                "worker threads for candidate evaluation (matching methods "
-                "only; solutions are identical at any count)");
+                "worker threads (sweep cells for scenario-engine harnesses, "
+                "candidate evaluation otherwise; results are identical at "
+                "any count)");
   flags->Define("csv", "", "optional CSV output path");
+  flags->Define("json", "", "optional sweep-artifact JSON output path");
 }
 
 BenchData LoadData(const FlagSet& flags) {
@@ -49,6 +55,99 @@ SolveContext::Options ContextOptions(const FlagSet& flags) {
   options.num_threads = static_cast<int>(flags.GetInt("threads"));
   options.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
   return options;
+}
+
+std::vector<double> ParseValueList(const std::string& flag_name,
+                                   const std::string& value) {
+  std::optional<std::vector<double>> values = ParseDoubleList(value);
+  if (!values) {
+    std::fprintf(stderr, "error: --%s needs a comma-separated value list, got '%s'\n",
+                 flag_name.c_str(), value.c_str());
+    std::exit(1);
+  }
+  return *values;
+}
+
+ScenarioSpec ScenarioFromFlags(const FlagSet& flags, const std::string& name,
+                               const std::string& description,
+                               ScenarioAxis axis,
+                               std::vector<std::string> methods) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.description = description;
+  spec.dataset.profile = flags.GetString("scale");
+  spec.dataset.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  spec.dataset.lambda = flags.GetDouble("lambda");
+  spec.theta = flags.GetDouble("theta");
+  spec.max_bundle_size = static_cast<int>(flags.GetInt("k"));
+  spec.price_levels = static_cast<int>(flags.GetInt("levels"));
+  spec.methods = std::move(methods);
+  spec.axes.push_back(std::move(axis));
+  return spec;
+}
+
+SweepResult RunSweepFromFlags(const ScenarioSpec& spec, const FlagSet& flags) {
+  SweepRunnerOptions options;
+  options.threads = static_cast<int>(flags.GetInt("threads"));
+  SweepResult result = RunSweep(spec, options);
+  std::printf(
+      "# dataset: scale=%s seed=%llu | %d users, %d items, %lld ratings | "
+      "lambda=%.2f total WTP=%.0f\n",
+      spec.dataset.profile.c_str(),
+      static_cast<unsigned long long>(spec.dataset.seed), result.num_users,
+      result.num_items, static_cast<long long>(result.num_ratings),
+      spec.dataset.lambda, result.base_total_wtp);
+  std::fprintf(stderr, "# sweep '%s': %zu cells, threads=%d, %.2fs\n",
+               spec.name.c_str(), result.cells.size(), options.threads,
+               result.wall_seconds);
+  return result;
+}
+
+void ReportSweep(const SweepResult& result, const SweepReport& report,
+                 const FlagSet& flags) {
+  const ScenarioSpec& spec = result.spec;
+  BM_CHECK_EQ(spec.axes.size(), 1u);
+  std::function<std::string(double)> label =
+      report.axis_label ? report.axis_label : FormatDoubleShortest;
+
+  TablePrinter coverage(report.coverage_title);
+  TablePrinter gain(report.gain_title);
+  std::vector<std::string> header = {report.axis_header};
+  for (const std::string& key : spec.methods) {
+    header.push_back(MethodDisplayName(key));
+  }
+  coverage.SetHeader(header);
+  gain.SetHeader(header);
+
+  const std::size_t block = spec.methods.size();
+  for (std::size_t start = 0; start < result.cells.size(); start += block) {
+    std::vector<std::string> cov_row = {
+        label(result.cells[start].cell.axis_values[0])};
+    std::vector<std::string> gain_row = cov_row;
+    for (std::size_t m = 0; m < block; ++m) {
+      const SweepCellResult& cell = result.cells[start + m];
+      cov_row.push_back(Pct(cell.coverage));
+      gain_row.push_back(PctSigned(cell.gain_over_components));
+    }
+    coverage.AddRow(cov_row);
+    gain.AddRow(gain_row);
+  }
+
+  coverage.Print();
+  if (!report.gain_title.empty()) gain.Print();
+  coverage.WriteCsvFile(flags.GetString("csv"));
+  WriteSweepJsonFromFlags(result, flags);
+}
+
+void WriteSweepJsonFromFlags(const SweepResult& result, const FlagSet& flags) {
+  const std::string json_path = flags.GetString("json");
+  if (json_path.empty()) return;
+  if (WriteSweepArtifact(result, json_path)) {
+    std::fprintf(stderr, "# sweep artifact written to %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+    std::exit(1);
+  }
 }
 
 std::string Pct(double fraction) { return StrFormat("%.1f%%", fraction * 100.0); }

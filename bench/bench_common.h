@@ -1,20 +1,29 @@
 // Shared plumbing for the table/figure reproduction harnesses: standard
-// flags (dataset scale, seed, λ, grid resolution, CSV export), dataset
-// construction, and formatting helpers.
+// flags (dataset scale, seed, λ, grid resolution, CSV/JSON export), dataset
+// construction, scenario-engine adapters, and formatting helpers.
 //
-// Every harness prints the same rows/series its paper counterpart reports;
-// pass --csv=<path> to also dump machine-readable output for re-plotting.
+// The figure/table sweeps run on the scenario engine (scenario/sweep_runner):
+// a harness assembles a ScenarioSpec from the common flags plus its axis,
+// executes the grid across --threads workers (bit-identical to serial), and
+// reports the same rows/series its paper counterpart prints. Pass
+// --csv=<path> for the coverage table as CSV and --json=<path> for the full
+// machine-readable sweep artifact.
 
 #ifndef BUNDLEMINE_BENCH_BENCH_COMMON_H_
 #define BUNDLEMINE_BENCH_BENCH_COMMON_H_
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "core/problem.h"
 #include "core/runner.h"
 #include "core/solve_context.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
+#include "scenario/artifact_writer.h"
+#include "scenario/scenario_spec.h"
+#include "scenario/sweep_runner.h"
 #include "util/flags.h"
 #include "util/strings.h"
 #include "util/table_printer.h"
@@ -38,9 +47,45 @@ BenchData LoadData(const FlagSet& flags);
 BundleConfigProblem BaseProblem(const FlagSet& flags, const WtpMatrix& wtp);
 
 /// SolveContext options from the common flags (--threads, --seed). Harnesses
-/// construct one context per sweep and reuse it across solves so the pricing
-/// workspaces stay warm.
+/// not yet ported to the scenario engine construct one context per sweep and
+/// reuse it across solves so the pricing workspaces stay warm.
 SolveContext::Options ContextOptions(const FlagSet& flags);
+
+/// Parses a comma-separated double list, aborting with a message naming the
+/// flag on bad input — the axis-flag counterpart of FlagSet's typo guard.
+std::vector<double> ParseValueList(const std::string& flag_name,
+                                   const std::string& value);
+
+/// Scenario assembled from the common flags (--scale/--seed/--lambda/
+/// --levels/--theta/--k) plus the harness's axis and method list.
+ScenarioSpec ScenarioFromFlags(const FlagSet& flags, const std::string& name,
+                               const std::string& description,
+                               ScenarioAxis axis,
+                               std::vector<std::string> methods);
+
+/// Runs the sweep with --threads workers and the engine's deterministic
+/// per-cell seeding; prints the dataset summary and a one-line sweep
+/// summary. The result is identical at any thread count.
+SweepResult RunSweepFromFlags(const ScenarioSpec& spec, const FlagSet& flags);
+
+/// Reporting recipe for a single-axis sweep.
+struct SweepReport {
+  std::string coverage_title;
+  std::string gain_title;   ///< Empty skips the gain table.
+  std::string axis_header;  ///< First column header ("theta", "k", ...).
+  /// Row-label formatting; defaults to FormatDoubleShortest.
+  std::function<std::string(double)> axis_label;
+};
+
+/// Prints the coverage (and optionally gain) tables of a single-axis sweep,
+/// writes --csv (coverage table) and --json (full artifact).
+void ReportSweep(const SweepResult& result, const SweepReport& report,
+                 const FlagSet& flags);
+
+/// Writes the sweep artifact when --json is set (no-op otherwise); confirms
+/// the path on stderr, aborts the process on a write failure. Shared by
+/// ReportSweep and the harnesses that print custom tables.
+void WriteSweepJsonFromFlags(const SweepResult& result, const FlagSet& flags);
 
 /// "77.7%" formatting.
 std::string Pct(double fraction);

@@ -1,13 +1,13 @@
 // Reproduces Figure 2: revenue coverage and revenue gain of all seven
-// methods across the bundling coefficient θ.
+// methods across the bundling coefficient θ — on the scenario engine, so
+// --threads=N sweeps cells in parallel with bit-identical output and
+// --json=<path> leaves the machine-readable artifact behind.
 //
 // Paper shape: Components flat; pure methods degenerate towards Components
 // as θ → −, grow steepest for θ ≫ 0; mixed methods dominate around θ ≤ 0;
 // the FreqItemset baselines trail their matching/greedy counterparts.
 
 #include "bench_common.h"
-#include "core/metrics.h"
-#include "util/timer.h"
 
 using namespace bundlemine;
 
@@ -18,43 +18,20 @@ int main(int argc, char** argv) {
                "comma-separated θ values");
   flags.Parse(argc, argv);
 
-  bench::BenchData data = bench::LoadData(flags);
-  SolveContext context(bench::ContextOptions(flags));
-  std::vector<std::string> methods = StandardMethodKeys();
+  ScenarioSpec spec = bench::ScenarioFromFlags(
+      flags, "fig2-theta", "revenue vs bundling coefficient theta",
+      ScenarioAxis{AxisKind::kTheta,
+                   bench::ParseValueList("thetas", flags.GetString("thetas"))},
+      StandardMethodKeys());
+  SweepResult result = bench::RunSweepFromFlags(spec, flags);
 
-  TablePrinter coverage("Figure 2 — revenue coverage vs θ");
-  TablePrinter gain("Figure 2 — revenue gain over Components vs θ");
-  std::vector<std::string> header = {"theta"};
-  for (const auto& key : methods) header.push_back(MethodDisplayName(key));
-  coverage.SetHeader(header);
-  header[0] = "theta";
-  gain.SetHeader(header);
+  bench::SweepReport report;
+  report.coverage_title = "Figure 2 — revenue coverage vs θ";
+  report.gain_title = "Figure 2 — revenue gain over Components vs θ";
+  report.axis_header = "theta";
+  report.axis_label = [](double theta) { return StrFormat("%.3f", theta); };
+  bench::ReportSweep(result, report, flags);
 
-  for (const std::string& theta_str : Split(flags.GetString("thetas"), ',')) {
-    double theta = *ParseDouble(theta_str);
-    BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
-    problem.theta = theta;
-
-    double components_revenue = 0.0;
-    std::vector<std::string> cov_row = {StrFormat("%.3f", theta)};
-    std::vector<std::string> gain_row = {StrFormat("%.3f", theta)};
-    for (const std::string& key : methods) {
-      WallTimer timer;
-      BundleSolution s = RunMethod(key, problem, context);
-      if (key == "components") components_revenue = s.total_revenue;
-      cov_row.push_back(bench::Pct(RevenueCoverage(s, data.wtp)));
-      gain_row.push_back(
-          bench::PctSigned(RevenueGain(s.total_revenue, components_revenue)));
-      std::fprintf(stderr, "  theta=%.3f %-18s %7.2fs coverage=%s\n", theta,
-                   MethodDisplayName(key).c_str(), timer.Seconds(),
-                   bench::Pct(RevenueCoverage(s, data.wtp)).c_str());
-    }
-    coverage.AddRow(cov_row);
-    gain.AddRow(gain_row);
-  }
-  coverage.Print();
-  gain.Print();
-  coverage.WriteCsvFile(flags.GetString("csv"));
   std::printf(
       "\npaper: mixed >= pure >= freq-itemset >= components; pure reverts to\n"
       "components for strongly negative theta and grows steepest for theta>0\n");

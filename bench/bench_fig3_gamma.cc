@@ -1,5 +1,6 @@
 // Reproduces Figure 3: revenue coverage (a) and revenue gain (b) as the
-// stochastic price-sensitivity γ varies, all methods, θ = 0.
+// stochastic price-sensitivity γ varies, all methods, θ = 0 — on the
+// scenario engine (γ axis → sigmoid adoption per cell).
 //
 // Paper shape: coverage rises with γ and plateaus once the sigmoid becomes a
 // step; gain over Components *falls* with γ (bundling flattens the WTP
@@ -9,8 +10,6 @@
 // curve can tick upward on some audiences — see EXPERIMENTS.md.
 
 #include "bench_common.h"
-#include "core/metrics.h"
-#include "util/timer.h"
 
 using namespace bundlemine;
 
@@ -21,41 +20,20 @@ int main(int argc, char** argv) {
                "comma-separated γ values (1e6 ≈ step)");
   flags.Parse(argc, argv);
 
-  bench::BenchData data = bench::LoadData(flags);
-  SolveContext context(bench::ContextOptions(flags));
-  std::vector<std::string> methods = StandardMethodKeys();
+  ScenarioSpec spec = bench::ScenarioFromFlags(
+      flags, "fig3-gamma", "revenue vs price sensitivity gamma",
+      ScenarioAxis{AxisKind::kGamma,
+                   bench::ParseValueList("gammas", flags.GetString("gammas"))},
+      StandardMethodKeys());
+  SweepResult result = bench::RunSweepFromFlags(spec, flags);
 
-  TablePrinter coverage("Figure 3(a) — revenue coverage vs γ");
-  TablePrinter gain("Figure 3(b) — revenue gain vs γ");
-  std::vector<std::string> header = {"gamma"};
-  for (const auto& key : methods) header.push_back(MethodDisplayName(key));
-  coverage.SetHeader(header);
-  gain.SetHeader(header);
+  bench::SweepReport report;
+  report.coverage_title = "Figure 3(a) — revenue coverage vs γ";
+  report.gain_title = "Figure 3(b) — revenue gain vs γ";
+  report.axis_header = "gamma";
+  report.axis_label = [](double gamma) { return StrFormat("%g", gamma); };
+  bench::ReportSweep(result, report, flags);
 
-  for (const std::string& gamma_str : Split(flags.GetString("gammas"), ',')) {
-    double gamma = *ParseDouble(gamma_str);
-    BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
-    problem.adoption = AdoptionModel::Sigmoid(gamma);
-
-    double components_revenue = 0.0;
-    std::vector<std::string> cov_row = {StrFormat("%g", gamma)};
-    std::vector<std::string> gain_row = {StrFormat("%g", gamma)};
-    for (const std::string& key : methods) {
-      WallTimer timer;
-      BundleSolution s = RunMethod(key, problem, context);
-      if (key == "components") components_revenue = s.total_revenue;
-      cov_row.push_back(bench::Pct(RevenueCoverage(s, data.wtp)));
-      gain_row.push_back(
-          bench::PctSigned(RevenueGain(s.total_revenue, components_revenue)));
-      std::fprintf(stderr, "  gamma=%g %-18s %7.2fs\n", gamma,
-                   MethodDisplayName(key).c_str(), timer.Seconds());
-    }
-    coverage.AddRow(cov_row);
-    gain.AddRow(gain_row);
-  }
-  coverage.Print();
-  gain.Print();
-  coverage.WriteCsvFile(flags.GetString("csv"));
   std::printf(
       "\npaper: coverage rises with gamma then plateaus (step limit); gain\n"
       "over Components falls with gamma (bundling is most robust under\n"

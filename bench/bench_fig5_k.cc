@@ -1,13 +1,11 @@
 // Reproduces Figure 5: revenue coverage / gain as the maximum bundle size k
-// varies, all methods, θ = 0.
+// varies, all methods, θ = 0 — on the scenario engine.
 //
 // Paper shape: k = 1 coincides with Components; the big jump happens at
 // k = 2; k ≥ 3 keeps adding revenue at a diminishing rate — the motivation
 // for the k ≥ 3 heuristics.
 
 #include "bench_common.h"
-#include "core/metrics.h"
-#include "util/timer.h"
 
 using namespace bundlemine;
 
@@ -18,42 +16,22 @@ int main(int argc, char** argv) {
                "comma-separated size caps (0 = unconstrained)");
   flags.Parse(argc, argv);
 
-  bench::BenchData data = bench::LoadData(flags);
-  SolveContext context(bench::ContextOptions(flags));
-  std::vector<std::string> methods = StandardMethodKeys();
+  ScenarioSpec spec = bench::ScenarioFromFlags(
+      flags, "fig5-k", "revenue vs max bundle size k",
+      ScenarioAxis{AxisKind::kK,
+                   bench::ParseValueList("ks", flags.GetString("ks"))},
+      StandardMethodKeys());
+  SweepResult result = bench::RunSweepFromFlags(spec, flags);
 
-  TablePrinter coverage("Figure 5 — revenue coverage vs max bundle size k");
-  TablePrinter gain("Figure 5 — revenue gain vs max bundle size k");
-  std::vector<std::string> header = {"k"};
-  for (const auto& key : methods) header.push_back(MethodDisplayName(key));
-  coverage.SetHeader(header);
-  gain.SetHeader(header);
+  bench::SweepReport report;
+  report.coverage_title = "Figure 5 — revenue coverage vs max bundle size k";
+  report.gain_title = "Figure 5 — revenue gain vs max bundle size k";
+  report.axis_header = "k";
+  report.axis_label = [](double k) {
+    return k == 0 ? std::string("inf") : StrFormat("%d", static_cast<int>(k));
+  };
+  bench::ReportSweep(result, report, flags);
 
-  for (const std::string& k_str : Split(flags.GetString("ks"), ',')) {
-    int k = static_cast<int>(*ParseInt(k_str));
-    BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
-    problem.max_bundle_size = k;
-
-    double components_revenue = 0.0;
-    std::string label = k == 0 ? "inf" : StrFormat("%d", k);
-    std::vector<std::string> cov_row = {label};
-    std::vector<std::string> gain_row = {label};
-    for (const std::string& key : methods) {
-      WallTimer timer;
-      BundleSolution s = RunMethod(key, problem, context);
-      if (key == "components") components_revenue = s.total_revenue;
-      cov_row.push_back(bench::Pct(RevenueCoverage(s, data.wtp)));
-      gain_row.push_back(
-          bench::PctSigned(RevenueGain(s.total_revenue, components_revenue)));
-      std::fprintf(stderr, "  k=%s %-18s %7.2fs\n", label.c_str(),
-                   MethodDisplayName(key).c_str(), timer.Seconds());
-    }
-    coverage.AddRow(cov_row);
-    gain.AddRow(gain_row);
-  }
-  coverage.Print();
-  gain.Print();
-  coverage.WriteCsvFile(flags.GetString("csv"));
   std::printf(
       "\npaper: k=1 equals Components, largest jump at k=2, diminishing but\n"
       "positive growth for k>=3\n");

@@ -1,5 +1,7 @@
 // Reproduces Table 2: Components revenue coverage at different conversion
-// factors λ, under optimal per-item pricing vs the dataset's list prices.
+// factors λ, under optimal per-item pricing vs the dataset's list prices —
+// on the scenario engine (λ axis re-derives W from the same ratings per
+// cell).
 //
 // Paper shape: optimal pricing is *constant* across λ (W scales linearly, so
 // revenue and the coverage denominator scale together — ≈77.7% on the Amazon
@@ -7,38 +9,35 @@
 // 4-star rating maps exactly to the list price.
 
 #include "bench_common.h"
-#include "core/metrics.h"
 
 using namespace bundlemine;
 
 int main(int argc, char** argv) {
   FlagSet flags;
   bench::DefineCommonFlags(&flags);
+  flags.Define("lambdas", "1.00,1.25,1.50,1.75,2.00",
+               "comma-separated λ values");
   flags.Parse(argc, argv);
 
-  GeneratorConfig config = ProfileByName(
-      flags.GetString("scale"), static_cast<std::uint64_t>(flags.GetInt("seed")));
-  RatingsDataset dataset = GenerateAmazonLike(config);
-  SolveContext context(bench::ContextOptions(flags));
-  DatasetStats stats = dataset.Stats();
-  std::printf("# dataset: %d users, %d items, %lld ratings\n", stats.num_users,
-              stats.num_items, static_cast<long long>(stats.num_ratings));
+  ScenarioSpec spec = bench::ScenarioFromFlags(
+      flags, "table2-lambda",
+      "Components coverage vs conversion factor lambda",
+      ScenarioAxis{AxisKind::kLambda,
+                   bench::ParseValueList("lambdas", flags.GetString("lambdas"))},
+      {"components", "components-list"});
+  SweepResult result = bench::RunSweepFromFlags(spec, flags);
 
   TablePrinter table("Table 2 — Components revenue coverage at different λ");
   table.SetHeader({"lambda", "Optimal pricing", "List pricing (\"Amazon's\")"});
-
-  for (double lambda : {1.00, 1.25, 1.50, 1.75, 2.00}) {
-    WtpMatrix wtp = WtpMatrix::FromRatings(dataset, lambda);
-    BundleConfigProblem problem = bench::BaseProblem(flags, wtp);
-    double optimal =
-        RevenueCoverage(RunMethod("components", problem, context).total_revenue, wtp);
-    double list =
-        RevenueCoverage(RunMethod("components-list", problem, context).total_revenue, wtp);
-    table.AddRow({StrFormat("%.2f", lambda), bench::Pct(optimal),
-                  bench::Pct(list)});
+  const std::size_t block = spec.methods.size();
+  for (std::size_t start = 0; start < result.cells.size(); start += block) {
+    table.AddRow({StrFormat("%.2f", result.cells[start].cell.axis_values[0]),
+                  bench::Pct(result.cells[start].coverage),
+                  bench::Pct(result.cells[start + 1].coverage)});
   }
   table.Print();
   table.WriteCsvFile(flags.GetString("csv"));
+  bench::WriteSweepJsonFromFlags(result, flags);
   std::printf(
       "\npaper: optimal constant at 77.7%%; list pricing peaks at lambda=1.25 "
       "(75.1%%)\n");

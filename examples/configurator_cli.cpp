@@ -10,6 +10,16 @@
 //       --out=config.csv
 //   ./configurator_cli --data=/path/to/stem --method=pure-greedy --k=3
 //   ./configurator_cli --list-methods
+//
+// Sweep mode runs a whole scenario grid through the scenario engine instead
+// of a single solve. --spec accepts a built-in preset name or an inline
+// textual spec; --threads parallelizes across cells (bit-identical output);
+// --json leaves the machine-readable artifact behind.
+//
+//   ./configurator_cli --sweep --list-scenarios
+//   ./configurator_cli --sweep --spec=fig2-theta --threads=8 --json=out.json
+//   ./configurator_cli --sweep --threads=4
+//       --spec='scale=tiny;seed=7;methods=components,mixed-greedy;axis:theta=-0.1,0,0.1'
 
 #include <algorithm>
 #include <cstdio>
@@ -22,7 +32,11 @@
 #include "data/dataset_io.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
+#include "scenario/artifact_writer.h"
+#include "scenario/scenario_spec.h"
+#include "scenario/sweep_runner.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/strings.h"
 #include "util/table_printer.h"
 
@@ -39,6 +53,110 @@ std::string MethodKeyList() {
     joined += key;
   }
   return joined;
+}
+
+int ListScenarios() {
+  for (const ScenarioSpec& spec : BuiltinScenarios()) {
+    std::string axes;
+    for (const ScenarioAxis& axis : spec.axes) {
+      if (!axes.empty()) axes += " x ";
+      axes += AxisKindName(axis.kind) + "[" +
+              StrFormat("%zu", axis.values.size()) + "]";
+    }
+    std::printf("%-20s %-12s %s\n   %s\n", spec.name.c_str(), axes.c_str(),
+                spec.description.c_str(),
+                ("methods: " + StrFormat("%zu", spec.methods.size())).c_str());
+  }
+  return 0;
+}
+
+int RunSweepMode(const FlagSet& flags) {
+  if (flags.GetBool("list-scenarios")) return ListScenarios();
+
+  const std::string spec_arg = flags.GetString("spec");
+  if (spec_arg.empty()) {
+    std::fprintf(stderr,
+                 "error: sweep mode needs --spec=<preset|inline spec> "
+                 "(--list-scenarios shows presets)\n");
+    return 1;
+  }
+  ScenarioSpec spec;
+  if (const ScenarioSpec* preset = FindBuiltinScenario(spec_arg)) {
+    spec = *preset;
+  } else {
+    std::string error;
+    std::optional<ScenarioSpec> parsed = ParseScenarioSpec(spec_arg, &error);
+    if (!parsed) {
+      std::fprintf(stderr, "error: cannot parse --spec: %s\n", error.c_str());
+      return 1;
+    }
+    spec = std::move(*parsed);
+    if (spec.name.empty()) spec.name = "adhoc";
+  }
+  std::string error;
+  if (!ValidateScenarioSpec(spec, &error)) {
+    std::fprintf(stderr, "error: invalid scenario: %s\n", error.c_str());
+    return 1;
+  }
+
+  SweepRunnerOptions options;
+  options.threads = static_cast<int>(flags.GetInt("threads"));
+  options.deadline_seconds = flags.GetDouble("deadline");
+  SweepResult result = RunSweep(spec, options);
+
+  std::printf("scenario '%s': scale=%s seed=%llu | %d users x %d items, "
+              "%lld ratings | %zu cells in %.2fs (threads=%d)\n",
+              spec.name.c_str(), spec.dataset.profile.c_str(),
+              static_cast<unsigned long long>(spec.dataset.seed),
+              result.num_users, result.num_items,
+              static_cast<long long>(result.num_ratings), result.cells.size(),
+              result.wall_seconds, options.threads);
+
+  TablePrinter table("sweep cells");
+  std::vector<std::string> header;
+  for (const ScenarioAxis& axis : spec.axes) {
+    header.push_back(AxisKindName(axis.kind));
+  }
+  header.insert(header.end(),
+                {"method", "revenue", "coverage", "gain", "offers", "hist"});
+  table.SetHeader(header);
+  for (const SweepCellResult& cell : result.cells) {
+    std::vector<std::string> row;
+    for (double v : cell.cell.axis_values) row.push_back(FormatDoubleShortest(v));
+    row.push_back(cell.cell.method);
+    row.push_back(StrFormat("%.2f", cell.revenue));
+    row.push_back(StrFormat("%.1f%%", 100 * cell.coverage));
+    row.push_back(cell.has_gain
+                      ? StrFormat("%+.1f%%", 100 * cell.gain_over_components)
+                      : std::string("-"));
+    row.push_back(StrFormat("%d", cell.num_offers));
+    // Offer counts by bundle size, truncated: unconstrained sweeps can
+    // produce bundles spanning dozens of sizes (the JSON keeps it all).
+    std::string hist;
+    const std::size_t hist_shown =
+        std::min<std::size_t>(cell.bundle_size_histogram.size(), 8);
+    for (std::size_t i = 0; i < hist_shown; ++i) {
+      if (!hist.empty()) hist += "/";
+      hist += StrFormat("%lld",
+                        static_cast<long long>(cell.bundle_size_histogram[i]));
+    }
+    if (cell.bundle_size_histogram.size() > hist_shown) hist += "/..";
+    row.push_back(hist);
+    table.AddRow(row);
+  }
+  table.Print();
+
+  if (!flags.GetString("json").empty()) {
+    ArtifactOptions artifact_options;
+    artifact_options.include_timings = flags.GetBool("timings");
+    if (!WriteSweepArtifact(result, flags.GetString("json"), artifact_options)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   flags.GetString("json").c_str());
+      return 1;
+    }
+    std::printf("sweep artifact written to %s\n", flags.GetString("json").c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -65,7 +183,26 @@ int main(int argc, char** argv) {
                "the best configuration found)");
   flags.Define("out", "", "optional CSV path for the priced configuration");
   flags.Define("top", "10", "number of bundles to print");
+  flags.Define("sweep", "false",
+               "run a scenario sweep through the scenario engine instead of "
+               "a single solve");
+  flags.Define("spec", "",
+               "sweep scenario: a built-in preset name or an inline "
+               "'key=value;...' spec (see --list-scenarios). The spec alone "
+               "defines the sweep's dataset and problem knobs — the "
+               "single-solve flags (--scale/--seed/--theta/...) do not "
+               "apply; customize via inline spec keys instead");
+  flags.Define("list-scenarios", "false",
+               "print the built-in scenario presets and exit");
+  flags.Define("json", "", "sweep mode: artifact JSON output path");
+  flags.Define("timings", "false",
+               "sweep mode: include wall times in the JSON artifact (breaks "
+               "byte-identity across runs)");
   flags.Parse(argc, argv);
+
+  if (flags.GetBool("sweep") || flags.GetBool("list-scenarios")) {
+    return RunSweepMode(flags);
+  }
 
   const BundlerRegistry& registry = BundlerRegistry::Global();
   if (flags.GetBool("list-methods")) {

@@ -56,6 +56,19 @@ BundleSolution AssembleFromMasks(const BundleConfigProblem& problem,
   return solution;
 }
 
+// Stop condition wiring the enumeration/packing loops to the context
+// deadline. Returns an empty function when no deadline is set so the loops
+// skip the std::function call entirely; flags stats().deadline_hit the
+// moment a loop actually observes the expired deadline.
+StopCondition DeadlineStop(SolveContext& context) {
+  if (context.options().deadline_seconds <= 0.0) return nullptr;
+  return [&context] {
+    if (!context.DeadlineExceeded()) return false;
+    context.stats().deadline_hit = true;
+    return true;
+  };
+}
+
 }  // namespace
 
 BundleSolution OptimalWspBundler::SolveWithTimings(
@@ -73,15 +86,18 @@ BundleSolution OptimalWspBundler::SolveWithTimings(
   BM_CHECK_MSG(problem.wtp->num_items() <= 20,
                "optimal WSP is infeasible beyond 20 items (paper: 25 already "
                "exhausts 70 GB)");
+  StopCondition should_stop = DeadlineStop(context);
   WallTimer timer;
   OfferPricer pricer(problem.adoption, problem.price_levels);
-  BundleEnumeration enumeration = EnumerateAllBundles(
-      *problem.wtp, problem.theta, pricer, &context.workspace());
+  BundleEnumeration enumeration =
+      EnumerateAllBundles(*problem.wtp, problem.theta, pricer,
+                          &context.workspace(), should_stop);
   double enum_seconds = timer.Seconds();
 
   timer.Reset();
-  PartitionResult partition = SolveOptimalPartition(
-      enumeration.revenue, problem.wtp->num_items(), problem.max_bundle_size);
+  PartitionResult partition =
+      SolveOptimalPartition(enumeration.revenue, problem.wtp->num_items(),
+                            problem.max_bundle_size, should_stop);
   double solve_seconds = timer.Seconds();
 
   BundleSolution solution = AssembleFromMasks(problem, partition.bundles,
@@ -112,10 +128,12 @@ BundleSolution GreedyWspBundler::SolveWithTimings(
   BM_CHECK_MSG(problem.strategy == BundlingStrategy::kPure,
                "weighted set packing is defined for pure bundling only");
   BM_CHECK_LE(problem.wtp->num_items(), 25);
+  StopCondition should_stop = DeadlineStop(context);
   WallTimer timer;
   OfferPricer pricer(problem.adoption, problem.price_levels);
-  BundleEnumeration enumeration = EnumerateAllBundles(
-      *problem.wtp, problem.theta, pricer, &context.workspace());
+  BundleEnumeration enumeration =
+      EnumerateAllBundles(*problem.wtp, problem.theta, pricer,
+                          &context.workspace(), should_stop);
   double enum_seconds = timer.Seconds();
 
   timer.Reset();
@@ -126,8 +144,8 @@ BundleSolution GreedyWspBundler::SolveWithTimings(
       if (std::popcount(mask) > problem.max_bundle_size) revenue[mask] = 0.0;
     }
   }
-  std::vector<std::uint32_t> masks =
-      GreedyWspOverMasks(revenue, problem.wtp->num_items(), average_per_item_);
+  std::vector<std::uint32_t> masks = GreedyWspOverMasks(
+      revenue, problem.wtp->num_items(), average_per_item_, should_stop);
   double solve_seconds = timer.Seconds();
 
   BundleSolution solution =

@@ -24,6 +24,10 @@ struct EnumState {
   std::vector<double> scratch;    // Effective WTP buffer for pricing.
   std::vector<double>* revenue;
   int size = 0;                   // Current subset cardinality.
+
+  const StopCondition* should_stop = nullptr;
+  bool stopped = false;
+  std::int64_t priced = 0;
 };
 
 void AddItem(EnumState* st, ItemId item) {
@@ -70,9 +74,18 @@ void PriceCurrent(EnumState* st, std::uint32_t mask) {
 void Dfs(EnumState* st, int next_item, std::uint32_t mask) {
   int n = st->wtp->num_items();
   for (int i = next_item; i < n; ++i) {
+    // Deadline check at node granularity: pricing dominates the per-node
+    // cost, so the callback overhead is noise, and every priced prefix of
+    // the table remains usable by the packing stage.
+    if (st->stopped ||
+        (*st->should_stop != nullptr && (*st->should_stop)())) {
+      st->stopped = true;
+      return;
+    }
     std::uint32_t child = mask | (1u << i);
     AddItem(st, i);
     PriceCurrent(st, child);
+    ++st->priced;
     Dfs(st, i + 1, child);
     RemoveItem(st, i);
   }
@@ -82,14 +95,14 @@ void Dfs(EnumState* st, int next_item, std::uint32_t mask) {
 
 BundleEnumeration EnumerateAllBundles(const WtpMatrix& wtp, double theta,
                                       const OfferPricer& pricer,
-                                      PricingWorkspace* ws) {
+                                      PricingWorkspace* ws,
+                                      const StopCondition& should_stop) {
   BM_CHECK_LE(wtp.num_items(), 25);
   BM_CHECK_GE(wtp.num_items(), 1);
   BundleEnumeration out;
   out.num_items = wtp.num_items();
   std::size_t table = static_cast<std::size_t>(1) << wtp.num_items();
   out.revenue.assign(table, 0.0);
-  out.bundles_priced = static_cast<std::int64_t>(table) - 1;
 
   PricingWorkspace local_ws;
   EnumState st;
@@ -100,18 +113,23 @@ BundleEnumeration EnumerateAllBundles(const WtpMatrix& wtp, double theta,
   st.user_sum.assign(static_cast<std::size_t>(wtp.num_users()), 0.0);
   st.user_count.assign(static_cast<std::size_t>(wtp.num_users()), 0);
   st.revenue = &out.revenue;
+  st.should_stop = &should_stop;
   Dfs(&st, 0, 0);
+  out.bundles_priced = st.priced;
+  out.stopped = st.stopped;
   return out;
 }
 
 std::vector<std::uint32_t> GreedyWspOverMasks(const std::vector<double>& revenue,
                                               int num_items,
-                                              bool average_per_item) {
+                                              bool average_per_item,
+                                              const StopCondition& should_stop) {
   BM_CHECK_EQ(revenue.size(), static_cast<std::size_t>(1) << num_items);
   std::vector<std::uint32_t> chosen;
   std::uint32_t used = 0;
   const std::uint32_t full = static_cast<std::uint32_t>((static_cast<std::uint64_t>(1) << num_items) - 1);
   while (used != full) {
+    if (should_stop != nullptr && should_stop()) break;
     double best_score = 0.0;
     std::uint32_t best_mask = 0;
     for (std::uint32_t mask = 1; mask < revenue.size(); ++mask) {

@@ -7,7 +7,8 @@
 namespace bundlemine {
 
 PartitionResult SolveOptimalPartition(const std::vector<double>& revenue,
-                                      int num_items, int max_bundle_size) {
+                                      int num_items, int max_bundle_size,
+                                      const std::function<bool()>& should_stop) {
   BM_CHECK_GE(num_items, 1);
   BM_CHECK_LE(num_items, 25);
   const std::size_t table = static_cast<std::size_t>(1) << num_items;
@@ -15,8 +16,15 @@ PartitionResult SolveOptimalPartition(const std::vector<double>& revenue,
 
   std::vector<double> dp(table, 0.0);
   std::vector<std::uint32_t> choice(table, 0);
+  bool stopped = false;
 
   for (std::size_t mask = 1; mask < table; ++mask) {
+    // Coarse-stride deadline check: the submask loop below dominates, so a
+    // per-1024-masks probe keeps overhead invisible while bounding overshoot.
+    if ((mask & 1023u) == 0u && should_stop != nullptr && should_stop()) {
+      stopped = true;
+      break;
+    }
     int low = std::countr_zero(static_cast<std::uint32_t>(mask));
     std::uint32_t low_bit = 1u << low;
     std::uint32_t rest = static_cast<std::uint32_t>(mask) ^ low_bit;
@@ -44,12 +52,25 @@ PartitionResult SolveOptimalPartition(const std::vector<double>& revenue,
   }
 
   PartitionResult result;
-  result.total_revenue = dp[table - 1];
+  result.stopped = stopped;
   std::uint32_t mask = static_cast<std::uint32_t>(table - 1);
   while (mask != 0) {
+    // Masks the interrupted DP never reached have choice 0; peel the lowest
+    // set item as a singleton so the backtrack always terminates with a
+    // feasible partition.
     std::uint32_t bundle = choice[mask];
+    if (bundle == 0) bundle = mask & (~mask + 1u);
     result.bundles.push_back(bundle);
     mask &= ~bundle;
+  }
+  if (stopped) {
+    // dp[table-1] was never computed; report the value of the partition
+    // actually returned so total_revenue stays consistent with `bundles`.
+    for (std::uint32_t bundle : result.bundles) {
+      result.total_revenue += revenue[bundle];
+    }
+  } else {
+    result.total_revenue = dp[table - 1];
   }
   return result;
 }

@@ -18,6 +18,7 @@
 #define BUNDLEMINE_ILP_PARTITION_DP_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace bundlemine {
@@ -28,14 +29,21 @@ struct PartitionResult {
   /// positive-revenue coverage; zero-revenue items come back as singletons).
   std::vector<std::uint32_t> bundles;
   double total_revenue = 0.0;
+  /// True when the stop condition interrupted the DP; the partition is then
+  /// assembled from the solved prefix with singleton fallbacks and is valid
+  /// but not necessarily optimal.
+  bool stopped = false;
 };
 
 /// Computes the revenue-optimal partition of `num_items` items given the
 /// bitmask-indexed `revenue` table (from EnumerateAllBundles).
 /// `max_bundle_size` limits bundle cardinality (0 = unlimited — the paper's
 /// k = ∞ default). Requires num_items ≤ 25 and revenue.size() == 2^num_items.
-PartitionResult SolveOptimalPartition(const std::vector<double>& revenue,
-                                      int num_items, int max_bundle_size = 0);
+/// `should_stop` (optional, checked at a coarse stride) aborts the DP early;
+/// the returned partition stays feasible via singleton fallbacks.
+PartitionResult SolveOptimalPartition(
+    const std::vector<double>& revenue, int num_items, int max_bundle_size = 0,
+    const std::function<bool()>& should_stop = nullptr);
 
 }  // namespace bundlemine
 

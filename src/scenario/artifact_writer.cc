@@ -1,0 +1,131 @@
+#include "scenario/artifact_writer.h"
+
+#include <cstdio>
+
+namespace bundlemine {
+namespace {
+
+JsonValue DatasetJson(const DatasetSpec& dataset) {
+  JsonValue out = JsonValue::Object();
+  out.Set("profile", JsonValue::Str(dataset.profile));
+  out.Set("seed", JsonValue::Int(static_cast<std::int64_t>(dataset.seed)));
+  out.Set("lambda", JsonValue::Double(dataset.lambda));
+  if (dataset.activity_sigma) {
+    out.Set("activity_sigma", JsonValue::Double(*dataset.activity_sigma));
+  }
+  if (dataset.background_mass) {
+    out.Set("background_mass", JsonValue::Double(*dataset.background_mass));
+  }
+  if (dataset.popularity_exponent) {
+    out.Set("popularity_exponent",
+            JsonValue::Double(*dataset.popularity_exponent));
+  }
+  if (dataset.genres_per_user) {
+    out.Set("genres_per_user", JsonValue::Int(*dataset.genres_per_user));
+  }
+  return out;
+}
+
+JsonValue ScenarioJson(const ScenarioSpec& spec) {
+  JsonValue out = JsonValue::Object();
+  out.Set("name", JsonValue::Str(spec.name));
+  out.Set("description", JsonValue::Str(spec.description));
+  out.Set("dataset", DatasetJson(spec.dataset));
+  JsonValue base = JsonValue::Object();
+  base.Set("theta", JsonValue::Double(spec.theta));
+  base.Set("k", JsonValue::Int(spec.max_bundle_size));
+  base.Set("levels", JsonValue::Int(spec.price_levels));
+  out.Set("base", std::move(base));
+  JsonValue methods = JsonValue::Array();
+  for (const std::string& method : spec.methods) {
+    methods.Add(JsonValue::Str(method));
+  }
+  out.Set("methods", std::move(methods));
+  JsonValue axes = JsonValue::Array();
+  for (const ScenarioAxis& axis : spec.axes) {
+    JsonValue a = JsonValue::Object();
+    a.Set("name", JsonValue::Str(AxisKindName(axis.kind)));
+    JsonValue values = JsonValue::Array();
+    for (double v : axis.values) values.Add(JsonValue::Double(v));
+    a.Set("values", std::move(values));
+    axes.Add(std::move(a));
+  }
+  out.Set("axes", std::move(axes));
+  return out;
+}
+
+JsonValue CellJson(const ScenarioSpec& spec, const SweepCellResult& cell,
+                   const ArtifactOptions& options) {
+  JsonValue out = JsonValue::Object();
+  JsonValue axes = JsonValue::Object();
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    axes.Set(AxisKindName(spec.axes[a].kind),
+             JsonValue::Double(cell.cell.axis_values[a]));
+  }
+  out.Set("axes", std::move(axes));
+  out.Set("method", JsonValue::Str(cell.cell.method));
+  out.Set("revenue", JsonValue::Double(cell.revenue));
+  out.Set("coverage", JsonValue::Double(cell.coverage));
+  if (cell.has_gain) {
+    out.Set("gain_over_components", JsonValue::Double(cell.gain_over_components));
+  }
+  out.Set("num_offers", JsonValue::Int(cell.num_offers));
+  out.Set("num_component_offers", JsonValue::Int(cell.num_component_offers));
+  JsonValue histogram = JsonValue::Array();
+  for (std::int64_t count : cell.bundle_size_histogram) {
+    histogram.Add(JsonValue::Int(count));
+  }
+  out.Set("bundle_size_histogram", std::move(histogram));
+  JsonValue stats = JsonValue::Object();
+  stats.Set("pairs_evaluated", JsonValue::Int(cell.stats.pairs_evaluated));
+  stats.Set("merges", JsonValue::Int(cell.stats.merges));
+  stats.Set("rounds", JsonValue::Int(cell.stats.rounds));
+  stats.Set("deadline_hit", JsonValue::Bool(cell.stats.deadline_hit));
+  out.Set("stats", std::move(stats));
+  if (options.include_timings) {
+    out.Set("wall_seconds", JsonValue::Double(cell.wall_seconds));
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonValue SweepArtifact(const SweepResult& result, const ArtifactOptions& options) {
+  JsonValue out = JsonValue::Object();
+  out.Set("schema", JsonValue::Str("bundlemine.sweep"));
+  out.Set("schema_version", JsonValue::Int(1));
+  out.Set("scenario", ScenarioJson(result.spec));
+  JsonValue stats = JsonValue::Object();
+  stats.Set("num_users", JsonValue::Int(result.num_users));
+  stats.Set("num_items", JsonValue::Int(result.num_items));
+  stats.Set("num_ratings", JsonValue::Int(result.num_ratings));
+  stats.Set("base_total_wtp", JsonValue::Double(result.base_total_wtp));
+  out.Set("dataset_stats", std::move(stats));
+  JsonValue cells = JsonValue::Array();
+  for (const SweepCellResult& cell : result.cells) {
+    cells.Add(CellJson(result.spec, cell, options));
+  }
+  out.Set("cells", std::move(cells));
+  if (options.include_timings) {
+    out.Set("wall_seconds", JsonValue::Double(result.wall_seconds));
+  }
+  return out;
+}
+
+std::string SweepArtifactJson(const SweepResult& result,
+                              const ArtifactOptions& options) {
+  return SweepArtifact(result, options).Dump(2) + "\n";
+}
+
+bool WriteSweepArtifact(const SweepResult& result, const std::string& path,
+                        const ArtifactOptions& options) {
+  if (path.empty()) return false;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::string json = SweepArtifactJson(result, options);
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace bundlemine

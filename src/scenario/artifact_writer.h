@@ -1,0 +1,43 @@
+// Stable JSON serialization of sweep results.
+//
+// The artifact format (schema "bundlemine.sweep", version 1) is the
+// machine-readable counterpart of the bench tables: one object echoing the
+// scenario spec, the dataset summary, and one record per grid cell. Output is
+// deterministic — fixed key order, shortest round-trip doubles — so the same
+// spec at any thread count serializes to identical bytes. Wall times are the
+// one non-deterministic measurement; they are omitted unless
+// `include_timings` is set (the golden regression and the byte-identity
+// tests use the default).
+
+#ifndef BUNDLEMINE_SCENARIO_ARTIFACT_WRITER_H_
+#define BUNDLEMINE_SCENARIO_ARTIFACT_WRITER_H_
+
+#include <string>
+
+#include "scenario/sweep_runner.h"
+#include "util/json.h"
+
+namespace bundlemine {
+
+struct ArtifactOptions {
+  /// Include per-cell and total wall times. Breaks byte-identity across
+  /// runs; intended for interactive inspection, not for golden artifacts.
+  bool include_timings = false;
+};
+
+/// The artifact as a JSON document (for callers that post-process).
+JsonValue SweepArtifact(const SweepResult& result,
+                        const ArtifactOptions& options = {});
+
+/// The artifact rendered with 2-space indentation and a trailing newline.
+std::string SweepArtifactJson(const SweepResult& result,
+                              const ArtifactOptions& options = {});
+
+/// Writes the rendered artifact to `path`. Returns false when the file
+/// cannot be created; no-op (returns false) on an empty path.
+bool WriteSweepArtifact(const SweepResult& result, const std::string& path,
+                        const ArtifactOptions& options = {});
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_SCENARIO_ARTIFACT_WRITER_H_

@@ -1,0 +1,332 @@
+#include "scenario/scenario_spec.h"
+
+#include "core/bundler_registry.h"
+#include "core/runner.h"
+#include "util/check.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace bundlemine {
+namespace {
+
+constexpr const char* kProfiles[] = {"tiny", "small", "medium", "paper"};
+
+bool KnownProfile(const std::string& name) {
+  for (const char* p : kProfiles) {
+    if (name == p) return true;
+  }
+  return false;
+}
+
+bool Fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+// Splits the spec text into trimmed, non-empty "key=value" tokens.
+std::vector<std::string> Tokens(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (c == ';' || c == '\n') {
+      tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  tokens.push_back(std::move(current));
+  std::vector<std::string> out;
+  for (const std::string& t : tokens) {
+    std::string trimmed(StripWhitespace(t));
+    if (!trimmed.empty()) out.push_back(std::move(trimmed));
+  }
+  return out;
+}
+
+std::string JoinDoubles(const std::vector<double>& values) {
+  std::string out;
+  for (double v : values) {
+    if (!out.empty()) out += ",";
+    out += FormatDoubleShortest(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AxisKindName(AxisKind kind) {
+  switch (kind) {
+    case AxisKind::kTheta: return "theta";
+    case AxisKind::kK: return "k";
+    case AxisKind::kGamma: return "gamma";
+    case AxisKind::kAlpha: return "alpha";
+    case AxisKind::kLambda: return "lambda";
+    case AxisKind::kLevels: return "levels";
+  }
+  BM_CHECK_MSG(false, "unreachable axis kind");
+  return "";
+}
+
+std::optional<std::vector<double>> ParseDoubleList(std::string_view value) {
+  std::vector<double> out;
+  for (const std::string& piece : Split(value, ',')) {
+    std::optional<double> d = ParseDouble(StripWhitespace(piece));
+    if (!d) return std::nullopt;
+    out.push_back(*d);
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+std::optional<AxisKind> AxisKindByName(std::string_view name) {
+  if (name == "theta") return AxisKind::kTheta;
+  if (name == "k") return AxisKind::kK;
+  if (name == "gamma") return AxisKind::kGamma;
+  if (name == "alpha") return AxisKind::kAlpha;
+  if (name == "lambda") return AxisKind::kLambda;
+  if (name == "levels") return AxisKind::kLevels;
+  return std::nullopt;
+}
+
+std::optional<ScenarioSpec> ParseScenarioSpec(std::string_view text,
+                                              std::string* error) {
+  ScenarioSpec spec;
+  auto fail = [error](const std::string& message) -> std::optional<ScenarioSpec> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  for (const std::string& token : Tokens(text)) {
+    std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return fail("expected key=value, got '" + token + "'");
+    }
+    std::string key(StripWhitespace(token.substr(0, eq)));
+    std::string value(StripWhitespace(token.substr(eq + 1)));
+
+    if (StartsWith(key, "axis:")) {
+      std::string axis_name = key.substr(5);
+      std::optional<AxisKind> kind = AxisKindByName(axis_name);
+      if (!kind) return fail("unknown axis '" + axis_name + "'");
+      std::optional<std::vector<double>> values = ParseDoubleList(value);
+      if (!values) return fail("bad value list for axis '" + axis_name + "'");
+      spec.axes.push_back(ScenarioAxis{*kind, std::move(*values)});
+      continue;
+    }
+
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "description") {
+      spec.description = value;
+    } else if (key == "scale") {
+      spec.dataset.profile = value;
+    } else if (key == "seed") {
+      std::optional<long long> seed = ParseInt(value);
+      if (!seed || *seed < 0) return fail("bad seed '" + value + "'");
+      spec.dataset.seed = static_cast<std::uint64_t>(*seed);
+    } else if (key == "lambda") {
+      std::optional<double> d = ParseDouble(value);
+      if (!d) return fail("bad lambda '" + value + "'");
+      spec.dataset.lambda = *d;
+    } else if (key == "theta") {
+      std::optional<double> d = ParseDouble(value);
+      if (!d) return fail("bad theta '" + value + "'");
+      spec.theta = *d;
+    } else if (key == "k") {
+      std::optional<long long> k = ParseInt(value);
+      if (!k || *k < 0) return fail("bad k '" + value + "'");
+      spec.max_bundle_size = static_cast<int>(*k);
+    } else if (key == "levels") {
+      std::optional<long long> levels = ParseInt(value);
+      if (!levels || *levels < 0) return fail("bad levels '" + value + "'");
+      spec.price_levels = static_cast<int>(*levels);
+    } else if (key == "methods") {
+      for (const std::string& piece : Split(value, ',')) {
+        std::string method(StripWhitespace(piece));
+        if (!method.empty()) spec.methods.push_back(std::move(method));
+      }
+    } else if (key == "activity-sigma") {
+      std::optional<double> d = ParseDouble(value);
+      if (!d) return fail("bad activity-sigma '" + value + "'");
+      spec.dataset.activity_sigma = *d;
+    } else if (key == "background-mass") {
+      std::optional<double> d = ParseDouble(value);
+      if (!d) return fail("bad background-mass '" + value + "'");
+      spec.dataset.background_mass = *d;
+    } else if (key == "popularity-exponent") {
+      std::optional<double> d = ParseDouble(value);
+      if (!d) return fail("bad popularity-exponent '" + value + "'");
+      spec.dataset.popularity_exponent = *d;
+    } else if (key == "genres-per-user") {
+      std::optional<long long> g = ParseInt(value);
+      if (!g || *g <= 0) return fail("bad genres-per-user '" + value + "'");
+      spec.dataset.genres_per_user = static_cast<int>(*g);
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+std::string FormatScenarioSpec(const ScenarioSpec& spec) {
+  std::string out;
+  auto line = [&out](const std::string& key, const std::string& value) {
+    out += key;
+    out += "=";
+    out += value;
+    out += "\n";
+  };
+  if (!spec.name.empty()) line("name", spec.name);
+  if (!spec.description.empty()) line("description", spec.description);
+  line("scale", spec.dataset.profile);
+  line("seed", StrFormat("%llu", static_cast<unsigned long long>(spec.dataset.seed)));
+  line("lambda", FormatDoubleShortest(spec.dataset.lambda));
+  if (spec.dataset.activity_sigma) {
+    line("activity-sigma", FormatDoubleShortest(*spec.dataset.activity_sigma));
+  }
+  if (spec.dataset.background_mass) {
+    line("background-mass", FormatDoubleShortest(*spec.dataset.background_mass));
+  }
+  if (spec.dataset.popularity_exponent) {
+    line("popularity-exponent",
+         FormatDoubleShortest(*spec.dataset.popularity_exponent));
+  }
+  if (spec.dataset.genres_per_user) {
+    line("genres-per-user", StrFormat("%d", *spec.dataset.genres_per_user));
+  }
+  line("theta", FormatDoubleShortest(spec.theta));
+  line("k", StrFormat("%d", spec.max_bundle_size));
+  line("levels", StrFormat("%d", spec.price_levels));
+  std::string methods;
+  for (const std::string& m : spec.methods) {
+    if (!methods.empty()) methods += ",";
+    methods += m;
+  }
+  line("methods", methods);
+  for (const ScenarioAxis& axis : spec.axes) {
+    line("axis:" + AxisKindName(axis.kind), JoinDoubles(axis.values));
+  }
+  return out;
+}
+
+bool ValidateScenarioSpec(const ScenarioSpec& spec, std::string* error) {
+  if (!KnownProfile(spec.dataset.profile)) {
+    return Fail(error, "unknown dataset profile '" + spec.dataset.profile + "'");
+  }
+  if (spec.dataset.lambda <= 0.0) return Fail(error, "lambda must be positive");
+  if (spec.price_levels < 0) return Fail(error, "levels must be >= 0");
+  if (spec.max_bundle_size < 0) return Fail(error, "k must be >= 0");
+  if (spec.methods.empty()) return Fail(error, "no methods listed");
+  const BundlerRegistry& registry = BundlerRegistry::Global();
+  for (const std::string& method : spec.methods) {
+    if (!registry.Has(method)) {
+      return Fail(error, "unknown method '" + method + "'");
+    }
+  }
+  if (spec.axes.empty()) return Fail(error, "at least one axis is required");
+  bool seen[6] = {};
+  for (const ScenarioAxis& axis : spec.axes) {
+    if (axis.values.empty()) {
+      return Fail(error, "axis '" + AxisKindName(axis.kind) + "' has no values");
+    }
+    std::size_t slot = static_cast<std::size_t>(axis.kind);
+    if (seen[slot]) {
+      return Fail(error, "axis '" + AxisKindName(axis.kind) + "' repeated");
+    }
+    seen[slot] = true;
+  }
+  return true;
+}
+
+namespace {
+
+ScenarioSpec MakePreset(std::string name, std::string description,
+                        std::vector<std::string> methods, ScenarioAxis axis) {
+  ScenarioSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.methods = std::move(methods);
+  spec.axes.push_back(std::move(axis));
+  return spec;
+}
+
+std::vector<ScenarioSpec> MakeBuiltins() {
+  std::vector<ScenarioSpec> presets;
+
+  // The paper's sweeps (Figures 2-5, Table 2).
+  presets.push_back(MakePreset(
+      "fig2-theta", "revenue vs bundling coefficient theta (paper Figure 2)",
+      StandardMethodKeys(),
+      {AxisKind::kTheta, {-0.1, -0.05, -0.02, 0.0, 0.02, 0.05, 0.1}}));
+  presets.push_back(MakePreset(
+      "fig3-gamma", "revenue vs price sensitivity gamma (paper Figure 3)",
+      StandardMethodKeys(),
+      {AxisKind::kGamma, {0.1, 0.5, 1.0, 10.0, 100.0, 1e6}}));
+  presets.push_back(MakePreset(
+      "fig4-alpha", "revenue vs adoption bias alpha (paper Figure 4)",
+      StandardMethodKeys(), {AxisKind::kAlpha, {0.75, 0.9, 1.0, 1.1, 1.25}}));
+  presets.push_back(MakePreset(
+      "fig5-k", "revenue vs max bundle size k (paper Figure 5)",
+      StandardMethodKeys(),
+      {AxisKind::kK, {1, 2, 3, 4, 5, 6, 8, 10, 0}}));
+  presets.push_back(MakePreset(
+      "table2-lambda",
+      "Components coverage vs conversion factor lambda (paper Table 2)",
+      {"components", "components-list"},
+      {AxisKind::kLambda, {1.0, 1.25, 1.5, 1.75, 2.0}}));
+
+  // Off-paper stress workloads.
+  ScenarioSpec heavy = MakePreset(
+      "heavy-tail-wtp",
+      "theta sweep on heavy-tailed user activity and item popularity",
+      StandardMethodKeys(), {AxisKind::kTheta, {-0.05, 0.0, 0.05, 0.1}});
+  heavy.dataset.activity_sigma = 1.1;
+  heavy.dataset.popularity_exponent = 1.4;
+  presets.push_back(std::move(heavy));
+
+  ScenarioSpec sparse = MakePreset(
+      "sparse-corating",
+      "theta sweep with single-genre users and near-zero background co-rating",
+      StandardMethodKeys(), {AxisKind::kTheta, {-0.05, 0.0, 0.05}});
+  sparse.dataset.background_mass = 0.02;
+  sparse.dataset.genres_per_user = 1;
+  presets.push_back(std::move(sparse));
+
+  presets.push_back(MakePreset(
+      "large-k-stress", "large size caps up to unconstrained bundles",
+      {"components", "pure-matching", "mixed-matching", "pure-greedy",
+       "mixed-greedy"},
+      {AxisKind::kK, {4, 8, 12, 16, 24, 0}}));
+
+  ScenarioSpec grid = MakePreset(
+      "sigmoid-theta-grid",
+      "two-axis gamma x theta grid (cross-product expansion demo)",
+      {"components", "pure-greedy", "mixed-greedy"},
+      {AxisKind::kGamma, {1.0, 10.0, 1e6}});
+  grid.axes.push_back({AxisKind::kTheta, {-0.05, 0.0, 0.05}});
+  presets.push_back(std::move(grid));
+
+  for (const ScenarioSpec& spec : presets) {
+    std::string error;
+    BM_CHECK_MSG(ValidateScenarioSpec(spec, &error), "invalid builtin preset");
+  }
+  return presets;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& BuiltinScenarios() {
+  static const std::vector<ScenarioSpec>* presets =
+      new std::vector<ScenarioSpec>(MakeBuiltins());
+  return *presets;
+}
+
+const ScenarioSpec* FindBuiltinScenario(const std::string& name) {
+  for (const ScenarioSpec& spec : BuiltinScenarios()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+}  // namespace bundlemine

@@ -1,0 +1,108 @@
+// Declarative scenario descriptions for the sweep engine.
+//
+// A ScenarioSpec names everything the paper's evaluation loop varies — a
+// dataset profile + seed (with optional generator overrides for
+// off-distribution workloads), the base problem knobs, a method-key list, and
+// one or more named parameter axes — and expands into a
+// (axis-value × method) cell grid executed by the SweepRunner.
+//
+// Specs have a canonical textual form (`key=value` pairs separated by ';' or
+// newlines) accepted by `configurator_cli --sweep --spec=...`:
+//
+//   name=my-sweep; scale=tiny; seed=7; methods=components,mixed-greedy;
+//   axis:theta=-0.1,0,0.1; axis:k=2,3
+//
+// ParseScenarioSpec/FormatScenarioSpec round-trip, and the built-in presets
+// below cover the paper's Figures 2-5 and Table 2 plus off-paper stress
+// workloads (heavy-tail WTP, sparse co-rating, large-k, a two-axis
+// sigmoid × θ grid).
+
+#ifndef BUNDLEMINE_SCENARIO_SCENARIO_SPEC_H_
+#define BUNDLEMINE_SCENARIO_SCENARIO_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bundlemine {
+
+/// What a swept axis varies. θ/k/levels act on the problem, γ/α select the
+/// adoption model (γ → sigmoid, α → biased step; together → Sigmoid(γ, α)),
+/// λ re-derives the WTP matrix from the same ratings.
+enum class AxisKind {
+  kTheta,
+  kK,
+  kGamma,
+  kAlpha,
+  kLambda,
+  kLevels,
+};
+
+/// Canonical axis name ("theta", "k", "gamma", "alpha", "lambda", "levels").
+std::string AxisKindName(AxisKind kind);
+std::optional<AxisKind> AxisKindByName(std::string_view name);
+
+/// Parses a comma-separated double list ("-0.1,0,0.1"; whitespace around
+/// elements ignored); nullopt on empty input or any unparsable element.
+/// Shared by spec axis parsing and the bench harness axis flags.
+std::optional<std::vector<double>> ParseDoubleList(std::string_view value);
+
+/// One named axis with its explicit value list.
+struct ScenarioAxis {
+  AxisKind kind = AxisKind::kTheta;
+  std::vector<double> values;
+};
+
+/// Dataset selection: a generator profile plus optional overrides that widen
+/// the workload family beyond the paper's calibration (heavy-tail activity,
+/// sparse co-rating structure).
+struct DatasetSpec {
+  std::string profile = "small";  ///< tiny | small | medium | paper.
+  std::uint64_t seed = 42;
+  double lambda = 1.25;  ///< Base ratings→WTP factor (a lambda axis overrides).
+  std::optional<double> activity_sigma;       ///< Generator override.
+  std::optional<double> background_mass;      ///< Generator override.
+  std::optional<double> popularity_exponent;  ///< Generator override.
+  std::optional<int> genres_per_user;         ///< Generator override.
+};
+
+/// A full scenario: dataset, base problem knobs, methods, axes.
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  DatasetSpec dataset;
+  double theta = 0.0;      ///< Base θ (a theta axis overrides per cell).
+  int max_bundle_size = 0; ///< Base k (a k axis overrides per cell).
+  int price_levels = 100;  ///< Base grid resolution T.
+  std::vector<std::string> methods;  ///< Registry keys, run order preserved.
+  std::vector<ScenarioAxis> axes;    ///< ≥ 1 axis; the grid is their product.
+};
+
+/// Parses the textual form. On failure returns nullopt and, when `error` is
+/// non-null, a one-line diagnostic naming the offending token.
+std::optional<ScenarioSpec> ParseScenarioSpec(std::string_view text,
+                                              std::string* error = nullptr);
+
+/// Canonical textual form; ParseScenarioSpec(FormatScenarioSpec(s)) yields an
+/// identical spec.
+std::string FormatScenarioSpec(const ScenarioSpec& spec);
+
+/// Structural validation: a known profile, at least one method and every
+/// method registered, at least one axis and every axis non-empty, no axis
+/// kind repeated. Returns false with a diagnostic in `error`.
+bool ValidateScenarioSpec(const ScenarioSpec& spec, std::string* error = nullptr);
+
+/// The built-in presets, in a stable order: the paper's sweeps
+/// (fig2-theta, fig3-gamma, fig4-alpha, fig5-k, table2-lambda) followed by
+/// the off-paper stress scenarios (heavy-tail-wtp, sparse-corating,
+/// large-k-stress, sigmoid-theta-grid).
+const std::vector<ScenarioSpec>& BuiltinScenarios();
+
+/// Preset lookup by name; nullptr when unknown.
+const ScenarioSpec* FindBuiltinScenario(const std::string& name);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_SCENARIO_SCENARIO_SPEC_H_

@@ -1,0 +1,231 @@
+#include "scenario/sweep_runner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/metrics.h"
+#include "core/runner.h"
+#include "data/generator.h"
+#include "data/wtp_matrix.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace bundlemine {
+namespace {
+
+GeneratorConfig ConfigFor(const DatasetSpec& dataset) {
+  GeneratorConfig config = ProfileByName(dataset.profile, dataset.seed);
+  if (dataset.activity_sigma) config.activity_sigma = *dataset.activity_sigma;
+  if (dataset.background_mass) config.background_mass = *dataset.background_mass;
+  if (dataset.popularity_exponent) {
+    config.item_popularity_exponent = *dataset.popularity_exponent;
+  }
+  if (dataset.genres_per_user) config.genres_per_user = *dataset.genres_per_user;
+  return config;
+}
+
+// The WTP matrices a sweep needs: one per distinct λ (the base λ plus any
+// lambda-axis values), all derived from a single generated ratings dataset.
+struct SweepData {
+  RatingsDataset dataset;
+  std::map<double, WtpMatrix> wtp_by_lambda;
+
+  const WtpMatrix& WtpFor(double lambda) const {
+    auto it = wtp_by_lambda.find(lambda);
+    BM_CHECK(it != wtp_by_lambda.end());
+    return it->second;
+  }
+};
+
+SweepData MaterializeData(const ScenarioSpec& spec) {
+  SweepData data;
+  data.dataset = GenerateAmazonLike(ConfigFor(spec.dataset));
+  std::vector<double> lambdas = {spec.dataset.lambda};
+  for (const ScenarioAxis& axis : spec.axes) {
+    if (axis.kind == AxisKind::kLambda) {
+      lambdas.insert(lambdas.end(), axis.values.begin(), axis.values.end());
+    }
+  }
+  for (double lambda : lambdas) {
+    if (data.wtp_by_lambda.count(lambda) == 0) {
+      data.wtp_by_lambda.emplace(lambda,
+                                 WtpMatrix::FromRatings(data.dataset, lambda));
+    }
+  }
+  return data;
+}
+
+// Applies the cell's axis values on top of the spec's base knobs, returning
+// the λ the cell prices against. γ and α compose into one adoption model.
+double ApplyAxes(const ScenarioSpec& spec, const SweepCell& cell,
+                 BundleConfigProblem* problem) {
+  double lambda = spec.dataset.lambda;
+  bool have_gamma = false, have_alpha = false;
+  double gamma = 0.0, alpha = 1.0;
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    double value = cell.axis_values[a];
+    switch (spec.axes[a].kind) {
+      case AxisKind::kTheta:
+        problem->theta = value;
+        break;
+      case AxisKind::kK:
+        problem->max_bundle_size = static_cast<int>(value);
+        break;
+      case AxisKind::kGamma:
+        have_gamma = true;
+        gamma = value;
+        break;
+      case AxisKind::kAlpha:
+        have_alpha = true;
+        alpha = value;
+        break;
+      case AxisKind::kLambda:
+        lambda = value;
+        break;
+      case AxisKind::kLevels:
+        problem->price_levels = static_cast<int>(value);
+        break;
+    }
+  }
+  if (have_gamma) {
+    problem->adoption = AdoptionModel::Sigmoid(gamma, alpha);
+  } else if (have_alpha) {
+    problem->adoption = AdoptionModel::StepWithBias(alpha);
+  }
+  return lambda;
+}
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void RunCell(const ScenarioSpec& spec, const SweepData& data,
+             const SweepRunnerOptions& options, const SweepCell& cell,
+             SweepCellResult* result) {
+  BundleConfigProblem problem;
+  problem.theta = spec.theta;
+  problem.max_bundle_size = spec.max_bundle_size;
+  problem.price_levels = spec.price_levels;
+  problem.adoption = AdoptionModel::Step();
+  double lambda = ApplyAxes(spec, cell, &problem);
+  const WtpMatrix& wtp = data.WtpFor(lambda);
+  problem.wtp = &wtp;
+
+  // Fresh context per cell: cells are the unit of parallelism, so the inner
+  // solver runs serially and the seed depends only on the cell index —
+  // results cannot depend on which worker ran the cell.
+  SolveContext::Options context_options;
+  context_options.num_threads = 1;
+  context_options.seed = CellSeed(spec.dataset.seed, cell.index);
+  context_options.deadline_seconds = options.deadline_seconds;
+  SolveContext context(context_options);
+
+  WallTimer timer;
+  BundleSolution solution = RunMethod(cell.method, problem, context);
+  result->wall_seconds = timer.Seconds();
+
+  result->cell = cell;
+  result->revenue = solution.total_revenue;
+  result->coverage = RevenueCoverage(solution.total_revenue, wtp);
+  result->num_offers = static_cast<int>(solution.offers.size());
+  for (const PricedBundle& offer : solution.offers) {
+    if (offer.is_component_offer) ++result->num_component_offers;
+    if (offer.items.empty()) continue;
+    std::size_t slot = static_cast<std::size_t>(offer.items.size()) - 1;
+    if (result->bundle_size_histogram.size() <= slot) {
+      result->bundle_size_histogram.resize(slot + 1, 0);
+    }
+    ++result->bundle_size_histogram[slot];
+  }
+  result->stats = context.stats();
+}
+
+}  // namespace
+
+std::vector<SweepCell> ExpandGrid(const ScenarioSpec& spec) {
+  std::string error;
+  BM_CHECK_MSG(ValidateScenarioSpec(spec, &error), "invalid scenario spec");
+
+  std::size_t points = 1;
+  for (const ScenarioAxis& axis : spec.axes) points *= axis.values.size();
+
+  std::vector<SweepCell> cells;
+  cells.reserve(points * spec.methods.size());
+  std::vector<std::size_t> odometer(spec.axes.size(), 0);
+  for (std::size_t point = 0; point < points; ++point) {
+    std::vector<double> values(spec.axes.size());
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      values[a] = spec.axes[a].values[odometer[a]];
+    }
+    for (const std::string& method : spec.methods) {
+      SweepCell cell;
+      cell.index = static_cast<int>(cells.size());
+      cell.axis_values = values;
+      cell.method = method;
+      cells.push_back(std::move(cell));
+    }
+    // Advance the odometer, last axis fastest.
+    for (std::size_t a = spec.axes.size(); a-- > 0;) {
+      if (++odometer[a] < spec.axes[a].values.size()) break;
+      odometer[a] = 0;
+    }
+  }
+  return cells;
+}
+
+std::uint64_t CellSeed(std::uint64_t scenario_seed, int cell_index) {
+  return SplitMix64(scenario_seed ^
+                    SplitMix64(static_cast<std::uint64_t>(cell_index) + 1));
+}
+
+SweepResult RunSweep(const ScenarioSpec& spec, const SweepRunnerOptions& options) {
+  WallTimer total_timer;
+  std::vector<SweepCell> cells = ExpandGrid(spec);
+  SweepData data = MaterializeData(spec);
+
+  SweepResult result;
+  result.spec = spec;
+  DatasetStats stats = data.dataset.Stats();
+  result.num_users = stats.num_users;
+  result.num_items = stats.num_items;
+  result.num_ratings = stats.num_ratings;
+  result.base_total_wtp = data.WtpFor(spec.dataset.lambda).TotalWtp();
+  result.cells.resize(cells.size());
+
+  ThreadPool pool(options.threads);
+  pool.ParallelFor(cells.size(), [&](std::size_t index, int /*slot*/) {
+    RunCell(spec, data, options, cells[index], &result.cells[index]);
+  });
+
+  // Gains over the "components" cell at the same axis point. Cells are laid
+  // out axis-point-major with methods innermost, so each point is one
+  // contiguous block of spec.methods.size() cells.
+  std::size_t block = spec.methods.size();
+  for (std::size_t start = 0; start < result.cells.size(); start += block) {
+    double components_revenue = 0.0;
+    bool found = false;
+    for (std::size_t m = 0; m < block; ++m) {
+      if (result.cells[start + m].cell.method == "components") {
+        components_revenue = result.cells[start + m].revenue;
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;
+    for (std::size_t m = 0; m < block; ++m) {
+      SweepCellResult& cell = result.cells[start + m];
+      cell.has_gain = true;
+      cell.gain_over_components =
+          RevenueGain(cell.revenue, components_revenue);
+    }
+  }
+
+  result.wall_seconds = total_timer.Seconds();
+  return result;
+}
+
+}  // namespace bundlemine

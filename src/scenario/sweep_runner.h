@@ -1,0 +1,91 @@
+// Parallel execution of a ScenarioSpec's cell grid.
+//
+// The grid expands deterministically — axes form a cross product (first axis
+// slowest), methods innermost — and every cell solves with a *fresh*
+// SolveContext seeded from (scenario seed, cell index). Cells are the unit of
+// parallelism: `threads` workers pull cells through the shared ThreadPool and
+// write results into pre-sized slots, so the gathered SweepResult is ordered
+// by cell index and bit-identical to a serial run (the determinism tests and
+// the artifact byte-identity guarantee rest on this). The one exception is a
+// non-zero per-cell deadline, which is inherently wall-clock-dependent — see
+// SweepRunnerOptions::deadline_seconds.
+//
+// Per-cell wall times are recorded for reporting but are the only
+// non-deterministic fields; the artifact writer excludes them by default.
+
+#ifndef BUNDLEMINE_SCENARIO_SWEEP_RUNNER_H_
+#define BUNDLEMINE_SCENARIO_SWEEP_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/solve_context.h"
+#include "scenario/scenario_spec.h"
+
+namespace bundlemine {
+
+/// One grid cell: an assignment of one value per axis plus a method key.
+struct SweepCell {
+  int index = 0;                   ///< Position in the expanded grid.
+  std::vector<double> axis_values; ///< Parallel to ScenarioSpec::axes.
+  std::string method;
+};
+
+/// Everything one cell records.
+struct SweepCellResult {
+  SweepCell cell;
+  double revenue = 0.0;
+  double coverage = 0.0;  ///< revenue / total WTP at the cell's λ.
+  /// Fractional gain over the "components" cell at the same axis point;
+  /// meaningful only when `has_gain` (the spec lists "components").
+  double gain_over_components = 0.0;
+  bool has_gain = false;
+  int num_offers = 0;
+  int num_component_offers = 0;
+  /// histogram[i] = number of offers of size i+1 (components included).
+  std::vector<std::int64_t> bundle_size_histogram;
+  SolveStats stats;
+  double wall_seconds = 0.0;  ///< Volatile; excluded from artifacts by default.
+};
+
+/// Ordered results of one sweep plus the dataset summary at the base λ.
+struct SweepResult {
+  ScenarioSpec spec;
+  int num_users = 0;
+  int num_items = 0;
+  std::int64_t num_ratings = 0;
+  double base_total_wtp = 0.0;
+  std::vector<SweepCellResult> cells;
+  double wall_seconds = 0.0;  ///< Volatile; excluded from artifacts by default.
+};
+
+struct SweepRunnerOptions {
+  /// Worker threads across cells; <= 1 runs serially. Results are
+  /// bit-identical at any count.
+  int threads = 1;
+  /// Per-cell wall-clock budget (0 = none); deadline-aware solvers return a
+  /// valid partial configuration and flag stats.deadline_hit. A non-zero
+  /// deadline makes cell results wall-clock-dependent and therefore voids
+  /// the bit-identity guarantee — budgeted sweeps are for interactive
+  /// exploration, not for golden artifacts.
+  double deadline_seconds = 0.0;
+};
+
+/// Expands the spec's (axis-value × method) grid in canonical order.
+/// The spec must validate.
+std::vector<SweepCell> ExpandGrid(const ScenarioSpec& spec);
+
+/// Deterministic per-cell SolveContext seed (splitmix64 over scenario seed
+/// and cell index); exposed for tests.
+std::uint64_t CellSeed(std::uint64_t scenario_seed, int cell_index);
+
+/// Materializes the dataset, runs every cell, gathers in grid order, and
+/// fills gains from the per-axis-point "components" cells. Aborts (BM_CHECK)
+/// on an invalid spec.
+SweepResult RunSweep(const ScenarioSpec& spec,
+                     const SweepRunnerOptions& options = {});
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_SCENARIO_SWEEP_RUNNER_H_

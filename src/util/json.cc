@@ -1,0 +1,186 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace bundlemine {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Int(std::int64_t i) {
+  JsonValue v;
+  v.kind_ = Kind::kInt;
+  v.int_ = i;
+  return v;
+}
+
+JsonValue JsonValue::Double(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kDouble;
+  v.double_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::Add(JsonValue v) {
+  BM_CHECK(kind_ == Kind::kArray);
+  array_.push_back(std::move(v));
+  return *this;
+}
+
+JsonValue& JsonValue::Set(const std::string& key, JsonValue v) {
+  BM_CHECK(kind_ == Kind::kObject);
+  for (const auto& [existing, value] : object_) {
+    BM_CHECK_MSG(existing != key, "duplicate JSON object key");
+  }
+  object_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+std::string FormatDoubleShortest(double d) {
+  // JSON has no NaN/Inf literals; the artifacts never contain them (metrics
+  // are finite by construction), so treat them as a caller bug.
+  BM_CHECK_MSG(std::isfinite(d), "non-finite double in JSON output");
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  BM_CHECK(ec == std::errc());
+  std::string s(buf, ptr);
+  // Ensure the token stays a double on re-parse ("5" → "5.0" costs nothing
+  // and keeps field types stable across values).
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos) {
+    s += ".0";
+  }
+  return s;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendIndent(std::string* out, int indent, int depth) {
+  if (indent > 0) out->append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+void AppendNewline(std::string* out, int indent) {
+  if (indent > 0) out->push_back('\n');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInt: {
+      char buf[32];
+      auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), int_);
+      BM_CHECK(ec == std::errc());
+      out->append(buf, ptr);
+      return;
+    }
+    case Kind::kDouble:
+      *out += FormatDoubleShortest(double_);
+      return;
+    case Kind::kString:
+      *out += '"';
+      *out += JsonEscape(string_);
+      *out += '"';
+      return;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += '[';
+      AppendNewline(out, indent);
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        AppendIndent(out, indent, depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < array_.size()) *out += ',';
+        AppendNewline(out, indent);
+      }
+      AppendIndent(out, indent, depth);
+      *out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += '{';
+      AppendNewline(out, indent);
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        AppendIndent(out, indent, depth + 1);
+        *out += '"';
+        *out += JsonEscape(object_[i].first);
+        *out += "\": ";
+        object_[i].second.DumpTo(out, indent, depth + 1);
+        if (i + 1 < object_.size()) *out += ',';
+        AppendNewline(out, indent);
+      }
+      AppendIndent(out, indent, depth);
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+}  // namespace bundlemine

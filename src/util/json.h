@@ -1,0 +1,77 @@
+// Minimal JSON document builder with deterministic output.
+//
+// The sweep artifacts must be byte-identical across thread counts and across
+// repeated runs with the same seed (the determinism tests and the golden
+// regression depend on it), so this writer guarantees:
+//
+//   * object keys appear in insertion order (callers insert deterministically),
+//   * doubles render as the shortest round-trippable decimal via
+//     std::to_chars — no locale, no printf precision guesswork,
+//   * indentation and separators are fixed.
+//
+// There is deliberately no parser here: the artifacts are produced and
+// compared by this codebase, and the golden regression compares the rendered
+// form line by line.
+
+#ifndef BUNDLEMINE_UTIL_JSON_H_
+#define BUNDLEMINE_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bundlemine {
+
+/// A JSON value: null, bool, integer, double, string, array, or object.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Int(std::int64_t i);
+  static JsonValue Double(double d);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+
+  /// Appends to an array value. Aborts if this is not an array.
+  JsonValue& Add(JsonValue v);
+
+  /// Sets a key on an object value, preserving insertion order. Aborts if
+  /// this is not an object or the key already exists (a duplicate key would
+  /// silently corrupt an artifact).
+  JsonValue& Set(const std::string& key, JsonValue v);
+
+  /// Renders the document. `indent` spaces per nesting level; 0 renders the
+  /// whole document on one line.
+  std::string Dump(int indent = 2) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Shortest decimal representation of `d` that parses back to exactly `d`
+/// (std::to_chars). Shared by the JSON writer and the scenario-spec
+/// formatter so axis values round-trip through text.
+std::string FormatDoubleShortest(double d);
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_UTIL_JSON_H_

@@ -1,9 +1,14 @@
 // Additional regression coverage: cross-checks of derived quantities against
-// brute-force recomputation, boundary tolerances, and a wider oracle range
-// for the blossom matcher.
+// brute-force recomputation, boundary tolerances, a wider oracle range for
+// the blossom matcher, and the golden sweep artifact (fixed-seed Tiny
+// θ-sweep compared field-by-field against tests/golden/).
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "core/market_simulator.h"
 #include "core/runner.h"
@@ -15,7 +20,11 @@
 #include "pricing/mixed_pricer.h"
 #include "pricing/offer_pricer.h"
 #include "pricing/price_grid.h"
+#include "scenario/artifact_writer.h"
+#include "scenario/scenario_spec.h"
+#include "scenario/sweep_runner.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace bundlemine {
 namespace {
@@ -195,6 +204,63 @@ TEST(RunnerRegression, TwoSizedRespectsCapEvenWhenProblemSaysOtherwise) {
   problem.max_bundle_size = 7;  // Runner must override to 2.
   BundleSolution s = RunMethod("two-sized", problem);
   for (const PricedBundle& o : s.offers) EXPECT_LE(o.items.size(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Golden sweep artifact.
+// ---------------------------------------------------------------------------
+
+// The checked-in artifact pins every field of a fixed-seed Tiny θ-sweep —
+// revenues, coverages, gains, histograms, and solve statistics of all seven
+// standard methods. Any solver change that shifts a number must consciously
+// regenerate it:
+//
+//   BUNDLEMINE_REGEN_GOLDEN=1 ./build/regression_test
+//       --gtest_filter='GoldenSweep.*'
+//
+// (then review the diff in tests/golden/tiny_theta_sweep.json).
+TEST(GoldenSweep, TinyThetaSweepMatchesCheckedInArtifact) {
+  ScenarioSpec spec;
+  spec.name = "golden-tiny-theta";
+  spec.description = "fixed-seed tiny theta sweep pinned by regression_test";
+  spec.dataset.profile = "tiny";
+  spec.dataset.seed = 7;
+  spec.methods = StandardMethodKeys();
+  spec.axes.push_back({AxisKind::kTheta, {-0.05, 0.0, 0.05}});
+
+  SweepRunnerOptions options;
+  options.threads = 2;  // The artifact is thread-invariant by construction.
+  std::string actual = SweepArtifactJson(RunSweep(spec, options));
+
+  const std::string golden_path =
+      std::string(BUNDLEMINE_SOURCE_DIR) + "/tests/golden/tiny_theta_sweep.json";
+  if (std::getenv("BUNDLEMINE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << actual;
+    out.close();  // Flush before the comparison below reopens the file.
+    ASSERT_TRUE(out.good());
+    std::printf("regenerated %s\n", golden_path.c_str());
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden artifact " << golden_path
+                         << " (regenerate with BUNDLEMINE_REGEN_GOLDEN=1)";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string expected = buffer.str();
+
+  // Field-by-field: the artifact renders one scalar field per line, so a
+  // line-level comparison pinpoints the exact field that moved.
+  std::vector<std::string> expected_lines = Split(expected, '\n');
+  std::vector<std::string> actual_lines = Split(actual, '\n');
+  EXPECT_EQ(expected_lines.size(), actual_lines.size());
+  for (std::size_t i = 0;
+       i < std::min(expected_lines.size(), actual_lines.size()); ++i) {
+    EXPECT_EQ(expected_lines[i], actual_lines[i])
+        << "artifact line " << (i + 1) << " diverged from the golden file";
+    if (expected_lines[i] != actual_lines[i]) break;  // First diff suffices.
+  }
 }
 
 }  // namespace

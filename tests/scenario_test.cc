@@ -1,0 +1,244 @@
+// Scenario-engine unit tests: spec parsing/formatting round-trips, grid
+// expansion order, builtin-preset validity, the deterministic JSON writer,
+// and artifact structure.
+
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+#include "scenario/artifact_writer.h"
+#include "scenario/scenario_spec.h"
+#include "scenario/sweep_runner.h"
+#include "util/json.h"
+
+namespace bundlemine {
+namespace {
+
+ScenarioSpec TinySpec() {
+  ScenarioSpec spec;
+  spec.name = "unit";
+  spec.description = "unit-test scenario";
+  spec.dataset.profile = "tiny";
+  spec.dataset.seed = 7;
+  spec.methods = {"components", "pure-greedy", "mixed-greedy"};
+  spec.axes.push_back({AxisKind::kTheta, {-0.05, 0.0, 0.05}});
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing and validation.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSpecTest, ParsesInlineText) {
+  std::string error;
+  std::optional<ScenarioSpec> spec = ParseScenarioSpec(
+      "name=my; scale=tiny; seed=9; lambda=1.5; theta=0.02; k=3; levels=50;"
+      "methods=components,mixed-greedy; axis:theta=-0.1,0,0.1; axis:k=2,3",
+      &error);
+  ASSERT_TRUE(spec) << error;
+  EXPECT_EQ(spec->name, "my");
+  EXPECT_EQ(spec->dataset.profile, "tiny");
+  EXPECT_EQ(spec->dataset.seed, 9u);
+  EXPECT_DOUBLE_EQ(spec->dataset.lambda, 1.5);
+  EXPECT_DOUBLE_EQ(spec->theta, 0.02);
+  EXPECT_EQ(spec->max_bundle_size, 3);
+  EXPECT_EQ(spec->price_levels, 50);
+  ASSERT_EQ(spec->methods.size(), 2u);
+  ASSERT_EQ(spec->axes.size(), 2u);
+  EXPECT_EQ(spec->axes[0].kind, AxisKind::kTheta);
+  EXPECT_EQ(spec->axes[1].kind, AxisKind::kK);
+  EXPECT_EQ(spec->axes[0].values, (std::vector<double>{-0.1, 0.0, 0.1}));
+  EXPECT_TRUE(ValidateScenarioSpec(*spec, &error)) << error;
+}
+
+TEST(ScenarioSpecTest, ParseRejectsBadInput) {
+  std::string error;
+  EXPECT_FALSE(ParseScenarioSpec("scale", &error));
+  EXPECT_NE(error.find("key=value"), std::string::npos);
+  EXPECT_FALSE(ParseScenarioSpec("axis:bogus=1,2", &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+  EXPECT_FALSE(ParseScenarioSpec("axis:theta=1,zap", &error));
+  EXPECT_FALSE(ParseScenarioSpec("seed=-3", &error));
+  EXPECT_FALSE(ParseScenarioSpec("frobnicate=1", &error));
+  EXPECT_NE(error.find("frobnicate"), std::string::npos);
+}
+
+TEST(ScenarioSpecTest, ValidateCatchesStructuralProblems) {
+  std::string error;
+  ScenarioSpec spec = TinySpec();
+  spec.dataset.profile = "galactic";
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+  EXPECT_NE(error.find("galactic"), std::string::npos);
+
+  spec = TinySpec();
+  spec.methods.push_back("no-such-method");
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+  EXPECT_NE(error.find("no-such-method"), std::string::npos);
+
+  spec = TinySpec();
+  spec.methods.clear();
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+
+  spec = TinySpec();
+  spec.axes.clear();
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+
+  spec = TinySpec();
+  spec.axes.push_back({AxisKind::kTheta, {0.5}});  // Duplicate axis kind.
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+
+  spec = TinySpec();
+  spec.axes[0].values.clear();
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+}
+
+TEST(ScenarioSpecTest, FormatParseRoundTrips) {
+  ScenarioSpec spec = TinySpec();
+  spec.dataset.activity_sigma = 1.1;
+  spec.dataset.genres_per_user = 2;
+  spec.axes.push_back({AxisKind::kGamma, {0.1, 1e6}});
+  std::string text = FormatScenarioSpec(spec);
+  std::string error;
+  std::optional<ScenarioSpec> reparsed = ParseScenarioSpec(text, &error);
+  ASSERT_TRUE(reparsed) << error;
+  // The canonical form is a fixpoint of format∘parse.
+  EXPECT_EQ(FormatScenarioSpec(*reparsed), text);
+  EXPECT_EQ(reparsed->dataset.seed, spec.dataset.seed);
+  ASSERT_TRUE(reparsed->dataset.activity_sigma);
+  EXPECT_DOUBLE_EQ(*reparsed->dataset.activity_sigma, 1.1);
+  ASSERT_EQ(reparsed->axes.size(), 2u);
+  EXPECT_EQ(reparsed->axes[1].values, spec.axes[1].values);
+}
+
+TEST(ScenarioSpecTest, BuiltinsAreValidAndFindable) {
+  const std::vector<ScenarioSpec>& presets = BuiltinScenarios();
+  ASSERT_GE(presets.size(), 9u);
+  for (const ScenarioSpec& spec : presets) {
+    std::string error;
+    EXPECT_TRUE(ValidateScenarioSpec(spec, &error)) << spec.name << ": " << error;
+    EXPECT_EQ(FindBuiltinScenario(spec.name), &spec);
+    // Every preset round-trips through its textual form.
+    std::optional<ScenarioSpec> reparsed =
+        ParseScenarioSpec(FormatScenarioSpec(spec), &error);
+    ASSERT_TRUE(reparsed) << spec.name << ": " << error;
+    EXPECT_EQ(FormatScenarioSpec(*reparsed), FormatScenarioSpec(spec));
+  }
+  EXPECT_EQ(FindBuiltinScenario("no-such-preset"), nullptr);
+  // The multi-axis preset exists (exercises cross-product expansion).
+  const ScenarioSpec* grid = FindBuiltinScenario("sigmoid-theta-grid");
+  ASSERT_NE(grid, nullptr);
+  EXPECT_EQ(grid->axes.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Grid expansion.
+// ---------------------------------------------------------------------------
+
+TEST(ExpandGridTest, CrossProductOrderIsAxisMajorMethodMinor) {
+  ScenarioSpec spec = TinySpec();
+  spec.axes.push_back({AxisKind::kK, {2, 3}});
+  std::vector<SweepCell> cells = ExpandGrid(spec);
+  // 3 theta × 2 k × 3 methods.
+  ASSERT_EQ(cells.size(), 18u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, static_cast<int>(i));
+  }
+  // First block: theta=-0.05, k=2, methods in spec order.
+  EXPECT_EQ(cells[0].axis_values, (std::vector<double>{-0.05, 2}));
+  EXPECT_EQ(cells[0].method, "components");
+  EXPECT_EQ(cells[1].method, "pure-greedy");
+  EXPECT_EQ(cells[2].method, "mixed-greedy");
+  // Second axis advances fastest.
+  EXPECT_EQ(cells[3].axis_values, (std::vector<double>{-0.05, 3}));
+  EXPECT_EQ(cells[6].axis_values, (std::vector<double>{0.0, 2}));
+  EXPECT_EQ(cells.back().axis_values, (std::vector<double>{0.05, 3}));
+  EXPECT_EQ(cells.back().method, "mixed-greedy");
+}
+
+TEST(CellSeedTest, DistinctAndStable) {
+  EXPECT_EQ(CellSeed(7, 0), CellSeed(7, 0));
+  EXPECT_NE(CellSeed(7, 0), CellSeed(7, 1));
+  EXPECT_NE(CellSeed(7, 0), CellSeed(8, 0));
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer.
+// ---------------------------------------------------------------------------
+
+TEST(JsonWriterTest, RendersDeterministically) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("b_first", JsonValue::Int(1));
+  doc.Set("a_second", JsonValue::Str("x\"y\n"));
+  JsonValue arr = JsonValue::Array();
+  arr.Add(JsonValue::Bool(true)).Add(JsonValue::Null()).Add(JsonValue::Double(0.1));
+  doc.Set("arr", std::move(arr));
+  EXPECT_EQ(doc.Dump(0),
+            "{\"b_first\": 1,\"a_second\": \"x\\\"y\\n\",\"arr\": "
+            "[true,null,0.1]}");
+  // Insertion order survives indented rendering too.
+  std::string pretty = doc.Dump(2);
+  EXPECT_LT(pretty.find("b_first"), pretty.find("a_second"));
+}
+
+TEST(JsonWriterTest, DoublesRoundTripThroughShortestForm) {
+  for (double value : {0.1, -0.05, 1e6, 1.0 / 3.0, 41089.25, 5.0, 1e-12}) {
+    std::string text = FormatDoubleShortest(value);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), value) << text;
+  }
+  // Integral doubles keep a decimal point so the JSON field type is stable.
+  EXPECT_EQ(FormatDoubleShortest(5.0), "5.0");
+  EXPECT_EQ(FormatDoubleShortest(0.0), "0.0");
+}
+
+// ---------------------------------------------------------------------------
+// Artifact structure.
+// ---------------------------------------------------------------------------
+
+TEST(ArtifactTest, CellsCarryGainsHistogramsAndStats) {
+  ScenarioSpec spec = TinySpec();
+  SweepResult result = RunSweep(spec);
+  ASSERT_EQ(result.cells.size(), 9u);
+  EXPECT_GT(result.num_users, 0);
+  EXPECT_GT(result.base_total_wtp, 0.0);
+  for (const SweepCellResult& cell : result.cells) {
+    EXPECT_GT(cell.revenue, 0.0);
+    EXPECT_GT(cell.coverage, 0.0);
+    EXPECT_LE(cell.coverage, 1.0 + 1e-9);
+    // The spec lists "components", so every cell has a gain baseline.
+    EXPECT_TRUE(cell.has_gain);
+    EXPECT_GE(cell.gain_over_components, -1e-9);
+    std::int64_t histogram_total = 0;
+    for (std::int64_t count : cell.bundle_size_histogram) {
+      histogram_total += count;
+    }
+    EXPECT_EQ(histogram_total, cell.num_offers);
+    if (cell.cell.method == "components") {
+      EXPECT_DOUBLE_EQ(cell.gain_over_components, 0.0);
+      EXPECT_EQ(cell.bundle_size_histogram.size(), 1u);  // All singletons.
+    }
+  }
+
+  std::string json = SweepArtifactJson(result);
+  EXPECT_NE(json.find("\"schema\": \"bundlemine.sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"gain_over_components\""), std::string::npos);
+  // Timings stay out of the deterministic artifact by default...
+  EXPECT_EQ(json.find("wall_seconds"), std::string::npos);
+  // ...and appear when explicitly requested.
+  ArtifactOptions with_timings;
+  with_timings.include_timings = true;
+  EXPECT_NE(SweepArtifactJson(result, with_timings).find("wall_seconds"),
+            std::string::npos);
+}
+
+TEST(ArtifactTest, GainOmittedWithoutComponentsBaseline) {
+  ScenarioSpec spec = TinySpec();
+  spec.methods = {"pure-greedy", "mixed-greedy"};
+  SweepResult result = RunSweep(spec);
+  for (const SweepCellResult& cell : result.cells) {
+    EXPECT_FALSE(cell.has_gain);
+  }
+  EXPECT_EQ(SweepArtifactJson(result).find("gain_over_components"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace bundlemine
