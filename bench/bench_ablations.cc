@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
 
   bench::BenchData data = bench::LoadData(flags);
-  SolveContext context(bench::ContextOptions(flags));
+  Engine engine(bench::EngineOptions(flags));
 
   // ---- 1. Grid resolution. ----
   {
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
       BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
       problem.price_levels = levels;
       WallTimer timer;
-      BundleSolution s = RunMethod("pure-matching", problem, context);
+      BundleSolution s = bench::MustSolve(engine, "pure-matching", problem, flags);
       table.AddRow({levels == 0 ? "exact" : StrFormat("%d", levels),
                     bench::Pct(RevenueCoverage(s, data.wtp)),
                     StrFormat("%.2f", timer.Seconds())});
@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
           problem.prune_co_interest = co;
           problem.prune_stale_edges = stale;
           WallTimer timer;
-          BundleSolution s = RunMethod(key, problem, context);
+          BundleSolution s = bench::MustSolve(engine, key, problem, flags);
           table.AddRow({co ? "on" : "off", stale ? "on" : "off",
                         MethodDisplayName(key),
                         bench::Pct(RevenueCoverage(s, data.wtp)),
@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
         BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
         problem.exact_matching_limit = limit;
         WallTimer timer;
-        BundleSolution s = RunMethod(key, problem, context);
+        BundleSolution s = bench::MustSolve(engine, key, problem, flags);
         table.AddRow({limit == 0 ? "greedy 1/2-approx" : "exact blossom",
                       MethodDisplayName(key),
                       bench::Pct(RevenueCoverage(s, data.wtp)),
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
         problem.adoption = AdoptionModel::Sigmoid(5.0);
         problem.mixed_composition = comp;
         WallTimer timer;
-        BundleSolution s = RunMethod(key, problem, context);
+        BundleSolution s = bench::MustSolve(engine, key, problem, flags);
         table.AddRow({comp == MixedComposition::kMinSlack ? "min-slack" : "product",
                       MethodDisplayName(key),
                       bench::Pct(RevenueCoverage(s, data.wtp)),
@@ -154,7 +154,7 @@ int main(int argc, char** argv) {
       // enumeration stays tractable.
       problem.freq_min_support = 0.04;
       WallTimer timer;
-      BundleSolution s = RunMethod("mixed-freq", problem, context);
+      BundleSolution s = bench::MustSolve(engine, "mixed-freq", problem, flags);
       table.AddRow({row.name, bench::Pct(RevenueCoverage(s, data.wtp)),
                     StrFormat("%.2f", timer.Seconds())});
     }

@@ -57,6 +57,28 @@ SolveContext::Options ContextOptions(const FlagSet& flags) {
   return options;
 }
 
+Engine::Options EngineOptions(const FlagSet& flags) {
+  Engine::Options options;
+  options.threads = static_cast<int>(flags.GetInt("threads"));
+  return options;
+}
+
+BundleSolution MustSolve(Engine& engine, const std::string& key,
+                         const BundleConfigProblem& problem,
+                         const FlagSet& flags) {
+  SolveRequest request;
+  request.method = key;
+  request.problem = &problem;
+  request.options.threads = static_cast<int>(flags.GetInt("threads"));
+  request.options.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  StatusOr<SolveResponse> response = engine.Solve(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(response->solution);
+}
+
 std::vector<double> ParseValueList(const std::string& flag_name,
                                    const std::string& value) {
   std::optional<std::vector<double>> values = ParseDoubleList(value);
@@ -87,9 +109,16 @@ ScenarioSpec ScenarioFromFlags(const FlagSet& flags, const std::string& name,
 }
 
 SweepResult RunSweepFromFlags(const ScenarioSpec& spec, const FlagSet& flags) {
-  SweepRunnerOptions options;
-  options.threads = static_cast<int>(flags.GetInt("threads"));
-  SweepResult result = RunSweep(spec, options);
+  Engine engine(EngineOptions(flags));
+  SweepRequest request;
+  request.spec = spec;
+  request.options.threads = static_cast<int>(flags.GetInt("threads"));
+  StatusOr<SweepResponse> response = engine.Sweep(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.status().ToString().c_str());
+    std::exit(1);
+  }
+  SweepResult result = std::move(response->result);
   std::printf(
       "# dataset: scale=%s seed=%llu | %d users, %d items, %lld ratings | "
       "lambda=%.2f total WTP=%.0f\n",
@@ -98,8 +127,8 @@ SweepResult RunSweepFromFlags(const ScenarioSpec& spec, const FlagSet& flags) {
       result.num_items, static_cast<long long>(result.num_ratings),
       spec.dataset.lambda, result.base_total_wtp);
   std::fprintf(stderr, "# sweep '%s': %zu cells, threads=%d, %.2fs\n",
-               spec.name.c_str(), result.cells.size(), options.threads,
-               result.wall_seconds);
+               spec.name.c_str(), result.cells.size(),
+               static_cast<int>(flags.GetInt("threads")), result.wall_seconds);
   return result;
 }
 

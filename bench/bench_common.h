@@ -1,13 +1,14 @@
 // Shared plumbing for the table/figure reproduction harnesses: standard
 // flags (dataset scale, seed, λ, grid resolution, CSV/JSON export), dataset
-// construction, scenario-engine adapters, and formatting helpers.
+// construction, Engine adapters, and formatting helpers.
 //
-// The figure/table sweeps run on the scenario engine (scenario/sweep_runner):
-// a harness assembles a ScenarioSpec from the common flags plus its axis,
-// executes the grid across --threads workers (bit-identical to serial), and
-// reports the same rows/series its paper counterpart prints. Pass
-// --csv=<path> for the coverage table as CSV and --json=<path> for the full
-// machine-readable sweep artifact.
+// Every harness solve goes through one bundlemine::Engine (api/engine.h):
+// the figure/table sweeps assemble a ScenarioSpec from the common flags
+// plus their axis and run it via Engine::Sweep across --threads workers
+// (bit-identical to serial); point solves go through Engine::Solve with the
+// harness's hardcoded method keys asserted OK. Pass --csv=<path> for the
+// coverage table as CSV and --json=<path> for the full machine-readable
+// sweep artifact.
 
 #ifndef BUNDLEMINE_BENCH_BENCH_COMMON_H_
 #define BUNDLEMINE_BENCH_BENCH_COMMON_H_
@@ -16,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "api/engine.h"
 #include "core/problem.h"
 #include "core/runner.h"
 #include "core/solve_context.h"
@@ -46,10 +48,20 @@ BenchData LoadData(const FlagSet& flags);
 /// defaults to the paper's step model.
 BundleConfigProblem BaseProblem(const FlagSet& flags, const WtpMatrix& wtp);
 
-/// SolveContext options from the common flags (--threads, --seed). Harnesses
-/// not yet ported to the scenario engine construct one context per sweep and
-/// reuse it across solves so the pricing workspaces stay warm.
+/// SolveContext options from the common flags (--threads, --seed), for the
+/// few harness paths that still drive a bundler directly (WSP timing
+/// breakdowns); everything else goes through the Engine.
 SolveContext::Options ContextOptions(const FlagSet& flags);
+
+/// Engine options from the common flags (--threads).
+Engine::Options EngineOptions(const FlagSet& flags);
+
+/// Solves `key` on `problem` through the engine with the common flags'
+/// threads/seed, asserting success — harness method keys are hardcoded, so
+/// an error status is a programming error, not user input.
+BundleSolution MustSolve(Engine& engine, const std::string& key,
+                         const BundleConfigProblem& problem,
+                         const FlagSet& flags);
 
 /// Parses a comma-separated double list, aborting with a message naming the
 /// flag on bad input — the axis-flag counterpart of FlagSet's typo guard.
@@ -63,9 +75,9 @@ ScenarioSpec ScenarioFromFlags(const FlagSet& flags, const std::string& name,
                                ScenarioAxis axis,
                                std::vector<std::string> methods);
 
-/// Runs the sweep with --threads workers and the engine's deterministic
-/// per-cell seeding; prints the dataset summary and a one-line sweep
-/// summary. The result is identical at any thread count.
+/// Runs the sweep through Engine::Sweep with --threads workers and the
+/// deterministic per-cell seeding; prints the dataset summary and a
+/// one-line sweep summary. The result is identical at any thread count.
 SweepResult RunSweepFromFlags(const ScenarioSpec& spec, const FlagSet& flags);
 
 /// Reporting recipe for a single-axis sweep.

@@ -57,25 +57,25 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
 
   bench::BenchData data = bench::LoadData(flags);
-  SolveContext context(bench::ContextOptions(flags));
+  Engine engine(bench::EngineOptions(flags));
   BundleConfigProblem problem = bench::BaseProblem(flags, data.wtp);
-  double components = RunMethod("components", problem, context).total_revenue;
+  double components = bench::MustSolve(engine, "components", problem, flags).total_revenue;
 
   std::string csv = flags.GetString("csv");
   auto csv_for = [&](const char* tag) {
     return csv.empty() ? std::string() : csv + "." + tag + ".csv";
   };
 
-  BundleSolution mm = RunMethod("mixed-matching", problem, context);
+  BundleSolution mm = bench::MustSolve(engine, "mixed-matching", problem, flags);
   Report("Figure 6(a) — Mixed Matching: revenue vs time", mm, components,
          csv_for("mixed_matching"));
-  BundleSolution mg = RunMethod("mixed-greedy", problem, context);
+  BundleSolution mg = bench::MustSolve(engine, "mixed-greedy", problem, flags);
   Report("Figure 6(a) — Mixed Greedy: revenue vs time", mg, components,
          csv_for("mixed_greedy"));
-  BundleSolution pm = RunMethod("pure-matching", problem, context);
+  BundleSolution pm = bench::MustSolve(engine, "pure-matching", problem, flags);
   Report("Figure 6(b) — Pure Matching: revenue vs time", pm, components,
          csv_for("pure_matching"));
-  BundleSolution pg = RunMethod("pure-greedy", problem, context);
+  BundleSolution pg = bench::MustSolve(engine, "pure-greedy", problem, flags);
   Report("Figure 6(b) — Pure Greedy: revenue vs time", pg, components,
          csv_for("pure_greedy"));
 

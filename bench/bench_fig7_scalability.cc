@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   bench::BenchData data = bench::LoadData(flags);
   std::string axis = flags.GetString("axis");
   Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")) + 7);
-  SolveContext context(bench::ContextOptions(flags));
+  Engine engine(bench::EngineOptions(flags));
 
   if (axis == "users" || axis == "both") {
     TablePrinter table("Figure 7(a) — running time (s) vs user multiplier");
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
           StrFormat("%d (%.0f%%)", scaled.num_users(), factor * 100)};
       for (const char* key : kMethods) {
         WallTimer timer;
-        RunMethod(key, problem, context);
+        bench::MustSolve(engine, key, problem, flags);
         row.push_back(StrFormat("%.2f", timer.Seconds()));
       }
       table.AddRow(row);
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
           StrFormat("%d (x%d)", scaled.num_items(), factor)};
       for (const char* key : kMethods) {
         WallTimer timer;
-        RunMethod(key, problem, context);
+        bench::MustSolve(engine, key, problem, flags);
         row.push_back(StrFormat("%.2f", timer.Seconds()));
       }
       table.AddRow(row);

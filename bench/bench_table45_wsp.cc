@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   flags.Parse(argc, argv);
 
   bench::BenchData data = bench::LoadData(flags);
+  Engine engine(bench::EngineOptions(flags));
   SolveContext context(bench::ContextOptions(flags));
   const int num_samples = static_cast<int>(flags.GetInt("samples"));
   Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")) + 17);
@@ -90,7 +91,7 @@ int main(int argc, char** argv) {
       BundleConfigProblem problem = bench::BaseProblem(flags, wtp);
 
       WallTimer t_matching;
-      BundleSolution matching = RunMethod("pure-matching", problem, context);
+      BundleSolution matching = bench::MustSolve(engine, "pure-matching", problem, flags);
       double matching_seconds = t_matching.Seconds();
       bool has_large_bundle = false;
       for (const PricedBundle& o : matching.offers) {
@@ -106,7 +107,7 @@ int main(int argc, char** argv) {
                                       matching_seconds);
       {
         WallTimer t;
-        BundleSolution s = RunMethod("pure-greedy", problem, context);
+        BundleSolution s = bench::MustSolve(engine, "pure-greedy", problem, flags);
         cells[{"pure-greedy", n}].Add(RevenueCoverage(s, wtp), t.Seconds());
       }
       if (n <= 20) {

@@ -9,13 +9,13 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "api/engine.h"
 #include "core/metrics.h"
 #include "core/runner.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
 #include "util/strings.h"
 #include "util/table_printer.h"
-#include "util/timer.h"
 
 using namespace bundlemine;
 
@@ -39,14 +39,19 @@ int main(int argc, char** argv) {
   problem.theta = 0.0;       // Books are roughly independent goods.
   problem.price_levels = 100;
 
+  Engine engine;
+  SolveRequest request;
+  request.problem = &problem;
+
   TablePrinter table("method comparison (theta = 0, step adoption)");
   table.SetHeader({"method", "revenue", "coverage", "gain", "bundles>=2", "time"});
   double components_revenue = 0.0;
   BundleSolution best;
   for (const std::string& key : StandardMethodKeys()) {
-    WallTimer timer;
-    BundleSolution s = RunMethod(key, problem);
-    double seconds = timer.Seconds();
+    request.method = key;
+    SolveResponse response = engine.Solve(request).value();
+    BundleSolution s = std::move(response.solution);
+    double seconds = response.wall_seconds;
     if (key == "components") components_revenue = s.total_revenue;
     int bundles = 0;
     for (const PricedBundle& o : s.offers) {

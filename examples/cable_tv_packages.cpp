@@ -14,8 +14,8 @@
 #include <cstdio>
 #include <map>
 
+#include "api/engine.h"
 #include "core/metrics.h"
-#include "core/runner.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
 #include "util/strings.h"
@@ -44,8 +44,13 @@ int main(int argc, char** argv) {
   problem.price_levels = 100;
   problem.max_bundle_size = 0;  // Packages may grow as large as they pay.
 
-  BundleSolution alacarte = RunMethod("components", problem);
-  BundleSolution packages = RunMethod("pure-matching", problem);
+  Engine engine;
+  SolveRequest request;
+  request.problem = &problem;
+  request.method = "components";
+  BundleSolution alacarte = engine.Solve(request)->solution;
+  request.method = "pure-matching";
+  BundleSolution packages = engine.Solve(request)->solution;
 
   std::printf("a-la-carte revenue:  $%.0f/month (coverage %.1f%%)\n",
               alacarte.total_revenue, 100 * RevenueCoverage(alacarte, wtp));

@@ -1,40 +1,44 @@
-// configurator_cli — an operational command-line front end for the library.
+// configurator_cli — an operational command-line front end for the library,
+// built entirely on the bundlemine::Engine request/response API.
 //
 // Loads a ratings dataset from CSV (or generates a synthetic one), runs any
 // bundling method registered in the BundlerRegistry, prints the market
 // summary with the welfare decomposition from the rational-choice simulator,
 // and optionally exports the priced configuration to CSV for downstream
-// systems.
+// systems. User errors (unknown method keys, bad specs, unreadable files)
+// come back from the Engine as typed Status values and exit 1 with a message
+// listing the valid alternatives — never a stack-trace abort.
 //
 //   ./configurator_cli --scale=small --method=mixed-matching --theta=0
 //       --out=config.csv
 //   ./configurator_cli --data=/path/to/stem --method=pure-greedy --k=3
 //   ./configurator_cli --list-methods
 //
-// Sweep mode runs a whole scenario grid through the scenario engine instead
-// of a single solve. --spec accepts a built-in preset name or an inline
-// textual spec; --threads parallelizes across cells (bit-identical output);
-// --json leaves the machine-readable artifact behind.
+// Sweep mode runs a whole scenario grid through Engine::Sweep instead of a
+// single solve. --spec accepts a built-in preset name, an inline textual
+// spec, or @path to load a spec file; --threads parallelizes across cells
+// (bit-identical output); --shard=i/n runs one slice of the grid for
+// multi-process sweeps; --json leaves the machine-readable artifact behind.
 //
 //   ./configurator_cli --sweep --list-scenarios
 //   ./configurator_cli --sweep --spec=fig2-theta --threads=8 --json=out.json
+//   ./configurator_cli --sweep --spec=@sweep.scenario --shard=0/4
 //   ./configurator_cli --sweep --threads=4
 //       --spec='scale=tiny;seed=7;methods=components,mixed-greedy;axis:theta=-0.1,0,0.1'
 
 #include <algorithm>
 #include <cstdio>
 
+#include "api/engine.h"
 #include "core/bundler_registry.h"
 #include "core/market_simulator.h"
 #include "core/metrics.h"
-#include "core/runner.h"
 #include "core/solution_io.h"
 #include "data/dataset_io.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
 #include "scenario/artifact_writer.h"
 #include "scenario/scenario_spec.h"
-#include "scenario/sweep_runner.h"
 #include "util/flags.h"
 #include "util/json.h"
 #include "util/strings.h"
@@ -44,15 +48,11 @@ using namespace bundlemine;
 
 namespace {
 
-// "components|pure-matching|..." — built from the registry so the help text
-// can never drift from what is actually runnable.
-std::string MethodKeyList() {
-  std::string joined;
-  for (const std::string& key : BundlerRegistry::Global().Keys()) {
-    if (!joined.empty()) joined += "|";
-    joined += key;
-  }
-  return joined;
+// Prints a Status as a CLI error line. Returns 1 so call sites can
+// `return FailWith(status);`.
+int FailWith(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.message().c_str());
+  return 1;
 }
 
 int ListScenarios() {
@@ -70,51 +70,46 @@ int ListScenarios() {
   return 0;
 }
 
-int RunSweepMode(const FlagSet& flags) {
+int RunSweepMode(Engine& engine, const FlagSet& flags) {
   if (flags.GetBool("list-scenarios")) return ListScenarios();
 
   const std::string spec_arg = flags.GetString("spec");
   if (spec_arg.empty()) {
     std::fprintf(stderr,
-                 "error: sweep mode needs --spec=<preset|inline spec> "
+                 "error: sweep mode needs --spec=<preset|inline spec|@path> "
                  "(--list-scenarios shows presets)\n");
     return 1;
   }
-  ScenarioSpec spec;
-  if (const ScenarioSpec* preset = FindBuiltinScenario(spec_arg)) {
-    spec = *preset;
-  } else {
-    std::string error;
-    std::optional<ScenarioSpec> parsed = ParseScenarioSpec(spec_arg, &error);
-    if (!parsed) {
-      std::fprintf(stderr, "error: cannot parse --spec: %s\n", error.c_str());
-      return 1;
-    }
-    spec = std::move(*parsed);
-    if (spec.name.empty()) spec.name = "adhoc";
-  }
-  std::string error;
-  if (!ValidateScenarioSpec(spec, &error)) {
-    std::fprintf(stderr, "error: invalid scenario: %s\n", error.c_str());
-    return 1;
-  }
+  StatusOr<ScenarioSpec> spec = ResolveScenarioSpec(spec_arg);
+  if (!spec.ok()) return FailWith(spec.status());
 
-  SweepRunnerOptions options;
-  options.threads = static_cast<int>(flags.GetInt("threads"));
-  options.deadline_seconds = flags.GetDouble("deadline");
-  SweepResult result = RunSweep(spec, options);
+  SweepRequest request;
+  request.spec = *spec;
+  request.options.threads = static_cast<int>(flags.GetInt("threads"));
+  request.options.deadline_seconds = flags.GetDouble("deadline");
+  if (!flags.GetString("shard").empty()) {
+    StatusOr<std::pair<int, int>> shard = ParseShard(flags.GetString("shard"));
+    if (!shard.ok()) return FailWith(shard.status());
+    request.shard_index = shard->first;
+    request.shard_count = shard->second;
+  }
+  StatusOr<SweepResponse> response = engine.Sweep(request);
+  if (!response.ok()) return FailWith(response.status());
+  const SweepResult& result = response->result;
 
   std::printf("scenario '%s': scale=%s seed=%llu | %d users x %d items, "
-              "%lld ratings | %zu cells in %.2fs (threads=%d)\n",
-              spec.name.c_str(), spec.dataset.profile.c_str(),
-              static_cast<unsigned long long>(spec.dataset.seed),
+              "%lld ratings | %zu of %d cells (shard %d/%d) in %.2fs "
+              "(threads=%d)\n",
+              request.spec.name.c_str(), request.spec.dataset.profile.c_str(),
+              static_cast<unsigned long long>(request.spec.dataset.seed),
               result.num_users, result.num_items,
               static_cast<long long>(result.num_ratings), result.cells.size(),
-              result.wall_seconds, options.threads);
+              response->grid_cells, request.shard_index, request.shard_count,
+              result.wall_seconds, request.options.threads);
 
   TablePrinter table("sweep cells");
   std::vector<std::string> header;
-  for (const ScenarioAxis& axis : spec.axes) {
+  for (const ScenarioAxis& axis : request.spec.axes) {
     header.push_back(AxisKindName(axis.kind));
   }
   header.insert(header.end(),
@@ -167,7 +162,8 @@ int main(int argc, char** argv) {
                            "empty = synthetic");
   flags.Define("scale", "small", "synthetic profile: tiny|small|medium|paper");
   flags.Define("seed", "42", "synthetic generator seed");
-  flags.Define("method", "mixed-matching", MethodKeyList());
+  flags.Define("method", "mixed-matching",
+               "bundling method key (--list-methods shows all)");
   flags.Define("list-methods", "false",
                "print the registered method keys and exit");
   flags.Define("lambda", "1.25", "ratings → WTP conversion factor");
@@ -184,14 +180,19 @@ int main(int argc, char** argv) {
   flags.Define("out", "", "optional CSV path for the priced configuration");
   flags.Define("top", "10", "number of bundles to print");
   flags.Define("sweep", "false",
-               "run a scenario sweep through the scenario engine instead of "
-               "a single solve");
+               "run a scenario sweep through the Engine instead of a single "
+               "solve");
   flags.Define("spec", "",
-               "sweep scenario: a built-in preset name or an inline "
-               "'key=value;...' spec (see --list-scenarios). The spec alone "
-               "defines the sweep's dataset and problem knobs — the "
-               "single-solve flags (--scale/--seed/--theta/...) do not "
-               "apply; customize via inline spec keys instead");
+               "sweep scenario: a built-in preset name, an inline "
+               "'key=value;...' spec, or @path to load a spec file (see "
+               "--list-scenarios). The spec alone defines the sweep's "
+               "dataset and problem knobs — the single-solve flags "
+               "(--scale/--seed/--theta/...) do not apply; customize via "
+               "spec keys instead");
+  flags.Define("shard", "",
+               "sweep mode: run only shard i of n ('0/2'); cells are "
+               "filtered by stable grid index, so the shards partition the "
+               "grid exactly");
   flags.Define("list-scenarios", "false",
                "print the built-in scenario presets and exit");
   flags.Define("json", "", "sweep mode: artifact JSON output path");
@@ -200,8 +201,12 @@ int main(int argc, char** argv) {
                "byte-identity across runs)");
   flags.Parse(argc, argv);
 
+  Engine::Options engine_options;
+  engine_options.threads = static_cast<int>(flags.GetInt("threads"));
+  Engine engine(engine_options);
+
   if (flags.GetBool("sweep") || flags.GetBool("list-scenarios")) {
-    return RunSweepMode(flags);
+    return RunSweepMode(engine, flags);
   }
 
   const BundlerRegistry& registry = BundlerRegistry::Global();
@@ -211,10 +216,10 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  if (!registry.Has(flags.GetString("method"))) {
-    std::fprintf(stderr, "error: unknown method '%s' (known: %s)\n",
-                 flags.GetString("method").c_str(), MethodKeyList().c_str());
-    return 1;
+  // Reject a method typo before spending seconds on dataset work.
+  if (Status method = ValidateMethodKey(flags.GetString("method"));
+      !method.ok()) {
+    return FailWith(method);
   }
 
   // ---- Data. ----
@@ -222,44 +227,54 @@ int main(int argc, char** argv) {
   if (!flags.GetString("data").empty()) {
     auto loaded = LoadDataset(flags.GetString("data"));
     if (!loaded) {
-      std::fprintf(stderr, "error: cannot load dataset stem '%s'\n",
-                   flags.GetString("data").c_str());
-      return 1;
+      return FailWith(Status::NotFound(
+          "cannot load dataset stem '" + flags.GetString("data") +
+          "' (expected <stem>.ratings.csv and <stem>.prices.csv)"));
     }
     dataset = std::move(*loaded);
   } else {
+    const std::string scale = flags.GetString("scale");
+    if (Status profile = ValidateDatasetProfile(scale); !profile.ok()) {
+      return FailWith(profile);
+    }
     dataset = GenerateAmazonLike(ProfileByName(
-        flags.GetString("scale"), static_cast<std::uint64_t>(flags.GetInt("seed"))));
+        scale, static_cast<std::uint64_t>(flags.GetInt("seed"))));
   }
   WtpMatrix wtp = WtpMatrix::FromRatings(dataset, flags.GetDouble("lambda"));
   std::printf("dataset: %d consumers x %d items, %zu ratings; total WTP %.2f\n",
               wtp.num_users(), wtp.num_items(), dataset.ratings().size(),
               wtp.TotalWtp());
 
-  // ---- Solve. ----
+  // ---- Solve through the Engine. ----
   BundleConfigProblem problem;
   problem.wtp = &wtp;
   problem.theta = flags.GetDouble("theta");
   problem.max_bundle_size = static_cast<int>(flags.GetInt("k"));
   problem.price_levels = static_cast<int>(flags.GetInt("levels"));
 
-  SolveContext::Options options;
-  options.num_threads = static_cast<int>(flags.GetInt("threads"));
-  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
-  options.deadline_seconds = flags.GetDouble("deadline");
-  SolveContext context(options);
+  SolveRequest request;
+  request.problem = &problem;
+  request.options.threads = static_cast<int>(flags.GetInt("threads"));
+  request.options.seed = static_cast<std::uint64_t>(flags.GetInt("seed"));
+  request.options.deadline_seconds = flags.GetDouble("deadline");
 
-  BundleSolution components = RunMethod("components", problem, context);
-  context.RestartDeadline();
-  BundleSolution solution = RunMethod(flags.GetString("method"), problem, context);
+  request.method = "components";
+  StatusOr<SolveResponse> components_response = engine.Solve(request);
+  if (!components_response.ok()) return FailWith(components_response.status());
+  const BundleSolution& components = components_response->solution;
+
+  request.method = flags.GetString("method");
+  StatusOr<SolveResponse> solve_response = engine.Solve(request);
+  if (!solve_response.ok()) return FailWith(solve_response.status());
+  const BundleSolution& solution = solve_response->solution;
 
   std::printf("\n%s: revenue %.2f | coverage %.1f%% | gain %+.2f%% | %.2fs | "
               "%lld candidates priced%s\n",
               solution.method.c_str(), solution.total_revenue,
               100 * RevenueCoverage(solution, wtp),
               100 * RevenueGain(solution, components), solution.solve_seconds,
-              static_cast<long long>(context.stats().pairs_evaluated),
-              context.stats().deadline_hit ? " (deadline hit)" : "");
+              static_cast<long long>(solve_response->stats.pairs_evaluated),
+              solve_response->stats.deadline_hit ? " (deadline hit)" : "");
 
   // ---- Welfare decomposition under rational choice. ----
   MarketSimulator simulator(wtp, problem.theta);

@@ -14,8 +14,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "api/engine.h"
 #include "core/metrics.h"
-#include "core/runner.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
 #include "util/strings.h"
@@ -46,8 +46,13 @@ int main(int argc, char** argv) {
   // the product offering to themed packs.
   problem.max_bundle_size = 6;
 
-  BundleSolution alacarte = RunMethod("components", problem);
-  BundleSolution mixed = RunMethod("mixed-matching", problem);
+  Engine engine;
+  SolveRequest request;
+  request.problem = &problem;
+  request.method = "components";
+  BundleSolution alacarte = engine.Solve(request)->solution;
+  request.method = "mixed-matching";
+  BundleSolution mixed = engine.Solve(request)->solution;
   std::printf("individual licensing:    %.0f (coverage %.1f%%)\n",
               alacarte.total_revenue, 100 * RevenueCoverage(alacarte, wtp));
   std::printf("with mixed bundles:      %.0f (coverage %.1f%%, gain %+.1f%%)\n\n",

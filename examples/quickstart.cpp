@@ -1,4 +1,5 @@
-// Quickstart: the paper's Table 1 worked example, end to end.
+// Quickstart: the paper's Table 1 worked example, end to end, through the
+// bundlemine::Engine — the request/response facade every front end uses.
 //
 // Three consumers, two items (A and B), θ = −0.05:
 //            w(u,A)   w(u,B)   w(u,{A,B})
@@ -10,12 +11,13 @@
 // revenue column: Components $27.00, Pure bundling $30.40, and the mixed
 // bundling numbers — both the paper's illustrative "bundle whenever
 // affordable" reading of Table 1 and the upgrade-constrained incremental
-// model of Section 4.2 that the algorithms actually optimize.
+// model of Section 4.2 that the algorithms actually optimize. It also shows
+// the Engine's error contract: an unknown method key comes back as a typed
+// Status listing the valid alternatives, never an abort.
 
 #include <cstdio>
 
-#include "core/components_baseline.h"
-#include "core/runner.h"
+#include "api/engine.h"
 #include "data/wtp_matrix.h"
 #include "pricing/joint_pair_pricer.h"
 #include "pricing/mixed_pricer.h"
@@ -39,9 +41,15 @@ int main() {
 
   std::printf("Table 1 — three consumers, two items, theta = %.2f\n\n", theta);
 
+  // ---- The Engine: one facade for every solve. ----
+  Engine engine;
+  SolveRequest request;
+  request.problem = &problem;
+
   // ---- Components. ----
-  BundleSolution components = RunMethod("components", problem);
-  std::printf("Components:\n");
+  request.method = "components";
+  BundleSolution components = engine.Solve(request)->solution;
+  std::printf("Components (via Engine::Solve):\n");
   for (const PricedBundle& o : components.offers) {
     std::printf("  item %s  price $%.2f  buyers %.0f  revenue $%.2f\n",
                 o.items.ToString().c_str(), o.price, o.expected_buyers, o.revenue);
@@ -113,13 +121,22 @@ int main() {
                 joint.bundle_buyers);
   }
 
-  // ---- And the full algorithm, one call. ----
-  BundleSolution best = RunMethod("mixed-matching", problem);
-  std::printf("RunMethod(\"mixed-matching\") => total revenue $%.2f with %zu offers\n",
-              best.total_revenue, best.offers.size());
-  for (const PricedBundle& o : best.offers) {
+  // ---- And the full algorithm, one request. ----
+  request.method = "mixed-matching";
+  StatusOr<SolveResponse> best = engine.Solve(request);
+  std::printf("Engine::Solve(\"mixed-matching\") => total revenue $%.2f with "
+              "%zu offers (%.4fs)\n",
+              best->solution.total_revenue, best->solution.offers.size(),
+              best->wall_seconds);
+  for (const PricedBundle& o : best->solution.offers) {
     std::printf("  %-12s price $%.2f  %s\n", o.items.ToString().c_str(), o.price,
                 o.is_component_offer ? "(component, still on sale)" : "(top-level)");
   }
+
+  // ---- Typed errors instead of aborts. ----
+  request.method = "no-such-method";
+  StatusOr<SolveResponse> error = engine.Solve(request);
+  std::printf("\nEngine::Solve(\"no-such-method\") => %s\n",
+              error.status().ToString().c_str());
   return 0;
 }

@@ -11,9 +11,10 @@
 // augmented willingness to pay.
 
 #include <cstdio>
+#include <vector>
 
+#include "api/engine.h"
 #include "core/metrics.h"
-#include "core/runner.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
 #include "util/strings.h"
@@ -36,20 +37,40 @@ int main(int argc, char** argv) {
   std::printf("%d travellers, %d travel products, aggregate WTP $%.0f\n\n",
               wtp.num_users(), wtp.num_items(), wtp.TotalWtp());
 
+  // One batch through the Engine: every (θ, method) pair is an independent
+  // request, evaluated across the Engine's pool with deterministic results.
+  const std::vector<double> thetas = {0.0, 0.05, 0.10, 0.15, 0.20};
+  const std::vector<std::string> methods = {"components", "pure-matching",
+                                            "mixed-matching"};
+  std::vector<BundleConfigProblem> problems(thetas.size());
+  std::vector<SolveRequest> requests;
+  for (std::size_t t = 0; t < thetas.size(); ++t) {
+    BundleConfigProblem& problem = problems[t];
+    problem.wtp = &wtp;
+    problem.theta = thetas[t];
+    problem.price_levels = 100;
+    problem.max_bundle_size = 5;  // Flight + hotel + up to 3 attractions.
+    for (const std::string& method : methods) {
+      SolveRequest request;
+      request.method = method;
+      request.problem = &problem;
+      requests.push_back(std::move(request));
+    }
+  }
+  Engine::Options engine_options;
+  engine_options.threads = 4;
+  Engine engine(engine_options);
+  std::vector<StatusOr<SolveResponse>> responses = engine.SolveBatch(requests);
+
   TablePrinter table("package revenue vs complementarity theta");
   table.SetHeader({"theta", "a-la-carte", "Pure Matching", "Mixed Matching",
                    "pure gain", "mixed gain", "winner"});
-  for (double theta : {0.0, 0.05, 0.10, 0.15, 0.20}) {
-    BundleConfigProblem problem;
-    problem.wtp = &wtp;
-    problem.theta = theta;
-    problem.price_levels = 100;
-    problem.max_bundle_size = 5;  // Flight + hotel + up to 3 attractions.
-
-    double alacarte = RunMethod("components", problem).total_revenue;
-    double pure = RunMethod("pure-matching", problem).total_revenue;
-    double mixed = RunMethod("mixed-matching", problem).total_revenue;
-    table.AddRow({StrFormat("%.2f", theta), StrFormat("$%.0f", alacarte),
+  for (std::size_t t = 0; t < thetas.size(); ++t) {
+    const std::size_t base = t * methods.size();
+    double alacarte = responses[base]->solution.total_revenue;
+    double pure = responses[base + 1]->solution.total_revenue;
+    double mixed = responses[base + 2]->solution.total_revenue;
+    table.AddRow({StrFormat("%.2f", thetas[t]), StrFormat("$%.0f", alacarte),
                   StrFormat("$%.0f", pure), StrFormat("$%.0f", mixed),
                   StrFormat("%+.1f%%", 100 * RevenueGain(pure, alacarte)),
                   StrFormat("%+.1f%%", 100 * RevenueGain(mixed, alacarte)),

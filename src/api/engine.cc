@@ -1,0 +1,302 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "core/bundler_registry.h"
+#include "core/runner.h"
+#include "data/generator.h"
+#include "data/wtp_matrix.h"
+#include "util/json.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace bundlemine {
+namespace {
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const char* separator) {
+  std::string out;
+  for (const std::string& part : parts) {
+    if (!out.empty()) out += separator;
+    out += part;
+  }
+  return out;
+}
+
+std::string RegisteredKeyList() {
+  return JoinStrings(BundlerRegistry::Global().Keys(), ", ");
+}
+
+Status ValidateShard(int shard_index, int shard_count) {
+  if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count) {
+    return Status::InvalidArgument(
+        StrFormat("bad shard %d/%d (need 0 <= index < count)", shard_index,
+                  shard_count));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string DatasetCacheKey(const DatasetSpec& spec) {
+  std::string key = spec.profile;
+  key += "|seed=" + StrFormat("%llu", static_cast<unsigned long long>(spec.seed));
+  if (spec.activity_sigma) {
+    key += "|sigma=" + FormatDoubleShortest(*spec.activity_sigma);
+  }
+  if (spec.background_mass) {
+    key += "|mass=" + FormatDoubleShortest(*spec.background_mass);
+  }
+  if (spec.popularity_exponent) {
+    key += "|pop=" + FormatDoubleShortest(*spec.popularity_exponent);
+  }
+  if (spec.genres_per_user) {
+    key += "|genres=" + StrFormat("%d", *spec.genres_per_user);
+  }
+  return key;
+}
+
+Engine::Engine(const Options& options)
+    : options_(options), pool_(std::make_unique<ThreadPool>(options.threads)) {}
+
+Engine::~Engine() = default;
+
+std::shared_ptr<const RatingsDataset> Engine::DatasetFor(
+    const DatasetSpec& spec, bool* hit) {
+  const std::string key = DatasetCacheKey(spec);
+  // Generation runs under the lock: concurrent batch requests for the same
+  // key then materialize once instead of racing, and distinct keys are rare
+  // enough per batch that the serialization is cheap relative to a solve.
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->key == key) {
+      cache_.splice(cache_.begin(), cache_, it);  // Move to MRU position.
+      ++cache_hits_;
+      if (hit != nullptr) *hit = true;
+      return cache_.front().dataset;
+    }
+  }
+  ++cache_misses_;
+  if (hit != nullptr) *hit = false;
+  auto dataset = std::make_shared<const RatingsDataset>(
+      GenerateAmazonLike(DatasetGeneratorConfig(spec)));
+  if (options_.dataset_cache_capacity == 0) return dataset;
+  cache_.push_front(CacheEntry{key, dataset});
+  while (cache_.size() > options_.dataset_cache_capacity) cache_.pop_back();
+  return dataset;
+}
+
+Engine::CacheStats Engine::dataset_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return CacheStats{cache_hits_, cache_misses_, cache_.size()};
+}
+
+void Engine::ClearDatasetCache() {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.clear();
+}
+
+Status ValidateMethodKey(const std::string& method) {
+  if (!BundlerRegistry::Global().Has(method)) {
+    return Status::NotFound(StrFormat("unknown method key '%s' (valid: %s)",
+                                      method.c_str(),
+                                      RegisteredKeyList().c_str()));
+  }
+  return Status::Ok();
+}
+
+Status ValidateDatasetProfile(const std::string& profile) {
+  const std::vector<std::string>& profiles = KnownDatasetProfiles();
+  if (std::find(profiles.begin(), profiles.end(), profile) == profiles.end()) {
+    return Status::InvalidArgument(StrFormat(
+        "unknown dataset profile '%s' (valid: %s)", profile.c_str(),
+        JoinStrings(profiles, ", ").c_str()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<SolveResponse> Engine::Solve(const SolveRequest& request) {
+  if (Status method = ValidateMethodKey(request.method); !method.ok()) {
+    return method;
+  }
+
+  // Resolve the problem: caller-owned, or materialized from a dataset
+  // reference. The derived WTP matrix must outlive the solve only — offers
+  // copy everything they need.
+  BundleConfigProblem problem;
+  std::shared_ptr<const RatingsDataset> dataset_holder;
+  std::optional<WtpMatrix> wtp_holder;
+  if (request.problem != nullptr) {
+    if (request.problem->wtp == nullptr) {
+      return Status::InvalidArgument("SolveRequest problem has no WTP matrix");
+    }
+    problem = *request.problem;
+  } else if (request.dataset.has_value()) {
+    const DatasetSpec& spec = *request.dataset;
+    if (Status profile = ValidateDatasetProfile(spec.profile); !profile.ok()) {
+      return profile;
+    }
+    if (spec.lambda <= 0.0) {
+      return Status::InvalidArgument("dataset lambda must be positive");
+    }
+    dataset_holder = DatasetFor(spec);
+    wtp_holder.emplace(WtpMatrix::FromRatings(*dataset_holder, spec.lambda));
+    problem.wtp = &*wtp_holder;
+    problem.theta = request.theta;
+    problem.max_bundle_size = request.max_bundle_size;
+    problem.price_levels = request.price_levels;
+  } else {
+    return Status::InvalidArgument(
+        "SolveRequest needs a problem or a dataset reference");
+  }
+
+  SolveContext::Options context_options;
+  context_options.num_threads = EffectiveThreads(request.options);
+  context_options.seed = request.options.seed;
+  context_options.deadline_seconds = request.options.deadline_seconds;
+  SolveContext context(context_options);
+
+  WallTimer timer;
+  SolveResponse response;
+  response.solution = RunMethod(request.method, std::move(problem), context);
+  response.wall_seconds = timer.Seconds();
+  response.stats = context.stats();
+  return response;
+}
+
+std::vector<StatusOr<SolveResponse>> Engine::SolveBatch(
+    const std::vector<SolveRequest>& requests) {
+  std::vector<StatusOr<SolveResponse>> responses;
+  responses.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    responses.push_back(Status::Internal("batch slot not filled"));
+  }
+  // Requests are the unit of parallelism; each solves with the serial
+  // inner path so the result depends only on the request, not on which
+  // worker ran it (mirroring the sweep runner's per-cell contract). Callers
+  // wanting parallel candidate evaluation inside one big solve use Solve.
+  // ParallelFor holds a single job slot, so bulk calls take the pool lock.
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  pool_->ParallelFor(requests.size(), [&](std::size_t index, int /*slot*/) {
+    SolveRequest request = requests[index];
+    request.options.threads = 1;
+    responses[index] = Solve(request);
+  });
+  return responses;
+}
+
+StatusOr<SweepResponse> Engine::Sweep(const SweepRequest& request) {
+  std::string diagnostic;
+  if (!ValidateScenarioSpec(request.spec, &diagnostic)) {
+    // Unknown methods are the most common authoring mistake; append the
+    // registry's key list so the error is self-serve.
+    if (diagnostic.find("unknown method") != std::string::npos) {
+      diagnostic += " (valid: " + RegisteredKeyList() + ")";
+    }
+    return Status::InvalidArgument("invalid scenario: " + diagnostic);
+  }
+  if (Status shard = ValidateShard(request.shard_index, request.shard_count);
+      !shard.ok()) {
+    return shard;
+  }
+
+  WallTimer timer;
+  std::vector<SweepCell> cells = ExpandGrid(request.spec);
+  const int grid_cells = static_cast<int>(cells.size());
+  cells = FilterShard(std::move(cells), request.shard_index, request.shard_count);
+
+  SweepResponse response;
+  response.grid_cells = grid_cells;
+  std::shared_ptr<const RatingsDataset> dataset =
+      DatasetFor(request.spec.dataset, &response.dataset_cache_hit);
+
+  SweepRunnerOptions runner_options;
+  runner_options.threads = EffectiveThreads(request.options);
+  runner_options.deadline_seconds = request.options.deadline_seconds;
+  // Reuse the Engine's pool when the request runs at the Engine's width —
+  // serialized on pool_mu_, since ParallelFor holds a single job slot.
+  // Otherwise spin up a request-local pool (results are identical either
+  // way — width only affects wall time).
+  if (runner_options.threads == options_.threads) {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    response.result =
+        RunSweepCells(request.spec, cells, *dataset, runner_options, pool_.get());
+  } else {
+    response.result =
+        RunSweepCells(request.spec, cells, *dataset, runner_options, nullptr);
+  }
+  response.result.wall_seconds = timer.Seconds();
+  return response;
+}
+
+StatusOr<ScenarioSpec> ResolveScenarioSpec(const std::string& argument) {
+  if (argument.empty()) {
+    return Status::InvalidArgument(
+        "empty scenario argument (pass a preset name, 'key=value;...' text, "
+        "or @path)");
+  }
+
+  ScenarioSpec spec;
+  if (argument[0] == '@') {
+    const std::string path = argument.substr(1);
+    std::ifstream in(path);
+    if (!in.good()) {
+      return Status::NotFound("cannot read spec file '" + path + "'");
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::string diagnostic;
+    std::optional<ScenarioSpec> parsed =
+        ParseScenarioSpec(buffer.str(), &diagnostic);
+    if (!parsed) {
+      return Status::InvalidArgument("cannot parse spec file '" + path +
+                                     "': " + diagnostic);
+    }
+    spec = std::move(*parsed);
+  } else if (const ScenarioSpec* preset = FindBuiltinScenario(argument)) {
+    spec = *preset;
+  } else if (argument.find('=') != std::string::npos) {
+    std::string diagnostic;
+    std::optional<ScenarioSpec> parsed = ParseScenarioSpec(argument, &diagnostic);
+    if (!parsed) {
+      return Status::InvalidArgument("cannot parse spec: " + diagnostic);
+    }
+    spec = std::move(*parsed);
+  } else {
+    std::vector<std::string> names;
+    for (const ScenarioSpec& builtin : BuiltinScenarios()) {
+      names.push_back(builtin.name);
+    }
+    return Status::NotFound(StrFormat(
+        "unknown scenario preset '%s' (presets: %s; or pass inline "
+        "'key=value;...' text or @path)",
+        argument.c_str(), JoinStrings(names, ", ").c_str()));
+  }
+
+  if (spec.name.empty()) spec.name = "adhoc";
+  std::string diagnostic;
+  if (!ValidateScenarioSpec(spec, &diagnostic)) {
+    return Status::InvalidArgument("invalid scenario: " + diagnostic);
+  }
+  return spec;
+}
+
+StatusOr<std::pair<int, int>> ParseShard(const std::string& text) {
+  const Status bad = Status::InvalidArgument(
+      "bad --shard value '" + text + "' (expected i/n with 0 <= i < n)");
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) return bad;
+  std::optional<long long> index = ParseInt(text.substr(0, slash));
+  std::optional<long long> count = ParseInt(text.substr(slash + 1));
+  if (!index || !count) return bad;
+  if (*count < 1 || *count > std::numeric_limits<int>::max() || *index < 0 ||
+      *index >= *count) {
+    return bad;  // Range check before the int narrowing below.
+  }
+  return std::make_pair(static_cast<int>(*index), static_cast<int>(*count));
+}
+
+}  // namespace bundlemine

@@ -1,0 +1,221 @@
+// Engine — the library's public request/response facade.
+//
+// Every front end (CLI, examples, bench harnesses, and any future serving
+// loop) talks to the solver and the scenario engine through this one
+// surface: build a request struct, call the Engine, get a StatusOr back.
+// The design goals, in order:
+//
+//   * No aborts on user input. Unknown method keys, unknown presets, bad
+//     spec text, unreadable files, and bad shard ranges all come back as
+//     typed `Status` errors whose messages list the valid alternatives.
+//     BM_CHECK remains for programming errors only.
+//   * Amortized data work. The Engine owns a keyed dataset cache:
+//     repeated sweeps/solves over the same (profile, seed, overrides)
+//     materialize the generated ratings dataset once. It also owns the
+//     ThreadPool that sweep cells and batch requests fan out over.
+//   * Determinism. Solve/Sweep responses are bit-identical at any thread
+//     count, SolveBatch equals per-request Solve calls, and a sharded sweep
+//     (`--shard=i/n` filtering by stable cell index) solves each of its
+//     cells bit-identically to the full run — the shards partition the
+//     grid, so artifacts can be merged back together.
+//
+// RunMethod (core/runner.h) and RunSweep (scenario/sweep_runner.h) survive
+// as thin deprecated wrappers over the same internals for code that wants
+// the old abort-on-error contract.
+
+#ifndef BUNDLEMINE_API_ENGINE_H_
+#define BUNDLEMINE_API_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bundler.h"
+#include "core/problem.h"
+#include "core/solve_context.h"
+#include "data/ratings.h"
+#include "scenario/scenario_spec.h"
+#include "scenario/sweep_runner.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace bundlemine {
+
+/// Per-request runtime knobs shared by solve and sweep requests.
+struct RequestOptions {
+  /// Worker threads. For solves: candidate-evaluation threads inside the
+  /// algorithm. For sweeps: workers across cells. 0 uses the Engine's
+  /// configured width. Results are bit-identical at any count.
+  int threads = 0;
+  /// Wall-clock budget in seconds (0 = none). Deadline-aware solvers stop
+  /// refining and return the best valid configuration found so far, with
+  /// stats.deadline_hit set. Sweeps apply the budget per cell.
+  double deadline_seconds = 0.0;
+  /// Seed for the solve's Rng (sweeps derive per-cell seeds from the
+  /// scenario seed instead and ignore this).
+  std::uint64_t seed = 0x42ULL;
+};
+
+/// One solve: a method key plus either a caller-owned problem or a dataset
+/// reference the Engine materializes (and caches) itself.
+struct SolveRequest {
+  /// BundlerRegistry method key ("mixed-matching", ...). Required.
+  std::string method;
+
+  /// Caller-owned problem; must outlive the call. When set, the dataset
+  /// reference below is ignored.
+  const BundleConfigProblem* problem = nullptr;
+
+  /// Dataset reference: generator profile + seed + overrides, with `lambda`
+  /// converting ratings to WTP. Served through the Engine's dataset cache.
+  std::optional<DatasetSpec> dataset;
+  /// Problem knobs applied when solving from a dataset reference.
+  double theta = 0.0;
+  int max_bundle_size = 0;   ///< 0 = unconstrained.
+  int price_levels = 100;    ///< Price-grid resolution T (0 = exact).
+
+  RequestOptions options;
+};
+
+struct SolveResponse {
+  BundleSolution solution;
+  SolveStats stats;
+  double wall_seconds = 0.0;
+};
+
+/// One sweep: a validated-on-entry ScenarioSpec plus runtime options and an
+/// optional shard selector.
+struct SweepRequest {
+  ScenarioSpec spec;
+  RequestOptions options;
+  /// Shard selector: run only the cells whose stable grid index i satisfies
+  /// i mod shard_count == shard_index. The default (0 of 1) runs the whole
+  /// grid. Requires 0 <= shard_index < shard_count.
+  int shard_index = 0;
+  int shard_count = 1;
+};
+
+struct SweepResponse {
+  /// Results for the executed cells (the whole grid, or one shard's slice),
+  /// in stable grid order.
+  SweepResult result;
+  /// Unsharded grid size; equals result.cells.size() iff shard_count == 1.
+  int grid_cells = 0;
+  /// Whether the dataset came out of the Engine's cache.
+  bool dataset_cache_hit = false;
+};
+
+/// The facade. Thread-safe: concurrent Solve calls only contend on the
+/// dataset cache mutex; concurrent Sweep/SolveBatch calls additionally
+/// serialize on the shared worker pool (ThreadPool::ParallelFor is a
+/// single-job primitive), so overlapping bulk requests queue rather than
+/// race. One Engine per process (or per tenant) is the intended shape —
+/// that is what makes the cache pay off.
+class Engine {
+ public:
+  struct Options {
+    /// Default worker-thread count for requests that leave options.threads
+    /// at 0, and the width of the pool SolveBatch fans out over.
+    int threads = 1;
+    /// Generated datasets kept alive in the cache (LRU eviction). 0
+    /// disables caching.
+    std::size_t dataset_cache_capacity = 8;
+  };
+
+  Engine() : Engine(Options{}) {}
+  explicit Engine(const Options& options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Solves one request. Errors: NOT_FOUND for an unknown method key
+  /// (message lists the registered keys), INVALID_ARGUMENT for a request
+  /// with neither problem nor dataset, an unknown dataset profile, or a
+  /// non-positive lambda.
+  StatusOr<SolveResponse> Solve(const SolveRequest& request);
+
+  /// Evaluates many requests across the Engine's pool. The response vector
+  /// is parallel to `requests`, each entry exactly what Solve would have
+  /// returned — per-request errors do not fail the batch, and results are
+  /// deterministic regardless of scheduling (each request solves with its
+  /// own seed-derived context).
+  std::vector<StatusOr<SolveResponse>> SolveBatch(
+      const std::vector<SolveRequest>& requests);
+
+  /// Runs a (possibly sharded) scenario sweep. Errors: INVALID_ARGUMENT for
+  /// a spec that fails ValidateScenarioSpec (the message carries the
+  /// diagnostic; unknown methods additionally list the registered keys) or
+  /// a bad shard range.
+  StatusOr<SweepResponse> Sweep(const SweepRequest& request);
+
+  /// Dataset-cache observability (tests, ops endpoints).
+  struct CacheStats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::size_t entries = 0;
+  };
+  CacheStats dataset_cache_stats() const;
+  void ClearDatasetCache();
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct CacheEntry {
+    std::string key;
+    std::shared_ptr<const RatingsDataset> dataset;
+  };
+
+  // Returns the cached dataset for `spec`, materializing (and inserting) on
+  // a miss. `hit` (optional) reports whether the cache served it.
+  std::shared_ptr<const RatingsDataset> DatasetFor(const DatasetSpec& spec,
+                                                   bool* hit = nullptr);
+
+  int EffectiveThreads(const RequestOptions& options) const {
+    return options.threads > 0 ? options.threads : options_.threads;
+  }
+
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// Serializes Sweep/SolveBatch use of `pool_`: ParallelFor keeps one job
+  /// slot, so concurrent bulk calls must take turns on the shared pool.
+  std::mutex pool_mu_;
+
+  mutable std::mutex cache_mu_;
+  std::list<CacheEntry> cache_;  // Front = most recently used.
+  std::int64_t cache_hits_ = 0;
+  std::int64_t cache_misses_ = 0;
+};
+
+/// Stable cache key of a dataset reference: profile, seed, and generator
+/// overrides (λ deliberately excluded — WTP derivation is per-request).
+std::string DatasetCacheKey(const DatasetSpec& spec);
+
+/// OK iff `method` is a registered bundler key; otherwise the NOT_FOUND
+/// error Solve would return, listing the registered keys. Lets front ends
+/// reject a typo before doing expensive dataset work.
+Status ValidateMethodKey(const std::string& method);
+
+/// OK iff `profile` is a known dataset profile; otherwise the
+/// INVALID_ARGUMENT error Solve would return, listing the known profiles.
+Status ValidateDatasetProfile(const std::string& profile);
+
+/// Resolves a scenario argument the way `configurator_cli --spec` accepts
+/// it: a built-in preset name, "@path" naming a spec file, or inline
+/// "key=value;..." text. The result is validated. Errors: NOT_FOUND for an
+/// unknown preset (listing the preset names) or an unreadable file,
+/// INVALID_ARGUMENT for unparsable or invalid spec text.
+StatusOr<ScenarioSpec> ResolveScenarioSpec(const std::string& argument);
+
+/// Parses a "--shard=i/n" value ("0/2") into (shard_index, shard_count).
+/// INVALID_ARGUMENT on malformed text or an out-of-range pair.
+StatusOr<std::pair<int, int>> ParseShard(const std::string& text);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_API_ENGINE_H_

@@ -68,6 +68,11 @@ BundleSolution FreqItemsetBundler::Solve(const BundleConfigProblem& problem,
   // unsound for PEP and combinatorially explosive: the k-capped maximal
   // family is vastly larger than the unrestricted one.
   limits.max_itemset_size = 0;
+  // Deadline coverage inside the mine itself: freq cells used to run the
+  // miners unbounded and only honour the deadline between candidate
+  // evaluations. A stopped mine yields fewer candidates; the configuration
+  // assembled below stays structurally valid.
+  limits.should_stop = DeadlineStopCondition(context);
   std::vector<FrequentItemset> itemsets;
   switch (problem.freq_miner) {
     case MinerEngine::kMafia:

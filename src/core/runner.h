@@ -1,8 +1,13 @@
 // Method running convenience layer over the BundlerRegistry.
 //
-// Shared by the benchmark harnesses, the examples, and integration tests so
-// that "Mixed Matching" means exactly the same thing everywhere. Algorithms
-// are constructed by name through BundlerRegistry::Global(); see
+// DEPRECATED as a public entry point: front ends (CLI, examples, bench
+// harnesses) go through bundlemine::Engine (api/engine.h), which wraps the
+// same registry dispatch behind a request/response surface with typed
+// Status errors instead of the abort-on-unknown-key contract below. These
+// wrappers remain for library internals (the sweep runner's cell loop) and
+// for tests that pin the legacy behavior.
+//
+// Algorithms are constructed by name through BundlerRegistry::Global(); see
 // core/bundler_registry.h for the key → entry mapping and for registering
 // new methods.
 

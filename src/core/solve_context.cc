@@ -14,4 +14,13 @@ SolveContext::SolveContext(const Options& options)
   }
 }
 
+std::function<bool()> DeadlineStopCondition(SolveContext& context) {
+  if (context.options().deadline_seconds <= 0.0) return nullptr;
+  return [&context] {
+    if (!context.DeadlineExceeded()) return false;
+    context.stats().deadline_hit = true;
+    return true;
+  };
+}
+
 }  // namespace bundlemine

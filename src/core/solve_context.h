@@ -16,6 +16,7 @@
 #define BUNDLEMINE_CORE_SOLVE_CONTEXT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -98,6 +99,14 @@ class SolveContext {
   SolveStats stats_;
   WallTimer timer_;
 };
+
+/// Stop-condition functor bridging the context deadline into cooperative
+/// cancellation loops (WSP enumeration/packing, the frequent-itemset
+/// miners). Returns an empty function when no deadline is set, so hot loops
+/// skip the std::function call entirely; flags stats().deadline_hit the
+/// moment a loop actually observes the expired deadline. The returned
+/// functor borrows `context` and must not outlive it.
+std::function<bool()> DeadlineStopCondition(SolveContext& context);
 
 }  // namespace bundlemine
 

@@ -56,19 +56,6 @@ BundleSolution AssembleFromMasks(const BundleConfigProblem& problem,
   return solution;
 }
 
-// Stop condition wiring the enumeration/packing loops to the context
-// deadline. Returns an empty function when no deadline is set so the loops
-// skip the std::function call entirely; flags stats().deadline_hit the
-// moment a loop actually observes the expired deadline.
-StopCondition DeadlineStop(SolveContext& context) {
-  if (context.options().deadline_seconds <= 0.0) return nullptr;
-  return [&context] {
-    if (!context.DeadlineExceeded()) return false;
-    context.stats().deadline_hit = true;
-    return true;
-  };
-}
-
 }  // namespace
 
 BundleSolution OptimalWspBundler::SolveWithTimings(
@@ -86,7 +73,7 @@ BundleSolution OptimalWspBundler::SolveWithTimings(
   BM_CHECK_MSG(problem.wtp->num_items() <= 20,
                "optimal WSP is infeasible beyond 20 items (paper: 25 already "
                "exhausts 70 GB)");
-  StopCondition should_stop = DeadlineStop(context);
+  StopCondition should_stop = DeadlineStopCondition(context);
   WallTimer timer;
   OfferPricer pricer(problem.adoption, problem.price_levels);
   BundleEnumeration enumeration =
@@ -128,7 +115,7 @@ BundleSolution GreedyWspBundler::SolveWithTimings(
   BM_CHECK_MSG(problem.strategy == BundlingStrategy::kPure,
                "weighted set packing is defined for pure bundling only");
   BM_CHECK_LE(problem.wtp->num_items(), 25);
-  StopCondition should_stop = DeadlineStop(context);
+  StopCondition should_stop = DeadlineStopCondition(context);
   WallTimer timer;
   OfferPricer pricer(problem.adoption, problem.price_levels);
   BundleEnumeration enumeration =

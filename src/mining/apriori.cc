@@ -50,6 +50,9 @@ std::vector<FrequentItemset> MineFrequentApriori(const TransactionDb& db,
     std::vector<Bitset> next_bitmaps;
     // Prefix join: two frequent (k-1)-itemsets sharing the first k-2 items.
     for (std::size_t a = 0; a < level.size(); ++a) {
+      // Cooperative stop between join groups: everything emitted so far is
+      // frequent, so the truncated result is a valid (partial) collection.
+      if (limits.should_stop && limits.should_stop()) return result;
       for (std::size_t b = a + 1; b < level.size(); ++b) {
         if (!std::equal(level[a].begin(), level[a].end() - 1, level[b].begin(),
                         level[b].end() - 1)) {

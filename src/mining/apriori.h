@@ -9,15 +9,24 @@
 #ifndef BUNDLEMINE_MINING_APRIORI_H_
 #define BUNDLEMINE_MINING_APRIORI_H_
 
+#include <functional>
+
 #include "mining/transactions.h"
 
 namespace bundlemine {
 
-/// Mining limits shared by both miners.
+/// Mining limits shared by all three miners.
 struct MinerLimits {
   int min_support_count = 2;     ///< Absolute support threshold (≥ 1).
   int max_itemset_size = 0;      ///< 0 = unlimited.
   std::size_t max_results = 200000;  ///< Safety valve; abort past this.
+  /// Optional cooperative cancellation, checked at lattice-node granularity
+  /// (per DFS node / candidate join / projection). Returning true ends the
+  /// mine early: every itemset already emitted is genuinely frequent, but
+  /// the collection is no longer exhaustive (nor maximal-complete for the
+  /// maximal miner). Callers wire this to SolveContext deadlines via
+  /// DeadlineStopCondition; leave empty for the usual unbounded mine.
+  std::function<bool()> should_stop;
 };
 
 /// All frequent itemsets at the given absolute support, smallest first.

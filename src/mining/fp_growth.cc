@@ -114,6 +114,9 @@ void Grow(const FpTree& tree, std::vector<int>* suffix, GrowthState* st) {
   if (cap != 0 && static_cast<int>(suffix->size()) >= cap) return;
 
   for (int rank : tree.ActiveRanks()) {
+    // Cooperative stop per projection: every pattern already emitted is
+    // frequent, so the truncated result stays valid.
+    if (st->limits->should_stop && st->limits->should_stop()) return;
     int support = tree.RankSupport(rank);
     if (support < st->limits->min_support_count) continue;
     suffix->push_back(rank);

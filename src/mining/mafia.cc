@@ -97,6 +97,11 @@ void EmitMaximal(MafiaState* st, std::vector<int> items, int support) {
 // support; tail: extension items, each individually frequent with head.
 void Mine(MafiaState* st, std::vector<int>* head, const Bitset& head_bm,
           int head_support, std::vector<int> tail) {
+  // Cooperative stop per DFS node: the MFI store only ever holds frequent
+  // sets, so abandoning the rest of the lattice leaves a valid (if
+  // incomplete) maximal collection behind.
+  if (st->limits.should_stop && st->limits.should_stop()) return;
+
   const int minsup = st->limits.min_support_count;
   const int max_size = st->limits.max_itemset_size;
 

@@ -9,10 +9,8 @@
 namespace bundlemine {
 namespace {
 
-constexpr const char* kProfiles[] = {"tiny", "small", "medium", "paper"};
-
 bool KnownProfile(const std::string& name) {
-  for (const char* p : kProfiles) {
+  for (const std::string& p : KnownDatasetProfiles()) {
     if (name == p) return true;
   }
   return false;
@@ -315,6 +313,12 @@ std::vector<ScenarioSpec> MakeBuiltins() {
 }
 
 }  // namespace
+
+const std::vector<std::string>& KnownDatasetProfiles() {
+  static const std::vector<std::string>* profiles =
+      new std::vector<std::string>{"tiny", "small", "medium", "paper"};
+  return *profiles;
+}
 
 const std::vector<ScenarioSpec>& BuiltinScenarios() {
   static const std::vector<ScenarioSpec>* presets =

@@ -94,6 +94,11 @@ std::string FormatScenarioSpec(const ScenarioSpec& spec);
 /// kind repeated. Returns false with a diagnostic in `error`.
 bool ValidateScenarioSpec(const ScenarioSpec& spec, std::string* error = nullptr);
 
+/// The dataset profile names ValidateScenarioSpec accepts, in a stable
+/// order ("tiny", "small", "medium", "paper") — the canonical list for
+/// error messages that enumerate the valid alternatives.
+const std::vector<std::string>& KnownDatasetProfiles();
+
 /// The built-in presets, in a stable order: the paper's sweeps
 /// (fig2-theta, fig3-gamma, fig4-alpha, fig5-k, table2-lambda) followed by
 /// the off-paper stress scenarios (heavy-tail-wtp, sparse-corating,

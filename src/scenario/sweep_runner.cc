@@ -14,21 +14,10 @@
 namespace bundlemine {
 namespace {
 
-GeneratorConfig ConfigFor(const DatasetSpec& dataset) {
-  GeneratorConfig config = ProfileByName(dataset.profile, dataset.seed);
-  if (dataset.activity_sigma) config.activity_sigma = *dataset.activity_sigma;
-  if (dataset.background_mass) config.background_mass = *dataset.background_mass;
-  if (dataset.popularity_exponent) {
-    config.item_popularity_exponent = *dataset.popularity_exponent;
-  }
-  if (dataset.genres_per_user) config.genres_per_user = *dataset.genres_per_user;
-  return config;
-}
-
 // The WTP matrices a sweep needs: one per distinct λ (the base λ plus any
-// lambda-axis values), all derived from a single generated ratings dataset.
+// lambda-axis values), all derived from one ratings dataset (borrowed).
 struct SweepData {
-  RatingsDataset dataset;
+  const RatingsDataset* dataset = nullptr;
   std::map<double, WtpMatrix> wtp_by_lambda;
 
   const WtpMatrix& WtpFor(double lambda) const {
@@ -38,9 +27,9 @@ struct SweepData {
   }
 };
 
-SweepData MaterializeData(const ScenarioSpec& spec) {
+SweepData DeriveWtp(const ScenarioSpec& spec, const RatingsDataset& dataset) {
   SweepData data;
-  data.dataset = GenerateAmazonLike(ConfigFor(spec.dataset));
+  data.dataset = &dataset;
   std::vector<double> lambdas = {spec.dataset.lambda};
   for (const ScenarioAxis& axis : spec.axes) {
     if (axis.kind == AxisKind::kLambda) {
@@ -50,7 +39,7 @@ SweepData MaterializeData(const ScenarioSpec& spec) {
   for (double lambda : lambdas) {
     if (data.wtp_by_lambda.count(lambda) == 0) {
       data.wtp_by_lambda.emplace(lambda,
-                                 WtpMatrix::FromRatings(data.dataset, lambda));
+                                 WtpMatrix::FromRatings(dataset, lambda));
     }
   }
   return data;
@@ -177,53 +166,90 @@ std::vector<SweepCell> ExpandGrid(const ScenarioSpec& spec) {
   return cells;
 }
 
+std::vector<SweepCell> FilterShard(std::vector<SweepCell> cells,
+                                   int shard_index, int shard_count) {
+  BM_CHECK_GE(shard_count, 1);
+  BM_CHECK_GE(shard_index, 0);
+  BM_CHECK_LT(shard_index, shard_count);
+  if (shard_count == 1) return cells;
+  std::vector<SweepCell> kept;
+  for (SweepCell& cell : cells) {
+    if (cell.index % shard_count == shard_index) kept.push_back(std::move(cell));
+  }
+  return kept;
+}
+
 std::uint64_t CellSeed(std::uint64_t scenario_seed, int cell_index) {
   return SplitMix64(scenario_seed ^
                     SplitMix64(static_cast<std::uint64_t>(cell_index) + 1));
 }
 
-SweepResult RunSweep(const ScenarioSpec& spec, const SweepRunnerOptions& options) {
+GeneratorConfig DatasetGeneratorConfig(const DatasetSpec& dataset) {
+  GeneratorConfig config = ProfileByName(dataset.profile, dataset.seed);
+  if (dataset.activity_sigma) config.activity_sigma = *dataset.activity_sigma;
+  if (dataset.background_mass) config.background_mass = *dataset.background_mass;
+  if (dataset.popularity_exponent) {
+    config.item_popularity_exponent = *dataset.popularity_exponent;
+  }
+  if (dataset.genres_per_user) config.genres_per_user = *dataset.genres_per_user;
+  return config;
+}
+
+SweepResult RunSweepCells(const ScenarioSpec& spec,
+                          const std::vector<SweepCell>& cells,
+                          const RatingsDataset& dataset,
+                          const SweepRunnerOptions& options, ThreadPool* pool) {
   WallTimer total_timer;
-  std::vector<SweepCell> cells = ExpandGrid(spec);
-  SweepData data = MaterializeData(spec);
+  SweepData data = DeriveWtp(spec, dataset);
 
   SweepResult result;
   result.spec = spec;
-  DatasetStats stats = data.dataset.Stats();
+  DatasetStats stats = dataset.Stats();
   result.num_users = stats.num_users;
   result.num_items = stats.num_items;
   result.num_ratings = stats.num_ratings;
   result.base_total_wtp = data.WtpFor(spec.dataset.lambda).TotalWtp();
   result.cells.resize(cells.size());
 
-  ThreadPool pool(options.threads);
-  pool.ParallelFor(cells.size(), [&](std::size_t index, int /*slot*/) {
+  auto run_cell = [&](std::size_t index, int /*slot*/) {
     RunCell(spec, data, options, cells[index], &result.cells[index]);
-  });
-
-  // Gains over the "components" cell at the same axis point. Cells are laid
-  // out axis-point-major with methods innermost, so each point is one
-  // contiguous block of spec.methods.size() cells.
-  std::size_t block = spec.methods.size();
-  for (std::size_t start = 0; start < result.cells.size(); start += block) {
-    double components_revenue = 0.0;
-    bool found = false;
-    for (std::size_t m = 0; m < block; ++m) {
-      if (result.cells[start + m].cell.method == "components") {
-        components_revenue = result.cells[start + m].revenue;
-        found = true;
-        break;
-      }
-    }
-    if (!found) continue;
-    for (std::size_t m = 0; m < block; ++m) {
-      SweepCellResult& cell = result.cells[start + m];
-      cell.has_gain = true;
-      cell.gain_over_components =
-          RevenueGain(cell.revenue, components_revenue);
-    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(cells.size(), run_cell);
+  } else {
+    ThreadPool local_pool(options.threads);
+    local_pool.ParallelFor(cells.size(), run_cell);
   }
 
+  // Gains over the "components" cell at the same axis point. The grid lays
+  // cells out axis-point-major with methods innermost, so the stable index
+  // maps to its axis point by division — which also works when `cells` is a
+  // shard slice, where a point's cells are no longer contiguous (a method
+  // whose components sibling landed in another shard simply reports no
+  // gain; the artifact merger recomputes gains after joining shards).
+  const int block = static_cast<int>(spec.methods.size());
+  std::map<int, double> components_by_point;
+  for (const SweepCellResult& cell : result.cells) {
+    if (cell.cell.method == "components") {
+      components_by_point.emplace(cell.cell.index / block, cell.revenue);
+    }
+  }
+  for (SweepCellResult& cell : result.cells) {
+    auto it = components_by_point.find(cell.cell.index / block);
+    if (it == components_by_point.end()) continue;
+    cell.has_gain = true;
+    cell.gain_over_components = RevenueGain(cell.revenue, it->second);
+  }
+
+  result.wall_seconds = total_timer.Seconds();
+  return result;
+}
+
+SweepResult RunSweep(const ScenarioSpec& spec, const SweepRunnerOptions& options) {
+  WallTimer total_timer;
+  std::vector<SweepCell> cells = ExpandGrid(spec);
+  RatingsDataset dataset = GenerateAmazonLike(DatasetGeneratorConfig(spec.dataset));
+  SweepResult result = RunSweepCells(spec, cells, dataset, options);
   result.wall_seconds = total_timer.Seconds();
   return result;
 }

@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "core/solve_context.h"
+#include "data/generator.h"
 #include "scenario/scenario_spec.h"
+#include "util/thread_pool.h"
 
 namespace bundlemine {
 
@@ -76,13 +78,46 @@ struct SweepRunnerOptions {
 /// The spec must validate.
 std::vector<SweepCell> ExpandGrid(const ScenarioSpec& spec);
 
+/// Cells whose stable grid index lands in shard `shard_index` of
+/// `shard_count` (index mod count). Complementary shards partition the grid:
+/// the union over i in [0, n) of FilterShard(cells, i, n) is exactly
+/// `cells`, so cluster jobs can split one grid and merge artifacts.
+/// Requires 0 <= shard_index < shard_count.
+std::vector<SweepCell> FilterShard(std::vector<SweepCell> cells,
+                                   int shard_index, int shard_count);
+
 /// Deterministic per-cell SolveContext seed (splitmix64 over scenario seed
 /// and cell index); exposed for tests.
 std::uint64_t CellSeed(std::uint64_t scenario_seed, int cell_index);
 
+/// GeneratorConfig implied by a DatasetSpec: the named profile at the
+/// spec's seed with the generator overrides applied. The dataset a sweep
+/// materializes is a pure function of this config — the Engine's dataset
+/// cache keys on exactly these fields.
+GeneratorConfig DatasetGeneratorConfig(const DatasetSpec& dataset);
+
+/// Runs `cells` — any subset of ExpandGrid(spec), e.g. one FilterShard
+/// slice — against a pre-materialized `dataset`, deriving the WTP matrices
+/// the spec's λ values need. Results gather in `cells` order; per-cell
+/// seeding depends only on the stable grid index, so a shard's cells solve
+/// bit-identically to the same cells of a full run. Gains fill from the
+/// "components" cell at the same axis point when that cell is present in
+/// `cells`. `pool` (optional) supplies the workers; when null a private
+/// pool of options.threads is used.
+SweepResult RunSweepCells(const ScenarioSpec& spec,
+                          const std::vector<SweepCell>& cells,
+                          const RatingsDataset& dataset,
+                          const SweepRunnerOptions& options = {},
+                          ThreadPool* pool = nullptr);
+
 /// Materializes the dataset, runs every cell, gathers in grid order, and
 /// fills gains from the per-axis-point "components" cells. Aborts (BM_CHECK)
 /// on an invalid spec.
+///
+/// DEPRECATED as a public entry point: front ends should go through
+/// Engine::Sweep (api/engine.h), which returns typed Status errors instead
+/// of aborting and adds dataset caching and shard filtering on top of the
+/// same execution path.
 SweepResult RunSweep(const ScenarioSpec& spec,
                      const SweepRunnerOptions& options = {});
 

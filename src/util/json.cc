@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "util/check.h"
+#include "util/strings.h"
 
 namespace bundlemine {
 
@@ -61,6 +62,52 @@ JsonValue& JsonValue::Set(const std::string& key, JsonValue v) {
   }
   object_.emplace_back(key, std::move(v));
   return *this;
+}
+
+bool JsonValue::AsBool() const {
+  BM_CHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+std::int64_t JsonValue::AsInt() const {
+  BM_CHECK(kind_ == Kind::kInt);
+  return int_;
+}
+
+double JsonValue::AsDouble() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  BM_CHECK(kind_ == Kind::kDouble);
+  return double_;
+}
+
+const std::string& JsonValue::AsString() const {
+  BM_CHECK(kind_ == Kind::kString);
+  return string_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  BM_CHECK(kind_ == Kind::kObject);
+  return object_.size();
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  BM_CHECK(kind_ == Kind::kArray);
+  BM_CHECK_LT(i, array_.size());
+  return array_[i];
+}
+
+const JsonValue* JsonValue::FindMember(const std::string& key) const {
+  BM_CHECK(kind_ == Kind::kObject);
+  for (const auto& [existing, value] : object_) {
+    if (existing == key) return &value;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  BM_CHECK(kind_ == Kind::kObject);
+  return object_;
 }
 
 std::string FormatDoubleShortest(double d) {
@@ -181,6 +228,223 @@ std::string JsonValue::Dump(int indent) const {
   std::string out;
   DumpTo(&out, indent, 0);
   return out;
+}
+
+namespace {
+
+// Recursive-descent parser over the writer's grammar. Depth is bounded so a
+// hostile input cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Parse(std::string* error) {
+    std::optional<JsonValue> value = ParseValue(0);
+    if (value) {
+      SkipWhitespace();
+      if (pos_ != text_.size()) {
+        value.reset();
+        error_ = "trailing content";
+      }
+    }
+    if (!value && error != nullptr) {
+      *error = error_ + StrOffset();
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  std::string StrOffset() const { return " at byte " + std::to_string(pos_); }
+
+  std::optional<JsonValue> Fail(std::string message) {
+    error_ = std::move(message);
+    return std::nullopt;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::optional<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue::Null();
+        return Fail("bad literal");
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue::Bool(true);
+        return Fail("bad literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue::Bool(false);
+        return Fail("bad literal");
+      case '"': return ParseString();
+      case '[': return ParseArray(depth);
+      case '{': return ParseObject(depth);
+      default: return ParseNumber();
+    }
+  }
+
+  std::optional<JsonValue> ParseNumber() {
+    std::size_t start = pos_;
+    bool is_double = false;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        // '+'/'-' only legally appear inside an exponent; from_chars/strtod
+        // below reject misplacements.
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    if (is_double) {
+      std::optional<double> d = ParseDouble(token);
+      if (!d) return Fail("bad number '" + token + "'");
+      return JsonValue::Double(*d);
+    }
+    std::int64_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Fail("bad integer '" + token + "'");
+    }
+    return JsonValue::Int(value);
+  }
+
+  std::optional<JsonValue> ParseString() {
+    std::optional<std::string> s = ParseRawString();
+    if (!s) return std::nullopt;
+    return JsonValue::Str(std::move(*s));
+  }
+
+  std::optional<std::string> ParseRawString() {
+    auto fail = [this](std::string message) -> std::optional<std::string> {
+      error_ = std::move(message);
+      return std::nullopt;
+    };
+    if (!Consume('"')) return fail("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // The writer only emits \u for ASCII control characters; reject
+          // anything that would need UTF-8 encoding to round-trip.
+          if (code > 0x7f) return fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  std::optional<JsonValue> ParseArray(int depth) {
+    BM_CHECK(Consume('['));
+    JsonValue out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return out;
+    while (true) {
+      std::optional<JsonValue> element = ParseValue(depth + 1);
+      if (!element) return std::nullopt;
+      out.Add(std::move(*element));
+      SkipWhitespace();
+      if (Consume(']')) return out;
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  std::optional<JsonValue> ParseObject(int depth) {
+    BM_CHECK(Consume('{'));
+    JsonValue out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return out;
+    while (true) {
+      SkipWhitespace();
+      std::optional<std::string> key = ParseRawString();
+      if (!key) return std::nullopt;
+      if (out.FindMember(*key) != nullptr) {
+        return Fail("duplicate object key '" + *key + "'");
+      }
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      std::optional<JsonValue> value = ParseValue(depth + 1);
+      if (!value) return std::nullopt;
+      out.Set(*key, std::move(*value));
+      SkipWhitespace();
+      if (Consume('}')) return out;
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonParse(std::string_view text, std::string* error) {
+  return JsonParser(text).Parse(error);
 }
 
 }  // namespace bundlemine

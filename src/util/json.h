@@ -1,4 +1,4 @@
-// Minimal JSON document builder with deterministic output.
+// Minimal JSON document builder and parser with deterministic round-trips.
 //
 // The sweep artifacts must be byte-identical across thread counts and across
 // repeated runs with the same seed (the determinism tests and the golden
@@ -9,15 +9,20 @@
 //     std::to_chars — no locale, no printf precision guesswork,
 //   * indentation and separators are fixed.
 //
-// There is deliberately no parser here: the artifacts are produced and
-// compared by this codebase, and the golden regression compares the rendered
-// form line by line.
+// JsonParse is the writer's inverse, added for the artifact reader
+// (scenario/artifact_reader.h): it preserves object key order and the
+// int-vs-double distinction (a number token is a double iff it contains '.',
+// 'e', or 'E' — which every FormatDoubleShortest output does), so
+// Parse(Dump(v)) reproduces v and Dump(Parse(text)) reproduces canonical
+// text byte for byte.
 
 #ifndef BUNDLEMINE_UTIL_JSON_H_
 #define BUNDLEMINE_UTIL_JSON_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -52,6 +57,27 @@ class JsonValue {
   /// whole document on one line.
   std::string Dump(int indent = 2) const;
 
+  // ---- Read accessors (the parser's consumers). Kind mismatches abort:
+  // ---- callers validate document shape before drilling in.
+
+  /// Scalar values. AsDouble also accepts an integer value (promoted).
+  bool AsBool() const;
+  std::int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Element count of an array or object.
+  std::size_t size() const;
+
+  /// Array element `i` (bounds-checked).
+  const JsonValue& at(std::size_t i) const;
+
+  /// Object member by key, or nullptr when absent.
+  const JsonValue* FindMember(const std::string& key) const;
+
+  /// Object members in insertion order.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
  private:
   void DumpTo(std::string* out, int indent, int depth) const;
 
@@ -71,6 +97,14 @@ std::string FormatDoubleShortest(double d);
 
 /// JSON string escaping (quotes, backslash, control characters).
 std::string JsonEscape(const std::string& s);
+
+/// Parses a JSON document (the subset this writer emits: null/bool/number/
+/// string/array/object, standard escapes, no comments; \uXXXX escapes are
+/// accepted for ASCII code points). Trailing non-whitespace input is an
+/// error. On failure returns nullopt and, when `error` is non-null, a
+/// one-line diagnostic with the byte offset.
+std::optional<JsonValue> JsonParse(std::string_view text,
+                                   std::string* error = nullptr);
 
 }  // namespace bundlemine
 

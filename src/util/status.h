@@ -1,0 +1,122 @@
+// Typed error propagation for user-input paths.
+//
+// The library's internal invariants still terminate through BM_CHECK —
+// a violated precondition is a programming error. Everything a *user* can
+// get wrong, however (an unknown method key, a misspelled scenario spec, an
+// unreadable file), must surface as a recoverable value: `Status` carries a
+// machine-readable code plus a one-line diagnostic that names the offending
+// input and, where possible, the valid alternatives; `StatusOr<T>` couples
+// that with a result. The Engine facade (api/engine.h) returns these from
+// every public call, so front ends turn failures into exit codes and
+// messages instead of stack-trace aborts.
+//
+// Accessing `value()` of a failed StatusOr is a programming error and
+// BM_CHECK-fails with the status message — callers either test `ok()` first
+// or deliberately assert success (bench harnesses with hardcoded keys).
+
+#ifndef BUNDLEMINE_UTIL_STATUS_H_
+#define BUNDLEMINE_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace bundlemine {
+
+/// Canonical error classes, a deliberate subset of the absl/gRPC vocabulary.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< Malformed request: bad spec text, bad shard, bad knob.
+  kNotFound,         ///< Unknown key/name/file; message lists alternatives.
+  kDeadlineExceeded, ///< Reserved for strict-deadline request modes.
+  kInternal,         ///< Library bug surfaced as a value instead of an abort.
+};
+
+/// Canonical code name ("INVALID_ARGUMENT", "NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// An error code plus a human-readable, single-line message.
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "NOT_FOUND: unknown method key 'foo' (valid: ...)" — or "OK".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A Status or a value of type T. Exactly one is active: constructing from a
+/// non-OK Status yields an error holder, constructing from a T yields a
+/// success holder (an OK Status with no value is a caller bug).
+template <typename T>
+class StatusOr {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors absl::StatusOr.
+  StatusOr(Status status) : status_(std::move(status)) {
+    BM_CHECK_MSG(!status_.ok(), "StatusOr constructed from an OK status");
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      internal::CheckFailed("StatusOr::value() on error", __FILE__, __LINE__,
+                            status_.message().c_str());
+    }
+  }
+
+  Status status_;  // OK iff value_ holds.
+  std::optional<T> value_;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_UTIL_STATUS_H_

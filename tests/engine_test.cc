@@ -1,0 +1,462 @@
+// Engine facade tests: Status-based error paths (no aborts on user input),
+// dataset-cache hit behavior, batch determinism, shard partition identity,
+// and the golden tiny-theta artifact flowing byte-identically through the
+// new API — including the artifact reader's write→read→write round trip.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "core/runner.h"
+#include "data/generator.h"
+#include "data/wtp_matrix.h"
+#include "gtest/gtest.h"
+#include "scenario/artifact_reader.h"
+#include "scenario/artifact_writer.h"
+#include "scenario/scenario_spec.h"
+
+namespace bundlemine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// The cheap, fully deterministic sweep the cache/shard tests reuse.
+ScenarioSpec TinyThetaSpec() {
+  ScenarioSpec spec;
+  spec.name = "engine-test-tiny";
+  spec.dataset.profile = "tiny";
+  spec.dataset.seed = 7;
+  spec.methods = {"components", "mixed-greedy"};
+  spec.axes.push_back({AxisKind::kTheta, {-0.05, 0.0, 0.05}});
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Error paths: typed statuses listing the valid alternatives, never aborts.
+// ---------------------------------------------------------------------------
+
+TEST(EngineErrors, UnknownMethodKeyListsAlternatives) {
+  Engine engine;
+  WtpMatrix wtp = WtpMatrix::FromTriplets(2, 2, {{0, 0, 5.0}, {1, 1, 3.0}});
+  BundleConfigProblem problem;
+  problem.wtp = &wtp;
+
+  SolveRequest request;
+  request.method = "no-such-method";
+  request.problem = &problem;
+  StatusOr<SolveResponse> response = engine.Solve(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(response.status().message().find("no-such-method"),
+            std::string::npos);
+  EXPECT_NE(response.status().message().find("mixed-matching"),
+            std::string::npos);
+}
+
+TEST(EngineErrors, RequestWithoutProblemOrDatasetRejected) {
+  Engine engine;
+  SolveRequest request;
+  request.method = "components";
+  StatusOr<SolveResponse> response = engine.Solve(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineErrors, UnknownDatasetProfileListsProfiles) {
+  Engine engine;
+  SolveRequest request;
+  request.method = "components";
+  request.dataset = DatasetSpec{};
+  request.dataset->profile = "galactic";
+  StatusOr<SolveResponse> response = engine.Solve(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(response.status().message().find("galactic"), std::string::npos);
+  EXPECT_NE(response.status().message().find("tiny"), std::string::npos);
+}
+
+TEST(EngineErrors, SweepWithUnknownMethodSurfacesStatusNotAbort) {
+  Engine engine;
+  SweepRequest request;
+  request.spec = TinyThetaSpec();
+  request.spec.methods.push_back("definitely-not-registered");
+  StatusOr<SweepResponse> response = engine.Sweep(request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(response.status().message().find("definitely-not-registered"),
+            std::string::npos);
+  // The registry key list rides along for self-serve fixes.
+  EXPECT_NE(response.status().message().find("mixed-matching"),
+            std::string::npos);
+}
+
+TEST(EngineErrors, BadShardRangeRejected) {
+  Engine engine;
+  SweepRequest request;
+  request.spec = TinyThetaSpec();
+  for (auto [index, count] : {std::pair<int, int>{2, 2},
+                              std::pair<int, int>{-1, 2},
+                              std::pair<int, int>{0, 0}}) {
+    request.shard_index = index;
+    request.shard_count = count;
+    StatusOr<SweepResponse> response = engine.Sweep(request);
+    ASSERT_FALSE(response.ok()) << index << "/" << count;
+    EXPECT_EQ(response.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ValidateMethodKeyFn, AcceptsRegisteredRejectsUnknown) {
+  EXPECT_TRUE(ValidateMethodKey("mixed-matching").ok());
+  Status status = ValidateMethodKey("typo");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("typo"), std::string::npos);
+}
+
+TEST(ParseShardFn, ParsesAndRejects) {
+  StatusOr<std::pair<int, int>> ok = ParseShard("1/4");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->first, 1);
+  EXPECT_EQ(ok->second, 4);
+  for (const char* bad :
+       {"", "2", "2/2", "-1/3", "a/b", "1/0", "0/4294967297"}) {
+    EXPECT_FALSE(ParseShard(bad).ok()) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario resolution: presets, inline text, @file.
+// ---------------------------------------------------------------------------
+
+TEST(ResolveSpec, PresetByName) {
+  StatusOr<ScenarioSpec> spec = ResolveScenarioSpec("fig2-theta");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "fig2-theta");
+}
+
+TEST(ResolveSpec, UnknownPresetListsPresets) {
+  StatusOr<ScenarioSpec> spec = ResolveScenarioSpec("fig2-thta");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(spec.status().message().find("fig2-theta"), std::string::npos);
+}
+
+TEST(ResolveSpec, InlineTextParsesAndValidates) {
+  StatusOr<ScenarioSpec> spec = ResolveScenarioSpec(
+      "scale=tiny;seed=3;methods=components;axis:k=2,3");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "adhoc");
+  EXPECT_EQ(spec->dataset.seed, 3u);
+
+  StatusOr<ScenarioSpec> bad = ResolveScenarioSpec("axis:bogus=1,2");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("bogus"), std::string::npos);
+}
+
+TEST(ResolveSpec, SpecFromFile) {
+  const std::string path = TempPath("bundlemine_engine_test.scenario");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << FormatScenarioSpec(TinyThetaSpec());
+  }
+  StatusOr<ScenarioSpec> spec = ResolveScenarioSpec("@" + path);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "engine-test-tiny");
+  ASSERT_EQ(spec->axes.size(), 1u);
+  EXPECT_EQ(spec->axes[0].values.size(), 3u);
+  std::filesystem::remove(path);
+
+  StatusOr<ScenarioSpec> missing = ResolveScenarioSpec("@" + path);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.status().message().find(path), std::string::npos);
+}
+
+TEST(ResolveSpec, UnparsableFileNamesTheFile) {
+  const std::string path = TempPath("bundlemine_engine_test_bad.scenario");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "frobnicate=1\n";
+  }
+  StatusOr<ScenarioSpec> spec = ResolveScenarioSpec("@" + path);
+  ASSERT_FALSE(spec.ok());
+  EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(spec.status().message().find(path), std::string::npos);
+  EXPECT_NE(spec.status().message().find("frobnicate"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Dataset cache.
+// ---------------------------------------------------------------------------
+
+TEST(DatasetCache, SecondSweepHitsAndStaysByteIdentical) {
+  Engine engine;
+  SweepRequest request;
+  request.spec = TinyThetaSpec();
+
+  StatusOr<SweepResponse> first = engine.Sweep(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->dataset_cache_hit);
+
+  StatusOr<SweepResponse> second = engine.Sweep(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->dataset_cache_hit);
+
+  Engine::CacheStats stats = engine.dataset_cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.entries, 1u);
+
+  EXPECT_EQ(SweepArtifactJson(first->result), SweepArtifactJson(second->result));
+}
+
+TEST(DatasetCache, KeyCoversSeedAndOverridesButNotLambda) {
+  DatasetSpec base;
+  base.profile = "tiny";
+  base.seed = 7;
+
+  DatasetSpec other_seed = base;
+  other_seed.seed = 8;
+  EXPECT_NE(DatasetCacheKey(base), DatasetCacheKey(other_seed));
+
+  DatasetSpec with_override = base;
+  with_override.activity_sigma = 1.1;
+  EXPECT_NE(DatasetCacheKey(base), DatasetCacheKey(with_override));
+
+  DatasetSpec other_lambda = base;
+  other_lambda.lambda = 2.0;  // WTP derivation is per-request.
+  EXPECT_EQ(DatasetCacheKey(base), DatasetCacheKey(other_lambda));
+}
+
+TEST(DatasetCache, SolveFromDatasetReferenceMatchesManualPipeline) {
+  Engine engine;
+  SolveRequest request;
+  request.method = "mixed-greedy";
+  request.dataset = DatasetSpec{};
+  request.dataset->profile = "tiny";
+  request.dataset->seed = 11;
+  request.dataset->lambda = 1.25;
+  request.theta = 0.05;
+
+  StatusOr<SolveResponse> via_engine = engine.Solve(request);
+  ASSERT_TRUE(via_engine.ok());
+
+  RatingsDataset dataset = GenerateAmazonLike(TinyProfile(11));
+  WtpMatrix wtp = WtpMatrix::FromRatings(dataset, 1.25);
+  BundleConfigProblem problem;
+  problem.wtp = &wtp;
+  problem.theta = 0.05;
+  BundleSolution manual = RunMethod("mixed-greedy", problem);
+
+  EXPECT_EQ(via_engine->solution.total_revenue, manual.total_revenue);
+  EXPECT_EQ(via_engine->solution.offers.size(), manual.offers.size());
+
+  // The second reference solve is served from the cache.
+  ASSERT_TRUE(engine.Solve(request).ok());
+  EXPECT_EQ(engine.dataset_cache_stats().hits, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Batch determinism.
+// ---------------------------------------------------------------------------
+
+TEST(SolveBatch, MatchesIndividualSolvesAndRepeats) {
+  RatingsDataset dataset = GenerateAmazonLike(TinyProfile(5));
+  WtpMatrix wtp = WtpMatrix::FromRatings(dataset, 1.25);
+  BundleConfigProblem problem;
+  problem.wtp = &wtp;
+
+  std::vector<SolveRequest> requests;
+  for (const char* key :
+       {"components", "pure-greedy", "mixed-greedy", "pure-matching",
+        "mixed-greedy", "components"}) {
+    SolveRequest request;
+    request.method = key;
+    request.problem = &problem;
+    requests.push_back(std::move(request));
+  }
+  SolveRequest broken;
+  broken.method = "not-a-method";
+  broken.problem = &problem;
+  requests.push_back(broken);
+
+  Engine::Options options;
+  options.threads = 4;
+  Engine engine(options);
+  std::vector<StatusOr<SolveResponse>> batch = engine.SolveBatch(requests);
+  std::vector<StatusOr<SolveResponse>> batch_again = engine.SolveBatch(requests);
+  ASSERT_EQ(batch.size(), requests.size());
+
+  for (std::size_t i = 0; i + 1 < requests.size(); ++i) {
+    SCOPED_TRACE(requests[i].method);
+    ASSERT_TRUE(batch[i].ok());
+    // Identical to a lone Solve of the same request...
+    Engine solo;
+    StatusOr<SolveResponse> individual = solo.Solve(requests[i]);
+    ASSERT_TRUE(individual.ok());
+    EXPECT_EQ(batch[i]->solution.total_revenue,
+              individual->solution.total_revenue);
+    ASSERT_EQ(batch[i]->solution.offers.size(),
+              individual->solution.offers.size());
+    for (std::size_t o = 0; o < batch[i]->solution.offers.size(); ++o) {
+      EXPECT_EQ(batch[i]->solution.offers[o].price,
+                individual->solution.offers[o].price);
+      EXPECT_EQ(batch[i]->solution.offers[o].items.ToString(),
+                individual->solution.offers[o].items.ToString());
+    }
+    // ...and across repeated batches regardless of scheduling.
+    ASSERT_TRUE(batch_again[i].ok());
+    EXPECT_EQ(batch[i]->solution.total_revenue,
+              batch_again[i]->solution.total_revenue);
+  }
+
+  // The bad request fails alone; it does not poison the batch.
+  ASSERT_FALSE(batch.back().ok());
+  EXPECT_EQ(batch.back().status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Shard partition identity.
+// ---------------------------------------------------------------------------
+
+TEST(Sharding, ShardsPartitionTheGridAndMatchTheFullRun) {
+  Engine engine;
+  SweepRequest request;
+  request.spec = TinyThetaSpec();
+
+  StatusOr<SweepResponse> full = engine.Sweep(request);
+  ASSERT_TRUE(full.ok());
+  const std::vector<SweepCellResult>& full_cells = full->result.cells;
+  ASSERT_EQ(static_cast<int>(full_cells.size()), full->grid_cells);
+
+  for (int shard_count : {2, 3}) {
+    std::set<int> seen;
+    std::size_t total = 0;
+    for (int shard = 0; shard < shard_count; ++shard) {
+      request.shard_index = shard;
+      request.shard_count = shard_count;
+      StatusOr<SweepResponse> slice = engine.Sweep(request);
+      ASSERT_TRUE(slice.ok());
+      EXPECT_EQ(slice->grid_cells, full->grid_cells);
+      total += slice->result.cells.size();
+      for (const SweepCellResult& cell : slice->result.cells) {
+        ASSERT_TRUE(seen.insert(cell.cell.index).second)
+            << "cell " << cell.cell.index << " appeared in two shards";
+        // Bit-identical to the same cell of the unsharded run.
+        const SweepCellResult& reference =
+            full_cells[static_cast<std::size_t>(cell.cell.index)];
+        EXPECT_EQ(cell.cell.method, reference.cell.method);
+        EXPECT_EQ(cell.revenue, reference.revenue);
+        EXPECT_EQ(cell.coverage, reference.coverage);
+        EXPECT_EQ(cell.stats.pairs_evaluated, reference.stats.pairs_evaluated);
+        EXPECT_EQ(cell.bundle_size_histogram, reference.bundle_size_histogram);
+      }
+    }
+    EXPECT_EQ(total, full_cells.size()) << "shards must partition the grid";
+    EXPECT_EQ(seen.size(), full_cells.size());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden artifact through the Engine + reader round trip.
+// ---------------------------------------------------------------------------
+
+ScenarioSpec GoldenSpec() {
+  ScenarioSpec spec;
+  spec.name = "golden-tiny-theta";
+  spec.description = "fixed-seed tiny theta sweep pinned by regression_test";
+  spec.dataset.profile = "tiny";
+  spec.dataset.seed = 7;
+  spec.methods = StandardMethodKeys();
+  spec.axes.push_back({AxisKind::kTheta, {-0.05, 0.0, 0.05}});
+  return spec;
+}
+
+std::string GoldenPath() {
+  return std::string(BUNDLEMINE_SOURCE_DIR) + "/tests/golden/tiny_theta_sweep.json";
+}
+
+TEST(GoldenThroughEngine, SweepArtifactByteIdenticalToCheckedInGolden) {
+  Engine::Options options;
+  options.threads = 2;
+  Engine engine(options);
+  SweepRequest request;
+  request.spec = GoldenSpec();
+  StatusOr<SweepResponse> response = engine.Sweep(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(SweepArtifactJson(response->result), ReadFile(GoldenPath()));
+}
+
+TEST(ArtifactReader, GoldenRoundTripsByteIdentically) {
+  const std::string golden = ReadFile(GoldenPath());
+  StatusOr<SweepResult> read = ReadSweepArtifact(GoldenPath());
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->spec.name, "golden-tiny-theta");
+  EXPECT_EQ(read->cells.size(), 21u);  // 3 θ values × 7 standard methods.
+  // write → read → write reproduces the artifact byte for byte.
+  EXPECT_EQ(SweepArtifactJson(*read), golden);
+  // And the reconstructed cell indices follow grid order.
+  for (std::size_t i = 0; i < read->cells.size(); ++i) {
+    EXPECT_EQ(read->cells[i].cell.index, static_cast<int>(i));
+  }
+}
+
+TEST(ArtifactReader, ShardArtifactKeepsStableGridIndices) {
+  // Cell indices are not serialized; the reader must reconstruct the
+  // *stable grid* index from axis values + method, so a shard slice reads
+  // back with the same indices the full grid assigns (1, 3, 5 for shard
+  // 1/2 of a 6-cell grid), not array positions (0, 1, 2).
+  Engine engine;
+  SweepRequest request;
+  request.spec = TinyThetaSpec();
+  request.shard_index = 1;
+  request.shard_count = 2;
+  StatusOr<SweepResponse> slice = engine.Sweep(request);
+  ASSERT_TRUE(slice.ok());
+
+  StatusOr<SweepResult> read =
+      ParseSweepArtifact(SweepArtifactJson(slice->result));
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->cells.size(), slice->result.cells.size());
+  for (std::size_t i = 0; i < read->cells.size(); ++i) {
+    EXPECT_EQ(read->cells[i].cell.index, slice->result.cells[i].cell.index);
+  }
+  // And the slice still round-trips byte-identically.
+  EXPECT_EQ(SweepArtifactJson(*read), SweepArtifactJson(slice->result));
+}
+
+TEST(ArtifactReader, RejectsWrongSchemaAndMalformedInput) {
+  StatusOr<SweepResult> not_json = ParseSweepArtifact("not json at all");
+  ASSERT_FALSE(not_json.ok());
+  EXPECT_EQ(not_json.status().code(), StatusCode::kInvalidArgument);
+
+  StatusOr<SweepResult> wrong_schema = ParseSweepArtifact(
+      "{\"schema\": \"other.schema\", \"schema_version\": 1}");
+  ASSERT_FALSE(wrong_schema.ok());
+  EXPECT_NE(wrong_schema.status().message().find("other.schema"),
+            std::string::npos);
+
+  StatusOr<SweepResult> missing = ReadSweepArtifact("/no/such/artifact.json");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace bundlemine

@@ -1,12 +1,17 @@
-// Unit tests for util: strings, CSV, flags, RNG, timers, table printing.
+// Unit tests for util: strings, CSV, flags, RNG, timers, table printing,
+// JSON parsing, and Status.
 
 #include <cstdio>
 #include <filesystem>
+#include <memory>
+#include <optional>
 
 #include "gtest/gtest.h"
 #include "util/csv.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/strings.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
@@ -221,6 +226,98 @@ TEST(TablePrinter, WritesCsv) {
 TEST(TablePrinter, EmptyPathReturnsFalse) {
   TablePrinter table("");
   EXPECT_FALSE(table.WriteCsvFile(""));
+}
+
+TEST(JsonParse, ScalarsPreserveKinds) {
+  EXPECT_EQ(JsonParse("null")->kind(), JsonValue::Kind::kNull);
+  EXPECT_TRUE(JsonParse("true")->AsBool());
+  EXPECT_FALSE(JsonParse("false")->AsBool());
+  EXPECT_EQ(JsonParse("42")->AsInt(), 42);
+  EXPECT_EQ(JsonParse("-7")->AsInt(), -7);
+  EXPECT_EQ(JsonParse("42")->kind(), JsonValue::Kind::kInt);
+  EXPECT_EQ(JsonParse("42.0")->kind(), JsonValue::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(JsonParse("-0.125")->AsDouble(), -0.125);
+  EXPECT_DOUBLE_EQ(JsonParse("1e6")->AsDouble(), 1e6);
+  EXPECT_EQ(JsonParse("\"hi \\\"there\\\"\\n\"")->AsString(), "hi \"there\"\n");
+  EXPECT_EQ(JsonParse("\"\\u0007\"")->AsString(), "\a");
+}
+
+TEST(JsonParse, StructuresAndKeyOrder) {
+  std::optional<JsonValue> doc =
+      JsonParse("{\"z\": [1, 2.5, \"x\"], \"a\": {\"nested\": true}}");
+  ASSERT_TRUE(doc);
+  ASSERT_EQ(doc->size(), 2u);
+  // Insertion order preserved: "z" stays first even though "a" sorts lower.
+  EXPECT_EQ(doc->members()[0].first, "z");
+  EXPECT_EQ(doc->members()[1].first, "a");
+  const JsonValue* z = doc->FindMember("z");
+  ASSERT_NE(z, nullptr);
+  ASSERT_EQ(z->size(), 3u);
+  EXPECT_EQ(z->at(0).AsInt(), 1);
+  EXPECT_DOUBLE_EQ(z->at(1).AsDouble(), 2.5);
+  EXPECT_EQ(z->at(2).AsString(), "x");
+  EXPECT_TRUE(doc->FindMember("a")->FindMember("nested")->AsBool());
+  EXPECT_EQ(doc->FindMember("missing"), nullptr);
+}
+
+TEST(JsonParse, RoundTripsItsOwnDump) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("name", JsonValue::Str("θ sweep \"quoted\"\n"));
+  doc.Set("count", JsonValue::Int(-3));
+  doc.Set("ratio", JsonValue::Double(0.30000000000000004));
+  JsonValue values = JsonValue::Array();
+  values.Add(JsonValue::Double(-0.05));
+  values.Add(JsonValue::Double(5.0));
+  values.Add(JsonValue::Null());
+  doc.Set("values", std::move(values));
+  doc.Set("empty_array", JsonValue::Array());
+  doc.Set("empty_object", JsonValue::Object());
+
+  for (int indent : {0, 2}) {
+    std::string text = doc.Dump(indent);
+    std::string error;
+    std::optional<JsonValue> parsed = JsonParse(text, &error);
+    ASSERT_TRUE(parsed) << error;
+    EXPECT_EQ(parsed->Dump(indent), text);
+  }
+}
+
+TEST(JsonParse, DiagnosticsNameTheProblem) {
+  std::string error;
+  EXPECT_FALSE(JsonParse("", &error));
+  EXPECT_FALSE(JsonParse("{\"a\": 1,}", &error));
+  EXPECT_FALSE(JsonParse("[1 2]", &error));
+  EXPECT_NE(error.find("','"), std::string::npos);
+  EXPECT_FALSE(JsonParse("{\"a\": 1} trailing", &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+  EXPECT_FALSE(JsonParse("{\"a\": 1, \"a\": 2}", &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+  EXPECT_FALSE(JsonParse("\"unterminated", &error));
+  EXPECT_FALSE(JsonParse("nulL", &error));
+  EXPECT_FALSE(JsonParse("1.2.3", &error));
+}
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  Status not_found = Status::NotFound("no such thing");
+  EXPECT_FALSE(not_found.ok());
+  EXPECT_EQ(not_found.code(), StatusCode::kNotFound);
+  EXPECT_EQ(not_found.ToString(), "NOT_FOUND: no such thing");
+  EXPECT_EQ(Status::InvalidArgument("x").ToString(), "INVALID_ARGUMENT: x");
+}
+
+TEST(StatusOr, HoldsValueOrStatus) {
+  StatusOr<int> good(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  StatusOr<int> bad(Status::InvalidArgument("nope"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  // Move-out keeps non-copyable payloads usable.
+  StatusOr<std::unique_ptr<int>> owner(std::make_unique<int>(5));
+  std::unique_ptr<int> taken = std::move(owner).value();
+  EXPECT_EQ(*taken, 5);
 }
 
 }  // namespace
