@@ -19,7 +19,7 @@
 
 #include "api/engine.h"
 #include "core/problem.h"
-#include "core/runner.h"
+#include "core/bundler_registry.h"
 #include "core/solve_context.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"

@@ -11,7 +11,7 @@
 
 #include "api/engine.h"
 #include "core/metrics.h"
-#include "core/runner.h"
+#include "core/bundler_registry.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
 #include "util/strings.h"

@@ -6,7 +6,6 @@
 #include <sstream>
 
 #include "core/bundler_registry.h"
-#include "core/runner.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
 #include "util/json.h"
@@ -161,7 +160,7 @@ StatusOr<SolveResponse> Engine::Solve(const SolveRequest& request) {
 
   WallTimer timer;
   SolveResponse response;
-  response.solution = RunMethod(request.method, std::move(problem), context);
+  response.solution = SolveMethod(request.method, std::move(problem), context);
   response.wall_seconds = timer.Seconds();
   response.stats = context.stats();
   return response;

@@ -19,9 +19,12 @@
 //     cells bit-identically to the full run — the shards partition the
 //     grid, so artifacts can be merged back together.
 //
-// RunMethod (core/runner.h) and RunSweep (scenario/sweep_runner.h) survive
-// as thin deprecated wrappers over the same internals for code that wants
-// the old abort-on-error contract.
+// The Engine is the whole public surface: the legacy RunMethod/RunSweep
+// wrappers are gone, and the registry-level SolveMethod dispatch
+// (core/bundler_registry.h) is an internal cell-solve primitive. The
+// bundlemined serving loop (serve/server.h) sits directly on top of this
+// facade — one Engine per server process, so the dataset cache is shared by
+// every connection.
 
 #ifndef BUNDLEMINE_API_ENGINE_H_
 #define BUNDLEMINE_API_ENGINE_H_

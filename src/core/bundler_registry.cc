@@ -113,4 +113,28 @@ std::vector<std::string> BundlerRegistry::Keys() const {
   return keys;
 }
 
+BundleSolution SolveMethod(const std::string& key, BundleConfigProblem problem) {
+  SolveContext context;
+  return SolveMethod(key, std::move(problem), context);
+}
+
+BundleSolution SolveMethod(const std::string& key, BundleConfigProblem problem,
+                           SolveContext& context) {
+  const BundlerRegistry::Entry* entry = BundlerRegistry::Global().Find(key);
+  BM_CHECK_MSG(entry != nullptr, "unknown method key");
+  if (entry->adjust) entry->adjust(&problem);
+  BundleSolution solution = entry->factory()->Solve(problem, context);
+  if (!entry->method_override.empty()) solution.method = entry->method_override;
+  return solution;
+}
+
+std::string MethodDisplayName(const std::string& key) {
+  return BundlerRegistry::Global().DisplayName(key);
+}
+
+std::vector<std::string> StandardMethodKeys() {
+  return {"components",  "pure-matching", "pure-greedy", "pure-freq",
+          "mixed-matching", "mixed-greedy",  "mixed-freq"};
+}
+
 }  // namespace bundlemine

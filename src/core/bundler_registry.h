@@ -66,6 +66,39 @@ class BundlerRegistry {
   std::map<std::string, Entry> entries_;
 };
 
+/// Registry dispatch: runs the method on a copy of `problem` with the
+/// entry's adjustments (strategy, size caps) applied. This is the cell-level
+/// solve primitive used by Engine::Solve and the sweep runner's cell loop —
+/// front ends go through the Engine (api/engine.h), whose typed Status
+/// errors replace the BM_CHECK abort this raises on an unknown key.
+///
+/// Canonical method keys (see bundler_registry.cc for the authoritative
+/// list):
+///   "components"        – Components, optimal per-item pricing
+///   "components-list"   – Components at dataset list prices (Table 2)
+///   "pure-matching"     – Algorithm 1, pure bundling
+///   "mixed-matching"    – Algorithm 1, mixed bundling
+///   "pure-greedy"       – Algorithm 2, pure bundling
+///   "mixed-greedy"      – Algorithm 2, mixed bundling
+///   "pure-freq"         – Pure FreqItemset baseline
+///   "mixed-freq"        – Mixed FreqItemset baseline
+///   "two-sized"         – optimal 2-sized pure bundling (k = 2 matching)
+///   "optimal-wsp"       – exact set packing over full enumeration (small N)
+///   "greedy-wsp"        – greedy set packing, w/√|b| ratio (small N)
+///   "greedy-wsp-avg"    – greedy set packing, w/|b| ratio (small N)
+BundleSolution SolveMethod(const std::string& key, BundleConfigProblem problem);
+
+/// Same, with an explicit runtime context (thread pool, deadline, stats).
+BundleSolution SolveMethod(const std::string& key, BundleConfigProblem problem,
+                           SolveContext& context);
+
+/// Display name for a method key ("mixed-matching" → "Mixed Matching").
+/// Aborts on unknown keys.
+std::string MethodDisplayName(const std::string& key);
+
+/// The six bundling methods + Components compared throughout Section 6.2.
+std::vector<std::string> StandardMethodKeys();
+
 }  // namespace bundlemine
 
 #endif  // BUNDLEMINE_CORE_BUNDLER_REGISTRY_H_

@@ -1,7 +1,6 @@
 #include "scenario/scenario_spec.h"
 
 #include "core/bundler_registry.h"
-#include "core/runner.h"
 #include "util/check.h"
 #include "util/json.h"
 #include "util/strings.h"

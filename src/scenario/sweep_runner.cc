@@ -4,7 +4,7 @@
 #include <map>
 
 #include "core/metrics.h"
-#include "core/runner.h"
+#include "core/bundler_registry.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
 #include "util/check.h"
@@ -114,7 +114,7 @@ void RunCell(const ScenarioSpec& spec, const SweepData& data,
   SolveContext context(context_options);
 
   WallTimer timer;
-  BundleSolution solution = RunMethod(cell.method, problem, context);
+  BundleSolution solution = SolveMethod(cell.method, problem, context);
   result->wall_seconds = timer.Seconds();
 
   result->cell = cell;
@@ -241,15 +241,6 @@ SweepResult RunSweepCells(const ScenarioSpec& spec,
     cell.gain_over_components = RevenueGain(cell.revenue, it->second);
   }
 
-  result.wall_seconds = total_timer.Seconds();
-  return result;
-}
-
-SweepResult RunSweep(const ScenarioSpec& spec, const SweepRunnerOptions& options) {
-  WallTimer total_timer;
-  std::vector<SweepCell> cells = ExpandGrid(spec);
-  RatingsDataset dataset = GenerateAmazonLike(DatasetGeneratorConfig(spec.dataset));
-  SweepResult result = RunSweepCells(spec, cells, dataset, options);
   result.wall_seconds = total_timer.Seconds();
   return result;
 }

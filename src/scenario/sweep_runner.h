@@ -110,17 +110,6 @@ SweepResult RunSweepCells(const ScenarioSpec& spec,
                           const SweepRunnerOptions& options = {},
                           ThreadPool* pool = nullptr);
 
-/// Materializes the dataset, runs every cell, gathers in grid order, and
-/// fills gains from the per-axis-point "components" cells. Aborts (BM_CHECK)
-/// on an invalid spec.
-///
-/// DEPRECATED as a public entry point: front ends should go through
-/// Engine::Sweep (api/engine.h), which returns typed Status errors instead
-/// of aborting and adds dataset caching and shard filtering on top of the
-/// same execution path.
-SweepResult RunSweep(const ScenarioSpec& spec,
-                     const SweepRunnerOptions& options = {});
-
 }  // namespace bundlemine
 
 #endif  // BUNDLEMINE_SCENARIO_SWEEP_RUNNER_H_

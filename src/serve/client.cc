@@ -1,0 +1,44 @@
+#include "serve/client.h"
+
+#include <utility>
+
+namespace bundlemine {
+
+StatusOr<WireClient> WireClient::Connect(const std::string& host, int port) {
+  StatusOr<SocketStream> stream = ConnectTcp(host, port);
+  if (!stream.ok()) return stream.status();
+  return WireClient(std::move(*stream));
+}
+
+Status WireClient::SendLine(const std::string& line) {
+  if (!stream_.WriteLine(line)) {
+    return Status::Unavailable("connection closed while sending request");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> WireClient::ReadLine() {
+  std::string line;
+  if (!stream_.ReadLine(&line)) {
+    return Status::Unavailable("connection closed before a response arrived");
+  }
+  return line;
+}
+
+StatusOr<std::string> WireClient::Call(const std::string& line) {
+  if (Status sent = SendLine(line); !sent.ok()) return sent;
+  return ReadLine();
+}
+
+StatusOr<JsonValue> WireClient::CallJson(const std::string& line) {
+  StatusOr<std::string> response = Call(line);
+  if (!response.ok()) return response.status();
+  std::string diagnostic;
+  std::optional<JsonValue> parsed = JsonParse(*response, &diagnostic);
+  if (!parsed) {
+    return Status::Internal("unparsable response line: " + diagnostic);
+  }
+  return std::move(*parsed);
+}
+
+}  // namespace bundlemine

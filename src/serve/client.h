@@ -1,0 +1,46 @@
+// Lockstep wire client for bundlemined: connect, send one request line,
+// read one response line. Shared by the bundlemine_client CLI, the serving
+// example, and serve_test — so every consumer frames and parses the
+// protocol the same way.
+
+#ifndef BUNDLEMINE_SERVE_CLIENT_H_
+#define BUNDLEMINE_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "util/json.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace bundlemine {
+
+/// One TCP connection speaking the newline-delimited JSON protocol in
+/// lockstep (request, then response). Move-only; disconnects on
+/// destruction.
+class WireClient {
+ public:
+  /// UNAVAILABLE when the connection fails.
+  static StatusOr<WireClient> Connect(const std::string& host, int port);
+
+  /// Sends `line` (framing newline added) and reads the next response line.
+  /// UNAVAILABLE when the server hangs up first. The response may be a
+  /// protocol-level error document — CallJson surfaces that distinction.
+  StatusOr<std::string> Call(const std::string& line);
+
+  /// Call + parse. INTERNAL on an unparsable response (a server bug — the
+  /// wire format guarantees one JSON document per line).
+  StatusOr<JsonValue> CallJson(const std::string& line);
+
+  /// Raw line I/O, for pipelined use.
+  Status SendLine(const std::string& line);
+  StatusOr<std::string> ReadLine();
+
+ private:
+  explicit WireClient(SocketStream stream) : stream_(std::move(stream)) {}
+
+  SocketStream stream_;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_SERVE_CLIENT_H_

@@ -1,0 +1,55 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+
+namespace bundlemine {
+
+void ServeMetrics::RecordResult(WireKind kind, bool ok, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  KindCounters& counters = counters_[static_cast<int>(kind)];
+  if (ok) {
+    ++counters.ok;
+  } else {
+    ++counters.errors;
+  }
+  counters.total_seconds += seconds;
+  counters.max_seconds = std::max(counters.max_seconds, seconds);
+}
+
+void ServeMetrics::RecordRejected(WireKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_[static_cast<int>(kind)].rejected;
+}
+
+void ServeMetrics::RecordParseError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++parse_errors_;
+}
+
+std::int64_t ServeMetrics::TotalCompleted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (const KindCounters& counters : counters_) {
+    total += counters.ok + counters.errors;
+  }
+  return total;
+}
+
+JsonValue ServeMetrics::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue out = JsonValue::Object();
+  for (int k = 0; k < kNumKinds; ++k) {
+    const KindCounters& counters = counters_[k];
+    JsonValue entry = JsonValue::Object();
+    entry.Set("ok", JsonValue::Int(counters.ok));
+    entry.Set("errors", JsonValue::Int(counters.errors));
+    entry.Set("rejected", JsonValue::Int(counters.rejected));
+    entry.Set("total_seconds", JsonValue::Double(counters.total_seconds));
+    entry.Set("max_seconds", JsonValue::Double(counters.max_seconds));
+    out.Set(WireKindName(static_cast<WireKind>(k)), std::move(entry));
+  }
+  out.Set("parse_errors", JsonValue::Int(parse_errors_));
+  return out;
+}
+
+}  // namespace bundlemine

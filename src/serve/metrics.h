@@ -1,0 +1,58 @@
+// Per-kind serving counters: throughput, error/rejection counts, and
+// latency aggregates, surfaced through the "stats" request and the
+// bundlemined shutdown summary.
+//
+// Latency is measured admission-to-response (queue wait included — that is
+// what a client experiences), so the counters are wall-clock-dependent and
+// deliberately live OUTSIDE the deterministic solve/sweep response bodies.
+
+#ifndef BUNDLEMINE_SERVE_METRICS_H_
+#define BUNDLEMINE_SERVE_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "serve/protocol.h"
+#include "util/json.h"
+
+namespace bundlemine {
+
+/// Thread-safe serving counters. One instance per server.
+class ServeMetrics {
+ public:
+  /// Records a completed request of `kind`: `ok` distinguishes success from
+  /// a typed error response; `seconds` is admission-to-response latency.
+  void RecordResult(WireKind kind, bool ok, double seconds);
+
+  /// Records an admission rejection (queue full / draining) of `kind`.
+  void RecordRejected(WireKind kind);
+
+  /// Records a line that failed ParseWireRequest (no kind to attribute).
+  void RecordParseError();
+
+  /// Requests completed (ok + error) across all kinds.
+  std::int64_t TotalCompleted() const;
+
+  /// {"ping":{"ok":...,"errors":...,"rejected":...,"total_seconds":...,
+  ///  "max_seconds":...}, ..., "parse_errors":N} with kinds in wire order.
+  JsonValue ToJson() const;
+
+ private:
+  struct KindCounters {
+    std::int64_t ok = 0;
+    std::int64_t errors = 0;
+    std::int64_t rejected = 0;
+    double total_seconds = 0.0;
+    double max_seconds = 0.0;
+  };
+
+  static constexpr int kNumKinds = 5;
+
+  mutable std::mutex mu_;
+  KindCounters counters_[kNumKinds];
+  std::int64_t parse_errors_ = 0;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_SERVE_METRICS_H_

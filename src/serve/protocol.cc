@@ -1,0 +1,427 @@
+#include "serve/protocol.h"
+
+#include <utility>
+#include <vector>
+
+#include "scenario/artifact_writer.h"
+#include "util/strings.h"
+
+namespace bundlemine {
+namespace {
+
+// Field tables drive both validation (reject unknown keys — a typo'd field
+// silently falling back to a default would be a debugging tarpit) and the
+// "valid fields" half of the error message.
+constexpr const char* kCommonFields[] = {"kind", "id"};
+constexpr const char* kSolveFields[] = {"method", "dataset", "theta",
+                                        "k",      "levels",  "options"};
+constexpr const char* kDatasetFields[] = {
+    "profile",          "seed",           "lambda", "activity_sigma",
+    "background_mass",  "popularity_exponent",      "genres_per_user"};
+constexpr const char* kSweepFields[] = {"spec", "shard", "options"};
+constexpr const char* kOptionsFields[] = {"threads", "deadline_seconds",
+                                          "seed"};
+
+template <std::size_t N>
+std::string FieldList(const char* const (&fields)[N]) {
+  std::string out;
+  for (const char* field : fields) {
+    if (!out.empty()) out += ", ";
+    out += field;
+  }
+  return out;
+}
+
+template <std::size_t N>
+bool Listed(const std::string& key, const char* const (&fields)[N]) {
+  for (const char* field : fields) {
+    if (key == field) return true;
+  }
+  return false;
+}
+
+// Rejects members of `object` that are neither kind-specific (`fields`) nor
+// common. `what` names the enclosing object in diagnostics ("solve request").
+template <std::size_t N>
+Status CheckFields(const JsonValue& object, const char* what,
+                   const char* const (&fields)[N], bool allow_common) {
+  for (const auto& [key, unused] : object.members()) {
+    (void)unused;
+    if (Listed(key, fields)) continue;
+    if (allow_common && Listed(key, kCommonFields)) continue;
+    return Status::InvalidArgument(
+        StrFormat("unknown %s field '%s' (valid: %s)", what, key.c_str(),
+                  FieldList(fields).c_str()));
+  }
+  return Status::Ok();
+}
+
+Status TypeError(const char* what, const char* key, const char* want) {
+  return Status::InvalidArgument(
+      StrFormat("%s field '%s' must be %s", what, key, want));
+}
+
+// Typed field accessors: absent fields leave *out untouched (defaults),
+// mistyped fields produce an INVALID_ARGUMENT naming the field.
+Status ReadString(const JsonValue& object, const char* what, const char* key,
+                  std::string* out) {
+  const JsonValue* value = object.FindMember(key);
+  if (value == nullptr) return Status::Ok();
+  if (value->kind() != JsonValue::Kind::kString) {
+    return TypeError(what, key, "a string");
+  }
+  *out = value->AsString();
+  return Status::Ok();
+}
+
+Status ReadInt(const JsonValue& object, const char* what, const char* key,
+               std::int64_t* out) {
+  const JsonValue* value = object.FindMember(key);
+  if (value == nullptr) return Status::Ok();
+  if (value->kind() != JsonValue::Kind::kInt) {
+    return TypeError(what, key, "an integer");
+  }
+  *out = value->AsInt();
+  return Status::Ok();
+}
+
+Status ReadDouble(const JsonValue& object, const char* what, const char* key,
+                  double* out) {
+  const JsonValue* value = object.FindMember(key);
+  if (value == nullptr) return Status::Ok();
+  if (value->kind() != JsonValue::Kind::kInt &&
+      value->kind() != JsonValue::Kind::kDouble) {
+    return TypeError(what, key, "a number");
+  }
+  *out = value->AsDouble();
+  return Status::Ok();
+}
+
+Status ParseOptions(const JsonValue& request, const char* what,
+                    RequestOptions* options) {
+  const JsonValue* object = request.FindMember("options");
+  if (object == nullptr) return Status::Ok();
+  if (object->kind() != JsonValue::Kind::kObject) {
+    return TypeError(what, "options", "an object");
+  }
+  if (Status s = CheckFields(*object, "options", kOptionsFields, false);
+      !s.ok()) {
+    return s;
+  }
+  std::int64_t threads = options->threads;
+  if (Status s = ReadInt(*object, "options", "threads", &threads); !s.ok()) {
+    return s;
+  }
+  options->threads = static_cast<int>(threads);
+  if (Status s = ReadDouble(*object, "options", "deadline_seconds",
+                            &options->deadline_seconds);
+      !s.ok()) {
+    return s;
+  }
+  std::int64_t seed = static_cast<std::int64_t>(options->seed);
+  if (Status s = ReadInt(*object, "options", "seed", &seed); !s.ok()) return s;
+  options->seed = static_cast<std::uint64_t>(seed);
+  return Status::Ok();
+}
+
+Status ParseDataset(const JsonValue& request, DatasetSpec* dataset) {
+  const JsonValue* object = request.FindMember("dataset");
+  if (object == nullptr) {
+    return Status::InvalidArgument(
+        "solve request needs a 'dataset' object (wire solves reference a "
+        "generator profile; caller-owned problems are in-process only)");
+  }
+  if (object->kind() != JsonValue::Kind::kObject) {
+    return TypeError("solve request", "dataset", "an object");
+  }
+  if (Status s = CheckFields(*object, "dataset", kDatasetFields, false);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = ReadString(*object, "dataset", "profile", &dataset->profile);
+      !s.ok()) {
+    return s;
+  }
+  std::int64_t seed = static_cast<std::int64_t>(dataset->seed);
+  if (Status s = ReadInt(*object, "dataset", "seed", &seed); !s.ok()) return s;
+  dataset->seed = static_cast<std::uint64_t>(seed);
+  if (Status s = ReadDouble(*object, "dataset", "lambda", &dataset->lambda);
+      !s.ok()) {
+    return s;
+  }
+  // Generator overrides: the optional<> stays unset unless the field was
+  // sent, mirroring DatasetSpec semantics.
+  const auto read_override = [&](const char* key,
+                                 std::optional<double>* out) -> Status {
+    if (object->FindMember(key) == nullptr) return Status::Ok();
+    double value = 0.0;
+    if (Status s = ReadDouble(*object, "dataset", key, &value); !s.ok()) {
+      return s;
+    }
+    *out = value;
+    return Status::Ok();
+  };
+  if (Status s = read_override("activity_sigma", &dataset->activity_sigma);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = read_override("background_mass", &dataset->background_mass);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = read_override("popularity_exponent",
+                               &dataset->popularity_exponent);
+      !s.ok()) {
+    return s;
+  }
+  if (object->FindMember("genres_per_user") != nullptr) {
+    std::int64_t value = 0;
+    if (Status s = ReadInt(*object, "dataset", "genres_per_user", &value);
+        !s.ok()) {
+      return s;
+    }
+    dataset->genres_per_user = static_cast<int>(value);
+  }
+  return Status::Ok();
+}
+
+Status ParseSolve(const JsonValue& document, WireRequest* request) {
+  if (Status s = CheckFields(document, "solve request", kSolveFields, true);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = ReadString(document, "solve request", "method",
+                            &request->solve.method);
+      !s.ok()) {
+    return s;
+  }
+  if (request->solve.method.empty()) {
+    return Status::InvalidArgument(
+        "solve request needs a 'method' string (a BundlerRegistry key)");
+  }
+  DatasetSpec dataset;
+  if (Status s = ParseDataset(document, &dataset); !s.ok()) return s;
+  request->solve.dataset = std::move(dataset);
+  if (Status s = ReadDouble(document, "solve request", "theta",
+                            &request->solve.theta);
+      !s.ok()) {
+    return s;
+  }
+  std::int64_t k = request->solve.max_bundle_size;
+  if (Status s = ReadInt(document, "solve request", "k", &k); !s.ok()) return s;
+  request->solve.max_bundle_size = static_cast<int>(k);
+  std::int64_t levels = request->solve.price_levels;
+  if (Status s = ReadInt(document, "solve request", "levels", &levels);
+      !s.ok()) {
+    return s;
+  }
+  request->solve.price_levels = static_cast<int>(levels);
+  return ParseOptions(document, "solve request", &request->solve.options);
+}
+
+Status ParseSweep(const JsonValue& document, WireRequest* request) {
+  if (Status s = CheckFields(document, "sweep request", kSweepFields, true);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = ReadString(document, "sweep request", "spec",
+                            &request->sweep_spec);
+      !s.ok()) {
+    return s;
+  }
+  if (request->sweep_spec.empty()) {
+    return Status::InvalidArgument(
+        "sweep request needs a 'spec' string (a preset name, inline "
+        "'key=value;...' text, or @path)");
+  }
+  std::string shard;
+  if (Status s = ReadString(document, "sweep request", "shard", &shard);
+      !s.ok()) {
+    return s;
+  }
+  if (!shard.empty()) {
+    StatusOr<std::pair<int, int>> parsed = ParseShard(shard);
+    if (!parsed.ok()) return parsed.status();
+    request->shard_index = parsed->first;
+    request->shard_count = parsed->second;
+  }
+  return ParseOptions(document, "sweep request", &request->sweep_options);
+}
+
+void SetId(JsonValue* response, const std::optional<std::int64_t>& id) {
+  if (id.has_value()) response->Set("id", JsonValue::Int(*id));
+}
+
+}  // namespace
+
+const char* WireKindName(WireKind kind) {
+  switch (kind) {
+    case WireKind::kPing: return "ping";
+    case WireKind::kSolve: return "solve";
+    case WireKind::kSweep: return "sweep";
+    case WireKind::kStats: return "stats";
+    case WireKind::kShutdown: return "shutdown";
+  }
+  return "";
+}
+
+std::optional<WireKind> WireKindByName(const std::string& name) {
+  for (WireKind kind : {WireKind::kPing, WireKind::kSolve, WireKind::kSweep,
+                        WireKind::kStats, WireKind::kShutdown}) {
+    if (name == WireKindName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+StatusOr<WireRequest> ParseWireRequest(
+    const std::string& line, std::optional<std::int64_t>* error_id) {
+  if (line.size() > kMaxWireRequestBytes) {
+    return Status::InvalidArgument(
+        StrFormat("oversized request: %zu bytes (max %zu)", line.size(),
+                  kMaxWireRequestBytes));
+  }
+  std::string diagnostic;
+  std::optional<JsonValue> document = JsonParse(line, &diagnostic);
+  if (!document) {
+    return Status::InvalidArgument("malformed request JSON: " + diagnostic);
+  }
+  if (document->kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument(
+        "request must be a JSON object with a 'kind' field");
+  }
+
+  WireRequest request;
+  // Extract the id before any validation can fail, so the error response
+  // for a bad-but-identifiable request still echoes it.
+  if (const JsonValue* id = document->FindMember("id"); id != nullptr) {
+    if (id->kind() != JsonValue::Kind::kInt) {
+      return TypeError("request", "id", "an integer");
+    }
+    request.id = id->AsInt();
+    if (error_id != nullptr) *error_id = id->AsInt();
+  }
+
+  const JsonValue* kind = document->FindMember("kind");
+  if (kind == nullptr || kind->kind() != JsonValue::Kind::kString) {
+    return Status::InvalidArgument(
+        "request needs a 'kind' string (one of: ping, solve, sweep, stats, "
+        "shutdown)");
+  }
+  std::optional<WireKind> parsed_kind = WireKindByName(kind->AsString());
+  if (!parsed_kind) {
+    return Status::InvalidArgument(StrFormat(
+        "unknown request kind '%s' (one of: ping, solve, sweep, stats, "
+        "shutdown)",
+        kind->AsString().c_str()));
+  }
+  request.kind = *parsed_kind;
+
+  switch (request.kind) {
+    case WireKind::kSolve:
+      if (Status s = ParseSolve(*document, &request); !s.ok()) return s;
+      break;
+    case WireKind::kSweep:
+      if (Status s = ParseSweep(*document, &request); !s.ok()) return s;
+      break;
+    case WireKind::kPing:
+    case WireKind::kStats:
+    case WireKind::kShutdown: {
+      // Control requests carry no payload; reject stray fields.
+      if (Status s = CheckFields(*document, "control request", kCommonFields,
+                                 false);
+          !s.ok()) {
+        return s;
+      }
+      break;
+    }
+  }
+  return request;
+}
+
+JsonValue ErrorResponseJson(const std::optional<std::int64_t>& id,
+                            const Status& status) {
+  JsonValue out = JsonValue::Object();
+  SetId(&out, id);
+  out.Set("ok", JsonValue::Bool(false));
+  JsonValue error = JsonValue::Object();
+  error.Set("code", JsonValue::Str(StatusCodeName(status.code())));
+  error.Set("message", JsonValue::Str(status.message()));
+  out.Set("error", std::move(error));
+  return out;
+}
+
+JsonValue PingResponseJson(const std::optional<std::int64_t>& id) {
+  JsonValue out = JsonValue::Object();
+  SetId(&out, id);
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("kind", JsonValue::Str("ping"));
+  out.Set("message", JsonValue::Str("pong"));
+  return out;
+}
+
+JsonValue SolveResponseJson(const std::optional<std::int64_t>& id,
+                            const SolveResponse& response) {
+  JsonValue out = JsonValue::Object();
+  SetId(&out, id);
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("kind", JsonValue::Str("solve"));
+  out.Set("method", JsonValue::Str(response.solution.method));
+  out.Set("revenue", JsonValue::Double(response.solution.total_revenue));
+  out.Set("num_offers",
+          JsonValue::Int(static_cast<std::int64_t>(response.solution.offers.size())));
+  JsonValue offers = JsonValue::Array();
+  for (const PricedBundle& offer : response.solution.offers) {
+    JsonValue o = JsonValue::Object();
+    JsonValue items = JsonValue::Array();
+    for (ItemId item : offer.items.items()) items.Add(JsonValue::Int(item));
+    o.Set("items", std::move(items));
+    o.Set("price", JsonValue::Double(offer.price));
+    o.Set("revenue", JsonValue::Double(offer.revenue));
+    o.Set("expected_buyers", JsonValue::Double(offer.expected_buyers));
+    o.Set("component", JsonValue::Bool(offer.is_component_offer));
+    offers.Add(std::move(o));
+  }
+  out.Set("offers", std::move(offers));
+  JsonValue stats = JsonValue::Object();
+  stats.Set("pairs_evaluated", JsonValue::Int(response.stats.pairs_evaluated));
+  stats.Set("merges", JsonValue::Int(response.stats.merges));
+  stats.Set("rounds", JsonValue::Int(response.stats.rounds));
+  stats.Set("deadline_hit", JsonValue::Bool(response.stats.deadline_hit));
+  out.Set("stats", std::move(stats));
+  return out;
+}
+
+JsonValue SweepResponseJson(const std::optional<std::int64_t>& id,
+                            const SweepResponse& response) {
+  JsonValue out = JsonValue::Object();
+  SetId(&out, id);
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("kind", JsonValue::Str("sweep"));
+  out.Set("grid_cells", JsonValue::Int(response.grid_cells));
+  out.Set("cells",
+          JsonValue::Int(static_cast<std::int64_t>(response.result.cells.size())));
+  out.Set("artifact", SweepArtifact(response.result));
+  return out;
+}
+
+JsonValue StatsResponseJson(const std::optional<std::int64_t>& id,
+                            JsonValue stats) {
+  JsonValue out = JsonValue::Object();
+  SetId(&out, id);
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("kind", JsonValue::Str("stats"));
+  out.Set("stats", std::move(stats));
+  return out;
+}
+
+JsonValue ShutdownResponseJson(const std::optional<std::int64_t>& id,
+                               std::int64_t drained) {
+  JsonValue out = JsonValue::Object();
+  SetId(&out, id);
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("kind", JsonValue::Str("shutdown"));
+  out.Set("drained", JsonValue::Int(drained));
+  return out;
+}
+
+}  // namespace bundlemine

@@ -1,0 +1,108 @@
+// Wire protocol of the bundlemined server: newline-delimited JSON requests
+// and responses over a byte stream (TCP connection or stdin/stdout pipe).
+//
+// One request object per line, dispatched on "kind":
+//
+//   {"kind":"ping","id":1}
+//   {"kind":"solve","id":2,"method":"mixed-greedy",
+//    "dataset":{"profile":"tiny","seed":7,"lambda":1.0},
+//    "theta":0.05,"k":0,"levels":100,
+//    "options":{"threads":0,"deadline_seconds":0.5,"seed":66}}
+//   {"kind":"sweep","id":3,"spec":"fig2-theta","shard":"0/2",
+//    "options":{"threads":4}}
+//   {"kind":"stats","id":4}
+//   {"kind":"shutdown","id":5}
+//
+// Every response is one line echoing the request id (when one was sent):
+// successes carry {"ok":true,"kind":...} plus the payload, failures carry
+// {"ok":false,"error":{"code","message"}} built from the Engine's typed
+// Status — a malformed or unserviceable request NEVER drops the connection.
+// Parsing is strict: an unknown "kind", an unknown field, a wrong field
+// type, a missing required field, and an oversized line each name the
+// offending token in an INVALID_ARGUMENT response.
+//
+// Solve and sweep response bodies are deterministic (they exclude wall
+// times, which live in the per-kind serving counters instead), so a served
+// response is byte-identical to serializing a direct Engine call — the
+// property serve_test and the CI serve-smoke step assert. Sweep payloads
+// embed the scenario artifact document (scenario/artifact_writer.h)
+// verbatim, so a client can re-render `artifact` with Dump(2) and obtain
+// the exact bytes `configurator_cli --json` would have written.
+
+#ifndef BUNDLEMINE_SERVE_PROTOCOL_H_
+#define BUNDLEMINE_SERVE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "api/engine.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace bundlemine {
+
+/// Request kinds, in the stable order metrics are reported in.
+enum class WireKind { kPing, kSolve, kSweep, kStats, kShutdown };
+
+/// Canonical kind name ("ping", "solve", "sweep", "stats", "shutdown").
+const char* WireKindName(WireKind kind);
+std::optional<WireKind> WireKindByName(const std::string& name);
+
+/// Requests larger than this are rejected before JSON parsing — a typed
+/// "oversized request" error, not an allocation storm.
+inline constexpr std::size_t kMaxWireRequestBytes = 1u << 20;
+
+/// One parsed request line. Exactly the fields of the active kind are
+/// meaningful (a solve populates `solve`, a sweep populates the sweep
+/// fields); `id` is echoed into the response when the client sent one.
+struct WireRequest {
+  WireKind kind = WireKind::kPing;
+  std::optional<std::int64_t> id;
+
+  /// Solve payload. Wire solves always reference a dataset (the problem is
+  /// materialized server-side through the Engine's cache); caller-owned
+  /// problems are an in-process-only feature.
+  SolveRequest solve;
+
+  /// Sweep payload: the spec argument in the same syntax configurator_cli
+  /// accepts (preset name, inline "key=value;..." text, or @path), resolved
+  /// server-side, plus an optional shard selector.
+  std::string sweep_spec;
+  int shard_index = 0;
+  int shard_count = 1;
+  RequestOptions sweep_options;
+};
+
+/// Parses one request line. INVALID_ARGUMENT on malformed JSON, a non-object
+/// document, unknown/mistyped/missing fields, a bad shard selector, or an
+/// oversized line — the message names the problem and the valid
+/// alternatives. `error_id` (optional) receives the request's "id" whenever
+/// one was parseable, so even a *rejected* request's error response can echo
+/// it and pipelining clients stay in sync.
+StatusOr<WireRequest> ParseWireRequest(
+    const std::string& line, std::optional<std::int64_t>* error_id = nullptr);
+
+// ---- Response builders. Each returns a complete one-line document (render
+// ---- with Dump(0)); `id` is included iff the request carried one.
+
+JsonValue ErrorResponseJson(const std::optional<std::int64_t>& id,
+                            const Status& status);
+JsonValue PingResponseJson(const std::optional<std::int64_t>& id);
+/// Deterministic solve payload: method, revenue, offer list, solve stats —
+/// no wall times.
+JsonValue SolveResponseJson(const std::optional<std::int64_t>& id,
+                            const SolveResponse& response);
+/// Sweep payload embedding the deterministic sweep artifact document.
+JsonValue SweepResponseJson(const std::optional<std::int64_t>& id,
+                            const SweepResponse& response);
+/// Wraps a stats/summary document (server-built) as a stats response.
+JsonValue StatsResponseJson(const std::optional<std::int64_t>& id,
+                            JsonValue stats);
+JsonValue ShutdownResponseJson(const std::optional<std::int64_t>& id,
+                               std::int64_t drained);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_SERVE_PROTOCOL_H_

@@ -1,0 +1,401 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace bundlemine {
+
+/// A TCP connection: the read loop's stream plus a serialized writer shared
+/// with the queue workers. Write failures are swallowed — a peer that hung
+/// up forfeits its responses, nothing else.
+class SocketSink : public ResponseSink {
+ public:
+  /// A worker's response write may block at most this long on a peer that
+  /// stopped reading; after that the connection is declared dead and cut,
+  /// so one misbehaving client costs the worker pool one bounded stall —
+  /// never a wedge that outlives it.
+  static constexpr double kWriteTimeoutSeconds = 10.0;
+
+  explicit SocketSink(SocketStream stream) : stream_(std::move(stream)) {
+    // Transport-level cap: a newline-less flood is truncated and discarded
+    // as it streams in, and the delivered over-limit prefix draws the typed
+    // "oversized request" rejection from ParseWireRequest.
+    stream_.set_max_line_bytes(kMaxWireRequestBytes);
+    stream_.set_send_timeout(kWriteTimeoutSeconds);
+  }
+
+  void WriteLine(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    if (dead_) return;
+    if (!stream_.WriteLine(line)) {
+      // Peer gone or write timed out: cut the connection so its read loop
+      // exits and every later response for it drops instantly.
+      dead_ = true;
+      stream_.Shutdown();
+    }
+  }
+
+  /// The connection thread's read side (single reader; concurrent with
+  /// writers by POSIX socket semantics).
+  bool ReadLine(std::string* line) { return stream_.ReadLine(line); }
+
+  /// Unblocks the read loop from another thread.
+  void Shutdown() { stream_.Shutdown(); }
+
+  /// Releases the fd once the read loop is done. Serialized against
+  /// writers; responses still in flight then drop instead of touching a
+  /// recycled descriptor.
+  void CloseStream() {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    dead_ = true;
+    stream_.Close();
+  }
+
+ private:
+  SocketStream stream_;
+  std::mutex write_mu_;
+  bool dead_ = false;  // Guarded by write_mu_.
+};
+
+namespace {
+
+/// Pipe-mode sink: response lines interleave onto one ostream, each line
+/// written atomically under the lock and flushed (the consumer is typically
+/// a pipe reader waiting for exactly this line).
+class StreamSink : public ResponseSink {
+ public:
+  explicit StreamSink(std::ostream& out) : out_(out) {}
+
+  void WriteLine(const std::string& line) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    out_ << line << '\n';
+    out_.flush();
+  }
+
+ private:
+  std::ostream& out_;
+  std::mutex mu_;
+};
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Bounded line read for pipe mode, mirroring SocketStream::ReadLine's cap:
+// a line longer than `cap` is truncated to cap + 1 bytes (enough to draw
+// the typed "oversized request" rejection) and its tail discarded, so a
+// newline-less flood on stdin never accumulates in memory.
+bool ReadBoundedLine(std::istream& in, std::string* line, std::size_t cap) {
+  line->clear();
+  bool overflowed = false;
+  for (int ch = in.get(); ch != std::istream::traits_type::eof();
+       ch = in.get()) {
+    if (ch == '\n') return true;
+    if (overflowed) continue;
+    line->push_back(static_cast<char>(ch));
+    if (line->size() > cap) overflowed = true;
+  }
+  return !line->empty();  // Deliver a final unterminated line before EOF.
+}
+
+}  // namespace
+
+BundleServer::BundleServer(const ServeOptions& options)
+    : options_(options),
+      engine_(options.engine),
+      queue_(options.queue_depth) {
+  const int workers = std::max(1, options_.workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BundleServer::~BundleServer() {
+  RequestShutdown();
+  JoinThreads();
+}
+
+Status BundleServer::ListenTcp(int port) {
+  StatusOr<ServerSocket> listener = ServerSocket::Listen(port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void BundleServer::AcceptLoop() {
+  while (true) {
+    SocketStream stream = listener_.Accept();
+    if (!stream.valid()) break;  // Listener shut down: server is stopping.
+    auto connection = std::make_shared<SocketSink>(std::move(stream));
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    // A connection that raced past the listener shutdown is cut immediately
+    // — its thread still starts, sees EOF, and exits.
+    if (connections_closed_) connection->Shutdown();
+    connections_.push_back(connection);
+    ++active_connections_;
+    // Detached: a connection reaps itself when its peer hangs up (erasing
+    // its registry entry and closing its fd), so a long-lived daemon's
+    // footprint tracks *live* connections, not lifetime connections.
+    // JoinThreads waits on the latch before the server is torn down.
+    std::thread([this, connection] { ConnectionLoop(connection); }).detach();
+  }
+}
+
+void BundleServer::ConnectionLoop(std::shared_ptr<SocketSink> connection) {
+  std::string line;
+  while (connection->ReadLine(&line)) {
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    HandleLine(line, connection);
+  }
+  connection->CloseStream();
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  connections_.erase(
+      std::find(connections_.begin(), connections_.end(), connection));
+  if (--active_connections_ == 0) connections_done_cv_.notify_all();
+}
+
+void BundleServer::ServeStream(std::istream& in, std::ostream& out) {
+  auto sink = std::make_shared<StreamSink>(out);
+  std::string line;
+  while (!stopped() && ReadBoundedLine(in, &line, kMaxWireRequestBytes)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    HandleLine(line, sink);
+  }
+  // EOF is pipe-mode shutdown-without-a-response: drain what was admitted.
+  RequestShutdown();
+}
+
+void BundleServer::HandleLine(const std::string& line,
+                              const std::shared_ptr<ResponseSink>& sink) {
+  std::optional<std::int64_t> error_id;
+  StatusOr<WireRequest> parsed = ParseWireRequest(line, &error_id);
+  if (!parsed.ok()) {
+    // A bad line never drops the connection: answer with the diagnostic —
+    // echoing the id when one was parseable — and keep reading.
+    metrics_.RecordParseError();
+    sink->WriteLine(ErrorResponseJson(error_id, parsed.status()).Dump(0));
+    return;
+  }
+  WireRequest request = std::move(*parsed);
+  switch (request.kind) {
+    case WireKind::kPing: {
+      WallTimer timer;
+      sink->WriteLine(PingResponseJson(request.id).Dump(0));
+      metrics_.RecordResult(WireKind::kPing, true, timer.Seconds());
+      return;
+    }
+    case WireKind::kStats: {
+      WallTimer timer;
+      sink->WriteLine(StatsResponseJson(request.id, StatsJson()).Dump(0));
+      metrics_.RecordResult(WireKind::kStats, true, timer.Seconds());
+      return;
+    }
+    case WireKind::kShutdown:
+      DrainAndStop(request.id, sink);
+      return;
+    case WireKind::kSolve:
+    case WireKind::kSweep:
+      Admit(std::move(request), sink);
+      return;
+  }
+}
+
+void BundleServer::Admit(WireRequest request,
+                         const std::shared_ptr<ResponseSink>& sink) {
+  const WireKind kind = request.kind;
+  const std::optional<std::int64_t> id = request.id;
+  bool draining = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    draining = draining_;
+    // Counted before the push so a concurrent shutdown drains this request;
+    // rolled back if admission fails.
+    if (!draining) ++outstanding_;
+  }
+  if (draining) {
+    // Respond outside the lock: a peer that stopped reading must not be
+    // able to stall the drain by blocking this write.
+    metrics_.RecordRejected(kind);
+    sink->WriteLine(
+        ErrorResponseJson(id, Status::Unavailable("rejected: server draining"))
+            .Dump(0));
+    return;
+  }
+  QueuedWork work;
+  work.request = std::move(request);
+  work.sink = sink;
+  work.admitted = std::chrono::steady_clock::now();
+  if (queue_.TryPush(std::move(work))) return;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (--outstanding_ == 0) drain_cv_.notify_all();
+  }
+  metrics_.RecordRejected(kind);
+  sink->WriteLine(
+      ErrorResponseJson(id, Status::Unavailable(StrFormat(
+                                "rejected: queue full (depth %zu)",
+                                queue_.capacity())))
+          .Dump(0));
+}
+
+void BundleServer::WorkerLoop() {
+  while (std::optional<QueuedWork> work = queue_.Pop()) {
+    ProcessQueued(std::move(*work));
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (--outstanding_ == 0) drain_cv_.notify_all();
+  }
+}
+
+void BundleServer::ProcessQueued(QueuedWork work) {
+  const WireKind kind = work.request.kind;
+  const std::optional<std::int64_t> id = work.request.id;
+
+  // Deadline propagation: the budget is end-to-end, so queue wait comes out
+  // of the Engine's share — and a request that already overstayed its budget
+  // is answered without burning a solver on it.
+  RequestOptions& options = kind == WireKind::kSolve
+                                ? work.request.solve.options
+                                : work.request.sweep_options;
+  const double waited = SecondsSince(work.admitted);
+  if (options.deadline_seconds > 0.0) {
+    if (waited >= options.deadline_seconds) {
+      // Record before writing: a lockstep client may issue a stats request
+      // the instant it reads this response line.
+      metrics_.RecordResult(kind, false, SecondsSince(work.admitted));
+      work.sink->WriteLine(
+          ErrorResponseJson(
+              id, Status::DeadlineExceeded(StrFormat(
+                      "deadline of %.3fs expired after %.3fs in the "
+                      "admission queue",
+                      options.deadline_seconds, waited)))
+              .Dump(0));
+      return;
+    }
+    options.deadline_seconds -= waited;
+  }
+
+  JsonValue response;
+  bool ok = false;
+  if (kind == WireKind::kSolve) {
+    StatusOr<SolveResponse> solved = engine_.Solve(work.request.solve);
+    ok = solved.ok();
+    response = ok ? SolveResponseJson(id, *solved)
+                  : ErrorResponseJson(id, solved.status());
+  } else {
+    StatusOr<ScenarioSpec> spec = ResolveScenarioSpec(work.request.sweep_spec);
+    if (!spec.ok()) {
+      response = ErrorResponseJson(id, spec.status());
+    } else {
+      SweepRequest sweep;
+      sweep.spec = std::move(*spec);
+      sweep.options = options;
+      sweep.shard_index = work.request.shard_index;
+      sweep.shard_count = work.request.shard_count;
+      StatusOr<SweepResponse> swept = engine_.Sweep(sweep);
+      ok = swept.ok();
+      response = ok ? SweepResponseJson(id, *swept)
+                    : ErrorResponseJson(id, swept.status());
+    }
+  }
+  // Record before writing (see the deadline path above for why).
+  metrics_.RecordResult(kind, ok, SecondsSince(work.admitted));
+  work.sink->WriteLine(response.Dump(0));
+}
+
+void BundleServer::DrainAndStop(const std::optional<std::int64_t>& id,
+                                const std::shared_ptr<ResponseSink>& sink) {
+  WallTimer timer;
+  listener_.Shutdown();  // No new connections (no-op in pipe mode).
+  std::int64_t drained = 0;
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    draining_ = true;  // New solve/sweep admissions now answer "draining".
+    drained = outstanding_;
+    drain_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  }
+  queue_.Close();  // Queue is empty; workers exit their Pop loops.
+  if (sink != nullptr) {
+    sink->WriteLine(ShutdownResponseJson(id, drained).Dump(0));
+    metrics_.RecordResult(WireKind::kShutdown, true, timer.Seconds());
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections_closed_ = true;
+    for (const std::shared_ptr<SocketSink>& connection : connections_) {
+      connection->Shutdown();  // Unblock every connection read loop.
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void BundleServer::RequestShutdown() { DrainAndStop(std::nullopt, nullptr); }
+
+bool BundleServer::stopped() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return stopped_;
+}
+
+void BundleServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(state_mu_);
+    stopped_cv_.wait(lock, [this] { return stopped_; });
+  }
+  JoinThreads();
+}
+
+void BundleServer::JoinThreads() {
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (joined_) return;
+  joined_ = true;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // The accept thread has exited, so no new connections spawn; wait for the
+  // detached connection threads (their sockets are already shut down) to
+  // finish touching server state.
+  std::unique_lock<std::mutex> lock(connections_mu_);
+  connections_done_cv_.wait(lock, [this] { return active_connections_ == 0; });
+}
+
+JsonValue BundleServer::StatsJson() {
+  JsonValue out = JsonValue::Object();
+  out.Set("schema", JsonValue::Str("bundlemine.serve-stats"));
+  out.Set("schema_version", JsonValue::Int(1));
+  JsonValue server = JsonValue::Object();
+  server.Set("queue_capacity",
+             JsonValue::Int(static_cast<std::int64_t>(queue_.capacity())));
+  server.Set("queue_depth",
+             JsonValue::Int(static_cast<std::int64_t>(queue_.size())));
+  server.Set("workers",
+             JsonValue::Int(static_cast<std::int64_t>(workers_.size())));
+  server.Set("engine_threads", JsonValue::Int(engine_.options().threads));
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    server.Set("in_flight", JsonValue::Int(outstanding_));
+    server.Set("draining", JsonValue::Bool(draining_));
+  }
+  out.Set("server", std::move(server));
+  out.Set("requests", metrics_.ToJson());
+  const Engine::CacheStats cache = engine_.dataset_cache_stats();
+  JsonValue cache_json = JsonValue::Object();
+  cache_json.Set("hits", JsonValue::Int(cache.hits));
+  cache_json.Set("misses", JsonValue::Int(cache.misses));
+  cache_json.Set("entries",
+                 JsonValue::Int(static_cast<std::int64_t>(cache.entries)));
+  out.Set("dataset_cache", std::move(cache_json));
+  out.Set("uptime_seconds", JsonValue::Double(uptime_timer_.Seconds()));
+  return out;
+}
+
+}  // namespace bundlemine

@@ -1,0 +1,171 @@
+// bundlemined's long-lived serving loop: request admission in front of the
+// Engine, over TCP connections and over stdin/stdout pipes.
+//
+// Architecture (one BundleServer per process):
+//
+//   connections ──lines──▶ HandleLine ──┬─ ping/stats: answered inline
+//                                       ├─ shutdown:  drain, answer, stop
+//                                       └─ solve/sweep: bounded FIFO
+//                                            admission queue ──▶ workers
+//                                                                 │
+//                                              Engine::Solve/Sweep ┘
+//
+// Admission control is the load-shedding edge: the queue has a fixed depth,
+// and a request that does not fit is answered *immediately* with a typed
+// UNAVAILABLE "rejected: queue full" response instead of waiting — clients
+// learn about overload in one round trip and can back off or re-route to
+// another replica. Per-request deadlines propagate through the queue: time
+// spent waiting is subtracted from the budget handed to the Engine, and a
+// request whose budget expired before a worker picked it up is answered
+// DEADLINE_EXCEEDED without touching a solver.
+//
+// Shutdown is graceful by contract: after a {"kind":"shutdown"} request the
+// server stops admitting (new solve/sweep requests get a typed "server
+// draining" rejection), drains every admitted request, answers the shutdown
+// request with the drained count, and only then closes connections and
+// stops. The per-kind latency/throughput counters (serve/metrics.h) are
+// served by {"kind":"stats"} and as the final shutdown summary.
+//
+// Responses to one connection are written atomically per line but may be
+// reordered relative to *pipelined* requests (control requests answer
+// inline, queued requests answer when a worker finishes) — clients that
+// pipeline match responses by "id"; lockstep clients (WireClient::Call) are
+// unaffected.
+
+#ifndef BUNDLEMINE_SERVE_SERVER_H_
+#define BUNDLEMINE_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+#include "util/bounded_queue.h"
+#include "util/socket.h"
+#include "util/timer.h"
+
+namespace bundlemine {
+
+/// Where a request's response line goes. Implementations serialize
+/// concurrent writers (queue workers and the connection thread) internally.
+class ResponseSink {
+ public:
+  virtual ~ResponseSink() = default;
+  virtual void WriteLine(const std::string& line) = 0;
+};
+
+struct ServeOptions {
+  /// Admission-queue depth for solve/sweep requests. 0 turns the server
+  /// into a pure rejector (every queued-kind request answers "queue full")
+  /// — useful for drain tests and as a circuit breaker.
+  std::size_t queue_depth = 64;
+  /// Worker threads draining the queue onto the Engine (min 1).
+  int workers = 2;
+  /// The owned Engine's options (solver threads, dataset cache capacity).
+  Engine::Options engine;
+};
+
+/// The serving loop. Construct, then either ListenTcp + Wait (daemon mode)
+/// or ServeStream (pipe mode); both can run against the same instance, and
+/// every mode shares the Engine, admission queue, and counters.
+class BundleServer {
+ public:
+  explicit BundleServer(const ServeOptions& options);
+  ~BundleServer();
+
+  BundleServer(const BundleServer&) = delete;
+  BundleServer& operator=(const BundleServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; read port() back) and starts
+  /// accepting connections. UNAVAILABLE when the bind fails.
+  Status ListenTcp(int port);
+
+  /// The bound TCP port; valid after a successful ListenTcp.
+  int port() const { return listener_.port(); }
+
+  /// Blocks until a shutdown request (or RequestShutdown) has drained the
+  /// queue, then joins every server thread. Call once, from the owning
+  /// thread.
+  void Wait();
+
+  /// Pipe mode: reads one request per line from `in`, writes response lines
+  /// to `out`, returns after a shutdown request or EOF — either way the
+  /// admitted requests are drained first. Runs on the calling thread.
+  void ServeStream(std::istream& in, std::ostream& out);
+
+  /// Programmatic shutdown: drain admitted requests and stop, as if a
+  /// shutdown request arrived (but with no response line). Idempotent.
+  void RequestShutdown();
+
+  /// The stats document ("bundlemine.serve-stats" v1): queue state, per-kind
+  /// counters, dataset-cache stats, uptime. Serves the "stats" request and
+  /// the shutdown summary bundlemined writes via --stats-out.
+  JsonValue StatsJson();
+
+  Engine& engine() { return engine_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct QueuedWork {
+    WireRequest request;
+    std::shared_ptr<ResponseSink> sink;
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  /// Parses and dispatches one request line from `sink`'s peer.
+  void HandleLine(const std::string& line,
+                  const std::shared_ptr<ResponseSink>& sink);
+  void Admit(WireRequest request, const std::shared_ptr<ResponseSink>& sink);
+  void WorkerLoop();
+  void ProcessQueued(QueuedWork work);
+  /// Drains admitted requests and stops the server; when `sink` is non-null
+  /// the shutdown response (with the drained count) is written after the
+  /// drain completes.
+  void DrainAndStop(const std::optional<std::int64_t>& id,
+                    const std::shared_ptr<ResponseSink>& sink);
+  void AcceptLoop();
+  void ConnectionLoop(std::shared_ptr<class SocketSink> connection);
+  void JoinThreads();
+  bool stopped() const;
+
+  ServeOptions options_;
+  Engine engine_;
+  ServeMetrics metrics_;
+  BoundedQueue<QueuedWork> queue_;
+  WallTimer uptime_timer_;
+
+  std::vector<std::thread> workers_;
+  ServerSocket listener_;
+  std::thread accept_thread_;
+
+  std::mutex connections_mu_;
+  /// Live connections only: a connection thread erases its own entry (and
+  /// closes its fd) when the peer hangs up. All guarded by connections_mu_.
+  std::vector<std::shared_ptr<class SocketSink>> connections_;
+  std::int64_t active_connections_ = 0;       ///< Latch for JoinThreads.
+  std::condition_variable connections_done_cv_;
+  bool connections_closed_ = false;
+
+  mutable std::mutex state_mu_;
+  std::condition_variable drain_cv_;    ///< outstanding_ reached 0.
+  std::condition_variable stopped_cv_;  ///< stopped_ became true.
+  std::int64_t outstanding_ = 0;  ///< Admitted solve/sweep awaiting response.
+  bool draining_ = false;         ///< Admissions closed; drain in progress.
+  bool stopped_ = false;          ///< Drain finished; server is down.
+
+  std::mutex join_mu_;
+  bool joined_ = false;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_SERVE_SERVER_H_

@@ -1,0 +1,84 @@
+// Bounded multi-producer multi-consumer FIFO for request admission.
+//
+// The serving layer puts this queue in front of the Engine: producers
+// (connection threads) TryPush and are told *immediately* when the queue is
+// full — admission control answers overload with a typed rejection instead
+// of building an unbounded backlog — while consumers (worker threads) block
+// in Pop until work arrives or the queue is closed. Close() is the shutdown
+// edge: pushes start failing at once, poppers drain what was already
+// admitted and then see std::nullopt.
+
+#ifndef BUNDLEMINE_UTIL_BOUNDED_QUEUE_H_
+#define BUNDLEMINE_UTIL_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace bundlemine {
+
+/// Fixed-capacity FIFO with non-blocking admission and blocking consumption.
+/// All members are thread-safe.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// A queue of capacity 0 rejects every push — the degenerate configuration
+  /// serving uses to turn a worker-less server into a pure rejector.
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admits `value` unless the queue is full or closed. Never blocks.
+  bool TryPush(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    ready_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (FIFO order) or the queue is closed
+  /// and drained, which yields std::nullopt.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Fails all future pushes and wakes blocked poppers; already-admitted
+  /// items still drain. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_UTIL_BOUNDED_QUEUE_H_

@@ -1,0 +1,236 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/strings.h"
+
+namespace bundlemine {
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::Unavailable(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+SocketStream::SocketStream(SocketStream&& other) noexcept
+    : fd_(other.fd_),
+      max_line_bytes_(other.max_line_bytes_),
+      buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+SocketStream& SocketStream::operator=(SocketStream&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    max_line_bytes_ = other.max_line_bytes_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool SocketStream::ReadLine(std::string* line) {
+  line->clear();
+  // Truncated prefix of a line that blew past max_line_bytes_; the rest of
+  // that line is discarded as it streams in, so a newline-less flood costs
+  // O(cap) memory, not O(flood).
+  std::string oversized;
+  bool overflowed = false;
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      if (overflowed) {
+        buffer_.erase(0, newline + 1);
+        line->swap(oversized);
+        return true;
+      }
+      line->assign(buffer_, 0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return true;
+    }
+    if (max_line_bytes_ > 0 && buffer_.size() > max_line_bytes_) {
+      if (!overflowed) {
+        overflowed = true;
+        oversized = buffer_.substr(0, max_line_bytes_ + 1);
+      }
+      buffer_.clear();
+    }
+    if (fd_ < 0) break;
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // Orderly EOF, error, or Shutdown(): flush any partial line.
+  }
+  if (overflowed) {
+    buffer_.clear();  // Residue of the discarded tail, not a new line.
+    line->swap(oversized);
+    return true;
+  }
+  if (buffer_.empty()) return false;
+  line->swap(buffer_);
+  buffer_.clear();
+  return true;
+}
+
+void SocketStream::set_send_timeout(double seconds) {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool SocketStream::WriteAll(std::string_view data) {
+  while (!data.empty()) {
+    if (fd_ < 0) return false;
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // Peer gone, or SO_SNDTIMEO expired (EAGAIN).
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool SocketStream::WriteLine(std::string_view line) {
+  std::string framed(line);
+  framed += '\n';
+  return WriteAll(framed);
+}
+
+void SocketStream::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void SocketStream::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ServerSocket::ServerSocket(ServerSocket&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+ServerSocket& ServerSocket::operator=(ServerSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+StatusOr<ServerSocket> ServerSocket::Listen(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  ServerSocket server;
+  server.fd_ = fd;
+
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return ErrnoStatus("bind");
+  }
+  if (::listen(fd, SOMAXCONN) != 0) return ErrnoStatus("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  server.port_ = ntohs(addr.sin_port);
+  return server;
+}
+
+SocketStream ServerSocket::Accept() {
+  while (fd_ >= 0) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) {
+      const int nodelay = 1;
+      ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+      return SocketStream(conn);
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    if (errno == EMFILE || errno == ENFILE) {
+      // Out of descriptors is transient (connections close, fds return);
+      // pausing instead of breaking keeps the listener alive through a
+      // burst instead of silently never accepting again.
+      ::usleep(20000);
+      continue;
+    }
+    break;  // Shutdown()/Close() (EINVAL/EBADF) or a hard error: stop.
+  }
+  return SocketStream();
+}
+
+void ServerSocket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void ServerSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<SocketStream> ConnectTcp(const std::string& host, int port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string service = StrFormat("%d", port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &results);
+  if (rc != 0) {
+    return Status::Unavailable(StrFormat("cannot resolve '%s': %s",
+                                         host.c_str(), ::gai_strerror(rc)));
+  }
+  Status last = Status::Unavailable("no addresses for '" + host + "'");
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = ErrnoStatus("socket");
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(results);
+      const int nodelay = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+      return SocketStream(fd);
+    }
+    last = ErrnoStatus("connect");
+    ::close(fd);
+  }
+  ::freeaddrinfo(results);
+  return last;
+}
+
+}  // namespace bundlemine

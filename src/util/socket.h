@@ -1,0 +1,114 @@
+// Minimal POSIX TCP wrapper for the serving layer: a listening socket, a
+// connected stream with buffered line reads, and a client-side connect.
+//
+// The wire protocol is newline-delimited, so the stream surface is exactly
+// ReadLine/WriteAll. Errors on the *setup* path (bind, connect) come back as
+// typed Status values naming errno; errors on an established stream are
+// reported as end-of-stream (the peer vanished — there is nobody left to
+// send a diagnostic to). Writes use MSG_NOSIGNAL so a dropped connection
+// never raises SIGPIPE. Shutdown() aborts a blocked ReadLine/Accept from
+// another thread, which is how the server unwinds its connection threads.
+
+#ifndef BUNDLEMINE_UTIL_SOCKET_H_
+#define BUNDLEMINE_UTIL_SOCKET_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace bundlemine {
+
+/// A connected TCP stream (either side). Move-only; closes on destruction.
+class SocketStream {
+ public:
+  SocketStream() = default;
+  explicit SocketStream(int fd) : fd_(fd) {}
+  ~SocketStream() { Close(); }
+
+  SocketStream(SocketStream&& other) noexcept;
+  SocketStream& operator=(SocketStream&& other) noexcept;
+  SocketStream(const SocketStream&) = delete;
+  SocketStream& operator=(const SocketStream&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Caps the bytes buffered for a single line (0 = unlimited). When a
+  /// line exceeds the cap, its tail is discarded up to the next terminator
+  /// and ReadLine delivers a truncated `cap + 1`-byte prefix — still over
+  /// the cap, so a caller enforcing a request-size limit sees the violation
+  /// and can answer with a typed rejection, while the peer's flood never
+  /// accumulates in memory.
+  void set_max_line_bytes(std::size_t cap) { max_line_bytes_ = cap; }
+
+  /// Reads up to and including the next '\n', strips the terminator (and a
+  /// preceding '\r'), and returns true. Returns false on end of stream —
+  /// orderly close, error, or Shutdown() from another thread. A final line
+  /// without a terminator is delivered before EOF is reported.
+  bool ReadLine(std::string* line);
+
+  /// Bounds how long a single send() may block (0 = forever). With a
+  /// timeout set, WriteAll fails instead of blocking indefinitely on a peer
+  /// that stopped reading — the server's defense against a worker wedging
+  /// on a full TCP send buffer.
+  void set_send_timeout(double seconds);
+
+  /// Writes all of `data`, retrying short writes. False when the peer is
+  /// gone or a send timeout expired.
+  bool WriteAll(std::string_view data);
+
+  /// Convenience: WriteAll(line + '\n').
+  bool WriteLine(std::string_view line);
+
+  /// Aborts in-flight reads/writes on this stream from any thread. The
+  /// stream reports end-of-stream afterwards; Close() still owns the fd.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::size_t max_line_bytes_ = 0;
+  std::string buffer_;  // Bytes read past the last returned line.
+};
+
+/// A listening TCP socket bound to 127.0.0.1. Move-only.
+class ServerSocket {
+ public:
+  ServerSocket() = default;
+  ~ServerSocket() { Close(); }
+
+  ServerSocket(ServerSocket&& other) noexcept;
+  ServerSocket& operator=(ServerSocket&& other) noexcept;
+  ServerSocket(const ServerSocket&) = delete;
+  ServerSocket& operator=(const ServerSocket&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — read it back from
+  /// port()) and listens. UNAVAILABLE with the errno text on failure.
+  static StatusOr<ServerSocket> Listen(int port);
+
+  bool valid() const { return fd_ >= 0; }
+  int port() const { return port_; }
+
+  /// Blocks for the next connection. An invalid stream means the socket was
+  /// Shutdown() or closed — the accept loop should exit.
+  SocketStream Accept();
+
+  /// Unblocks a pending Accept() from another thread.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Connects to `host`:`port` (numeric or resolvable name; the serving smoke
+/// and tests use 127.0.0.1). UNAVAILABLE with the errno text on failure.
+StatusOr<SocketStream> ConnectTcp(const std::string& host, int port);
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_UTIL_SOCKET_H_

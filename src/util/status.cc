@@ -8,6 +8,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
     case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
   }
   BM_CHECK_MSG(false, "unreachable status code");

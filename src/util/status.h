@@ -30,7 +30,8 @@ enum class StatusCode {
   kOk = 0,
   kInvalidArgument,  ///< Malformed request: bad spec text, bad shard, bad knob.
   kNotFound,         ///< Unknown key/name/file; message lists alternatives.
-  kDeadlineExceeded, ///< Reserved for strict-deadline request modes.
+  kDeadlineExceeded, ///< Request deadline expired before (or while) solving.
+  kUnavailable,      ///< Transient overload: admission queue full, draining.
   kInternal,         ///< Library bug surfaced as a value instead of an abort.
 };
 
@@ -54,6 +55,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string message) {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));

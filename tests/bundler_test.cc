@@ -10,7 +10,7 @@
 #include "core/greedy_bundler.h"
 #include "core/matching_bundler.h"
 #include "core/metrics.h"
-#include "core/runner.h"
+#include "core/bundler_registry.h"
 #include "core/solution.h"
 #include "core/wsp_bundler.h"
 #include "data/generator.h"
@@ -61,8 +61,8 @@ class MethodInvariantsTest : public ::testing::TestWithParam<std::string> {};
 TEST_P(MethodInvariantsTest, ProducesValidConfigurationAndBeatsComponents) {
   const std::string key = GetParam();
   BundleConfigProblem problem = TinyProblem();
-  BundleSolution components = RunMethod("components", problem);
-  BundleSolution solution = RunMethod(key, problem);
+  BundleSolution components = SolveMethod("components", problem);
+  BundleSolution solution = SolveMethod(key, problem);
 
   BundlingStrategy strategy = key.find("mixed") != std::string::npos
                                   ? BundlingStrategy::kMixed
@@ -93,8 +93,8 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, MethodInvariantsTest,
 TEST(MethodInvariants, DeterministicAcrossRuns) {
   BundleConfigProblem problem = TinyProblem();
   for (const std::string& key : StandardMethodKeys()) {
-    BundleSolution a = RunMethod(key, problem);
-    BundleSolution b = RunMethod(key, problem);
+    BundleSolution a = SolveMethod(key, problem);
+    BundleSolution b = SolveMethod(key, problem);
     EXPECT_DOUBLE_EQ(a.total_revenue, b.total_revenue) << key;
     EXPECT_EQ(a.offers.size(), b.offers.size()) << key;
   }
@@ -107,7 +107,7 @@ TEST(MethodInvariants, SizeCapIsRespected) {
     for (const char* key :
          {"pure-matching", "pure-greedy", "mixed-matching", "mixed-greedy",
           "pure-freq", "mixed-freq"}) {
-      BundleSolution s = RunMethod(key, problem);
+      BundleSolution s = SolveMethod(key, problem);
       for (const PricedBundle& o : s.offers) {
         EXPECT_LE(o.items.size(), k) << key << " k=" << k;
       }
@@ -118,10 +118,10 @@ TEST(MethodInvariants, SizeCapIsRespected) {
 TEST(MethodInvariants, KEqualsOneDegeneratesToComponents) {
   BundleConfigProblem problem = TinyProblem();
   problem.max_bundle_size = 1;
-  BundleSolution components = RunMethod("components", problem);
+  BundleSolution components = SolveMethod("components", problem);
   for (const char* key : {"pure-matching", "pure-greedy", "mixed-matching",
                                  "mixed-greedy"}) {
-    BundleSolution s = RunMethod(key, problem);
+    BundleSolution s = SolveMethod(key, problem);
     EXPECT_NEAR(s.total_revenue, components.total_revenue, 1e-9) << key;
     for (const PricedBundle& o : s.offers) EXPECT_EQ(o.items.size(), 1) << key;
   }
@@ -135,7 +135,7 @@ TEST(MethodInvariants, LargerKNeverHurts) {
     double prev = 0.0;
     for (int k : {1, 2, 3, 5, 8, 0}) {  // 0 = unconstrained.
       problem.max_bundle_size = k;
-      double revenue = RunMethod(key, problem).total_revenue;
+      double revenue = SolveMethod(key, problem).total_revenue;
       EXPECT_GE(revenue + 1e-6, prev) << key << " k=" << k;
       prev = revenue;
     }
@@ -145,9 +145,9 @@ TEST(MethodInvariants, LargerKNeverHurts) {
 TEST(MethodInvariants, StronglyNegativeThetaRevertsToComponents) {
   BundleConfigProblem problem = TinyProblem();
   problem.theta = -0.9;  // Bundles are worth a fraction of their parts.
-  BundleSolution components = RunMethod("components", problem);
+  BundleSolution components = SolveMethod("components", problem);
   for (const char* key : {"pure-matching", "pure-greedy"}) {
-    BundleSolution s = RunMethod(key, problem);
+    BundleSolution s = SolveMethod(key, problem);
     EXPECT_NEAR(s.total_revenue, components.total_revenue, 1e-9) << key;
     for (const PricedBundle& o : s.offers) EXPECT_EQ(o.items.size(), 1) << key;
   }
@@ -157,8 +157,8 @@ TEST(MethodInvariants, PositiveThetaGrowsPureBundles) {
   // With strongly complementary items pure bundling must beat Components.
   BundleConfigProblem problem = TinyProblem();
   problem.theta = 0.10;
-  BundleSolution components = RunMethod("components", problem);
-  BundleSolution matching = RunMethod("pure-matching", problem);
+  BundleSolution components = SolveMethod("components", problem);
+  BundleSolution matching = SolveMethod("pure-matching", problem);
   EXPECT_GT(matching.total_revenue, components.total_revenue * 1.02);
 }
 
@@ -166,7 +166,7 @@ TEST(MethodInvariants, TraceIsMonotone) {
   BundleConfigProblem problem = TinyProblem();
   for (const char* key : {"pure-matching", "pure-greedy", "mixed-matching",
                                  "mixed-greedy"}) {
-    BundleSolution s = RunMethod(key, problem);
+    BundleSolution s = SolveMethod(key, problem);
     ASSERT_FALSE(s.trace.empty()) << key;
     for (std::size_t i = 1; i < s.trace.size(); ++i) {
       EXPECT_GE(s.trace[i].total_revenue + 1e-9, s.trace[i - 1].total_revenue)
@@ -184,8 +184,8 @@ TEST(MethodInvariants, GreedyHasMoreIterationsThanMatching) {
   // Figure 6: greedy converges via many single-merge iterations, matching in
   // a handful of rounds.
   BundleConfigProblem problem = TinyProblem();
-  BundleSolution matching = RunMethod("pure-matching", problem);
-  BundleSolution greedy = RunMethod("pure-greedy", problem);
+  BundleSolution matching = SolveMethod("pure-matching", problem);
+  BundleSolution greedy = SolveMethod("pure-greedy", problem);
   // Only meaningful when bundling actually happens.
   if (greedy.trace.size() > 2) {
     EXPECT_LE(matching.trace.size(), greedy.trace.size());
@@ -210,8 +210,8 @@ TEST(Exactness, TwoSizedMatchingEqualsOptimalPartitionK2) {
     // θ = 0 keeps the co-interest pruning lossless.
     problem.theta = 0.0;
 
-    BundleSolution matching = RunMethod("two-sized", problem);
-    BundleSolution optimal = RunMethod("optimal-wsp", problem);
+    BundleSolution matching = SolveMethod("two-sized", problem);
+    BundleSolution optimal = SolveMethod("optimal-wsp", problem);
     EXPECT_NEAR(matching.total_revenue, optimal.total_revenue, 1e-6)
         << "seed " << seed;
   }
@@ -224,17 +224,17 @@ TEST(Exactness, HeuristicsBracketedByComponentsAndOptimal) {
     problem.wtp = &wtp;
     problem.price_levels = 100;
 
-    double components = RunMethod("components", problem).total_revenue;
-    double optimal = RunMethod("optimal-wsp", problem).total_revenue;
+    double components = SolveMethod("components", problem).total_revenue;
+    double optimal = SolveMethod("optimal-wsp", problem).total_revenue;
     for (const char* key : {"pure-matching", "pure-greedy", "pure-freq",
                                    "greedy-wsp-avg"}) {
-      double revenue = RunMethod(key, problem).total_revenue;
+      double revenue = SolveMethod(key, problem).total_revenue;
       EXPECT_GE(revenue + 1e-6, components) << key << " seed " << seed;
       EXPECT_LE(revenue, optimal + 1e-6) << key << " seed " << seed;
     }
     // The √-ratio greedy (the Table 4 baseline) is only bounded by Optimal;
     // it may fall below Components by construction.
-    double sqrt_greedy = RunMethod("greedy-wsp", problem).total_revenue;
+    double sqrt_greedy = SolveMethod("greedy-wsp", problem).total_revenue;
     EXPECT_LE(sqrt_greedy, optimal + 1e-6) << "seed " << seed;
   }
 }
@@ -244,8 +244,8 @@ TEST(Exactness, OptimalWspIsAValidPartitionAndDominatesGreedyWsp) {
   BundleConfigProblem problem;
   problem.wtp = &wtp;
   problem.price_levels = 100;
-  BundleSolution optimal = RunMethod("optimal-wsp", problem);
-  BundleSolution greedy = RunMethod("greedy-wsp", problem);
+  BundleSolution optimal = SolveMethod("optimal-wsp", problem);
+  BundleSolution greedy = SolveMethod("greedy-wsp", problem);
   std::string error;
   EXPECT_TRUE(IsValidPureConfiguration(optimal, 11, &error)) << error;
   EXPECT_TRUE(IsValidPureConfiguration(greedy, 11, &error)) << error;
@@ -257,7 +257,7 @@ TEST(Exactness, DpTotalMatchesRepricedOffers) {
   BundleConfigProblem problem;
   problem.wtp = &wtp;
   problem.price_levels = 100;
-  BundleSolution optimal = RunMethod("optimal-wsp", problem);
+  BundleSolution optimal = SolveMethod("optimal-wsp", problem);
   double sum = 0.0;
   for (const PricedBundle& o : optimal.offers) sum += o.revenue;
   EXPECT_NEAR(sum, optimal.total_revenue, 1e-6);
@@ -275,8 +275,8 @@ TEST(Pruning, CoInterestPruningLosslessAtThetaZero) {
   BundleConfigProblem without = with;
   without.prune_co_interest = false;
   for (const char* key : {"pure-matching", "pure-greedy"}) {
-    double a = RunMethod(key, with).total_revenue;
-    double b = RunMethod(key, without).total_revenue;
+    double a = SolveMethod(key, with).total_revenue;
+    double b = SolveMethod(key, without).total_revenue;
     EXPECT_NEAR(a, b, 1e-6) << key;
   }
 }
@@ -285,8 +285,8 @@ TEST(Pruning, DisablingStaleEdgePruningNeverLosesRevenue) {
   BundleConfigProblem with = TinyProblem();
   BundleConfigProblem without = with;
   without.prune_stale_edges = false;
-  double pruned = RunMethod("pure-matching", with).total_revenue;
-  double full = RunMethod("pure-matching", without).total_revenue;
+  double pruned = SolveMethod("pure-matching", with).total_revenue;
+  double full = SolveMethod("pure-matching", without).total_revenue;
   EXPECT_GE(full + 1e-6, pruned);
 }
 
@@ -294,8 +294,8 @@ TEST(Pruning, GreedyFallbackMatcherStaysClose) {
   BundleConfigProblem exact = TinyProblem();
   BundleConfigProblem approx = exact;
   approx.exact_matching_limit = 0;  // Force the 1/2-approx matcher.
-  double r_exact = RunMethod("pure-matching", exact).total_revenue;
-  double r_approx = RunMethod("pure-matching", approx).total_revenue;
+  double r_exact = SolveMethod("pure-matching", exact).total_revenue;
+  double r_approx = SolveMethod("pure-matching", approx).total_revenue;
   EXPECT_LE(r_approx, r_exact + 1e-6);
   EXPECT_GE(r_approx, 0.95 * r_exact);  // Matching quality dents, not craters.
 }
@@ -306,7 +306,7 @@ TEST(Pruning, GreedyFallbackMatcherStaysClose) {
 
 TEST(Mixed, ComponentOffersNestInsideTopBundles) {
   BundleConfigProblem problem = TinyProblem();
-  BundleSolution s = RunMethod("mixed-matching", problem);
+  BundleSolution s = SolveMethod("mixed-matching", problem);
   auto top = s.TopOffers();
   for (const PricedBundle& o : s.offers) {
     if (!o.is_component_offer) continue;
@@ -323,7 +323,7 @@ TEST(Mixed, ComponentOffersNestInsideTopBundles) {
 
 TEST(Mixed, BundlePricesRespectGuiltinanConstraints) {
   BundleConfigProblem problem = TinyProblem();
-  BundleSolution s = RunMethod("mixed-greedy", problem);
+  BundleSolution s = SolveMethod("mixed-greedy", problem);
   // For every top-level merged bundle, price must be below the sum of its
   // direct children's prices and above their max.
   // (Child prices are recoverable from the component offers.)
@@ -353,7 +353,7 @@ TEST(Mixed, BundlePricesRespectGuiltinanConstraints) {
 TEST(Mixed, StochasticMixedRunsEndToEnd) {
   BundleConfigProblem problem = TinyProblem();
   problem.adoption = AdoptionModel::Sigmoid(5.0);
-  BundleSolution s = RunMethod("mixed-matching", problem);
+  BundleSolution s = SolveMethod("mixed-matching", problem);
   std::string error;
   EXPECT_TRUE(IsValidMixedConfiguration(s, TinyWtp().num_items(), &error)) << error;
   EXPECT_GT(s.total_revenue, 0.0);

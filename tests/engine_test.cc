@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "api/engine.h"
-#include "core/runner.h"
+#include "core/bundler_registry.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
 #include "gtest/gtest.h"
@@ -263,7 +263,7 @@ TEST(DatasetCache, SolveFromDatasetReferenceMatchesManualPipeline) {
   BundleConfigProblem problem;
   problem.wtp = &wtp;
   problem.theta = 0.05;
-  BundleSolution manual = RunMethod("mixed-greedy", problem);
+  BundleSolution manual = SolveMethod("mixed-greedy", problem);
 
   EXPECT_EQ(via_engine->solution.total_revenue, manual.total_revenue);
   EXPECT_EQ(via_engine->solution.offers.size(), manual.offers.size());

@@ -5,7 +5,7 @@
 //   * display helpers and the method registry.
 
 #include "core/bundle.h"
-#include "core/runner.h"
+#include "core/bundler_registry.h"
 #include "data/generator.h"
 #include "data/ratings.h"
 #include "data/wtp_matrix.h"
@@ -150,8 +150,8 @@ TEST(PaymentAccounting, MixedSolutionTotalIsConsistentAcrossLevels) {
   BundleConfigProblem problem;
   problem.wtp = &wtp;
   problem.price_levels = 100;
-  BundleSolution components = RunMethod("components", problem);
-  BundleSolution mixed = RunMethod("mixed-greedy", problem);
+  BundleSolution components = SolveMethod("components", problem);
+  BundleSolution mixed = SolveMethod("mixed-greedy", problem);
   double gains = 0.0;
   for (const PricedBundle& o : mixed.offers) {
     if (!o.is_component_offer && o.items.size() >= 2) gains += o.revenue;
@@ -234,11 +234,11 @@ TEST(MinerEngines, FreqItemsetBaselineIsEngineInvariant) {
   problem.freq_min_support = 0.08;
   for (const char* key : {"pure-freq", "mixed-freq"}) {
     problem.freq_miner = MinerEngine::kMafia;
-    BundleSolution mafia = RunMethod(key, problem);
+    BundleSolution mafia = SolveMethod(key, problem);
     problem.freq_miner = MinerEngine::kApriori;
-    BundleSolution apriori = RunMethod(key, problem);
+    BundleSolution apriori = SolveMethod(key, problem);
     problem.freq_miner = MinerEngine::kFpGrowth;
-    BundleSolution fp = RunMethod(key, problem);
+    BundleSolution fp = SolveMethod(key, problem);
     EXPECT_NEAR(mafia.total_revenue, apriori.total_revenue, 1e-6) << key;
     EXPECT_NEAR(mafia.total_revenue, fp.total_revenue, 1e-6) << key;
     EXPECT_EQ(mafia.offers.size(), apriori.offers.size()) << key;

@@ -28,7 +28,6 @@
 #include <vector>
 
 #include "core/bundler_registry.h"
-#include "core/runner.h"
 #include "core/solution.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
@@ -105,7 +104,7 @@ TEST(MethodInvariants, AllRegistryMethodsUpholdPropertiesOnRandomInstances) {
       BundleConfigProblem adjusted = problem;
       if (entry->adjust) entry->adjust(&adjusted);
 
-      BundleSolution solution = RunMethod(key, problem);
+      BundleSolution solution = SolveMethod(key, problem);
 
       // Feasibility: partition / laminar family, item-disjoint top offers.
       std::string error;
@@ -175,8 +174,8 @@ TEST(MethodInvariants, MixedDominatesPureOnRandomizedTinyInstances) {
     for (const std::string& key : keys) {
       if (key.rfind("mixed-", 0) != 0) continue;
       std::string pure_key = "pure-" + key.substr(6);
-      double mixed = RunMethod(key, problem).total_revenue;
-      double pure = RunMethod(pure_key, problem).total_revenue;
+      double mixed = SolveMethod(key, problem).total_revenue;
+      double pure = SolveMethod(pure_key, problem).total_revenue;
       EXPECT_GE(mixed + 1e-6, pure) << key << " vs " << pure_key;
     }
   }
@@ -193,7 +192,7 @@ TEST(WspDeadline, TightDeadlineReturnsValidPartialSolution) {
     SolveContext::Options options;
     options.deadline_seconds = 1e-12;  // Expires before the first bundle.
     SolveContext context(options);
-    BundleSolution solution = RunMethod(key, problem, context);
+    BundleSolution solution = SolveMethod(key, problem, context);
 
     EXPECT_TRUE(context.stats().deadline_hit);
     std::string error;
@@ -224,7 +223,7 @@ TEST(FreqDeadline, TightDeadlineStopsEveryMinerWithValidPartialSolution) {
       SolveContext::Options options;
       options.deadline_seconds = 1e-12;  // Expires before the mine starts.
       SolveContext context(options);
-      BundleSolution solution = RunMethod(key, problem, context);
+      BundleSolution solution = SolveMethod(key, problem, context);
 
       EXPECT_TRUE(context.stats().deadline_hit);
       const BundlerRegistry::Entry* entry = BundlerRegistry::Global().Find(key);
@@ -253,8 +252,8 @@ TEST(FreqDeadline, NoDeadlineMatchesDeadlineFreeMine) {
     SolveContext::Options options;
     options.deadline_seconds = 3600.0;  // Set but never reached.
     SolveContext relaxed(options);
-    BundleSolution with_deadline = RunMethod(key, problem, relaxed);
-    BundleSolution without = RunMethod(key, problem);
+    BundleSolution with_deadline = SolveMethod(key, problem, relaxed);
+    BundleSolution without = SolveMethod(key, problem);
     EXPECT_FALSE(relaxed.stats().deadline_hit);
     EXPECT_EQ(with_deadline.total_revenue, without.total_revenue);
     ASSERT_EQ(with_deadline.offers.size(), without.offers.size());
@@ -272,8 +271,8 @@ TEST(WspDeadline, NoDeadlineMatchesDeadlineFreePath) {
   SolveContext::Options options;
   options.deadline_seconds = 3600.0;  // Set but never reached.
   SolveContext relaxed(options);
-  BundleSolution with_deadline = RunMethod("optimal-wsp", problem, relaxed);
-  BundleSolution without = RunMethod("optimal-wsp", problem);
+  BundleSolution with_deadline = SolveMethod("optimal-wsp", problem, relaxed);
+  BundleSolution without = SolveMethod("optimal-wsp", problem);
   EXPECT_FALSE(relaxed.stats().deadline_hit);
   EXPECT_EQ(with_deadline.total_revenue, without.total_revenue);
   ASSERT_EQ(with_deadline.offers.size(), without.offers.size());

@@ -11,7 +11,7 @@
 #include <sstream>
 
 #include "core/market_simulator.h"
-#include "core/runner.h"
+#include "core/bundler_registry.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
 #include "gtest/gtest.h"
@@ -23,6 +23,7 @@
 #include "scenario/artifact_writer.h"
 #include "scenario/scenario_spec.h"
 #include "scenario/sweep_runner.h"
+#include "sweep_test_util.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -202,7 +203,7 @@ TEST(RunnerRegression, TwoSizedRespectsCapEvenWhenProblemSaysOtherwise) {
   BundleConfigProblem problem;
   problem.wtp = &wtp;
   problem.max_bundle_size = 7;  // Runner must override to 2.
-  BundleSolution s = RunMethod("two-sized", problem);
+  BundleSolution s = SolveMethod("two-sized", problem);
   for (const PricedBundle& o : s.offers) EXPECT_LE(o.items.size(), 2);
 }
 
@@ -230,7 +231,7 @@ TEST(GoldenSweep, TinyThetaSweepMatchesCheckedInArtifact) {
 
   SweepRunnerOptions options;
   options.threads = 2;  // The artifact is thread-invariant by construction.
-  std::string actual = SweepArtifactJson(RunSweep(spec, options));
+  std::string actual = SweepArtifactJson(RunFullSweep(spec, options));
 
   const std::string golden_path =
       std::string(BUNDLEMINE_SOURCE_DIR) + "/tests/golden/tiny_theta_sweep.json";

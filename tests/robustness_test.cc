@@ -2,7 +2,7 @@
 // contracts a release build must keep), boundary inputs, and performance
 // guards that fail if hot paths regress by an order of magnitude.
 
-#include "core/runner.h"
+#include "core/bundler_registry.h"
 #include "core/wsp_bundler.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
@@ -55,7 +55,7 @@ TEST(RobustnessDeathTest, RunnerRejectsUnknownMethod) {
   WtpMatrix wtp = WtpMatrix::FromTriplets(1, 1, {{0, 0, 1.0}});
   BundleConfigProblem problem;
   problem.wtp = &wtp;
-  EXPECT_DEATH(RunMethod("no-such-method", problem), "unknown method key");
+  EXPECT_DEATH(SolveMethod("no-such-method", problem), "unknown method key");
 }
 
 TEST(RobustnessDeathTest, OptimalWspRefusesLargeN) {
@@ -91,7 +91,7 @@ TEST(Boundaries, SingleItemMarket) {
   problem.wtp = &wtp;
   problem.price_levels = 0;
   for (const std::string& key : StandardMethodKeys()) {
-    BundleSolution s = RunMethod(key, problem);
+    BundleSolution s = SolveMethod(key, problem);
     EXPECT_NEAR(s.total_revenue, 6.0, 1e-9) << key;  // Price 3, two buyers.
     EXPECT_EQ(s.offers.size(), 1u) << key;
   }
@@ -105,9 +105,9 @@ TEST(Boundaries, SingleConsumerMarket) {
   BundleConfigProblem problem;
   problem.wtp = &wtp;
   problem.price_levels = 0;
-  BundleSolution components = RunMethod("components", problem);
+  BundleSolution components = SolveMethod("components", problem);
   EXPECT_NEAR(components.total_revenue, 10.0, 1e-9);
-  BundleSolution pure = RunMethod("pure-matching", problem);
+  BundleSolution pure = SolveMethod("pure-matching", problem);
   EXPECT_NEAR(pure.total_revenue, 10.0, 1e-9);
 }
 
@@ -119,8 +119,8 @@ TEST(Boundaries, ConsumerWithZeroWtpEverywhere) {
   p1.wtp = &with_ghosts;
   p2.wtp = &without;
   for (const char* key : {"components", "pure-matching", "mixed-greedy"}) {
-    EXPECT_NEAR(RunMethod(key, p1).total_revenue,
-                RunMethod(key, p2).total_revenue, 1e-9)
+    EXPECT_NEAR(SolveMethod(key, p1).total_revenue,
+                SolveMethod(key, p2).total_revenue, 1e-9)
         << key;
   }
 }
@@ -148,9 +148,9 @@ TEST(Boundaries, ThetaMinusOneKillsAllBundles) {
   BundleConfigProblem problem;
   problem.wtp = &wtp;
   problem.theta = -1.0;
-  BundleSolution components = RunMethod("components", problem);
+  BundleSolution components = SolveMethod("components", problem);
   for (const char* key : {"pure-matching", "mixed-greedy"}) {
-    BundleSolution s = RunMethod(key, problem);
+    BundleSolution s = SolveMethod(key, problem);
     EXPECT_NEAR(s.total_revenue, components.total_revenue, 1e-9) << key;
   }
 }
@@ -181,7 +181,7 @@ TEST(PerformanceGuard, TinyProfileEndToEndUnderBudget) {
   WtpMatrix wtp = WtpMatrix::FromRatings(data, 1.25);
   BundleConfigProblem problem;
   problem.wtp = &wtp;
-  for (const std::string& key : StandardMethodKeys()) RunMethod(key, problem);
+  for (const std::string& key : StandardMethodKeys()) SolveMethod(key, problem);
   EXPECT_LT(timer.Seconds(), 30.0);
 }
 

@@ -8,6 +8,7 @@
 #include "scenario/artifact_writer.h"
 #include "scenario/scenario_spec.h"
 #include "scenario/sweep_runner.h"
+#include "sweep_test_util.h"
 #include "util/json.h"
 
 namespace bundlemine {
@@ -195,7 +196,7 @@ TEST(JsonWriterTest, DoublesRoundTripThroughShortestForm) {
 
 TEST(ArtifactTest, CellsCarryGainsHistogramsAndStats) {
   ScenarioSpec spec = TinySpec();
-  SweepResult result = RunSweep(spec);
+  SweepResult result = RunFullSweep(spec);
   ASSERT_EQ(result.cells.size(), 9u);
   EXPECT_GT(result.num_users, 0);
   EXPECT_GT(result.base_total_wtp, 0.0);
@@ -232,7 +233,7 @@ TEST(ArtifactTest, CellsCarryGainsHistogramsAndStats) {
 TEST(ArtifactTest, GainOmittedWithoutComponentsBaseline) {
   ScenarioSpec spec = TinySpec();
   spec.methods = {"pure-greedy", "mixed-greedy"};
-  SweepResult result = RunSweep(spec);
+  SweepResult result = RunFullSweep(spec);
   for (const SweepCellResult& cell : result.cells) {
     EXPECT_FALSE(cell.has_gain);
   }

@@ -1,0 +1,540 @@
+// Serving-layer tests: wire-protocol parsing (strict, typed errors for every
+// malformed shape), the bounded admission queue, and the BundleServer end to
+// end over real loopback connections — concurrent clients receiving
+// responses byte-identical to direct Engine calls, typed queue-overflow
+// rejections, deadline propagation through the queue, malformed input that
+// leaves the connection serving, and shutdown draining every admitted
+// request before the server stops.
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/bounded_queue.h"
+#include "util/json.h"
+
+namespace bundlemine {
+namespace {
+
+constexpr const char* kTinySpecText =
+    "scale=tiny;seed=7;methods=components,mixed-greedy;axis:theta=-0.05,0,0.05";
+
+std::string SolveLine(std::int64_t id, const std::string& method, double theta,
+                      std::uint64_t seed) {
+  JsonValue request = JsonValue::Object();
+  request.Set("kind", JsonValue::Str("solve"));
+  request.Set("id", JsonValue::Int(id));
+  request.Set("method", JsonValue::Str(method));
+  JsonValue dataset = JsonValue::Object();
+  dataset.Set("profile", JsonValue::Str("tiny"));
+  dataset.Set("seed", JsonValue::Int(7));
+  dataset.Set("lambda", JsonValue::Double(1.0));
+  request.Set("dataset", std::move(dataset));
+  request.Set("theta", JsonValue::Double(theta));
+  JsonValue options = JsonValue::Object();
+  options.Set("seed", JsonValue::Int(static_cast<std::int64_t>(seed)));
+  request.Set("options", std::move(options));
+  return request.Dump(0);
+}
+
+std::string SweepLine(std::int64_t id, const std::string& shard) {
+  JsonValue request = JsonValue::Object();
+  request.Set("kind", JsonValue::Str("sweep"));
+  request.Set("id", JsonValue::Int(id));
+  request.Set("spec", JsonValue::Str(kTinySpecText));
+  if (!shard.empty()) request.Set("shard", JsonValue::Str(shard));
+  return request.Dump(0);
+}
+
+// What a direct Engine call would serialize to for the same request — the
+// byte-identity oracle for served responses.
+std::string ExpectedSolveLine(Engine& engine, std::int64_t id,
+                              const std::string& method, double theta,
+                              std::uint64_t seed) {
+  SolveRequest request;
+  request.method = method;
+  DatasetSpec dataset;
+  dataset.profile = "tiny";
+  dataset.seed = 7;
+  dataset.lambda = 1.0;
+  request.dataset = dataset;
+  request.theta = theta;
+  request.options.seed = seed;
+  StatusOr<SolveResponse> response = engine.Solve(request);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  return SolveResponseJson(id, *response).Dump(0);
+}
+
+std::string ExpectedSweepLine(Engine& engine, std::int64_t id,
+                              int shard_index, int shard_count) {
+  StatusOr<ScenarioSpec> spec = ResolveScenarioSpec(kTinySpecText);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  SweepRequest request;
+  request.spec = *spec;
+  request.shard_index = shard_index;
+  request.shard_count = shard_count;
+  StatusOr<SweepResponse> response = engine.Sweep(request);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  return SweepResponseJson(id, *response).Dump(0);
+}
+
+// Expects an {"ok":false} response line whose error code is `code` and
+// whose message contains `needle`.
+void ExpectErrorResponse(const std::string& line, const std::string& code,
+                         const std::string& needle) {
+  std::optional<JsonValue> response = JsonParse(line);
+  ASSERT_TRUE(response) << line;
+  const JsonValue* ok = response->FindMember("ok");
+  ASSERT_NE(ok, nullptr) << line;
+  EXPECT_FALSE(ok->AsBool()) << line;
+  const JsonValue* error = response->FindMember("error");
+  ASSERT_NE(error, nullptr) << line;
+  EXPECT_EQ(error->FindMember("code")->AsString(), code) << line;
+  EXPECT_NE(error->FindMember("message")->AsString().find(needle),
+            std::string::npos)
+      << line;
+}
+
+// ---------------------------------------------------------------------------
+// Wire-protocol parsing.
+// ---------------------------------------------------------------------------
+
+TEST(WireProtocolTest, ParsesFullSolveRequest) {
+  StatusOr<WireRequest> request = ParseWireRequest(
+      R"({"kind":"solve","id":9,"method":"mixed-greedy",)"
+      R"("dataset":{"profile":"small","seed":11,"lambda":1.5,)"
+      R"("activity_sigma":1.2,"genres_per_user":3},)"
+      R"("theta":0.1,"k":4,"levels":50,)"
+      R"("options":{"threads":2,"deadline_seconds":0.25,"seed":99}})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->kind, WireKind::kSolve);
+  ASSERT_TRUE(request->id.has_value());
+  EXPECT_EQ(*request->id, 9);
+  EXPECT_EQ(request->solve.method, "mixed-greedy");
+  ASSERT_TRUE(request->solve.dataset.has_value());
+  EXPECT_EQ(request->solve.dataset->profile, "small");
+  EXPECT_EQ(request->solve.dataset->seed, 11u);
+  EXPECT_DOUBLE_EQ(request->solve.dataset->lambda, 1.5);
+  ASSERT_TRUE(request->solve.dataset->activity_sigma.has_value());
+  EXPECT_DOUBLE_EQ(*request->solve.dataset->activity_sigma, 1.2);
+  EXPECT_FALSE(request->solve.dataset->background_mass.has_value());
+  ASSERT_TRUE(request->solve.dataset->genres_per_user.has_value());
+  EXPECT_EQ(*request->solve.dataset->genres_per_user, 3);
+  EXPECT_DOUBLE_EQ(request->solve.theta, 0.1);
+  EXPECT_EQ(request->solve.max_bundle_size, 4);
+  EXPECT_EQ(request->solve.price_levels, 50);
+  EXPECT_EQ(request->solve.options.threads, 2);
+  EXPECT_DOUBLE_EQ(request->solve.options.deadline_seconds, 0.25);
+  EXPECT_EQ(request->solve.options.seed, 99u);
+}
+
+TEST(WireProtocolTest, ParsesSweepRequestWithShard) {
+  StatusOr<WireRequest> request = ParseWireRequest(
+      R"({"kind":"sweep","spec":"fig2-theta","shard":"1/4",)"
+      R"("options":{"threads":3}})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->kind, WireKind::kSweep);
+  EXPECT_FALSE(request->id.has_value());
+  EXPECT_EQ(request->sweep_spec, "fig2-theta");
+  EXPECT_EQ(request->shard_index, 1);
+  EXPECT_EQ(request->shard_count, 4);
+  EXPECT_EQ(request->sweep_options.threads, 3);
+}
+
+TEST(WireProtocolTest, RejectsMalformedShapesWithTypedErrors) {
+  struct Case {
+    const char* line;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {R"({"kind":"ping")", "malformed request JSON"},        // Truncated.
+      {"[1,2,3]", "must be a JSON object"},
+      {R"({"id":1})", "needs a 'kind'"},                      // Kind missing.
+      {R"({"kind":"frobnicate"})", "unknown request kind"},
+      {R"({"kind":"solve","dataset":{"profile":"tiny"}})", "'method'"},
+      {R"({"kind":"solve","method":"mixed-greedy"})", "'dataset'"},
+      {R"({"kind":"sweep"})", "'spec'"},
+      {R"({"kind":"sweep","spec":"fig2-theta","shard":"9/4"})", "shard"},
+      {R"({"kind":"solve","method":"x","dataset":{"profile":"tiny"},"bogus":1})",
+       "unknown solve request field 'bogus'"},
+      {R"({"kind":"solve","method":7,"dataset":{"profile":"tiny"}})",
+       "'method' must be a string"},
+      {R"({"kind":"ping","id":"one"})", "'id' must be an integer"},
+      {R"({"kind":"ping","payload":1})", "unknown control request field"},
+  };
+  for (const Case& c : cases) {
+    StatusOr<WireRequest> request = ParseWireRequest(c.line);
+    ASSERT_FALSE(request.ok()) << c.line;
+    EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument) << c.line;
+    EXPECT_NE(request.status().message().find(c.needle), std::string::npos)
+        << c.line << " → " << request.status().message();
+  }
+}
+
+TEST(WireProtocolTest, RejectsOversizedRequestBeforeParsing) {
+  std::string line(kMaxWireRequestBytes + 1, 'x');
+  StatusOr<WireRequest> request = ParseWireRequest(line);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(request.status().message().find("oversized request"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded admission queue.
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoWithCapacityRejection) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // Full: immediate, non-blocking.
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_TRUE(queue.TryPush(4));
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop(), 4);
+}
+
+TEST(BoundedQueueTest, ZeroCapacityRejectsEverything) {
+  BoundedQueue<int> queue(0);
+  EXPECT_FALSE(queue.TryPush(1));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEnds) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(1));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(2));   // Closed: admission over.
+  EXPECT_EQ(queue.Pop(), 1);        // Admitted items still drain.
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedPopper) {
+  BoundedQueue<int> queue(1);
+  std::atomic<bool> woke{false};
+  std::thread popper([&] {
+    EXPECT_EQ(queue.Pop(), std::nullopt);
+    woke = true;
+  });
+  queue.Close();
+  popper.join();
+  EXPECT_TRUE(woke);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end serving.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<BundleServer> StartServer(ServeOptions options) {
+  auto server = std::make_unique<BundleServer>(options);
+  Status status = server->ListenTcp(0);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return server;
+}
+
+WireClient ConnectTo(const BundleServer& server) {
+  StatusOr<WireClient> client = WireClient::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(*client);
+}
+
+TEST(ServeTest, ConcurrentClientsGetResponsesByteIdenticalToDirectEngine) {
+  ServeOptions options;
+  options.workers = 3;
+  options.queue_depth = 64;
+  std::unique_ptr<BundleServer> server = StartServer(options);
+
+  // Oracle responses from a direct Engine, computed up front.
+  Engine engine;
+  struct Exchange {
+    std::string request;
+    std::string expected;
+  };
+  constexpr int kClients = 4;
+  std::vector<std::vector<Exchange>> sessions(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    const double theta = 0.05 * c - 0.05;
+    const std::int64_t base = 100 * (c + 1);
+    sessions[c].push_back(
+        {SolveLine(base, "mixed-greedy", theta, 42),
+         ExpectedSolveLine(engine, base, "mixed-greedy", theta, 42)});
+    sessions[c].push_back({SweepLine(base + 1, c % 2 == 0 ? "0/2" : "1/2"),
+                           ExpectedSweepLine(engine, base + 1, c % 2, 2)});
+    sessions[c].push_back(
+        {SolveLine(base + 2, "pure-matching", theta, 7),
+         ExpectedSolveLine(engine, base + 2, "pure-matching", theta, 7)});
+  }
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      WireClient client = ConnectTo(*server);
+      for (const Exchange& exchange : sessions[c]) {
+        StatusOr<std::string> response = client.Call(exchange.request);
+        ASSERT_TRUE(response.ok()) << response.status().ToString();
+        EXPECT_EQ(*response, exchange.expected);
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+
+  // The four connections shared one catalog: the server materialized the
+  // tiny dataset once and served every later request from the cache.
+  const Engine::CacheStats cache = server->engine().dataset_cache_stats();
+  EXPECT_GE(cache.hits, 1);
+  server->RequestShutdown();
+  server->Wait();
+}
+
+TEST(ServeTest, QueueOverflowReturnsTypedRejection) {
+  ServeOptions options;
+  options.queue_depth = 0;  // Pure rejector: every queued kind overflows.
+  std::unique_ptr<BundleServer> server = StartServer(options);
+  WireClient client = ConnectTo(*server);
+
+  StatusOr<std::string> response =
+      client.Call(SolveLine(1, "mixed-greedy", 0.0, 42));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ExpectErrorResponse(*response, "UNAVAILABLE", "rejected: queue full");
+
+  // The rejection left the connection and the control plane serving.
+  StatusOr<std::string> pong = client.Call(R"({"kind":"ping","id":2})");
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_NE(pong->find("\"pong\""), std::string::npos);
+  server->RequestShutdown();
+  server->Wait();
+}
+
+TEST(ServeTest, BurstEitherSolvesOrRejectsTyped) {
+  // A burst far beyond the queue depth: every request gets exactly one
+  // response — a solve result or a typed overflow rejection, never a
+  // dropped line. (How many of each depends on worker timing.)
+  ServeOptions options;
+  options.queue_depth = 2;
+  options.workers = 1;
+  std::unique_ptr<BundleServer> server = StartServer(options);
+  WireClient client = ConnectTo(*server);
+
+  constexpr int kBurst = 12;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client.SendLine(SolveLine(i, "mixed-greedy", 0.0, 42)).ok());
+  }
+  int solved = 0;
+  int rejected = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    StatusOr<std::string> line = client.ReadLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    std::optional<JsonValue> response = JsonParse(*line);
+    ASSERT_TRUE(response) << *line;
+    if (response->FindMember("ok")->AsBool()) {
+      ++solved;
+    } else {
+      EXPECT_EQ(response->FindMember("error")->FindMember("code")->AsString(),
+                "UNAVAILABLE")
+          << *line;
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(solved + rejected, kBurst);
+  EXPECT_GE(solved, 1);  // The worker drained at least one admitted solve.
+  server->RequestShutdown();
+  server->Wait();
+}
+
+TEST(ServeTest, MalformedInputLeavesConnectionServing) {
+  std::unique_ptr<BundleServer> server = StartServer(ServeOptions{});
+  WireClient client = ConnectTo(*server);
+
+  struct Case {
+    std::string line;
+    const char* code;
+    const char* needle;
+  };
+  const std::vector<Case> cases = {
+      {R"({"kind":"solve","method":)", "INVALID_ARGUMENT",
+       "malformed request JSON"},
+      {R"({"kind":"teleport","id":1})", "INVALID_ARGUMENT",
+       "unknown request kind"},
+      {R"({"kind":"solve","id":2,"dataset":{"profile":"tiny"}})",
+       "INVALID_ARGUMENT", "'method'"},
+      {R"({"kind":"sweep","id":3})", "INVALID_ARGUMENT", "'spec'"},
+      {std::string(R"({"kind":"ping","pad":")") +
+           std::string(kMaxWireRequestBytes, 'x') + "\"}",
+       "INVALID_ARGUMENT", "oversized request"},
+      // Well-formed wire requests whose *content* the Engine rejects.
+      {SolveLine(4, "no-such-method", 0.0, 42), "NOT_FOUND",
+       "unknown method key"},
+      {SweepLine(5, "0/0"), "INVALID_ARGUMENT", "shard"},
+  };
+  for (const Case& c : cases) {
+    StatusOr<std::string> response = client.Call(c.line);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ExpectErrorResponse(*response, c.code, c.needle);
+  }
+
+  // A validation error on an identifiable request echoes the id, so
+  // pipelining clients can attribute the failure.
+  StatusOr<std::string> with_id = client.Call(R"({"kind":"sweep","id":41})");
+  ASSERT_TRUE(with_id.ok()) << with_id.status().ToString();
+  ExpectErrorResponse(*with_id, "INVALID_ARGUMENT", "'spec'");
+  EXPECT_NE(with_id->find("\"id\": 41"), std::string::npos) << *with_id;
+
+  // After every rejection the same connection still serves real work.
+  Engine engine;
+  StatusOr<std::string> response =
+      client.Call(SolveLine(9, "mixed-greedy", 0.0, 42));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(*response, ExpectedSolveLine(engine, 9, "mixed-greedy", 0.0, 42));
+  server->RequestShutdown();
+  server->Wait();
+}
+
+TEST(ServeTest, DeadlineExpiredInQueueAnswersWithoutSolving) {
+  std::unique_ptr<BundleServer> server = StartServer(ServeOptions{});
+  WireClient client = ConnectTo(*server);
+  // A nanosecond budget has always expired by the time a worker picks the
+  // request up — the response must be the typed queue-deadline error.
+  StatusOr<std::string> response = client.Call(
+      R"({"kind":"solve","id":1,"method":"mixed-greedy",)"
+      R"("dataset":{"profile":"tiny","seed":7,"lambda":1.0},)"
+      R"("options":{"deadline_seconds":1e-9}})");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ExpectErrorResponse(*response, "DEADLINE_EXCEEDED", "admission queue");
+  server->RequestShutdown();
+  server->Wait();
+}
+
+TEST(ServeTest, ShutdownDrainsAdmittedRequestsBeforeStopping) {
+  ServeOptions options;
+  options.workers = 2;
+  options.queue_depth = 16;
+  std::unique_ptr<BundleServer> server = StartServer(options);
+  WireClient client = ConnectTo(*server);
+
+  // Pipeline six solves and a shutdown without reading anything: the
+  // connection thread admits all six before it handles the shutdown, so all
+  // six must be answered (drained) before the shutdown response.
+  constexpr int kSolves = 6;
+  for (int i = 0; i < kSolves; ++i) {
+    ASSERT_TRUE(client.SendLine(SolveLine(i, "mixed-greedy", 0.0, 42)).ok());
+  }
+  ASSERT_TRUE(client.SendLine(R"({"kind":"shutdown","id":99})").ok());
+
+  int solves_seen = 0;
+  bool shutdown_seen = false;
+  for (int i = 0; i < kSolves + 1; ++i) {
+    StatusOr<std::string> line = client.ReadLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    std::optional<JsonValue> response = JsonParse(*line);
+    ASSERT_TRUE(response) << *line;
+    EXPECT_FALSE(shutdown_seen) << "response after shutdown: " << *line;
+    EXPECT_TRUE(response->FindMember("ok")->AsBool()) << *line;
+    if (response->FindMember("kind")->AsString() == "shutdown") {
+      shutdown_seen = true;
+    } else {
+      EXPECT_EQ(response->FindMember("kind")->AsString(), "solve");
+      ++solves_seen;
+    }
+  }
+  EXPECT_EQ(solves_seen, kSolves);
+  EXPECT_TRUE(shutdown_seen);  // ...and strictly last (checked above).
+  server->Wait();
+
+  // Post-drain bookkeeping: every solve completed, nothing in flight.
+  std::optional<JsonValue> stats = JsonParse(server->StatsJson().Dump(0));
+  ASSERT_TRUE(stats);
+  const JsonValue* solve = stats->FindMember("requests")->FindMember("solve");
+  EXPECT_EQ(solve->FindMember("ok")->AsInt(), kSolves);
+  EXPECT_EQ(stats->FindMember("server")->FindMember("in_flight")->AsInt(), 0);
+}
+
+TEST(ServeTest, RequestsAfterShutdownAreRejectedAsDraining) {
+  std::unique_ptr<BundleServer> server = StartServer(ServeOptions{});
+  {
+    WireClient client = ConnectTo(*server);
+    StatusOr<std::string> bye = client.Call(R"({"kind":"shutdown"})");
+    ASSERT_TRUE(bye.ok()) << bye.status().ToString();
+  }
+  server->Wait();
+  // The listener is down now; a fresh connection must fail outright.
+  StatusOr<WireClient> late = WireClient::Connect("127.0.0.1", server->port());
+  EXPECT_FALSE(late.ok());
+}
+
+TEST(ServeTest, StatsCountersTrackTheSession) {
+  std::unique_ptr<BundleServer> server = StartServer(ServeOptions{});
+  WireClient client = ConnectTo(*server);
+  ASSERT_TRUE(client.Call(R"({"kind":"ping"})").ok());
+  ASSERT_TRUE(client.Call(SolveLine(1, "mixed-greedy", 0.0, 42)).ok());
+  ASSERT_TRUE(client.Call(SolveLine(2, "no-such-method", 0.0, 42)).ok());
+  ASSERT_TRUE(client.Call("not json at all").ok());
+
+  StatusOr<std::string> response = client.Call(R"({"kind":"stats","id":9})");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  std::optional<JsonValue> parsed = JsonParse(*response);
+  ASSERT_TRUE(parsed) << *response;
+  const JsonValue* stats = parsed->FindMember("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->FindMember("schema")->AsString(), "bundlemine.serve-stats");
+  const JsonValue* requests = stats->FindMember("requests");
+  EXPECT_EQ(requests->FindMember("ping")->FindMember("ok")->AsInt(), 1);
+  EXPECT_EQ(requests->FindMember("solve")->FindMember("ok")->AsInt(), 1);
+  EXPECT_EQ(requests->FindMember("solve")->FindMember("errors")->AsInt(), 1);
+  EXPECT_EQ(requests->FindMember("parse_errors")->AsInt(), 1);
+  EXPECT_GE(stats->FindMember("dataset_cache")->FindMember("misses")->AsInt(),
+            1);
+  server->RequestShutdown();
+  server->Wait();
+}
+
+TEST(ServeTest, StreamModeDrivesAFullSessionThroughPipes) {
+  std::ostringstream out;
+  std::istringstream in(
+      SolveLine(1, "mixed-greedy", 0.0, 42) + "\n" +
+      R"({"kind":"ping","id":2})" "\n" +
+      "{broken\n" +
+      SweepLine(3, "0/2") + "\n" +
+      R"({"kind":"shutdown","id":4})" "\n");
+  ServeOptions options;
+  options.workers = 2;
+  BundleServer server(options);
+  server.ServeStream(in, out);
+
+  // Responses may interleave (control answers inline, queued work answers
+  // when a worker finishes); index them by id.
+  Engine engine;
+  std::istringstream lines(out.str());
+  std::string line;
+  int parse_errors = 0;
+  std::map<std::int64_t, std::string> by_id;
+  while (std::getline(lines, line)) {
+    std::optional<JsonValue> response = JsonParse(line);
+    ASSERT_TRUE(response) << line;
+    const JsonValue* id = response->FindMember("id");
+    if (id == nullptr) {
+      ++parse_errors;  // The broken line's error response carries no id.
+      continue;
+    }
+    by_id[id->AsInt()] = line;
+  }
+  EXPECT_EQ(parse_errors, 1);
+  ASSERT_EQ(by_id.size(), 4u);
+  EXPECT_EQ(by_id[1], ExpectedSolveLine(engine, 1, "mixed-greedy", 0.0, 42));
+  EXPECT_NE(by_id[2].find("\"pong\""), std::string::npos);
+  EXPECT_EQ(by_id[3], ExpectedSweepLine(engine, 3, 0, 2));
+  EXPECT_NE(by_id[4].find("\"shutdown\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bundlemine

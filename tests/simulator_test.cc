@@ -10,7 +10,7 @@
 
 #include <filesystem>
 
-#include "core/runner.h"
+#include "core/bundler_registry.h"
 #include "core/solution_io.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
@@ -76,7 +76,7 @@ TEST(MarketSimulator, PureConfigurationsMatchAnalyticRevenueExactly) {
   MarketSimulator sim(SharedWtp(), 0.0);
   for (const char* key : {"components", "pure-matching", "pure-greedy",
                                  "pure-freq", "two-sized"}) {
-    BundleSolution s = RunMethod(key, problem);
+    BundleSolution s = SolveMethod(key, problem);
     MarketOutcome out = sim.Evaluate(s);
     EXPECT_NEAR(out.revenue, s.total_revenue, s.total_revenue * 1e-9) << key;
   }
@@ -87,7 +87,7 @@ TEST(MarketSimulator, WelfareIdentityHoldsForEveryMethod) {
   MarketSimulator sim(SharedWtp(), 0.0);
   double total = SharedWtp().TotalWtp();
   for (const std::string& key : StandardMethodKeys()) {
-    MarketOutcome out = sim.Evaluate(RunMethod(key, problem));
+    MarketOutcome out = sim.Evaluate(SolveMethod(key, problem));
     EXPECT_NEAR(out.revenue + out.consumer_surplus + out.deadweight_loss, total,
                 total * 1e-9)
         << key;
@@ -103,7 +103,7 @@ TEST(MarketSimulator, MixedAccountingIsCloseToRationalChoice) {
   BundleConfigProblem problem = SharedProblem();
   MarketSimulator sim(SharedWtp(), 0.0);
   for (const char* key : {"mixed-matching", "mixed-greedy", "mixed-freq"}) {
-    BundleSolution s = RunMethod(key, problem);
+    BundleSolution s = SolveMethod(key, problem);
     MarketOutcome out = sim.Evaluate(s);
     EXPECT_GT(out.revenue, 0.85 * s.total_revenue) << key;
     EXPECT_LT(out.revenue, 1.10 * s.total_revenue) << key;
@@ -115,8 +115,8 @@ TEST(MarketSimulator, BundlingReducesDeadweightVersusComponents) {
   // pricing leaves on the table.
   BundleConfigProblem problem = SharedProblem();
   MarketSimulator sim(SharedWtp(), 0.0);
-  MarketOutcome components = sim.Evaluate(RunMethod("components", problem));
-  MarketOutcome mixed = sim.Evaluate(RunMethod("mixed-matching", problem));
+  MarketOutcome components = sim.Evaluate(SolveMethod("components", problem));
+  MarketOutcome mixed = sim.Evaluate(SolveMethod("mixed-matching", problem));
   EXPECT_GT(mixed.revenue, components.revenue);
 }
 
@@ -135,7 +135,7 @@ TEST(MarketSimulator, EmptyConfiguration) {
 
 TEST(SolutionIo, RoundTrip) {
   BundleConfigProblem problem = SharedProblem();
-  BundleSolution s = RunMethod("mixed-matching", problem);
+  BundleSolution s = SolveMethod("mixed-matching", problem);
   std::string path =
       (std::filesystem::temp_directory_path() / "bundlemine_solution.csv").string();
   ASSERT_TRUE(SaveSolution(s, path));

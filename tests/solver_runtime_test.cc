@@ -8,7 +8,6 @@
 #include <vector>
 
 #include "core/bundler_registry.h"
-#include "core/runner.h"
 #include "core/solution.h"
 #include "core/solve_context.h"
 #include "data/generator.h"
@@ -74,7 +73,7 @@ TEST(BundlerRegistry, EveryRegisteredMethodSolvesTheQuickstartInstance) {
   for (const std::string& key : keys) {
     BundleConfigProblem problem;
     problem.wtp = &wtp;
-    BundleSolution solution = RunMethod(key, problem);
+    BundleSolution solution = SolveMethod(key, problem);
     EXPECT_GT(solution.total_revenue, 0.0) << key;
     EXPECT_FALSE(solution.method.empty()) << key;
     // Validate against the strategy the registry entry actually imposes.
@@ -100,11 +99,11 @@ TEST(BundlerRegistry, LookupsAndDisplayNames) {
   EXPECT_EQ(bundler->name(), "Greedy");
 }
 
-TEST(BundlerRegistry, RunMethodMatchesDirectRegistryUse) {
+TEST(BundlerRegistry, SolveMethodMatchesDirectRegistryUse) {
   WtpMatrix wtp = QuickstartMatrix();
   BundleConfigProblem problem;
   problem.wtp = &wtp;
-  BundleSolution via_runner = RunMethod("pure-matching", problem);
+  BundleSolution via_runner = SolveMethod("pure-matching", problem);
 
   const BundlerRegistry::Entry* entry =
       BundlerRegistry::Global().Find("pure-matching");
@@ -248,12 +247,12 @@ TEST(SolveContextTest, SerialAndParallelMatchingAreBitIdentical) {
     BundleConfigProblem problem;
     problem.wtp = &wtp;
     SolveContext serial;
-    BundleSolution base = RunMethod(key, problem, serial);
+    BundleSolution base = SolveMethod(key, problem, serial);
 
     SolveContext::Options options;
     options.num_threads = 4;
     SolveContext parallel(options);
-    BundleSolution threaded = RunMethod(key, problem, parallel);
+    BundleSolution threaded = SolveMethod(key, problem, parallel);
     ExpectSolutionsIdentical(base, threaded);
 
     // Both contexts priced the same candidate set.
@@ -268,12 +267,12 @@ TEST(SolveContextTest, ContextReuseAcrossSolvesIsHarmless) {
   BundleConfigProblem problem;
   problem.wtp = &wtp;
   SolveContext fresh;
-  BundleSolution expected = RunMethod("mixed-greedy", problem, fresh);
+  BundleSolution expected = SolveMethod("mixed-greedy", problem, fresh);
 
   SolveContext reused;
-  RunMethod("pure-matching", problem, reused);   // Warm the workspaces.
-  RunMethod("mixed-freq", problem, reused);
-  BundleSolution actual = RunMethod("mixed-greedy", problem, reused);
+  SolveMethod("pure-matching", problem, reused);   // Warm the workspaces.
+  SolveMethod("mixed-freq", problem, reused);
+  BundleSolution actual = SolveMethod("mixed-greedy", problem, reused);
   ExpectSolutionsIdentical(expected, actual);
 }
 
@@ -287,7 +286,7 @@ TEST(SolveContextTest, DeadlineStopsRefinementButStaysValid) {
   SolveContext::Options options;
   options.deadline_seconds = 1e-12;  // Expires immediately.
   SolveContext context(options);
-  BundleSolution solution = RunMethod("pure-matching", problem, context);
+  BundleSolution solution = SolveMethod("pure-matching", problem, context);
   EXPECT_TRUE(context.stats().deadline_hit);
   std::string error;
   EXPECT_TRUE(IsValidConfiguration(solution, wtp.num_items(),
@@ -302,10 +301,10 @@ TEST(SolveContextTest, StatsAccumulateAcrossSolves) {
   BundleConfigProblem problem;
   problem.wtp = &wtp;
   SolveContext context;
-  RunMethod("pure-matching", problem, context);
+  SolveMethod("pure-matching", problem, context);
   std::int64_t after_first = context.stats().pairs_evaluated;
   EXPECT_GT(after_first, 0);
-  RunMethod("pure-greedy", problem, context);
+  SolveMethod("pure-greedy", problem, context);
   EXPECT_GT(context.stats().pairs_evaluated, after_first);
   context.stats().Reset();
   EXPECT_EQ(context.stats().pairs_evaluated, 0);

@@ -10,6 +10,7 @@
 #include "scenario/artifact_writer.h"
 #include "scenario/scenario_spec.h"
 #include "scenario/sweep_runner.h"
+#include "sweep_test_util.h"
 
 namespace bundlemine {
 namespace {
@@ -30,7 +31,7 @@ ScenarioSpec DeterminismSpec() {
 std::string RunToJson(const ScenarioSpec& spec, int threads) {
   SweepRunnerOptions options;
   options.threads = threads;
-  return SweepArtifactJson(RunSweep(spec, options));
+  return SweepArtifactJson(RunFullSweep(spec, options));
 }
 
 TEST(SweepDeterminism, SerialAndThreadedJsonAreByteIdentical) {

@@ -6,7 +6,7 @@
 #include <map>
 
 #include "core/metrics.h"
-#include "core/runner.h"
+#include "core/bundler_registry.h"
 #include "core/solution.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
@@ -52,13 +52,13 @@ TEST_P(EndToEndSweepTest, AllMethodsUpholdInvariants) {
   problem.adoption =
       c.sigmoid ? AdoptionModel::Sigmoid(8.0) : AdoptionModel::Step();
 
-  double components = RunMethod("components", problem).total_revenue;
+  double components = SolveMethod("components", problem).total_revenue;
   ASSERT_GT(components, 0.0);
 
   for (const char* key_cstr : {"pure-matching", "pure-greedy", "mixed-matching",
                                "mixed-greedy"}) {
     const std::string key = key_cstr;
-    BundleSolution s = RunMethod(key, problem);
+    BundleSolution s = SolveMethod(key, problem);
     BundlingStrategy strategy = key.find("mixed") != std::string::npos
                                     ? BundlingStrategy::kMixed
                                     : BundlingStrategy::kPure;

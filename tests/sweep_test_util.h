@@ -1,0 +1,25 @@
+// Shared test helper: run a ScenarioSpec's full grid over a locally
+// materialized dataset. This is the test-side stand-in for the removed
+// RunSweep wrapper — production callers go through Engine::Sweep, which
+// adds dataset caching and shard filtering on top of the same RunSweepCells
+// path; tests that probe the sweep runner itself skip the Engine.
+
+#ifndef BUNDLEMINE_TESTS_SWEEP_TEST_UTIL_H_
+#define BUNDLEMINE_TESTS_SWEEP_TEST_UTIL_H_
+
+#include "data/generator.h"
+#include "scenario/scenario_spec.h"
+#include "scenario/sweep_runner.h"
+
+namespace bundlemine {
+
+inline SweepResult RunFullSweep(const ScenarioSpec& spec,
+                                const SweepRunnerOptions& options = {}) {
+  RatingsDataset dataset =
+      GenerateAmazonLike(DatasetGeneratorConfig(spec.dataset));
+  return RunSweepCells(spec, ExpandGrid(spec), dataset, options);
+}
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_TESTS_SWEEP_TEST_UTIL_H_

@@ -1,0 +1,185 @@
+// bundlemine_client — command-line client for bundlemined.
+//
+//   ./bundlemine_client --port=7077 --request='{"kind":"ping"}'
+//   ./bundlemine_client --port=7077 --requests=session.jsonl --json
+//   ./bundlemine_client --port=7077 --artifact-out=sweep.json
+//       --request='{"kind":"sweep","spec":"fig2-theta","shard":"0/2"}'
+//
+// Sends each request in lockstep (one line out, one response line in) and
+// pretty-prints the responses; --json prints the raw response lines
+// instead. Requests without an "id" get sequential ids injected so
+// responses are attributable. --artifact-out re-renders the artifact
+// document embedded in a sweep response with the artifact writer's
+// indentation — byte-identical to what `configurator_cli --sweep --json=`
+// writes for the same spec and shard, which the CI serve-smoke step
+// asserts.
+//
+// Exit status: 0 when every response is ok, 1 when any response carries an
+// error document, 2 on usage or transport failures.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+using namespace bundlemine;
+
+namespace {
+
+// Parses a request line the user supplied and injects `id` when absent.
+// Returns the canonical one-line rendering, or nullopt with a message.
+std::optional<std::string> CanonicalRequest(const std::string& line,
+                                            std::int64_t id) {
+  std::string diagnostic;
+  std::optional<JsonValue> parsed = JsonParse(line, &diagnostic);
+  if (!parsed || parsed->kind() != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "error: bad request line: %s\n",
+                 parsed ? "not a JSON object" : diagnostic.c_str());
+    return std::nullopt;
+  }
+  if (parsed->FindMember("id") == nullptr) {
+    parsed->Set("id", JsonValue::Int(id));
+  }
+  return parsed->Dump(0);
+}
+
+void PrettyPrint(const JsonValue& response) {
+  const JsonValue* id = response.FindMember("id");
+  const std::string tag =
+      id != nullptr ? StrFormat("[%lld] ", static_cast<long long>(id->AsInt()))
+                    : std::string();
+  const JsonValue* ok = response.FindMember("ok");
+  if (ok == nullptr || ok->kind() != JsonValue::Kind::kBool) {
+    std::printf("%sunrecognized response: %s\n", tag.c_str(),
+                response.Dump(0).c_str());
+    return;
+  }
+  if (!ok->AsBool()) {
+    const JsonValue* error = response.FindMember("error");
+    const JsonValue* code = error ? error->FindMember("code") : nullptr;
+    const JsonValue* message = error ? error->FindMember("message") : nullptr;
+    std::printf("%serror: %s: %s\n", tag.c_str(),
+                code ? code->AsString().c_str() : "?",
+                message ? message->AsString().c_str() : "?");
+    return;
+  }
+  const std::string kind = response.FindMember("kind")->AsString();
+  if (kind == "ping") {
+    std::printf("%spong\n", tag.c_str());
+  } else if (kind == "solve") {
+    std::printf("%ssolve ok: method=%s revenue=%.2f offers=%lld\n", tag.c_str(),
+                response.FindMember("method")->AsString().c_str(),
+                response.FindMember("revenue")->AsDouble(),
+                static_cast<long long>(response.FindMember("num_offers")->AsInt()));
+  } else if (kind == "sweep") {
+    std::printf("%ssweep ok: %lld of %lld grid cells\n", tag.c_str(),
+                static_cast<long long>(response.FindMember("cells")->AsInt()),
+                static_cast<long long>(
+                    response.FindMember("grid_cells")->AsInt()));
+  } else if (kind == "stats") {
+    std::printf("%sstats:\n%s\n", tag.c_str(),
+                response.FindMember("stats")->Dump(2).c_str());
+  } else if (kind == "shutdown") {
+    std::printf("%sshutdown ok: drained=%lld\n", tag.c_str(),
+                static_cast<long long>(response.FindMember("drained")->AsInt()));
+  } else {
+    std::printf("%s%s ok\n", tag.c_str(), kind.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("host", "127.0.0.1", "server host");
+  flags.Define("port", "0", "server port (required)");
+  flags.Define("request", "", "one inline JSON request to send");
+  flags.Define("requests", "",
+               "path to a file with one JSON request per line (a session "
+               "script); blank lines are skipped");
+  flags.Define("json", "false",
+               "print raw response lines instead of pretty summaries");
+  flags.Define("artifact-out", "",
+               "write the artifact document of the last sweep response "
+               "here (2-space indentation — byte-identical to "
+               "configurator_cli --json output for the same spec/shard)");
+  flags.Parse(argc, argv);
+
+  const int port = static_cast<int>(flags.GetInt("port"));
+  if (port <= 0) {
+    std::fprintf(stderr, "error: --port is required\n");
+    return 2;
+  }
+  std::vector<std::string> request_lines;
+  if (!flags.GetString("request").empty()) {
+    request_lines.push_back(flags.GetString("request"));
+  }
+  if (!flags.GetString("requests").empty()) {
+    std::ifstream in(flags.GetString("requests"));
+    if (!in.good()) {
+      std::fprintf(stderr, "error: cannot read %s\n",
+                   flags.GetString("requests").c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      request_lines.push_back(line);
+    }
+  }
+  if (request_lines.empty()) {
+    std::fprintf(stderr,
+                 "error: nothing to send (pass --request='{...}' or "
+                 "--requests=file.jsonl)\n");
+    return 2;
+  }
+
+  StatusOr<WireClient> client = WireClient::Connect(flags.GetString("host"), port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "error: %s\n", client.status().message().c_str());
+    return 2;
+  }
+
+  bool any_error = false;
+  std::int64_t next_id = 1;
+  for (const std::string& line : request_lines) {
+    std::optional<std::string> request = CanonicalRequest(line, next_id++);
+    if (!request) return 2;
+    StatusOr<JsonValue> response = client->CallJson(*request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n", response.status().message().c_str());
+      return 2;
+    }
+    if (flags.GetBool("json")) {
+      std::printf("%s\n", response->Dump(0).c_str());
+    } else {
+      PrettyPrint(*response);
+    }
+    const JsonValue* ok = response->FindMember("ok");
+    if (ok == nullptr || ok->kind() != JsonValue::Kind::kBool || !ok->AsBool()) {
+      any_error = true;
+      continue;
+    }
+    const JsonValue* kind = response->FindMember("kind");
+    const JsonValue* artifact = response->FindMember("artifact");
+    if (kind != nullptr && kind->AsString() == "sweep" && artifact != nullptr &&
+        !flags.GetString("artifact-out").empty()) {
+      std::FILE* file = std::fopen(flags.GetString("artifact-out").c_str(), "w");
+      if (file == nullptr) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     flags.GetString("artifact-out").c_str());
+        return 2;
+      }
+      const std::string rendered = artifact->Dump(2) + "\n";
+      std::fwrite(rendered.data(), 1, rendered.size(), file);
+      std::fclose(file);
+    }
+  }
+  return any_error ? 1 : 0;
+}

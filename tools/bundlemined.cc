@@ -1,0 +1,106 @@
+// bundlemined — the long-lived bundlemine serving daemon.
+//
+// Speaks the newline-delimited JSON wire protocol (serve/protocol.h) over a
+// loopback TCP socket, or over stdin/stdout for pipe-driven use:
+//
+//   ./bundlemined --port=7077 --workers=4 --queue-depth=128
+//   ./bundlemined --port=0 --port-file=port.txt --stats-out=stats.json
+//   cat requests.jsonl | ./bundlemined --stdio > responses.jsonl
+//
+// One Engine per process: dataset and WTP work is cached across requests
+// and connections, which is the whole point of serving a fixed catalog
+// instead of forking a CLI per query. On shutdown (a {"kind":"shutdown"}
+// request, or EOF in --stdio mode) the admission queue drains before exit
+// and the final stats summary is written to --stats-out (and, briefly, to
+// stderr).
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "serve/server.h"
+#include "util/flags.h"
+#include "util/strings.h"
+
+using namespace bundlemine;
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fwrite(contents.data(), 1, contents.size(), file);
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("stdio", "false",
+               "serve stdin/stdout instead of TCP (one request per line; "
+               "EOF drains and exits)");
+  flags.Define("port", "0",
+               "TCP port to bind on 127.0.0.1 (0 picks an ephemeral port, "
+               "announced on stderr and via --port-file)");
+  flags.Define("port-file", "",
+               "write the bound port number to this file once listening "
+               "(lets scripts wait for readiness)");
+  flags.Define("stats-out", "",
+               "write the final serve-stats summary JSON here on shutdown");
+  flags.Define("queue-depth", "64",
+               "admission queue depth; a full queue answers solve/sweep "
+               "requests with a typed 'rejected: queue full' response");
+  flags.Define("workers", "2", "worker threads draining the queue");
+  flags.Define("threads", "1",
+               "Engine solver threads (default width for requests that "
+               "leave options.threads at 0)");
+  flags.Define("cache", "8", "dataset cache capacity (entries; 0 disables)");
+  flags.Parse(argc, argv);
+
+  ServeOptions options;
+  options.queue_depth = static_cast<std::size_t>(flags.GetInt("queue-depth"));
+  options.workers = static_cast<int>(flags.GetInt("workers"));
+  options.engine.threads = static_cast<int>(flags.GetInt("threads"));
+  options.engine.dataset_cache_capacity =
+      static_cast<std::size_t>(flags.GetInt("cache"));
+  BundleServer server(options);
+
+  if (flags.GetBool("stdio")) {
+    server.ServeStream(std::cin, std::cout);
+  } else {
+    if (Status status = server.ListenTcp(static_cast<int>(flags.GetInt("port")));
+        !status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "bundlemined listening on 127.0.0.1:%d "
+                 "(workers=%d queue-depth=%zu engine-threads=%d)\n",
+                 server.port(), std::max(1, options.workers),
+                 options.queue_depth, options.engine.threads);
+    if (!flags.GetString("port-file").empty() &&
+        !WriteFile(flags.GetString("port-file"),
+                   StrFormat("%d\n", server.port()))) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   flags.GetString("port-file").c_str());
+      return 1;
+    }
+    server.Wait();
+  }
+
+  const std::string summary = server.StatsJson().Dump(2) + "\n";
+  if (!flags.GetString("stats-out").empty()) {
+    if (!WriteFile(flags.GetString("stats-out"), summary)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   flags.GetString("stats-out").c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "bundlemined: stats summary written to %s\n",
+                 flags.GetString("stats-out").c_str());
+  } else {
+    std::fputs(summary.c_str(), stderr);
+  }
+  return 0;
+}
