@@ -94,6 +94,15 @@ ScenarioSpec ScenarioFromFlags(const FlagSet& flags, const std::string& name,
                                const std::string& description,
                                ScenarioAxis axis,
                                std::vector<std::string> methods) {
+  return ScenarioFromFlags(flags, name, description,
+                           std::vector<ScenarioAxis>{std::move(axis)},
+                           std::move(methods));
+}
+
+ScenarioSpec ScenarioFromFlags(const FlagSet& flags, const std::string& name,
+                               const std::string& description,
+                               std::vector<ScenarioAxis> axes,
+                               std::vector<std::string> methods) {
   ScenarioSpec spec;
   spec.name = name;
   spec.description = description;
@@ -104,15 +113,22 @@ ScenarioSpec ScenarioFromFlags(const FlagSet& flags, const std::string& name,
   spec.max_bundle_size = static_cast<int>(flags.GetInt("k"));
   spec.price_levels = static_cast<int>(flags.GetInt("levels"));
   spec.methods = std::move(methods);
-  spec.axes.push_back(std::move(axis));
+  spec.axes = std::move(axes);
   return spec;
 }
 
-SweepResult RunSweepFromFlags(const ScenarioSpec& spec, const FlagSet& flags) {
+SweepResult RunSweepFromFlags(const ScenarioSpec& spec, const FlagSet& flags,
+                              bool capture_traces) {
   Engine engine(EngineOptions(flags));
+  return RunSweep(engine, spec, flags, capture_traces);
+}
+
+SweepResult RunSweep(Engine& engine, const ScenarioSpec& spec,
+                     const FlagSet& flags, bool capture_traces) {
   SweepRequest request;
   request.spec = spec;
   request.options.threads = static_cast<int>(flags.GetInt("threads"));
+  request.capture_traces = capture_traces;
   StatusOr<SweepResponse> response = engine.Sweep(request);
   if (!response.ok()) {
     std::fprintf(stderr, "error: %s\n", response.status().ToString().c_str());
@@ -177,6 +193,32 @@ void WriteSweepJsonFromFlags(const SweepResult& result, const FlagSet& flags) {
     std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
     std::exit(1);
   }
+}
+
+void WriteSweepJsonTagged(const SweepResult& result, const FlagSet& flags,
+                          const std::string& tag) {
+  const std::string json_path = flags.GetString("json");
+  if (json_path.empty()) return;
+  const std::string tagged = json_path + "." + tag + ".json";
+  if (WriteSweepArtifact(result, tagged)) {
+    std::fprintf(stderr, "# sweep artifact written to %s\n", tagged.c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write %s\n", tagged.c_str());
+    std::exit(1);
+  }
+}
+
+const SweepCellResult& CellAt(const SweepResult& result, std::size_t point,
+                              const std::string& method) {
+  const std::size_t block = result.spec.methods.size();
+  for (std::size_t m = 0; m < block; ++m) {
+    if (result.spec.methods[m] != method) continue;
+    const std::size_t slot = point * block + m;
+    BM_CHECK_LT(slot, result.cells.size());
+    return result.cells[slot];
+  }
+  BM_CHECK_MSG(false, "method not in sweep");
+  return result.cells.front();
 }
 
 std::string Pct(double fraction) { return StrFormat("%.1f%%", fraction * 100.0); }

@@ -75,10 +75,31 @@ ScenarioSpec ScenarioFromFlags(const FlagSet& flags, const std::string& name,
                                ScenarioAxis axis,
                                std::vector<std::string> methods);
 
+/// Multi-axis variant: the grid is the axes' cross product (first axis
+/// slowest), e.g. the ablation sweeps' pruning-toggle grids.
+ScenarioSpec ScenarioFromFlags(const FlagSet& flags, const std::string& name,
+                               const std::string& description,
+                               std::vector<ScenarioAxis> axes,
+                               std::vector<std::string> methods);
+
 /// Runs the sweep through Engine::Sweep with --threads workers and the
 /// deterministic per-cell seeding; prints the dataset summary and a
 /// one-line sweep summary. The result is identical at any thread count.
-SweepResult RunSweepFromFlags(const ScenarioSpec& spec, const FlagSet& flags);
+/// `capture_traces` records each cell's per-iteration revenue trace (the
+/// Figure 6 recorder).
+SweepResult RunSweepFromFlags(const ScenarioSpec& spec, const FlagSet& flags,
+                              bool capture_traces = false);
+
+/// Same through a caller-owned Engine — harnesses running several sweeps
+/// over the same data share its dataset cache.
+SweepResult RunSweep(Engine& engine, const ScenarioSpec& spec,
+                     const FlagSet& flags, bool capture_traces = false);
+
+/// The cell of `result` at (axis point, method), looked up by position in
+/// the expanded grid. Aborts when out of range — harness grids are
+/// hardcoded, so a miss is a programming error.
+const SweepCellResult& CellAt(const SweepResult& result, std::size_t point,
+                              const std::string& method);
 
 /// Reporting recipe for a single-axis sweep.
 struct SweepReport {
@@ -98,6 +119,11 @@ void ReportSweep(const SweepResult& result, const SweepReport& report,
 /// the path on stderr, aborts the process on a write failure. Shared by
 /// ReportSweep and the harnesses that print custom tables.
 void WriteSweepJsonFromFlags(const SweepResult& result, const FlagSet& flags);
+
+/// Tagged variant for harnesses that run several sweeps: writes to
+/// `<json>.<tag>.json` when --json is set (no-op otherwise).
+void WriteSweepJsonTagged(const SweepResult& result, const FlagSet& flags,
+                          const std::string& tag);
 
 /// "77.7%" formatting.
 std::string Pct(double fraction);

@@ -1,10 +1,18 @@
 // Reproduces Figure 7: running time of the four bundling algorithms as the
-// number of users scales (a: clone multiplier, linear growth) and as the
-// number of items scales (b: item multiples, polynomial growth — linear in
-// log-log).
+// number of users scales (a) and as the number of items scales (b) — now on
+// the scenario engine's dataset axes: each axis point regenerates the
+// synthetic dataset at a scaled pre-filter population (num_users/num_items
+// override the generator), every cell solving through Engine::Sweep with
+// the per-cell dataset served by the Engine's keyed cache. --json leaves
+// the "bundlemine.sweep" artifacts behind (one per swept axis, tagged
+// .users/.items), each cell carrying its own post-filter dataset size.
+//
+// Paper shape: time grows linearly with users (pricing is O(M)) and
+// polynomially with items; matching is faster than greedy throughout.
+
+#include <cmath>
 
 #include "bench_common.h"
-#include "util/timer.h"
 
 using namespace bundlemine;
 
@@ -13,63 +21,70 @@ namespace {
 const char* kMethods[] = {"pure-matching", "pure-greedy", "mixed-matching",
                           "mixed-greedy"};
 
+void RunScalabilityAxis(const FlagSet& flags, AxisKind kind, int base_size,
+                        const std::string& factors_flag, const char* tag,
+                        const char* title) {
+  std::vector<double> sizes;
+  std::vector<double> factors =
+      bench::ParseValueList(factors_flag, flags.GetString(factors_flag));
+  for (double factor : factors) {
+    sizes.push_back(std::round(base_size * factor));
+  }
+
+  ScenarioSpec spec = bench::ScenarioFromFlags(
+      flags, std::string("fig7-") + tag,
+      "running time vs generator " + AxisKindName(kind) + " (paper Figure 7)",
+      ScenarioAxis{kind, sizes},
+      {kMethods[0], kMethods[1], kMethods[2], kMethods[3]});
+  SweepResult result = bench::RunSweepFromFlags(spec, flags);
+
+  TablePrinter table(title);
+  std::vector<std::string> header = {tag};
+  for (const char* key : kMethods) header.push_back(MethodDisplayName(key));
+  table.SetHeader(header);
+  for (std::size_t point = 0; point < sizes.size(); ++point) {
+    const SweepCellResult& first = bench::CellAt(result, point, kMethods[0]);
+    const int post_filter =
+        kind == AxisKind::kNumUsers ? first.num_users : first.num_items;
+    std::vector<std::string> row = {
+        StrFormat("%d (%.0f%%)", post_filter, factors[point] * 100)};
+    for (const char* key : kMethods) {
+      row.push_back(
+          StrFormat("%.2f", bench::CellAt(result, point, key).wall_seconds));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  bench::WriteSweepJsonTagged(result, flags, tag);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   FlagSet flags;
   bench::DefineCommonFlags(&flags);
   flags.Define("axis", "both", "users | items | both");
-  flags.Define("user_factors", "1,2,3,4", "user clone multipliers (Fig 7a)");
-  flags.Define("item_factors", "1,2,4", "item clone multipliers (Fig 7b)");
+  flags.Define("user_factors", "1,2,3,4",
+               "user population multipliers (Fig 7a; scales the generator's "
+               "pre-filter num_users)");
+  flags.Define("item_factors", "1,2,4",
+               "item inventory multipliers (Fig 7b; scales the generator's "
+               "pre-filter num_items)");
   flags.Parse(argc, argv);
 
-  bench::BenchData data = bench::LoadData(flags);
+  GeneratorConfig base = ProfileByName(
+      flags.GetString("scale"), static_cast<std::uint64_t>(flags.GetInt("seed")));
   std::string axis = flags.GetString("axis");
-  Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed")) + 7);
-  Engine engine(bench::EngineOptions(flags));
 
   if (axis == "users" || axis == "both") {
-    TablePrinter table("Figure 7(a) — running time (s) vs user multiplier");
-    std::vector<std::string> header = {"users"};
-    for (const char* key : kMethods) header.push_back(MethodDisplayName(key));
-    table.SetHeader(header);
-    for (const std::string& f_str : Split(flags.GetString("user_factors"), ',')) {
-      double factor = *ParseDouble(f_str);
-      RatingsDataset scaled = data.dataset.CloneUsers(factor, &rng);
-      WtpMatrix wtp = WtpMatrix::FromRatings(scaled, flags.GetDouble("lambda"));
-      BundleConfigProblem problem = bench::BaseProblem(flags, wtp);
-      std::vector<std::string> row = {
-          StrFormat("%d (%.0f%%)", scaled.num_users(), factor * 100)};
-      for (const char* key : kMethods) {
-        WallTimer timer;
-        bench::MustSolve(engine, key, problem, flags);
-        row.push_back(StrFormat("%.2f", timer.Seconds()));
-      }
-      table.AddRow(row);
-    }
-    table.Print();
+    RunScalabilityAxis(flags, AxisKind::kNumUsers, base.num_users,
+                       "user_factors", "users",
+                       "Figure 7(a) — running time (s) vs user population");
   }
-
   if (axis == "items" || axis == "both") {
-    TablePrinter table("Figure 7(b) — running time (s) vs item multiplier");
-    std::vector<std::string> header = {"items"};
-    for (const char* key : kMethods) header.push_back(MethodDisplayName(key));
-    table.SetHeader(header);
-    for (const std::string& f_str : Split(flags.GetString("item_factors"), ',')) {
-      int factor = static_cast<int>(*ParseInt(f_str));
-      RatingsDataset scaled = data.dataset.CloneItems(factor);
-      WtpMatrix wtp = WtpMatrix::FromRatings(scaled, flags.GetDouble("lambda"));
-      BundleConfigProblem problem = bench::BaseProblem(flags, wtp);
-      std::vector<std::string> row = {
-          StrFormat("%d (x%d)", scaled.num_items(), factor)};
-      for (const char* key : kMethods) {
-        WallTimer timer;
-        bench::MustSolve(engine, key, problem, flags);
-        row.push_back(StrFormat("%.2f", timer.Seconds()));
-      }
-      table.AddRow(row);
-    }
-    table.Print();
+    RunScalabilityAxis(flags, AxisKind::kNumItems, base.num_items,
+                       "item_factors", "items",
+                       "Figure 7(b) — running time (s) vs item inventory");
   }
 
   std::printf(

@@ -70,8 +70,17 @@ int ListScenarios() {
   return 0;
 }
 
+int ListAxes() {
+  for (AxisKind kind : AllAxisKinds()) {
+    std::printf("axis:%-19s %s\n", AxisKindName(kind).c_str(),
+                AxisKindDescription(kind).c_str());
+  }
+  return 0;
+}
+
 int RunSweepMode(Engine& engine, const FlagSet& flags) {
   if (flags.GetBool("list-scenarios")) return ListScenarios();
+  if (flags.GetBool("list-axes")) return ListAxes();
 
   const std::string spec_arg = flags.GetString("spec");
   if (spec_arg.empty()) {
@@ -195,6 +204,9 @@ int main(int argc, char** argv) {
                "grid exactly");
   flags.Define("list-scenarios", "false",
                "print the built-in scenario presets and exit");
+  flags.Define("list-axes", "false",
+               "print the sweepable axis kinds (problem knobs, dataset axes, "
+               "method-config axes) and exit");
   flags.Define("json", "", "sweep mode: artifact JSON output path");
   flags.Define("timings", "false",
                "sweep mode: include wall times in the JSON artifact (breaks "
@@ -205,7 +217,8 @@ int main(int argc, char** argv) {
   engine_options.threads = static_cast<int>(flags.GetInt("threads"));
   Engine engine(engine_options);
 
-  if (flags.GetBool("sweep") || flags.GetBool("list-scenarios")) {
+  if (flags.GetBool("sweep") || flags.GetBool("list-scenarios") ||
+      flags.GetBool("list-axes")) {
     return RunSweepMode(engine, flags);
   }
 

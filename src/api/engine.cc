@@ -40,23 +40,7 @@ Status ValidateShard(int shard_index, int shard_count) {
 
 }  // namespace
 
-std::string DatasetCacheKey(const DatasetSpec& spec) {
-  std::string key = spec.profile;
-  key += "|seed=" + StrFormat("%llu", static_cast<unsigned long long>(spec.seed));
-  if (spec.activity_sigma) {
-    key += "|sigma=" + FormatDoubleShortest(*spec.activity_sigma);
-  }
-  if (spec.background_mass) {
-    key += "|mass=" + FormatDoubleShortest(*spec.background_mass);
-  }
-  if (spec.popularity_exponent) {
-    key += "|pop=" + FormatDoubleShortest(*spec.popularity_exponent);
-  }
-  if (spec.genres_per_user) {
-    key += "|genres=" + StrFormat("%d", *spec.genres_per_user);
-  }
-  return key;
-}
+std::string DatasetCacheKey(const DatasetSpec& spec) { return DatasetKey(spec); }
 
 Engine::Engine(const Options& options)
     : options_(options), pool_(std::make_unique<ThreadPool>(options.threads)) {}
@@ -80,8 +64,8 @@ std::shared_ptr<const RatingsDataset> Engine::DatasetFor(
   }
   ++cache_misses_;
   if (hit != nullptr) *hit = false;
-  auto dataset = std::make_shared<const RatingsDataset>(
-      GenerateAmazonLike(DatasetGeneratorConfig(spec)));
+  auto dataset =
+      std::make_shared<const RatingsDataset>(MaterializeDataset(spec));
   if (options_.dataset_cache_capacity == 0) return dataset;
   cache_.push_front(CacheEntry{key, dataset});
   while (cache_.size() > options_.dataset_cache_capacity) cache_.pop_back();
@@ -215,17 +199,24 @@ StatusOr<SweepResponse> Engine::Sweep(const SweepRequest& request) {
   SweepRunnerOptions runner_options;
   runner_options.threads = EffectiveThreads(request.options);
   runner_options.deadline_seconds = request.options.deadline_seconds;
+  runner_options.capture_traces = request.capture_traces;
+  // Dataset-axis cells regenerate their datasets through the Engine's keyed
+  // cache, so repeated sweeps over the same scalability grid materialize
+  // each point once.
+  DatasetProvider provider = [this](const DatasetSpec& cell_dataset) {
+    return DatasetFor(cell_dataset);
+  };
   // Reuse the Engine's pool when the request runs at the Engine's width —
   // serialized on pool_mu_, since ParallelFor holds a single job slot.
   // Otherwise spin up a request-local pool (results are identical either
   // way — width only affects wall time).
   if (runner_options.threads == options_.threads) {
     std::lock_guard<std::mutex> lock(pool_mu_);
-    response.result =
-        RunSweepCells(request.spec, cells, *dataset, runner_options, pool_.get());
+    response.result = RunSweepCells(request.spec, cells, *dataset,
+                                    runner_options, pool_.get(), provider);
   } else {
-    response.result =
-        RunSweepCells(request.spec, cells, *dataset, runner_options, nullptr);
+    response.result = RunSweepCells(request.spec, cells, *dataset,
+                                    runner_options, nullptr, provider);
   }
   response.result.wall_seconds = timer.Seconds();
   return response;

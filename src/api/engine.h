@@ -101,6 +101,10 @@ struct SweepRequest {
   /// grid. Requires 0 <= shard_index < shard_count.
   int shard_index = 0;
   int shard_count = 1;
+  /// Capture each cell's per-iteration revenue trace
+  /// (SweepCellResult::trace) — the Figure 6 harness's cell recorder.
+  /// Trace revenues are deterministic; artifacts stay byte-identical.
+  bool capture_traces = false;
 };
 
 struct SweepResponse {
@@ -195,8 +199,11 @@ class Engine {
   std::int64_t cache_misses_ = 0;
 };
 
-/// Stable cache key of a dataset reference: profile, seed, and generator
-/// overrides (λ deliberately excluded — WTP derivation is per-request).
+/// Stable cache key of a dataset reference: profile, seed, generator
+/// overrides, and the item-sample size (λ deliberately excluded — WTP
+/// derivation is per-request). Alias of scenario-layer DatasetKey(): the
+/// cache keys on exactly the fields a sweep's per-cell datasets vary, so
+/// dataset-axis sweeps and repeated solves share materialized datasets.
 std::string DatasetCacheKey(const DatasetSpec& spec);
 
 /// OK iff `method` is a registered bundler key; otherwise the NOT_FOUND

@@ -1,0 +1,221 @@
+#include "scenario/artifact_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace bundlemine {
+namespace {
+
+// Structural identity ignores presentation: blank out name/description and
+// compare the canonical textual form (dataset, base knobs, methods, axes).
+std::string StructuralSpecText(const ScenarioSpec& spec) {
+  ScenarioSpec stripped = spec;
+  stripped.name.clear();
+  stripped.description.clear();
+  return FormatScenarioSpec(stripped);
+}
+
+std::string AxisPointLabel(const ScenarioSpec& spec, const SweepCell& cell) {
+  std::string label;
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    if (!label.empty()) label += " ";
+    label += AxisKindName(spec.axes[a].kind) + "=" +
+             FormatDoubleShortest(cell.axis_values[a]);
+  }
+  return label;
+}
+
+class CellComparer {
+ public:
+  CellComparer(const ScenarioSpec& spec, const SweepCellResult& left,
+               const SweepCellResult& right, const DiffOptions& options,
+               std::vector<CellFieldDiff>* out)
+      : left_(left), right_(right), options_(options), out_(out) {
+    index_ = left.cell.index;
+    method_ = left.cell.method;
+    axis_point_ = AxisPointLabel(spec, left.cell);
+  }
+
+  void Double(const char* field, double a, double b) {
+    const double scale = std::max(std::abs(a), std::abs(b));
+    const double error = std::abs(a - b);
+    if (error <= options_.rel_tol * scale) return;
+    Report(field, FormatDoubleShortest(a), FormatDoubleShortest(b),
+           scale > 0.0 ? error / scale : 0.0);
+  }
+
+  void Int(const char* field, std::int64_t a, std::int64_t b) {
+    if (a == b) return;
+    Report(field, StrFormat("%lld", static_cast<long long>(a)),
+           StrFormat("%lld", static_cast<long long>(b)), 0.0);
+  }
+
+  void Bool(const char* field, bool a, bool b) {
+    if (a == b) return;
+    Report(field, a ? "true" : "false", b ? "true" : "false", 0.0);
+  }
+
+  void Compare() {
+    Double("revenue", left_.revenue, right_.revenue);
+    Double("coverage", left_.coverage, right_.coverage);
+    Bool("has_gain", left_.has_gain, right_.has_gain);
+    if (left_.has_gain && right_.has_gain) {
+      Double("gain_over_components", left_.gain_over_components,
+             right_.gain_over_components);
+    }
+    Int("num_offers", left_.num_offers, right_.num_offers);
+    Int("num_component_offers", left_.num_component_offers,
+        right_.num_component_offers);
+    if (left_.bundle_size_histogram != right_.bundle_size_histogram) {
+      Report("bundle_size_histogram", RenderHistogram(left_),
+             RenderHistogram(right_), 0.0);
+    }
+    Int("stats.pairs_evaluated", left_.stats.pairs_evaluated,
+        right_.stats.pairs_evaluated);
+    Int("stats.merges", left_.stats.merges, right_.stats.merges);
+    Int("stats.rounds", left_.stats.rounds, right_.stats.rounds);
+    Bool("stats.deadline_hit", left_.stats.deadline_hit,
+         right_.stats.deadline_hit);
+    Int("dataset.num_users", left_.num_users, right_.num_users);
+    Int("dataset.num_items", left_.num_items, right_.num_items);
+    CompareTraces();
+  }
+
+ private:
+  // Captured iteration traces are deterministic (revenues, iteration
+  // numbers, offer counts — seconds are volatile and never compared); a
+  // diverging convergence trajectory is a regression even when the final
+  // revenue agrees. One finding per cell: the length mismatch or the first
+  // differing iteration.
+  void CompareTraces() {
+    if (left_.trace.size() != right_.trace.size()) {
+      Report("trace.length", StrFormat("%zu", left_.trace.size()),
+             StrFormat("%zu", right_.trace.size()), 0.0);
+      return;
+    }
+    for (std::size_t i = 0; i < left_.trace.size(); ++i) {
+      const IterationStat& a = left_.trace[i];
+      const IterationStat& b = right_.trace[i];
+      const double scale =
+          std::max(std::abs(a.total_revenue), std::abs(b.total_revenue));
+      const double error = std::abs(a.total_revenue - b.total_revenue);
+      if (a.iteration == b.iteration &&
+          a.num_top_offers == b.num_top_offers &&
+          error <= options_.rel_tol * scale) {
+        continue;
+      }
+      Report(
+          "trace",
+          StrFormat("[%zu] iter %d rev %s offers %d", i, a.iteration,
+                    FormatDoubleShortest(a.total_revenue).c_str(),
+                    a.num_top_offers),
+          StrFormat("[%zu] iter %d rev %s offers %d", i, b.iteration,
+                    FormatDoubleShortest(b.total_revenue).c_str(),
+                    b.num_top_offers),
+          scale > 0.0 ? error / scale : 0.0);
+      return;
+    }
+  }
+
+  static std::string RenderHistogram(const SweepCellResult& cell) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < cell.bundle_size_histogram.size(); ++i) {
+      if (i > 0) out += ",";
+      out += StrFormat("%lld",
+                       static_cast<long long>(cell.bundle_size_histogram[i]));
+    }
+    return out + "]";
+  }
+
+  void Report(const char* field, std::string a, std::string b, double error) {
+    out_->push_back(CellFieldDiff{index_, method_, axis_point_, field,
+                                  std::move(a), std::move(b), error});
+  }
+
+  const SweepCellResult& left_;
+  const SweepCellResult& right_;
+  const DiffOptions& options_;
+  std::vector<CellFieldDiff>* out_;
+  int index_ = 0;
+  std::string method_;
+  std::string axis_point_;
+};
+
+}  // namespace
+
+SweepDiffResult DiffSweepResults(const SweepResult& left,
+                                 const SweepResult& right,
+                                 const DiffOptions& options) {
+  SweepDiffResult result;
+
+  if (left.spec.name != right.spec.name) {
+    result.notes.push_back("scenario name: '" + left.spec.name + "' vs '" +
+                           right.spec.name + "'");
+  }
+  if (left.spec.description != right.spec.description) {
+    result.notes.push_back("scenario descriptions differ");
+  }
+
+  if (StructuralSpecText(left.spec) != StructuralSpecText(right.spec)) {
+    result.structural.push_back(
+        "scenarios differ structurally (dataset, base knobs, methods, or "
+        "axes) — cells are not comparable");
+    return result;
+  }
+  if (left.num_users != right.num_users || left.num_items != right.num_items ||
+      left.num_ratings != right.num_ratings) {
+    result.structural.push_back(StrFormat(
+        "dataset summary differs: %d users x %d items (%lld ratings) vs "
+        "%d users x %d items (%lld ratings)",
+        left.num_users, left.num_items,
+        static_cast<long long>(left.num_ratings), right.num_users,
+        right.num_items, static_cast<long long>(right.num_ratings)));
+    return result;
+  }
+  {
+    const double scale =
+        std::max(std::abs(left.base_total_wtp), std::abs(right.base_total_wtp));
+    if (std::abs(left.base_total_wtp - right.base_total_wtp) >
+        options.rel_tol * scale) {
+      result.structural.push_back(
+          "base_total_wtp differs: " + FormatDoubleShortest(left.base_total_wtp) +
+          " vs " + FormatDoubleShortest(right.base_total_wtp));
+      return result;
+    }
+  }
+
+  std::map<int, const SweepCellResult*> right_by_index;
+  for (const SweepCellResult& cell : right.cells) {
+    right_by_index.emplace(cell.cell.index, &cell);
+  }
+
+  for (const SweepCellResult& cell : left.cells) {
+    auto it = right_by_index.find(cell.cell.index);
+    if (it == right_by_index.end()) {
+      result.cells.push_back(CellFieldDiff{
+          cell.cell.index, cell.cell.method,
+          AxisPointLabel(left.spec, cell.cell), "presence", "present",
+          "missing", 0.0});
+      continue;
+    }
+    CellComparer comparer(left.spec, cell, *it->second, options, &result.cells);
+    comparer.Compare();
+    right_by_index.erase(it);
+  }
+  for (const auto& [index, cell] : right_by_index) {
+    result.cells.push_back(CellFieldDiff{index, cell->cell.method,
+                                         AxisPointLabel(right.spec, cell->cell),
+                                         "presence", "missing", "present", 0.0});
+  }
+  std::stable_sort(result.cells.begin(), result.cells.end(),
+                   [](const CellFieldDiff& a, const CellFieldDiff& b) {
+                     return a.index < b.index;
+                   });
+  return result;
+}
+
+}  // namespace bundlemine

@@ -1,0 +1,61 @@
+// Cell-by-cell comparison of two sweep artifacts — the bench-trajectory
+// differ. Given two SweepResults of the same scenario (e.g. the freshly
+// built tiny-θ artifact and the checked-in golden, or the same bench at two
+// commits), reports every cell field whose values drift beyond a relative
+// tolerance. Names and descriptions are presentation, not identity: two
+// artifacts diff cleanly when their dataset, base knobs, methods, axes and
+// cell values agree, whatever the sweeps were called.
+
+#ifndef BUNDLEMINE_SCENARIO_ARTIFACT_DIFF_H_
+#define BUNDLEMINE_SCENARIO_ARTIFACT_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "scenario/sweep_runner.h"
+
+namespace bundlemine {
+
+struct DiffOptions {
+  /// Two doubles match when |a - b| <= rel_tol * max(|a|, |b|). The default
+  /// is exact-modulo-rounding: artifacts of the same commit must be
+  /// identical; pass a looser tolerance when comparing across solver
+  /// changes. Integer fields always compare exactly.
+  double rel_tol = 1e-9;
+};
+
+/// One out-of-tolerance cell field.
+struct CellFieldDiff {
+  int index = 0;           ///< Stable grid index of the cell.
+  std::string method;      ///< Cell method key.
+  std::string axis_point;  ///< "theta=0.05 k=2" style label.
+  std::string field;       ///< "revenue", "stats.merges", ...
+  std::string left;        ///< Rendered value in the first artifact.
+  std::string right;       ///< Rendered value in the second artifact.
+  double rel_error = 0.0;  ///< 0 for non-numeric / presence mismatches.
+};
+
+struct SweepDiffResult {
+  /// Grid-shape mismatches (different dataset, methods, axes, or dataset
+  /// summary). Non-empty means the artifacts are not comparable and no cell
+  /// diffs were attempted beyond index matching.
+  std::vector<std::string> structural;
+  /// Out-of-tolerance cell fields, ordered by stable cell index.
+  std::vector<CellFieldDiff> cells;
+  /// Presentation-only differences (scenario name/description) — reported,
+  /// never failing.
+  std::vector<std::string> notes;
+
+  bool Clean() const { return structural.empty() && cells.empty(); }
+};
+
+/// Compares two sweeps cell by cell. Cells are matched by stable grid
+/// index; a cell present on one side only is reported as a "presence"
+/// field diff.
+SweepDiffResult DiffSweepResults(const SweepResult& left,
+                                 const SweepResult& right,
+                                 const DiffOptions& options = {});
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_SCENARIO_ARTIFACT_DIFF_H_

@@ -1,0 +1,96 @@
+#include "scenario/artifact_merge.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/strings.h"
+
+namespace bundlemine {
+namespace {
+
+// Cells per grid (the unsharded cell count a complete merge must reach).
+std::size_t GridSize(const ScenarioSpec& spec) {
+  std::size_t points = 1;
+  for (const ScenarioAxis& axis : spec.axes) points *= axis.values.size();
+  return points * spec.methods.size();
+}
+
+// First aspect in which two shard headers disagree, or empty when they are
+// mergeable. The textual spec form covers the dataset, base knobs, methods
+// and axes; the dataset summary guards against a provider/generator drift
+// that the spec text cannot see.
+std::string HeaderMismatch(const SweepResult& a, const SweepResult& b) {
+  if (FormatScenarioSpec(a.spec) != FormatScenarioSpec(b.spec)) {
+    return "scenario spec differs";
+  }
+  if (a.num_users != b.num_users || a.num_items != b.num_items ||
+      a.num_ratings != b.num_ratings) {
+    return "dataset summary differs";
+  }
+  if (a.base_total_wtp != b.base_total_wtp) {
+    return "base_total_wtp differs";
+  }
+  return "";
+}
+
+}  // namespace
+
+StatusOr<SweepResult> MergeSweepResults(const std::vector<SweepResult>& shards,
+                                        const MergeOptions& options) {
+  if (shards.empty()) {
+    return Status::InvalidArgument("no shard artifacts to merge");
+  }
+
+  SweepResult merged;
+  merged.spec = shards[0].spec;
+  merged.num_users = shards[0].num_users;
+  merged.num_items = shards[0].num_items;
+  merged.num_ratings = shards[0].num_ratings;
+  merged.base_total_wtp = shards[0].base_total_wtp;
+
+  std::map<int, std::pair<std::size_t, const SweepCellResult*>> by_index;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (std::string mismatch = HeaderMismatch(shards[0], shards[s]);
+        !mismatch.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "shard %zu is not a slice of the same sweep: %s", s, mismatch.c_str()));
+    }
+    for (const SweepCellResult& cell : shards[s].cells) {
+      auto [it, inserted] =
+          by_index.emplace(cell.cell.index, std::make_pair(s, &cell));
+      if (!inserted) {
+        return Status::InvalidArgument(
+            StrFormat("duplicate cell index %d (shards %zu and %zu) — shard "
+                      "slices must be disjoint",
+                      cell.cell.index, it->second.first, s));
+      }
+    }
+  }
+
+  const std::size_t grid = GridSize(merged.spec);
+  if (by_index.size() != grid && !options.allow_partial) {
+    int first_missing = -1;
+    for (int index = 0; index < static_cast<int>(grid); ++index) {
+      if (by_index.count(index) == 0) {
+        first_missing = index;
+        break;
+      }
+    }
+    return Status::InvalidArgument(
+        StrFormat("merged shards cover %zu of %zu grid cells (first missing "
+                  "index %d); pass allow_partial to keep a partial merge",
+                  by_index.size(), grid, first_missing));
+  }
+
+  merged.cells.reserve(by_index.size());
+  for (const auto& [index, entry] : by_index) {
+    merged.cells.push_back(*entry.second);  // std::map iterates in index order.
+  }
+  RecomputeComponentGains(&merged);
+  // Wall times are per-process measurements; a merged document reports none.
+  merged.wall_seconds = 0.0;
+  for (SweepCellResult& cell : merged.cells) cell.wall_seconds = 0.0;
+  return merged;
+}
+
+}  // namespace bundlemine

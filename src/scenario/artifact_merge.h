@@ -1,0 +1,47 @@
+// Joins the shard slices of one sweep back into a single document.
+//
+// A cluster splits a grid with `--shard=i/n` (FilterShard partitions cells
+// by stable index) and each job writes its own "bundlemine.sweep" artifact.
+// MergeSweepResults validates that the slices belong to the same scenario,
+// that their cells are disjoint, and (by default) that together they cover
+// the whole grid; it then reassembles the cells in stable-index order and
+// recomputes gain_over_components across the joined grid (shards cannot
+// compute gains for methods whose "components" sibling landed elsewhere).
+//
+// Byte-stability contract: merging the n shard artifacts of a spec yields a
+// SweepResult whose SweepArtifactJson equals the unsharded run's artifact
+// byte for byte — doubles round-trip exactly through the reader, cells
+// reassemble in grid order, and the gain recomputation is the runner's own
+// (RecomputeComponentGains). The CI shard-merge job pins this with `cmp`.
+
+#ifndef BUNDLEMINE_SCENARIO_ARTIFACT_MERGE_H_
+#define BUNDLEMINE_SCENARIO_ARTIFACT_MERGE_H_
+
+#include <vector>
+
+#include "scenario/sweep_runner.h"
+#include "util/status.h"
+
+namespace bundlemine {
+
+struct MergeOptions {
+  /// Accept a merge that does not cover the full grid (cells stay sorted by
+  /// stable index; gains fill only where the components sibling is
+  /// present). Off by default: a silent gap in a "complete" artifact is the
+  /// failure mode this tool exists to catch.
+  bool allow_partial = false;
+};
+
+/// Merges shard slices of one sweep. Errors (INVALID_ARGUMENT):
+///   * no inputs;
+///   * shard `i` ran a different scenario or dataset than shard 0 (the
+///     message names the first differing aspect);
+///   * two shards carry the same stable cell index (duplicate coverage);
+///   * the union misses grid cells and `allow_partial` is off (the message
+///     counts the gap and names the first missing index).
+StatusOr<SweepResult> MergeSweepResults(const std::vector<SweepResult>& shards,
+                                        const MergeOptions& options = {});
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_SCENARIO_ARTIFACT_MERGE_H_

@@ -93,6 +93,21 @@ bool ReadDataset(const JsonValue& json, DatasetSpec* dataset,
     if (!GetInt(json, "genres_per_user", &value, error)) return false;
     dataset->genres_per_user = static_cast<int>(value);
   }
+  if (json.FindMember("num_users") != nullptr) {
+    std::int64_t value = 0;
+    if (!GetInt(json, "num_users", &value, error)) return false;
+    dataset->num_users = static_cast<int>(value);
+  }
+  if (json.FindMember("num_items") != nullptr) {
+    std::int64_t value = 0;
+    if (!GetInt(json, "num_items", &value, error)) return false;
+    dataset->num_items = static_cast<int>(value);
+  }
+  if (json.FindMember("item_sample") != nullptr) {
+    std::int64_t value = 0;
+    if (!GetInt(json, "item_sample", &value, error)) return false;
+    dataset->item_sample = static_cast<int>(value);
+  }
   return true;
 }
 
@@ -202,6 +217,17 @@ bool ReadCell(const JsonValue& json, const ScenarioSpec& spec,
   if (!StableCellIndex(spec, cell->cell, &cell->cell.index, error)) {
     return false;
   }
+  if (json.FindMember("dataset") != nullptr) {
+    const JsonValue* dataset = nullptr;
+    std::int64_t num_users = 0, num_items = 0;
+    if (!GetMember(json, "dataset", JsonValue::Kind::kObject, &dataset, error) ||
+        !GetInt(*dataset, "num_users", &num_users, error) ||
+        !GetInt(*dataset, "num_items", &num_items, error)) {
+      return false;
+    }
+    cell->num_users = static_cast<int>(num_users);
+    cell->num_items = static_cast<int>(num_items);
+  }
   if (!GetDouble(json, "revenue", &cell->revenue, error)) return false;
   if (!GetDouble(json, "coverage", &cell->coverage, error)) return false;
   if (json.FindMember("gain_over_components") != nullptr) {
@@ -246,6 +272,31 @@ bool ReadCell(const JsonValue& json, const ScenarioSpec& spec,
   }
   cell->stats.rounds = static_cast<int>(rounds);
   cell->stats.deadline_hit = deadline_hit->AsBool();
+
+  if (json.FindMember("trace") != nullptr) {
+    const JsonValue* trace = nullptr;
+    if (!GetMember(json, "trace", JsonValue::Kind::kArray, &trace, error)) {
+      return false;
+    }
+    for (std::size_t i = 0; i < trace->size(); ++i) {
+      const JsonValue& row = trace->at(i);
+      IterationStat it;
+      std::int64_t iteration = 0, top_offers = 0;
+      if (!GetInt(row, "iteration", &iteration, error) ||
+          !GetDouble(row, "revenue", &it.total_revenue, error) ||
+          !GetInt(row, "top_offers", &top_offers, error)) {
+        return false;
+      }
+      it.iteration = static_cast<int>(iteration);
+      it.num_top_offers = static_cast<int>(top_offers);
+      if (row.FindMember("seconds") != nullptr) {
+        if (!GetDouble(row, "seconds", &it.cumulative_seconds, error)) {
+          return false;
+        }
+      }
+      cell->trace.push_back(it);
+    }
+  }
 
   if (json.FindMember("wall_seconds") != nullptr) {
     if (!GetDouble(json, "wall_seconds", &cell->wall_seconds, error)) {

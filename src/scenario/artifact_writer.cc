@@ -23,6 +23,15 @@ JsonValue DatasetJson(const DatasetSpec& dataset) {
   if (dataset.genres_per_user) {
     out.Set("genres_per_user", JsonValue::Int(*dataset.genres_per_user));
   }
+  if (dataset.num_users) {
+    out.Set("num_users", JsonValue::Int(*dataset.num_users));
+  }
+  if (dataset.num_items) {
+    out.Set("num_items", JsonValue::Int(*dataset.num_items));
+  }
+  if (dataset.item_sample) {
+    out.Set("item_sample", JsonValue::Int(*dataset.item_sample));
+  }
   return out;
 }
 
@@ -64,6 +73,15 @@ JsonValue CellJson(const ScenarioSpec& spec, const SweepCellResult& cell,
   }
   out.Set("axes", std::move(axes));
   out.Set("method", JsonValue::Str(cell.cell.method));
+  // Under dataset axes each cell solves its own regenerated dataset; record
+  // its post-filter size. Omitted otherwise so existing artifacts (and the
+  // golden regression) keep their bytes.
+  if (HasDatasetAxes(spec)) {
+    JsonValue dataset = JsonValue::Object();
+    dataset.Set("num_users", JsonValue::Int(cell.num_users));
+    dataset.Set("num_items", JsonValue::Int(cell.num_items));
+    out.Set("dataset", std::move(dataset));
+  }
   out.Set("revenue", JsonValue::Double(cell.revenue));
   out.Set("coverage", JsonValue::Double(cell.coverage));
   if (cell.has_gain) {
@@ -82,6 +100,22 @@ JsonValue CellJson(const ScenarioSpec& spec, const SweepCellResult& cell,
   stats.Set("rounds", JsonValue::Int(cell.stats.rounds));
   stats.Set("deadline_hit", JsonValue::Bool(cell.stats.deadline_hit));
   out.Set("stats", std::move(stats));
+  // Captured iteration traces (Figure 6). Revenues are deterministic; the
+  // per-iteration seconds are volatile and follow the timings opt-in.
+  if (!cell.trace.empty()) {
+    JsonValue trace = JsonValue::Array();
+    for (const IterationStat& it : cell.trace) {
+      JsonValue row = JsonValue::Object();
+      row.Set("iteration", JsonValue::Int(it.iteration));
+      row.Set("revenue", JsonValue::Double(it.total_revenue));
+      row.Set("top_offers", JsonValue::Int(it.num_top_offers));
+      if (options.include_timings) {
+        row.Set("seconds", JsonValue::Double(it.cumulative_seconds));
+      }
+      trace.Add(std::move(row));
+    }
+    out.Set("trace", std::move(trace));
+  }
   if (options.include_timings) {
     out.Set("wall_seconds", JsonValue::Double(cell.wall_seconds));
   }

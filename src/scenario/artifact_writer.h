@@ -4,10 +4,13 @@
 // machine-readable counterpart of the bench tables: one object echoing the
 // scenario spec, the dataset summary, and one record per grid cell. Output is
 // deterministic — fixed key order, shortest round-trip doubles — so the same
-// spec at any thread count serializes to identical bytes. Wall times are the
-// one non-deterministic measurement; they are omitted unless
-// `include_timings` is set (the golden regression and the byte-identity
-// tests use the default).
+// spec at any thread count serializes to identical bytes. Wall times (and
+// per-iteration trace seconds) are the non-deterministic measurements; they
+// are omitted unless `include_timings` is set (the golden regression and
+// the byte-identity tests use the default). Two conditional cell sections
+// are additive to schema version 1: a per-cell "dataset" object when the
+// spec has dataset axes, and a "trace" array when the sweep captured
+// iteration traces.
 
 #ifndef BUNDLEMINE_SCENARIO_ARTIFACT_WRITER_H_
 #define BUNDLEMINE_SCENARIO_ARTIFACT_WRITER_H_

@@ -1,5 +1,8 @@
 #include "scenario/scenario_spec.h"
 
+#include <cmath>
+#include <limits>
+
 #include "core/bundler_registry.h"
 #include "util/check.h"
 #include "util/json.h"
@@ -60,9 +63,72 @@ std::string AxisKindName(AxisKind kind) {
     case AxisKind::kAlpha: return "alpha";
     case AxisKind::kLambda: return "lambda";
     case AxisKind::kLevels: return "levels";
+    case AxisKind::kNumUsers: return "num_users";
+    case AxisKind::kNumItems: return "num_items";
+    case AxisKind::kItemSample: return "item-sample";
+    case AxisKind::kMiner: return "miner";
+    case AxisKind::kPruneCoInterest: return "prune-co-interest";
+    case AxisKind::kPruneStaleEdges: return "prune-stale-edges";
+    case AxisKind::kMatchingLimit: return "matching-limit";
+    case AxisKind::kComposition: return "composition";
+    case AxisKind::kFreqSupport: return "freq-support";
   }
   BM_CHECK_MSG(false, "unreachable axis kind");
   return "";
+}
+
+std::string AxisKindDescription(AxisKind kind) {
+  switch (kind) {
+    case AxisKind::kTheta: return "bundling coefficient theta (Eq. 1)";
+    case AxisKind::kK: return "max bundle size k (0 = unconstrained)";
+    case AxisKind::kGamma: return "sigmoid price sensitivity gamma";
+    case AxisKind::kAlpha: return "adoption bias alpha";
+    case AxisKind::kLambda: return "ratings->WTP conversion factor";
+    case AxisKind::kLevels: return "price grid resolution T (0 = exact)";
+    case AxisKind::kNumUsers:
+      return "pre-filter generator users (per-cell dataset regeneration)";
+    case AxisKind::kNumItems:
+      return "pre-filter generator items (per-cell dataset regeneration)";
+    case AxisKind::kItemSample:
+      return "random N-item subsample of the catalogue, all users kept";
+    case AxisKind::kMiner:
+      return "freq-itemset engine: 0 = MAFIA, 1 = Apriori, 2 = FP-Growth";
+    case AxisKind::kPruneCoInterest:
+      return "round-1 co-interest pruning toggle (0/1)";
+    case AxisKind::kPruneStaleEdges:
+      return "later-round stale-edge pruning toggle (0/1)";
+    case AxisKind::kMatchingLimit:
+      return "exact-blossom vertex ceiling (0 forces the greedy oracle)";
+    case AxisKind::kComposition:
+      return "mixed upgrade composition: 0 = min-slack, 1 = product";
+    case AxisKind::kFreqSupport:
+      return "freq-itemset minimum support fraction in (0, 1]";
+  }
+  BM_CHECK_MSG(false, "unreachable axis kind");
+  return "";
+}
+
+const std::vector<AxisKind>& AllAxisKinds() {
+  static const std::vector<AxisKind>* kinds = [] {
+    auto* all = new std::vector<AxisKind>();
+    for (int k = 0; k < kNumAxisKinds; ++k) {
+      all->push_back(static_cast<AxisKind>(k));
+    }
+    return all;
+  }();
+  return *kinds;
+}
+
+bool IsDatasetAxis(AxisKind kind) {
+  return kind == AxisKind::kNumUsers || kind == AxisKind::kNumItems ||
+         kind == AxisKind::kItemSample;
+}
+
+bool HasDatasetAxes(const ScenarioSpec& spec) {
+  for (const ScenarioAxis& axis : spec.axes) {
+    if (IsDatasetAxis(axis.kind)) return true;
+  }
+  return false;
 }
 
 std::optional<std::vector<double>> ParseDoubleList(std::string_view value) {
@@ -77,13 +143,31 @@ std::optional<std::vector<double>> ParseDoubleList(std::string_view value) {
 }
 
 std::optional<AxisKind> AxisKindByName(std::string_view name) {
-  if (name == "theta") return AxisKind::kTheta;
-  if (name == "k") return AxisKind::kK;
-  if (name == "gamma") return AxisKind::kGamma;
-  if (name == "alpha") return AxisKind::kAlpha;
-  if (name == "lambda") return AxisKind::kLambda;
-  if (name == "levels") return AxisKind::kLevels;
+  for (AxisKind kind : AllAxisKinds()) {
+    if (name == AxisKindName(kind)) return kind;
+  }
   return std::nullopt;
+}
+
+std::string DatasetKey(const DatasetSpec& spec) {
+  std::string key = spec.profile;
+  key += "|seed=" + StrFormat("%llu", static_cast<unsigned long long>(spec.seed));
+  if (spec.activity_sigma) {
+    key += "|sigma=" + FormatDoubleShortest(*spec.activity_sigma);
+  }
+  if (spec.background_mass) {
+    key += "|mass=" + FormatDoubleShortest(*spec.background_mass);
+  }
+  if (spec.popularity_exponent) {
+    key += "|pop=" + FormatDoubleShortest(*spec.popularity_exponent);
+  }
+  if (spec.genres_per_user) {
+    key += "|genres=" + StrFormat("%d", *spec.genres_per_user);
+  }
+  if (spec.num_users) key += "|users=" + StrFormat("%d", *spec.num_users);
+  if (spec.num_items) key += "|items=" + StrFormat("%d", *spec.num_items);
+  if (spec.item_sample) key += "|sample=" + StrFormat("%d", *spec.item_sample);
+  return key;
 }
 
 std::optional<ScenarioSpec> ParseScenarioSpec(std::string_view text,
@@ -159,6 +243,24 @@ std::optional<ScenarioSpec> ParseScenarioSpec(std::string_view text,
       std::optional<long long> g = ParseInt(value);
       if (!g || *g <= 0) return fail("bad genres-per-user '" + value + "'");
       spec.dataset.genres_per_user = static_cast<int>(*g);
+    } else if (key == "num-users") {
+      std::optional<long long> n = ParseInt(value);
+      if (!n || *n <= 0 || *n > std::numeric_limits<int>::max()) {
+        return fail("bad num-users '" + value + "'");
+      }
+      spec.dataset.num_users = static_cast<int>(*n);
+    } else if (key == "num-items") {
+      std::optional<long long> n = ParseInt(value);
+      if (!n || *n <= 0 || *n > std::numeric_limits<int>::max()) {
+        return fail("bad num-items '" + value + "'");
+      }
+      spec.dataset.num_items = static_cast<int>(*n);
+    } else if (key == "item-sample") {
+      std::optional<long long> n = ParseInt(value);
+      if (!n || *n <= 0 || *n > std::numeric_limits<int>::max()) {
+        return fail("bad item-sample '" + value + "'");
+      }
+      spec.dataset.item_sample = static_cast<int>(*n);
     } else {
       return fail("unknown key '" + key + "'");
     }
@@ -192,6 +294,15 @@ std::string FormatScenarioSpec(const ScenarioSpec& spec) {
   if (spec.dataset.genres_per_user) {
     line("genres-per-user", StrFormat("%d", *spec.dataset.genres_per_user));
   }
+  if (spec.dataset.num_users) {
+    line("num-users", StrFormat("%d", *spec.dataset.num_users));
+  }
+  if (spec.dataset.num_items) {
+    line("num-items", StrFormat("%d", *spec.dataset.num_items));
+  }
+  if (spec.dataset.item_sample) {
+    line("item-sample", StrFormat("%d", *spec.dataset.item_sample));
+  }
   line("theta", FormatDoubleShortest(spec.theta));
   line("k", StrFormat("%d", spec.max_bundle_size));
   line("levels", StrFormat("%d", spec.price_levels));
@@ -207,11 +318,98 @@ std::string FormatScenarioSpec(const ScenarioSpec& spec) {
   return out;
 }
 
+namespace {
+
+// Integer-kind axis values must survive the static_cast<int> the runner
+// applies — integral, finite, and inside int range — or bad user input
+// would reach undefined casts and solver CHECK aborts instead of a typed
+// diagnostic.
+bool IsIntegral(double value) {
+  return std::isfinite(value) && std::floor(value) == value &&
+         value >= static_cast<double>(std::numeric_limits<int>::min()) &&
+         value <= static_cast<double>(std::numeric_limits<int>::max());
+}
+
+// Per-kind value constraints; returns false with a diagnostic naming the
+// axis and the offending value.
+bool ValidateAxisValues(const ScenarioAxis& axis, std::string* error) {
+  const std::string name = AxisKindName(axis.kind);
+  for (double value : axis.values) {
+    if (!std::isfinite(value)) {
+      return Fail(error, "axis '" + name + "' has a non-finite value");
+    }
+    switch (axis.kind) {
+      case AxisKind::kTheta:
+      case AxisKind::kGamma:
+      case AxisKind::kAlpha:
+        break;  // Any finite double.
+      case AxisKind::kLambda:
+        if (value <= 0.0) {
+          return Fail(error, "axis 'lambda' needs positive values, got " +
+                                 FormatDoubleShortest(value));
+        }
+        break;
+      case AxisKind::kK:
+      case AxisKind::kLevels:
+      case AxisKind::kMatchingLimit:
+        if (!IsIntegral(value) || value < 0) {
+          return Fail(error, "axis '" + name +
+                                 "' needs integers >= 0, got " +
+                                 FormatDoubleShortest(value));
+        }
+        break;
+      case AxisKind::kNumUsers:
+      case AxisKind::kNumItems:
+      case AxisKind::kItemSample:
+        if (!IsIntegral(value) || value < 1) {
+          return Fail(error, "axis '" + name +
+                                 "' needs integers >= 1, got " +
+                                 FormatDoubleShortest(value));
+        }
+        break;
+      case AxisKind::kMiner:
+        if (!IsIntegral(value) || value < 0 || value > 2) {
+          return Fail(error,
+                      "axis 'miner' needs 0 (MAFIA), 1 (Apriori) or "
+                      "2 (FP-Growth), got " +
+                          FormatDoubleShortest(value));
+        }
+        break;
+      case AxisKind::kPruneCoInterest:
+      case AxisKind::kPruneStaleEdges:
+      case AxisKind::kComposition:
+        if (value != 0.0 && value != 1.0) {
+          return Fail(error, "axis '" + name + "' needs 0 or 1 values, got " +
+                                 FormatDoubleShortest(value));
+        }
+        break;
+      case AxisKind::kFreqSupport:
+        if (value <= 0.0 || value > 1.0) {
+          return Fail(error, "axis 'freq-support' needs values in (0, 1], got " +
+                                 FormatDoubleShortest(value));
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 bool ValidateScenarioSpec(const ScenarioSpec& spec, std::string* error) {
   if (!KnownProfile(spec.dataset.profile)) {
     return Fail(error, "unknown dataset profile '" + spec.dataset.profile + "'");
   }
   if (spec.dataset.lambda <= 0.0) return Fail(error, "lambda must be positive");
+  if (spec.dataset.num_users && *spec.dataset.num_users <= 0) {
+    return Fail(error, "num-users must be positive");
+  }
+  if (spec.dataset.num_items && *spec.dataset.num_items <= 0) {
+    return Fail(error, "num-items must be positive");
+  }
+  if (spec.dataset.item_sample && *spec.dataset.item_sample <= 0) {
+    return Fail(error, "item-sample must be positive");
+  }
   if (spec.price_levels < 0) return Fail(error, "levels must be >= 0");
   if (spec.max_bundle_size < 0) return Fail(error, "k must be >= 0");
   if (spec.methods.empty()) return Fail(error, "no methods listed");
@@ -222,16 +420,22 @@ bool ValidateScenarioSpec(const ScenarioSpec& spec, std::string* error) {
     }
   }
   if (spec.axes.empty()) return Fail(error, "at least one axis is required");
-  bool seen[6] = {};
-  for (const ScenarioAxis& axis : spec.axes) {
+  int first_position[kNumAxisKinds];
+  for (int& position : first_position) position = -1;
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    const ScenarioAxis& axis = spec.axes[a];
     if (axis.values.empty()) {
       return Fail(error, "axis '" + AxisKindName(axis.kind) + "' has no values");
     }
-    std::size_t slot = static_cast<std::size_t>(axis.kind);
-    if (seen[slot]) {
-      return Fail(error, "axis '" + AxisKindName(axis.kind) + "' repeated");
+    if (!ValidateAxisValues(axis, error)) return false;
+    const std::size_t slot = static_cast<std::size_t>(axis.kind);
+    if (first_position[slot] >= 0) {
+      return Fail(error,
+                  StrFormat("axis '%s' repeated (axes %d and %zu)",
+                            AxisKindName(axis.kind).c_str(),
+                            first_position[slot] + 1, a + 1));
     }
-    seen[slot] = true;
+    first_position[slot] = static_cast<int>(a);
   }
   return true;
 }
@@ -303,6 +507,28 @@ std::vector<ScenarioSpec> MakeBuiltins() {
       {AxisKind::kGamma, {1.0, 10.0, 1e6}});
   grid.axes.push_back({AxisKind::kTheta, {-0.05, 0.0, 0.05}});
   presets.push_back(std::move(grid));
+
+  // Dataset and method-config axis presets (paper Figure 7 / ablations).
+  presets.push_back(MakePreset(
+      "fig7-users",
+      "running-time scalability vs generator user population (paper Figure 7a)",
+      {"pure-matching", "pure-greedy", "mixed-matching", "mixed-greedy"},
+      {AxisKind::kNumUsers, {650, 1300, 1950, 2600}}));
+
+  ScenarioSpec pruning = MakePreset(
+      "ablation-pruning",
+      "Algorithm 1 pruning toggles through the cell grid (DESIGN.md ablations 2-3)",
+      {"pure-matching", "mixed-matching"},
+      {AxisKind::kPruneCoInterest, {1, 0}});
+  pruning.axes.push_back({AxisKind::kPruneStaleEdges, {1, 0}});
+  presets.push_back(std::move(pruning));
+
+  ScenarioSpec miners = MakePreset(
+      "miner-engines",
+      "freq-itemset engine ablation (MAFIA vs Apriori vs FP-Growth)",
+      {"mixed-freq"}, {AxisKind::kMiner, {0, 1, 2}});
+  miners.axes.push_back({AxisKind::kFreqSupport, {0.04}});
+  presets.push_back(std::move(miners));
 
   for (const ScenarioSpec& spec : presets) {
     std::string error;

@@ -28,21 +28,58 @@
 
 namespace bundlemine {
 
-/// What a swept axis varies. θ/k/levels act on the problem, γ/α select the
-/// adoption model (γ → sigmoid, α → biased step; together → Sigmoid(γ, α)),
-/// λ re-derives the WTP matrix from the same ratings.
+/// What a swept axis varies. Three families:
+///
+///   * Problem knobs — θ/k/levels act on the problem, γ/α select the
+///     adoption model (γ → sigmoid, α → biased step; together →
+///     Sigmoid(γ, α)), λ re-derives the WTP matrix from the same ratings.
+///   * Dataset axes — num_users/num_items override the generator's
+///     pre-filter population sizes and item-sample subsamples N items from
+///     the generated catalogue, so each axis point solves against its own
+///     deterministically regenerated dataset (fig7-style scalability
+///     curves, Table 4/5 small-N protocols).
+///   * Method-config axes — miner (0 = MAFIA, 1 = Apriori, 2 = FP-Growth),
+///     the prune-* toggles (0/1), matching-limit (exact-blossom vertex
+///     ceiling; 0 forces the greedy oracle), composition (0 = min-slack,
+///     1 = product), and freq-support select algorithm variants, so the
+///     paper's ablations run through the same cell grid.
 enum class AxisKind {
+  // Problem knobs.
   kTheta,
   kK,
   kGamma,
   kAlpha,
   kLambda,
   kLevels,
+  // Dataset axes (per-cell dataset regeneration).
+  kNumUsers,
+  kNumItems,
+  kItemSample,
+  // Method-config axes (ablation sweeps).
+  kMiner,
+  kPruneCoInterest,
+  kPruneStaleEdges,
+  kMatchingLimit,
+  kComposition,
+  kFreqSupport,
 };
 
-/// Canonical axis name ("theta", "k", "gamma", "alpha", "lambda", "levels").
+/// Number of distinct AxisKind values (for kind-indexed tables).
+inline constexpr int kNumAxisKinds = 15;
+
+/// Canonical axis name ("theta", "num_users", "prune-co-interest", ...).
 std::string AxisKindName(AxisKind kind);
 std::optional<AxisKind> AxisKindByName(std::string_view name);
+
+/// One-line human description of what the axis varies (--list-axes).
+std::string AxisKindDescription(AxisKind kind);
+
+/// All axis kinds in declaration order.
+const std::vector<AxisKind>& AllAxisKinds();
+
+/// True for the axes that change the dataset a cell solves against
+/// (num_users, num_items, item-sample) rather than the problem or method.
+bool IsDatasetAxis(AxisKind kind);
 
 /// Parses a comma-separated double list ("-0.1,0,0.1"; whitespace around
 /// elements ignored); nullopt on empty input or any unparsable element.
@@ -66,7 +103,19 @@ struct DatasetSpec {
   std::optional<double> background_mass;      ///< Generator override.
   std::optional<double> popularity_exponent;  ///< Generator override.
   std::optional<int> genres_per_user;         ///< Generator override.
+  /// Pre-filter population overrides (dataset axes write these per cell).
+  std::optional<int> num_users;
+  std::optional<int> num_items;
+  /// Deterministic N-item subsample of the generated catalogue, all users
+  /// kept (the paper's Table 4/5 protocol); clamped to the catalogue size.
+  std::optional<int> item_sample;
 };
+
+/// Stable identity of the dataset a DatasetSpec materializes: profile, seed,
+/// and every generator/sampling override (λ deliberately excluded — WTP
+/// derivation is per-request). This is the Engine's dataset-cache key and
+/// the sweep runner's per-cell dataset identity.
+std::string DatasetKey(const DatasetSpec& spec);
 
 /// A full scenario: dataset, base problem knobs, methods, axes.
 struct ScenarioSpec {
@@ -80,6 +129,11 @@ struct ScenarioSpec {
   std::vector<ScenarioAxis> axes;    ///< ≥ 1 axis; the grid is their product.
 };
 
+/// True when any spec axis is a dataset axis — cells then solve against
+/// per-cell regenerated datasets and artifacts record per-cell dataset
+/// stats.
+bool HasDatasetAxes(const ScenarioSpec& spec);
+
 /// Parses the textual form. On failure returns nullopt and, when `error` is
 /// non-null, a one-line diagnostic naming the offending token.
 std::optional<ScenarioSpec> ParseScenarioSpec(std::string_view text,
@@ -91,7 +145,10 @@ std::string FormatScenarioSpec(const ScenarioSpec& spec);
 
 /// Structural validation: a known profile, at least one method and every
 /// method registered, at least one axis and every axis non-empty, no axis
-/// kind repeated. Returns false with a diagnostic in `error`.
+/// kind repeated (the diagnostic names the duplicate and both positions),
+/// and per-kind value constraints (integer axes integral, toggles 0/1,
+/// miner in [0, 2], positive population sizes). Returns false with a
+/// diagnostic in `error`.
 bool ValidateScenarioSpec(const ScenarioSpec& spec, std::string* error = nullptr);
 
 /// The dataset profile names ValidateScenarioSpec accepts, in a stable

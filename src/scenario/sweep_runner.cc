@@ -14,10 +14,19 @@
 namespace bundlemine {
 namespace {
 
-// The WTP matrices a sweep needs: one per distinct λ (the base λ plus any
-// lambda-axis values), all derived from one ratings dataset (borrowed).
-struct SweepData {
-  const RatingsDataset* dataset = nullptr;
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Everything one distinct cell dataset carries: the (possibly shared)
+// ratings, its post-filter stats, and one WTP matrix per λ any of its cells
+// prices against.
+struct DatasetEntry {
+  std::shared_ptr<const RatingsDataset> dataset;
+  DatasetStats stats;
   std::map<double, WtpMatrix> wtp_by_lambda;
 
   const WtpMatrix& WtpFor(double lambda) const {
@@ -27,26 +36,81 @@ struct SweepData {
   }
 };
 
-SweepData DeriveWtp(const ScenarioSpec& spec, const RatingsDataset& dataset) {
-  SweepData data;
-  data.dataset = &dataset;
-  std::vector<double> lambdas = {spec.dataset.lambda};
-  for (const ScenarioAxis& axis : spec.axes) {
-    if (axis.kind == AxisKind::kLambda) {
-      lambdas.insert(lambdas.end(), axis.values.begin(), axis.values.end());
-    }
+// The datasets and WTP matrices a sweep needs, keyed by DatasetKey. Without
+// dataset axes this is a single entry (the borrowed base dataset); each
+// dataset-axis point adds its own regenerated entry.
+struct SweepData {
+  std::map<std::string, DatasetEntry> by_key;
+  std::string base_key;
+
+  const DatasetEntry& EntryFor(const std::string& key) const {
+    auto it = by_key.find(key);
+    BM_CHECK(it != by_key.end());
+    return it->second;
   }
-  for (double lambda : lambdas) {
-    if (data.wtp_by_lambda.count(lambda) == 0) {
-      data.wtp_by_lambda.emplace(lambda,
-                                 WtpMatrix::FromRatings(dataset, lambda));
+};
+
+// The λ the cell prices against (base λ unless a lambda axis overrides).
+double CellLambda(const ScenarioSpec& spec, const SweepCell& cell) {
+  double lambda = spec.dataset.lambda;
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    if (spec.axes[a].kind == AxisKind::kLambda) lambda = cell.axis_values[a];
+  }
+  return lambda;
+}
+
+// Materializes every distinct (dataset, λ) combination the cells need, in
+// stable cell order (deterministic regardless of later scheduling). The
+// base dataset is borrowed from the caller; dataset-axis entries come from
+// `provider` (the Engine's cache) or local generation.
+SweepData BuildSweepData(const ScenarioSpec& spec,
+                         const std::vector<SweepCell>& cells,
+                         const RatingsDataset& base,
+                         const DatasetProvider& provider) {
+  SweepData data;
+  data.base_key = DatasetKey(spec.dataset);
+
+  auto entry_for = [&](const DatasetSpec& dataset_spec) -> DatasetEntry& {
+    const std::string key = DatasetKey(dataset_spec);
+    auto it = data.by_key.find(key);
+    if (it != data.by_key.end()) return it->second;
+    DatasetEntry entry;
+    if (key == data.base_key) {
+      // Borrow the caller's dataset (no-op deleter: `base` outlives the
+      // sweep by contract).
+      entry.dataset = std::shared_ptr<const RatingsDataset>(
+          &base, [](const RatingsDataset*) {});
+    } else if (provider) {
+      entry.dataset = provider(dataset_spec);
+    } else {
+      entry.dataset =
+          std::make_shared<const RatingsDataset>(MaterializeDataset(dataset_spec));
+    }
+    entry.stats = entry.dataset->Stats();
+    return data.by_key.emplace(key, std::move(entry)).first->second;
+  };
+
+  // The base dataset at the base λ always materializes — the sweep-level
+  // summary (num_users/num_items/base_total_wtp) reports it.
+  entry_for(spec.dataset)
+      .wtp_by_lambda.emplace(
+          spec.dataset.lambda,
+          WtpMatrix::FromRatings(base, spec.dataset.lambda));
+
+  for (const SweepCell& cell : cells) {
+    DatasetEntry& entry = entry_for(CellDatasetSpec(spec, cell));
+    const double lambda = CellLambda(spec, cell);
+    if (entry.wtp_by_lambda.count(lambda) == 0) {
+      entry.wtp_by_lambda.emplace(
+          lambda, WtpMatrix::FromRatings(*entry.dataset, lambda));
     }
   }
   return data;
 }
 
 // Applies the cell's axis values on top of the spec's base knobs, returning
-// the λ the cell prices against. γ and α compose into one adoption model.
+// the λ the cell prices against. γ and α compose into one adoption model;
+// dataset axes are handled by CellDatasetSpec, not here.
 double ApplyAxes(const ScenarioSpec& spec, const SweepCell& cell,
                  BundleConfigProblem* problem) {
   double lambda = spec.dataset.lambda;
@@ -75,6 +139,29 @@ double ApplyAxes(const ScenarioSpec& spec, const SweepCell& cell,
       case AxisKind::kLevels:
         problem->price_levels = static_cast<int>(value);
         break;
+      case AxisKind::kNumUsers:
+      case AxisKind::kNumItems:
+      case AxisKind::kItemSample:
+        break;  // Dataset axes select the cell dataset, not problem knobs.
+      case AxisKind::kMiner:
+        problem->freq_miner = static_cast<MinerEngine>(static_cast<int>(value));
+        break;
+      case AxisKind::kPruneCoInterest:
+        problem->prune_co_interest = value != 0.0;
+        break;
+      case AxisKind::kPruneStaleEdges:
+        problem->prune_stale_edges = value != 0.0;
+        break;
+      case AxisKind::kMatchingLimit:
+        problem->exact_matching_limit = static_cast<int>(value);
+        break;
+      case AxisKind::kComposition:
+        problem->mixed_composition = value != 0.0 ? MixedComposition::kProduct
+                                                  : MixedComposition::kMinSlack;
+        break;
+      case AxisKind::kFreqSupport:
+        problem->freq_min_support = value;
+        break;
     }
   }
   if (have_gamma) {
@@ -83,13 +170,6 @@ double ApplyAxes(const ScenarioSpec& spec, const SweepCell& cell,
     problem->adoption = AdoptionModel::StepWithBias(alpha);
   }
   return lambda;
-}
-
-std::uint64_t SplitMix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
 }
 
 void RunCell(const ScenarioSpec& spec, const SweepData& data,
@@ -101,7 +181,9 @@ void RunCell(const ScenarioSpec& spec, const SweepData& data,
   problem.price_levels = spec.price_levels;
   problem.adoption = AdoptionModel::Step();
   double lambda = ApplyAxes(spec, cell, &problem);
-  const WtpMatrix& wtp = data.WtpFor(lambda);
+  const DatasetEntry& entry =
+      data.EntryFor(DatasetKey(CellDatasetSpec(spec, cell)));
+  const WtpMatrix& wtp = entry.WtpFor(lambda);
   problem.wtp = &wtp;
 
   // Fresh context per cell: cells are the unit of parallelism, so the inner
@@ -120,6 +202,9 @@ void RunCell(const ScenarioSpec& spec, const SweepData& data,
   result->cell = cell;
   result->revenue = solution.total_revenue;
   result->coverage = RevenueCoverage(solution.total_revenue, wtp);
+  result->num_users = entry.stats.num_users;
+  result->num_items = entry.stats.num_items;
+  if (options.capture_traces) result->trace = std::move(solution.trace);
   result->num_offers = static_cast<int>(solution.offers.size());
   for (const PricedBundle& offer : solution.offers) {
     if (offer.is_component_offer) ++result->num_component_offers;
@@ -192,23 +277,84 @@ GeneratorConfig DatasetGeneratorConfig(const DatasetSpec& dataset) {
     config.item_popularity_exponent = *dataset.popularity_exponent;
   }
   if (dataset.genres_per_user) config.genres_per_user = *dataset.genres_per_user;
+  if (dataset.num_users) config.num_users = *dataset.num_users;
+  if (dataset.num_items) config.num_items = *dataset.num_items;
   return config;
+}
+
+RatingsDataset MaterializeDataset(const DatasetSpec& dataset) {
+  RatingsDataset generated = GenerateAmazonLike(DatasetGeneratorConfig(dataset));
+  if (!dataset.item_sample) return generated;
+  const int n = std::min(*dataset.item_sample, generated.num_items());
+  // The sample is a pure function of (seed, sample size): distinct sizes
+  // draw distinct samples, the same spec always draws the same one.
+  Rng rng(SplitMix64(dataset.seed ^
+                     SplitMix64(static_cast<std::uint64_t>(n) + 0x17)));
+  return generated.SelectItems(generated.SampleItemIds(n, &rng));
+}
+
+DatasetSpec CellDatasetSpec(const ScenarioSpec& spec, const SweepCell& cell) {
+  DatasetSpec dataset = spec.dataset;
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    const double value = cell.axis_values[a];
+    switch (spec.axes[a].kind) {
+      case AxisKind::kNumUsers:
+        dataset.num_users = static_cast<int>(value);
+        break;
+      case AxisKind::kNumItems:
+        dataset.num_items = static_cast<int>(value);
+        break;
+      case AxisKind::kItemSample:
+        dataset.item_sample = static_cast<int>(value);
+        break;
+      default:
+        break;
+    }
+  }
+  return dataset;
+}
+
+void RecomputeComponentGains(SweepResult* result) {
+  // Gains over the "components" cell at the same axis point. The grid lays
+  // cells out axis-point-major with methods innermost, so the stable index
+  // maps to its axis point by division — which also works when the cells
+  // are a shard slice, where a point's cells are no longer contiguous (a
+  // method whose components sibling landed in another shard simply reports
+  // no gain; the artifact merger recomputes gains after joining shards).
+  const int block = static_cast<int>(result->spec.methods.size());
+  std::map<int, double> components_by_point;
+  for (const SweepCellResult& cell : result->cells) {
+    if (cell.cell.method == "components") {
+      components_by_point.emplace(cell.cell.index / block, cell.revenue);
+    }
+  }
+  for (SweepCellResult& cell : result->cells) {
+    auto it = components_by_point.find(cell.cell.index / block);
+    if (it == components_by_point.end()) {
+      cell.has_gain = false;
+      cell.gain_over_components = 0.0;
+      continue;
+    }
+    cell.has_gain = true;
+    cell.gain_over_components = RevenueGain(cell.revenue, it->second);
+  }
 }
 
 SweepResult RunSweepCells(const ScenarioSpec& spec,
                           const std::vector<SweepCell>& cells,
                           const RatingsDataset& dataset,
-                          const SweepRunnerOptions& options, ThreadPool* pool) {
+                          const SweepRunnerOptions& options, ThreadPool* pool,
+                          const DatasetProvider& provider) {
   WallTimer total_timer;
-  SweepData data = DeriveWtp(spec, dataset);
+  SweepData data = BuildSweepData(spec, cells, dataset, provider);
 
   SweepResult result;
   result.spec = spec;
-  DatasetStats stats = dataset.Stats();
-  result.num_users = stats.num_users;
-  result.num_items = stats.num_items;
-  result.num_ratings = stats.num_ratings;
-  result.base_total_wtp = data.WtpFor(spec.dataset.lambda).TotalWtp();
+  const DatasetEntry& base = data.EntryFor(data.base_key);
+  result.num_users = base.stats.num_users;
+  result.num_items = base.stats.num_items;
+  result.num_ratings = base.stats.num_ratings;
+  result.base_total_wtp = base.WtpFor(spec.dataset.lambda).TotalWtp();
   result.cells.resize(cells.size());
 
   auto run_cell = [&](std::size_t index, int /*slot*/) {
@@ -221,25 +367,7 @@ SweepResult RunSweepCells(const ScenarioSpec& spec,
     local_pool.ParallelFor(cells.size(), run_cell);
   }
 
-  // Gains over the "components" cell at the same axis point. The grid lays
-  // cells out axis-point-major with methods innermost, so the stable index
-  // maps to its axis point by division — which also works when `cells` is a
-  // shard slice, where a point's cells are no longer contiguous (a method
-  // whose components sibling landed in another shard simply reports no
-  // gain; the artifact merger recomputes gains after joining shards).
-  const int block = static_cast<int>(spec.methods.size());
-  std::map<int, double> components_by_point;
-  for (const SweepCellResult& cell : result.cells) {
-    if (cell.cell.method == "components") {
-      components_by_point.emplace(cell.cell.index / block, cell.revenue);
-    }
-  }
-  for (SweepCellResult& cell : result.cells) {
-    auto it = components_by_point.find(cell.cell.index / block);
-    if (it == components_by_point.end()) continue;
-    cell.has_gain = true;
-    cell.gain_over_components = RevenueGain(cell.revenue, it->second);
-  }
+  RecomputeComponentGains(&result);
 
   result.wall_seconds = total_timer.Seconds();
   return result;

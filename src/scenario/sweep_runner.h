@@ -17,9 +17,12 @@
 #define BUNDLEMINE_SCENARIO_SWEEP_RUNNER_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/solution.h"
 #include "core/solve_context.h"
 #include "data/generator.h"
 #include "scenario/scenario_spec.h"
@@ -48,6 +51,16 @@ struct SweepCellResult {
   /// histogram[i] = number of offers of size i+1 (components included).
   std::vector<std::int64_t> bundle_size_histogram;
   SolveStats stats;
+  /// Post-filter size of the dataset this cell solved against. Equals the
+  /// sweep-level dataset summary unless the spec has dataset axes; written
+  /// to artifacts only in that case.
+  int num_users = 0;
+  int num_items = 0;
+  /// Per-iteration revenue trace of the cell's solve; captured only under
+  /// SweepRunnerOptions::capture_traces (Figure 6 harness). Iteration
+  /// revenues are deterministic; the per-iteration seconds are volatile and
+  /// excluded from artifacts unless timings are requested.
+  std::vector<IterationStat> trace;
   double wall_seconds = 0.0;  ///< Volatile; excluded from artifacts by default.
 };
 
@@ -72,6 +85,10 @@ struct SweepRunnerOptions {
   /// the bit-identity guarantee — budgeted sweeps are for interactive
   /// exploration, not for golden artifacts.
   double deadline_seconds = 0.0;
+  /// Record each cell's per-iteration revenue trace (SweepCellResult::trace).
+  /// Trace revenues are deterministic, so captured artifacts stay
+  /// byte-identical across thread counts.
+  bool capture_traces = false;
 };
 
 /// Expands the spec's (axis-value × method) grid in canonical order.
@@ -91,24 +108,58 @@ std::vector<SweepCell> FilterShard(std::vector<SweepCell> cells,
 std::uint64_t CellSeed(std::uint64_t scenario_seed, int cell_index);
 
 /// GeneratorConfig implied by a DatasetSpec: the named profile at the
-/// spec's seed with the generator overrides applied. The dataset a sweep
-/// materializes is a pure function of this config — the Engine's dataset
-/// cache keys on exactly these fields.
+/// spec's seed with the generator overrides (including num_users/num_items)
+/// applied. The dataset a sweep materializes is a pure function of this
+/// config plus the optional item_sample — DatasetKey() names exactly these
+/// fields.
 GeneratorConfig DatasetGeneratorConfig(const DatasetSpec& dataset);
 
+/// Materializes the dataset a DatasetSpec names: generation from
+/// DatasetGeneratorConfig, then the optional deterministic item subsample
+/// (item_sample items drawn with an Rng seeded from (dataset seed, sample
+/// size), clamped to the catalogue size; all users kept). Pure function of
+/// the spec — the Engine's dataset cache and the sweep runner's per-cell
+/// datasets both materialize through this.
+RatingsDataset MaterializeDataset(const DatasetSpec& dataset);
+
+/// DatasetSpec the cell solves against: the scenario's dataset with the
+/// cell's dataset-axis values (num_users / num_items / item-sample)
+/// applied. Identity (not equality) of DatasetKey(CellDatasetSpec(...))
+/// decides which cells share a materialized dataset.
+DatasetSpec CellDatasetSpec(const ScenarioSpec& spec, const SweepCell& cell);
+
+/// Supplies (possibly cached) datasets to a sweep; the Engine plugs its
+/// keyed dataset cache in here so per-cell regenerated datasets are shared
+/// across sweeps. Must be a pure function of the spec (same spec → same
+/// dataset contents) or determinism is lost.
+using DatasetProvider =
+    std::function<std::shared_ptr<const RatingsDataset>(const DatasetSpec&)>;
+
+/// Recomputes gain_over_components for every cell of `result` from the
+/// "components" cell at the same axis point (clearing gains whose baseline
+/// cell is absent). The runner applies this after solving; the artifact
+/// merger re-applies it after joining shard slices, which is what makes a
+/// merged artifact byte-identical to the unsharded run.
+void RecomputeComponentGains(SweepResult* result);
+
 /// Runs `cells` — any subset of ExpandGrid(spec), e.g. one FilterShard
-/// slice — against a pre-materialized `dataset`, deriving the WTP matrices
-/// the spec's λ values need. Results gather in `cells` order; per-cell
-/// seeding depends only on the stable grid index, so a shard's cells solve
-/// bit-identically to the same cells of a full run. Gains fill from the
-/// "components" cell at the same axis point when that cell is present in
-/// `cells`. `pool` (optional) supplies the workers; when null a private
-/// pool of options.threads is used.
+/// slice — against the pre-materialized base `dataset`, deriving the WTP
+/// matrices the spec's λ values need. Cells under dataset axes solve
+/// against their own regenerated datasets: each distinct
+/// DatasetKey(CellDatasetSpec(...)) materializes once (through `provider`
+/// when given — the Engine passes its cache — or locally otherwise) before
+/// the parallel cell loop, so results stay thread-invariant. Results gather
+/// in `cells` order; per-cell seeding depends only on the stable grid
+/// index, so a shard's cells solve bit-identically to the same cells of a
+/// full run. Gains fill from the "components" cell at the same axis point
+/// when that cell is present in `cells`. `pool` (optional) supplies the
+/// workers; when null a private pool of options.threads is used.
 SweepResult RunSweepCells(const ScenarioSpec& spec,
                           const std::vector<SweepCell>& cells,
                           const RatingsDataset& dataset,
                           const SweepRunnerOptions& options = {},
-                          ThreadPool* pool = nullptr);
+                          ThreadPool* pool = nullptr,
+                          const DatasetProvider& provider = nullptr);
 
 }  // namespace bundlemine
 

@@ -14,8 +14,15 @@ void FlagSet::Define(const std::string& name, const std::string& default_value,
   flags_[name] = Flag{default_value, help};
 }
 
+void FlagSet::AllowPositional(const std::string& meaning) {
+  allow_positional_ = true;
+  positional_meaning_ = meaning;
+}
+
 void FlagSet::PrintUsageAndExit(const char* argv0) const {
-  std::fprintf(stderr, "usage: %s [flags]\n", argv0);
+  std::fprintf(stderr, "usage: %s [flags]%s%s\n", argv0,
+               allow_positional_ ? " " : "",
+               allow_positional_ ? positional_meaning_.c_str() : "");
   for (const auto& [name, flag] : flags_) {
     std::fprintf(stderr, "  --%s=%s\n      %s\n", name.c_str(),
                  flag.value.c_str(), flag.help.c_str());
@@ -28,6 +35,10 @@ void FlagSet::Parse(int argc, char** argv) {
     std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") PrintUsageAndExit(argv[0]);
     if (!StartsWith(arg, "--")) {
+      if (allow_positional_) {
+        positional_.emplace_back(arg);
+        continue;
+      }
       std::fprintf(stderr, "unexpected positional argument: %s\n", argv[i]);
       PrintUsageAndExit(argv[0]);
     }

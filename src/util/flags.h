@@ -10,6 +10,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace bundlemine {
 
@@ -20,8 +21,18 @@ class FlagSet {
   void Define(const std::string& name, const std::string& default_value,
               const std::string& help);
 
+  /// Opts in to positional (non-`--`) arguments; `meaning` names them in
+  /// the usage text ("artifact files..."). Without this, a positional
+  /// argument is an error. Prefer the `--flag=value` form next to
+  /// positionals — a bare `--flag value` consumes the next argument as its
+  /// value.
+  void AllowPositional(const std::string& meaning);
+
   /// Parses argv; on `--help` or unknown flags prints usage and exits.
   void Parse(int argc, char** argv);
+
+  /// Positional arguments in order (requires AllowPositional).
+  const std::vector<std::string>& positional() const { return positional_; }
 
   /// Typed accessors. Abort if the flag was never defined.
   std::string GetString(const std::string& name) const;
@@ -38,6 +49,9 @@ class FlagSet {
   void PrintUsageAndExit(const char* argv0) const;
 
   std::map<std::string, Flag> flags_;
+  std::string positional_meaning_;
+  bool allow_positional_ = false;
+  std::vector<std::string> positional_;
 };
 
 }  // namespace bundlemine

@@ -243,6 +243,66 @@ TEST(DatasetCache, KeyCoversSeedAndOverridesButNotLambda) {
   DatasetSpec other_lambda = base;
   other_lambda.lambda = 2.0;  // WTP derivation is per-request.
   EXPECT_EQ(DatasetCacheKey(base), DatasetCacheKey(other_lambda));
+
+  DatasetSpec scaled = base;
+  scaled.num_users = 160;  // Dataset-axis overrides are distinct datasets.
+  EXPECT_NE(DatasetCacheKey(base), DatasetCacheKey(scaled));
+
+  DatasetSpec sampled = base;
+  sampled.item_sample = 20;
+  EXPECT_NE(DatasetCacheKey(base), DatasetCacheKey(sampled));
+}
+
+TEST(DatasetCache, DatasetAxisSweepPopulatesAndReusesCache) {
+  Engine engine;
+  SweepRequest request;
+  request.spec.name = "dataset-axis-cache";
+  request.spec.dataset.profile = "tiny";
+  request.spec.dataset.seed = 7;
+  request.spec.methods = {"components", "pure-greedy"};
+  request.spec.axes.push_back({AxisKind::kNumUsers, {160, 220}});
+
+  StatusOr<SweepResponse> first = engine.Sweep(request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // Base dataset + one regenerated dataset per axis point (the base-sized
+  // point carries an explicit override, so it keys separately).
+  Engine::CacheStats stats = engine.dataset_cache_stats();
+  EXPECT_EQ(stats.entries, 3u);
+  // Each cell's own post-filter population lands in the artifact.
+  std::string json = SweepArtifactJson(first->result);
+  EXPECT_NE(json.find("\"dataset\": {"), std::string::npos);
+
+  StatusOr<SweepResponse> second = engine.Sweep(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.dataset_cache_stats().entries, 3u);
+  EXPECT_GT(engine.dataset_cache_stats().hits, stats.hits);
+  EXPECT_EQ(SweepArtifactJson(second->result), json);
+}
+
+TEST(TraceCapture, SweepRecordsDeterministicTraces) {
+  Engine engine;
+  SweepRequest request;
+  request.spec.name = "trace-capture";
+  request.spec.dataset.profile = "tiny";
+  request.spec.dataset.seed = 7;
+  request.spec.methods = {"mixed-greedy"};
+  request.spec.axes.push_back({AxisKind::kTheta, {0.0}});
+  request.capture_traces = true;
+
+  StatusOr<SweepResponse> response = engine.Sweep(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->result.cells.size(), 1u);
+  const std::vector<IterationStat>& trace = response->result.cells[0].trace;
+  ASSERT_FALSE(trace.empty());
+  // The trace ends at the cell's final revenue and round-trips through the
+  // artifact (revenues only; seconds are volatile and excluded).
+  EXPECT_DOUBLE_EQ(trace.back().total_revenue, response->result.cells[0].revenue);
+  std::string json = SweepArtifactJson(response->result);
+  EXPECT_NE(json.find("\"trace\": ["), std::string::npos);
+  EXPECT_EQ(json.find("seconds"), std::string::npos);
+  StatusOr<SweepResult> parsed = ParseSweepArtifact(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SweepArtifactJson(*parsed), json);
 }
 
 TEST(DatasetCache, SolveFromDatasetReferenceMatchesManualPipeline) {

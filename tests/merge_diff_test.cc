@@ -1,0 +1,214 @@
+// Artifact merge/diff toolchain units: merging the shard slices of a grid
+// reproduces the unsharded artifact byte for byte (through a full
+// write→parse round trip per shard, as the CLI tools do), merge validation
+// rejects overlapping/incomplete/mismatched inputs, and the differ reports
+// exactly the cells that moved.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "scenario/artifact_diff.h"
+#include "scenario/artifact_merge.h"
+#include "scenario/artifact_reader.h"
+#include "scenario/artifact_writer.h"
+#include "scenario/scenario_spec.h"
+#include "scenario/sweep_runner.h"
+#include "sweep_test_util.h"
+
+namespace bundlemine {
+namespace {
+
+ScenarioSpec ToolchainSpec() {
+  ScenarioSpec spec;
+  spec.name = "toolchain";
+  spec.description = "merge/diff unit scenario";
+  spec.dataset.profile = "tiny";
+  spec.dataset.seed = 7;
+  spec.methods = {"components", "pure-greedy", "mixed-greedy"};
+  spec.axes.push_back({AxisKind::kTheta, {-0.05, 0.0, 0.05}});
+  spec.axes.push_back({AxisKind::kNumUsers, {160, 220}});
+  return spec;
+}
+
+// Runs one shard slice of the spec's grid (sharing the base dataset the
+// way separate --shard processes regenerate it identically).
+SweepResult RunShard(const ScenarioSpec& spec, const RatingsDataset& dataset,
+                     int shard_index, int shard_count) {
+  std::vector<SweepCell> cells =
+      FilterShard(ExpandGrid(spec), shard_index, shard_count);
+  return RunSweepCells(spec, cells, dataset);
+}
+
+// Write→parse round trip, as artifacts travel between the CLI and the
+// merge/diff tools.
+SweepResult ThroughJson(const SweepResult& result) {
+  StatusOr<SweepResult> parsed = ParseSweepArtifact(SweepArtifactJson(result));
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+TEST(ArtifactMerge, ShardsMergeToUnshardedBytes) {
+  ScenarioSpec spec = ToolchainSpec();
+  RatingsDataset dataset = MaterializeDataset(spec.dataset);
+  std::string full_json =
+      SweepArtifactJson(RunSweepCells(spec, ExpandGrid(spec), dataset));
+
+  const int kShards = 3;
+  std::vector<SweepResult> shards;
+  for (int s = 0; s < kShards; ++s) {
+    shards.push_back(ThroughJson(RunShard(spec, dataset, s, kShards)));
+  }
+  StatusOr<SweepResult> merged = MergeSweepResults(shards);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(SweepArtifactJson(*merged), full_json);
+}
+
+TEST(ArtifactMerge, RejectsOverlappingShards) {
+  ScenarioSpec spec = ToolchainSpec();
+  RatingsDataset dataset = MaterializeDataset(spec.dataset);
+  SweepResult shard0 = RunShard(spec, dataset, 0, 2);
+  StatusOr<SweepResult> merged = MergeSweepResults({shard0, shard0});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("duplicate cell index"),
+            std::string::npos);
+}
+
+TEST(ArtifactMerge, RejectsIncompleteCoverageUnlessAllowed) {
+  ScenarioSpec spec = ToolchainSpec();
+  RatingsDataset dataset = MaterializeDataset(spec.dataset);
+  SweepResult shard0 = RunShard(spec, dataset, 0, 2);
+  StatusOr<SweepResult> merged = MergeSweepResults({shard0});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("cover"), std::string::npos);
+
+  MergeOptions allow;
+  allow.allow_partial = true;
+  StatusOr<SweepResult> partial = MergeSweepResults({shard0}, allow);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_EQ(partial->cells.size(), shard0.cells.size());
+}
+
+TEST(ArtifactMerge, RejectsMismatchedScenarios) {
+  ScenarioSpec spec = ToolchainSpec();
+  RatingsDataset dataset = MaterializeDataset(spec.dataset);
+  SweepResult shard0 = RunShard(spec, dataset, 0, 2);
+
+  ScenarioSpec other = spec;
+  other.dataset.seed = 8;
+  RatingsDataset other_dataset = MaterializeDataset(other.dataset);
+  SweepResult shard1 = RunShard(other, other_dataset, 1, 2);
+
+  StatusOr<SweepResult> merged = MergeSweepResults({shard0, shard1});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().message().find("not a slice of the same sweep"),
+            std::string::npos);
+}
+
+TEST(ArtifactDiff, IdenticalArtifactsAreClean) {
+  ScenarioSpec spec = ToolchainSpec();
+  SweepResult result = RunFullSweep(spec);
+  SweepDiffResult diff = DiffSweepResults(result, ThroughJson(result));
+  EXPECT_TRUE(diff.Clean());
+  EXPECT_TRUE(diff.structural.empty());
+  EXPECT_TRUE(diff.cells.empty());
+}
+
+TEST(ArtifactDiff, NameDifferencesAreNotesNotFailures) {
+  ScenarioSpec spec = ToolchainSpec();
+  SweepResult result = RunFullSweep(spec);
+  SweepResult renamed = result;
+  renamed.spec.name = "other-name";
+  renamed.spec.description = "another description";
+  SweepDiffResult diff = DiffSweepResults(result, renamed);
+  EXPECT_TRUE(diff.Clean());
+  EXPECT_EQ(diff.notes.size(), 2u);
+}
+
+TEST(ArtifactDiff, FlagsOutOfToleranceCells) {
+  ScenarioSpec spec = ToolchainSpec();
+  SweepResult result = RunFullSweep(spec);
+  SweepResult perturbed = result;
+  perturbed.cells[4].revenue *= 1.001;  // 0.1% drift.
+  perturbed.cells[7].stats.merges += 1;
+
+  DiffOptions tight;
+  tight.rel_tol = 1e-6;
+  SweepDiffResult diff = DiffSweepResults(result, perturbed, tight);
+  ASSERT_FALSE(diff.Clean());
+  // revenue moved (and with it nothing else); the integer drift always
+  // reports. Gains of sibling cells are untouched because the perturbation
+  // skipped recomputation, so exactly these two fields flag.
+  ASSERT_EQ(diff.cells.size(), 2u);
+  EXPECT_EQ(diff.cells[0].field, "revenue");
+  EXPECT_EQ(diff.cells[0].index, result.cells[4].cell.index);
+  EXPECT_GT(diff.cells[0].rel_error, 1e-4);
+  EXPECT_EQ(diff.cells[1].field, "stats.merges");
+
+  DiffOptions loose;
+  loose.rel_tol = 0.01;
+  SweepDiffResult loose_diff = DiffSweepResults(result, perturbed, loose);
+  // The revenue drift is inside 1%, the integer field still fails.
+  ASSERT_EQ(loose_diff.cells.size(), 1u);
+  EXPECT_EQ(loose_diff.cells[0].field, "stats.merges");
+}
+
+TEST(ArtifactDiff, FlagsDivergingTraces) {
+  ScenarioSpec spec = ToolchainSpec();
+  spec.axes = {{AxisKind::kTheta, {0.0}}};
+  spec.methods = {"mixed-greedy"};
+  SweepRunnerOptions options;
+  options.capture_traces = true;
+  RatingsDataset dataset = MaterializeDataset(spec.dataset);
+  SweepResult result = RunSweepCells(spec, ExpandGrid(spec), dataset, options);
+  ASSERT_FALSE(result.cells[0].trace.empty());
+
+  // Same final numbers, different convergence trajectory: must flag.
+  SweepResult shifted = result;
+  shifted.cells[0].trace[0].total_revenue += 1.0;
+  SweepDiffResult diff = DiffSweepResults(result, shifted);
+  ASSERT_EQ(diff.cells.size(), 1u);
+  EXPECT_EQ(diff.cells[0].field, "trace");
+
+  SweepResult truncated = result;
+  truncated.cells[0].trace.pop_back();
+  diff = DiffSweepResults(result, truncated);
+  ASSERT_EQ(diff.cells.size(), 1u);
+  EXPECT_EQ(diff.cells[0].field, "trace.length");
+}
+
+TEST(ArtifactDiff, MissingCellsReportPresence) {
+  ScenarioSpec spec = ToolchainSpec();
+  RatingsDataset dataset = MaterializeDataset(spec.dataset);
+  SweepResult full = RunSweepCells(spec, ExpandGrid(spec), dataset);
+  SweepResult half = RunShard(spec, dataset, 0, 2);
+  SweepDiffResult diff = DiffSweepResults(full, half);
+  ASSERT_FALSE(diff.Clean());
+  // Cells the shard lacks report presence; shard cells whose "components"
+  // sibling landed in the other shard legitimately differ in has_gain.
+  std::size_t missing = 0;
+  for (const CellFieldDiff& d : diff.cells) {
+    if (d.field == "presence") {
+      EXPECT_EQ(d.left, "present");
+      EXPECT_EQ(d.right, "missing");
+      ++missing;
+    } else {
+      EXPECT_EQ(d.field, "has_gain");
+    }
+  }
+  EXPECT_EQ(missing, full.cells.size() - half.cells.size());
+}
+
+TEST(ArtifactDiff, StructuralMismatchShortCircuits) {
+  ScenarioSpec spec = ToolchainSpec();
+  SweepResult result = RunFullSweep(spec);
+  ScenarioSpec other = spec;
+  other.methods.pop_back();
+  SweepResult other_result = RunFullSweep(other);
+  SweepDiffResult diff = DiffSweepResults(result, other_result);
+  ASSERT_FALSE(diff.structural.empty());
+  EXPECT_TRUE(diff.cells.empty());
+}
+
+}  // namespace
+}  // namespace bundlemine

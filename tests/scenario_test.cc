@@ -3,6 +3,7 @@
 // and artifact structure.
 
 #include <cstdlib>
+#include <limits>
 
 #include "gtest/gtest.h"
 #include "scenario/artifact_writer.h"
@@ -90,6 +91,90 @@ TEST(ScenarioSpecTest, ValidateCatchesStructuralProblems) {
   spec = TinySpec();
   spec.axes[0].values.clear();
   EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+}
+
+TEST(ScenarioSpecTest, DuplicateAxisDiagnosticNamesBothPositions) {
+  ScenarioSpec spec = TinySpec();
+  spec.axes.push_back({AxisKind::kK, {2, 3}});
+  spec.axes.push_back({AxisKind::kTheta, {0.5}});  // Duplicates axis 1.
+  std::string error;
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+  EXPECT_EQ(error, "axis 'theta' repeated (axes 1 and 3)");
+}
+
+TEST(ScenarioSpecTest, ParsesDatasetAndMethodConfigAxes) {
+  std::string error;
+  std::optional<ScenarioSpec> spec = ParseScenarioSpec(
+      "scale=tiny; seed=9; methods=components,mixed-freq;"
+      "num-users=180; item-sample=25;"
+      "axis:num_items=60,80; axis:miner=0,1,2; axis:prune-co-interest=1,0;"
+      "axis:freq-support=0.04",
+      &error);
+  ASSERT_TRUE(spec) << error;
+  ASSERT_TRUE(spec->dataset.num_users);
+  EXPECT_EQ(*spec->dataset.num_users, 180);
+  ASSERT_TRUE(spec->dataset.item_sample);
+  EXPECT_EQ(*spec->dataset.item_sample, 25);
+  ASSERT_EQ(spec->axes.size(), 4u);
+  EXPECT_EQ(spec->axes[0].kind, AxisKind::kNumItems);
+  EXPECT_EQ(spec->axes[1].kind, AxisKind::kMiner);
+  EXPECT_EQ(spec->axes[2].kind, AxisKind::kPruneCoInterest);
+  EXPECT_EQ(spec->axes[3].kind, AxisKind::kFreqSupport);
+  EXPECT_TRUE(ValidateScenarioSpec(*spec, &error)) << error;
+  // The canonical form is a fixpoint of format∘parse for the new keys too.
+  std::optional<ScenarioSpec> reparsed =
+      ParseScenarioSpec(FormatScenarioSpec(*spec), &error);
+  ASSERT_TRUE(reparsed) << error;
+  EXPECT_EQ(FormatScenarioSpec(*reparsed), FormatScenarioSpec(*spec));
+}
+
+TEST(ScenarioSpecTest, ValidateRejectsBadAxisValues) {
+  std::string error;
+  ScenarioSpec spec = TinySpec();
+
+  spec.axes = {{AxisKind::kMiner, {0, 3}}};  // Only 0..2 are engines.
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+  EXPECT_NE(error.find("miner"), std::string::npos);
+
+  spec.axes = {{AxisKind::kPruneCoInterest, {0.5}}};  // Toggles are 0/1.
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+  EXPECT_NE(error.find("prune-co-interest"), std::string::npos);
+
+  spec.axes = {{AxisKind::kNumUsers, {0}}};  // Populations are >= 1.
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+  EXPECT_NE(error.find("num_users"), std::string::npos);
+
+  spec.axes = {{AxisKind::kNumItems, {80.5}}};  // And integral.
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+
+  spec.axes = {{AxisKind::kFreqSupport, {0.0}}};  // Support is in (0, 1].
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+  EXPECT_NE(error.find("freq-support"), std::string::npos);
+
+  spec.axes = {{AxisKind::kMatchingLimit, {-1}}};
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+
+  // Integer-kind values beyond int range (or non-finite anywhere) must fail
+  // validation rather than reach the runner's static_cast<int>.
+  spec.axes = {{AxisKind::kLevels, {4294967297.0}}};
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+  spec.axes = {{AxisKind::kNumUsers, {1e300}}};
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+  spec.axes = {{AxisKind::kTheta, {std::numeric_limits<double>::infinity()}}};
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+
+  spec.axes = {{AxisKind::kLambda, {1.0, -0.5}}};
+  EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
+}
+
+TEST(ScenarioSpecTest, AxisNamesRoundTripAndDescribe) {
+  for (AxisKind kind : AllAxisKinds()) {
+    std::optional<AxisKind> reparsed = AxisKindByName(AxisKindName(kind));
+    ASSERT_TRUE(reparsed) << AxisKindName(kind);
+    EXPECT_EQ(*reparsed, kind);
+    EXPECT_FALSE(AxisKindDescription(kind).empty());
+  }
+  EXPECT_EQ(static_cast<int>(AllAxisKinds().size()), kNumAxisKinds);
 }
 
 TEST(ScenarioSpecTest, FormatParseRoundTrips) {

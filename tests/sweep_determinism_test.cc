@@ -55,6 +55,44 @@ TEST(SweepDeterminism, MultiAxisGridIsThreadInvariant) {
   EXPECT_EQ(RunToJson(spec, 1), RunToJson(spec, 3));
 }
 
+TEST(SweepDeterminism, DatasetAndPruningAxesAreThreadInvariant) {
+  // Dataset axes regenerate a dataset per axis point and pruning axes
+  // reconfigure the solver per cell; both must preserve the byte-identity
+  // guarantee across thread counts.
+  ScenarioSpec spec = DeterminismSpec();
+  spec.methods = {"components", "pure-matching"};
+  spec.axes.clear();
+  spec.axes.push_back({AxisKind::kNumUsers, {160, 220}});
+  spec.axes.push_back({AxisKind::kPruneCoInterest, {1, 0}});
+  std::string serial = RunToJson(spec, 1);
+  EXPECT_EQ(serial, RunToJson(spec, 4));
+  // The artifact records each cell's own post-filter dataset size.
+  EXPECT_NE(serial.find("\"dataset\": {"), std::string::npos);
+  EXPECT_NE(serial.find("\"num_users\": 160"), std::string::npos);
+}
+
+TEST(SweepDeterminism, ItemSampleAxisIsThreadInvariant) {
+  ScenarioSpec spec = DeterminismSpec();
+  spec.methods = {"components", "pure-greedy"};
+  spec.axes.clear();
+  spec.axes.push_back({AxisKind::kItemSample, {10, 20}});
+  EXPECT_EQ(RunToJson(spec, 1), RunToJson(spec, 3));
+}
+
+TEST(SweepDeterminism, CapturedTracesAreThreadInvariant) {
+  ScenarioSpec spec = DeterminismSpec();
+  spec.methods = {"components", "mixed-greedy"};
+  SweepRunnerOptions serial_options, threaded_options;
+  serial_options.threads = 1;
+  serial_options.capture_traces = true;
+  threaded_options.threads = 4;
+  threaded_options.capture_traces = true;
+  std::string serial = SweepArtifactJson(RunFullSweep(spec, serial_options));
+  std::string threaded = SweepArtifactJson(RunFullSweep(spec, threaded_options));
+  EXPECT_EQ(serial, threaded);
+  EXPECT_NE(serial.find("\"trace\": ["), std::string::npos);
+}
+
 TEST(SweepDeterminism, SeedChangesTheArtifact) {
   // Sanity check that byte-identity is not vacuous: a different dataset seed
   // must produce a different artifact.

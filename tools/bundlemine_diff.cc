@@ -1,0 +1,82 @@
+// bundlemine_diff — compares two sweep artifacts (or bench-trajectory
+// points) cell by cell with a relative-tolerance report.
+//
+//   ./bundlemine_diff left.json right.json
+//   ./bundlemine_diff --rel-tol=1e-6 BENCH_sweep_old.json BENCH_sweep_new.json
+//
+// Scenario names/descriptions are presentation and never fail the diff; the
+// grid shape (dataset, base knobs, methods, axes) must match. Exit codes:
+// 0 artifacts agree within tolerance, 1 out-of-tolerance cells or a
+// structural mismatch, 2 usage / unreadable inputs.
+
+#include <cstdio>
+
+#include "scenario/artifact_diff.h"
+#include "scenario/artifact_reader.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+using namespace bundlemine;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("rel-tol", "1e-9",
+               "relative tolerance for double-valued cell fields (integer "
+               "fields always compare exactly)");
+  flags.AllowPositional("left.json right.json");
+  flags.Parse(argc, argv);
+
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "error: expected exactly two artifact paths, got %zu\n",
+                 flags.positional().size());
+    return 2;
+  }
+
+  SweepResult sides[2];
+  for (int i = 0; i < 2; ++i) {
+    StatusOr<SweepResult> side =
+        ReadSweepArtifact(flags.positional()[static_cast<std::size_t>(i)]);
+    if (!side.ok()) {
+      std::fprintf(stderr, "error: %s\n", side.status().ToString().c_str());
+      return 2;
+    }
+    sides[i] = std::move(*side);
+  }
+
+  DiffOptions options;
+  options.rel_tol = flags.GetDouble("rel-tol");
+  SweepDiffResult diff = DiffSweepResults(sides[0], sides[1], options);
+
+  for (const std::string& note : diff.notes) {
+    std::fprintf(stderr, "# note: %s\n", note.c_str());
+  }
+  for (const std::string& mismatch : diff.structural) {
+    std::fprintf(stderr, "structural: %s\n", mismatch.c_str());
+  }
+
+  if (!diff.cells.empty()) {
+    TablePrinter table(StrFormat("out-of-tolerance cells (rel-tol %s)",
+                                 FormatDoubleShortest(options.rel_tol).c_str()));
+    table.SetHeader({"cell", "axis point", "method", "field", "left", "right",
+                     "rel err"});
+    for (const CellFieldDiff& d : diff.cells) {
+      table.AddRow({StrFormat("%d", d.index), d.axis_point, d.method, d.field,
+                    d.left, d.right,
+                    d.rel_error > 0.0 ? StrFormat("%.3e", d.rel_error) : "-"});
+    }
+    table.Print();
+  }
+
+  if (diff.Clean()) {
+    std::fprintf(stderr, "# artifacts agree: %zu cells within rel-tol %s\n",
+                 sides[0].cells.size(),
+                 FormatDoubleShortest(options.rel_tol).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "# %zu structural mismatch(es), %zu cell diff(s)\n",
+               diff.structural.size(), diff.cells.size());
+  return 1;
+}

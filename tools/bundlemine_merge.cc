@@ -1,0 +1,66 @@
+// bundlemine_merge — joins `--shard=i/n` sweep artifacts into the single
+// document the unsharded run would have written, byte for byte.
+//
+//   ./bundlemine_merge --out=merged.json shard0.json shard1.json shard2.json
+//
+// Validates that every input is a slice of the same sweep, that slices are
+// disjoint, and that together they cover the whole grid (--allow-partial
+// relaxes coverage); recomputes gain_over_components across the joined
+// grid. Exit codes: 0 merged, 1 user error (unreadable/invalid/unmergeable
+// inputs, unwritable output).
+
+#include <cstdio>
+
+#include "scenario/artifact_merge.h"
+#include "scenario/artifact_reader.h"
+#include "scenario/artifact_writer.h"
+#include "util/flags.h"
+
+using namespace bundlemine;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("out", "", "output path for the merged artifact (required)");
+  flags.Define("allow-partial", "false",
+               "accept a merge that does not cover the full grid");
+  flags.AllowPositional("shard-artifact.json...");
+  flags.Parse(argc, argv);
+
+  const std::string out_path = flags.GetString("out");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "error: --out=<path> is required\n");
+    return 1;
+  }
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "error: no input artifacts (pass shard .json paths as "
+                 "positional arguments)\n");
+    return 1;
+  }
+
+  std::vector<SweepResult> shards;
+  for (const std::string& path : flags.positional()) {
+    StatusOr<SweepResult> shard = ReadSweepArtifact(path);
+    if (!shard.ok()) {
+      std::fprintf(stderr, "error: %s\n", shard.status().ToString().c_str());
+      return 1;
+    }
+    shards.push_back(std::move(*shard));
+  }
+
+  MergeOptions options;
+  options.allow_partial = flags.GetBool("allow-partial");
+  StatusOr<SweepResult> merged = MergeSweepResults(shards, options);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "error: %s\n", merged.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!WriteSweepArtifact(*merged, out_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "# merged %zu shard(s), %zu cells -> %s\n",
+               shards.size(), merged->cells.size(), out_path.c_str());
+  return 0;
+}
