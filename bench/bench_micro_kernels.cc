@@ -12,10 +12,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <new>
+#include <vector>
 
 #include "core/offer_ops.h"
 #include "data/generator.h"
@@ -24,6 +27,7 @@
 #include "mining/transactions.h"
 #include "pricing/mixed_pricer.h"
 #include "pricing/offer_pricer.h"
+#include "pricing/pricing_kernels.h"
 #include "pricing/pricing_workspace.h"
 #include "util/rng.h"
 
@@ -246,6 +250,171 @@ void BM_BlossomMatching(benchmark::State& state) {
 }
 BENCHMARK(BM_BlossomMatching)->Arg(32)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
 
+// --- SIMD pricing-kernel pairs ---------------------------------------------
+// Each kernel is measured twice over identical 4096-element inputs: through
+// the scalar table (kernels::scalar::) and through the runtime dispatcher
+// (wide backend when the host supports one). tools/bundlemine_kernel_gate
+// reads the JSON output of these benchmarks — the `ns_per_op` /
+// `bytes_per_op` counters and the `bundlemine_simd` context flag — and
+// enforces the simd/scalar speedup floor plus an absolute-throughput
+// baseline (tests/golden/kernel_baseline.json).
+
+constexpr std::size_t kKernelN = 4096;
+
+std::vector<double> KernelInput(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.UniformDouble(0.5, 25.0);
+  return v;
+}
+
+// Runs `op` per iteration and reports ns/op and the kernel's memory traffic.
+template <typename Op>
+void KernelLoop(benchmark::State& state, std::size_t bytes_per_op, Op op) {
+  for (auto _ : state) op();
+  state.counters["ns_per_op"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["bytes_per_op"] =
+      benchmark::Counter(static_cast<double>(bytes_per_op));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelN));
+}
+
+void BM_KernelExactStep(benchmark::State& state, bool simd) {
+  std::vector<double> v = KernelInput(11, kKernelN);
+  std::sort(v.begin(), v.end(), std::greater<double>());
+  KernelLoop(state, kKernelN * sizeof(double), [&] {
+    const kernels::ExactStepResult r =
+        simd ? kernels::ExactStepBest(v.data(), v.size())
+             : kernels::scalar::ExactStepBest(v.data(), v.size());
+    benchmark::DoNotOptimize(r.revenue);
+  });
+}
+void BM_KernelExactStepScalar(benchmark::State& state) {
+  BM_KernelExactStep(state, false);
+}
+void BM_KernelExactStepSimd(benchmark::State& state) {
+  BM_KernelExactStep(state, true);
+}
+BENCHMARK(BM_KernelExactStepScalar);
+BENCHMARK(BM_KernelExactStepSimd);
+
+void BM_KernelMaxValue(benchmark::State& state, bool simd) {
+  const std::vector<double> v = KernelInput(12, kKernelN);
+  KernelLoop(state, kKernelN * sizeof(double), [&] {
+    benchmark::DoNotOptimize(simd
+                                 ? kernels::MaxValue(v.data(), v.size())
+                                 : kernels::scalar::MaxValue(v.data(), v.size()));
+  });
+}
+void BM_KernelMaxValueScalar(benchmark::State& state) {
+  BM_KernelMaxValue(state, false);
+}
+void BM_KernelMaxValueSimd(benchmark::State& state) {
+  BM_KernelMaxValue(state, true);
+}
+BENCHMARK(BM_KernelMaxValueScalar);
+BENCHMARK(BM_KernelMaxValueSimd);
+
+void BM_KernelBuckets(benchmark::State& state, bool simd) {
+  const std::vector<double> v = KernelInput(13, kKernelN);
+  const double max_w = kernels::scalar::MaxValue(v.data(), v.size());
+  const int levels = 100;
+  const double step = max_w / levels;
+  std::vector<std::int32_t> out(kKernelN);
+  KernelLoop(state, kKernelN * (sizeof(double) + sizeof(std::int32_t)), [&] {
+    if (simd) {
+      kernels::ComputeBuckets(v.data(), v.size(), 1.0, max_w, levels, step,
+                              out.data());
+    } else {
+      kernels::scalar::ComputeBuckets(v.data(), v.size(), 1.0, max_w, levels,
+                                      step, out.data());
+    }
+    benchmark::DoNotOptimize(out.data());
+  });
+}
+void BM_KernelBucketsScalar(benchmark::State& state) {
+  BM_KernelBuckets(state, false);
+}
+void BM_KernelBucketsSimd(benchmark::State& state) {
+  BM_KernelBuckets(state, true);
+}
+BENCHMARK(BM_KernelBucketsScalar);
+BENCHMARK(BM_KernelBucketsSimd);
+
+void BM_KernelSigmoidSum(benchmark::State& state, bool simd) {
+  const std::vector<double> v = KernelInput(14, kKernelN);
+  KernelLoop(state, kKernelN * sizeof(double), [&] {
+    const double r =
+        simd ? kernels::SigmoidAdoptionSum(v.data(), nullptr, v.size(), 10.0,
+                                           0.9, 1e-6, 12.0)
+             : kernels::scalar::SigmoidAdoptionSum(v.data(), nullptr, v.size(),
+                                                   10.0, 0.9, 1e-6, 12.0);
+    benchmark::DoNotOptimize(r);
+  });
+}
+void BM_KernelSigmoidSumScalar(benchmark::State& state) {
+  BM_KernelSigmoidSum(state, false);
+}
+void BM_KernelSigmoidSumSimd(benchmark::State& state) {
+  BM_KernelSigmoidSum(state, true);
+}
+BENCHMARK(BM_KernelSigmoidSumScalar);
+BENCHMARK(BM_KernelSigmoidSumSimd);
+
+void BM_KernelMixedThresholds(benchmark::State& state, bool simd) {
+  const std::vector<double> r1 = KernelInput(15, kKernelN);
+  const std::vector<double> r2 = KernelInput(16, kKernelN);
+  std::vector<double> out(kKernelN);
+  KernelLoop(state, kKernelN * 3 * sizeof(double), [&] {
+    if (simd) {
+      kernels::MixedThresholds(r1.data(), r2.data(), kKernelN, 0.95, 1.05,
+                               1.2, 8.0, 9.0, out.data());
+    } else {
+      kernels::scalar::MixedThresholds(r1.data(), r2.data(), kKernelN, 0.95,
+                                       1.05, 1.2, 8.0, 9.0, out.data());
+    }
+    benchmark::DoNotOptimize(out.data());
+  });
+}
+void BM_KernelMixedThresholdsScalar(benchmark::State& state) {
+  BM_KernelMixedThresholds(state, false);
+}
+void BM_KernelMixedThresholdsSimd(benchmark::State& state) {
+  BM_KernelMixedThresholds(state, true);
+}
+BENCHMARK(BM_KernelMixedThresholdsScalar);
+BENCHMARK(BM_KernelMixedThresholdsSimd);
+
+void BM_KernelMixedSigmoid(benchmark::State& state, bool simd) {
+  const std::vector<double> r1 = KernelInput(17, kKernelN);
+  const std::vector<double> r2 = KernelInput(18, kKernelN);
+  const std::vector<double> base = KernelInput(19, kKernelN);
+  std::vector<double> aw1(kKernelN), aw2(kKernelN), awb(kKernelN);
+  kernels::scalar::MixedEffectiveColumns(r1.data(), r2.data(), kKernelN, 0.95,
+                                         1.05, 1.2, aw1.data(), aw2.data(),
+                                         awb.data());
+  KernelLoop(state, kKernelN * 4 * sizeof(double), [&] {
+    const kernels::MixedSigmoidResult r =
+        simd ? kernels::MixedSigmoidEval(aw1.data(), aw2.data(), awb.data(),
+                                         base.data(), kKernelN, 12.0, 8.0, 9.0,
+                                         10.0, 1e-6, false)
+             : kernels::scalar::MixedSigmoidEval(
+                   aw1.data(), aw2.data(), awb.data(), base.data(), kKernelN,
+                   12.0, 8.0, 9.0, 10.0, 1e-6, false);
+    benchmark::DoNotOptimize(r.gain);
+  });
+}
+void BM_KernelMixedSigmoidScalar(benchmark::State& state) {
+  BM_KernelMixedSigmoid(state, false);
+}
+void BM_KernelMixedSigmoidSimd(benchmark::State& state) {
+  BM_KernelMixedSigmoid(state, true);
+}
+BENCHMARK(BM_KernelMixedSigmoidScalar);
+BENCHMARK(BM_KernelMixedSigmoidSimd);
+
 void BM_GeneratorTiny(benchmark::State& state) {
   std::uint64_t seed = 1;
   for (auto _ : state) {
@@ -257,4 +426,16 @@ BENCHMARK(BM_GeneratorTiny)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace bundlemine
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the JSON output records which
+// kernel backend actually ran — the throughput gate skips the speedup check
+// on hosts without a wide backend.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "bundlemine_simd",
+      bundlemine::kernels::WideAvailable() ? "wide" : "scalar");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

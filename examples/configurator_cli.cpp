@@ -91,6 +91,9 @@ int RunSweepMode(Engine& engine, const FlagSet& flags) {
   }
   StatusOr<ScenarioSpec> spec = ResolveScenarioSpec(spec_arg);
   if (!spec.ok()) return FailWith(spec.status());
+  for (const std::string& warning : ScenarioSpecWarnings(*spec)) {
+    std::fprintf(stderr, "warning: %s\n", warning.c_str());
+  }
 
   SweepRequest request;
   request.spec = *spec;

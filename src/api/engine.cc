@@ -72,14 +72,50 @@ std::shared_ptr<const RatingsDataset> Engine::DatasetFor(
   return dataset;
 }
 
+std::shared_ptr<const WtpMatrix> Engine::WtpFor(const DatasetSpec& spec,
+                                                const RatingsDataset& dataset,
+                                                double lambda) {
+  // λ joins the key because DatasetCacheKey deliberately excludes it: one
+  // dataset serves many λ points (lambda-axis sweeps), each with its own
+  // derived matrix. FormatDoubleShortest round-trips, so distinct λ never
+  // collide.
+  const std::string key =
+      DatasetCacheKey(spec) + ";lambda=" + FormatDoubleShortest(lambda);
+  // Derivation runs under the lock, mirroring DatasetFor: concurrent
+  // requests for the same key derive once.
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  for (auto it = wtp_cache_.begin(); it != wtp_cache_.end(); ++it) {
+    if (it->key == key) {
+      wtp_cache_.splice(wtp_cache_.begin(), wtp_cache_, it);
+      ++wtp_cache_hits_;
+      return wtp_cache_.front().wtp;
+    }
+  }
+  ++wtp_cache_misses_;
+  auto wtp = std::make_shared<const WtpMatrix>(
+      WtpMatrix::FromRatings(dataset, lambda));
+  if (options_.wtp_cache_capacity == 0) return wtp;
+  wtp_cache_.push_front(WtpCacheEntry{key, wtp});
+  while (wtp_cache_.size() > options_.wtp_cache_capacity) {
+    wtp_cache_.pop_back();
+  }
+  return wtp;
+}
+
 Engine::CacheStats Engine::dataset_cache_stats() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   return CacheStats{cache_hits_, cache_misses_, cache_.size()};
 }
 
+Engine::CacheStats Engine::wtp_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return CacheStats{wtp_cache_hits_, wtp_cache_misses_, wtp_cache_.size()};
+}
+
 void Engine::ClearDatasetCache() {
   std::lock_guard<std::mutex> lock(cache_mu_);
   cache_.clear();
+  wtp_cache_.clear();
 }
 
 Status ValidateMethodKey(const std::string& method) {
@@ -111,7 +147,7 @@ StatusOr<SolveResponse> Engine::Solve(const SolveRequest& request) {
   // copy everything they need.
   BundleConfigProblem problem;
   std::shared_ptr<const RatingsDataset> dataset_holder;
-  std::optional<WtpMatrix> wtp_holder;
+  std::shared_ptr<const WtpMatrix> wtp_holder;
   if (request.problem != nullptr) {
     if (request.problem->wtp == nullptr) {
       return Status::InvalidArgument("SolveRequest problem has no WTP matrix");
@@ -126,8 +162,8 @@ StatusOr<SolveResponse> Engine::Solve(const SolveRequest& request) {
       return Status::InvalidArgument("dataset lambda must be positive");
     }
     dataset_holder = DatasetFor(spec);
-    wtp_holder.emplace(WtpMatrix::FromRatings(*dataset_holder, spec.lambda));
-    problem.wtp = &*wtp_holder;
+    wtp_holder = WtpFor(spec, *dataset_holder, spec.lambda);
+    problem.wtp = wtp_holder.get();
     problem.theta = request.theta;
     problem.max_bundle_size = request.max_bundle_size;
     problem.price_levels = request.price_levels;
@@ -206,17 +242,26 @@ StatusOr<SweepResponse> Engine::Sweep(const SweepRequest& request) {
   DatasetProvider provider = [this](const DatasetSpec& cell_dataset) {
     return DatasetFor(cell_dataset);
   };
+  // Derived WTP matrices go through the λ-keyed cache, so repeated sweeps
+  // over the same grid skip the FromRatings pass as well as the generation.
+  WtpProvider wtp_provider = [this](const DatasetSpec& cell_dataset,
+                                    const RatingsDataset& cell_data,
+                                    double lambda) {
+    return WtpFor(cell_dataset, cell_data, lambda);
+  };
   // Reuse the Engine's pool when the request runs at the Engine's width —
   // serialized on pool_mu_, since ParallelFor holds a single job slot.
   // Otherwise spin up a request-local pool (results are identical either
   // way — width only affects wall time).
   if (runner_options.threads == options_.threads) {
     std::lock_guard<std::mutex> lock(pool_mu_);
-    response.result = RunSweepCells(request.spec, cells, *dataset,
-                                    runner_options, pool_.get(), provider);
+    response.result =
+        RunSweepCells(request.spec, cells, *dataset, runner_options,
+                      pool_.get(), provider, wtp_provider);
   } else {
-    response.result = RunSweepCells(request.spec, cells, *dataset,
-                                    runner_options, nullptr, provider);
+    response.result =
+        RunSweepCells(request.spec, cells, *dataset, runner_options, nullptr,
+                      provider, wtp_provider);
   }
   response.result.wall_seconds = timer.Seconds();
   return response;

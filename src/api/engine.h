@@ -11,8 +11,11 @@
 //     BM_CHECK remains for programming errors only.
 //   * Amortized data work. The Engine owns a keyed dataset cache:
 //     repeated sweeps/solves over the same (profile, seed, overrides)
-//     materialize the generated ratings dataset once. It also owns the
-//     ThreadPool that sweep cells and batch requests fan out over.
+//     materialize the generated ratings dataset once. A second, λ-keyed
+//     cache holds the WTP matrices derived from those datasets, so
+//     repeated requests at the same (dataset, λ) skip FromRatings too. It
+//     also owns the ThreadPool that sweep cells and batch requests fan
+//     out over.
 //   * Determinism. Solve/Sweep responses are bit-identical at any thread
 //     count, SolveBatch equals per-request Solve calls, and a sharded sweep
 //     (`--shard=i/n` filtering by stable cell index) solves each of its
@@ -42,6 +45,7 @@
 #include "core/problem.h"
 #include "core/solve_context.h"
 #include "data/ratings.h"
+#include "data/wtp_matrix.h"
 #include "scenario/scenario_spec.h"
 #include "scenario/sweep_runner.h"
 #include "util/status.h"
@@ -132,6 +136,10 @@ class Engine {
     /// Generated datasets kept alive in the cache (LRU eviction). 0
     /// disables caching.
     std::size_t dataset_cache_capacity = 8;
+    /// Derived WTP matrices kept alive, keyed by (dataset key, λ) — a
+    /// dataset with three λ axis points occupies three entries. LRU
+    /// eviction; 0 disables caching.
+    std::size_t wtp_cache_capacity = 8;
   };
 
   Engine() : Engine(Options{}) {}
@@ -161,13 +169,17 @@ class Engine {
   /// a bad shard range.
   StatusOr<SweepResponse> Sweep(const SweepRequest& request);
 
-  /// Dataset-cache observability (tests, ops endpoints).
+  /// Cache observability (tests, ops endpoints) — shared by the dataset
+  /// cache and the derived-WTP cache.
   struct CacheStats {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
     std::size_t entries = 0;
   };
   CacheStats dataset_cache_stats() const;
+  CacheStats wtp_cache_stats() const;
+  /// Drops both caches (datasets and derived WTP matrices); counters keep
+  /// accumulating.
   void ClearDatasetCache();
 
   const Options& options() const { return options_; }
@@ -177,11 +189,23 @@ class Engine {
     std::string key;
     std::shared_ptr<const RatingsDataset> dataset;
   };
+  struct WtpCacheEntry {
+    std::string key;
+    std::shared_ptr<const WtpMatrix> wtp;
+  };
 
   // Returns the cached dataset for `spec`, materializing (and inserting) on
   // a miss. `hit` (optional) reports whether the cache served it.
   std::shared_ptr<const RatingsDataset> DatasetFor(const DatasetSpec& spec,
                                                    bool* hit = nullptr);
+
+  // Returns the WTP matrix derived from `dataset` (the materialization of
+  // `spec`) at `lambda`, served through the λ-keyed WTP cache. FromRatings
+  // is a pure function of (dataset, λ), so cached entries are bit-identical
+  // to fresh derivations.
+  std::shared_ptr<const WtpMatrix> WtpFor(const DatasetSpec& spec,
+                                          const RatingsDataset& dataset,
+                                          double lambda);
 
   int EffectiveThreads(const RequestOptions& options) const {
     return options.threads > 0 ? options.threads : options_.threads;
@@ -197,6 +221,9 @@ class Engine {
   std::list<CacheEntry> cache_;  // Front = most recently used.
   std::int64_t cache_hits_ = 0;
   std::int64_t cache_misses_ = 0;
+  std::list<WtpCacheEntry> wtp_cache_;  // Front = most recently used.
+  std::int64_t wtp_cache_hits_ = 0;
+  std::int64_t wtp_cache_misses_ = 0;
 };
 
 /// Stable cache key of a dataset reference: profile, seed, generator

@@ -5,6 +5,7 @@
 
 #include "core/offer_ops.h"
 #include "matching/max_weight_matching.h"
+#include "mining/bitset.h"
 #include "matching/simple_matchers.h"
 #include "pricing/mixed_pricer.h"
 #include "pricing/offer_pricer.h"
@@ -24,6 +25,15 @@ struct Offer {
   // subtree (bundle + retained components). Keeps multi-level incremental
   // gains consistent — see MergeSide::payments.
   SparseWtpVector payments;
+  // Consumers with positive raw WTP, one bit per user. Always maintained:
+  // the co-interest pruning's support join runs on word-AND popcounts
+  // instead of a sorted merge.
+  Bitset support;
+  // Dense SoA columns mirroring `raw` / `payments` (zero where absent).
+  // Maintained only in dense mode (SolveState::dense); freed when the offer
+  // is absorbed, so live column memory stays bounded by the singleton count.
+  std::vector<double> col;
+  std::vector<double> pay_col;
   double price = 0.0;       // Market price of this offer.
   double standalone = 0.0;  // Standalone expected revenue at `price` (pure).
   double buyers = 0.0;
@@ -50,6 +60,10 @@ struct SolveState {
   OfferPricer pricer;
   MixedPricer mixed;
   std::vector<Offer> offers;
+  int num_users = 0;
+  // Dense mode: per-offer SoA columns feed the SIMD pricing kernels from
+  // contiguous memory instead of sorted merges over sparse entries.
+  bool dense = false;
 
   SolveState(const BundleConfigProblem& p)
       : problem(&p),
@@ -57,6 +71,26 @@ struct SolveState {
         mixed(p.adoption, p.price_levels, p.mixed_composition) {}
 
   double Scale(int size) const { return BundleScale(size, problem->theta); }
+
+  // Rebuilds an offer's support bitset (and, in dense mode, its WTP and
+  // payment columns) from its sparse vectors.
+  void RefreshDenseViews(Offer* o) const {
+    o->support = Bitset(static_cast<std::size_t>(num_users));
+    for (const WtpEntry& e : o->raw.entries()) {
+      if (e.w > 0.0) o->support.Set(static_cast<std::size_t>(e.id));
+    }
+    if (!dense) return;
+    o->col.assign(static_cast<std::size_t>(num_users), 0.0);
+    for (const WtpEntry& e : o->raw.entries()) {
+      o->col[static_cast<std::size_t>(e.id)] = e.w;
+    }
+    if (problem->strategy == BundlingStrategy::kMixed) {
+      o->pay_col.assign(static_cast<std::size_t>(num_users), 0.0);
+      for (const WtpEntry& e : o->payments.entries()) {
+        o->pay_col[static_cast<std::size_t>(e.id)] = e.w;
+      }
+    }
+  }
 
   // Evaluates merging offers a and b; returns false when no positive gain.
   // Reads only shared immutable state plus the caller's workspace, so
@@ -71,7 +105,10 @@ struct SolveState {
     edge->a = ai;
     edge->b = bi;
     if (problem->strategy == BundlingStrategy::kPure) {
-      PricedOffer priced = PriceMergedPair(a.raw, b.raw, merged_scale, pricer, ws);
+      PricedOffer priced =
+          dense ? PriceMergedPairDense(a.col.data(), a.support, b.col.data(),
+                                       b.support, merged_scale, pricer, ws)
+                : PriceMergedPair(a.raw, b.raw, merged_scale, pricer, ws);
       double gain = priced.revenue - a.standalone - b.standalone;
       if (gain <= kGainEpsilon) return false;
       edge->gain = gain;
@@ -82,6 +119,14 @@ struct SolveState {
     }
     MergeSide sa{&a.raw, Scale(a.items.size()), a.price, &a.payments};
     MergeSide sb{&b.raw, Scale(b.items.size()), b.price, &b.payments};
+    if (dense) {
+      sa.wtp_col = a.col.data();
+      sa.payments_col = a.pay_col.data();
+      sa.support = &a.support;
+      sb.wtp_col = b.col.data();
+      sb.payments_col = b.pay_col.data();
+      sb.support = &b.support;
+    }
     MergeGainResult r = mixed.MergeGain(sa, sb, merged_scale, ws);
     if (!r.feasible || r.gain <= kGainEpsilon) return false;
     edge->gain = r.gain;
@@ -131,8 +176,17 @@ struct SolveState {
       merged.payments = mixed.BuildMergedPayments(
           sa, sb, Scale(merged.items.size()), edge.price);
     }
+    RefreshDenseViews(&merged);
     a.alive = false;
     b.alive = false;
+    // Absorbed offers are never evaluated again; release their dense state
+    // so live column memory stays bounded by the singleton count.
+    a.support = Bitset();
+    b.support = Bitset();
+    std::vector<double>().swap(a.col);
+    std::vector<double>().swap(b.col);
+    std::vector<double>().swap(a.pay_col);
+    std::vector<double>().swap(b.pay_col);
     offers.push_back(std::move(merged));
     return static_cast<int>(offers.size()) - 1;
   }
@@ -183,6 +237,29 @@ BundleSolution MatchingBundler::Solve(const BundleConfigProblem& problem,
   const bool pure = problem.strategy == BundlingStrategy::kPure;
   const char* method_name = pure ? "Pure Matching" : "Mixed Matching";
 
+  // Dense-column gate: the SoA fast path must stay bit-identical to the
+  // sparse sorted-merge path, which requires every WTP entry to be positive
+  // (zeros/negatives are filtered by the sparse join but not by a support
+  // union). Column memory is bounded: absorbed offers free their columns, so
+  // at most num_items columns are live at once.
+  st.num_users = wtp.num_users();
+  bool all_positive = true;
+  for (ItemId i = 0; i < wtp.num_items() && all_positive; ++i) {
+    for (const WtpEntry& e : wtp.ItemUsers(i)) {
+      if (e.w <= 0.0) {
+        all_positive = false;
+        break;
+      }
+    }
+  }
+  constexpr std::int64_t kDenseBudgetBytes = std::int64_t{256} << 20;
+  const std::int64_t dense_bytes = static_cast<std::int64_t>(wtp.num_items()) *
+                                   wtp.num_users() *
+                                   static_cast<std::int64_t>(sizeof(double)) *
+                                   (pure ? 1 : 2);
+  st.dense = problem.soa_columns && all_positive &&
+             dense_bytes <= kDenseBudgetBytes;
+
   // Initialize singleton offers (= Components pricing).
   st.offers.reserve(static_cast<std::size_t>(wtp.num_items()) * 2);
   for (ItemId i = 0; i < wtp.num_items(); ++i) {
@@ -198,6 +275,7 @@ BundleSolution MatchingBundler::Solve(const BundleConfigProblem& problem,
     if (!pure) {
       o.payments = st.mixed.BuildStandalonePayments(o.raw, 1.0, o.price);
     }
+    st.RefreshDenseViews(&o);
     st.offers.push_back(std::move(o));
   }
 
@@ -276,7 +354,9 @@ BundleSolution MatchingBundler::Solve(const BundleConfigProblem& problem,
           const Offer& b = st.offers[static_cast<std::size_t>(alive_ids[y])];
           if (problem.prune_stale_edges && !a.is_new && !b.is_new) continue;
           if (a.items.size() + b.items.size() > k) continue;
-          if (problem.prune_co_interest && !SupportsIntersect(a.raw, b.raw)) {
+          // Popcount-driven support join on the per-offer bitsets: word-AND
+          // with early exit instead of a sorted merge over sparse entries.
+          if (problem.prune_co_interest && !a.support.Intersects(b.support)) {
             continue;
           }
           add_candidate(alive_ids[x], alive_ids[y]);

@@ -6,6 +6,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/check.h"
@@ -53,6 +54,26 @@ class Bitset {
     BM_DCHECK(size_ == other.size_);
     for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
   }
+
+  /// *this ∪= other.
+  void OrWith(const Bitset& other) {
+    BM_DCHECK(size_ == other.size_);
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+  /// True when the intersection is non-empty; early-exits on the first
+  /// overlapping word, so disjoint-prefix pairs are cheap to reject.
+  bool Intersects(const Bitset& other) const {
+    BM_DCHECK(size_ == other.size_);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if ((words_[w] & other.words_[w]) != 0) return true;
+    }
+    return false;
+  }
+
+  /// Raw word storage (64 positions per word, LSB-first); exposed so callers
+  /// can iterate set bits or unions of bitsets with countr_zero loops.
+  std::span<const std::uint64_t> words() const { return words_; }
 
   /// out = a ∩ b (out must have the same size).
   static void And(const Bitset& a, const Bitset& b, Bitset* out) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace bundlemine {
 
@@ -34,13 +35,9 @@ double AdoptionModel::ProbabilityFromSlack(double slack) const {
   if (kind_ == Kind::kStep) {
     return slack >= -kStepTolerance ? 1.0 : 0.0;
   }
-  double x = gamma_ * (slack + epsilon_);
-  // Numerically stable logistic.
-  if (x >= 0.0) {
-    return 1.0 / (1.0 + std::exp(-x));
-  }
-  double e = std::exp(x);
-  return e / (1.0 + e);
+  // Shared logistic primitive: bit-identical to the vectorized sigmoid
+  // kernels so scalar reference paths and SIMD batch paths agree exactly.
+  return simd::LogisticScalar(gamma_ * (slack + epsilon_));
 }
 
 }  // namespace bundlemine

@@ -1,10 +1,12 @@
 #include "pricing/mixed_pricer.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <vector>
 
 #include "pricing/price_grid.h"
+#include "pricing/pricing_kernels.h"
 #include "util/check.h"
 
 namespace bundlemine {
@@ -37,6 +39,48 @@ void JoinSupportsInto(const SparseWtpVector& a, const SparseWtpVector& b,
   }
   while (i < ea.size()) out->push_back(JointWtpEntry{ea[i].id, ea[i].w, 0.0}), ++i;
   while (j < eb.size()) out->push_back(JointWtpEntry{eb[j].id, 0.0, eb[j].w}), ++j;
+}
+
+// Stages the joint audience of the two sides into the workspace SoA columns
+// (per-side raw WTP plus forgone base payment, one slot per consumer in
+// ascending user-id order) and returns its size. When both sides carry a
+// dense view, the join iterates the support-union bitset over the dense
+// columns — no sorted merge and no binary-searched payment lookups; the
+// values and their order are identical to the sparse join (absent entries
+// read as +0.0, matching the explicit zeros JoinSupportsInto writes).
+std::size_t StageJointAudience(const MergeSide& side1, const MergeSide& side2,
+                               PricingWorkspace* ws) {
+  std::vector<double>& r1 = ws->soa_raw1;
+  std::vector<double>& r2 = ws->soa_raw2;
+  std::vector<double>& base = ws->soa_base;
+  r1.clear();
+  r2.clear();
+  base.clear();
+  if (side1.has_dense_view() && side2.has_dense_view()) {
+    const std::span<const std::uint64_t> wa = side1.support->words();
+    const std::span<const std::uint64_t> wb = side2.support->words();
+    BM_DCHECK(wa.size() == wb.size());
+    for (std::size_t k = 0; k < wa.size(); ++k) {
+      std::uint64_t word = wa[k] | wb[k];
+      while (word != 0) {
+        const std::size_t u =
+            (k << 6) + static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        r1.push_back(side1.wtp_col[u]);
+        r2.push_back(side2.wtp_col[u]);
+        base.push_back(side1.payments_col[u] + side2.payments_col[u]);
+      }
+    }
+    return r1.size();
+  }
+  JoinSupportsInto(*side1.raw, *side2.raw, &ws->joint);
+  for (const JointWtpEntry& u : ws->joint) {
+    r1.push_back(u.raw1);
+    r2.push_back(u.raw2);
+    base.push_back(side1.payments->ValueFor(u.user) +
+                   side2.payments->ValueFor(u.user));
+  }
+  return r1.size();
 }
 
 // Exact step-model optimizer shared by the pair and multi-component paths:
@@ -113,19 +157,23 @@ MergeGainResult MixedPricer::MergeGainStep(const MergeSide& side1,
   const double psum = p1 + p2;
   const double pmax = std::max(p1, p2);
   const double alpha = model_.alpha();
+  // Left-associated like the historical per-consumer expressions
+  // α·scale·raw, so the precomputed products round identically.
+  const double a1 = alpha * side1.scale;
+  const double a2 = alpha * side2.scale;
+  const double ab = alpha * merged_scale;
 
-  JoinSupportsInto(*side1.raw, *side2.raw, &ws->joint);
+  // Per-consumer adoption threshold: the bundle must be affordable and beat
+  // the upgrade path through either component — min(awb, p1+aw2, p2+aw1).
+  const std::size_t n = StageJointAudience(side1, side2, ws);
+  ws->thresholds.resize(n);
+  kernels::MixedThresholds(ws->soa_raw1.data(), ws->soa_raw2.data(), n, a1, a2,
+                           ab, p1, p2, ws->thresholds.data());
 
   if (num_levels_ == 0) {
     ws->threshold_base.clear();
-    for (const JointWtpEntry& u : ws->joint) {
-      double aw1 = alpha * side1.scale * u.raw1;
-      double aw2 = alpha * side2.scale * u.raw2;
-      double awb = alpha * merged_scale * (u.raw1 + u.raw2);
-      double t = std::min(awb, std::min(p1 + aw2, p2 + aw1));
-      double base =
-          side1.payments->ValueFor(u.user) + side2.payments->ValueFor(u.user);
-      ws->threshold_base.emplace_back(t, base);
+    for (std::size_t i = 0; i < n; ++i) {
+      ws->threshold_base.emplace_back(ws->thresholds[i], ws->soa_base[i]);
     }
     return ExactStepGain(&ws->threshold_base, pmax, psum);
   }
@@ -140,22 +188,18 @@ MergeGainResult MixedPricer::MergeGainStep(const MergeSide& side1,
   MergeGainResult best;
   if (lo > hi) return best;
 
-  // Per-consumer adoption threshold and forgone component revenue.
+  // Bucket thresholds in the vector kernel, scatter scalar in join order;
+  // markers < 0 (below grid or non-positive threshold) never adopt.
+  ws->buckets.resize(n);
+  kernels::ComputeBuckets(ws->thresholds.data(), n, /*alpha=*/1.0, psum,
+                          grid.size(), grid.step(), ws->buckets.data());
   ws->suffix_count.assign(static_cast<std::size_t>(grid.size()) + 1, 0.0);
   ws->suffix_base.assign(static_cast<std::size_t>(grid.size()) + 1, 0.0);
-  for (const JointWtpEntry& u : ws->joint) {
-    double aw1 = alpha * side1.scale * u.raw1;
-    double aw2 = alpha * side2.scale * u.raw2;
-    double awb = alpha * merged_scale * (u.raw1 + u.raw2);
-    // Adopts the bundle at any price p ≤ t: the bundle must be affordable and
-    // beat the upgrade path through either component.
-    double t = std::min(awb, std::min(p1 + aw2, p2 + aw1));
-    int bucket = grid.BucketFor(t);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t bucket = ws->buckets[i];
     if (bucket < 0) continue;
-    double base =
-        side1.payments->ValueFor(u.user) + side2.payments->ValueFor(u.user);
     ws->suffix_count[static_cast<std::size_t>(bucket)] += 1.0;
-    ws->suffix_base[static_cast<std::size_t>(bucket)] += base;
+    ws->suffix_base[static_cast<std::size_t>(bucket)] += ws->soa_base[i];
   }
   for (int t = grid.size() - 1; t >= 0; --t) {
     ws->suffix_count[static_cast<std::size_t>(t)] +=
@@ -401,49 +445,31 @@ MergeGainResult MixedPricer::MergeGainSigmoid(const MergeSide& side1,
   MergeGainResult best;
   if (lo > hi) return best;
 
-  // Precompute per-consumer effective WTPs and standalone purchase
-  // probabilities (independent of the bundle price), flattened as
-  // [aw1, aw2, awb, base] per consumer.
-  JoinSupportsInto(*side1.raw, *side2.raw, &ws->joint);
-  constexpr std::size_t kStride = 4;
-  std::vector<double>& consumers = ws->consumer_state;
-  consumers.clear();
-  for (const JointWtpEntry& u : ws->joint) {
-    consumers.push_back(alpha * side1.scale * u.raw1);
-    consumers.push_back(alpha * side2.scale * u.raw2);
-    consumers.push_back(alpha * merged_scale * (u.raw1 + u.raw2));
-    consumers.push_back(side1.payments->ValueFor(u.user) +
-                        side2.payments->ValueFor(u.user));
-  }
+  // Precompute per-consumer effective-WTP columns (independent of the bundle
+  // price) as SoA arrays, then scan the admissible prices through the
+  // vectorized per-price kernel.
+  const std::size_t n = StageJointAudience(side1, side2, ws);
+  const double a1 = alpha * side1.scale;
+  const double a2 = alpha * side2.scale;
+  const double ab = alpha * merged_scale;
+  ws->soa_aw1.resize(n);
+  ws->soa_aw2.resize(n);
+  ws->soa_awb.resize(n);
+  kernels::MixedEffectiveColumns(ws->soa_raw1.data(), ws->soa_raw2.data(), n,
+                                 a1, a2, ab, ws->soa_aw1.data(),
+                                 ws->soa_aw2.data(), ws->soa_awb.data());
 
+  const bool product = composition_ == MixedComposition::kProduct;
   for (int t = lo; t <= hi; ++t) {
-    double p = grid.level(t);
-    double gain = 0.0;
-    double adopters = 0.0;
-    for (std::size_t u = 0; u + kStride <= consumers.size(); u += kStride) {
-      double aw1 = consumers[u];
-      double aw2 = consumers[u + 1];
-      double awb = consumers[u + 2];
-      double base = consumers[u + 3];
-      double slack_afford = awb - p;
-      double slack_up1 = aw2 - (p - p1);
-      double slack_up2 = aw1 - (p - p2);
-      double prob;
-      if (composition_ == MixedComposition::kMinSlack) {
-        prob = model_.ProbabilityFromSlack(
-            std::min(slack_afford, std::min(slack_up1, slack_up2)));
-      } else {
-        prob = model_.ProbabilityFromSlack(slack_afford) *
-               model_.ProbabilityFromSlack(slack_up1) *
-               model_.ProbabilityFromSlack(slack_up2);
-      }
-      adopters += prob;
-      gain += prob * (p - base);
-    }
-    if (gain > best.gain) {
-      best.gain = gain;
+    const double p = grid.level(t);
+    const kernels::MixedSigmoidResult r = kernels::MixedSigmoidEval(
+        ws->soa_aw1.data(), ws->soa_aw2.data(), ws->soa_awb.data(),
+        ws->soa_base.data(), n, p, p1, p2, model_.gamma(), model_.epsilon(),
+        product);
+    if (r.gain > best.gain) {
+      best.gain = r.gain;
       best.bundle_price = p;
-      best.expected_adopters = adopters;
+      best.expected_adopters = r.adopters;
     }
   }
   best.feasible = best.gain > kMargin;

@@ -34,6 +34,7 @@
 #define BUNDLEMINE_PRICING_MIXED_PRICER_H_
 
 #include "data/wtp_matrix.h"
+#include "mining/bitset.h"
 #include "pricing/adoption_model.h"
 #include "pricing/offer_pricer.h"
 #include "pricing/pricing_workspace.h"
@@ -68,6 +69,21 @@ struct MergeSide {
   double scale = 1.0;
   double price = 0.0;
   const SparseWtpVector* payments = nullptr;
+
+  // Optional dense (SoA) view of the same offer, supplied by bundlers that
+  // maintain per-offer columns (MatchingBundler when the dense-column gate
+  // is on). When all three pointers are set on both sides, MergeGain stages
+  // the joint audience by iterating the support-union bitset over the dense
+  // columns instead of sorted-merging the sparse vectors. `wtp_col` and
+  // `payments_col` are num-users-sized arrays, zero where the consumer is
+  // absent; `support` has a bit per consumer with positive raw WTP.
+  const double* wtp_col = nullptr;
+  const double* payments_col = nullptr;
+  const Bitset* support = nullptr;
+
+  bool has_dense_view() const {
+    return wtp_col != nullptr && payments_col != nullptr && support != nullptr;
+  }
 };
 
 /// Prices candidate mixed-bundling merges.

@@ -3,62 +3,60 @@
 #include <algorithm>
 #include <cmath>
 
+#include "pricing/pricing_kernels.h"
 #include "util/check.h"
 
 namespace bundlemine {
 namespace {
 
-// Exact step-model kernel shared by PriceEffectiveValues' exact mode and
+// Exact step-model path shared by PriceEffectiveValues' exact mode and
 // PriceOfferExactStep: `values` holds α-scaled effective WTPs and is sorted
 // descending in place; pricing at the j-th highest value sells to exactly
-// j+1 consumers, so a single scan finds the revenue-maximizing price.
+// j+1 consumers, so a single scan — kernels::ExactStepBest, vectorized —
+// finds the revenue-maximizing price.
 PricedOffer ExactStepScan(std::vector<double>* values) {
   std::sort(values->begin(), values->end(), std::greater<double>());
+  const kernels::ExactStepResult r =
+      kernels::ExactStepBest(values->data(), values->size());
   PricedOffer best;
-  for (std::size_t j = 0; j < values->size(); ++j) {
-    double v = (*values)[j];
-    if (v <= 0.0) break;
-    double revenue = v * static_cast<double>(j + 1);
-    if (revenue > best.revenue) {
-      best.revenue = revenue;
-      best.price = v;
-      best.expected_buyers = static_cast<double>(j + 1);
-    }
-  }
+  best.revenue = r.revenue;
+  best.price = r.price;
+  best.expected_buyers = r.buyers;
   return best;
 }
 
-// Grid pricing over n effective WTP values accessed through get(i); values
-// ≤ 0 are skipped. Histogram + model-specific scan, allocation-free on warm
-// workspace buffers. The accessor indirection lets PriceOffer's singleton
-// fast path feed sparse entries directly without staging a value buffer.
-template <typename GetValue>
+// Grid pricing over n contiguous effective WTP values; values ≤ 0 are
+// skipped. SIMD histogram bucketing + model-specific scan, allocation-free
+// on warm workspace buffers.
 PricedOffer PriceGridValues(const AdoptionModel& model, int num_levels,
-                            std::size_t n, GetValue get, PricingWorkspace* ws) {
+                            const double* values, std::size_t n,
+                            PricingWorkspace* ws) {
   PricedOffer best;
-  double max_w = 0.0;
-  for (std::size_t i = 0; i < n; ++i) max_w = std::max(max_w, get(i));
   // With adoption bias α, a consumer adopts while p ≤ α·w, so the useful
   // price range extends to α·max_w.
-  max_w *= model.alpha();
+  const double max_w = kernels::MaxValue(values, n) * model.alpha();
   UniformPriceView grid(max_w, num_levels);
   if (grid.empty()) return best;
   const std::size_t levels = static_cast<std::size_t>(grid.size());
 
-  // Histogram audience by willingness to pay.
+  // Histogram audience by willingness to pay. The bucket index math runs in
+  // the vector kernel; the scatter stays scalar and in ascending index order
+  // so the per-bucket sums accumulate exactly as the historical loop did.
+  ws->buckets.resize(n);
+  kernels::ComputeBuckets(values, n, model.alpha(), max_w, grid.size(),
+                          grid.step(), ws->buckets.data());
   ws->bucket_count.assign(levels, 0.0);
   ws->bucket_wsum.assign(levels, 0.0);
   ws->below_grid.clear();  // Sub-grid audience, handled directly.
   for (std::size_t i = 0; i < n; ++i) {
-    double w = get(i);
-    if (w <= 0.0) continue;
-    int bucket = grid.BucketFor(model.alpha() * w);
-    if (bucket < 0) {
-      ws->below_grid.push_back(w);
+    const std::int32_t bucket = ws->buckets[i];
+    if (bucket == kernels::kBucketSkip) continue;  // w ≤ 0
+    if (bucket == kernels::kBucketBelowGrid) {
+      ws->below_grid.push_back(values[i]);
       continue;
     }
     ws->bucket_count[static_cast<std::size_t>(bucket)] += 1.0;
-    ws->bucket_wsum[static_cast<std::size_t>(bucket)] += w;
+    ws->bucket_wsum[static_cast<std::size_t>(bucket)] += values[i];
   }
 
   if (model.is_step()) {
@@ -80,19 +78,27 @@ PricedOffer PriceGridValues(const AdoptionModel& model, int num_levels,
     return best;
   }
 
-  // Sigmoid: evaluate each candidate price against bucket means plus the
-  // below-grid stragglers (few; their adoption probability still matters at
-  // low prices when γ is small).
+  // Sigmoid: evaluate each candidate price against the non-empty bucket
+  // means (weighted by audience count) plus the below-grid stragglers (few;
+  // their adoption probability still matters at low prices when γ is small).
+  // Both sums run through the vectorized sigmoid kernel.
+  ws->bucket_mean.clear();
+  ws->bucket_weight.clear();
+  for (std::size_t s = 0; s < levels; ++s) {
+    const double c = ws->bucket_count[s];
+    if (c <= 0.0) continue;
+    ws->bucket_mean.push_back(ws->bucket_wsum[s] / c);
+    ws->bucket_weight.push_back(c);
+  }
   for (int t = 0; t < grid.size(); ++t) {
-    double p = grid.level(t);
-    double expected = 0.0;
-    for (int s = 0; s < grid.size(); ++s) {
-      double c = ws->bucket_count[static_cast<std::size_t>(s)];
-      if (c <= 0.0) continue;
-      double mean_w = ws->bucket_wsum[static_cast<std::size_t>(s)] / c;
-      expected += c * model.Probability(mean_w, p);
-    }
-    for (double w : ws->below_grid) expected += model.Probability(w, p);
+    const double p = grid.level(t);
+    double expected = kernels::SigmoidAdoptionSum(
+        ws->bucket_mean.data(), ws->bucket_weight.data(),
+        ws->bucket_mean.size(), model.gamma(), model.alpha(),
+        model.epsilon(), p);
+    expected += kernels::SigmoidAdoptionSum(
+        ws->below_grid.data(), nullptr, ws->below_grid.size(), model.gamma(),
+        model.alpha(), model.epsilon(), p);
     double revenue = p * expected;
     if (revenue > best.revenue) {
       best.revenue = revenue;
@@ -124,8 +130,9 @@ PricedOffer OfferPricer::PriceOffer(const SparseWtpVector& raw, double scale,
   const std::vector<WtpEntry>& entries = raw.entries();
 
   if (scale == 1.0) {
-    // Common singleton case: when every entry is already positive, price
-    // directly off the sparse entries — no intermediate value buffer.
+    // Common singleton case: when every entry is already positive, stage the
+    // raw WTP column contiguously (the SIMD kernels want a dense array) and
+    // price it directly — no scaling pass.
     bool all_positive = true;
     for (const WtpEntry& e : entries) {
       if (e.w <= 0.0) {
@@ -141,9 +148,10 @@ PricedOffer OfferPricer::PriceOffer(const SparseWtpVector& raw, double scale,
         }
         return ExactStepScan(&ws->exact_values);
       }
-      return PriceGridValues(
-          model_, num_levels_, entries.size(),
-          [&entries](std::size_t i) { return entries[i].w; }, ws);
+      ws->values.clear();
+      for (const WtpEntry& e : entries) ws->values.push_back(e.w);
+      return PriceGridValues(model_, num_levels_, ws->values.data(),
+                             ws->values.size(), ws);
     }
   }
 
@@ -171,8 +179,7 @@ PricedOffer OfferPricer::PriceEffectiveValues(std::span<const double> wtps,
     return ExactStepScan(&ws->exact_values);
   }
 
-  return PriceGridValues(model_, num_levels_, wtps.size(),
-                         [wtps](std::size_t i) { return wtps[i]; }, ws);
+  return PriceGridValues(model_, num_levels_, wtps.data(), wtps.size(), ws);
 }
 
 WelfarePricedOffer OfferPricer::PriceOfferWelfare(const SparseWtpVector& raw,

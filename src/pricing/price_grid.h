@@ -63,6 +63,8 @@ class UniformPriceView {
 
   int size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  double max_price() const { return max_; }
+  double step() const { return step_; }
 
   /// t-th level: step · (t+1), with the top level pinned to max_price exactly
   /// as PriceGrid::Uniform pins it against accumulation error.

@@ -1,0 +1,201 @@
+// Scalar kernel instantiations and the runtime dispatchers.
+//
+// The wide backend, when one exists for this target, lives in a sibling
+// translation unit compiled with the matching ISA flags
+// (pricing_kernels_avx2.cc under -mavx2 -mfma, pricing_kernels_neon.cc on
+// aarch64) and is reached through its KernelTable accessor. CMake defines
+// BUNDLEMINE_HAVE_AVX2_TU on this file if and only if the AVX2 unit is in
+// the build, so a build without it degrades to scalar dispatch instead of
+// failing to link.
+
+#include "pricing/pricing_kernels.h"
+
+#include "pricing/pricing_kernels_impl.h"
+#include "util/check.h"
+#include "util/simd.h"
+
+namespace bundlemine::kernels {
+namespace detail {
+
+#if defined(BUNDLEMINE_HAVE_AVX2_TU)
+const KernelTable& Avx2KernelTable();
+#endif
+#if defined(BUNDLEMINE_HAVE_NEON_TU)
+const KernelTable& NeonKernelTable();
+#endif
+
+namespace {
+
+const KernelTable kScalarTable = MakeKernelTable<Scalar>();
+
+const KernelTable* WideTable() {
+  static const KernelTable* table = []() -> const KernelTable* {
+#if defined(BUNDLEMINE_HAVE_AVX2_TU)
+    if (simd::WideKernelsSupported()) return &Avx2KernelTable();
+#elif defined(BUNDLEMINE_HAVE_NEON_TU)
+    if (simd::WideKernelsSupported()) return &NeonKernelTable();
+#endif
+    return nullptr;
+  }();
+  return table;
+}
+
+const KernelTable& Pick() {
+  const KernelTable* wide = WideTable();
+  return (wide != nullptr && simd::UseWideKernels()) ? *wide : kScalarTable;
+}
+
+}  // namespace
+}  // namespace detail
+
+bool WideAvailable() { return detail::WideTable() != nullptr; }
+
+// --- Dispatched entry points ------------------------------------------------
+
+ExactStepResult ExactStepBest(const double* values, std::size_t n) {
+  return detail::Pick().exact_step(values, n);
+}
+
+double MaxValue(const double* values, std::size_t n) {
+  return detail::Pick().max_value(values, n);
+}
+
+void ComputeBuckets(const double* values, std::size_t n, double alpha,
+                    double max_price, int size, double step,
+                    std::int32_t* out) {
+  detail::Pick().compute_buckets(values, n, alpha, max_price, size, step, out);
+}
+
+double SigmoidAdoptionSum(const double* values, const double* weights,
+                          std::size_t n, double gamma, double alpha,
+                          double eps, double price) {
+  return detail::Pick().sigmoid_sum(values, weights, n, gamma, alpha, eps,
+                                    price);
+}
+
+void MixedThresholds(const double* raw1, const double* raw2, std::size_t n,
+                     double a1, double a2, double ab, double p1, double p2,
+                     double* out) {
+  detail::Pick().mixed_thresholds(raw1, raw2, n, a1, a2, ab, p1, p2, out);
+}
+
+void MixedEffectiveColumns(const double* raw1, const double* raw2,
+                           std::size_t n, double a1, double a2, double ab,
+                           double* aw1, double* aw2, double* awb) {
+  detail::Pick().mixed_columns(raw1, raw2, n, a1, a2, ab, aw1, aw2, awb);
+}
+
+MixedSigmoidResult MixedSigmoidEval(const double* aw1, const double* aw2,
+                                    const double* awb, const double* base,
+                                    std::size_t n, double price, double p1,
+                                    double p2, double gamma, double eps,
+                                    bool product_composition) {
+  return detail::Pick().mixed_sigmoid(aw1, aw2, awb, base, n, price, p1, p2,
+                                      gamma, eps, product_composition);
+}
+
+// --- Scalar entry points ----------------------------------------------------
+
+namespace scalar {
+
+ExactStepResult ExactStepBest(const double* values, std::size_t n) {
+  return detail::kScalarTable.exact_step(values, n);
+}
+
+double MaxValue(const double* values, std::size_t n) {
+  return detail::kScalarTable.max_value(values, n);
+}
+
+void ComputeBuckets(const double* values, std::size_t n, double alpha,
+                    double max_price, int size, double step,
+                    std::int32_t* out) {
+  detail::kScalarTable.compute_buckets(values, n, alpha, max_price, size, step,
+                                       out);
+}
+
+double SigmoidAdoptionSum(const double* values, const double* weights,
+                          std::size_t n, double gamma, double alpha,
+                          double eps, double price) {
+  return detail::kScalarTable.sigmoid_sum(values, weights, n, gamma, alpha,
+                                          eps, price);
+}
+
+void MixedThresholds(const double* raw1, const double* raw2, std::size_t n,
+                     double a1, double a2, double ab, double p1, double p2,
+                     double* out) {
+  detail::kScalarTable.mixed_thresholds(raw1, raw2, n, a1, a2, ab, p1, p2,
+                                        out);
+}
+
+void MixedEffectiveColumns(const double* raw1, const double* raw2,
+                           std::size_t n, double a1, double a2, double ab,
+                           double* aw1, double* aw2, double* awb) {
+  detail::kScalarTable.mixed_columns(raw1, raw2, n, a1, a2, ab, aw1, aw2, awb);
+}
+
+MixedSigmoidResult MixedSigmoidEval(const double* aw1, const double* aw2,
+                                    const double* awb, const double* base,
+                                    std::size_t n, double price, double p1,
+                                    double p2, double gamma, double eps,
+                                    bool product_composition) {
+  return detail::kScalarTable.mixed_sigmoid(aw1, aw2, awb, base, n, price, p1,
+                                            p2, gamma, eps,
+                                            product_composition);
+}
+
+}  // namespace scalar
+
+// --- Wide entry points (valid only when WideAvailable()) --------------------
+
+namespace wide {
+namespace {
+const detail::KernelTable& Wide() {
+  const detail::KernelTable* t = detail::WideTable();
+  BM_CHECK(t != nullptr);
+  return *t;
+}
+}  // namespace
+
+ExactStepResult ExactStepBest(const double* values, std::size_t n) {
+  return Wide().exact_step(values, n);
+}
+
+double MaxValue(const double* values, std::size_t n) {
+  return Wide().max_value(values, n);
+}
+
+void ComputeBuckets(const double* values, std::size_t n, double alpha,
+                    double max_price, int size, double step,
+                    std::int32_t* out) {
+  Wide().compute_buckets(values, n, alpha, max_price, size, step, out);
+}
+
+double SigmoidAdoptionSum(const double* values, const double* weights,
+                          std::size_t n, double gamma, double alpha,
+                          double eps, double price) {
+  return Wide().sigmoid_sum(values, weights, n, gamma, alpha, eps, price);
+}
+
+void MixedThresholds(const double* raw1, const double* raw2, std::size_t n,
+                     double a1, double a2, double ab, double p1, double p2,
+                     double* out) {
+  Wide().mixed_thresholds(raw1, raw2, n, a1, a2, ab, p1, p2, out);
+}
+
+void MixedEffectiveColumns(const double* raw1, const double* raw2,
+                           std::size_t n, double a1, double a2, double ab,
+                           double* aw1, double* aw2, double* awb) {
+  Wide().mixed_columns(raw1, raw2, n, a1, a2, ab, aw1, aw2, awb);
+}
+
+MixedSigmoidResult MixedSigmoidEval(const double* aw1, const double* aw2,
+                                    const double* awb, const double* base,
+                                    std::size_t n, double price, double p1,
+                                    double p2, double gamma, double eps,
+                                    bool product_composition) {
+  return Wide().mixed_sigmoid(aw1, aw2, awb, base, n, price, p1, p2, gamma,
+                              eps, product_composition);
+}
+
+}  // namespace wide
+}  // namespace bundlemine::kernels

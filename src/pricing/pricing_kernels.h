@@ -1,0 +1,97 @@
+// Vectorized candidate-evaluation kernels for the pricing hot path.
+//
+// Each kernel exists in a scalar form (always compiled) and, on x86/aarch64,
+// a wide form instantiated from the same template in a translation unit built
+// with AVX2/NEON flags (src/pricing/pricing_kernels_avx2.cc / _neon.cc). The
+// unqualified functions dispatch per call via simd::UseWideKernels().
+//
+// Bit-identity: every kernel uses a fixed, lane-count-independent accumulation
+// order (order-free max reductions; virtual-lane-4 sums for the sigmoid
+// kernels), so scalar and wide results are bit-identical — asserted over
+// randomized audiences in tests/simd_kernels_test.cc. The step-model kernels
+// additionally reproduce the historical scalar loops bit-for-bit, which keeps
+// the golden sweep artifacts byte-stable across this rewrite.
+
+#ifndef BUNDLEMINE_PRICING_PRICING_KERNELS_H_
+#define BUNDLEMINE_PRICING_PRICING_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bundlemine::kernels {
+
+/// Result of the exact step-model scan over descending-sorted α-scaled WTPs.
+struct ExactStepResult {
+  double revenue = 0.0;
+  double price = 0.0;
+  double buyers = 0.0;
+};
+
+/// Per-price sigmoid evaluation of a candidate mixed merge.
+struct MixedSigmoidResult {
+  double gain = 0.0;
+  double adopters = 0.0;
+};
+
+/// ComputeBuckets output markers.
+constexpr std::int32_t kBucketBelowGrid = -1;  // 0 < α·w below lowest level
+constexpr std::int32_t kBucketSkip = -2;       // w ≤ 0: not a buyer
+
+// Declares the scalar and dispatched variants of every kernel. `wide::`
+// mirrors the same signatures for the host's wide backend and is only
+// callable when WideAvailable() is true (tests and benches use it directly;
+// production code goes through the dispatchers).
+#define BUNDLEMINE_DECLARE_KERNELS()                                           \
+  /* Best (revenue, price, buyers) over values sorted descending: pricing at  \
+     the j-th value sells to j+1 buyers; the scan stops at the first value    \
+     ≤ 0 and ties resolve to the first maximizing index. */                   \
+  ExactStepResult ExactStepBest(const double* values, std::size_t n);          \
+  /* max(0, max_i values[i]) — order-free reduction. */                        \
+  double MaxValue(const double* values, std::size_t n);                        \
+  /* out[i] = UniformPriceView(max_price, size).BucketFor(alpha*values[i]),   \
+     with markers -1 (below grid) and -2 (values[i] ≤ 0, caller skips).       \
+     `step` must equal the view's step (max_price / size). */                  \
+  void ComputeBuckets(const double* values, std::size_t n, double alpha,       \
+                      double max_price, int size, double step,                 \
+                      std::int32_t* out);                                      \
+  /* Σ_i weight_i · σ(γ·((α·values[i] − price) + ε)); weights == nullptr →    \
+     unit weights. Virtual-lane-4 accumulation. */                             \
+  double SigmoidAdoptionSum(const double* values, const double* weights,       \
+                            std::size_t n, double gamma, double alpha,         \
+                            double eps, double price);                         \
+  /* Mixed step adoption thresholds over a joint audience:                    \
+     out[i] = min(ab·(raw1[i]+raw2[i]), min(p1 + a2·raw2[i],                  \
+                                            p2 + a1·raw1[i])). */              \
+  void MixedThresholds(const double* raw1, const double* raw2, std::size_t n,  \
+                       double a1, double a2, double ab, double p1, double p2,  \
+                       double* out);                                           \
+  /* Effective-WTP columns for the sigmoid mixed path: aw1 = a1·raw1,         \
+     aw2 = a2·raw2, awb = ab·(raw1+raw2), elementwise. */                      \
+  void MixedEffectiveColumns(const double* raw1, const double* raw2,           \
+                             std::size_t n, double a1, double a2, double ab,   \
+                             double* aw1, double* aw2, double* awb);           \
+  /* One price point of the sigmoid mixed-merge scan over precomputed        \
+     columns; min-slack or product composition. Virtual-lane-4 sums. */        \
+  MixedSigmoidResult MixedSigmoidEval(                                         \
+      const double* aw1, const double* aw2, const double* awb,                 \
+      const double* base, std::size_t n, double price, double p1, double p2,   \
+      double gamma, double eps, bool product_composition)
+
+BUNDLEMINE_DECLARE_KERNELS();
+
+namespace scalar {
+BUNDLEMINE_DECLARE_KERNELS();
+}  // namespace scalar
+
+/// True when a wide backend is compiled in and the host CPU supports it.
+bool WideAvailable();
+
+namespace wide {
+BUNDLEMINE_DECLARE_KERNELS();
+}  // namespace wide
+
+#undef BUNDLEMINE_DECLARE_KERNELS
+
+}  // namespace bundlemine::kernels
+
+#endif  // BUNDLEMINE_PRICING_PRICING_KERNELS_H_

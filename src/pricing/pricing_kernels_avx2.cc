@@ -1,0 +1,24 @@
+// AVX2+FMA instantiation of the pricing kernels. This translation unit is
+// compiled with -mavx2 -mfma (set per-source in CMakeLists.txt, x86-64 only);
+// its code is only executed after the runtime cpuid check in
+// simd::WideKernelsSupported() passes.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include "pricing/pricing_kernels_impl.h"
+
+#if !defined(BUNDLEMINE_SIMD_AVX2)
+#error "pricing_kernels_avx2.cc must be compiled with -mavx2 -mfma"
+#endif
+
+namespace bundlemine::kernels::detail {
+
+const KernelTable& Avx2KernelTable() {
+  static constexpr KernelTable table =
+      MakeKernelTable<simd::Ops<simd::Avx2Tag>>();
+  return table;
+}
+
+}  // namespace bundlemine::kernels::detail
+
+#endif  // x86-64

@@ -1,0 +1,492 @@
+// Templated kernel bodies behind src/pricing/pricing_kernels.h, instantiated
+// once per backend in the per-ISA translation units. Not for direct inclusion
+// outside pricing_kernels*.cc.
+//
+// Accumulation discipline (the bit-identity contract):
+//   * Reductions that are order-free on doubles (max, first-index-of-equal)
+//     may use any lane arrangement.
+//   * Every summation runs in "virtual lane 4" order: element i accumulates
+//     into partial sum i mod 4, and partials combine as (s0+s2)+(s1+s3).
+//     A 4-lane backend holds the partials in one register, a 2-lane backend
+//     in two, the scalar backend in a double[4] — all bit-identical.
+//   * Tails always evaluate the scalar lane math, which is IEEE-identical to
+//     the vector lane math (see util/simd.h).
+
+#ifndef BUNDLEMINE_PRICING_PRICING_KERNELS_IMPL_H_
+#define BUNDLEMINE_PRICING_PRICING_KERNELS_IMPL_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "pricing/price_grid.h"
+#include "pricing/pricing_kernels.h"
+#include "util/simd.h"
+
+namespace bundlemine::kernels::detail {
+
+using Scalar = simd::Ops<simd::ScalarTag>;
+
+inline int CountTrailingZeros(int mask) {
+  return std::countr_zero(static_cast<unsigned>(mask));
+}
+
+// ---------------------------------------------------------------------------
+// MaxValue: max(0, max_i v[i]) — order-free.
+// ---------------------------------------------------------------------------
+template <class B>
+double MaxValueT(const double* v, std::size_t n) {
+  using V = typename B::V;
+  constexpr std::size_t L = B::kLanes;
+  std::size_t i = 0;
+  double best = 0.0;
+  if constexpr (L > 1) {
+    V acc0 = B::Broadcast(0.0);
+    V acc1 = B::Broadcast(0.0);
+    for (; i + 2 * L <= n; i += 2 * L) {
+      acc0 = B::Max(acc0, B::Load(v + i));
+      acc1 = B::Max(acc1, B::Load(v + i + L));
+    }
+    for (; i + L <= n; i += L) acc0 = B::Max(acc0, B::Load(v + i));
+    double lanes[2 * L];
+    B::Store(lanes, acc0);
+    B::Store(lanes + L, acc1);
+    for (std::size_t l = 0; l < 2 * L; ++l) {
+      if (lanes[l] > best) best = lanes[l];
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] > best) best = v[i];
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// ExactStepBest: values sorted descending; revenue(j) = v[j]·(j+1) while
+// v[j] > 0; result is the first j attaining the maximum revenue.
+// ---------------------------------------------------------------------------
+template <class B>
+ExactStepResult ExactStepBestT(const double* v, std::size_t n) {
+  using V = typename B::V;
+  constexpr std::size_t L = B::kLanes;
+  const V zero = B::Broadcast(0.0);
+
+  // Phase 1: cutoff m = first index with v[i] <= 0.
+  std::size_t m = n;
+  {
+    std::size_t i = 0;
+    bool found = false;
+    for (; i + L <= n; i += L) {
+      const int mask = B::MoveMask(B::CmpLe(B::Load(v + i), zero));
+      if (mask != 0) {
+        m = i + static_cast<std::size_t>(CountTrailingZeros(mask));
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      for (; i < n; ++i) {
+        if (v[i] <= 0.0) {
+          m = i;
+          break;
+        }
+      }
+    }
+  }
+  if (m == 0) return ExactStepResult{};
+
+  // Phase 2: max revenue over j < m (order-free; every term is > 0).
+  double best = 0.0;
+  std::size_t i = 0;
+  if constexpr (L > 1) {
+    double iota[2 * L];
+    for (std::size_t l = 0; l < 2 * L; ++l) iota[l] = static_cast<double>(l + 1);
+    V idx0 = B::Load(iota);
+    V idx1 = B::Load(iota + L);
+    const V inc = B::Broadcast(static_cast<double>(2 * L));
+    V acc0 = zero;
+    V acc1 = zero;
+    for (; i + 2 * L <= m; i += 2 * L) {
+      acc0 = B::Max(acc0, B::Mul(B::Load(v + i), idx0));
+      acc1 = B::Max(acc1, B::Mul(B::Load(v + i + L), idx1));
+      idx0 = B::Add(idx0, inc);
+      idx1 = B::Add(idx1, inc);
+    }
+    double lanes[2 * L];
+    B::Store(lanes, acc0);
+    B::Store(lanes + L, acc1);
+    for (std::size_t l = 0; l < 2 * L; ++l) {
+      if (lanes[l] > best) best = lanes[l];
+    }
+  }
+  for (; i < m; ++i) {
+    const double rev = v[i] * static_cast<double>(i + 1);
+    if (rev > best) best = rev;
+  }
+  if (best <= 0.0) return ExactStepResult{};
+
+  // Phase 3: first j with v[j]·(j+1) == best (the historical tie-break).
+  std::size_t j = m;
+  i = 0;
+  if constexpr (L > 1) {
+    double iota[L];
+    for (std::size_t l = 0; l < L; ++l) iota[l] = static_cast<double>(l + 1);
+    V idx = B::Load(iota);
+    const V inc = B::Broadcast(static_cast<double>(L));
+    const V bestv = B::Broadcast(best);
+    for (; i + L <= m; i += L) {
+      const int mask =
+          B::MoveMask(B::CmpEq(B::Mul(B::Load(v + i), idx), bestv));
+      if (mask != 0) {
+        j = i + static_cast<std::size_t>(CountTrailingZeros(mask));
+        break;
+      }
+      idx = B::Add(idx, inc);
+    }
+  }
+  if (j == m) {
+    for (; i < m; ++i) {
+      if (v[i] * static_cast<double>(i + 1) == best) {
+        j = i;
+        break;
+      }
+    }
+  }
+  ExactStepResult r;
+  r.revenue = best;
+  r.price = v[j];
+  r.buyers = static_cast<double>(j + 1);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// ComputeBuckets: vector replica of UniformPriceView::BucketFor, including
+// the tolerance formula (mul-then-add, deliberately unfused) and both
+// boundary-nudge loops, evaluated per lane under masks.
+// ---------------------------------------------------------------------------
+template <class B>
+void ComputeBucketsT(const double* v, std::size_t n, double alpha,
+                     double max_price, int size, double step,
+                     std::int32_t* out) {
+  using V = typename B::V;
+  constexpr std::size_t L = B::kLanes;
+  const double level0 = (size == 1) ? max_price : step;
+  const V vzero = B::Broadcast(0.0);
+  const V vone = B::Broadcast(1.0);
+  const V vtwo = B::Broadcast(2.0);
+  const V valpha = B::Broadcast(alpha);
+  const V vstep = B::Broadcast(step);
+  const V vmax = B::Broadcast(max_price);
+  const V vsize = B::Broadcast(static_cast<double>(size));
+  const V vtolmul = B::Broadcast(1.0 + kPriceGridRelTolerance);
+  const V vtoladd = B::Broadcast(1e-12);
+  const V vlevel0 = B::Broadcast(level0);
+  const V vbelow = B::Broadcast(-1.0);
+  const V vskip = B::Broadcast(-2.0);
+
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    const V w = B::Load(v + i);
+    const V aw = B::Mul(valpha, w);
+    const V tolerant = B::Add(B::Mul(aw, vtolmul), vtoladd);
+    V idx = B::Sub(B::Floor(B::Div(tolerant, vstep)), vone);
+    idx = B::Min(idx, B::Sub(vsize, vone));
+    // while (idx + 1 < size && level(idx + 1) <= tolerant) ++idx;
+    for (;;) {
+      const V jp1 = B::Add(idx, vone);
+      const V jp2 = B::Add(idx, vtwo);
+      const V lv = B::Blend(B::CmpEq(jp2, vsize), vmax, B::Mul(vstep, jp2));
+      const V cond = B::And(B::CmpLt(jp1, vsize), B::CmpLe(lv, tolerant));
+      if (B::MoveMask(cond) == 0) break;
+      idx = B::Add(idx, B::And(cond, vone));
+    }
+    // while (idx >= 0 && level(idx) > tolerant) --idx;
+    for (;;) {
+      const V jp1 = B::Add(idx, vone);
+      const V lv = B::Blend(B::CmpEq(jp1, vsize), vmax, B::Mul(vstep, jp1));
+      const V cond = B::And(B::CmpGe(idx, vzero), B::CmpGt(lv, tolerant));
+      if (B::MoveMask(cond) == 0) break;
+      idx = B::Sub(idx, B::And(cond, vone));
+    }
+    idx = B::Blend(B::CmpLt(tolerant, vlevel0), vbelow, idx);
+    idx = B::Blend(B::CmpLe(w, vzero), vskip, idx);
+    B::StoreInt32(out + i, idx);
+  }
+  for (; i < n; ++i) {
+    const double w = v[i];
+    if (w <= 0.0) {
+      out[i] = -2;
+      continue;
+    }
+    const double tolerant =
+        (alpha * w) * (1.0 + kPriceGridRelTolerance) + 1e-12;
+    if (tolerant < level0) {
+      out[i] = -1;
+      continue;
+    }
+    int idx = static_cast<int>(std::floor(tolerant / step)) - 1;
+    if (idx > size - 1) idx = size - 1;
+    const auto level = [&](int t) {
+      return t + 1 == size ? max_price : step * (t + 1);
+    };
+    while (idx + 1 < size && level(idx + 1) <= tolerant) ++idx;
+    while (idx >= 0 && level(idx) > tolerant) --idx;
+    out[i] = idx;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-lane-4 summation harness: `vec_term(i)` yields one L-wide block of
+// addends starting at element i; `scalar_term(i)` the identical scalar lane
+// math for the tail. Combine order is fixed as (s0+s2)+(s1+s3).
+// ---------------------------------------------------------------------------
+template <class B, class VecTerm, class ScalarTerm>
+double VirtualLane4Sum(std::size_t n, VecTerm vec_term, ScalarTerm scalar_term) {
+  using V = typename B::V;
+  constexpr std::size_t L = B::kLanes;
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  if constexpr (L == 4) {
+    V vacc = B::Broadcast(0.0);
+    for (; i + 4 <= n; i += 4) vacc = B::Add(vacc, vec_term(i));
+    B::Store(acc, vacc);
+  } else if constexpr (L == 2) {
+    V a0 = B::Broadcast(0.0);
+    V a1 = B::Broadcast(0.0);
+    for (; i + 4 <= n; i += 4) {
+      a0 = B::Add(a0, vec_term(i));
+      a1 = B::Add(a1, vec_term(i + 2));
+    }
+    B::Store(acc, a0);
+    B::Store(acc + 2, a1);
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      acc[0] += vec_term(i);
+      acc[1] += vec_term(i + 1);
+      acc[2] += vec_term(i + 2);
+      acc[3] += vec_term(i + 3);
+    }
+  }
+  for (; i < n; ++i) acc[i & 3] += scalar_term(i);
+  return (acc[0] + acc[2]) + (acc[1] + acc[3]);
+}
+
+// ---------------------------------------------------------------------------
+// SigmoidAdoptionSum: Σ weight_i · σ(γ·((α·v[i] − p) + ε)).
+// ---------------------------------------------------------------------------
+template <class B>
+double SigmoidAdoptionSumT(const double* v, const double* weights,
+                           std::size_t n, double gamma, double alpha,
+                           double eps, double p) {
+  using V = typename B::V;
+  const V valpha = B::Broadcast(alpha);
+  const V vp = B::Broadcast(p);
+  const V vgamma = B::Broadcast(gamma);
+  const V veps = B::Broadcast(eps);
+  const auto vec_term = [&](std::size_t i) -> V {
+    const V slack = B::Sub(B::Mul(valpha, B::Load(v + i)), vp);
+    const V x = B::Mul(vgamma, B::Add(slack, veps));
+    V pr = simd::Logistic<B>(x);
+    if (weights != nullptr) pr = B::Mul(B::Load(weights + i), pr);
+    return pr;
+  };
+  const auto scalar_term = [&](std::size_t i) -> double {
+    const double slack = alpha * v[i] - p;
+    const double pr = simd::LogisticScalar(gamma * (slack + eps));
+    return weights != nullptr ? weights[i] * pr : pr;
+  };
+  return VirtualLane4Sum<B>(n, vec_term, scalar_term);
+}
+
+// ---------------------------------------------------------------------------
+// MixedThresholds: t[i] = min(ab·(r1+r2), min(p1 + a2·r2, p2 + a1·r1)).
+// ---------------------------------------------------------------------------
+template <class B>
+void MixedThresholdsT(const double* raw1, const double* raw2, std::size_t n,
+                      double a1, double a2, double ab, double p1, double p2,
+                      double* out) {
+  using V = typename B::V;
+  constexpr std::size_t L = B::kLanes;
+  const V va1 = B::Broadcast(a1);
+  const V va2 = B::Broadcast(a2);
+  const V vab = B::Broadcast(ab);
+  const V vp1 = B::Broadcast(p1);
+  const V vp2 = B::Broadcast(p2);
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    const V r1 = B::Load(raw1 + i);
+    const V r2 = B::Load(raw2 + i);
+    const V aw1 = B::Mul(va1, r1);
+    const V aw2 = B::Mul(va2, r2);
+    const V awb = B::Mul(vab, B::Add(r1, r2));
+    const V inner = B::Min(B::Add(vp1, aw2), B::Add(vp2, aw1));
+    B::Store(out + i, B::Min(awb, inner));
+  }
+  for (; i < n; ++i) {
+    const double aw1 = a1 * raw1[i];
+    const double aw2 = a2 * raw2[i];
+    const double awb = ab * (raw1[i] + raw2[i]);
+    const double up1 = p1 + aw2;
+    const double up2 = p2 + aw1;
+    const double inner = up1 < up2 ? up1 : up2;
+    out[i] = awb < inner ? awb : inner;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MixedEffectiveColumns: aw1 = a1·r1, aw2 = a2·r2, awb = ab·(r1+r2).
+// ---------------------------------------------------------------------------
+template <class B>
+void MixedEffectiveColumnsT(const double* raw1, const double* raw2,
+                            std::size_t n, double a1, double a2, double ab,
+                            double* aw1, double* aw2, double* awb) {
+  using V = typename B::V;
+  constexpr std::size_t L = B::kLanes;
+  const V va1 = B::Broadcast(a1);
+  const V va2 = B::Broadcast(a2);
+  const V vab = B::Broadcast(ab);
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    const V r1 = B::Load(raw1 + i);
+    const V r2 = B::Load(raw2 + i);
+    B::Store(aw1 + i, B::Mul(va1, r1));
+    B::Store(aw2 + i, B::Mul(va2, r2));
+    B::Store(awb + i, B::Mul(vab, B::Add(r1, r2)));
+  }
+  for (; i < n; ++i) {
+    aw1[i] = a1 * raw1[i];
+    aw2[i] = a2 * raw2[i];
+    awb[i] = ab * (raw1[i] + raw2[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MixedSigmoidEval: one price point of the sigmoid merge-gain scan.
+// ---------------------------------------------------------------------------
+template <class B>
+MixedSigmoidResult MixedSigmoidEvalT(const double* aw1, const double* aw2,
+                                     const double* awb, const double* base,
+                                     std::size_t n, double p, double p1,
+                                     double p2, double gamma, double eps,
+                                     bool product_composition) {
+  using V = typename B::V;
+  constexpr std::size_t L = B::kLanes;
+  const double d1 = p - p1;
+  const double d2 = p - p2;
+  const V vp = B::Broadcast(p);
+  const V vd1 = B::Broadcast(d1);
+  const V vd2 = B::Broadcast(d2);
+  const V vgamma = B::Broadcast(gamma);
+  const V veps = B::Broadcast(eps);
+
+  const auto vec_prob = [&](std::size_t i) -> V {
+    const V sa = B::Sub(B::Load(awb + i), vp);
+    const V s1 = B::Sub(B::Load(aw2 + i), vd1);
+    const V s2 = B::Sub(B::Load(aw1 + i), vd2);
+    if (product_composition) {
+      const V pa = simd::Logistic<B>(B::Mul(vgamma, B::Add(sa, veps)));
+      const V pu1 = simd::Logistic<B>(B::Mul(vgamma, B::Add(s1, veps)));
+      const V pu2 = simd::Logistic<B>(B::Mul(vgamma, B::Add(s2, veps)));
+      return B::Mul(B::Mul(pa, pu1), pu2);
+    }
+    const V m = B::Min(sa, B::Min(s1, s2));
+    return simd::Logistic<B>(B::Mul(vgamma, B::Add(m, veps)));
+  };
+  const auto scalar_prob = [&](std::size_t i) -> double {
+    const double sa = awb[i] - p;
+    const double s1 = aw2[i] - d1;
+    const double s2 = aw1[i] - d2;
+    if (product_composition) {
+      return simd::LogisticScalar(gamma * (sa + eps)) *
+             simd::LogisticScalar(gamma * (s1 + eps)) *
+             simd::LogisticScalar(gamma * (s2 + eps));
+    }
+    const double inner = s1 < s2 ? s1 : s2;
+    const double m = sa < inner ? sa : inner;
+    return simd::LogisticScalar(gamma * (m + eps));
+  };
+
+  (void)vec_prob;  // Unreferenced by the scalar instantiation.
+
+  // One pass, two virtual-lane-4 sums sharing each element's probability.
+  double acc_adopt[4] = {0.0, 0.0, 0.0, 0.0};
+  double acc_gain[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  if constexpr (L == 4) {
+    V va = B::Broadcast(0.0);
+    V vg = B::Broadcast(0.0);
+    for (; i + 4 <= n; i += 4) {
+      const V pr = vec_prob(i);
+      va = B::Add(va, pr);
+      vg = B::Add(vg, B::Mul(pr, B::Sub(vp, B::Load(base + i))));
+    }
+    B::Store(acc_adopt, va);
+    B::Store(acc_gain, vg);
+  } else if constexpr (L == 2) {
+    V va0 = B::Broadcast(0.0);
+    V va1 = B::Broadcast(0.0);
+    V vg0 = B::Broadcast(0.0);
+    V vg1 = B::Broadcast(0.0);
+    for (; i + 4 <= n; i += 4) {
+      const V pr0 = vec_prob(i);
+      const V pr1 = vec_prob(i + 2);
+      va0 = B::Add(va0, pr0);
+      va1 = B::Add(va1, pr1);
+      vg0 = B::Add(vg0, B::Mul(pr0, B::Sub(vp, B::Load(base + i))));
+      vg1 = B::Add(vg1, B::Mul(pr1, B::Sub(vp, B::Load(base + i + 2))));
+    }
+    B::Store(acc_adopt, va0);
+    B::Store(acc_adopt + 2, va1);
+    B::Store(acc_gain, vg0);
+    B::Store(acc_gain + 2, vg1);
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      for (std::size_t l = 0; l < 4; ++l) {
+        const double pr = scalar_prob(i + l);
+        acc_adopt[l] += pr;
+        acc_gain[l] += pr * (p - base[i + l]);
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    const double pr = scalar_prob(i);
+    acc_adopt[i & 3] += pr;
+    acc_gain[i & 3] += pr * (p - base[i]);
+  }
+  MixedSigmoidResult r;
+  r.adopters = (acc_adopt[0] + acc_adopt[2]) + (acc_adopt[1] + acc_adopt[3]);
+  r.gain = (acc_gain[0] + acc_gain[2]) + (acc_gain[1] + acc_gain[3]);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Per-backend dispatch table.
+// ---------------------------------------------------------------------------
+struct KernelTable {
+  ExactStepResult (*exact_step)(const double*, std::size_t);
+  double (*max_value)(const double*, std::size_t);
+  void (*compute_buckets)(const double*, std::size_t, double, double, int,
+                          double, std::int32_t*);
+  double (*sigmoid_sum)(const double*, const double*, std::size_t, double,
+                        double, double, double);
+  void (*mixed_thresholds)(const double*, const double*, std::size_t, double,
+                           double, double, double, double, double*);
+  void (*mixed_columns)(const double*, const double*, std::size_t, double,
+                        double, double, double*, double*, double*);
+  MixedSigmoidResult (*mixed_sigmoid)(const double*, const double*,
+                                      const double*, const double*,
+                                      std::size_t, double, double, double,
+                                      double, double, bool);
+};
+
+template <class B>
+constexpr KernelTable MakeKernelTable() {
+  return KernelTable{&ExactStepBestT<B>,      &MaxValueT<B>,
+                     &ComputeBucketsT<B>,     &SigmoidAdoptionSumT<B>,
+                     &MixedThresholdsT<B>,    &MixedEffectiveColumnsT<B>,
+                     &MixedSigmoidEvalT<B>};
+}
+
+}  // namespace bundlemine::kernels::detail
+
+#endif  // BUNDLEMINE_PRICING_PRICING_KERNELS_IMPL_H_

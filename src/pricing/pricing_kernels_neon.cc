@@ -1,0 +1,19 @@
+// NEON instantiation of the pricing kernels. NEON is architectural baseline
+// on aarch64, so no extra compile flags are needed; on other targets this
+// translation unit is empty.
+
+#if defined(__aarch64__)
+
+#include "pricing/pricing_kernels_impl.h"
+
+namespace bundlemine::kernels::detail {
+
+const KernelTable& NeonKernelTable() {
+  static constexpr KernelTable table =
+      MakeKernelTable<simd::Ops<simd::NeonTag>>();
+  return table;
+}
+
+}  // namespace bundlemine::kernels::detail
+
+#endif  // __aarch64__

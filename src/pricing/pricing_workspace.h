@@ -46,6 +46,13 @@ struct PricingWorkspace {
   /// Welfare pricing: candidate price list.
   std::vector<double> candidates;
 
+  /// Per-value grid bucket indices from kernels::ComputeBuckets
+  /// (-1 below-grid, -2 non-positive value).
+  std::vector<std::int32_t> buckets;
+  /// Compacted non-empty bucket means / weights for the sigmoid scan.
+  std::vector<double> bucket_mean;
+  std::vector<double> bucket_weight;
+
   // --- Shared suffix scans (OfferPricer step mode, MixedPricer grids) ------
   std::vector<double> suffix_count;
   std::vector<double> suffix_base;
@@ -55,10 +62,20 @@ struct PricingWorkspace {
   std::vector<JointWtpEntry> joint;
   /// (adoption threshold, forgone base payment) pairs for exact-step gain.
   std::vector<std::pair<double, double>> threshold_base;
-  /// Flattened per-consumer state for the sigmoid / multi-way kernels.
+  /// Flattened per-consumer state for the multi-way kernel.
   std::vector<double> consumer_state;
   /// Support-union user ids for MultiMergeGain.
   std::vector<std::int32_t> users;
+  /// SoA staging for the two-way mixed kernels: raw WTP columns of each side
+  /// over the support union, forgone base payments, effective α·θ-scaled
+  /// columns, and adoption thresholds.
+  std::vector<double> soa_raw1;
+  std::vector<double> soa_raw2;
+  std::vector<double> soa_base;
+  std::vector<double> soa_aw1;
+  std::vector<double> soa_aw2;
+  std::vector<double> soa_awb;
+  std::vector<double> thresholds;
 };
 
 }  // namespace bundlemine

@@ -440,6 +440,23 @@ bool ValidateScenarioSpec(const ScenarioSpec& spec, std::string* error) {
   return true;
 }
 
+std::vector<std::string> ScenarioSpecWarnings(const ScenarioSpec& spec) {
+  std::vector<std::string> warnings;
+  bool has_composition = false, has_gamma = false;
+  for (const ScenarioAxis& axis : spec.axes) {
+    if (axis.kind == AxisKind::kComposition) has_composition = true;
+    if (axis.kind == AxisKind::kGamma) has_gamma = true;
+  }
+  if (has_composition && !has_gamma) {
+    warnings.push_back(
+        "axis 'composition' without a 'gamma' axis: the mixed upgrade "
+        "composition only differs under a sigmoid adoption model, so every "
+        "composition point solves the identical step-adoption problem "
+        "(add a gamma axis to make the comparison meaningful)");
+  }
+  return warnings;
+}
+
 namespace {
 
 ScenarioSpec MakePreset(std::string name, std::string description,

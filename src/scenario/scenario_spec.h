@@ -151,6 +151,15 @@ std::string FormatScenarioSpec(const ScenarioSpec& spec);
 /// diagnostic in `error`.
 bool ValidateScenarioSpec(const ScenarioSpec& spec, std::string* error = nullptr);
 
+/// Non-fatal authoring lints on an otherwise valid spec, one message per
+/// finding (empty = clean). Currently: a `composition` axis without a
+/// `gamma` axis — the mixed upgrade composition only branches under a
+/// sigmoid adoption model, so with the (default) step model every
+/// composition point solves the identical problem and the axis silently
+/// duplicates cells. Front ends print these to stderr; they never fail
+/// validation.
+std::vector<std::string> ScenarioSpecWarnings(const ScenarioSpec& spec);
+
 /// The dataset profile names ValidateScenarioSpec accepts, in a stable
 /// order ("tiny", "small", "medium", "paper") — the canonical list for
 /// error messages that enumerate the valid alternatives.

@@ -27,12 +27,12 @@ std::uint64_t SplitMix64(std::uint64_t x) {
 struct DatasetEntry {
   std::shared_ptr<const RatingsDataset> dataset;
   DatasetStats stats;
-  std::map<double, WtpMatrix> wtp_by_lambda;
+  std::map<double, std::shared_ptr<const WtpMatrix>> wtp_by_lambda;
 
   const WtpMatrix& WtpFor(double lambda) const {
     auto it = wtp_by_lambda.find(lambda);
     BM_CHECK(it != wtp_by_lambda.end());
-    return it->second;
+    return *it->second;
   }
 };
 
@@ -66,7 +66,8 @@ double CellLambda(const ScenarioSpec& spec, const SweepCell& cell) {
 SweepData BuildSweepData(const ScenarioSpec& spec,
                          const std::vector<SweepCell>& cells,
                          const RatingsDataset& base,
-                         const DatasetProvider& provider) {
+                         const DatasetProvider& provider,
+                         const WtpProvider& wtp_provider) {
   SweepData data;
   data.base_key = DatasetKey(spec.dataset);
 
@@ -90,20 +91,23 @@ SweepData BuildSweepData(const ScenarioSpec& spec,
     return data.by_key.emplace(key, std::move(entry)).first->second;
   };
 
+  auto derive_wtp = [&](DatasetEntry& entry, const DatasetSpec& dataset_spec,
+                        double lambda) {
+    if (entry.wtp_by_lambda.count(lambda) != 0) return;
+    entry.wtp_by_lambda.emplace(
+        lambda, wtp_provider
+                    ? wtp_provider(dataset_spec, *entry.dataset, lambda)
+                    : std::make_shared<const WtpMatrix>(
+                          WtpMatrix::FromRatings(*entry.dataset, lambda)));
+  };
+
   // The base dataset at the base λ always materializes — the sweep-level
   // summary (num_users/num_items/base_total_wtp) reports it.
-  entry_for(spec.dataset)
-      .wtp_by_lambda.emplace(
-          spec.dataset.lambda,
-          WtpMatrix::FromRatings(base, spec.dataset.lambda));
+  derive_wtp(entry_for(spec.dataset), spec.dataset, spec.dataset.lambda);
 
   for (const SweepCell& cell : cells) {
-    DatasetEntry& entry = entry_for(CellDatasetSpec(spec, cell));
-    const double lambda = CellLambda(spec, cell);
-    if (entry.wtp_by_lambda.count(lambda) == 0) {
-      entry.wtp_by_lambda.emplace(
-          lambda, WtpMatrix::FromRatings(*entry.dataset, lambda));
-    }
+    const DatasetSpec cell_spec = CellDatasetSpec(spec, cell);
+    derive_wtp(entry_for(cell_spec), cell_spec, CellLambda(spec, cell));
   }
   return data;
 }
@@ -174,7 +178,7 @@ double ApplyAxes(const ScenarioSpec& spec, const SweepCell& cell,
 
 void RunCell(const ScenarioSpec& spec, const SweepData& data,
              const SweepRunnerOptions& options, const SweepCell& cell,
-             SweepCellResult* result) {
+             int inner_threads, SweepCellResult* result) {
   BundleConfigProblem problem;
   problem.theta = spec.theta;
   problem.max_bundle_size = spec.max_bundle_size;
@@ -186,11 +190,13 @@ void RunCell(const ScenarioSpec& spec, const SweepData& data,
   const WtpMatrix& wtp = entry.WtpFor(lambda);
   problem.wtp = &wtp;
 
-  // Fresh context per cell: cells are the unit of parallelism, so the inner
-  // solver runs serially and the seed depends only on the cell index —
-  // results cannot depend on which worker ran the cell.
+  // Fresh context per cell: the seed depends only on the cell index, so
+  // results cannot depend on which worker ran the cell. Cells are the unit
+  // of parallelism; the inner solver runs serially unless the grid is
+  // narrower than the worker count, in which case the surplus workers move
+  // inside the cell (solver results are bit-identical at any width).
   SolveContext::Options context_options;
-  context_options.num_threads = 1;
+  context_options.num_threads = inner_threads;
   context_options.seed = CellSeed(spec.dataset.seed, cell.index);
   context_options.deadline_seconds = options.deadline_seconds;
   SolveContext context(context_options);
@@ -344,9 +350,10 @@ SweepResult RunSweepCells(const ScenarioSpec& spec,
                           const std::vector<SweepCell>& cells,
                           const RatingsDataset& dataset,
                           const SweepRunnerOptions& options, ThreadPool* pool,
-                          const DatasetProvider& provider) {
+                          const DatasetProvider& provider,
+                          const WtpProvider& wtp_provider) {
   WallTimer total_timer;
-  SweepData data = BuildSweepData(spec, cells, dataset, provider);
+  SweepData data = BuildSweepData(spec, cells, dataset, provider, wtp_provider);
 
   SweepResult result;
   result.spec = spec;
@@ -357,8 +364,16 @@ SweepResult RunSweepCells(const ScenarioSpec& spec,
   result.base_total_wtp = base.WtpFor(spec.dataset.lambda).TotalWtp();
   result.cells.resize(cells.size());
 
+  // A grid narrower than the pool leaves workers idle; hand the surplus to
+  // the cells' inner solvers instead. Integer division keeps the total
+  // thread count at or under `threads`.
+  int inner_threads = 1;
+  if (!cells.empty() && options.threads > static_cast<int>(cells.size())) {
+    inner_threads = options.threads / static_cast<int>(cells.size());
+  }
   auto run_cell = [&](std::size_t index, int /*slot*/) {
-    RunCell(spec, data, options, cells[index], &result.cells[index]);
+    RunCell(spec, data, options, cells[index], inner_threads,
+            &result.cells[index]);
   };
   if (pool != nullptr) {
     pool->ParallelFor(cells.size(), run_cell);

@@ -25,6 +25,7 @@
 #include "core/solution.h"
 #include "core/solve_context.h"
 #include "data/generator.h"
+#include "data/wtp_matrix.h"
 #include "scenario/scenario_spec.h"
 #include "util/thread_pool.h"
 
@@ -135,6 +136,15 @@ DatasetSpec CellDatasetSpec(const ScenarioSpec& spec, const SweepCell& cell);
 using DatasetProvider =
     std::function<std::shared_ptr<const RatingsDataset>(const DatasetSpec&)>;
 
+/// Supplies (possibly cached) WTP matrices: the matrix derived from
+/// `dataset` (the materialization of the DatasetSpec) at the given λ. The
+/// Engine plugs its λ-keyed WTP cache in here so repeated sweeps and solves
+/// over the same (dataset, λ) pair derive the matrix once. Must be a pure
+/// function of (spec, λ) — i.e. return exactly
+/// WtpMatrix::FromRatings(dataset, λ) — or determinism is lost.
+using WtpProvider = std::function<std::shared_ptr<const WtpMatrix>(
+    const DatasetSpec&, const RatingsDataset&, double)>;
+
 /// Recomputes gain_over_components for every cell of `result` from the
 /// "components" cell at the same axis point (clearing gains whose baseline
 /// cell is absent). The runner applies this after solving; the artifact
@@ -154,12 +164,18 @@ void RecomputeComponentGains(SweepResult* result);
 /// full run. Gains fill from the "components" cell at the same axis point
 /// when that cell is present in `cells`. `pool` (optional) supplies the
 /// workers; when null a private pool of options.threads is used.
+/// `wtp_provider` (optional) serves the per-(dataset, λ) WTP matrices — the
+/// Engine passes its λ-keyed cache. When the cell list is smaller than
+/// `options.threads`, the surplus workers move inside the cells: each
+/// cell's SolveContext gets ⌊threads / cells⌋ candidate-evaluation threads
+/// (results are bit-identical at any width, so this only changes wall time).
 SweepResult RunSweepCells(const ScenarioSpec& spec,
                           const std::vector<SweepCell>& cells,
                           const RatingsDataset& dataset,
                           const SweepRunnerOptions& options = {},
                           ThreadPool* pool = nullptr,
-                          const DatasetProvider& provider = nullptr);
+                          const DatasetProvider& provider = nullptr,
+                          const WtpProvider& wtp_provider = nullptr);
 
 }  // namespace bundlemine
 

@@ -394,6 +394,13 @@ JsonValue BundleServer::StatsJson() {
   cache_json.Set("entries",
                  JsonValue::Int(static_cast<std::int64_t>(cache.entries)));
   out.Set("dataset_cache", std::move(cache_json));
+  const Engine::CacheStats wtp = engine_.wtp_cache_stats();
+  JsonValue wtp_json = JsonValue::Object();
+  wtp_json.Set("hits", JsonValue::Int(wtp.hits));
+  wtp_json.Set("misses", JsonValue::Int(wtp.misses));
+  wtp_json.Set("entries",
+               JsonValue::Int(static_cast<std::int64_t>(wtp.entries)));
+  out.Set("wtp_cache", std::move(wtp_json));
   out.Set("uptime_seconds", JsonValue::Double(uptime_timer_.Seconds()));
   return out;
 }

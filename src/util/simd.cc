@@ -1,0 +1,36 @@
+#include "util/simd.h"
+
+#include <atomic>
+
+namespace bundlemine::simd {
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+bool DetectWideSupport() {
+#if BUNDLEMINE_SIMD_X86
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#elif defined(__aarch64__)
+  return true;  // NEON is architectural baseline on aarch64.
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool WideKernelsSupported() {
+  static const bool supported = DetectWideSupport();
+  return supported;
+}
+
+bool UseWideKernels() {
+  return WideKernelsSupported() &&
+         !g_force_scalar.load(std::memory_order_relaxed);
+}
+
+void ForceScalarKernels(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+}  // namespace bundlemine::simd

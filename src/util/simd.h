@@ -1,0 +1,315 @@
+// Width-agnostic SIMD backends for the pricing kernels.
+//
+// The hot kernels in src/pricing/pricing_kernels_impl.h are written once as
+// templates over a backend `Ops<Tag>` (scalar always; AVX2 on x86, NEON on
+// aarch64) and instantiated in per-ISA translation units compiled with the
+// matching target flags. Dispatch is a runtime CPU check plus a test hook
+// (ForceScalarKernels) — never a compile-time fork of the algorithm.
+//
+// Bit-identity contract. Every operation exposed here is an exact IEEE-754
+// operation (add/sub/mul/div/min/max/floor/round-nearest-even and a correctly
+// rounded fused multiply-add), so a kernel evaluated lane-by-lane on any
+// backend produces bit-identical doubles. The transcendental helpers (Exp,
+// Logistic) are built only from those operations with fixed coefficients, so
+// they too are bit-identical across backends — the property the golden
+// artifacts and the sweep shard-merge CI gate rely on.
+
+#ifndef BUNDLEMINE_UTIL_SIMD_H_
+#define BUNDLEMINE_UTIL_SIMD_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define BUNDLEMINE_SIMD_X86 1
+#if defined(__AVX2__) && defined(__FMA__)
+// Only translation units compiled with -mavx2 -mfma see the AVX2 backend.
+#define BUNDLEMINE_SIMD_AVX2 1
+#include <immintrin.h>
+#endif
+#elif defined(__aarch64__)
+#define BUNDLEMINE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace bundlemine::simd {
+
+// ---------------------------------------------------------------------------
+// Runtime dispatch state (defined in simd.cc).
+// ---------------------------------------------------------------------------
+
+/// True when the host CPU can run the wide backend this binary was built with
+/// (x86: AVX2+FMA via cpuid; aarch64: always — NEON is baseline).
+bool WideKernelsSupported();
+
+/// WideKernelsSupported() minus the ForceScalarKernels override. The kernel
+/// dispatchers consult this per call, so tests can flip backends at runtime.
+bool UseWideKernels();
+
+/// Test/bench hook: force the scalar fallback even on wide-capable hosts.
+void ForceScalarKernels(bool force);
+
+// ---------------------------------------------------------------------------
+// Backend tags and operation tables.
+// ---------------------------------------------------------------------------
+
+struct ScalarTag {};
+struct Avx2Tag {};
+struct NeonTag {};
+
+template <class Tag>
+struct Ops;
+
+/// Scalar backend: V = double, one lane. Comparison results are encoded as
+/// all-ones / all-zero bit masks in a double, mirroring the vector backends,
+/// so masked blends and mask arithmetic behave identically at every width.
+template <>
+struct Ops<ScalarTag> {
+  using V = double;
+  static constexpr int kLanes = 1;
+
+  static V Broadcast(double x) { return x; }
+  static V Load(const double* p) { return *p; }
+  static void Store(double* p, V v) { *p = v; }
+
+  static V Add(V a, V b) { return a + b; }
+  static V Sub(V a, V b) { return a - b; }
+  static V Mul(V a, V b) { return a * b; }
+  static V Div(V a, V b) { return a / b; }
+  /// a*b + c, single rounding.
+  static V Fma(V a, V b, V c) { return std::fma(a, b, c); }
+  /// Matches vminpd/vbsl-lt semantics exactly: a < b ? a : b.
+  static V Min(V a, V b) { return a < b ? a : b; }
+  static V Max(V a, V b) { return a > b ? a : b; }
+  static V Floor(V a) { return std::floor(a); }
+  /// Round to nearest, ties to even (default FP environment).
+  static V RoundNearest(V a) { return std::nearbyint(a); }
+  static V Abs(V a) { return std::fabs(a); }
+  static V Neg(V a) { return -a; }
+
+  static V CmpLt(V a, V b) { return MaskFromBool(a < b); }
+  static V CmpLe(V a, V b) { return MaskFromBool(a <= b); }
+  static V CmpGt(V a, V b) { return MaskFromBool(a > b); }
+  static V CmpGe(V a, V b) { return MaskFromBool(a >= b); }
+  static V CmpEq(V a, V b) { return MaskFromBool(a == b); }
+
+  static V And(V a, V b) {
+    return std::bit_cast<double>(std::bit_cast<std::uint64_t>(a) &
+                                 std::bit_cast<std::uint64_t>(b));
+  }
+  /// mask ? a : b per lane (mask lanes are all-ones or all-zero).
+  static V Blend(V mask, V a, V b) {
+    const std::uint64_t m = std::bit_cast<std::uint64_t>(mask);
+    return std::bit_cast<double>((std::bit_cast<std::uint64_t>(a) & m) |
+                                 (std::bit_cast<std::uint64_t>(b) & ~m));
+  }
+  /// One bit per lane (lane sign bit), lane 0 in bit 0.
+  static int MoveMask(V mask) {
+    return static_cast<int>(std::bit_cast<std::uint64_t>(mask) >> 63);
+  }
+
+  /// 2^k for an integral-valued double k with |k| bounded by the Exp clamp;
+  /// out-of-range k produces garbage bits the caller blends away.
+  static V ExpScale(V k) {
+    const auto ki = static_cast<std::int64_t>(k);
+    return std::bit_cast<double>(static_cast<std::uint64_t>(ki + 1023) << 52);
+  }
+
+  /// Truncating double→int32 store of kLanes lanes.
+  static void StoreInt32(std::int32_t* p, V v) {
+    p[0] = static_cast<std::int32_t>(v);
+  }
+
+ private:
+  static V MaskFromBool(bool b) {
+    return std::bit_cast<double>(b ? ~std::uint64_t{0} : std::uint64_t{0});
+  }
+};
+
+#if BUNDLEMINE_SIMD_AVX2
+
+template <>
+struct Ops<Avx2Tag> {
+  using V = __m256d;
+  static constexpr int kLanes = 4;
+
+  static V Broadcast(double x) { return _mm256_set1_pd(x); }
+  static V Load(const double* p) { return _mm256_loadu_pd(p); }
+  static void Store(double* p, V v) { _mm256_storeu_pd(p, v); }
+
+  static V Add(V a, V b) { return _mm256_add_pd(a, b); }
+  static V Sub(V a, V b) { return _mm256_sub_pd(a, b); }
+  static V Mul(V a, V b) { return _mm256_mul_pd(a, b); }
+  static V Div(V a, V b) { return _mm256_div_pd(a, b); }
+  static V Fma(V a, V b, V c) { return _mm256_fmadd_pd(a, b, c); }
+  static V Min(V a, V b) { return _mm256_min_pd(a, b); }
+  static V Max(V a, V b) { return _mm256_max_pd(a, b); }
+  static V Floor(V a) { return _mm256_floor_pd(a); }
+  static V RoundNearest(V a) {
+    return _mm256_round_pd(a, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  }
+  static V Abs(V a) {
+    return _mm256_andnot_pd(_mm256_set1_pd(-0.0), a);
+  }
+  static V Neg(V a) { return _mm256_xor_pd(a, _mm256_set1_pd(-0.0)); }
+
+  static V CmpLt(V a, V b) { return _mm256_cmp_pd(a, b, _CMP_LT_OQ); }
+  static V CmpLe(V a, V b) { return _mm256_cmp_pd(a, b, _CMP_LE_OQ); }
+  static V CmpGt(V a, V b) { return _mm256_cmp_pd(a, b, _CMP_GT_OQ); }
+  static V CmpGe(V a, V b) { return _mm256_cmp_pd(a, b, _CMP_GE_OQ); }
+  static V CmpEq(V a, V b) { return _mm256_cmp_pd(a, b, _CMP_EQ_OQ); }
+
+  static V And(V a, V b) { return _mm256_and_pd(a, b); }
+  static V Blend(V mask, V a, V b) { return _mm256_blendv_pd(b, a, mask); }
+  static int MoveMask(V mask) { return _mm256_movemask_pd(mask); }
+
+  static V ExpScale(V k) {
+    // k is integral-valued; cvtpd is exact regardless of rounding mode.
+    const __m128i ki32 = _mm256_cvtpd_epi32(k);
+    const __m256i ki64 = _mm256_cvtepi32_epi64(ki32);
+    const __m256i bits = _mm256_slli_epi64(
+        _mm256_add_epi64(ki64, _mm256_set1_epi64x(1023)), 52);
+    return _mm256_castsi256_pd(bits);
+  }
+
+  static void StoreInt32(std::int32_t* p, V v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), _mm256_cvttpd_epi32(v));
+  }
+};
+
+#endif  // BUNDLEMINE_SIMD_AVX2
+
+#if BUNDLEMINE_SIMD_NEON
+
+template <>
+struct Ops<NeonTag> {
+  using V = float64x2_t;
+  static constexpr int kLanes = 2;
+
+  static V Broadcast(double x) { return vdupq_n_f64(x); }
+  static V Load(const double* p) { return vld1q_f64(p); }
+  static void Store(double* p, V v) { vst1q_f64(p, v); }
+
+  static V Add(V a, V b) { return vaddq_f64(a, b); }
+  static V Sub(V a, V b) { return vsubq_f64(a, b); }
+  static V Mul(V a, V b) { return vmulq_f64(a, b); }
+  static V Div(V a, V b) { return vdivq_f64(a, b); }
+  static V Fma(V a, V b, V c) { return vfmaq_f64(c, a, b); }
+  // vminq/vmaxq follow IEEE minNum (±0 ordering, NaN suppression) which does
+  // NOT match the scalar a<b?a:b select; use an explicit compare+select so
+  // every backend has identical semantics.
+  static V Min(V a, V b) { return vbslq_f64(vcltq_f64(a, b), a, b); }
+  static V Max(V a, V b) { return vbslq_f64(vcgtq_f64(a, b), a, b); }
+  static V Floor(V a) { return vrndmq_f64(a); }
+  static V RoundNearest(V a) { return vrndnq_f64(a); }
+  static V Abs(V a) { return vabsq_f64(a); }
+  static V Neg(V a) { return vnegq_f64(a); }
+
+  static V CmpLt(V a, V b) { return MaskToV(vcltq_f64(a, b)); }
+  static V CmpLe(V a, V b) { return MaskToV(vcleq_f64(a, b)); }
+  static V CmpGt(V a, V b) { return MaskToV(vcgtq_f64(a, b)); }
+  static V CmpGe(V a, V b) { return MaskToV(vcgeq_f64(a, b)); }
+  static V CmpEq(V a, V b) { return MaskToV(vceqq_f64(a, b)); }
+
+  static V And(V a, V b) {
+    return vreinterpretq_f64_u64(
+        vandq_u64(vreinterpretq_u64_f64(a), vreinterpretq_u64_f64(b)));
+  }
+  static V Blend(V mask, V a, V b) {
+    return vbslq_f64(vreinterpretq_u64_f64(mask), a, b);
+  }
+  static int MoveMask(V mask) {
+    const uint64x2_t m = vreinterpretq_u64_f64(mask);
+    return static_cast<int>(vgetq_lane_u64(m, 0) >> 63) |
+           (static_cast<int>(vgetq_lane_u64(m, 1) >> 63) << 1);
+  }
+
+  static V ExpScale(V k) {
+    const int64x2_t ki = vcvtq_s64_f64(k);  // k integral → exact truncation.
+    const int64x2_t bits =
+        vshlq_n_s64(vaddq_s64(ki, vdupq_n_s64(1023)), 52);
+    return vreinterpretq_f64_s64(bits);
+  }
+
+  static void StoreInt32(std::int32_t* p, V v) {
+    const int64x2_t t = vcvtq_s64_f64(v);  // Truncate toward zero.
+    p[0] = static_cast<std::int32_t>(vgetq_lane_s64(t, 0));
+    p[1] = static_cast<std::int32_t>(vgetq_lane_s64(t, 1));
+  }
+
+ private:
+  static V MaskToV(uint64x2_t m) { return vreinterpretq_f64_u64(m); }
+};
+
+#endif  // BUNDLEMINE_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Shared transcendentals — bit-identical across backends.
+// ---------------------------------------------------------------------------
+
+// exp(x) via Cody-Waite range reduction (round-to-nearest-even n, two-term
+// ln2 split) and a degree-13 Taylor-Horner polynomial in fused multiply-adds.
+// Accuracy ~1-2 ulp over the reduced range; exactly 1.0 at x = 0. Inputs are
+// pre-clamped so the 2^n scale construction stays in well-defined integer
+// arithmetic; |x| beyond the double exp range flushes to exactly 0.0 / +inf
+// (which makes the γ→∞ sigmoid limit an exact step).
+inline constexpr double kExpLog2e = 1.4426950408889634074;
+inline constexpr double kExpLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kExpLn2Lo = 1.90821492927058770002e-10;
+inline constexpr double kExpUnderflow = -708.0;
+inline constexpr double kExpOverflow = 709.0;
+
+template <class B>
+inline typename B::V Exp(typename B::V x) {
+  using V = typename B::V;
+  // Clamp the working value so n stays small enough for exact integer
+  // exponent construction; the final blends use the unclamped x.
+  V xc = B::Min(x, B::Broadcast(750.0));
+  xc = B::Max(xc, B::Broadcast(-750.0));
+  const V n = B::RoundNearest(B::Mul(xc, B::Broadcast(kExpLog2e)));
+  V r = B::Fma(n, B::Broadcast(-kExpLn2Hi), xc);
+  r = B::Fma(n, B::Broadcast(-kExpLn2Lo), r);
+  V p = B::Broadcast(1.0 / 6227020800.0);  // 1/13!
+  p = B::Fma(p, r, B::Broadcast(1.0 / 479001600.0));
+  p = B::Fma(p, r, B::Broadcast(1.0 / 39916800.0));
+  p = B::Fma(p, r, B::Broadcast(1.0 / 3628800.0));
+  p = B::Fma(p, r, B::Broadcast(1.0 / 362880.0));
+  p = B::Fma(p, r, B::Broadcast(1.0 / 40320.0));
+  p = B::Fma(p, r, B::Broadcast(1.0 / 5040.0));
+  p = B::Fma(p, r, B::Broadcast(1.0 / 720.0));
+  p = B::Fma(p, r, B::Broadcast(1.0 / 120.0));
+  p = B::Fma(p, r, B::Broadcast(1.0 / 24.0));
+  p = B::Fma(p, r, B::Broadcast(1.0 / 6.0));
+  p = B::Fma(p, r, B::Broadcast(0.5));
+  p = B::Fma(p, r, B::Broadcast(1.0));
+  p = B::Fma(p, r, B::Broadcast(1.0));
+  V result = B::Mul(p, B::ExpScale(n));
+  result = B::Blend(B::CmpLt(x, B::Broadcast(kExpUnderflow)),
+                    B::Broadcast(0.0), result);
+  result = B::Blend(B::CmpGt(x, B::Broadcast(kExpOverflow)),
+                    B::Broadcast(std::numeric_limits<double>::infinity()),
+                    result);
+  return result;
+}
+
+// Numerically stable logistic 1/(1+exp(-x)) in branch-free single-division
+// form: with t = exp(-|x|), σ(x) = (x ≥ 0 ? 1 : t) / (1 + t). Equals the
+// classic two-branch formulation value-for-value given the same t.
+template <class B>
+inline typename B::V Logistic(typename B::V x) {
+  using V = typename B::V;
+  const V one = B::Broadcast(1.0);
+  const V t = Exp<B>(B::Neg(B::Abs(x)));
+  const V num = B::Blend(B::CmpGe(x, B::Broadcast(0.0)), one, t);
+  return B::Div(num, B::Add(one, t));
+}
+
+/// Scalar entry points (the lane math of every backend, one lane at a time).
+inline double ExpScalar(double x) { return Exp<Ops<ScalarTag>>(x); }
+inline double LogisticScalar(double x) { return Logistic<Ops<ScalarTag>>(x); }
+
+}  // namespace bundlemine::simd
+
+#endif  // BUNDLEMINE_UTIL_SIMD_H_

@@ -227,6 +227,44 @@ TEST(DatasetCache, SecondSweepHitsAndStaysByteIdentical) {
   EXPECT_EQ(SweepArtifactJson(first->result), SweepArtifactJson(second->result));
 }
 
+TEST(WtpCache, SecondSweepHitsAndSolveSharesEntries) {
+  Engine engine;
+  SweepRequest request;
+  request.spec = TinyThetaSpec();
+
+  StatusOr<SweepResponse> first = engine.Sweep(request);
+  ASSERT_TRUE(first.ok());
+  Engine::CacheStats stats = engine.wtp_cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // The second sweep derives nothing: one λ-keyed hit, same artifact bytes.
+  StatusOr<SweepResponse> second = engine.Sweep(request);
+  ASSERT_TRUE(second.ok());
+  stats = engine.wtp_cache_stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(SweepArtifactJson(first->result), SweepArtifactJson(second->result));
+
+  // A solve at the sweep's (dataset, λ) reuses the cached matrix; a solve
+  // at a different λ derives (and caches) its own.
+  SolveRequest solve;
+  solve.method = "mixed-matching";
+  solve.dataset = request.spec.dataset;
+  ASSERT_TRUE(engine.Solve(solve).ok());
+  stats = engine.wtp_cache_stats();
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.misses, 1);
+
+  solve.dataset->lambda = request.spec.dataset.lambda + 0.5;
+  ASSERT_TRUE(engine.Solve(solve).ok());
+  stats = engine.wtp_cache_stats();
+  EXPECT_EQ(stats.hits, 2);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
 TEST(DatasetCache, KeyCoversSeedAndOverridesButNotLambda) {
   DatasetSpec base;
   base.profile = "tiny";

@@ -93,6 +93,24 @@ TEST(ScenarioSpecTest, ValidateCatchesStructuralProblems) {
   EXPECT_FALSE(ValidateScenarioSpec(spec, &error));
 }
 
+TEST(ScenarioSpecTest, WarnsOnCompositionAxisWithoutGamma) {
+  ScenarioSpec spec = TinySpec();
+  spec.axes.push_back({AxisKind::kComposition, {0, 1}});
+  std::string error;
+  ASSERT_TRUE(ValidateScenarioSpec(spec, &error)) << error;
+  std::vector<std::string> warnings = ScenarioSpecWarnings(spec);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("composition"), std::string::npos);
+  EXPECT_NE(warnings[0].find("gamma"), std::string::npos);
+
+  // Adding a gamma axis silences the lint.
+  spec.axes.push_back({AxisKind::kGamma, {1.0, 10.0}});
+  ASSERT_TRUE(ValidateScenarioSpec(spec, &error)) << error;
+  EXPECT_TRUE(ScenarioSpecWarnings(spec).empty());
+
+  EXPECT_TRUE(ScenarioSpecWarnings(TinySpec()).empty());
+}
+
 TEST(ScenarioSpecTest, DuplicateAxisDiagnosticNamesBothPositions) {
   ScenarioSpec spec = TinySpec();
   spec.axes.push_back({AxisKind::kK, {2, 3}});

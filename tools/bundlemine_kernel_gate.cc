@@ -1,0 +1,224 @@
+// bundlemine_kernel_gate — throughput gate over the BM_Kernel* micro
+// benchmarks, in the spirit of bundlemine_diff: compares a fresh
+// google-benchmark JSON report against a checked-in baseline and fails CI
+// when a kernel lost its SIMD speedup or regressed in absolute terms.
+//
+//   ./bundlemine_kernel_gate BENCH_kernels.json tests/golden/kernel_baseline.json
+//   ./bundlemine_kernel_gate --regen BENCH_kernels.json tests/golden/kernel_baseline.json
+//
+// Two checks per kernel listed in the baseline:
+//   * speedup: scalar cpu-ns / simd cpu-ns must reach `min_speedup`
+//     (0 disables — kernels whose scalar loop already saturates memory
+//     bandwidth are reported but not gated);
+//   * absolute: simd cpu-ns must stay within `ns_tolerance_factor` × the
+//     recorded `baseline_simd_ns`. The factor is deliberately loose (CI
+//     machines vary); it catches order-of-magnitude regressions such as a
+//     kernel silently falling back to scalar code.
+//
+// When the report's `bundlemine_simd` context is "scalar" (a host without a
+// wide backend, or a build with BUNDLEMINE_DISABLE_WIDE_KERNELS=ON), both
+// checks are skipped: there is nothing to gate.
+//
+// `--regen` rewrites `baseline_simd_ns` in the baseline file from the given
+// report, preserving each kernel's `min_speedup` policy. Run it on the CI
+// machine class that hosts the gate. Exit codes: 0 pass/skip/regen,
+// 1 gate failure, 2 usage / unreadable inputs.
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+using namespace bundlemine;
+
+namespace {
+
+std::optional<JsonValue> LoadJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  std::optional<JsonValue> doc = JsonParse(buffer.str(), &error);
+  if (!doc) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.c_str());
+  }
+  return doc;
+}
+
+/// cpu_time of the named benchmark in ns, or nullopt when absent from the
+/// report (e.g. a too-narrow --benchmark_filter).
+std::optional<double> BenchCpuNs(const JsonValue& report,
+                                 const std::string& name) {
+  const JsonValue* benches = report.FindMember("benchmarks");
+  if (benches == nullptr || benches->kind() != JsonValue::Kind::kArray) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < benches->size(); ++i) {
+    const JsonValue& b = benches->at(i);
+    const JsonValue* n = b.FindMember("name");
+    if (n == nullptr || n->AsString() != name) continue;
+    const JsonValue* cpu = b.FindMember("cpu_time");
+    if (cpu == nullptr) return std::nullopt;
+    return cpu->AsDouble();
+  }
+  return std::nullopt;
+}
+
+std::string ReportSimdContext(const JsonValue& report) {
+  const JsonValue* context = report.FindMember("context");
+  if (context == nullptr) return "";
+  const JsonValue* simd = context->FindMember("bundlemine_simd");
+  return simd != nullptr ? simd->AsString() : "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("regen", "false",
+               "rewrite baseline_simd_ns in the baseline file from the "
+               "report instead of gating");
+  flags.AllowPositional("BENCH_kernels.json kernel_baseline.json");
+  flags.Parse(argc, argv);
+
+  if (flags.positional().size() != 2) {
+    std::fprintf(stderr,
+                 "error: expected <report.json> <baseline.json>, got %zu "
+                 "positional arguments\n",
+                 flags.positional().size());
+    return 2;
+  }
+  const std::string report_path = flags.positional()[0];
+  const std::string baseline_path = flags.positional()[1];
+
+  std::optional<JsonValue> report = LoadJsonFile(report_path);
+  std::optional<JsonValue> baseline = LoadJsonFile(baseline_path);
+  if (!report || !baseline) return 2;
+
+  const JsonValue* kernels = baseline->FindMember("kernels");
+  const JsonValue* tolerance = baseline->FindMember("ns_tolerance_factor");
+  if (kernels == nullptr || kernels->kind() != JsonValue::Kind::kArray ||
+      tolerance == nullptr) {
+    std::fprintf(stderr,
+                 "error: %s: expected {ns_tolerance_factor, kernels: [...]}\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  const double tolerance_factor = tolerance->AsDouble();
+
+  const std::string simd_context = ReportSimdContext(*report);
+  if (simd_context != "wide") {
+    std::fprintf(stderr,
+                 "# kernel gate skipped: report context bundlemine_simd=\"%s\" "
+                 "(no wide backend to gate)\n",
+                 simd_context.c_str());
+    return 0;
+  }
+
+  const bool regen = flags.GetBool("regen");
+  JsonValue regen_kernels = JsonValue::Array();
+  int failures = 0;
+  for (std::size_t i = 0; i < kernels->size(); ++i) {
+    const JsonValue& k = kernels->at(i);
+    const JsonValue* name = k.FindMember("name");
+    const JsonValue* scalar_bench = k.FindMember("scalar");
+    const JsonValue* simd_bench = k.FindMember("simd");
+    const JsonValue* min_speedup = k.FindMember("min_speedup");
+    const JsonValue* baseline_ns = k.FindMember("baseline_simd_ns");
+    if (name == nullptr || scalar_bench == nullptr || simd_bench == nullptr ||
+        min_speedup == nullptr || baseline_ns == nullptr) {
+      std::fprintf(stderr, "error: %s: kernel entry %zu is missing fields\n",
+                   baseline_path.c_str(), i);
+      return 2;
+    }
+
+    std::optional<double> scalar_ns =
+        BenchCpuNs(*report, scalar_bench->AsString());
+    std::optional<double> simd_ns = BenchCpuNs(*report, simd_bench->AsString());
+    if (!scalar_ns || !simd_ns) {
+      std::fprintf(stderr,
+                   "FAIL %s: benchmark %s missing from %s (run with "
+                   "--benchmark_filter='^BM_Kernel')\n",
+                   name->AsString().c_str(),
+                   (!scalar_ns ? scalar_bench : simd_bench)->AsString().c_str(),
+                   report_path.c_str());
+      ++failures;
+      continue;
+    }
+
+    const double speedup = *scalar_ns / *simd_ns;
+    const double floor = min_speedup->AsDouble();
+    const double ceiling = baseline_ns->AsDouble() * tolerance_factor;
+    bool ok = true;
+    if (floor > 0.0 && speedup < floor) {
+      std::fprintf(stderr,
+                   "FAIL %s: simd speedup %.2fx below required %.2fx "
+                   "(scalar %.0f ns, simd %.0f ns)\n",
+                   name->AsString().c_str(), speedup, floor, *scalar_ns,
+                   *simd_ns);
+      ok = false;
+    }
+    if (!regen && *simd_ns > ceiling) {
+      std::fprintf(stderr,
+                   "FAIL %s: simd %.0f ns exceeds baseline %.0f ns x "
+                   "tolerance %.1f = %.0f ns\n",
+                   name->AsString().c_str(), *simd_ns, baseline_ns->AsDouble(),
+                   tolerance_factor, ceiling);
+      ok = false;
+    }
+    if (ok) {
+      std::fprintf(stderr, "ok   %s: speedup %.2fx (floor %.2fx), simd %.0f ns\n",
+                   name->AsString().c_str(), speedup, floor, *simd_ns);
+    } else {
+      ++failures;
+    }
+
+    if (regen) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("name", JsonValue::Str(name->AsString()));
+      entry.Set("scalar", JsonValue::Str(scalar_bench->AsString()));
+      entry.Set("simd", JsonValue::Str(simd_bench->AsString()));
+      entry.Set("min_speedup", JsonValue::Double(floor));
+      entry.Set("baseline_simd_ns", JsonValue::Double(*simd_ns));
+      regen_kernels.Add(std::move(entry));
+    }
+  }
+
+  if (regen) {
+    if (failures > 0) {
+      std::fprintf(stderr,
+                   "# regen aborted: %d kernel(s) fail their speedup floor\n",
+                   failures);
+      return 1;
+    }
+    JsonValue doc = JsonValue::Object();
+    doc.Set("schema", JsonValue::Str("bundlemine-kernel-baseline-v1"));
+    doc.Set("ns_tolerance_factor", JsonValue::Double(tolerance_factor));
+    doc.Set("kernels", std::move(regen_kernels));
+    std::ofstream out(baseline_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", baseline_path.c_str());
+      return 2;
+    }
+    out << doc.Dump(2) << "\n";
+    std::fprintf(stderr, "# baseline regenerated: %s\n", baseline_path.c_str());
+    return 0;
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "# kernel gate: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::fprintf(stderr, "# kernel gate: all %zu kernels pass\n",
+               kernels->size());
+  return 0;
+}
