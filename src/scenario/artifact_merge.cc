@@ -69,17 +69,27 @@ StatusOr<SweepResult> MergeSweepResults(const std::vector<SweepResult>& shards,
 
   const std::size_t grid = GridSize(merged.spec);
   if (by_index.size() != grid && !options.allow_partial) {
-    int first_missing = -1;
+    // Name every gap (capped): an orchestrator retry bug is diagnosable from
+    // this message alone — the listed indices are exactly the cells whose
+    // shard never landed.
+    constexpr std::size_t kMaxListed = 32;
+    std::string missing;
+    std::size_t num_missing = 0;
     for (int index = 0; index < static_cast<int>(grid); ++index) {
-      if (by_index.count(index) == 0) {
-        first_missing = index;
-        break;
+      if (by_index.count(index) != 0) continue;
+      if (num_missing < kMaxListed) {
+        if (!missing.empty()) missing += ", ";
+        missing += StrFormat("%d", index);
       }
+      ++num_missing;
+    }
+    if (num_missing > kMaxListed) {
+      missing += StrFormat(", … (+%zu more)", num_missing - kMaxListed);
     }
     return Status::InvalidArgument(
-        StrFormat("merged shards cover %zu of %zu grid cells (first missing "
-                  "index %d); pass allow_partial to keep a partial merge",
-                  by_index.size(), grid, first_missing));
+        StrFormat("merged shards cover %zu of %zu grid cells (missing cell "
+                  "indices: %s); pass allow_partial to keep a partial merge",
+                  by_index.size(), grid, missing.c_str()));
   }
 
   merged.cells.reserve(by_index.size());

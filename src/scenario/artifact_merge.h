@@ -38,7 +38,7 @@ struct MergeOptions {
 ///     message names the first differing aspect);
 ///   * two shards carry the same stable cell index (duplicate coverage);
 ///   * the union misses grid cells and `allow_partial` is off (the message
-///     counts the gap and names the first missing index).
+///     counts the gap and lists the missing cell indices, capped at 32).
 StatusOr<SweepResult> MergeSweepResults(const std::vector<SweepResult>& shards,
                                         const MergeOptions& options = {});
 

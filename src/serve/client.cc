@@ -20,7 +20,16 @@ Status WireClient::SendLine(const std::string& line) {
 StatusOr<std::string> WireClient::ReadLine() {
   std::string line;
   if (!stream_.ReadLine(&line)) {
+    if (stream_.read_timed_out()) {
+      return Status::DeadlineExceeded(
+          "call timeout expired before a response arrived");
+    }
     return Status::Unavailable("connection closed before a response arrived");
+  }
+  if (!stream_.last_line_framed()) {
+    // Bytes arrived but the connection died before the framing newline: a
+    // partial reply is a hangup, not a response.
+    return Status::Unavailable("connection closed mid-reply");
   }
   return line;
 }

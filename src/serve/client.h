@@ -22,9 +22,19 @@ class WireClient {
   /// UNAVAILABLE when the connection fails.
   static StatusOr<WireClient> Connect(const std::string& host, int port);
 
+  /// Caps how long a single Call/ReadLine may block on a silent server
+  /// (0 = forever, the default). With a timeout set, a read that expires
+  /// returns DEADLINE_EXCEEDED — distinct from the UNAVAILABLE a hangup
+  /// produces, so an orchestrator can tell a straggler from a corpse. The
+  /// cap applies per recv(), so a server dripping bytes can stretch a call
+  /// past it; the wire protocol's one-line replies make that a server bug,
+  /// not a client concern.
+  void set_call_timeout(double seconds) { stream_.set_recv_timeout(seconds); }
+
   /// Sends `line` (framing newline added) and reads the next response line.
-  /// UNAVAILABLE when the server hangs up first. The response may be a
-  /// protocol-level error document — CallJson surfaces that distinction.
+  /// UNAVAILABLE when the server hangs up first; DEADLINE_EXCEEDED when a
+  /// call timeout expired first. The response may be a protocol-level error
+  /// document — CallJson surfaces that distinction.
   StatusOr<std::string> Call(const std::string& line);
 
   /// Call + parse. INTERNAL on an unparsable response (a server bug — the

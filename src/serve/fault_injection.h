@@ -1,0 +1,226 @@
+// Client-side fault injection for the fleet orchestrator — the chaos layer
+// that lets orchestrator_test (and the CI chaos job, via the hidden
+// --fault-spec flag) drive every failure class through the real retry /
+// reassignment machinery without a flaky network to provide them.
+//
+// Faults are injected at the orchestrator's wire layer, never inside the
+// server: the worker processes stay byte-deterministic, and the orchestrator
+// must recover to an artifact cmp-identical to the unsharded run (or a typed
+// terminal error) no matter what the injector does to its view of the wire.
+//
+// Spec grammar (comma-separated rules):
+//
+//   <action>[:<param>]@shard<N>
+//
+//   drop@shard2           close the connection instead of reading the reply
+//   delay:250ms@shard4    sleep before reading the reply (straggler); also
+//                         accepts seconds ("1.5s")
+//   truncate@shard0       deliver only a prefix of the reply line
+//   corrupt@shard1        flip a byte of the reply line
+//   fail:3@shard2         synthetic UNAVAILABLE on the shard's first 3
+//                         attempts (no wire traffic at all)
+//   kill-worker:1@shard2  SIGKILL fleet worker 1 when shard 2 is first
+//                         dispatched (via the installed kill handler)
+//
+// Every rule fires on the shard's first attempt only, except fail:<K>
+// (first K attempts) — so a retry observes the fault exactly once and the
+// recovery path, not the fault, decides the outcome.
+
+#ifndef BUNDLEMINE_SERVE_FAULT_INJECTION_H_
+#define BUNDLEMINE_SERVE_FAULT_INJECTION_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace bundlemine {
+
+/// One parsed fault rule.
+struct FaultRule {
+  enum class Action { kDrop, kDelay, kTruncate, kCorrupt, kFail, kKillWorker };
+  Action action = Action::kDrop;
+  int shard = 0;               ///< Stable shard index the rule targets.
+  double delay_seconds = 0.0;  ///< kDelay only.
+  int fail_attempts = 1;       ///< kFail: attempts that fail synthetically.
+  int worker = -1;             ///< kKillWorker: fleet worker index to kill.
+  int fired = 0;               ///< Dispatches this rule has already hit.
+};
+
+/// What the injector wants done to one shard dispatch. Defaults = no fault.
+struct FaultDecision {
+  bool fail_before_send = false;   ///< Synthetic UNAVAILABLE, no wire traffic.
+  int kill_worker = -1;            ///< >= 0: invoke the kill handler first.
+  double delay_reply_seconds = 0;  ///< Sleep between send and read.
+  bool drop_connection = false;    ///< Close instead of reading the reply.
+  bool truncate_reply = false;     ///< Deliver only a prefix of the reply.
+  bool corrupt_reply = false;      ///< Flip a byte of the reply.
+};
+
+/// Parsed fault spec consulted at every shard dispatch. Thread-safe (worker
+/// threads dispatch concurrently); fire counts mutate under a lock. Movable
+/// (the lock lives behind a pointer) so Parse can return it by value.
+class FaultInjector {
+ public:
+  FaultInjector() : mu_(std::make_unique<std::mutex>()) {}
+
+  /// Parses the --fault-spec grammar above. INVALID_ARGUMENT names the
+  /// offending rule. An empty spec parses to an injector with no rules.
+  static StatusOr<FaultInjector> Parse(const std::string& spec) {
+    FaultInjector injector;
+    if (StripWhitespace(spec).empty()) return injector;
+    for (const std::string& token : Split(spec, ',')) {
+      const std::string rule_text = std::string(StripWhitespace(token));
+      if (rule_text.empty()) {
+        return Status::InvalidArgument("fault spec has an empty rule");
+      }
+      const std::size_t at = rule_text.rfind("@shard");
+      if (at == std::string::npos) {
+        return Status::InvalidArgument(StrFormat(
+            "fault rule '%s' needs an '@shard<N>' target", rule_text.c_str()));
+      }
+      FaultRule rule;
+      const auto shard = ParseInt(rule_text.substr(at + 6));
+      if (!shard || *shard < 0) {
+        return Status::InvalidArgument(StrFormat(
+            "fault rule '%s' has a bad shard index", rule_text.c_str()));
+      }
+      rule.shard = static_cast<int>(*shard);
+      std::string action = rule_text.substr(0, at);
+      std::string param;
+      if (const std::size_t colon = action.find(':');
+          colon != std::string::npos) {
+        param = action.substr(colon + 1);
+        action = action.substr(0, colon);
+      }
+      if (Status status = ParseAction(action, param, &rule); !status.ok()) {
+        return Status::InvalidArgument(StrFormat(
+            "fault rule '%s': %s", rule_text.c_str(),
+            status.message().c_str()));
+      }
+      injector.rules_.push_back(rule);
+    }
+    return injector;
+  }
+
+  bool empty() const { return rules_.empty(); }
+
+  /// Installs the callback kill-worker rules invoke (the tool SIGKILLs the
+  /// spawned process; tests inject their own). Without a handler the rule
+  /// degrades to a connection drop on the dispatching worker.
+  void set_kill_handler(std::function<void(int worker)> handler) {
+    kill_handler_ = std::move(handler);
+  }
+  const std::function<void(int)>& kill_handler() const { return kill_handler_; }
+
+  /// Consulted as shard `shard` begins attempt `attempt` (0-based). Marks
+  /// matching rules fired, so each rule hits its budgeted dispatches only.
+  FaultDecision OnDispatch(int shard, int attempt) {
+    FaultDecision decision;
+    std::lock_guard<std::mutex> lock(*mu_);
+    for (FaultRule& rule : rules_) {
+      if (rule.shard != shard) continue;
+      const int budget = rule.action == FaultRule::Action::kFail
+                             ? rule.fail_attempts
+                             : 1;
+      if (rule.fired >= budget || attempt >= budget) continue;
+      ++rule.fired;
+      switch (rule.action) {
+        case FaultRule::Action::kDrop:
+          decision.drop_connection = true;
+          break;
+        case FaultRule::Action::kDelay:
+          decision.delay_reply_seconds = rule.delay_seconds;
+          break;
+        case FaultRule::Action::kTruncate:
+          decision.truncate_reply = true;
+          break;
+        case FaultRule::Action::kCorrupt:
+          decision.corrupt_reply = true;
+          break;
+        case FaultRule::Action::kFail:
+          decision.fail_before_send = true;
+          break;
+        case FaultRule::Action::kKillWorker:
+          decision.kill_worker = rule.worker;
+          break;
+      }
+    }
+    return decision;
+  }
+
+  /// Total rule firings so far (run-report accounting).
+  int TotalFired() const {
+    std::lock_guard<std::mutex> lock(*mu_);
+    int fired = 0;
+    for (const FaultRule& rule : rules_) fired += rule.fired;
+    return fired;
+  }
+
+ private:
+  static Status ParseAction(const std::string& action, const std::string& param,
+                            FaultRule* rule) {
+    if (action == "drop" || action == "truncate" || action == "corrupt") {
+      if (!param.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("'%s' takes no parameter", action.c_str()));
+      }
+      rule->action = action == "drop"      ? FaultRule::Action::kDrop
+                     : action == "truncate" ? FaultRule::Action::kTruncate
+                                            : FaultRule::Action::kCorrupt;
+      return Status::Ok();
+    }
+    if (action == "delay") {
+      rule->action = FaultRule::Action::kDelay;
+      std::string_view text = param;
+      double scale = 1.0;
+      if (text.size() > 2 && text.substr(text.size() - 2) == "ms") {
+        scale = 1e-3;
+        text.remove_suffix(2);
+      } else if (!text.empty() && text.back() == 's') {
+        text.remove_suffix(1);
+      }
+      const auto value = ParseDouble(text);
+      if (!value || *value < 0) {
+        return Status::InvalidArgument(
+            "delay needs a duration like '250ms' or '1.5s'");
+      }
+      rule->delay_seconds = *value * scale;
+      return Status::Ok();
+    }
+    if (action == "fail") {
+      rule->action = FaultRule::Action::kFail;
+      const auto count = ParseInt(param);
+      if (!count || *count < 1) {
+        return Status::InvalidArgument("fail needs an attempt count >= 1");
+      }
+      rule->fail_attempts = static_cast<int>(*count);
+      return Status::Ok();
+    }
+    if (action == "kill-worker") {
+      rule->action = FaultRule::Action::kKillWorker;
+      const auto worker = ParseInt(param);
+      if (!worker || *worker < 0) {
+        return Status::InvalidArgument("kill-worker needs a worker index");
+      }
+      rule->worker = static_cast<int>(*worker);
+      return Status::Ok();
+    }
+    return Status::InvalidArgument(StrFormat(
+        "unknown fault action '%s' (drop, delay, truncate, corrupt, fail, "
+        "kill-worker)",
+        action.c_str()));
+  }
+
+  std::unique_ptr<std::mutex> mu_;
+  std::vector<FaultRule> rules_;
+  std::function<void(int)> kill_handler_;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_SERVE_FAULT_INJECTION_H_

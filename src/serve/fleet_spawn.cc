@@ -1,0 +1,141 @@
+#include "serve/fleet_spawn.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/client.h"
+#include "util/strings.h"
+
+namespace bundlemine {
+namespace {
+
+/// A mkstemp-backed path for the child's --port-file handshake.
+std::string TempPortFilePath() {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string templ = StrFormat("%s/bundlemined-port-XXXXXX",
+                                tmpdir != nullptr ? tmpdir : "/tmp");
+  std::vector<char> buffer(templ.begin(), templ.end());
+  buffer.push_back('\0');
+  const int fd = ::mkstemp(buffer.data());
+  if (fd < 0) return "";
+  ::close(fd);
+  return std::string(buffer.data());
+}
+
+}  // namespace
+
+StatusOr<SpawnedWorker> SpawnedWorker::Spawn(const SpawnOptions& options) {
+  const std::string port_file = TempPortFilePath();
+  if (port_file.empty()) {
+    return Status::Unavailable("cannot create a port handshake file");
+  }
+  // The child overwrites the file once listening; emptying it first makes
+  // "non-empty" the readiness signal.
+  { std::ofstream truncate(port_file, std::ios::trunc); }
+
+  const std::string port_flag = "--port=0";
+  const std::string port_file_flag = StrFormat("--port-file=%s", port_file.c_str());
+  const std::string workers_flag = StrFormat("--workers=%d", options.workers);
+  const std::string threads_flag =
+      StrFormat("--threads=%d", options.engine_threads);
+  const std::string queue_flag =
+      StrFormat("--queue-depth=%d", options.queue_depth);
+
+  const int pid = ::fork();
+  if (pid < 0) {
+    std::remove(port_file.c_str());
+    return Status::Unavailable("fork failed");
+  }
+  if (pid == 0) {
+    // Child: silence the daemon's stderr banner so test output stays clean,
+    // then exec. _exit (not exit) on failure: no flushing the parent's
+    // buffers twice.
+    std::freopen("/dev/null", "w", stderr);
+    ::execl(options.binary.c_str(), options.binary.c_str(), port_flag.c_str(),
+            port_file_flag.c_str(), workers_flag.c_str(), threads_flag.c_str(),
+            queue_flag.c_str(), static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+
+  SpawnedWorker worker;
+  worker.pid_ = pid;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(options.ready_timeout_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(port_file);
+    long long port = 0;
+    if (in >> port && port > 0) {
+      worker.port_ = static_cast<int>(port);
+      std::remove(port_file.c_str());
+      return worker;
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      worker.pid_ = -1;  // Child died before listening (exec failure, ...).
+      std::remove(port_file.c_str());
+      return Status::Unavailable(StrFormat(
+          "worker process '%s' exited before listening", options.binary.c_str()));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  worker.Kill();
+  std::remove(port_file.c_str());
+  return Status::Unavailable(StrFormat(
+      "worker '%s' not ready within %.1fs", options.binary.c_str(),
+      options.ready_timeout_seconds));
+}
+
+SpawnedWorker::SpawnedWorker(SpawnedWorker&& other) noexcept
+    : pid_(other.pid_), port_(other.port_) {
+  other.pid_ = -1;
+}
+
+SpawnedWorker& SpawnedWorker::operator=(SpawnedWorker&& other) noexcept {
+  if (this != &other) {
+    Kill();
+    pid_ = other.pid_;
+    port_ = other.port_;
+    other.pid_ = -1;
+  }
+  return *this;
+}
+
+SpawnedWorker::~SpawnedWorker() { Kill(); }
+
+void SpawnedWorker::Kill() {
+  if (pid_ <= 0) return;
+  ::kill(pid_, SIGKILL);
+  Reap();
+}
+
+void SpawnedWorker::Shutdown() {
+  if (pid_ <= 0) return;
+  StatusOr<WireClient> client = WireClient::Connect("127.0.0.1", port_);
+  if (client.ok()) {
+    client->set_call_timeout(10.0);
+    if (client->Call(R"({"kind":"shutdown"})").ok()) {
+      Reap();
+      return;
+    }
+  }
+  Kill();
+}
+
+void SpawnedWorker::Reap() {
+  if (pid_ <= 0) return;
+  int status = 0;
+  ::waitpid(pid_, &status, 0);
+  pid_ = -1;
+}
+
+}  // namespace bundlemine

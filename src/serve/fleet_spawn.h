@@ -1,0 +1,66 @@
+// Local fleet bring-up: fork/exec bundlemined worker processes on ephemeral
+// loopback ports and wait for readiness. Shared by the bundlemine_orchestrate
+// tool (--spawn=N) and orchestrator_test (real processes are the only way to
+// exercise worker *death* — an in-process server cannot be SIGKILLed).
+//
+// Readiness uses the daemon's --port-file handshake: the child binds port 0,
+// writes the chosen port to a temp file once listening, and Spawn polls that
+// file (bounded) before returning. Teardown is explicit: Shutdown() asks the
+// worker to drain over the wire, Kill() is the orchestrator-test murder
+// weapon (SIGKILL, no drain); the destructor falls back to Kill so a failed
+// test never leaks daemons.
+
+#ifndef BUNDLEMINE_SERVE_FLEET_SPAWN_H_
+#define BUNDLEMINE_SERVE_FLEET_SPAWN_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace bundlemine {
+
+struct SpawnOptions {
+  std::string binary;       ///< Path to the bundlemined executable.
+  int workers = 2;          ///< Daemon queue workers (--workers).
+  int engine_threads = 1;   ///< Engine solver threads (--threads).
+  int queue_depth = 64;     ///< Admission queue depth (--queue-depth).
+  double ready_timeout_seconds = 15.0;  ///< Port-file poll budget.
+};
+
+/// One spawned bundlemined process. Move-only; Kill+reap on destruction if
+/// still running.
+class SpawnedWorker {
+ public:
+  /// Forks and execs `options.binary --port=0 --port-file=<tmp>`, then
+  /// waits for the port file. UNAVAILABLE when the exec fails or the worker
+  /// never reports ready (the child is reaped either way).
+  static StatusOr<SpawnedWorker> Spawn(const SpawnOptions& options);
+
+  SpawnedWorker(SpawnedWorker&& other) noexcept;
+  SpawnedWorker& operator=(SpawnedWorker&& other) noexcept;
+  SpawnedWorker(const SpawnedWorker&) = delete;
+  SpawnedWorker& operator=(const SpawnedWorker&) = delete;
+  ~SpawnedWorker();
+
+  int port() const { return port_; }
+  int pid() const { return pid_; }
+  bool running() const { return pid_ > 0; }
+
+  /// SIGKILL + reap. Idempotent. The fault injector's kill handler.
+  void Kill();
+
+  /// Graceful stop: a {"kind":"shutdown"} request over the wire, then reap.
+  /// Falls back to Kill() when the worker no longer answers.
+  void Shutdown();
+
+ private:
+  SpawnedWorker() = default;
+  void Reap();
+
+  int pid_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_SERVE_FLEET_SPAWN_H_

@@ -12,8 +12,22 @@ void ServeMetrics::RecordResult(WireKind kind, bool ok, double seconds) {
   } else {
     ++counters.errors;
   }
+  // Control kinds answer inline without an admission, so their gauge never
+  // rose; only a queued kind's completion takes it back down.
+  if (counters.in_flight > 0) --counters.in_flight;
   counters.total_seconds += seconds;
   counters.max_seconds = std::max(counters.max_seconds, seconds);
+}
+
+void ServeMetrics::RecordAdmitted(WireKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_[static_cast<int>(kind)].in_flight;
+}
+
+void ServeMetrics::RecordAdmissionRollback(WireKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  KindCounters& counters = counters_[static_cast<int>(kind)];
+  if (counters.in_flight > 0) --counters.in_flight;
 }
 
 void ServeMetrics::RecordRejected(WireKind kind) {
@@ -44,6 +58,7 @@ JsonValue ServeMetrics::ToJson() const {
     entry.Set("ok", JsonValue::Int(counters.ok));
     entry.Set("errors", JsonValue::Int(counters.errors));
     entry.Set("rejected", JsonValue::Int(counters.rejected));
+    entry.Set("in_flight", JsonValue::Int(counters.in_flight));
     entry.Set("total_seconds", JsonValue::Double(counters.total_seconds));
     entry.Set("max_seconds", JsonValue::Double(counters.max_seconds));
     out.Set(WireKindName(static_cast<WireKind>(k)), std::move(entry));

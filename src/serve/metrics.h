@@ -22,7 +22,19 @@ class ServeMetrics {
  public:
   /// Records a completed request of `kind`: `ok` distinguishes success from
   /// a typed error response; `seconds` is admission-to-response latency.
+  /// Decrements the kind's in-flight gauge when one was admitted (control
+  /// kinds answer inline and never show up in flight).
   void RecordResult(WireKind kind, bool ok, double seconds);
+
+  /// Records that a request of `kind` was admitted (queued for a worker).
+  /// The kind's in-flight gauge rises until RecordResult — the signal a
+  /// fleet orchestrator's straggler detector reads to tell "busy working on
+  /// my shard" from "hung".
+  void RecordAdmitted(WireKind kind);
+
+  /// Rolls back RecordAdmitted for a request that failed admission after
+  /// the optimistic increment (queue overflow).
+  void RecordAdmissionRollback(WireKind kind);
 
   /// Records an admission rejection (queue full / draining) of `kind`.
   void RecordRejected(WireKind kind);
@@ -33,8 +45,9 @@ class ServeMetrics {
   /// Requests completed (ok + error) across all kinds.
   std::int64_t TotalCompleted() const;
 
-  /// {"ping":{"ok":...,"errors":...,"rejected":...,"total_seconds":...,
-  ///  "max_seconds":...}, ..., "parse_errors":N} with kinds in wire order.
+  /// {"ping":{"ok":...,"errors":...,"rejected":...,"in_flight":...,
+  ///  "total_seconds":...,"max_seconds":...}, ..., "parse_errors":N} with
+  ///  kinds in wire order.
   JsonValue ToJson() const;
 
  private:
@@ -42,6 +55,7 @@ class ServeMetrics {
     std::int64_t ok = 0;
     std::int64_t errors = 0;
     std::int64_t rejected = 0;
+    std::int64_t in_flight = 0;  ///< Admitted, not yet answered.
     double total_seconds = 0.0;
     double max_seconds = 0.0;
   };

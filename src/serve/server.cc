@@ -227,6 +227,7 @@ void BundleServer::Admit(WireRequest request,
             .Dump(0));
     return;
   }
+  metrics_.RecordAdmitted(kind);
   QueuedWork work;
   work.request = std::move(request);
   work.sink = sink;
@@ -236,6 +237,7 @@ void BundleServer::Admit(WireRequest request,
     std::lock_guard<std::mutex> lock(state_mu_);
     if (--outstanding_ == 0) drain_cv_.notify_all();
   }
+  metrics_.RecordAdmissionRollback(kind);
   metrics_.RecordRejected(kind);
   sink->WriteLine(
       ErrorResponseJson(id, Status::Unavailable(StrFormat(

@@ -26,6 +26,8 @@ Status ErrnoStatus(const char* what) {
 SocketStream::SocketStream(SocketStream&& other) noexcept
     : fd_(other.fd_),
       max_line_bytes_(other.max_line_bytes_),
+      read_timed_out_(other.read_timed_out_),
+      last_line_framed_(other.last_line_framed_),
       buffer_(std::move(other.buffer_)) {
   other.fd_ = -1;
 }
@@ -35,6 +37,8 @@ SocketStream& SocketStream::operator=(SocketStream&& other) noexcept {
     Close();
     fd_ = other.fd_;
     max_line_bytes_ = other.max_line_bytes_;
+    read_timed_out_ = other.read_timed_out_;
+    last_line_framed_ = other.last_line_framed_;
     buffer_ = std::move(other.buffer_);
     other.fd_ = -1;
   }
@@ -43,6 +47,8 @@ SocketStream& SocketStream::operator=(SocketStream&& other) noexcept {
 
 bool SocketStream::ReadLine(std::string* line) {
   line->clear();
+  read_timed_out_ = false;
+  last_line_framed_ = true;
   // Truncated prefix of a line that blew past max_line_bytes_; the rest of
   // that line is discarded as it streams in, so a newline-less flood costs
   // O(cap) memory, not O(flood).
@@ -76,8 +82,16 @@ bool SocketStream::ReadLine(std::string* line) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO expired. The peer may still be alive (straggling), so
+      // partial bytes stay buffered for a retried read instead of being
+      // flushed as a bogus "final line".
+      read_timed_out_ = true;
+      return false;
+    }
     break;  // Orderly EOF, error, or Shutdown(): flush any partial line.
   }
+  last_line_framed_ = false;  // Whatever we deliver below lacks its '\n'.
   if (overflowed) {
     buffer_.clear();  // Residue of the discarded tail, not a new line.
     line->swap(oversized);
@@ -95,6 +109,14 @@ void SocketStream::set_send_timeout(double seconds) {
   tv.tv_sec = static_cast<time_t>(seconds);
   tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
   ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void SocketStream::set_recv_timeout(double seconds) {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 bool SocketStream::WriteAll(std::string_view data) {

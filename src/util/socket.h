@@ -45,8 +45,28 @@ class SocketStream {
   /// Reads up to and including the next '\n', strips the terminator (and a
   /// preceding '\r'), and returns true. Returns false on end of stream —
   /// orderly close, error, or Shutdown() from another thread. A final line
-  /// without a terminator is delivered before EOF is reported.
+  /// without a terminator is delivered before EOF is reported — unless the
+  /// stream failed by *timeout* (see set_recv_timeout): a timed-out read
+  /// keeps any partial bytes buffered (the line is incomplete, not final)
+  /// and reports the distinction through read_timed_out().
   bool ReadLine(std::string* line);
+
+  /// Bounds how long a single recv() may block (0 = forever). With a
+  /// timeout set, ReadLine fails instead of blocking indefinitely on a peer
+  /// that stopped sending; read_timed_out() then distinguishes the expiry
+  /// from a hangup, which is what lets a client tell a straggling server
+  /// from a dead one.
+  void set_recv_timeout(double seconds);
+
+  /// True iff the last ReadLine returned false because the receive timeout
+  /// expired (rather than EOF/hangup). Reset by the next ReadLine.
+  bool read_timed_out() const { return read_timed_out_; }
+
+  /// True iff the line the last successful ReadLine delivered ended with a
+  /// '\n' terminator; false when it was an unterminated final line flushed
+  /// at EOF. Line-framed protocols use this to tell a complete message from
+  /// a peer that hung up mid-line.
+  bool last_line_framed() const { return last_line_framed_; }
 
   /// Bounds how long a single send() may block (0 = forever). With a
   /// timeout set, WriteAll fails instead of blocking indefinitely on a peer
@@ -70,6 +90,8 @@ class SocketStream {
  private:
   int fd_ = -1;
   std::size_t max_line_bytes_ = 0;
+  bool read_timed_out_ = false;
+  bool last_line_framed_ = true;
   std::string buffer_;  // Bytes read past the last returned line.
 };
 

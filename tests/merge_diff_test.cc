@@ -81,6 +81,12 @@ TEST(ArtifactMerge, RejectsIncompleteCoverageUnlessAllowed) {
   StatusOr<SweepResult> merged = MergeSweepResults({shard0});
   ASSERT_FALSE(merged.ok());
   EXPECT_NE(merged.status().message().find("cover"), std::string::npos);
+  // The message names every missing cell — shard 0 of 2 leaves exactly the
+  // odd indices of the 18-cell grid uncovered.
+  EXPECT_NE(merged.status().message().find(
+                "missing cell indices: 1, 3, 5, 7, 9, 11, 13, 15, 17"),
+            std::string::npos)
+      << merged.status().message();
 
   MergeOptions allow;
   allow.allow_partial = true;

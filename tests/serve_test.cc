@@ -6,6 +6,7 @@
 // leaves the connection serving, and shutdown draining every admitted
 // request before the server stops.
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -492,8 +493,62 @@ TEST(ServeTest, StatsCountersTrackTheSession) {
   EXPECT_EQ(requests->FindMember("solve")->FindMember("ok")->AsInt(), 1);
   EXPECT_EQ(requests->FindMember("solve")->FindMember("errors")->AsInt(), 1);
   EXPECT_EQ(requests->FindMember("parse_errors")->AsInt(), 1);
+  // The per-kind in-flight gauge (admitted minus completed) is what an
+  // orchestrator's straggler probe reads to tell "busy" from "hung"; with
+  // every call above answered, both queued kinds must read 0.
+  EXPECT_EQ(requests->FindMember("solve")->FindMember("in_flight")->AsInt(), 0);
+  EXPECT_EQ(requests->FindMember("sweep")->FindMember("in_flight")->AsInt(), 0);
   EXPECT_GE(stats->FindMember("dataset_cache")->FindMember("misses")->AsInt(),
             1);
+  server->RequestShutdown();
+  server->Wait();
+}
+
+TEST(ServeTest, InFlightGaugeIsVisibleWhileASweepRuns) {
+  ServeOptions options;
+  options.workers = 1;  // One queue worker: pipelined sweeps stay admitted.
+  std::unique_ptr<BundleServer> server = StartServer(options);
+  WireClient sweeper = ConnectTo(*server);
+  WireClient prober = ConnectTo(*server);
+
+  // Pipeline two sweeps without reading; both are admitted immediately, so
+  // the gauge holds >= 1 until the second one finishes.
+  ASSERT_TRUE(sweeper.SendLine(SweepLine(1, "")).ok());
+  ASSERT_TRUE(sweeper.SendLine(SweepLine(2, "")).ok());
+
+  // A concurrent stats probe must observe the in-flight work — this is the
+  // exact signal the orchestrator's straggler probe reads to distinguish a
+  // busy worker from a hung one.
+  std::int64_t max_in_flight = 0;
+  for (int i = 0; i < 2000; ++i) {
+    StatusOr<JsonValue> stats = prober.CallJson(R"({"kind":"stats"})");
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    const std::int64_t in_flight = stats->FindMember("stats")
+                                       ->FindMember("requests")
+                                       ->FindMember("sweep")
+                                       ->FindMember("in_flight")
+                                       ->AsInt();
+    max_in_flight = std::max(max_in_flight, in_flight);
+    const std::int64_t done = stats->FindMember("stats")
+                                  ->FindMember("requests")
+                                  ->FindMember("sweep")
+                                  ->FindMember("ok")
+                                  ->AsInt();
+    if (done == 2) break;
+  }
+  EXPECT_GE(max_in_flight, 1);
+
+  // Both replies arrive, and the drained gauge reads zero again.
+  ASSERT_TRUE(sweeper.ReadLine().ok());
+  ASSERT_TRUE(sweeper.ReadLine().ok());
+  StatusOr<JsonValue> stats = prober.CallJson(R"({"kind":"stats"})");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->FindMember("stats")
+                ->FindMember("requests")
+                ->FindMember("sweep")
+                ->FindMember("in_flight")
+                ->AsInt(),
+            0);
   server->RequestShutdown();
   server->Wait();
 }

@@ -4,13 +4,18 @@
 // cells. These are the properties the golden regression and the CI artifact
 // upload rely on.
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "scenario/artifact_writer.h"
 #include "scenario/scenario_spec.h"
 #include "scenario/sweep_runner.h"
 #include "sweep_test_util.h"
+#include "util/rng.h"
 
 namespace bundlemine {
 namespace {
@@ -100,6 +105,85 @@ TEST(SweepDeterminism, SeedChangesTheArtifact) {
   std::string base = RunToJson(spec, 1);
   spec.dataset.seed = 8;
   EXPECT_NE(base, RunToJson(spec, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Shard-boundary property: for any spec and any shard count, the shards
+// FilterShard produces must partition the expanded grid *exactly* — no cell
+// lost, no cell duplicated. This is the invariant the fleet orchestrator's
+// byte-identity contract stands on: MergeSweepResults can only reassemble
+// the unsharded artifact if the shard slices tile the grid.
+// ---------------------------------------------------------------------------
+
+TEST(SweepDeterminism, ShardsPartitionTheGridExactlyForRandomSpecs) {
+  // A pool of axes to draw random grids from, mixing the three axis
+  // families (problem knobs, dataset axes, method config).
+  const std::vector<ScenarioAxis> axis_pool = {
+      {AxisKind::kTheta, {-0.1, -0.05, 0.0, 0.05, 0.1}},
+      {AxisKind::kK, {2, 3, 4, 0}},
+      {AxisKind::kLambda, {1.0, 1.25, 1.5}},
+      {AxisKind::kLevels, {50, 100}},
+      {AxisKind::kNumUsers, {120, 220, 400}},
+      {AxisKind::kFreqSupport, {0.01, 0.02}},
+  };
+  const std::vector<std::string> method_pool = {
+      "components", "mixed-greedy", "pure-greedy", "mixed-matching",
+      "mixed-freq"};
+
+  Rng rng(20260808);
+  for (int trial = 0; trial < 25; ++trial) {
+    ScenarioSpec spec;
+    spec.name = "shard-partition-probe";
+    spec.dataset.profile = "tiny";
+    spec.dataset.seed = 7;
+    // 1-3 random distinct axes (a spec may not repeat an axis kind), each
+    // with a random non-empty prefix of its values.
+    std::vector<std::size_t> order(axis_pool.size());
+    for (std::size_t a = 0; a < order.size(); ++a) order[a] = a;
+    for (std::size_t a = 0; a < order.size(); ++a) {
+      std::swap(order[a],
+                order[a + rng.UniformU32(static_cast<std::uint32_t>(
+                               order.size() - a))]);
+    }
+    const int num_axes = rng.UniformInt(1, 3);
+    for (int a = 0; a < num_axes; ++a) {
+      ScenarioAxis axis = axis_pool[order[static_cast<std::size_t>(a)]];
+      axis.values.resize(static_cast<std::size_t>(
+          rng.UniformInt(1, static_cast<int>(axis.values.size()))));
+      spec.axes.push_back(std::move(axis));
+    }
+    // 1..all methods, drawn without replacement.
+    std::vector<std::string> methods = method_pool;
+    const std::size_t keep = static_cast<std::size_t>(
+        rng.UniformInt(1, static_cast<int>(methods.size())));
+    for (std::size_t m = 0; m < keep; ++m) {
+      std::swap(methods[m],
+                methods[m + rng.UniformU32(static_cast<std::uint32_t>(
+                                 methods.size() - m))]);
+    }
+    methods.resize(keep);
+    spec.methods = std::move(methods);
+
+    const std::vector<SweepCell> grid = ExpandGrid(spec);
+    ASSERT_FALSE(grid.empty());
+    for (int n = 1; n <= 8; ++n) {
+      std::vector<int> covered;  // Grid indices over all shards.
+      for (int i = 0; i < n; ++i) {
+        for (const SweepCell& cell : FilterShard(grid, i, n)) {
+          covered.push_back(cell.index);
+        }
+      }
+      // Exactly the full grid: same size, and (sorted) exactly 0..N-1 with
+      // no duplicates.
+      ASSERT_EQ(covered.size(), grid.size())
+          << "trial " << trial << " n=" << n;
+      std::sort(covered.begin(), covered.end());
+      for (std::size_t j = 0; j < covered.size(); ++j) {
+        ASSERT_EQ(covered[j], grid[j].index)
+            << "trial " << trial << " n=" << n << " position " << j;
+      }
+    }
+  }
 }
 
 }  // namespace

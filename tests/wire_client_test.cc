@@ -1,0 +1,172 @@
+// WireClient edge cases against a raw scripted peer (no BundleServer): the
+// orchestrator's failure policy leans on exactly three client behaviors —
+// a reply split across arbitrarily many writes still arrives whole, a
+// server hangup mid-reply is UNAVAILABLE (and never delivers the partial
+// line as if complete), and a call timeout is DEADLINE_EXCEEDED. Each case
+// scripts the server side of one TCP connection byte by byte.
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "serve/client.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace bundlemine {
+namespace {
+
+// One scripted exchange: a listener thread accepts a single connection and
+// runs `script` against it while the test drives the client side.
+class ScriptedServer {
+ public:
+  explicit ScriptedServer(std::function<void(SocketStream&)> script) {
+    StatusOr<ServerSocket> listener = ServerSocket::Listen(0);
+    EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+    listener_ = std::move(*listener);
+    thread_ = std::thread([this, script = std::move(script)] {
+      SocketStream peer = listener_.Accept();
+      if (peer.valid()) script(peer);
+    });
+  }
+
+  ~ScriptedServer() {
+    listener_.Close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  int port() const { return listener_.port(); }
+
+  WireClient Connect() {
+    StatusOr<WireClient> client = WireClient::Connect("127.0.0.1", port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+ private:
+  ServerSocket listener_;
+  std::thread thread_;
+};
+
+void Sleep(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+TEST(WireClientTest, ReassemblesAReplySplitAcrossManyWrites) {
+  const std::string reply = R"({"ok":true,"payload":"split across reads"})";
+  ScriptedServer server([&reply](SocketStream& peer) {
+    std::string line;
+    ASSERT_TRUE(peer.ReadLine(&line));
+    // Drip the reply in 5-byte fragments with pauses, so the client needs
+    // several recv() calls (and partial-buffer retention) per line.
+    for (std::size_t i = 0; i < reply.size(); i += 5) {
+      ASSERT_TRUE(peer.WriteAll(reply.substr(i, 5)));
+      Sleep(0.01);
+    }
+    ASSERT_TRUE(peer.WriteAll("\n"));
+  });
+
+  WireClient client = server.Connect();
+  StatusOr<std::string> response = client.Call(R"({"kind":"ping"})");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(*response, reply);
+}
+
+TEST(WireClientTest, ServerClosingMidReplyIsUnavailableNotAPartialLine) {
+  ScriptedServer server([](SocketStream& peer) {
+    std::string line;
+    ASSERT_TRUE(peer.ReadLine(&line));
+    // Half a reply, no newline, then hang up.
+    ASSERT_TRUE(peer.WriteAll(R"({"ok":true,"payl)"));
+    peer.Close();
+  });
+
+  WireClient client = server.Connect();
+  StatusOr<std::string> response = client.Call(R"({"kind":"ping"})");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(WireClientTest, CallTimeoutOnASilentServerIsDeadlineExceeded) {
+  ScriptedServer server([](SocketStream& peer) {
+    std::string line;
+    ASSERT_TRUE(peer.ReadLine(&line));
+    // Read the request, never answer; hold the connection open long enough
+    // for the client's timeout (not a hangup) to fire first.
+    Sleep(2.0);
+  });
+
+  WireClient client = server.Connect();
+  client.set_call_timeout(0.1);
+  StatusOr<std::string> response = client.Call(R"({"kind":"ping"})");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(WireClientTest, TimeoutAfterPartialBytesStillDeadlineNotPartialLine) {
+  ScriptedServer server([](SocketStream& peer) {
+    std::string line;
+    ASSERT_TRUE(peer.ReadLine(&line));
+    // Some of the reply arrives, then the server stalls past the timeout.
+    ASSERT_TRUE(peer.WriteAll(R"({"ok":true,)"));
+    Sleep(2.0);
+  });
+
+  WireClient client = server.Connect();
+  client.set_call_timeout(0.2);
+  StatusOr<std::string> response = client.Call(R"({"kind":"ping"})");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded)
+      << response.status().ToString();
+}
+
+TEST(WireClientTest, ReconnectAfterRefusedConnectionSucceeds) {
+  // Find a port with nothing listening by binding and closing a listener.
+  int dead_port = 0;
+  {
+    StatusOr<ServerSocket> listener = ServerSocket::Listen(0);
+    ASSERT_TRUE(listener.ok());
+    dead_port = listener->port();
+  }
+  StatusOr<WireClient> refused = WireClient::Connect("127.0.0.1", dead_port);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+
+  // The same caller can then connect to a live server — a failed connect
+  // poisons nothing (the orchestrator retries exactly this way).
+  ScriptedServer server([](SocketStream& peer) {
+    std::string line;
+    ASSERT_TRUE(peer.ReadLine(&line));
+    ASSERT_TRUE(peer.WriteLine(R"({"ok":true})"));
+  });
+  WireClient client = server.Connect();
+  StatusOr<std::string> response = client.Call(R"({"kind":"ping"})");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(*response, R"({"ok":true})");
+}
+
+// Table-driven sweep of the split points around the newline framing byte:
+// every prefix/suffix split of a framed reply must reassemble identically.
+TEST(WireClientTest, EverySplitPointOfAFramedReplyReassembles) {
+  const std::string framed = "{\"ok\":true,\"id\":7}\n";
+  for (std::size_t split = 1; split < framed.size(); ++split) {
+    ScriptedServer server([&framed, split](SocketStream& peer) {
+      std::string line;
+      ASSERT_TRUE(peer.ReadLine(&line));
+      ASSERT_TRUE(peer.WriteAll(framed.substr(0, split)));
+      Sleep(0.005);
+      ASSERT_TRUE(peer.WriteAll(framed.substr(split)));
+    });
+    WireClient client = server.Connect();
+    StatusOr<std::string> response = client.Call(R"({"kind":"ping"})");
+    ASSERT_TRUE(response.ok())
+        << "split=" << split << ": " << response.status().ToString();
+    EXPECT_EQ(*response, framed.substr(0, framed.size() - 1)) << split;
+  }
+}
+
+}  // namespace
+}  // namespace bundlemine

@@ -1,0 +1,210 @@
+// bundlemine_orchestrate — fan one scenario sweep out over a bundlemined
+// fleet and join the shard artifacts into a document byte-identical to the
+// unsharded `configurator_cli --sweep --json` run.
+//
+//   # Three locally spawned workers, six shards, merged artifact + report:
+//   ./bundlemine_orchestrate --spec=fig2-theta --spawn=3
+//       --out=merged.json --report=report.json
+//
+//   # An existing fleet (any mix with --spawn):
+//   ./bundlemine_orchestrate --spec=fig2-theta
+//       --workers=10.0.0.5:7077,10.0.0.6:7077
+//
+// The coordinator retries failed shards with capped exponential backoff,
+// steals from stragglers once the queue drains, retires workers that stop
+// answering, and fails with a typed terminal error when a shard is
+// unservable everywhere — never a silently partial artifact. The run report
+// ("bundlemine.orchestrate-report" v1) records every dispatch.
+//
+// Fleet indices: spawned workers come first (0..spawn-1), then --workers
+// endpoints in list order — the numbering --fault-spec kill-worker rules
+// and the run report use.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/artifact_writer.h"
+#include "serve/fault_injection.h"
+#include "serve/fleet_spawn.h"
+#include "serve/orchestrator.h"
+#include "util/flags.h"
+#include "util/strings.h"
+
+using namespace bundlemine;
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::fwrite(contents.data(), 1, contents.size(), file);
+  std::fclose(file);
+  return true;
+}
+
+// Default bundlemined path: a sibling of this binary (the build tree
+// layout), falling back to the bare name for PATH lookup semantics of exec.
+std::string SiblingBundlemined(const char* argv0) {
+  std::string path(argv0);
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "./bundlemined";
+  return path.substr(0, slash + 1) + "bundlemined";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  flags.Define("spec", "",
+               "scenario to sweep: preset name, @file, or inline "
+               "'key=value;...' text (required)");
+  flags.Define("workers", "",
+               "comma-separated host:port bundlemined endpoints");
+  flags.Define("spawn", "0", "bundlemined worker processes to fork locally");
+  flags.Define("bundlemined", "",
+               "bundlemined binary for --spawn (default: sibling of this "
+               "executable)");
+  flags.Define("shard-count", "0",
+               "shards to split the grid into (0 = twice the worker count)");
+  flags.Define("max-attempts", "4", "dispatch budget per shard");
+  flags.Define("shard-timeout", "60", "per-attempt reply budget in seconds");
+  flags.Define("steal-after", "1.0",
+               "idle workers duplicate a shard in flight longer than this "
+               "many seconds");
+  flags.Define("backoff", "0.05", "initial retry backoff in seconds");
+  flags.Define("backoff-cap", "2.0", "retry backoff ceiling in seconds");
+  flags.Define("worker-dead-after", "3",
+               "consecutive transport failures before a worker is retired");
+  flags.Define("threads", "0",
+               "engine threads requested per shard sweep (0 = worker default)");
+  flags.Define("spawn-workers", "2", "queue workers per spawned daemon");
+  flags.Define("out", "", "write the merged sweep artifact here");
+  flags.Define("report", "", "write the machine-readable run report here");
+  flags.Define("fault-spec", "",
+               "testing hook: injected faults, e.g. "
+               "'kill-worker:1@shard2,delay:250ms@shard4' (see "
+               "serve/fault_injection.h)");
+  flags.Parse(argc, argv);
+
+  const std::string spec = flags.GetString("spec");
+  if (spec.empty()) {
+    std::fprintf(stderr, "error: --spec is required\n");
+    return 2;
+  }
+
+  // Bring the fleet up: spawned processes first, then remote endpoints.
+  std::vector<std::unique_ptr<SpawnedWorker>> spawned;
+  std::vector<FleetWorker> fleet;
+  const int spawn = static_cast<int>(flags.GetInt("spawn"));
+  if (spawn > 0) {
+    SpawnOptions spawn_options;
+    spawn_options.binary = flags.GetString("bundlemined").empty()
+                               ? SiblingBundlemined(argv[0])
+                               : flags.GetString("bundlemined");
+    spawn_options.workers = static_cast<int>(flags.GetInt("spawn-workers"));
+    for (int i = 0; i < spawn; ++i) {
+      StatusOr<SpawnedWorker> worker = SpawnedWorker::Spawn(spawn_options);
+      if (!worker.ok()) {
+        std::fprintf(stderr, "error: %s\n", worker.status().ToString().c_str());
+        return 1;
+      }
+      spawned.push_back(
+          std::make_unique<SpawnedWorker>(std::move(*worker)));
+      fleet.push_back({"127.0.0.1", spawned.back()->port()});
+      std::fprintf(stderr, "spawned worker %d: 127.0.0.1:%d (pid %d)\n", i,
+                   spawned.back()->port(), spawned.back()->pid());
+    }
+  }
+  if (!flags.GetString("workers").empty()) {
+    for (const std::string& endpoint : Split(flags.GetString("workers"), ',')) {
+      const std::vector<std::string> parts = Split(endpoint, ':');
+      const auto port = parts.size() == 2 ? ParseInt(parts[1]) : std::nullopt;
+      if (!port || parts[0].empty()) {
+        std::fprintf(stderr, "error: bad --workers endpoint '%s'\n",
+                     endpoint.c_str());
+        return 2;
+      }
+      fleet.push_back({parts[0], static_cast<int>(*port)});
+    }
+  }
+
+  StatusOr<FaultInjector> faults =
+      FaultInjector::Parse(flags.GetString("fault-spec"));
+  if (!faults.ok()) {
+    std::fprintf(stderr, "error: %s\n", faults.status().ToString().c_str());
+    return 2;
+  }
+  // kill-worker rules murder spawned processes by fleet index; remote
+  // endpoints cannot be killed from here and the rule degrades to a drop.
+  faults->set_kill_handler([&spawned](int worker) {
+    if (worker >= 0 && worker < static_cast<int>(spawned.size())) {
+      std::fprintf(stderr, "fault-spec: killing worker %d (pid %d)\n", worker,
+                   spawned[static_cast<std::size_t>(worker)]->pid());
+      spawned[static_cast<std::size_t>(worker)]->Kill();
+    } else {
+      std::fprintf(stderr,
+                   "fault-spec: worker %d is not a spawned process; "
+                   "kill-worker ignored\n",
+                   worker);
+    }
+  });
+
+  OrchestratorOptions options;
+  options.shard_count = static_cast<int>(flags.GetInt("shard-count"));
+  options.max_attempts = static_cast<int>(flags.GetInt("max-attempts"));
+  options.shard_timeout_seconds = flags.GetDouble("shard-timeout");
+  options.steal_after_seconds = flags.GetDouble("steal-after");
+  options.backoff_initial_seconds = flags.GetDouble("backoff");
+  options.backoff_cap_seconds = flags.GetDouble("backoff-cap");
+  options.worker_dead_after =
+      static_cast<int>(flags.GetInt("worker-dead-after"));
+  options.request_threads = static_cast<int>(flags.GetInt("threads"));
+
+  FleetOrchestrator orchestrator(fleet, options,
+                                 faults->empty() ? nullptr : &*faults);
+  JsonValue failure_report;
+  StatusOr<OrchestrateResult> result =
+      orchestrator.Run(spec, &failure_report);
+
+  for (const std::unique_ptr<SpawnedWorker>& worker : spawned) {
+    worker->Shutdown();
+  }
+
+  const std::string report_path = flags.GetString("report");
+  if (!result.ok()) {
+    if (!report_path.empty() &&
+        failure_report.kind() == JsonValue::Kind::kObject) {
+      WriteFile(report_path, failure_report.Dump(2) + "\n");
+    }
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!report_path.empty() &&
+      !WriteFile(report_path, result->report.Dump(2) + "\n")) {
+    std::fprintf(stderr, "error: cannot write %s\n", report_path.c_str());
+    return 1;
+  }
+  const std::string out_path = flags.GetString("out");
+  if (!out_path.empty() && !WriteSweepArtifact(result->merged, out_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  if (out_path.empty()) {
+    std::fputs(SweepArtifactJson(result->merged).c_str(), stdout);
+  }
+
+  const JsonValue* totals = result->report.FindMember("totals");
+  std::fprintf(stderr,
+               "orchestrated %zu cells over %d workers: %lld retries, "
+               "%lld reassignments, %lld steals\n",
+               result->merged.cells.size(), static_cast<int>(fleet.size()),
+               static_cast<long long>(totals->FindMember("retries")->AsInt()),
+               static_cast<long long>(
+                   totals->FindMember("reassignments")->AsInt()),
+               static_cast<long long>(totals->FindMember("steals")->AsInt()));
+  return 0;
+}
