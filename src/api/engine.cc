@@ -53,7 +53,7 @@ std::shared_ptr<const RatingsDataset> Engine::DatasetFor(
   // Generation runs under the lock: concurrent batch requests for the same
   // key then materialize once instead of racing, and distinct keys are rare
   // enough per batch that the serialization is cheap relative to a solve.
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   for (auto it = cache_.begin(); it != cache_.end(); ++it) {
     if (it->key == key) {
       cache_.splice(cache_.begin(), cache_, it);  // Move to MRU position.
@@ -83,7 +83,7 @@ std::shared_ptr<const WtpMatrix> Engine::WtpFor(const DatasetSpec& spec,
       DatasetCacheKey(spec) + ";lambda=" + FormatDoubleShortest(lambda);
   // Derivation runs under the lock, mirroring DatasetFor: concurrent
   // requests for the same key derive once.
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   for (auto it = wtp_cache_.begin(); it != wtp_cache_.end(); ++it) {
     if (it->key == key) {
       wtp_cache_.splice(wtp_cache_.begin(), wtp_cache_, it);
@@ -103,17 +103,17 @@ std::shared_ptr<const WtpMatrix> Engine::WtpFor(const DatasetSpec& spec,
 }
 
 Engine::CacheStats Engine::dataset_cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   return CacheStats{cache_hits_, cache_misses_, cache_.size()};
 }
 
 Engine::CacheStats Engine::wtp_cache_stats() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   return CacheStats{wtp_cache_hits_, wtp_cache_misses_, wtp_cache_.size()};
 }
 
 void Engine::ClearDatasetCache() {
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   cache_.clear();
   wtp_cache_.clear();
 }
@@ -198,7 +198,7 @@ std::vector<StatusOr<SolveResponse>> Engine::SolveBatch(
   // worker ran it (mirroring the sweep runner's per-cell contract). Callers
   // wanting parallel candidate evaluation inside one big solve use Solve.
   // ParallelFor holds a single job slot, so bulk calls take the pool lock.
-  std::lock_guard<std::mutex> lock(pool_mu_);
+  MutexLock lock(pool_mu_);
   pool_->ParallelFor(requests.size(), [&](std::size_t index, int /*slot*/) {
     SolveRequest request = requests[index];
     request.options.threads = 1;
@@ -254,7 +254,7 @@ StatusOr<SweepResponse> Engine::Sweep(const SweepRequest& request) {
   // Otherwise spin up a request-local pool (results are identical either
   // way — width only affects wall time).
   if (runner_options.threads == options_.threads) {
-    std::lock_guard<std::mutex> lock(pool_mu_);
+    MutexLock lock(pool_mu_);
     response.result =
         RunSweepCells(request.spec, cells, *dataset, runner_options,
                       pool_.get(), provider, wtp_provider);

@@ -35,7 +35,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -48,7 +47,9 @@
 #include "data/wtp_matrix.h"
 #include "scenario/scenario_spec.h"
 #include "scenario/sweep_runner.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace bundlemine {
@@ -176,11 +177,11 @@ class Engine {
     std::int64_t misses = 0;
     std::size_t entries = 0;
   };
-  CacheStats dataset_cache_stats() const;
-  CacheStats wtp_cache_stats() const;
+  CacheStats dataset_cache_stats() const EXCLUDES(cache_mu_);
+  CacheStats wtp_cache_stats() const EXCLUDES(cache_mu_);
   /// Drops both caches (datasets and derived WTP matrices); counters keep
   /// accumulating.
-  void ClearDatasetCache();
+  void ClearDatasetCache() EXCLUDES(cache_mu_);
 
   const Options& options() const { return options_; }
 
@@ -197,7 +198,8 @@ class Engine {
   // Returns the cached dataset for `spec`, materializing (and inserting) on
   // a miss. `hit` (optional) reports whether the cache served it.
   std::shared_ptr<const RatingsDataset> DatasetFor(const DatasetSpec& spec,
-                                                   bool* hit = nullptr);
+                                                   bool* hit = nullptr)
+      EXCLUDES(cache_mu_);
 
   // Returns the WTP matrix derived from `dataset` (the materialization of
   // `spec`) at `lambda`, served through the λ-keyed WTP cache. FromRatings
@@ -205,25 +207,27 @@ class Engine {
   // to fresh derivations.
   std::shared_ptr<const WtpMatrix> WtpFor(const DatasetSpec& spec,
                                           const RatingsDataset& dataset,
-                                          double lambda);
+                                          double lambda) EXCLUDES(cache_mu_);
 
   int EffectiveThreads(const RequestOptions& options) const {
     return options.threads > 0 ? options.threads : options_.threads;
   }
 
   Options options_;
-  std::unique_ptr<ThreadPool> pool_;
   /// Serializes Sweep/SolveBatch use of `pool_`: ParallelFor keeps one job
   /// slot, so concurrent bulk calls must take turns on the shared pool.
-  std::mutex pool_mu_;
+  Mutex pool_mu_;
+  std::unique_ptr<ThreadPool> pool_ GUARDED_BY(pool_mu_);
 
-  mutable std::mutex cache_mu_;
-  std::list<CacheEntry> cache_;  // Front = most recently used.
-  std::int64_t cache_hits_ = 0;
-  std::int64_t cache_misses_ = 0;
-  std::list<WtpCacheEntry> wtp_cache_;  // Front = most recently used.
-  std::int64_t wtp_cache_hits_ = 0;
-  std::int64_t wtp_cache_misses_ = 0;
+  mutable Mutex cache_mu_;
+  /// Front = most recently used.
+  std::list<CacheEntry> cache_ GUARDED_BY(cache_mu_);
+  std::int64_t cache_hits_ GUARDED_BY(cache_mu_) = 0;
+  std::int64_t cache_misses_ GUARDED_BY(cache_mu_) = 0;
+  /// Front = most recently used.
+  std::list<WtpCacheEntry> wtp_cache_ GUARDED_BY(cache_mu_);
+  std::int64_t wtp_cache_hits_ GUARDED_BY(cache_mu_) = 0;
+  std::int64_t wtp_cache_misses_ GUARDED_BY(cache_mu_) = 0;
 };
 
 /// Stable cache key of a dataset reference: profile, seed, generator

@@ -71,6 +71,8 @@ void RegisterBuiltins(BundlerRegistry* registry) {
 
 BundlerRegistry& BundlerRegistry::Global() {
   static BundlerRegistry* registry = [] {
+    // Leaked on purpose: the registry must outlive every static-destruction
+    //-order user. lint-allow(naked-new)
     auto* r = new BundlerRegistry();
     RegisterBuiltins(r);
     return r;
@@ -81,7 +83,7 @@ BundlerRegistry& BundlerRegistry::Global() {
 void BundlerRegistry::Register(const std::string& key, Entry entry) {
   BM_CHECK_MSG(entry.factory != nullptr, "registry entry needs a factory");
   auto [it, inserted] = entries_.emplace(key, std::move(entry));
-  (void)it;
+  (void)it;  // Only the insertion verdict matters here.
   BM_CHECK_MSG(inserted, "duplicate method key registration");
 }
 

@@ -110,6 +110,7 @@ std::string AxisKindDescription(AxisKind kind) {
 
 const std::vector<AxisKind>& AllAxisKinds() {
   static const std::vector<AxisKind>* kinds = [] {
+    // Leaked on purpose (static-destruction-order safety). lint-allow(naked-new)
     auto* all = new std::vector<AxisKind>();
     for (int k = 0; k < kNumAxisKinds; ++k) {
       all->push_back(static_cast<AxisKind>(k));
@@ -557,13 +558,13 @@ std::vector<ScenarioSpec> MakeBuiltins() {
 }  // namespace
 
 const std::vector<std::string>& KnownDatasetProfiles() {
-  static const std::vector<std::string>* profiles =
+  static const std::vector<std::string>* profiles =  // lint-allow(naked-new)
       new std::vector<std::string>{"tiny", "small", "medium", "paper"};
   return *profiles;
 }
 
 const std::vector<ScenarioSpec>& BuiltinScenarios() {
-  static const std::vector<ScenarioSpec>* presets =
+  static const std::vector<ScenarioSpec>* presets =  // lint-allow(naked-new)
       new std::vector<ScenarioSpec>(MakeBuiltins());
   return *presets;
 }

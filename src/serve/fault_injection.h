@@ -31,12 +31,14 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/strings.h"
+#include "util/thread_annotations.h"
 
 namespace bundlemine {
 
@@ -61,12 +63,81 @@ struct FaultDecision {
   bool corrupt_reply = false;      ///< Flip a byte of the reply.
 };
 
+/// The rules plus their firing state, behind one lock. Non-movable so the
+/// lock discipline is expressible to the thread-safety analysis; the movable
+/// FaultInjector wrapper below shares one of these.
+class FaultState {
+ public:
+  FaultState() = default;
+  FaultState(const FaultState&) = delete;
+  FaultState& operator=(const FaultState&) = delete;
+
+  void AddRule(const FaultRule& rule) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    rules_.push_back(rule);
+  }
+
+  bool Empty() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return rules_.empty();
+  }
+
+  /// Consulted as shard `shard` begins attempt `attempt` (0-based). Marks
+  /// matching rules fired, so each rule hits its budgeted dispatches only.
+  FaultDecision OnDispatch(int shard, int attempt) EXCLUDES(mu_) {
+    FaultDecision decision;
+    MutexLock lock(mu_);
+    for (FaultRule& rule : rules_) {
+      if (rule.shard != shard) continue;
+      const int budget = rule.action == FaultRule::Action::kFail
+                             ? rule.fail_attempts
+                             : 1;
+      if (rule.fired >= budget || attempt >= budget) continue;
+      ++rule.fired;
+      switch (rule.action) {
+        case FaultRule::Action::kDrop:
+          decision.drop_connection = true;
+          break;
+        case FaultRule::Action::kDelay:
+          decision.delay_reply_seconds = rule.delay_seconds;
+          break;
+        case FaultRule::Action::kTruncate:
+          decision.truncate_reply = true;
+          break;
+        case FaultRule::Action::kCorrupt:
+          decision.corrupt_reply = true;
+          break;
+        case FaultRule::Action::kFail:
+          decision.fail_before_send = true;
+          break;
+        case FaultRule::Action::kKillWorker:
+          decision.kill_worker = rule.worker;
+          break;
+      }
+    }
+    return decision;
+  }
+
+  /// Total rule firings so far (run-report accounting).
+  int TotalFired() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    int fired = 0;
+    for (const FaultRule& rule : rules_) fired += rule.fired;
+    return fired;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<FaultRule> rules_ GUARDED_BY(mu_);
+};
+
 /// Parsed fault spec consulted at every shard dispatch. Thread-safe (worker
-/// threads dispatch concurrently); fire counts mutate under a lock. Movable
-/// (the lock lives behind a pointer) so Parse can return it by value.
+/// threads dispatch concurrently); fire counts mutate under FaultState's
+/// lock. Movable (the locked state lives behind a shared_ptr) so Parse can
+/// return it by value.
 class FaultInjector {
  public:
-  FaultInjector() : mu_(std::make_unique<std::mutex>()) {}
+  FaultInjector() : state_(std::make_shared<FaultState>()) {}
 
   /// Parses the --fault-spec grammar above. INVALID_ARGUMENT names the
   /// offending rule. An empty spec parses to an injector with no rules.
@@ -102,12 +173,12 @@ class FaultInjector {
             "fault rule '%s': %s", rule_text.c_str(),
             status.message().c_str()));
       }
-      injector.rules_.push_back(rule);
+      injector.state_->AddRule(rule);
     }
     return injector;
   }
 
-  bool empty() const { return rules_.empty(); }
+  bool empty() const { return state_->Empty(); }
 
   /// Installs the callback kill-worker rules invoke (the tool SIGKILLs the
   /// spawned process; tests inject their own). Without a handler the rule
@@ -117,49 +188,13 @@ class FaultInjector {
   }
   const std::function<void(int)>& kill_handler() const { return kill_handler_; }
 
-  /// Consulted as shard `shard` begins attempt `attempt` (0-based). Marks
-  /// matching rules fired, so each rule hits its budgeted dispatches only.
+  /// See FaultState::OnDispatch.
   FaultDecision OnDispatch(int shard, int attempt) {
-    FaultDecision decision;
-    std::lock_guard<std::mutex> lock(*mu_);
-    for (FaultRule& rule : rules_) {
-      if (rule.shard != shard) continue;
-      const int budget = rule.action == FaultRule::Action::kFail
-                             ? rule.fail_attempts
-                             : 1;
-      if (rule.fired >= budget || attempt >= budget) continue;
-      ++rule.fired;
-      switch (rule.action) {
-        case FaultRule::Action::kDrop:
-          decision.drop_connection = true;
-          break;
-        case FaultRule::Action::kDelay:
-          decision.delay_reply_seconds = rule.delay_seconds;
-          break;
-        case FaultRule::Action::kTruncate:
-          decision.truncate_reply = true;
-          break;
-        case FaultRule::Action::kCorrupt:
-          decision.corrupt_reply = true;
-          break;
-        case FaultRule::Action::kFail:
-          decision.fail_before_send = true;
-          break;
-        case FaultRule::Action::kKillWorker:
-          decision.kill_worker = rule.worker;
-          break;
-      }
-    }
-    return decision;
+    return state_->OnDispatch(shard, attempt);
   }
 
   /// Total rule firings so far (run-report accounting).
-  int TotalFired() const {
-    std::lock_guard<std::mutex> lock(*mu_);
-    int fired = 0;
-    for (const FaultRule& rule : rules_) fired += rule.fired;
-    return fired;
-  }
+  int TotalFired() const { return state_->TotalFired(); }
 
  private:
   static Status ParseAction(const std::string& action, const std::string& param,
@@ -216,8 +251,9 @@ class FaultInjector {
         action.c_str()));
   }
 
-  std::unique_ptr<std::mutex> mu_;
-  std::vector<FaultRule> rules_;
+  /// The lock and rule state. Never null.
+  std::shared_ptr<FaultState> state_;
+  /// Installed before Run spawns workers, then read-only — not guarded.
   std::function<void(int)> kill_handler_;
 };
 

@@ -5,7 +5,7 @@
 namespace bundlemine {
 
 void ServeMetrics::RecordResult(WireKind kind, bool ok, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   KindCounters& counters = counters_[static_cast<int>(kind)];
   if (ok) {
     ++counters.ok;
@@ -20,28 +20,28 @@ void ServeMetrics::RecordResult(WireKind kind, bool ok, double seconds) {
 }
 
 void ServeMetrics::RecordAdmitted(WireKind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++counters_[static_cast<int>(kind)].in_flight;
 }
 
 void ServeMetrics::RecordAdmissionRollback(WireKind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   KindCounters& counters = counters_[static_cast<int>(kind)];
   if (counters.in_flight > 0) --counters.in_flight;
 }
 
 void ServeMetrics::RecordRejected(WireKind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++counters_[static_cast<int>(kind)].rejected;
 }
 
 void ServeMetrics::RecordParseError() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++parse_errors_;
 }
 
 std::int64_t ServeMetrics::TotalCompleted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::int64_t total = 0;
   for (const KindCounters& counters : counters_) {
     total += counters.ok + counters.errors;
@@ -50,7 +50,7 @@ std::int64_t ServeMetrics::TotalCompleted() const {
 }
 
 JsonValue ServeMetrics::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue out = JsonValue::Object();
   for (int k = 0; k < kNumKinds; ++k) {
     const KindCounters& counters = counters_[k];

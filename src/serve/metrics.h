@@ -10,10 +10,11 @@
 #define BUNDLEMINE_SERVE_METRICS_H_
 
 #include <cstdint>
-#include <mutex>
 
 #include "serve/protocol.h"
 #include "util/json.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bundlemine {
 
@@ -24,31 +25,31 @@ class ServeMetrics {
   /// a typed error response; `seconds` is admission-to-response latency.
   /// Decrements the kind's in-flight gauge when one was admitted (control
   /// kinds answer inline and never show up in flight).
-  void RecordResult(WireKind kind, bool ok, double seconds);
+  void RecordResult(WireKind kind, bool ok, double seconds) EXCLUDES(mu_);
 
   /// Records that a request of `kind` was admitted (queued for a worker).
   /// The kind's in-flight gauge rises until RecordResult — the signal a
   /// fleet orchestrator's straggler detector reads to tell "busy working on
   /// my shard" from "hung".
-  void RecordAdmitted(WireKind kind);
+  void RecordAdmitted(WireKind kind) EXCLUDES(mu_);
 
   /// Rolls back RecordAdmitted for a request that failed admission after
   /// the optimistic increment (queue overflow).
-  void RecordAdmissionRollback(WireKind kind);
+  void RecordAdmissionRollback(WireKind kind) EXCLUDES(mu_);
 
   /// Records an admission rejection (queue full / draining) of `kind`.
-  void RecordRejected(WireKind kind);
+  void RecordRejected(WireKind kind) EXCLUDES(mu_);
 
   /// Records a line that failed ParseWireRequest (no kind to attribute).
-  void RecordParseError();
+  void RecordParseError() EXCLUDES(mu_);
 
   /// Requests completed (ok + error) across all kinds.
-  std::int64_t TotalCompleted() const;
+  std::int64_t TotalCompleted() const EXCLUDES(mu_);
 
   /// {"ping":{"ok":...,"errors":...,"rejected":...,"in_flight":...,
   ///  "total_seconds":...,"max_seconds":...}, ..., "parse_errors":N} with
   ///  kinds in wire order.
-  JsonValue ToJson() const;
+  JsonValue ToJson() const EXCLUDES(mu_);
 
  private:
   struct KindCounters {
@@ -62,9 +63,9 @@ class ServeMetrics {
 
   static constexpr int kNumKinds = 5;
 
-  mutable std::mutex mu_;
-  KindCounters counters_[kNumKinds];
-  std::int64_t parse_errors_ = 0;
+  mutable Mutex mu_;
+  KindCounters counters_[kNumKinds] GUARDED_BY(mu_);
+  std::int64_t parse_errors_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace bundlemine

@@ -72,17 +72,22 @@ StatusOr<OrchestrateResult> FleetOrchestrator::Run(
                         : 2 * static_cast<int>(workers_.size());
   shard_count = std::max(1, std::min(shard_count, grid));
 
-  const Clock::time_point now = Clock::now();
-  shards_.assign(static_cast<std::size_t>(shard_count), ShardState{});
-  for (ShardState& shard : shards_) {
-    shard.not_before = now;
-    shard.last_dispatch = now;
+  {
+    // No worker threads exist yet; the lock is for the analysis (and costs
+    // nothing uncontended).
+    MutexLock lock(mu_);
+    const Clock::time_point now = Clock::now();
+    shards_.assign(static_cast<std::size_t>(shard_count), ShardState{});
+    for (ShardState& shard : shards_) {
+      shard.not_before = now;
+      shard.last_dispatch = now;
+    }
+    worker_states_.assign(workers_.size(), WorkerState{});
+    completed_ = 0;
+    live_workers_ = static_cast<int>(workers_.size());
+    aborted_ = false;
+    terminal_ = Status::Ok();
   }
-  worker_states_.assign(workers_.size(), WorkerState{});
-  completed_ = 0;
-  live_workers_ = static_cast<int>(workers_.size());
-  aborted_ = false;
-  terminal_ = Status::Ok();
 
   std::vector<std::thread> threads;
   threads.reserve(workers_.size());
@@ -92,14 +97,19 @@ StatusOr<OrchestrateResult> FleetOrchestrator::Run(
   for (std::thread& thread : threads) thread.join();
 
   JsonValue report = BuildReport(timer.Seconds());
-  if (aborted_) {
-    if (failure_report != nullptr) *failure_report = report;
-    return terminal_;
-  }
-
   std::vector<SweepResult> slices;
-  slices.reserve(shards_.size());
-  for (ShardState& shard : shards_) slices.push_back(std::move(*shard.result));
+  {
+    // Workers are joined; the lock is again for the analysis.
+    MutexLock lock(mu_);
+    if (aborted_) {
+      if (failure_report != nullptr) *failure_report = report;
+      return terminal_;
+    }
+    slices.reserve(shards_.size());
+    for (ShardState& shard : shards_) {
+      slices.push_back(std::move(*shard.result));
+    }
+  }
   StatusOr<SweepResult> merged = MergeSweepResults(slices);
   if (!merged.ok()) {
     // Unreachable when the scheduler is correct (every shard completed);
@@ -127,7 +137,7 @@ void FleetOrchestrator::WorkerLoop(int worker) {
 
 std::optional<FleetOrchestrator::Dispatch> FleetOrchestrator::AcquireShard(
     int worker) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
     if (aborted_ || completed_ == static_cast<int>(shards_.size()) ||
         worker_states_[worker].retired) {
@@ -194,7 +204,7 @@ std::optional<FleetOrchestrator::Dispatch> FleetOrchestrator::AcquireShard(
       ++worker_states_[worker].dispatched;
       return dispatch;
     }
-    cv_.wait_until(lock, wake);
+    cv_.WaitUntil(mu_, wake);
   }
 }
 
@@ -346,7 +356,7 @@ double FleetOrchestrator::BackoffSeconds(int attempts_so_far) const {
 void FleetOrchestrator::CompleteAttempt(int worker, const Dispatch& dispatch,
                                         AttemptOutcome outcome,
                                         double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ShardState& shard = shards_[static_cast<std::size_t>(dispatch.shard)];
   WorkerState& state = worker_states_[static_cast<std::size_t>(worker)];
   --shard.in_flight;
@@ -430,11 +440,11 @@ void FleetOrchestrator::CompleteAttempt(int worker, const Dispatch& dispatch,
     }
   }
   shard.log.push_back(std::move(record));
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 JsonValue FleetOrchestrator::BuildReport(double wall_seconds) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue out = JsonValue::Object();
   out.Set("schema", JsonValue::Str("bundlemine.orchestrate-report"));
   out.Set("schema_version", JsonValue::Int(1));

@@ -40,8 +40,6 @@
 #define BUNDLEMINE_SERVE_ORCHESTRATOR_H_
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -50,7 +48,9 @@
 #include "scenario/sweep_runner.h"
 #include "serve/fault_injection.h"
 #include "util/json.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace bundlemine {
 
@@ -166,17 +166,17 @@ class FleetOrchestrator {
     bool stolen = false;
   };
 
-  void WorkerLoop(int worker);
+  void WorkerLoop(int worker) EXCLUDES(mu_);
   /// Blocks for the next shard this worker should run; nullopt when the
   /// worker should exit (run finished, aborted, or this worker retired).
-  std::optional<Dispatch> AcquireShard(int worker);
+  std::optional<Dispatch> AcquireShard(int worker) EXCLUDES(mu_);
   AttemptOutcome ExecuteAttempt(int worker, int shard, int attempt);
   void CompleteAttempt(int worker, const Dispatch& dispatch,
-                       AttemptOutcome outcome, double seconds);
+                       AttemptOutcome outcome, double seconds) EXCLUDES(mu_);
   /// Stats-probe `worker` after a timeout: "busy" / "idle" / "unreachable".
   std::string ProbeWorker(int worker);
   double BackoffSeconds(int attempts_so_far) const;
-  JsonValue BuildReport(double wall_seconds) const;
+  JsonValue BuildReport(double wall_seconds) const EXCLUDES(mu_);
 
   std::vector<FleetWorker> workers_;
   OrchestratorOptions options_;
@@ -184,14 +184,14 @@ class FleetOrchestrator {
 
   std::string wire_spec_;  // Canonical spec text sent to workers.
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<ShardState> shards_;
-  std::vector<WorkerState> worker_states_;
-  int completed_ = 0;
-  int live_workers_ = 0;
-  bool aborted_ = false;
-  Status terminal_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<ShardState> shards_ GUARDED_BY(mu_);
+  std::vector<WorkerState> worker_states_ GUARDED_BY(mu_);
+  int completed_ GUARDED_BY(mu_) = 0;
+  int live_workers_ GUARDED_BY(mu_) = 0;
+  bool aborted_ GUARDED_BY(mu_) = false;
+  Status terminal_ GUARDED_BY(mu_);
 };
 
 }  // namespace bundlemine

@@ -46,7 +46,7 @@ template <std::size_t N>
 Status CheckFields(const JsonValue& object, const char* what,
                    const char* const (&fields)[N], bool allow_common) {
   for (const auto& [key, unused] : object.members()) {
-    (void)unused;
+    (void)unused;  // Structured binding; only the keys are inspected.
     if (Listed(key, fields)) continue;
     if (allow_common && Listed(key, kCommonFields)) continue;
     return Status::InvalidArgument(

@@ -27,7 +27,7 @@ class SocketSink : public ResponseSink {
   }
 
   void WriteLine(const std::string& line) override {
-    std::lock_guard<std::mutex> lock(write_mu_);
+    MutexLock lock(write_mu_);
     if (dead_) return;
     if (!stream_.WriteLine(line)) {
       // Peer gone or write timed out: cut the connection so its read loop
@@ -41,22 +41,28 @@ class SocketSink : public ResponseSink {
   /// writers by POSIX socket semantics).
   bool ReadLine(std::string* line) { return stream_.ReadLine(line); }
 
-  /// Unblocks the read loop from another thread.
-  void Shutdown() { stream_.Shutdown(); }
+  /// Unblocks the read loop from another thread. Takes the write lock: the
+  /// connection thread may be releasing the fd (CloseStream) concurrently,
+  /// and shutdown(2) on a recycled descriptor would hit a stranger's socket.
+  void Shutdown() EXCLUDES(write_mu_) {
+    MutexLock lock(write_mu_);
+    if (dead_) return;
+    stream_.Shutdown();
+  }
 
   /// Releases the fd once the read loop is done. Serialized against
   /// writers; responses still in flight then drop instead of touching a
   /// recycled descriptor.
   void CloseStream() {
-    std::lock_guard<std::mutex> lock(write_mu_);
+    MutexLock lock(write_mu_);
     dead_ = true;
     stream_.Close();
   }
 
  private:
   SocketStream stream_;
-  std::mutex write_mu_;
-  bool dead_ = false;  // Guarded by write_mu_.
+  Mutex write_mu_;
+  bool dead_ GUARDED_BY(write_mu_) = false;
 };
 
 namespace {
@@ -69,14 +75,14 @@ class StreamSink : public ResponseSink {
   explicit StreamSink(std::ostream& out) : out_(out) {}
 
   void WriteLine(const std::string& line) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out_ << line << '\n';
     out_.flush();
   }
 
  private:
   std::ostream& out_;
-  std::mutex mu_;
+  Mutex mu_;
 };
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
@@ -132,7 +138,7 @@ void BundleServer::AcceptLoop() {
     SocketStream stream = listener_.Accept();
     if (!stream.valid()) break;  // Listener shut down: server is stopping.
     auto connection = std::make_shared<SocketSink>(std::move(stream));
-    std::lock_guard<std::mutex> lock(connections_mu_);
+    MutexLock lock(connections_mu_);
     // A connection that raced past the listener shutdown is cut immediately
     // — its thread still starts, sees EOF, and exits.
     if (connections_closed_) connection->Shutdown();
@@ -153,10 +159,10 @@ void BundleServer::ConnectionLoop(std::shared_ptr<SocketSink> connection) {
     HandleLine(line, connection);
   }
   connection->CloseStream();
-  std::lock_guard<std::mutex> lock(connections_mu_);
+  MutexLock lock(connections_mu_);
   connections_.erase(
       std::find(connections_.begin(), connections_.end(), connection));
-  if (--active_connections_ == 0) connections_done_cv_.notify_all();
+  if (--active_connections_ == 0) connections_done_cv_.NotifyAll();
 }
 
 void BundleServer::ServeStream(std::istream& in, std::ostream& out) {
@@ -212,7 +218,7 @@ void BundleServer::Admit(WireRequest request,
   const std::optional<std::int64_t> id = request.id;
   bool draining = false;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     draining = draining_;
     // Counted before the push so a concurrent shutdown drains this request;
     // rolled back if admission fails.
@@ -234,8 +240,8 @@ void BundleServer::Admit(WireRequest request,
   work.admitted = std::chrono::steady_clock::now();
   if (queue_.TryPush(std::move(work))) return;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
-    if (--outstanding_ == 0) drain_cv_.notify_all();
+    MutexLock lock(state_mu_);
+    if (--outstanding_ == 0) drain_cv_.NotifyAll();
   }
   metrics_.RecordAdmissionRollback(kind);
   metrics_.RecordRejected(kind);
@@ -249,8 +255,8 @@ void BundleServer::Admit(WireRequest request,
 void BundleServer::WorkerLoop() {
   while (std::optional<QueuedWork> work = queue_.Pop()) {
     ProcessQueued(std::move(*work));
-    std::lock_guard<std::mutex> lock(state_mu_);
-    if (--outstanding_ == 0) drain_cv_.notify_all();
+    MutexLock lock(state_mu_);
+    if (--outstanding_ == 0) drain_cv_.NotifyAll();
   }
 }
 
@@ -316,10 +322,10 @@ void BundleServer::DrainAndStop(const std::optional<std::int64_t>& id,
   listener_.Shutdown();  // No new connections (no-op in pipe mode).
   std::int64_t drained = 0;
   {
-    std::unique_lock<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     draining_ = true;  // New solve/sweep admissions now answer "draining".
     drained = outstanding_;
-    drain_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    while (outstanding_ != 0) drain_cv_.Wait(state_mu_);
   }
   queue_.Close();  // Queue is empty; workers exit their Pop loops.
   if (sink != nullptr) {
@@ -327,36 +333,36 @@ void BundleServer::DrainAndStop(const std::optional<std::int64_t>& id,
     metrics_.RecordResult(WireKind::kShutdown, true, timer.Seconds());
   }
   {
-    std::lock_guard<std::mutex> lock(connections_mu_);
+    MutexLock lock(connections_mu_);
     connections_closed_ = true;
     for (const std::shared_ptr<SocketSink>& connection : connections_) {
       connection->Shutdown();  // Unblock every connection read loop.
     }
   }
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     stopped_ = true;
   }
-  stopped_cv_.notify_all();
+  stopped_cv_.NotifyAll();
 }
 
 void BundleServer::RequestShutdown() { DrainAndStop(std::nullopt, nullptr); }
 
 bool BundleServer::stopped() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return stopped_;
 }
 
 void BundleServer::Wait() {
   {
-    std::unique_lock<std::mutex> lock(state_mu_);
-    stopped_cv_.wait(lock, [this] { return stopped_; });
+    MutexLock lock(state_mu_);
+    while (!stopped_) stopped_cv_.Wait(state_mu_);
   }
   JoinThreads();
 }
 
 void BundleServer::JoinThreads() {
-  std::lock_guard<std::mutex> join_lock(join_mu_);
+  MutexLock join_lock(join_mu_);
   if (joined_) return;
   joined_ = true;
   if (accept_thread_.joinable()) accept_thread_.join();
@@ -366,8 +372,8 @@ void BundleServer::JoinThreads() {
   // The accept thread has exited, so no new connections spawn; wait for the
   // detached connection threads (their sockets are already shut down) to
   // finish touching server state.
-  std::unique_lock<std::mutex> lock(connections_mu_);
-  connections_done_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  MutexLock lock(connections_mu_);
+  while (active_connections_ != 0) connections_done_cv_.Wait(connections_mu_);
 }
 
 JsonValue BundleServer::StatsJson() {
@@ -383,7 +389,7 @@ JsonValue BundleServer::StatsJson() {
              JsonValue::Int(static_cast<std::int64_t>(workers_.size())));
   server.Set("engine_threads", JsonValue::Int(engine_.options().threads));
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     server.Set("in_flight", JsonValue::Int(outstanding_));
     server.Set("draining", JsonValue::Bool(draining_));
   }

@@ -36,11 +36,9 @@
 #define BUNDLEMINE_SERVE_SERVER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <istream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -50,7 +48,9 @@
 #include "serve/metrics.h"
 #include "serve/protocol.h"
 #include "util/bounded_queue.h"
+#include "util/mutex.h"
 #include "util/socket.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace bundlemine {
@@ -134,8 +134,8 @@ class BundleServer {
                     const std::shared_ptr<ResponseSink>& sink);
   void AcceptLoop();
   void ConnectionLoop(std::shared_ptr<class SocketSink> connection);
-  void JoinThreads();
-  bool stopped() const;
+  void JoinThreads() EXCLUDES(join_mu_, connections_mu_);
+  bool stopped() const EXCLUDES(state_mu_);
 
   ServeOptions options_;
   Engine engine_;
@@ -147,23 +147,28 @@ class BundleServer {
   ServerSocket listener_;
   std::thread accept_thread_;
 
-  std::mutex connections_mu_;
+  Mutex connections_mu_;
   /// Live connections only: a connection thread erases its own entry (and
-  /// closes its fd) when the peer hangs up. All guarded by connections_mu_.
-  std::vector<std::shared_ptr<class SocketSink>> connections_;
-  std::int64_t active_connections_ = 0;       ///< Latch for JoinThreads.
-  std::condition_variable connections_done_cv_;
-  bool connections_closed_ = false;
+  /// closes its fd) when the peer hangs up.
+  std::vector<std::shared_ptr<class SocketSink>> connections_
+      GUARDED_BY(connections_mu_);
+  /// Latch for JoinThreads.
+  std::int64_t active_connections_ GUARDED_BY(connections_mu_) = 0;
+  CondVar connections_done_cv_;
+  bool connections_closed_ GUARDED_BY(connections_mu_) = false;
 
-  mutable std::mutex state_mu_;
-  std::condition_variable drain_cv_;    ///< outstanding_ reached 0.
-  std::condition_variable stopped_cv_;  ///< stopped_ became true.
-  std::int64_t outstanding_ = 0;  ///< Admitted solve/sweep awaiting response.
-  bool draining_ = false;         ///< Admissions closed; drain in progress.
-  bool stopped_ = false;          ///< Drain finished; server is down.
+  mutable Mutex state_mu_;
+  CondVar drain_cv_;    ///< outstanding_ reached 0.
+  CondVar stopped_cv_;  ///< stopped_ became true.
+  /// Admitted solve/sweep awaiting response.
+  std::int64_t outstanding_ GUARDED_BY(state_mu_) = 0;
+  /// Admissions closed; drain in progress.
+  bool draining_ GUARDED_BY(state_mu_) = false;
+  /// Drain finished; server is down.
+  bool stopped_ GUARDED_BY(state_mu_) = false;
 
-  std::mutex join_mu_;
-  bool joined_ = false;
+  Mutex join_mu_;
+  bool joined_ GUARDED_BY(join_mu_) = false;
 };
 
 }  // namespace bundlemine

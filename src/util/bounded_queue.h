@@ -11,12 +11,13 @@
 #ifndef BUNDLEMINE_UTIL_BOUNDED_QUEUE_H_
 #define BUNDLEMINE_UTIL_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bundlemine {
 
@@ -30,21 +31,21 @@ class BoundedQueue {
   explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
 
   /// Admits `value` unless the queue is full or closed. Never blocks.
-  bool TryPush(T value) {
+  bool TryPush(T value) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
     }
-    ready_cv_.notify_one();
+    ready_cv_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available (FIFO order) or the queue is closed
   /// and drained, which yields std::nullopt.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    ready_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  std::optional<T> Pop() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (!closed_ && items_.empty()) ready_cv_.Wait(mu_);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -53,30 +54,30 @@ class BoundedQueue {
 
   /// Fails all future pushes and wakes blocked poppers; already-admitted
   /// items still drain. Idempotent.
-  void Close() {
+  void Close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    ready_cv_.notify_all();
+    ready_cv_.NotifyAll();
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return items_.size();
   }
   std::size_t capacity() const { return capacity_; }
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return closed_;
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable ready_cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar ready_cv_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace bundlemine

@@ -1,0 +1,94 @@
+// Annotated locking primitives: the repo's only mutex.
+//
+// Clang's thread-safety analysis (util/thread_annotations.h) can only track
+// capability types it can see annotations on, and libstdc++'s std::mutex /
+// std::lock_guard carry none — so all concurrent code here locks through
+// these thin wrappers instead. They add nothing at runtime (every method is
+// a direct forward to the std primitive); what they add at compile time is
+// the ability to write GUARDED_BY(mu_) on data and REQUIRES(mu_) on
+// functions and have `-Wthread-safety -Werror` enforce them in CI.
+//
+// CondVar deliberately has no predicate-taking Wait: the analysis cannot
+// look inside a lambda to see that the guarded reads happen under the lock,
+// so waiters write the standard explicit loop, which it can check:
+//
+//   MutexLock lock(mu_);
+//   while (!condition) cv_.Wait(mu_);
+
+#ifndef BUNDLEMINE_UTIL_MUTEX_H_
+#define BUNDLEMINE_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace bundlemine {
+
+/// std::mutex with capability annotations. Non-reentrant.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for a Mutex (the std::lock_guard of this layer).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex at each wait. Waits require the lock
+/// held (checked); notifies do not take it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, reacquires before returning. Spurious
+  /// wakeups happen: always wait in a predicate loop.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim so the Mutex wrapper keeps it.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Wait with a wall-clock ceiling; returns false on timeout. Same
+  /// lock-held contract as Wait.
+  bool WaitUntil(Mutex& mu,
+                 std::chrono::steady_clock::time_point deadline) REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_UTIL_MUTEX_H_

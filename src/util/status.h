@@ -39,7 +39,12 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// An error code plus a human-readable, single-line message.
-class Status {
+///
+/// [[nodiscard]] at class level: every function returning a Status (or
+/// StatusOr) is implicitly must-use — an ignored error is a discarded
+/// failure. The rare intentional discard writes `(void)expr;` with a
+/// comment saying why (tools/bundlemine_lint.cc audits those too).
+class [[nodiscard]] Status {
  public:
   /// Default-constructed Status is OK.
   Status() = default;
@@ -79,7 +84,7 @@ class Status {
 /// non-OK Status yields an error holder, constructing from a T yields a
 /// success holder (an OK Status with no value is a caller bug).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // NOLINTNEXTLINE(google-explicit-constructor): mirrors absl::StatusOr.
   StatusOr(Status status) : status_(std::move(status)) {

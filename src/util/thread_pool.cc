@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -26,16 +26,16 @@ void ThreadPool::WorkerLoop(int slot) {
   while (true) {
     const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+      MutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen) work_cv_.Wait(mu_);
       if (shutdown_) return;
       seen = generation_;
       job = job_;
     }
     (*job)(slot);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--active_ == 0) done_cv_.notify_all();
+      MutexLock lock(mu_);
+      if (--active_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -55,15 +55,15 @@ void ThreadPool::ParallelFor(
     }
   };
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &job;
     active_ = num_workers();
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   job(0);  // The calling thread participates as slot 0.
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return active_ == 0; });
+  MutexLock lock(mu_);
+  while (active_ != 0) done_cv_.Wait(mu_);
   job_ = nullptr;
 }
 

@@ -12,13 +12,14 @@
 #define BUNDLEMINE_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace bundlemine {
 
@@ -46,19 +47,21 @@ class ThreadPool {
   /// within one call — callers use it to index per-thread workspaces. `fn`
   /// must be safe to invoke concurrently for distinct indices.
   void ParallelFor(std::size_t n,
-                   const std::function<void(std::size_t index, int slot)>& fn);
+                   const std::function<void(std::size_t index, int slot)>& fn)
+      EXCLUDES(mu_);
 
  private:
-  void WorkerLoop(int slot);
+  void WorkerLoop(int slot) EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int slot)>* job_ = nullptr;  // Guarded by mu_.
-  std::uint64_t generation_ = 0;                        // Bumped per job.
-  int active_ = 0;                                      // Workers still in job.
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  /// The job workers run; set for the duration of one ParallelFor.
+  const std::function<void(int slot)>* job_ GUARDED_BY(mu_) = nullptr;
+  std::uint64_t generation_ GUARDED_BY(mu_) = 0;  ///< Bumped per job.
+  int active_ GUARDED_BY(mu_) = 0;                ///< Workers still in job.
+  bool shutdown_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace bundlemine

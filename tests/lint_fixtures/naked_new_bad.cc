@@ -1,0 +1,12 @@
+// Fixture: raw ownership outside util/.
+struct Widget {
+  int size = 0;
+};
+
+Widget* Make() {
+  return new Widget();
+}
+
+void Unmake(Widget* widget) {
+  delete widget;
+}

@@ -1,0 +1,24 @@
+// Fixture: smart-pointer ownership, deleted functions, operator overloads,
+// and an allowlisted leak.
+#include <memory>
+#include <new>
+
+struct Widget {
+  int size = 0;
+  Widget(const Widget&) = delete;
+  Widget& operator=(const Widget&) = delete;
+  Widget() = default;
+};
+
+void* operator new(std::size_t size);
+void operator delete(void* ptr) noexcept;
+
+std::unique_ptr<Widget> Make() {
+  return std::make_unique<Widget>();
+}
+
+Widget* LeakySingleton() {
+  // Leaked on purpose: outlives static destruction. lint-allow(naked-new)
+  static Widget* widget = new Widget();
+  return widget;
+}

@@ -1,0 +1,22 @@
+// Fixture: ambient entropy in solver code — every flavor the rule names.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int UnseededDraw() {
+  return rand() % 7;
+}
+
+unsigned EntropyDraw() {
+  std::random_device device;
+  return device();
+}
+
+long WallSeed() {
+  return time(nullptr);
+}
+
+long WallClockNow() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,18 @@
+// Fixture: the sanctioned forms — seeded draws and steady_clock timing.
+#include <chrono>
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t Next() { return state = state * 6364136223846793005ULL + 1; }
+};
+
+std::uint64_t SeededDraw(Rng& rng) { return rng.Next(); }
+
+long MonotonicNow() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// Mentions in comments (rand(), std::random_device, system_clock) and
+// strings are not code:
+const char* kDoc = "never call rand() or read system_clock here";

@@ -1,0 +1,10 @@
+// Fixture: a constructed Status dropped on the floor.
+namespace bundlemine {
+struct Status {
+  static Status Internal(const char*) { return Status(); }
+};
+}  // namespace bundlemine
+
+void ForgetsTheError() {
+  bundlemine::Status::Internal("queue full");
+}

@@ -1,0 +1,19 @@
+// Fixture: constructed Statuses that are returned or bound, plus a wrapped
+// assignment whose continuation line looks like a bare statement.
+namespace bundlemine {
+struct Status {
+  static Status Internal(const char*) { return Status(); }
+  static Status Unavailable(const char*) { return Status(); }
+  bool ok() const { return false; }
+};
+}  // namespace bundlemine
+
+bundlemine::Status ReturnsIt() {
+  return bundlemine::Status::Internal("propagated");
+}
+
+bool BindsIt() {
+  bundlemine::Status status =
+      bundlemine::Status::Unavailable("bound on the previous line");
+  return status.ok();
+}

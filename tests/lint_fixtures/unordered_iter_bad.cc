@@ -1,0 +1,15 @@
+// Fixture: iteration order of an unordered container leaking out.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int SumValues(const std::unordered_map<std::string, int>& scores) {
+  int total = 0;
+  for (const auto& entry : scores) total += entry.second;
+  return total;
+}
+
+int FirstElement() {
+  std::unordered_set<int> seen = {1, 2, 3};
+  return *seen.begin();
+}

@@ -1,0 +1,20 @@
+// Fixture: unordered containers used for membership only; iteration happens
+// over ordered structures.
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+bool Dedup(const std::vector<int>& items) {
+  std::unordered_set<int> seen;
+  for (int item : items) {
+    if (!seen.insert(item).second) return true;
+  }
+  return false;
+}
+
+int SumSorted(const std::map<std::string, int>& scores) {
+  int total = 0;
+  for (const auto& entry : scores) total += entry.second;
+  return total;
+}

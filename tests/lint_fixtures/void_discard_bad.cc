@@ -1,0 +1,6 @@
+// Fixture: a silent (void) discard — no justification anywhere near it.
+int ComputeThing();
+
+void Discards() {
+  (void)ComputeThing();
+}

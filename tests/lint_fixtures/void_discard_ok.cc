@@ -1,0 +1,11 @@
+// Fixture: every (void) discard carries its why.
+int ComputeThing();
+
+void SameLineComment() {
+  (void)ComputeThing();  // Warm the cache; the value itself is unused.
+}
+
+void LineAboveComment() {
+  // Warm the cache; the value itself is unused.
+  (void)ComputeThing();
+}

@@ -1,0 +1,149 @@
+// bundlemine_lint pinned against its fixtures: one positive and one negative
+// file per rule, exact rule IDs and exit codes, and — the gate that matters —
+// the real tree (src/ tools/ bench/) is clean. A rule that silently stops
+// firing turns the CI lint job into a rubber stamp; the *_bad fixtures exist
+// so that failure mode shows up here first.
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace bundlemine {
+namespace {
+
+#ifndef BUNDLEMINE_LINT_PATH
+#error "BUNDLEMINE_LINT_PATH must point at the bundlemine_lint binary"
+#endif
+#ifndef BUNDLEMINE_SOURCE_DIR
+#error "BUNDLEMINE_SOURCE_DIR must point at the repo root"
+#endif
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun RunLint(const std::string& args) {
+  const std::string command =
+      std::string(BUNDLEMINE_LINT_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << command;
+  LintRun run;
+  if (pipe == nullptr) return run;
+  std::array<char, 4096> buffer;
+  std::size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    run.output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+std::string FixturePath(const std::string& name) {
+  return std::string(BUNDLEMINE_SOURCE_DIR) + "/tests/lint_fixtures/" + name;
+}
+
+int CountOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+struct RuleCase {
+  const char* rule;
+  const char* bad_fixture;
+  const char* ok_fixture;
+  int expected_findings;  // In the bad fixture.
+};
+
+constexpr RuleCase kRules[] = {
+    {"raw-random", "raw_random_bad.cc", "raw_random_ok.cc", 4},
+    {"unordered-iter", "unordered_iter_bad.cc", "unordered_iter_ok.cc", 2},
+    {"status-discard", "status_discard_bad.cc", "status_discard_ok.cc", 1},
+    {"void-discard", "void_discard_bad.cc", "void_discard_ok.cc", 1},
+    {"naked-new", "naked_new_bad.cc", "naked_new_ok.cc", 2},
+};
+
+TEST(LintTest, EachRuleFiresOnItsBadFixtureWithExitOne) {
+  for (const RuleCase& rule_case : kRules) {
+    SCOPED_TRACE(rule_case.rule);
+    LintRun run = RunLint(FixturePath(rule_case.bad_fixture));
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    EXPECT_EQ(CountOccurrences(run.output, std::string(rule_case.rule) + ": "),
+              rule_case.expected_findings)
+        << run.output;
+    // Diagnostics carry file:line anchors.
+    EXPECT_NE(run.output.find(std::string(rule_case.bad_fixture) + ":"),
+              std::string::npos)
+        << run.output;
+  }
+}
+
+TEST(LintTest, EachRuleStaysQuietOnItsOkFixtureWithExitZero) {
+  for (const RuleCase& rule_case : kRules) {
+    SCOPED_TRACE(rule_case.rule);
+    LintRun run = RunLint(FixturePath(rule_case.ok_fixture));
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+    EXPECT_TRUE(run.output.empty()) << run.output;
+  }
+}
+
+TEST(LintTest, NoRuleBleedsIntoAnotherRulesFixture) {
+  // Each bad fixture trips exactly its own rule — a regex loosened too far
+  // shows up as a foreign rule id here.
+  for (const RuleCase& rule_case : kRules) {
+    SCOPED_TRACE(rule_case.bad_fixture);
+    LintRun run = RunLint(FixturePath(rule_case.bad_fixture));
+    for (const RuleCase& other : kRules) {
+      if (other.rule == rule_case.rule) continue;
+      EXPECT_EQ(run.output.find(std::string(other.rule) + ": "),
+                std::string::npos)
+          << "rule " << other.rule << " fired on " << rule_case.bad_fixture
+          << ":\n"
+          << run.output;
+    }
+  }
+}
+
+TEST(LintTest, AllowMarkerSuppressesExactlyItsRule) {
+  // naked_new_ok.cc's leaky singleton carries lint-allow(naked-new); the
+  // quiet run above proves suppression works. Prove the marker is load-
+  // bearing: the same code minus markers (naked_new_bad.cc) fires.
+  LintRun bad = RunLint(FixturePath("naked_new_bad.cc"));
+  EXPECT_EQ(bad.exit_code, 1);
+  LintRun ok = RunLint(FixturePath("naked_new_ok.cc"));
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+}
+
+TEST(LintTest, MissingPathIsAUsageError) {
+  LintRun run = RunLint(FixturePath("does_not_exist.cc"));
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+TEST(LintTest, NoArgumentsIsAUsageError) {
+  LintRun run = RunLint("");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+TEST(LintTest, RealTreeIsClean) {
+  const std::string root(BUNDLEMINE_SOURCE_DIR);
+  LintRun run =
+      RunLint(root + "/src " + root + "/tools " + root + "/bench");
+  EXPECT_EQ(run.exit_code, 0)
+      << "the tree has lint findings (fix them or add a justified "
+         "lint-allow):\n"
+      << run.output;
+}
+
+}  // namespace
+}  // namespace bundlemine

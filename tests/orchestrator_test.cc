@@ -27,6 +27,21 @@
 namespace bundlemine {
 namespace {
 
+// TSan instrumentation slows cell solves by roughly an order of magnitude;
+// timing-window tests scale their budgets so "delayed past the timeout"
+// keeps meaning the injected delay, not an honestly slow solve.
+#if defined(__SANITIZE_THREAD__)
+constexpr double kTimeScale = 10.0;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr double kTimeScale = 10.0;
+#else
+constexpr double kTimeScale = 1.0;
+#endif
+#else
+constexpr double kTimeScale = 1.0;
+#endif
+
 constexpr const char* kTinySpecText =
     "scale=tiny;seed=7;methods=components,mixed-greedy;axis:theta=-0.05,0,0.05";
 
@@ -233,9 +248,11 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(OrchestratorTest, ReplyDelayedPastTimeoutIsRetriedAfterDeadline) {
   Fleet fleet(2);
   OrchestratorOptions options = FastOptions();
-  options.shard_timeout_seconds = 0.4;
+  options.shard_timeout_seconds = 0.4 * kTimeScale;
   // The injected delay outlasts the attempt budget deterministically.
-  FaultInjector faults = MustParse("delay:1200ms@shard1");
+  FaultInjector faults = MustParse(
+      "delay:" + std::to_string(static_cast<int>(1200 * kTimeScale)) +
+      "ms@shard1");
   FleetOrchestrator orchestrator(fleet.endpoints(), options, &faults);
   StatusOr<OrchestrateResult> result = orchestrator.Run(kTinySpecText);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -263,10 +280,12 @@ TEST(OrchestratorTest, IdleWorkerStealsFromAStraggler) {
   Fleet fleet(2);
   OrchestratorOptions options = FastOptions();
   options.shard_count = 2;
-  options.steal_after_seconds = 0.15;
+  options.steal_after_seconds = 0.15 * kTimeScale;
   // Shard 0's first attempt sleeps well past the steal window while shard 1
   // finishes, so the idle worker must duplicate shard 0 and win the race.
-  FaultInjector faults = MustParse("delay:2500ms@shard0");
+  FaultInjector faults = MustParse(
+      "delay:" + std::to_string(static_cast<int>(2500 * kTimeScale)) +
+      "ms@shard0");
   FleetOrchestrator orchestrator(fleet.endpoints(), options, &faults);
   StatusOr<OrchestrateResult> result = orchestrator.Run(kTinySpecText);
   ASSERT_TRUE(result.ok()) << result.status().ToString();

@@ -34,8 +34,11 @@ class ScriptedServer {
   }
 
   ~ScriptedServer() {
-    listener_.Close();
+    // Wake a pending Accept without touching the fd (Close would race the
+    // accept thread's read of it); the fd is released after the join.
+    listener_.Shutdown();
     if (thread_.joinable()) thread_.join();
+    listener_.Close();
   }
 
   int port() const { return listener_.port(); }
