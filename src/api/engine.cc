@@ -8,6 +8,7 @@
 #include "core/bundler_registry.h"
 #include "data/generator.h"
 #include "data/wtp_matrix.h"
+#include "market/market_stream.h"
 #include "util/json.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -79,8 +80,13 @@ std::shared_ptr<const WtpMatrix> Engine::WtpFor(const DatasetSpec& spec,
   // dataset serves many λ points (lambda-axis sweeps), each with its own
   // derived matrix. FormatDoubleShortest round-trips, so distinct λ never
   // collide.
-  const std::string key =
-      DatasetCacheKey(spec) + ";lambda=" + FormatDoubleShortest(lambda);
+  return WtpForKey(DatasetCacheKey(spec) + ";lambda=" + FormatDoubleShortest(lambda),
+                   dataset, lambda);
+}
+
+std::shared_ptr<const WtpMatrix> Engine::WtpForKey(const std::string& key,
+                                                   const RatingsDataset& dataset,
+                                                   double lambda) {
   // Derivation runs under the lock, mirroring DatasetFor: concurrent
   // requests for the same key derive once.
   MutexLock lock(cache_mu_);
@@ -110,6 +116,11 @@ Engine::CacheStats Engine::dataset_cache_stats() const {
 Engine::CacheStats Engine::wtp_cache_stats() const {
   MutexLock lock(cache_mu_);
   return CacheStats{wtp_cache_hits_, wtp_cache_misses_, wtp_cache_.size()};
+}
+
+Engine::CacheStats Engine::resolve_cache_stats() const {
+  MutexLock lock(resolve_mu_);
+  return CacheStats{resolve_hits_, resolve_misses_, resolve_cache_.size()};
 }
 
 void Engine::ClearDatasetCache() {
@@ -264,6 +275,160 @@ StatusOr<SweepResponse> Engine::Sweep(const SweepRequest& request) {
                       provider, wtp_provider);
   }
   response.result.wall_seconds = timer.Seconds();
+  return response;
+}
+
+StatusOr<std::shared_ptr<const RatingsDataset>> Engine::Dataset(
+    const DatasetSpec& spec) {
+  if (Status profile = ValidateDatasetProfile(spec.profile); !profile.ok()) {
+    return profile;
+  }
+  if (spec.lambda <= 0.0) {
+    return Status::InvalidArgument("dataset lambda must be positive");
+  }
+  return DatasetFor(spec);
+}
+
+StatusOr<ResolveResponse> Engine::Resolve(const ResolveRequest& request) {
+  if (request.market == nullptr) {
+    return Status::InvalidArgument("ResolveRequest needs a market stream");
+  }
+  std::string diagnostic;
+  if (!ValidateScenarioSpec(request.spec, &diagnostic)) {
+    if (diagnostic.find("unknown method") != std::string::npos) {
+      diagnostic += " (valid: " + RegisteredKeyList() + ")";
+    }
+    return Status::InvalidArgument("invalid scenario: " + diagnostic);
+  }
+  if (HasDatasetAxes(request.spec)) {
+    return Status::InvalidArgument(
+        "resolve spec cannot carry dataset axes — the market stream supplies "
+        "the dataset");
+  }
+  if (!request.market->loaded()) {
+    return Status::InvalidArgument(
+        "market stream '" + request.market->id() +
+        "' has no resident dataset — send a load first");
+  }
+
+  WallTimer timer;
+  MarketStream::Snapshot snap = request.market->TakeSnapshot();
+  // Deadline-limited solves are wall-clock-dependent; never cache them.
+  const bool cacheable = request.options.deadline_seconds == 0.0 &&
+                         options_.resolve_cache_capacity > 0;
+  const std::string key = "market:" + request.market->id() +
+                          ";spec=" + FormatScenarioSpec(request.spec);
+
+  // Pull the prior solver state out of the cache entry (or answer outright
+  // when the market hasn't moved). The solver cells are *moved* out so the
+  // solve below runs without resolve_mu_ held.
+  bool have_solver = false;
+  std::uint64_t solver_version = 0;
+  std::vector<MatchingPairCache> solver_cells;
+  {
+    MutexLock lock(resolve_mu_);
+    for (auto it = resolve_cache_.begin(); it != resolve_cache_.end(); ++it) {
+      if (it->key != key) continue;
+      resolve_cache_.splice(resolve_cache_.begin(), resolve_cache_, it);
+      ResolveEntry& entry = resolve_cache_.front();
+      if (cacheable && entry.has_response &&
+          entry.response_version == snap.version) {
+        ++resolve_hits_;
+        ResolveResponse response = entry.response;
+        response.response_cache_hit = true;
+        return response;
+      }
+      have_solver = entry.has_solver;
+      solver_version = entry.solver_version;
+      solver_cells = std::move(entry.solver_cells);
+      entry.has_solver = false;
+      entry.solver_cells.clear();
+      break;
+    }
+    ++resolve_misses_;
+  }
+
+  std::vector<SweepCell> cells = ExpandGrid(request.spec);
+  ResolveResponse response;
+  response.grid_cells = static_cast<int>(cells.size());
+  response.market_version = snap.version;
+
+  // Per-cell hints: the maintained transaction view always, the prior pair
+  // outcomes + dirty-item mask when a previous resolve of this key left
+  // them, and a fill sink when this solve's outcomes are worth keeping.
+  // Resolve always runs the full grid, so cell.index indexes `hints`.
+  std::vector<char> dirty;
+  if (have_solver) dirty = request.market->ItemsTouchedSince(solver_version);
+  std::vector<MatchingPairCache> fills(cells.size());
+  std::vector<ResolveHints> hints(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    hints[i].transactions = snap.transactions.get();
+    if (cacheable) hints[i].fill = &fills[i];
+    if (have_solver && i < solver_cells.size()) {
+      hints[i].prior = &solver_cells[i];
+      hints[i].dirty_items = &dirty;
+    }
+  }
+
+  SweepRunnerOptions runner_options;
+  runner_options.threads = EffectiveThreads(request.options);
+  runner_options.deadline_seconds = request.options.deadline_seconds;
+  runner_options.context_hook = [&hints](int cell_index, SolveContext& context) {
+    context.set_resolve_hints(&hints[static_cast<std::size_t>(cell_index)]);
+  };
+  // The market snapshot is the dataset (dataset axes were rejected above, so
+  // every cell borrows the base); WTP matrices are keyed by market id +
+  // version so successive resolves at an unchanged λ reuse the derivation
+  // only when the data truly didn't move.
+  const std::string market_key =
+      "market:" + request.market->id() + "@v" + std::to_string(snap.version);
+  WtpProvider wtp_provider = [this, &market_key](const DatasetSpec&,
+                                                 const RatingsDataset& data,
+                                                 double lambda) {
+    return WtpForKey(market_key + ";lambda=" + FormatDoubleShortest(lambda),
+                     data, lambda);
+  };
+  if (runner_options.threads == options_.threads) {
+    MutexLock lock(pool_mu_);
+    response.result = RunSweepCells(request.spec, cells, *snap.dataset,
+                                    runner_options, pool_.get(), nullptr,
+                                    wtp_provider);
+  } else {
+    response.result = RunSweepCells(request.spec, cells, *snap.dataset,
+                                    runner_options, nullptr, nullptr,
+                                    wtp_provider);
+  }
+  response.result.wall_seconds = timer.Seconds();
+  for (const SweepCellResult& cell : response.result.cells) {
+    response.pairs_evaluated += cell.stats.pairs_evaluated;
+    response.pairs_reused += cell.stats.pairs_reused;
+  }
+
+  if (cacheable) {
+    MutexLock lock(resolve_mu_);
+    ResolveEntry* entry = nullptr;
+    for (auto it = resolve_cache_.begin(); it != resolve_cache_.end(); ++it) {
+      if (it->key == key) {
+        resolve_cache_.splice(resolve_cache_.begin(), resolve_cache_, it);
+        entry = &resolve_cache_.front();
+        break;
+      }
+    }
+    if (entry == nullptr) {
+      resolve_cache_.push_front(ResolveEntry{});
+      entry = &resolve_cache_.front();
+      entry->key = key;
+    }
+    entry->solver_version = snap.version;
+    entry->has_solver = true;
+    entry->solver_cells = std::move(fills);
+    entry->response_version = snap.version;
+    entry->has_response = true;
+    entry->response = response;
+    while (resolve_cache_.size() > options_.resolve_cache_capacity) {
+      resolve_cache_.pop_back();
+    }
+  }
   return response;
 }
 

@@ -42,6 +42,7 @@
 
 #include "core/bundler.h"
 #include "core/problem.h"
+#include "core/resolve_hints.h"
 #include "core/solve_context.h"
 #include "data/ratings.h"
 #include "data/wtp_matrix.h"
@@ -53,6 +54,8 @@
 #include "util/thread_pool.h"
 
 namespace bundlemine {
+
+class MarketStream;  // market/market_stream.h
 
 /// Per-request runtime knobs shared by solve and sweep requests.
 struct RequestOptions {
@@ -122,6 +125,37 @@ struct SweepResponse {
   bool dataset_cache_hit = false;
 };
 
+/// One incremental re-solve: a scenario spec evaluated against the current
+/// state of a MarketStream instead of a generated dataset. The spec's
+/// dataset reference is ignored (the market supplies the data) and dataset
+/// axes are rejected — everything else (problem axes, methods, sharding-free
+/// full grid) behaves exactly like Sweep.
+struct ResolveRequest {
+  /// The market to solve against; must outlive the call. Required.
+  MarketStream* market = nullptr;
+  ScenarioSpec spec;
+  RequestOptions options;
+};
+
+struct ResolveResponse {
+  /// Full-grid sweep result over the market snapshot — byte-identical
+  /// (through the artifact writer) to a batch Sweep over an equal dataset.
+  SweepResult result;
+  int grid_cells = 0;
+  /// Market version the response reflects.
+  std::uint64_t market_version = 0;
+  /// True when the response came straight from the resolve cache (market
+  /// unchanged since the previous resolve of the same spec) — zero solver
+  /// work was done.
+  bool response_cache_hit = false;
+  /// Candidate evaluations summed over all cells: priced fresh vs answered
+  /// from the previous resolve's cached outcomes. An incremental resolve
+  /// after a small delta reports strictly fewer pairs_evaluated than a
+  /// batch run (which reports pairs_reused == 0).
+  std::int64_t pairs_evaluated = 0;
+  std::int64_t pairs_reused = 0;
+};
+
 /// The facade. Thread-safe: concurrent Solve calls only contend on the
 /// dataset cache mutex; concurrent Sweep/SolveBatch calls additionally
 /// serialize on the shared worker pool (ThreadPool::ParallelFor is a
@@ -141,6 +175,11 @@ class Engine {
     /// dataset with three λ axis points occupies three entries. LRU
     /// eviction; 0 disables caching.
     std::size_t wtp_cache_capacity = 8;
+    /// Incremental-resolve cache entries kept alive, keyed by
+    /// (market id, spec). Each entry holds the prior solve's per-cell
+    /// pair-outcome caches plus the last response. LRU eviction; 0 disables
+    /// resolve caching (every resolve then solves from scratch).
+    std::size_t resolve_cache_capacity = 4;
   };
 
   Engine() : Engine(Options{}) {}
@@ -170,6 +209,23 @@ class Engine {
   /// a bad shard range.
   StatusOr<SweepResponse> Sweep(const SweepRequest& request);
 
+  /// Materializes (through the dataset cache) the dataset a DatasetSpec
+  /// names — the server's market-load path. Errors mirror Solve's dataset
+  /// validation: unknown profile, non-positive lambda.
+  StatusOr<std::shared_ptr<const RatingsDataset>> Dataset(
+      const DatasetSpec& spec);
+
+  /// Solves `request.spec` against a snapshot of `request.market`,
+  /// incrementally: when the same (market, spec) pair was resolved before,
+  /// only work touching items changed since is redone — untouched round-1
+  /// matching pairs come from the cached outcomes and the market's
+  /// maintained transaction index replaces the per-cell rebuild. If the
+  /// market version is unchanged, the previous response is returned outright
+  /// (response_cache_hit). Results are byte-identical to a batch Sweep over
+  /// an equal dataset at any thread count. Deadline-limited resolves are
+  /// never cached (their results are wall-clock-dependent).
+  StatusOr<ResolveResponse> Resolve(const ResolveRequest& request);
+
   /// Cache observability (tests, ops endpoints) — shared by the dataset
   /// cache and the derived-WTP cache.
   struct CacheStats {
@@ -179,6 +235,7 @@ class Engine {
   };
   CacheStats dataset_cache_stats() const EXCLUDES(cache_mu_);
   CacheStats wtp_cache_stats() const EXCLUDES(cache_mu_);
+  CacheStats resolve_cache_stats() const EXCLUDES(resolve_mu_);
   /// Drops both caches (datasets and derived WTP matrices); counters keep
   /// accumulating.
   void ClearDatasetCache() EXCLUDES(cache_mu_);
@@ -194,6 +251,18 @@ class Engine {
     std::string key;
     std::shared_ptr<const WtpMatrix> wtp;
   };
+  /// One (market id, spec) resolve line: the per-cell round-1 pair-outcome
+  /// caches recorded at `solver_version`, plus the last full response for
+  /// same-version short-circuits.
+  struct ResolveEntry {
+    std::string key;
+    std::uint64_t solver_version = 0;
+    bool has_solver = false;
+    std::vector<MatchingPairCache> solver_cells;  ///< Indexed by cell index.
+    std::uint64_t response_version = 0;
+    bool has_response = false;
+    ResolveResponse response;
+  };
 
   // Returns the cached dataset for `spec`, materializing (and inserting) on
   // a miss. `hit` (optional) reports whether the cache served it.
@@ -208,6 +277,13 @@ class Engine {
   std::shared_ptr<const WtpMatrix> WtpFor(const DatasetSpec& spec,
                                           const RatingsDataset& dataset,
                                           double lambda) EXCLUDES(cache_mu_);
+
+  // WtpFor with an explicit cache key (which must already encode λ and the
+  // dataset identity — Resolve keys on the market id + version instead of a
+  // DatasetSpec).
+  std::shared_ptr<const WtpMatrix> WtpForKey(const std::string& key,
+                                             const RatingsDataset& dataset,
+                                             double lambda) EXCLUDES(cache_mu_);
 
   int EffectiveThreads(const RequestOptions& options) const {
     return options.threads > 0 ? options.threads : options_.threads;
@@ -228,6 +304,14 @@ class Engine {
   std::list<WtpCacheEntry> wtp_cache_ GUARDED_BY(cache_mu_);
   std::int64_t wtp_cache_hits_ GUARDED_BY(cache_mu_) = 0;
   std::int64_t wtp_cache_misses_ GUARDED_BY(cache_mu_) = 0;
+
+  /// Guards the resolve cache only; never held while solving (Resolve moves
+  /// an entry's solver state out, solves unlocked, and stores it back).
+  mutable Mutex resolve_mu_;
+  /// Front = most recently used.
+  std::list<ResolveEntry> resolve_cache_ GUARDED_BY(resolve_mu_);
+  std::int64_t resolve_hits_ GUARDED_BY(resolve_mu_) = 0;
+  std::int64_t resolve_misses_ GUARDED_BY(resolve_mu_) = 0;
 };
 
 /// Stable cache key of a dataset reference: profile, seed, generator

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/resolve_hints.h"
 #include "mining/fp_growth.h"
 #include "mining/mafia.h"
 #include "mining/transactions.h"
@@ -54,8 +55,19 @@ BundleSolution FreqItemsetBundler::Solve(const BundleConfigProblem& problem,
         mixed.BuildStandalonePayments(item_raw.back(), 1.0, item_priced.back().price));
   }
 
-  // Mine maximal frequent itemsets as candidate bundles.
-  TransactionDb db = TransactionDb::FromWtp(wtp);
+  // Mine maximal frequent itemsets as candidate bundles. An incremental
+  // resolve supplies the market's maintained transaction view instead of a
+  // per-cell rebuild: WTP positivity (w = (stars/5)·λ·price, stars > 0,
+  // price > 0) is λ-independent, so the one maintained index matches
+  // FromWtp(wtp) bit-for-bit in every λ cell.
+  const ResolveHints* hints = context.resolve_hints();
+  const TransactionDb* hinted = hints != nullptr ? hints->transactions : nullptr;
+  const bool use_hint = hinted != nullptr &&
+                        hinted->num_items() == wtp.num_items() &&
+                        hinted->num_transactions() == wtp.num_users();
+  TransactionDb local_db;
+  if (!use_hint) local_db = TransactionDb::FromWtp(wtp);
+  const TransactionDb& db = use_hint ? *hinted : local_db;
   MinerLimits limits;
   // The paper's 0.1% threshold is ⌈0.001 · 4449⌉ = 5 transactions on the
   // Amazon data; the absolute floor keeps that effective count on smaller

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/offer_ops.h"
+#include "core/resolve_hints.h"
 #include "matching/max_weight_matching.h"
 #include "mining/bitset.h"
 #include "matching/simple_matchers.h"
@@ -279,6 +280,21 @@ BundleSolution MatchingBundler::Solve(const BundleConfigProblem& problem,
     st.offers.push_back(std::move(o));
   }
 
+  // Incremental re-solve hints. Round-1 reuse is sound because singleton
+  // offer index == item id and EvaluatePair is a pure function of the two
+  // offers' WTP columns plus cell-fixed configuration (scale, pricer,
+  // strategy): a prior outcome for a pair of untouched items is exact. User
+  // additions/removals only add or drop zero-WTP entries for untouched
+  // items, which never change the priced scalars.
+  const ResolveHints* hints = context.resolve_hints();
+  const bool reuse_enabled =
+      hints != nullptr && hints->prior != nullptr &&
+      hints->dirty_items != nullptr &&
+      hints->dirty_items->size() == static_cast<std::size_t>(wtp.num_items());
+  const MatchingPairCache* prior = reuse_enabled ? hints->prior : nullptr;
+  const std::vector<char>* dirty = reuse_enabled ? hints->dirty_items : nullptr;
+  MatchingPairCache* fill = hints != nullptr ? hints->fill : nullptr;
+
   int iteration = 0;
   BundleSolution trace_holder;
   trace_holder.trace.push_back(
@@ -294,6 +310,7 @@ BundleSolution MatchingBundler::Solve(const BundleConfigProblem& problem,
   std::vector<std::pair<int, int>> pairs;
   std::vector<CandidateEdge> results;
   std::vector<char> has_gain;
+  std::vector<char> reused;
   std::vector<CandidateEdge> edges;
   pairs.reserve(kCandidateBlock);
 
@@ -301,7 +318,32 @@ BundleSolution MatchingBundler::Solve(const BundleConfigProblem& problem,
     if (pairs.empty()) return;
     results.resize(pairs.size());
     has_gain.assign(pairs.size(), 0);
+    reused.assign(pairs.size(), 0);
+    std::int64_t reused_count = 0;
+    if (iteration == 1 && reuse_enabled) {
+      for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+        const int a = pairs[idx].first;
+        const int b = pairs[idx].second;
+        if ((*dirty)[static_cast<std::size_t>(a)] ||
+            (*dirty)[static_cast<std::size_t>(b)]) {
+          continue;
+        }
+        const MatchingPairCache::Outcome* out = prior->Find(a, b);
+        if (out == nullptr) continue;
+        reused[idx] = 1;
+        ++reused_count;
+        has_gain[idx] = out->has_gain ? 1 : 0;
+        CandidateEdge& e = results[idx];
+        e.a = a;
+        e.b = b;
+        e.gain = out->gain;
+        e.price = out->price;
+        e.revenue = out->revenue;
+        e.buyers = out->buyers;
+      }
+    }
     auto evaluate = [&](std::size_t idx, int slot) {
+      if (reused[idx]) return;
       has_gain[idx] = st.EvaluatePair(pairs[idx].first, pairs[idx].second,
                                       &results[idx], &context.workspace(slot))
                           ? 1
@@ -312,7 +354,24 @@ BundleSolution MatchingBundler::Solve(const BundleConfigProblem& problem,
     } else {
       for (std::size_t idx = 0; idx < pairs.size(); ++idx) evaluate(idx, 0);
     }
-    context.stats().pairs_evaluated += static_cast<std::int64_t>(pairs.size());
+    context.stats().pairs_evaluated +=
+        static_cast<std::int64_t>(pairs.size()) - reused_count;
+    context.stats().pairs_reused += reused_count;
+    if (iteration == 1 && fill != nullptr) {
+      // Record every round-1 outcome (gain or not) for the next resolve;
+      // keys are item-id pairs, valid across solves.
+      for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+        MatchingPairCache::Outcome out;
+        out.has_gain = has_gain[idx] != 0;
+        if (out.has_gain) {
+          out.gain = results[idx].gain;
+          out.price = results[idx].price;
+          out.revenue = results[idx].revenue;
+          out.buyers = results[idx].buyers;
+        }
+        fill->Record(pairs[idx].first, pairs[idx].second, out);
+      }
+    }
     for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
       if (has_gain[idx]) edges.push_back(results[idx]);
     }

@@ -1,0 +1,81 @@
+// Incremental re-solve hints threaded through SolveContext.
+//
+// The streaming market's re-solve path (Engine::Resolve) hands each cell's
+// solver a ResolveHints: the previous solve's round-1 pair outcomes, a mask
+// of items touched since that solve, and the maintained transaction view.
+// Solvers that understand the hints skip work on clean data; solvers that
+// ignore them stay correct, just slower. The invariant every hint user must
+// preserve: the solve result is byte-identical to a batch solve of the same
+// dataset — hints change only what gets recomputed, never what is computed.
+
+#ifndef BUNDLEMINE_CORE_RESOLVE_HINTS_H_
+#define BUNDLEMINE_CORE_RESOLVE_HINTS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace bundlemine {
+
+class TransactionDb;  // mining/transactions.h
+
+/// Cache of round-1 MatchingBundler pair evaluations, keyed by the item-id
+/// pair (round-1 offers are singletons, so offer index == item id and the
+/// key survives across solves). EvaluatePair is a pure function of the two
+/// items' WTP columns plus cell-fixed configuration, so a cached outcome is
+/// exact whenever neither item was touched by a delta.
+class MatchingPairCache {
+ public:
+  /// One evaluated pair: either "no merge gain" or the full priced edge.
+  struct Outcome {
+    bool has_gain = false;
+    double gain = 0.0;
+    double price = 0.0;
+    double revenue = 0.0;
+    double buyers = 0.0;
+  };
+
+  void Clear() { map_.clear(); }
+  bool empty() const { return map_.empty(); }
+  std::size_t size() const { return map_.size(); }
+
+  void Record(int a, int b, const Outcome& outcome) { map_[Key(a, b)] = outcome; }
+
+  /// Cached outcome for the pair, or nullptr when not recorded.
+  const Outcome* Find(int a, int b) const {
+    auto it = map_.find(Key(a, b));
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  static std::uint64_t Key(int a, int b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
+  }
+
+  // Lookup/insert only — never iterated, so the unordered layout cannot
+  // leak into results.
+  std::unordered_map<std::uint64_t, Outcome> map_;
+};
+
+/// Borrowed hint set for one cell's solve. All pointers are optional and
+/// owned by the caller (Engine::Resolve), which outlives the solve.
+struct ResolveHints {
+  /// Round-1 pair outcomes from the previous solve of this cell, valid for
+  /// pairs of items untouched since. Null on the first solve.
+  const MatchingPairCache* prior = nullptr;
+  /// Sink the current solve fills with its round-1 outcomes for the next
+  /// resolve. Null when the solve is not cacheable (e.g. deadline-limited).
+  MatchingPairCache* fill = nullptr;
+  /// dirty_items[i] != 0 iff item i's audience, ratings, or price changed
+  /// since `prior` was recorded. Sized num_items; null with null `prior`.
+  const std::vector<char>* dirty_items = nullptr;
+  /// Maintained transaction view of the market (bit-identical to
+  /// TransactionDb::FromWtp of the cell's WTP matrix — positivity is
+  /// λ-independent), sparing the frequent-itemset bundler its rebuild.
+  const TransactionDb* transactions = nullptr;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_CORE_RESOLVE_HINTS_H_

@@ -27,11 +27,17 @@
 
 namespace bundlemine {
 
+struct ResolveHints;  // core/resolve_hints.h
+
 /// Counters a solve fills in as it runs. Written only from the coordinating
 /// thread (parallel sections report batch totals after joining), so plain
 /// integers suffice and the counts are deterministic.
 struct SolveStats {
   std::int64_t pairs_evaluated = 0;  ///< Candidate merges priced.
+  /// Candidate merges answered from a prior solve's cached outcomes instead
+  /// of being priced (incremental re-solve). Batch solves leave this 0;
+  /// pairs_evaluated + pairs_reused is invariant across the two paths.
+  std::int64_t pairs_reused = 0;
   std::int64_t merges = 0;           ///< Merges committed.
   int rounds = 0;                    ///< Matching rounds / greedy iterations.
   bool deadline_hit = false;         ///< Solve stopped early on the deadline.
@@ -91,8 +97,15 @@ class SolveContext {
   /// each solve separately).
   void RestartDeadline() { timer_.Reset(); }
 
+  /// Incremental re-solve hints (prior-pair-outcome cache, dirty-item mask,
+  /// maintained transaction view), or nullptr for a batch solve. Borrowed —
+  /// the setter (Engine::Resolve) keeps them alive through the solve.
+  const ResolveHints* resolve_hints() const { return resolve_hints_; }
+  void set_resolve_hints(const ResolveHints* hints) { resolve_hints_ = hints; }
+
  private:
   Options options_;
+  const ResolveHints* resolve_hints_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;  // Null when serial.
   std::vector<std::unique_ptr<PricingWorkspace>> workspaces_;
   Rng rng_;

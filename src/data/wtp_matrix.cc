@@ -63,12 +63,10 @@ void WtpMatrix::BuildFromCoordinates(
     BM_CHECK_EQ(static_cast<int>(prices_.size()), num_items);
   }
 
-  total_wtp_ = 0.0;
   for (const auto& [u, i, w] : coords) {
     BM_CHECK(u >= 0 && u < num_users);
     BM_CHECK(i >= 0 && i < num_items);
     BM_CHECK_GE(w, 0.0);
-    total_wtp_ += w;
   }
 
   // CSC by item (user-sorted within item).
@@ -79,8 +77,15 @@ void WtpMatrix::BuildFromCoordinates(
   item_ptr_.assign(static_cast<std::size_t>(num_items) + 1, 0);
   by_item_entries_.clear();
   by_item_entries_.reserve(coords.size());
+  // Accumulated in canonical (item-major, user-sorted) order so the total —
+  // and everything derived from it, like coverage — is independent of the
+  // caller's coordinate order. A streamed market snapshot and the batch
+  // generator may list the same ratings differently; their artifacts must
+  // still match byte for byte.
+  total_wtp_ = 0.0;
   for (const auto& [u, i, w] : coords) {
     by_item_entries_.push_back(WtpEntry{u, w});
+    total_wtp_ += w;
     ++item_ptr_[static_cast<std::size_t>(i) + 1];
   }
   for (std::size_t i = 1; i < item_ptr_.size(); ++i) item_ptr_[i] += item_ptr_[i - 1];

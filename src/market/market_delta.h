@@ -1,0 +1,64 @@
+// Typed deltas of the streaming market (market/market_stream.h).
+//
+// A MarketDelta is one edit to the resident ratings dataset: user arrival /
+// departure, a rating appearing, changing, or disappearing, or a per-item
+// price adjustment (the WTP knob — w = (stars/5)·λ·price, so scaling a price
+// scales every consumer's willingness to pay for that item). Deltas travel
+// in batches through MarketStream::Apply, which validates and applies the
+// whole batch atomically; the wire "update" kind (serve/protocol.h) parses
+// the JSON grammar documented in the README's schema table into these
+// structs.
+//
+// The item catalogue is fixed at Load time: deltas edit users, ratings, and
+// prices, never the item dimension — every cached per-item structure
+// (support bitmaps, candidate-pair outcomes) stays index-stable across a
+// stream of deltas, which is what makes the incremental re-solve path sound.
+
+#ifndef BUNDLEMINE_MARKET_MARKET_DELTA_H_
+#define BUNDLEMINE_MARKET_MARKET_DELTA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bundlemine {
+
+/// The delta operations, in wire-name order.
+enum class MarketDeltaOp {
+  kAddUser,       ///< Append a user (optionally with inline ratings).
+  kRemoveUser,    ///< Remove a user and every rating they hold.
+  kAddRating,     ///< (user, item) gains a rating; must be absent.
+  kUpdateRating,  ///< (user, item) changes stars; must be present.
+  kRemoveRating,  ///< (user, item) loses its rating; must be present.
+  kScalePrice,    ///< item price *= factor (factor > 0).
+  kSetPrice,      ///< item price = price (price > 0).
+};
+
+/// Canonical wire name ("add_user", "scale_price", ...).
+const char* MarketDeltaOpName(MarketDeltaOp op);
+std::optional<MarketDeltaOp> MarketDeltaOpByName(const std::string& name);
+
+/// One inline rating of an add_user delta.
+struct MarketRating {
+  int item = -1;
+  double stars = 0.0;  ///< Paper scale: stars in (0, 5].
+};
+
+/// One market edit. Exactly the fields of the active op are meaningful —
+/// the wire parser enforces per-op field presence, MarketStream::Apply
+/// enforces value ranges and referential validity.
+struct MarketDelta {
+  MarketDeltaOp op = MarketDeltaOp::kAddRating;
+  /// Target user. remove_user accepts -1 = the newest user (the common
+  /// "undo the arrival" form); every other op needs an in-range id.
+  int user = -1;
+  int item = -1;
+  double stars = 0.0;  ///< add_rating / update_rating.
+  double value = 0.0;  ///< scale_price factor or set_price price.
+  /// add_user: the arriving user's initial ratings.
+  std::vector<MarketRating> ratings;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_MARKET_MARKET_DELTA_H_

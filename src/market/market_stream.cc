@@ -1,0 +1,374 @@
+#include "market/market_stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace bundlemine {
+namespace {
+
+/// Wire-name table, indexed by MarketDeltaOp in declaration order.
+constexpr const char* kOpNames[] = {
+    "add_user",      "remove_user", "add_rating", "update_rating",
+    "remove_rating", "scale_price", "set_price",
+};
+constexpr int kNumOps = static_cast<int>(sizeof(kOpNames) / sizeof(kOpNames[0]));
+
+bool ValidStars(double stars) {
+  return std::isfinite(stars) && stars > 0.0 && stars <= 5.0;
+}
+
+}  // namespace
+
+const char* MarketDeltaOpName(MarketDeltaOp op) {
+  const int i = static_cast<int>(op);
+  BM_CHECK(i >= 0 && i < kNumOps);
+  return kOpNames[i];
+}
+
+std::optional<MarketDeltaOp> MarketDeltaOpByName(const std::string& name) {
+  for (int i = 0; i < kNumOps; ++i) {
+    if (name == kOpNames[i]) return static_cast<MarketDeltaOp>(i);
+  }
+  return std::nullopt;
+}
+
+MarketStream::MarketStream(std::string id) : id_(std::move(id)) {}
+
+Status MarketStream::Load(const RatingsDataset& dataset) {
+  MutexLock lock(mu_);
+  const int num_users = dataset.num_users();
+  const int num_items = dataset.num_items();
+  // Stage into locals so a rejected load leaves the resident state intact.
+  IncrementalTransactionIndex txn;
+  txn.Reset(num_items, num_users);
+  std::vector<std::vector<UserRating>> rows(static_cast<std::size_t>(num_users));
+  for (const Rating& r : dataset.ratings()) {
+    if (r.user < 0 || r.user >= num_users || r.item < 0 || r.item >= num_items) {
+      return Status::InvalidArgument(StrFormat(
+          "load: rating (%d, %d) outside the %d x %d user/item range",
+          r.user, r.item, num_users, num_items));
+    }
+    if (!ValidStars(r.value)) {
+      return Status::InvalidArgument(StrFormat(
+          "load: rating (%d, %d) has stars %g outside (0, 5]", r.user, r.item,
+          static_cast<double>(r.value)));
+    }
+    if (txn.Test(r.item, r.user)) {
+      return Status::InvalidArgument(StrFormat(
+          "load: duplicate rating (%d, %d)", r.user, r.item));
+    }
+    txn.SetBit(r.item, r.user, true);
+    rows[static_cast<std::size_t>(r.user)].push_back(
+        UserRating{r.item, r.value});
+  }
+  for (int i = 0; i < num_items; ++i) {
+    const double price = dataset.price(i);
+    if (!std::isfinite(price) || price <= 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("load: item %d has non-positive price %g", i, price));
+    }
+  }
+  for (std::vector<UserRating>& row : rows) {
+    std::sort(row.begin(), row.end(),
+              [](const UserRating& a, const UserRating& b) {
+                return a.item < b.item;
+              });
+  }
+
+  loaded_ = true;
+  num_items_ = num_items;
+  rows_ = std::move(rows);
+  prices_ = dataset.prices();
+  txn_ = std::move(txn);
+  ++version_;
+  item_touched_.assign(static_cast<std::size_t>(num_items), version_);
+  snapshot_dataset_.reset();
+  snapshot_txn_.reset();
+  return Status::Ok();
+}
+
+StatusOr<std::uint64_t> MarketStream::Apply(
+    const std::vector<MarketDelta>& deltas) {
+  MutexLock lock(mu_);
+  if (!loaded_) {
+    return Status::InvalidArgument(
+        "market stream has no resident dataset — load one first");
+  }
+  if (deltas.empty()) return version_;
+
+  std::vector<UndoRecord> undo;
+  std::vector<int> touched;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    Status st = ApplyOne(deltas[i], &undo, &touched);
+    if (!st.ok()) {
+      Rollback(undo);
+      return Status(st.code(),
+                    StrFormat("delta %zu (%s): %s", i,
+                              MarketDeltaOpName(deltas[i].op),
+                              st.message().c_str()));
+    }
+  }
+
+  ++version_;
+  for (int item : touched) {
+    item_touched_[static_cast<std::size_t>(item)] = version_;
+  }
+  snapshot_dataset_.reset();
+  snapshot_txn_.reset();
+  return version_;
+}
+
+bool MarketStream::loaded() const {
+  MutexLock lock(mu_);
+  return loaded_;
+}
+
+std::uint64_t MarketStream::version() const {
+  MutexLock lock(mu_);
+  return version_;
+}
+
+int MarketStream::num_users() const {
+  MutexLock lock(mu_);
+  return static_cast<int>(rows_.size());
+}
+
+int MarketStream::num_items() const {
+  MutexLock lock(mu_);
+  return num_items_;
+}
+
+MarketStream::Snapshot MarketStream::TakeSnapshot() {
+  MutexLock lock(mu_);
+  BM_CHECK_MSG(loaded_, "TakeSnapshot on an unloaded MarketStream");
+  if (snapshot_dataset_ == nullptr || snapshot_version_ != version_) {
+    // Emit ratings sorted by (user, item): rows are user-ordered and each
+    // row item-sorted, so a straight walk is already canonical. This makes
+    // the snapshot byte-equivalent (through WtpMatrix's coordinate sort and
+    // the order-independent dataset stats) to any dataset holding the same
+    // ratings multiset — the replay-determinism contract.
+    std::vector<Rating> ratings;
+    for (std::size_t u = 0; u < rows_.size(); ++u) {
+      for (const UserRating& r : rows_[u]) {
+        ratings.push_back(Rating{static_cast<UserId>(u),
+                                 static_cast<ItemId>(r.item), r.stars});
+      }
+    }
+    snapshot_dataset_ = std::make_shared<const RatingsDataset>(
+        static_cast<int>(rows_.size()), num_items_, std::move(ratings),
+        prices_);
+    snapshot_txn_ = std::make_shared<const TransactionDb>(txn_.Snapshot());
+    snapshot_version_ = version_;
+  }
+  Snapshot snap;
+  snap.version = version_;
+  snap.dataset = snapshot_dataset_;
+  snap.transactions = snapshot_txn_;
+  return snap;
+}
+
+std::vector<char> MarketStream::ItemsTouchedSince(std::uint64_t since) const {
+  MutexLock lock(mu_);
+  std::vector<char> dirty(static_cast<std::size_t>(num_items_), 0);
+  for (std::size_t i = 0; i < item_touched_.size(); ++i) {
+    if (item_touched_[i] > since) dirty[i] = 1;
+  }
+  return dirty;
+}
+
+Status MarketStream::ApplyOne(const MarketDelta& delta,
+                              std::vector<UndoRecord>* undo,
+                              std::vector<int>* touched) {
+  const int num_users = static_cast<int>(rows_.size());
+  switch (delta.op) {
+    case MarketDeltaOp::kAddUser: {
+      const int user = num_users;
+      rows_.emplace_back();
+      txn_.SetNumUsers(user + 1);
+      undo->push_back(UndoRecord{UndoRecord::Kind::kPopUser, user, -1, 0.0f, 0.0});
+      for (const MarketRating& r : delta.ratings) {
+        Status st = InsertRating(user, r.item, r.stars, undo, touched);
+        if (!st.ok()) return st;
+      }
+      return Status::Ok();
+    }
+    case MarketDeltaOp::kRemoveUser: {
+      const int user = delta.user == -1 ? num_users - 1 : delta.user;
+      if (user < 0 || user >= num_users) {
+        return Status::InvalidArgument(StrFormat(
+            "user %d outside [0, %d)", delta.user, num_users));
+      }
+      std::vector<UserRating>& row = rows_[static_cast<std::size_t>(user)];
+      for (const UserRating& r : row) {
+        undo->push_back(UndoRecord{UndoRecord::Kind::kInsertRating, user,
+                                   r.item, r.stars, 0.0});
+        txn_.SetBit(r.item, user, false);
+        touched->push_back(r.item);
+      }
+      row.clear();
+      if (user == num_users - 1) {
+        // Tail user: physically shrink. Interior users keep an empty row so
+        // every other id stays stable (and can be re-populated later).
+        rows_.pop_back();
+        txn_.SetNumUsers(user);
+        undo->push_back(
+            UndoRecord{UndoRecord::Kind::kRestoreTailUser, user, -1, 0.0f, 0.0});
+      }
+      return Status::Ok();
+    }
+    case MarketDeltaOp::kAddRating:
+      if (delta.user < 0 || delta.user >= num_users) {
+        return Status::InvalidArgument(
+            StrFormat("user %d outside [0, %d)", delta.user, num_users));
+      }
+      return InsertRating(delta.user, delta.item, delta.stars, undo, touched);
+    case MarketDeltaOp::kUpdateRating:
+    case MarketDeltaOp::kRemoveRating: {
+      if (delta.user < 0 || delta.user >= num_users) {
+        return Status::InvalidArgument(
+            StrFormat("user %d outside [0, %d)", delta.user, num_users));
+      }
+      if (delta.item < 0 || delta.item >= num_items_) {
+        return Status::InvalidArgument(
+            StrFormat("item %d outside [0, %d)", delta.item, num_items_));
+      }
+      std::vector<UserRating>& row = rows_[static_cast<std::size_t>(delta.user)];
+      auto it = std::lower_bound(
+          row.begin(), row.end(), delta.item,
+          [](const UserRating& r, int item) { return r.item < item; });
+      if (it == row.end() || it->item != delta.item) {
+        return Status::NotFound(StrFormat(
+            "no rating (%d, %d) to %s", delta.user, delta.item,
+            delta.op == MarketDeltaOp::kUpdateRating ? "update" : "remove"));
+      }
+      if (delta.op == MarketDeltaOp::kUpdateRating) {
+        if (!ValidStars(delta.stars)) {
+          return Status::InvalidArgument(
+              StrFormat("stars %g outside (0, 5]", delta.stars));
+        }
+        undo->push_back(UndoRecord{UndoRecord::Kind::kSetRatingValue,
+                                   delta.user, delta.item, it->stars, 0.0});
+        it->stars = static_cast<float>(delta.stars);
+      } else {
+        undo->push_back(UndoRecord{UndoRecord::Kind::kInsertRating, delta.user,
+                                   delta.item, it->stars, 0.0});
+        row.erase(it);
+        txn_.SetBit(delta.item, delta.user, false);
+      }
+      touched->push_back(delta.item);
+      return Status::Ok();
+    }
+    case MarketDeltaOp::kScalePrice:
+    case MarketDeltaOp::kSetPrice: {
+      if (delta.item < 0 || delta.item >= num_items_) {
+        return Status::InvalidArgument(
+            StrFormat("item %d outside [0, %d)", delta.item, num_items_));
+      }
+      const double old_price = prices_[static_cast<std::size_t>(delta.item)];
+      double new_price = 0.0;
+      if (delta.op == MarketDeltaOp::kScalePrice) {
+        if (!std::isfinite(delta.value) || delta.value <= 0.0) {
+          return Status::InvalidArgument(
+              StrFormat("scale factor %g must be positive", delta.value));
+        }
+        new_price = old_price * delta.value;
+      } else {
+        new_price = delta.value;
+      }
+      if (!std::isfinite(new_price) || new_price <= 0.0) {
+        return Status::InvalidArgument(
+            StrFormat("resulting price %g must be positive", new_price));
+      }
+      undo->push_back(UndoRecord{UndoRecord::Kind::kSetPrice, -1, delta.item,
+                                 0.0f, old_price});
+      prices_[static_cast<std::size_t>(delta.item)] = new_price;
+      touched->push_back(delta.item);
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unhandled delta op");
+}
+
+Status MarketStream::InsertRating(int user, int item, double stars,
+                                  std::vector<UndoRecord>* undo,
+                                  std::vector<int>* touched) {
+  if (item < 0 || item >= num_items_) {
+    return Status::InvalidArgument(
+        StrFormat("item %d outside [0, %d)", item, num_items_));
+  }
+  if (!ValidStars(stars)) {
+    return Status::InvalidArgument(
+        StrFormat("stars %g outside (0, 5]", stars));
+  }
+  std::vector<UserRating>& row = rows_[static_cast<std::size_t>(user)];
+  auto it = std::lower_bound(
+      row.begin(), row.end(), item,
+      [](const UserRating& r, int i) { return r.item < i; });
+  if (it != row.end() && it->item == item) {
+    return Status::InvalidArgument(StrFormat(
+        "rating (%d, %d) already present — use update_rating", user, item));
+  }
+  row.insert(it, UserRating{item, static_cast<float>(stars)});
+  txn_.SetBit(item, user, true);
+  undo->push_back(
+      UndoRecord{UndoRecord::Kind::kEraseRating, user, item, 0.0f, 0.0});
+  touched->push_back(item);
+  return Status::Ok();
+}
+
+void MarketStream::Rollback(const std::vector<UndoRecord>& undo) {
+  // Reverse replay: inverses of later primitives run first, so e.g. an
+  // added user's ratings are erased before kPopUser shrinks past the row,
+  // and kRestoreTailUser re-appends a row before its ratings re-insert.
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    switch (it->kind) {
+      case UndoRecord::Kind::kEraseRating: {
+        std::vector<UserRating>& row = rows_[static_cast<std::size_t>(it->user)];
+        auto pos = std::lower_bound(
+            row.begin(), row.end(), it->item,
+            [](const UserRating& r, int item) { return r.item < item; });
+        BM_CHECK(pos != row.end() && pos->item == it->item);
+        row.erase(pos);
+        txn_.SetBit(it->item, it->user, false);
+        break;
+      }
+      case UndoRecord::Kind::kSetRatingValue: {
+        std::vector<UserRating>& row = rows_[static_cast<std::size_t>(it->user)];
+        auto pos = std::lower_bound(
+            row.begin(), row.end(), it->item,
+            [](const UserRating& r, int item) { return r.item < item; });
+        BM_CHECK(pos != row.end() && pos->item == it->item);
+        pos->stars = it->stars;
+        break;
+      }
+      case UndoRecord::Kind::kInsertRating: {
+        std::vector<UserRating>& row = rows_[static_cast<std::size_t>(it->user)];
+        auto pos = std::lower_bound(
+            row.begin(), row.end(), it->item,
+            [](const UserRating& r, int item) { return r.item < item; });
+        BM_CHECK(pos == row.end() || pos->item != it->item);
+        row.insert(pos, UserRating{it->item, it->stars});
+        txn_.SetBit(it->item, it->user, true);
+        break;
+      }
+      case UndoRecord::Kind::kSetPrice:
+        prices_[static_cast<std::size_t>(it->item)] = it->price;
+        break;
+      case UndoRecord::Kind::kPopUser:
+        BM_CHECK(!rows_.empty() && rows_.back().empty());
+        rows_.pop_back();
+        txn_.SetNumUsers(static_cast<int>(rows_.size()));
+        break;
+      case UndoRecord::Kind::kRestoreTailUser:
+        rows_.emplace_back();
+        txn_.SetNumUsers(static_cast<int>(rows_.size()));
+        break;
+    }
+  }
+}
+
+}  // namespace bundlemine

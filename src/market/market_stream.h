@@ -1,0 +1,151 @@
+// Streaming market: a resident ratings dataset plus typed deltas.
+//
+// A MarketStream owns one mutable market state — users, their ratings, and
+// per-item prices over a fixed item catalogue — and applies MarketDelta
+// batches atomically under a monotonically increasing version number. It is
+// the mutable counterpart of the frozen RatingsDataset the batch path uses:
+// bundlemined's "update" wire kind feeds deltas in, "resolve" solves against
+// a snapshot, and Engine::Resolve uses the version + touched-item bookkeeping
+// to reuse cached work across solves.
+//
+// Contract that everything downstream leans on: TakeSnapshot() of a stream
+// equals a from-scratch RatingsDataset holding the same ratings multiset and
+// prices, byte-for-byte through the whole solve pipeline. Concretely,
+// snapshots list ratings sorted by (user, item) — WtpMatrix construction
+// sorts coordinates anyway and every dataset statistic is an
+// order-independent aggregate, so replaying N deltas then resolving is
+// bit-identical to a batch rebuild of the final state (the replay-
+// determinism test in tests/resolve_test.cc).
+//
+// Thread-safe: every method locks the internal mutex, so one writer thread
+// (the server's inline "update" handler) can interleave with solver threads
+// taking snapshots. Snapshots are immutable shared_ptrs — solves never block
+// updates.
+
+#ifndef BUNDLEMINE_MARKET_MARKET_STREAM_H_
+#define BUNDLEMINE_MARKET_MARKET_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/ratings.h"
+#include "market/market_delta.h"
+#include "mining/transactions.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace bundlemine {
+
+/// The resident market. See file comment for the snapshot-equivalence
+/// contract; see MarketDelta for the edit vocabulary.
+class MarketStream {
+ public:
+  /// `id` names the stream in Engine resolve-cache keys and diagnostics.
+  explicit MarketStream(std::string id = "market");
+
+  MarketStream(const MarketStream&) = delete;
+  MarketStream& operator=(const MarketStream&) = delete;
+
+  const std::string& id() const { return id_; }
+
+  /// (Re)loads the resident dataset, bumping the version and marking every
+  /// item touched. Rejects datasets a delta stream could not have produced —
+  /// duplicate (user, item) ratings, stars outside (0, 5], non-positive
+  /// prices — so the stream's invariants (one rating per pair, transaction
+  /// bit ⟺ rating present for any λ) hold from the start.
+  Status Load(const RatingsDataset& dataset) EXCLUDES(mu_);
+
+  /// Applies the whole batch atomically: either every delta lands and the
+  /// version bumps by exactly one, or the state is rolled back unchanged and
+  /// the error names the offending delta by index and op. An empty batch is
+  /// a no-op that returns the current version without bumping it.
+  StatusOr<std::uint64_t> Apply(const std::vector<MarketDelta>& deltas)
+      EXCLUDES(mu_);
+
+  bool loaded() const EXCLUDES(mu_);
+  std::uint64_t version() const EXCLUDES(mu_);
+  int num_users() const EXCLUDES(mu_);
+  int num_items() const EXCLUDES(mu_);
+
+  /// An immutable view of the market at one version.
+  struct Snapshot {
+    std::uint64_t version = 0;
+    std::shared_ptr<const RatingsDataset> dataset;
+    /// Transaction view of `dataset` — bit-identical to
+    /// TransactionDb::FromWtp of any WtpMatrix built from it (WTP
+    /// positivity is λ-independent).
+    std::shared_ptr<const TransactionDb> transactions;
+  };
+
+  /// Snapshots the current state. Cached per version: repeated calls without
+  /// an intervening Apply return the same shared state.
+  Snapshot TakeSnapshot() EXCLUDES(mu_);
+
+  /// dirty[i] != 0 iff item i's audience, a rating of it, or its price
+  /// changed in any version > `since`. Sized num_items (empty before Load).
+  std::vector<char> ItemsTouchedSince(std::uint64_t since) const EXCLUDES(mu_);
+
+ private:
+  struct UserRating {
+    int item = -1;
+    float stars = 0.0f;
+  };
+
+  /// One inverse primitive recorded while applying a batch; replayed in
+  /// reverse on failure. Typed records instead of callables so the
+  /// thread-safety analysis can see the rollback path holds mu_.
+  struct UndoRecord {
+    enum class Kind {
+      kEraseRating,      ///< Remove (user, item) again.
+      kSetRatingValue,   ///< Restore (user, item) to `stars`.
+      kInsertRating,     ///< Re-insert (user, item, stars).
+      kSetPrice,         ///< Restore item price to `price`.
+      kPopUser,          ///< Drop the appended tail user (row empty again).
+      kRestoreTailUser,  ///< Re-append an empty tail user row.
+    };
+    Kind kind = Kind::kEraseRating;
+    int user = -1;
+    int item = -1;
+    float stars = 0.0f;
+    double price = 0.0;
+  };
+
+  // Primitive appliers. Each validates, mutates, records its inverse in
+  // `undo` and the touched item ids in `touched`; on error the state is
+  // exactly as before the call.
+  Status ApplyOne(const MarketDelta& delta, std::vector<UndoRecord>* undo,
+                  std::vector<int>* touched) REQUIRES(mu_);
+  Status InsertRating(int user, int item, double stars,
+                      std::vector<UndoRecord>* undo, std::vector<int>* touched)
+      REQUIRES(mu_);
+  void Rollback(const std::vector<UndoRecord>& undo) REQUIRES(mu_);
+
+  const std::string id_;
+
+  mutable Mutex mu_;
+  bool loaded_ GUARDED_BY(mu_) = false;
+  std::uint64_t version_ GUARDED_BY(mu_) = 0;
+  int num_items_ GUARDED_BY(mu_) = 0;
+  /// Per-user ratings, sorted by item within each row. Removing an interior
+  /// user leaves an empty row (ids are stable); only the tail user's row is
+  /// physically popped.
+  std::vector<std::vector<UserRating>> rows_ GUARDED_BY(mu_);
+  std::vector<double> prices_ GUARDED_BY(mu_);
+  /// item_touched_[i] = last version that changed item i.
+  std::vector<std::uint64_t> item_touched_ GUARDED_BY(mu_);
+  /// Maintained transaction view (bit (item, user) ⟺ rating present).
+  IncrementalTransactionIndex txn_ GUARDED_BY(mu_);
+
+  // Snapshot cache: valid when snapshot_version_ == version_ and the
+  // pointers are non-null.
+  std::uint64_t snapshot_version_ GUARDED_BY(mu_) = 0;
+  std::shared_ptr<const RatingsDataset> snapshot_dataset_ GUARDED_BY(mu_);
+  std::shared_ptr<const TransactionDb> snapshot_txn_ GUARDED_BY(mu_);
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_MARKET_MARKET_STREAM_H_

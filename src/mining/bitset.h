@@ -4,6 +4,7 @@
 #ifndef BUNDLEMINE_MINING_BITSET_H_
 #define BUNDLEMINE_MINING_BITSET_H_
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <span>
@@ -25,6 +26,11 @@ class Bitset {
   void Set(std::size_t i) {
     BM_DCHECK(i < size_);
     words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+
+  void Clear(std::size_t i) {
+    BM_DCHECK(i < size_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
   }
 
   bool Test(std::size_t i) const {
@@ -69,6 +75,20 @@ class Bitset {
       if ((words_[w] & other.words_[w]) != 0) return true;
     }
     return false;
+  }
+
+  /// Copy with a new size: bits [0, min(size, new_size)) preserved, the
+  /// rest zero (shrinking silently drops bits at or past new_size). Word
+  /// copy plus a tail mask — the streaming market's user-dimension resize.
+  Bitset Resized(std::size_t new_size) const {
+    Bitset out(new_size);
+    const std::size_t shared = std::min(out.words_.size(), words_.size());
+    for (std::size_t w = 0; w < shared; ++w) out.words_[w] = words_[w];
+    const std::size_t tail = new_size & 63;
+    if (!out.words_.empty() && tail != 0) {
+      out.words_.back() &= (std::uint64_t{1} << tail) - 1;
+    }
+    return out;
   }
 
   /// Raw word storage (64 positions per word, LSB-first); exposed so callers

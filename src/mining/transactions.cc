@@ -1,8 +1,21 @@
 #include "mining/transactions.h"
 
+#include <utility>
+
 #include "util/check.h"
 
 namespace bundlemine {
+namespace {
+
+std::vector<int> CountColumns(const std::vector<Bitset>& columns) {
+  std::vector<int> supports(columns.size(), 0);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    supports[i] = static_cast<int>(columns[i].Count());
+  }
+  return supports;
+}
+
+}  // namespace
 
 TransactionDb TransactionDb::FromWtp(const WtpMatrix& wtp) {
   TransactionDb db;
@@ -14,6 +27,7 @@ TransactionDb TransactionDb::FromWtp(const WtpMatrix& wtp) {
       if (e.w > 0.0) db.columns_[static_cast<std::size_t>(i)].Set(static_cast<std::size_t>(e.id));
     }
   }
+  db.supports_ = CountColumns(db.columns_);
   return db;
 }
 
@@ -28,6 +42,18 @@ TransactionDb TransactionDb::FromTransactions(
       db.columns_[static_cast<std::size_t>(item)].Set(t);
     }
   }
+  db.supports_ = CountColumns(db.columns_);
+  return db;
+}
+
+TransactionDb TransactionDb::FromColumns(int num_transactions,
+                                         std::vector<Bitset> columns,
+                                         std::vector<int> supports) {
+  BM_CHECK(columns.size() == supports.size());
+  TransactionDb db;
+  db.num_transactions_ = num_transactions;
+  db.columns_ = std::move(columns);
+  db.supports_ = std::move(supports);
   return db;
 }
 
@@ -37,7 +63,8 @@ const Bitset& TransactionDb::Column(int item) const {
 }
 
 int TransactionDb::ItemSupport(int item) const {
-  return static_cast<int>(Column(item).Count());
+  BM_CHECK(item >= 0 && item < num_items());
+  return supports_[static_cast<std::size_t>(item)];
 }
 
 int TransactionDb::Support(const std::vector<int>& itemset) const {
@@ -45,6 +72,56 @@ int TransactionDb::Support(const std::vector<int>& itemset) const {
   Bitset acc = Column(itemset[0]);
   for (std::size_t i = 1; i < itemset.size(); ++i) acc.AndWith(Column(itemset[i]));
   return static_cast<int>(acc.Count());
+}
+
+void IncrementalTransactionIndex::Reset(int num_items, int num_users) {
+  BM_CHECK(num_items >= 0 && num_users >= 0);
+  num_users_ = num_users;
+  columns_.assign(static_cast<std::size_t>(num_items),
+                  Bitset(static_cast<std::size_t>(num_users)));
+  supports_.assign(static_cast<std::size_t>(num_items), 0);
+}
+
+void IncrementalTransactionIndex::SetNumUsers(int num_users) {
+  BM_CHECK(num_users >= 0);
+  if (num_users == num_users_) return;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i] = columns_[i].Resized(static_cast<std::size_t>(num_users));
+    // Shrinks must not drop set bits, or supports_ would drift; MarketStream
+    // erases a departing user's ratings before shrinking past them.
+    BM_CHECK(static_cast<int>(columns_[i].Count()) == supports_[i]);
+  }
+  num_users_ = num_users;
+}
+
+bool IncrementalTransactionIndex::Test(int item, int user) const {
+  BM_CHECK(item >= 0 && item < num_items());
+  BM_CHECK(user >= 0 && user < num_users_);
+  return columns_[static_cast<std::size_t>(item)].Test(static_cast<std::size_t>(user));
+}
+
+void IncrementalTransactionIndex::SetBit(int item, int user, bool present) {
+  BM_CHECK(item >= 0 && item < num_items());
+  BM_CHECK(user >= 0 && user < num_users_);
+  Bitset& col = columns_[static_cast<std::size_t>(item)];
+  const bool was = col.Test(static_cast<std::size_t>(user));
+  if (was == present) return;
+  if (present) {
+    col.Set(static_cast<std::size_t>(user));
+    ++supports_[static_cast<std::size_t>(item)];
+  } else {
+    col.Clear(static_cast<std::size_t>(user));
+    --supports_[static_cast<std::size_t>(item)];
+  }
+}
+
+int IncrementalTransactionIndex::ItemSupport(int item) const {
+  BM_CHECK(item >= 0 && item < num_items());
+  return supports_[static_cast<std::size_t>(item)];
+}
+
+TransactionDb IncrementalTransactionIndex::Snapshot() const {
+  return TransactionDb::FromColumns(num_users_, columns_, supports_);
 }
 
 }  // namespace bundlemine

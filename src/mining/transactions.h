@@ -34,21 +34,72 @@ class TransactionDb {
   static TransactionDb FromTransactions(int num_items,
                                         const std::vector<std::vector<int>>& txns);
 
+  /// Adopts already-built columns plus their (trusted) per-column support
+  /// counts — the IncrementalTransactionIndex snapshot path.
+  static TransactionDb FromColumns(int num_transactions,
+                                   std::vector<Bitset> columns,
+                                   std::vector<int> supports);
+
   int num_items() const { return static_cast<int>(columns_.size()); }
   int num_transactions() const { return num_transactions_; }
 
   /// Bitmap of transactions containing `item`.
   const Bitset& Column(int item) const;
 
-  /// Support of a single item.
+  /// Support of a single item (cached — O(1)).
   int ItemSupport(int item) const;
 
   /// Support of an arbitrary itemset (intersection of columns).
   int Support(const std::vector<int>& itemset) const;
 
+  bool operator==(const TransactionDb& other) const {
+    return num_transactions_ == other.num_transactions_ &&
+           columns_ == other.columns_ && supports_ == other.supports_;
+  }
+
  private:
   int num_transactions_ = 0;
   std::vector<Bitset> columns_;
+  std::vector<int> supports_;  ///< supports_[i] == columns_[i].Count().
+};
+
+/// Mutable per-item user bitmaps with maintained support counts — the
+/// streaming market's transaction view. A bit (item, user) is set iff the
+/// user holds a rating for the item; since WTP = (stars/5)·λ·price with
+/// stars > 0 and price > 0 enforced by MarketStream, positivity is
+/// λ-independent, so this one maintained index serves every λ cell of a
+/// sweep grid without rebuilding.
+///
+/// Not internally synchronized — MarketStream guards it with its own mutex.
+class IncrementalTransactionIndex {
+ public:
+  /// Reinitializes to an all-zero (num_items × num_users) index.
+  void Reset(int num_items, int num_users);
+
+  /// Grows or shrinks the user dimension, preserving bits of surviving
+  /// users. Shrinking requires the dropped tail users to hold no bits
+  /// (checked) so support counts stay exact.
+  void SetNumUsers(int num_users);
+
+  int num_items() const { return static_cast<int>(columns_.size()); }
+  int num_users() const { return num_users_; }
+
+  bool Test(int item, int user) const;
+
+  /// Sets bit (item, user) to `present`, maintaining the support count.
+  /// No-op when the bit already has that value.
+  void SetBit(int item, int user, bool present);
+
+  int ItemSupport(int item) const;
+
+  /// Immutable copy, bit-identical to TransactionDb::FromWtp of a WTP
+  /// matrix built from the same ratings (any λ > 0).
+  TransactionDb Snapshot() const;
+
+ private:
+  int num_users_ = 0;
+  std::vector<Bitset> columns_;
+  std::vector<int> supports_;
 };
 
 }  // namespace bundlemine

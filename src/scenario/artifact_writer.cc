@@ -95,7 +95,11 @@ JsonValue CellJson(const ScenarioSpec& spec, const SweepCellResult& cell,
   }
   out.Set("bundle_size_histogram", std::move(histogram));
   JsonValue stats = JsonValue::Object();
-  stats.Set("pairs_evaluated", JsonValue::Int(cell.stats.pairs_evaluated));
+  // Evaluated + reused: invariant across the batch and incremental resolve
+  // paths, so incremental artifacts stay byte-identical to batch rebuilds
+  // (batch runs have pairs_reused == 0 and emit the same bytes as before).
+  stats.Set("pairs_evaluated",
+            JsonValue::Int(cell.stats.pairs_evaluated + cell.stats.pairs_reused));
   stats.Set("merges", JsonValue::Int(cell.stats.merges));
   stats.Set("rounds", JsonValue::Int(cell.stats.rounds));
   stats.Set("deadline_hit", JsonValue::Bool(cell.stats.deadline_hit));

@@ -200,6 +200,7 @@ void RunCell(const ScenarioSpec& spec, const SweepData& data,
   context_options.seed = CellSeed(spec.dataset.seed, cell.index);
   context_options.deadline_seconds = options.deadline_seconds;
   SolveContext context(context_options);
+  if (options.context_hook) options.context_hook(cell.index, context);
 
   WallTimer timer;
   BundleSolution solution = SolveMethod(cell.method, problem, context);

@@ -90,6 +90,13 @@ struct SweepRunnerOptions {
   /// Trace revenues are deterministic, so captured artifacts stay
   /// byte-identical across thread counts.
   bool capture_traces = false;
+  /// Called with (cell.index, context) after each cell's SolveContext is
+  /// constructed, before the solve. Engine::Resolve attaches per-cell
+  /// ResolveHints here. Cells run concurrently, so the hook must be
+  /// thread-safe; it must not change anything that affects solve *results*
+  /// (hints only redirect where identical numbers come from), or the
+  /// bit-identity guarantee is lost.
+  std::function<void(int, SolveContext&)> context_hook;
 };
 
 /// Expands the spec's (axis-value × method) grid in canonical order.

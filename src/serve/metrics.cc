@@ -4,7 +4,16 @@
 
 namespace bundlemine {
 
-void ServeMetrics::RecordResult(WireKind kind, bool ok, double seconds) {
+ServeMetrics::SessionCounters& ServeMetrics::SessionBucket(
+    const std::string& session) {
+  auto it = sessions_.find(session);
+  if (it != sessions_.end()) return it->second;
+  if (sessions_.size() >= kMaxSessions) return sessions_["(other)"];
+  return sessions_[session];
+}
+
+void ServeMetrics::RecordResult(WireKind kind, bool ok, double seconds,
+                                const std::string& session) {
   MutexLock lock(mu_);
   KindCounters& counters = counters_[static_cast<int>(kind)];
   if (ok) {
@@ -17,6 +26,14 @@ void ServeMetrics::RecordResult(WireKind kind, bool ok, double seconds) {
   if (counters.in_flight > 0) --counters.in_flight;
   counters.total_seconds += seconds;
   counters.max_seconds = std::max(counters.max_seconds, seconds);
+  if (!session.empty()) {
+    SessionCounters& bucket = SessionBucket(session);
+    if (ok) {
+      ++bucket.ok;
+    } else {
+      ++bucket.errors;
+    }
+  }
 }
 
 void ServeMetrics::RecordAdmitted(WireKind kind) {
@@ -30,9 +47,10 @@ void ServeMetrics::RecordAdmissionRollback(WireKind kind) {
   if (counters.in_flight > 0) --counters.in_flight;
 }
 
-void ServeMetrics::RecordRejected(WireKind kind) {
+void ServeMetrics::RecordRejected(WireKind kind, const std::string& session) {
   MutexLock lock(mu_);
   ++counters_[static_cast<int>(kind)].rejected;
+  if (!session.empty()) ++SessionBucket(session).rejected;
 }
 
 void ServeMetrics::RecordParseError() {
@@ -52,7 +70,7 @@ std::int64_t ServeMetrics::TotalCompleted() const {
 JsonValue ServeMetrics::ToJson() const {
   MutexLock lock(mu_);
   JsonValue out = JsonValue::Object();
-  for (int k = 0; k < kNumKinds; ++k) {
+  for (int k = 0; k < kNumWireKinds; ++k) {
     const KindCounters& counters = counters_[k];
     JsonValue entry = JsonValue::Object();
     entry.Set("ok", JsonValue::Int(counters.ok));
@@ -64,6 +82,17 @@ JsonValue ServeMetrics::ToJson() const {
     out.Set(WireKindName(static_cast<WireKind>(k)), std::move(entry));
   }
   out.Set("parse_errors", JsonValue::Int(parse_errors_));
+  if (!sessions_.empty()) {
+    JsonValue sessions = JsonValue::Object();
+    for (const auto& [tag, bucket] : sessions_) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("ok", JsonValue::Int(bucket.ok));
+      entry.Set("errors", JsonValue::Int(bucket.errors));
+      entry.Set("rejected", JsonValue::Int(bucket.rejected));
+      sessions.Set(tag, std::move(entry));
+    }
+    out.Set("sessions", std::move(sessions));
+  }
   return out;
 }
 

@@ -5,11 +5,17 @@
 // Latency is measured admission-to-response (queue wait included — that is
 // what a client experiences), so the counters are wall-clock-dependent and
 // deliberately live OUTSIDE the deterministic solve/sweep response bodies.
+//
+// Requests tagged with a "session" additionally feed a bounded per-session
+// breakdown (completions, errors, rejections) keyed by the tag — the stats
+// view a multi-tenant driver reads to attribute load.
 
 #ifndef BUNDLEMINE_SERVE_METRICS_H_
 #define BUNDLEMINE_SERVE_METRICS_H_
 
 #include <cstdint>
+#include <map>
+#include <string>
 
 #include "serve/protocol.h"
 #include "util/json.h"
@@ -21,11 +27,18 @@ namespace bundlemine {
 /// Thread-safe serving counters. One instance per server.
 class ServeMetrics {
  public:
+  /// At most this many distinct session tags are tracked; later tags fold
+  /// into the synthetic "(other)" bucket so a tag-churning client cannot
+  /// grow the stats document without bound.
+  static constexpr std::size_t kMaxSessions = 64;
+
   /// Records a completed request of `kind`: `ok` distinguishes success from
   /// a typed error response; `seconds` is admission-to-response latency.
   /// Decrements the kind's in-flight gauge when one was admitted (control
-  /// kinds answer inline and never show up in flight).
-  void RecordResult(WireKind kind, bool ok, double seconds) EXCLUDES(mu_);
+  /// kinds answer inline and never show up in flight). A non-empty `session`
+  /// also bumps that session's counters.
+  void RecordResult(WireKind kind, bool ok, double seconds,
+                    const std::string& session = std::string()) EXCLUDES(mu_);
 
   /// Records that a request of `kind` was admitted (queued for a worker).
   /// The kind's in-flight gauge rises until RecordResult — the signal a
@@ -38,7 +51,9 @@ class ServeMetrics {
   void RecordAdmissionRollback(WireKind kind) EXCLUDES(mu_);
 
   /// Records an admission rejection (queue full / draining) of `kind`.
-  void RecordRejected(WireKind kind) EXCLUDES(mu_);
+  void RecordRejected(WireKind kind,
+                      const std::string& session = std::string())
+      EXCLUDES(mu_);
 
   /// Records a line that failed ParseWireRequest (no kind to attribute).
   void RecordParseError() EXCLUDES(mu_);
@@ -48,7 +63,8 @@ class ServeMetrics {
 
   /// {"ping":{"ok":...,"errors":...,"rejected":...,"in_flight":...,
   ///  "total_seconds":...,"max_seconds":...}, ..., "parse_errors":N} with
-  ///  kinds in wire order.
+  ///  kinds in wire order, plus "sessions":{tag:{"ok","errors","rejected"}}
+  ///  when any request carried a session tag.
   JsonValue ToJson() const EXCLUDES(mu_);
 
  private:
@@ -61,10 +77,21 @@ class ServeMetrics {
     double max_seconds = 0.0;
   };
 
-  static constexpr int kNumKinds = 5;
+  struct SessionCounters {
+    std::int64_t ok = 0;
+    std::int64_t errors = 0;
+    std::int64_t rejected = 0;
+  };
+
+  /// Session bucket for `session`, folding overflow beyond kMaxSessions
+  /// into "(other)".
+  SessionCounters& SessionBucket(const std::string& session) REQUIRES(mu_);
 
   mutable Mutex mu_;
-  KindCounters counters_[kNumKinds] GUARDED_BY(mu_);
+  KindCounters counters_[kNumWireKinds] GUARDED_BY(mu_);
+  // Ordered map: stats output iterates it, and deterministic key order keeps
+  // the stats document stable for a given request history.
+  std::map<std::string, SessionCounters> sessions_ GUARDED_BY(mu_);
   std::int64_t parse_errors_ GUARDED_BY(mu_) = 0;
 };
 

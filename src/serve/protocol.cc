@@ -12,7 +12,7 @@ namespace {
 // Field tables drive both validation (reject unknown keys — a typo'd field
 // silently falling back to a default would be a debugging tarpit) and the
 // "valid fields" half of the error message.
-constexpr const char* kCommonFields[] = {"kind", "id"};
+constexpr const char* kCommonFields[] = {"kind", "id", "v", "session"};
 constexpr const char* kSolveFields[] = {"method", "dataset", "theta",
                                         "k",      "levels",  "options"};
 constexpr const char* kDatasetFields[] = {
@@ -21,6 +21,23 @@ constexpr const char* kDatasetFields[] = {
 constexpr const char* kSweepFields[] = {"spec", "shard", "options"};
 constexpr const char* kOptionsFields[] = {"threads", "deadline_seconds",
                                           "seed"};
+constexpr const char* kUpdateFields[] = {"load", "deltas"};
+constexpr const char* kResolveFields[] = {"spec", "options"};
+constexpr const char* kBatchFields[] = {"requests"};
+// Per-op delta field tables ("op" always allowed).
+constexpr const char* kDeltaAddUserFields[] = {"op", "ratings"};
+constexpr const char* kDeltaRemoveUserFields[] = {"op", "user"};
+constexpr const char* kDeltaRatingFields[] = {"op", "user", "item", "stars"};
+constexpr const char* kDeltaRemoveRatingFields[] = {"op", "user", "item"};
+constexpr const char* kDeltaScalePriceFields[] = {"op", "item", "factor"};
+constexpr const char* kDeltaSetPriceFields[] = {"op", "item", "price"};
+constexpr const char* kDeltaRatingEntryFields[] = {"item", "stars"};
+
+constexpr const char* kKindList =
+    "ping, solve, sweep, update, resolve, batch, stats, shutdown";
+constexpr const char* kDeltaOpList =
+    "add_user, remove_user, add_rating, update_rating, remove_rating, "
+    "scale_price, set_price";
 
 template <std::size_t N>
 std::string FieldList(const char* const (&fields)[N]) {
@@ -97,6 +114,23 @@ Status ReadDouble(const JsonValue& object, const char* what, const char* key,
   return Status::Ok();
 }
 
+// Required variants: absent fields are an error naming the field.
+Status RequireInt(const JsonValue& object, const char* what, const char* key,
+                  std::int64_t* out) {
+  if (object.FindMember(key) == nullptr) {
+    return Status::InvalidArgument(StrFormat("%s needs field '%s'", what, key));
+  }
+  return ReadInt(object, what, key, out);
+}
+
+Status RequireDouble(const JsonValue& object, const char* what,
+                     const char* key, double* out) {
+  if (object.FindMember(key) == nullptr) {
+    return Status::InvalidArgument(StrFormat("%s needs field '%s'", what, key));
+  }
+  return ReadDouble(object, what, key, out);
+}
+
 Status ParseOptions(const JsonValue& request, const char* what,
                     RequestOptions* options) {
   const JsonValue* object = request.FindMember("options");
@@ -124,28 +158,21 @@ Status ParseOptions(const JsonValue& request, const char* what,
   return Status::Ok();
 }
 
-Status ParseDataset(const JsonValue& request, DatasetSpec* dataset) {
-  const JsonValue* object = request.FindMember("dataset");
-  if (object == nullptr) {
-    return Status::InvalidArgument(
-        "solve request needs a 'dataset' object (wire solves reference a "
-        "generator profile; caller-owned problems are in-process only)");
-  }
-  if (object->kind() != JsonValue::Kind::kObject) {
-    return TypeError("solve request", "dataset", "an object");
-  }
-  if (Status s = CheckFields(*object, "dataset", kDatasetFields, false);
-      !s.ok()) {
+// Parses a dataset-reference object (the value of solve's "dataset" or
+// update's "load"). `what` names it in diagnostics.
+Status ParseDatasetObject(const JsonValue& object, const char* what,
+                          DatasetSpec* dataset) {
+  if (Status s = CheckFields(object, what, kDatasetFields, false); !s.ok()) {
     return s;
   }
-  if (Status s = ReadString(*object, "dataset", "profile", &dataset->profile);
+  if (Status s = ReadString(object, what, "profile", &dataset->profile);
       !s.ok()) {
     return s;
   }
   std::int64_t seed = static_cast<std::int64_t>(dataset->seed);
-  if (Status s = ReadInt(*object, "dataset", "seed", &seed); !s.ok()) return s;
+  if (Status s = ReadInt(object, what, "seed", &seed); !s.ok()) return s;
   dataset->seed = static_cast<std::uint64_t>(seed);
-  if (Status s = ReadDouble(*object, "dataset", "lambda", &dataset->lambda);
+  if (Status s = ReadDouble(object, what, "lambda", &dataset->lambda);
       !s.ok()) {
     return s;
   }
@@ -153,11 +180,9 @@ Status ParseDataset(const JsonValue& request, DatasetSpec* dataset) {
   // sent, mirroring DatasetSpec semantics.
   const auto read_override = [&](const char* key,
                                  std::optional<double>* out) -> Status {
-    if (object->FindMember(key) == nullptr) return Status::Ok();
+    if (object.FindMember(key) == nullptr) return Status::Ok();
     double value = 0.0;
-    if (Status s = ReadDouble(*object, "dataset", key, &value); !s.ok()) {
-      return s;
-    }
+    if (Status s = ReadDouble(object, what, key, &value); !s.ok()) return s;
     *out = value;
     return Status::Ok();
   };
@@ -174,10 +199,9 @@ Status ParseDataset(const JsonValue& request, DatasetSpec* dataset) {
       !s.ok()) {
     return s;
   }
-  if (object->FindMember("genres_per_user") != nullptr) {
+  if (object.FindMember("genres_per_user") != nullptr) {
     std::int64_t value = 0;
-    if (Status s = ReadInt(*object, "dataset", "genres_per_user", &value);
-        !s.ok()) {
+    if (Status s = ReadInt(object, what, "genres_per_user", &value); !s.ok()) {
       return s;
     }
     dataset->genres_per_user = static_cast<int>(value);
@@ -185,38 +209,53 @@ Status ParseDataset(const JsonValue& request, DatasetSpec* dataset) {
   return Status::Ok();
 }
 
+// Parses the solve payload fields out of `document` (a top-level solve
+// request or one batch entry). The caller runs CheckFields first with the
+// appropriate common-field allowance.
+Status ParseSolveFields(const JsonValue& document, const char* what,
+                        SolveRequest* solve) {
+  if (Status s = ReadString(document, what, "method", &solve->method);
+      !s.ok()) {
+    return s;
+  }
+  if (solve->method.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s needs a 'method' string (a BundlerRegistry key)", what));
+  }
+  const JsonValue* dataset_object = document.FindMember("dataset");
+  if (dataset_object == nullptr) {
+    return Status::InvalidArgument(StrFormat(
+        "%s needs a 'dataset' object (wire solves reference a "
+        "generator profile; caller-owned problems are in-process only)",
+        what));
+  }
+  if (dataset_object->kind() != JsonValue::Kind::kObject) {
+    return TypeError(what, "dataset", "an object");
+  }
+  DatasetSpec dataset;
+  if (Status s = ParseDatasetObject(*dataset_object, "dataset", &dataset);
+      !s.ok()) {
+    return s;
+  }
+  solve->dataset = std::move(dataset);
+  if (Status s = ReadDouble(document, what, "theta", &solve->theta); !s.ok()) {
+    return s;
+  }
+  std::int64_t k = solve->max_bundle_size;
+  if (Status s = ReadInt(document, what, "k", &k); !s.ok()) return s;
+  solve->max_bundle_size = static_cast<int>(k);
+  std::int64_t levels = solve->price_levels;
+  if (Status s = ReadInt(document, what, "levels", &levels); !s.ok()) return s;
+  solve->price_levels = static_cast<int>(levels);
+  return ParseOptions(document, what, &solve->options);
+}
+
 Status ParseSolve(const JsonValue& document, WireRequest* request) {
   if (Status s = CheckFields(document, "solve request", kSolveFields, true);
       !s.ok()) {
     return s;
   }
-  if (Status s = ReadString(document, "solve request", "method",
-                            &request->solve.method);
-      !s.ok()) {
-    return s;
-  }
-  if (request->solve.method.empty()) {
-    return Status::InvalidArgument(
-        "solve request needs a 'method' string (a BundlerRegistry key)");
-  }
-  DatasetSpec dataset;
-  if (Status s = ParseDataset(document, &dataset); !s.ok()) return s;
-  request->solve.dataset = std::move(dataset);
-  if (Status s = ReadDouble(document, "solve request", "theta",
-                            &request->solve.theta);
-      !s.ok()) {
-    return s;
-  }
-  std::int64_t k = request->solve.max_bundle_size;
-  if (Status s = ReadInt(document, "solve request", "k", &k); !s.ok()) return s;
-  request->solve.max_bundle_size = static_cast<int>(k);
-  std::int64_t levels = request->solve.price_levels;
-  if (Status s = ReadInt(document, "solve request", "levels", &levels);
-      !s.ok()) {
-    return s;
-  }
-  request->solve.price_levels = static_cast<int>(levels);
-  return ParseOptions(document, "solve request", &request->solve.options);
+  return ParseSolveFields(document, "solve request", &request->solve);
 }
 
 Status ParseSweep(const JsonValue& document, WireRequest* request) {
@@ -248,8 +287,250 @@ Status ParseSweep(const JsonValue& document, WireRequest* request) {
   return ParseOptions(document, "sweep request", &request->sweep_options);
 }
 
-void SetId(JsonValue* response, const std::optional<std::int64_t>& id) {
-  if (id.has_value()) response->Set("id", JsonValue::Int(*id));
+Status ParseDelta(const JsonValue& value, std::size_t index,
+                  MarketDelta* delta) {
+  const std::string label = StrFormat("delta %zu", index);
+  const char* what = label.c_str();
+  if (value.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument(StrFormat("%s must be an object", what));
+  }
+  const JsonValue* op = value.FindMember("op");
+  if (op == nullptr || op->kind() != JsonValue::Kind::kString) {
+    return Status::InvalidArgument(StrFormat(
+        "%s needs an 'op' string (one of: %s)", what, kDeltaOpList));
+  }
+  std::optional<MarketDeltaOp> parsed_op = MarketDeltaOpByName(op->AsString());
+  if (!parsed_op) {
+    return Status::InvalidArgument(
+        StrFormat("%s has unknown op '%s' (one of: %s)", what,
+                  op->AsString().c_str(), kDeltaOpList));
+  }
+  delta->op = *parsed_op;
+
+  std::int64_t user = delta->user;
+  std::int64_t item = delta->item;
+  switch (delta->op) {
+    case MarketDeltaOp::kAddUser: {
+      if (Status s = CheckFields(value, what, kDeltaAddUserFields, false);
+          !s.ok()) {
+        return s;
+      }
+      const JsonValue* ratings = value.FindMember("ratings");
+      if (ratings == nullptr) return Status::Ok();
+      if (ratings->kind() != JsonValue::Kind::kArray) {
+        return TypeError(what, "ratings", "an array");
+      }
+      for (std::size_t r = 0; r < ratings->size(); ++r) {
+        const JsonValue& entry = ratings->at(r);
+        const std::string entry_label =
+            StrFormat("%s rating %zu", what, r);
+        if (entry.kind() != JsonValue::Kind::kObject) {
+          return Status::InvalidArgument(
+              StrFormat("%s must be an object", entry_label.c_str()));
+        }
+        if (Status s = CheckFields(entry, entry_label.c_str(),
+                                   kDeltaRatingEntryFields, false);
+            !s.ok()) {
+          return s;
+        }
+        std::int64_t rating_item = -1;
+        double stars = 0.0;
+        if (Status s = RequireInt(entry, entry_label.c_str(), "item",
+                                  &rating_item);
+            !s.ok()) {
+          return s;
+        }
+        if (Status s = RequireDouble(entry, entry_label.c_str(), "stars",
+                                     &stars);
+            !s.ok()) {
+          return s;
+        }
+        delta->ratings.push_back(
+            MarketRating{static_cast<int>(rating_item), stars});
+      }
+      return Status::Ok();
+    }
+    case MarketDeltaOp::kRemoveUser:
+      if (Status s = CheckFields(value, what, kDeltaRemoveUserFields, false);
+          !s.ok()) {
+        return s;
+      }
+      if (Status s = ReadInt(value, what, "user", &user); !s.ok()) return s;
+      delta->user = static_cast<int>(user);
+      return Status::Ok();
+    case MarketDeltaOp::kAddRating:
+    case MarketDeltaOp::kUpdateRating:
+      if (Status s = CheckFields(value, what, kDeltaRatingFields, false);
+          !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireInt(value, what, "user", &user); !s.ok()) return s;
+      if (Status s = RequireInt(value, what, "item", &item); !s.ok()) return s;
+      if (Status s = RequireDouble(value, what, "stars", &delta->stars);
+          !s.ok()) {
+        return s;
+      }
+      delta->user = static_cast<int>(user);
+      delta->item = static_cast<int>(item);
+      return Status::Ok();
+    case MarketDeltaOp::kRemoveRating:
+      if (Status s = CheckFields(value, what, kDeltaRemoveRatingFields, false);
+          !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireInt(value, what, "user", &user); !s.ok()) return s;
+      if (Status s = RequireInt(value, what, "item", &item); !s.ok()) return s;
+      delta->user = static_cast<int>(user);
+      delta->item = static_cast<int>(item);
+      return Status::Ok();
+    case MarketDeltaOp::kScalePrice:
+      if (Status s = CheckFields(value, what, kDeltaScalePriceFields, false);
+          !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireInt(value, what, "item", &item); !s.ok()) return s;
+      if (Status s = RequireDouble(value, what, "factor", &delta->value);
+          !s.ok()) {
+        return s;
+      }
+      delta->item = static_cast<int>(item);
+      return Status::Ok();
+    case MarketDeltaOp::kSetPrice:
+      if (Status s = CheckFields(value, what, kDeltaSetPriceFields, false);
+          !s.ok()) {
+        return s;
+      }
+      if (Status s = RequireInt(value, what, "item", &item); !s.ok()) return s;
+      if (Status s = RequireDouble(value, what, "price", &delta->value);
+          !s.ok()) {
+        return s;
+      }
+      delta->item = static_cast<int>(item);
+      return Status::Ok();
+  }
+  return Status::Internal("unhandled delta op");
+}
+
+Status ParseUpdate(const JsonValue& document, WireRequest* request) {
+  if (Status s = CheckFields(document, "update request", kUpdateFields, true);
+      !s.ok()) {
+    return s;
+  }
+  if (const JsonValue* load = document.FindMember("load"); load != nullptr) {
+    if (load->kind() != JsonValue::Kind::kObject) {
+      return TypeError("update request", "load", "an object");
+    }
+    DatasetSpec dataset;
+    if (Status s = ParseDatasetObject(*load, "load", &dataset); !s.ok()) {
+      return s;
+    }
+    request->load = std::move(dataset);
+  }
+  if (const JsonValue* deltas = document.FindMember("deltas");
+      deltas != nullptr) {
+    if (deltas->kind() != JsonValue::Kind::kArray) {
+      return TypeError("update request", "deltas", "an array");
+    }
+    for (std::size_t i = 0; i < deltas->size(); ++i) {
+      MarketDelta delta;
+      if (Status s = ParseDelta(deltas->at(i), i, &delta); !s.ok()) return s;
+      request->deltas.push_back(std::move(delta));
+    }
+  }
+  if (!request->load.has_value() && request->deltas.empty()) {
+    return Status::InvalidArgument(
+        "update request needs a 'load' object and/or a non-empty 'deltas' "
+        "array");
+  }
+  return Status::Ok();
+}
+
+Status ParseResolve(const JsonValue& document, WireRequest* request) {
+  if (Status s =
+          CheckFields(document, "resolve request", kResolveFields, true);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = ReadString(document, "resolve request", "spec",
+                            &request->resolve_spec);
+      !s.ok()) {
+    return s;
+  }
+  if (request->resolve_spec.empty()) {
+    return Status::InvalidArgument(
+        "resolve request needs a 'spec' string (a preset name, inline "
+        "'key=value;...' text, or @path; dataset axes are not allowed — the "
+        "market stream supplies the dataset)");
+  }
+  return ParseOptions(document, "resolve request", &request->resolve_options);
+}
+
+Status ParseBatch(const JsonValue& document, WireRequest* request) {
+  if (Status s = CheckFields(document, "batch request", kBatchFields, true);
+      !s.ok()) {
+    return s;
+  }
+  const JsonValue* requests = document.FindMember("requests");
+  if (requests == nullptr || requests->kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument(
+        "batch request needs a 'requests' array of solve payloads");
+  }
+  if (requests->size() == 0) {
+    return Status::InvalidArgument("batch request needs at least one entry");
+  }
+  if (requests->size() > kMaxBatchRequests) {
+    return Status::InvalidArgument(
+        StrFormat("batch request has %zu entries (max %zu)", requests->size(),
+                  kMaxBatchRequests));
+  }
+  for (std::size_t i = 0; i < requests->size(); ++i) {
+    const JsonValue& entry = requests->at(i);
+    const std::string label = StrFormat("batch entry %zu", i);
+    if (entry.kind() != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument(
+          StrFormat("%s must be an object", label.c_str()));
+    }
+    // Entries are bare solve payloads: no nested envelope or kind.
+    if (Status s = CheckFields(entry, label.c_str(), kSolveFields, false);
+        !s.ok()) {
+      return s;
+    }
+    SolveRequest solve;
+    if (Status s = ParseSolveFields(entry, label.c_str(), &solve); !s.ok()) {
+      return s;
+    }
+    request->batch.push_back(std::move(solve));
+  }
+  return Status::Ok();
+}
+
+Status ValidateSessionTag(const std::string& session) {
+  const auto valid_char = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+  };
+  bool ok = !session.empty() && session.size() <= kMaxSessionChars;
+  for (std::size_t i = 0; ok && i < session.size(); ++i) {
+    ok = valid_char(session[i]);
+  }
+  if (!ok) {
+    return Status::InvalidArgument(
+        StrFormat("bad 'session' tag: must be 1-%zu chars of [A-Za-z0-9._-]",
+                  kMaxSessionChars));
+  }
+  return Status::Ok();
+}
+
+void SetEnvelope(JsonValue* response, const WireEnvelope& envelope) {
+  // "v" is echoed only when the request spelled it out, so implicit-v1
+  // clients keep byte-identical responses.
+  if (envelope.v_explicit) response->Set("v", JsonValue::Int(envelope.v));
+  if (envelope.id.has_value()) {
+    response->Set("id", JsonValue::Int(*envelope.id));
+  }
+  if (!envelope.session.empty()) {
+    response->Set("session", JsonValue::Str(envelope.session));
+  }
 }
 
 }  // namespace
@@ -261,20 +542,23 @@ const char* WireKindName(WireKind kind) {
     case WireKind::kSweep: return "sweep";
     case WireKind::kStats: return "stats";
     case WireKind::kShutdown: return "shutdown";
+    case WireKind::kUpdate: return "update";
+    case WireKind::kResolve: return "resolve";
+    case WireKind::kBatch: return "batch";
   }
   return "";
 }
 
 std::optional<WireKind> WireKindByName(const std::string& name) {
-  for (WireKind kind : {WireKind::kPing, WireKind::kSolve, WireKind::kSweep,
-                        WireKind::kStats, WireKind::kShutdown}) {
+  for (int i = 0; i < kNumWireKinds; ++i) {
+    const WireKind kind = static_cast<WireKind>(i);
     if (name == WireKindName(kind)) return kind;
   }
   return std::nullopt;
 }
 
-StatusOr<WireRequest> ParseWireRequest(
-    const std::string& line, std::optional<std::int64_t>* error_id) {
+StatusOr<WireRequest> ParseWireRequest(const std::string& line,
+                                       WireEnvelope* error_envelope) {
   if (line.size() > kMaxWireRequestBytes) {
     return Status::InvalidArgument(
         StrFormat("oversized request: %zu bytes (max %zu)", line.size(),
@@ -291,28 +575,54 @@ StatusOr<WireRequest> ParseWireRequest(
   }
 
   WireRequest request;
-  // Extract the id before any validation can fail, so the error response
-  // for a bad-but-identifiable request still echoes it.
+  // Extract the envelope before any validation can fail, so the error
+  // response for a bad-but-identifiable request still echoes it and
+  // pipelining clients stay in sync.
   if (const JsonValue* id = document->FindMember("id"); id != nullptr) {
     if (id->kind() != JsonValue::Kind::kInt) {
       return TypeError("request", "id", "an integer");
     }
-    request.id = id->AsInt();
-    if (error_id != nullptr) *error_id = id->AsInt();
+    request.envelope.id = id->AsInt();
+    if (error_envelope != nullptr) error_envelope->id = id->AsInt();
+  }
+  if (const JsonValue* v = document->FindMember("v"); v != nullptr) {
+    if (v->kind() != JsonValue::Kind::kInt) {
+      return TypeError("request", "v", "an integer");
+    }
+    request.envelope.v = static_cast<int>(v->AsInt());
+    request.envelope.v_explicit = true;
+    if (error_envelope != nullptr) {
+      error_envelope->v = request.envelope.v;
+      error_envelope->v_explicit = true;
+    }
+  }
+  if (const JsonValue* session = document->FindMember("session");
+      session != nullptr) {
+    if (session->kind() != JsonValue::Kind::kString) {
+      return TypeError("request", "session", "a string");
+    }
+    if (Status s = ValidateSessionTag(session->AsString()); !s.ok()) return s;
+    request.envelope.session = session->AsString();
+    if (error_envelope != nullptr) {
+      error_envelope->session = request.envelope.session;
+    }
+  }
+  if (request.envelope.v != kWireProtocolVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported protocol version %d (this server speaks v%d)",
+                  request.envelope.v, kWireProtocolVersion));
   }
 
   const JsonValue* kind = document->FindMember("kind");
   if (kind == nullptr || kind->kind() != JsonValue::Kind::kString) {
-    return Status::InvalidArgument(
-        "request needs a 'kind' string (one of: ping, solve, sweep, stats, "
-        "shutdown)");
+    return Status::InvalidArgument(StrFormat(
+        "request needs a 'kind' string (one of: %s)", kKindList));
   }
   std::optional<WireKind> parsed_kind = WireKindByName(kind->AsString());
   if (!parsed_kind) {
-    return Status::InvalidArgument(StrFormat(
-        "unknown request kind '%s' (one of: ping, solve, sweep, stats, "
-        "shutdown)",
-        kind->AsString().c_str()));
+    return Status::InvalidArgument(
+        StrFormat("unknown request kind '%s' (one of: %s)",
+                  kind->AsString().c_str(), kKindList));
   }
   request.kind = *parsed_kind;
 
@@ -322,6 +632,15 @@ StatusOr<WireRequest> ParseWireRequest(
       break;
     case WireKind::kSweep:
       if (Status s = ParseSweep(*document, &request); !s.ok()) return s;
+      break;
+    case WireKind::kUpdate:
+      if (Status s = ParseUpdate(*document, &request); !s.ok()) return s;
+      break;
+    case WireKind::kResolve:
+      if (Status s = ParseResolve(*document, &request); !s.ok()) return s;
+      break;
+    case WireKind::kBatch:
+      if (Status s = ParseBatch(*document, &request); !s.ok()) return s;
       break;
     case WireKind::kPing:
     case WireKind::kStats:
@@ -338,10 +657,10 @@ StatusOr<WireRequest> ParseWireRequest(
   return request;
 }
 
-JsonValue ErrorResponseJson(const std::optional<std::int64_t>& id,
+JsonValue ErrorResponseJson(const WireEnvelope& envelope,
                             const Status& status) {
   JsonValue out = JsonValue::Object();
-  SetId(&out, id);
+  SetEnvelope(&out, envelope);
   out.Set("ok", JsonValue::Bool(false));
   JsonValue error = JsonValue::Object();
   error.Set("code", JsonValue::Str(StatusCodeName(status.code())));
@@ -350,19 +669,19 @@ JsonValue ErrorResponseJson(const std::optional<std::int64_t>& id,
   return out;
 }
 
-JsonValue PingResponseJson(const std::optional<std::int64_t>& id) {
+JsonValue PingResponseJson(const WireEnvelope& envelope) {
   JsonValue out = JsonValue::Object();
-  SetId(&out, id);
+  SetEnvelope(&out, envelope);
   out.Set("ok", JsonValue::Bool(true));
   out.Set("kind", JsonValue::Str("ping"));
   out.Set("message", JsonValue::Str("pong"));
   return out;
 }
 
-JsonValue SolveResponseJson(const std::optional<std::int64_t>& id,
+JsonValue SolveResponseJson(const WireEnvelope& envelope,
                             const SolveResponse& response) {
   JsonValue out = JsonValue::Object();
-  SetId(&out, id);
+  SetEnvelope(&out, envelope);
   out.Set("ok", JsonValue::Bool(true));
   out.Set("kind", JsonValue::Str("solve"));
   out.Set("method", JsonValue::Str(response.solution.method));
@@ -391,10 +710,10 @@ JsonValue SolveResponseJson(const std::optional<std::int64_t>& id,
   return out;
 }
 
-JsonValue SweepResponseJson(const std::optional<std::int64_t>& id,
+JsonValue SweepResponseJson(const WireEnvelope& envelope,
                             const SweepResponse& response) {
   JsonValue out = JsonValue::Object();
-  SetId(&out, id);
+  SetEnvelope(&out, envelope);
   out.Set("ok", JsonValue::Bool(true));
   out.Set("kind", JsonValue::Str("sweep"));
   out.Set("grid_cells", JsonValue::Int(response.grid_cells));
@@ -404,20 +723,67 @@ JsonValue SweepResponseJson(const std::optional<std::int64_t>& id,
   return out;
 }
 
-JsonValue StatsResponseJson(const std::optional<std::int64_t>& id,
-                            JsonValue stats) {
+JsonValue UpdateResponseJson(const WireEnvelope& envelope,
+                             std::uint64_t version, int num_users,
+                             int num_items, std::size_t applied) {
   JsonValue out = JsonValue::Object();
-  SetId(&out, id);
+  SetEnvelope(&out, envelope);
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("kind", JsonValue::Str("update"));
+  out.Set("version", JsonValue::Int(static_cast<std::int64_t>(version)));
+  out.Set("num_users", JsonValue::Int(num_users));
+  out.Set("num_items", JsonValue::Int(num_items));
+  out.Set("applied", JsonValue::Int(static_cast<std::int64_t>(applied)));
+  return out;
+}
+
+JsonValue ResolveResponseJson(const WireEnvelope& envelope,
+                              const ResolveResponse& response) {
+  JsonValue out = JsonValue::Object();
+  SetEnvelope(&out, envelope);
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("kind", JsonValue::Str("resolve"));
+  out.Set("version",
+          JsonValue::Int(static_cast<std::int64_t>(response.market_version)));
+  out.Set("grid_cells", JsonValue::Int(response.grid_cells));
+  out.Set("cells",
+          JsonValue::Int(static_cast<std::int64_t>(response.result.cells.size())));
+  // Incremental-work accounting: observability only, deliberately outside
+  // the artifact (whose bytes must match the batch rebuild).
+  JsonValue incremental = JsonValue::Object();
+  incremental.Set("response_cache_hit",
+                  JsonValue::Bool(response.response_cache_hit));
+  incremental.Set("pairs_evaluated",
+                  JsonValue::Int(response.pairs_evaluated));
+  incremental.Set("pairs_reused", JsonValue::Int(response.pairs_reused));
+  out.Set("incremental", std::move(incremental));
+  out.Set("artifact", SweepArtifact(response.result));
+  return out;
+}
+
+JsonValue BatchResponseJson(const WireEnvelope& envelope,
+                            JsonValue responses) {
+  JsonValue out = JsonValue::Object();
+  SetEnvelope(&out, envelope);
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("kind", JsonValue::Str("batch"));
+  out.Set("responses", std::move(responses));
+  return out;
+}
+
+JsonValue StatsResponseJson(const WireEnvelope& envelope, JsonValue stats) {
+  JsonValue out = JsonValue::Object();
+  SetEnvelope(&out, envelope);
   out.Set("ok", JsonValue::Bool(true));
   out.Set("kind", JsonValue::Str("stats"));
   out.Set("stats", std::move(stats));
   return out;
 }
 
-JsonValue ShutdownResponseJson(const std::optional<std::int64_t>& id,
+JsonValue ShutdownResponseJson(const WireEnvelope& envelope,
                                std::int64_t drained) {
   JsonValue out = JsonValue::Object();
-  SetId(&out, id);
+  SetEnvelope(&out, envelope);
   out.Set("ok", JsonValue::Bool(true));
   out.Set("kind", JsonValue::Str("shutdown"));
   out.Set("drained", JsonValue::Int(drained));

@@ -1,33 +1,47 @@
 // Wire protocol of the bundlemined server: newline-delimited JSON requests
 // and responses over a byte stream (TCP connection or stdin/stdout pipe).
 //
-// One request object per line, dispatched on "kind":
+// Every request is one JSON object per line, dispatched on "kind" and
+// wrapped in a common envelope: an optional protocol version "v" (default
+// 1 — the only version this server speaks), an optional integer "id" echoed
+// into the response, and an optional "session" tag echoed into the response
+// and broken out in the stats counters:
 //
 //   {"kind":"ping","id":1}
-//   {"kind":"solve","id":2,"method":"mixed-greedy",
+//   {"kind":"solve","id":2,"v":1,"session":"tenant-a","method":"mixed-greedy",
 //    "dataset":{"profile":"tiny","seed":7,"lambda":1.0},
 //    "theta":0.05,"k":0,"levels":100,
 //    "options":{"threads":0,"deadline_seconds":0.5,"seed":66}}
 //   {"kind":"sweep","id":3,"spec":"fig2-theta","shard":"0/2",
 //    "options":{"threads":4}}
-//   {"kind":"stats","id":4}
-//   {"kind":"shutdown","id":5}
+//   {"kind":"update","id":4,"load":{"profile":"tiny","seed":7},
+//    "deltas":[{"op":"add_rating","user":3,"item":9,"stars":4},
+//              {"op":"scale_price","item":2,"factor":2.0}]}
+//   {"kind":"resolve","id":5,"spec":"name=live;scale=tiny;...","options":{}}
+//   {"kind":"batch","id":6,"requests":[{"method":...},{"method":...}]}
+//   {"kind":"stats","id":7}
+//   {"kind":"shutdown","id":8}
 //
-// Every response is one line echoing the request id (when one was sent):
-// successes carry {"ok":true,"kind":...} plus the payload, failures carry
-// {"ok":false,"error":{"code","message"}} built from the Engine's typed
-// Status — a malformed or unserviceable request NEVER drops the connection.
-// Parsing is strict: an unknown "kind", an unknown field, a wrong field
-// type, a missing required field, and an oversized line each name the
-// offending token in an INVALID_ARGUMENT response.
+// Every response is one line echoing the envelope (id and session when sent;
+// "v" only when the request spelled it out, so implicit-v1 traffic keeps its
+// exact historical bytes): successes carry {"ok":true,"kind":...} plus the
+// payload, failures carry {"ok":false,"error":{"code","message"}} built from
+// the Engine's typed Status — a malformed or unserviceable request NEVER
+// drops the connection. Parsing is strict: an unknown "kind", an unknown
+// field, a wrong field type, a missing required field, an unsupported "v",
+// and an oversized line each name the offending token in an INVALID_ARGUMENT
+// response.
 //
-// Solve and sweep response bodies are deterministic (they exclude wall
-// times, which live in the per-kind serving counters instead), so a served
-// response is byte-identical to serializing a direct Engine call — the
-// property serve_test and the CI serve-smoke step assert. Sweep payloads
-// embed the scenario artifact document (scenario/artifact_writer.h)
-// verbatim, so a client can re-render `artifact` with Dump(2) and obtain
-// the exact bytes `configurator_cli --json` would have written.
+// Solve, sweep, resolve, and batch response bodies are deterministic (they
+// exclude wall times, which live in the per-kind serving counters instead),
+// so a served response is byte-identical to serializing a direct Engine
+// call — the property serve_test and the CI serve-smoke step assert. Sweep
+// and resolve payloads embed the scenario artifact document
+// (scenario/artifact_writer.h) verbatim, so a client can re-render
+// `artifact` with Dump(2) and obtain the exact bytes `configurator_cli
+// --json` would have written; batch entries are built with an empty
+// envelope, so entry i is byte-identical to the response of the i-th solve
+// sent alone without an id.
 
 #ifndef BUNDLEMINE_SERVE_PROTOCOL_H_
 #define BUNDLEMINE_SERVE_PROTOCOL_H_
@@ -36,17 +50,35 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "api/engine.h"
+#include "market/market_delta.h"
 #include "util/json.h"
 #include "util/status.h"
 
 namespace bundlemine {
 
-/// Request kinds, in the stable order metrics are reported in.
-enum class WireKind { kPing, kSolve, kSweep, kStats, kShutdown };
+/// Request kinds, in the stable order metrics are reported in (new kinds
+/// append — per-kind counter layouts persist across versions).
+enum class WireKind {
+  kPing,
+  kSolve,
+  kSweep,
+  kStats,
+  kShutdown,
+  kUpdate,
+  kResolve,
+  kBatch,
+};
 
-/// Canonical kind name ("ping", "solve", "sweep", "stats", "shutdown").
+inline constexpr int kNumWireKinds = 8;
+
+/// The one protocol version this server speaks. Requests may spell it out
+/// ("v":1) or omit it; any other value is rejected before kind dispatch.
+inline constexpr int kWireProtocolVersion = 1;
+
+/// Canonical kind name ("ping", "solve", ...).
 const char* WireKindName(WireKind kind);
 std::optional<WireKind> WireKindByName(const std::string& name);
 
@@ -54,12 +86,30 @@ std::optional<WireKind> WireKindByName(const std::string& name);
 /// "oversized request" error, not an allocation storm.
 inline constexpr std::size_t kMaxWireRequestBytes = 1u << 20;
 
+/// Batch requests may coalesce at most this many solves.
+inline constexpr std::size_t kMaxBatchRequests = 64;
+
+/// Session tags are bounded identifiers: [A-Za-z0-9._-], at most this long.
+inline constexpr std::size_t kMaxSessionChars = 64;
+
+/// The fields shared by every request kind, echoed into responses.
+struct WireEnvelope {
+  int v = kWireProtocolVersion;
+  /// True when the request spelled "v" out; responses echo it back only
+  /// then, so implicit-v1 clients see byte-identical responses.
+  bool v_explicit = false;
+  std::optional<std::int64_t> id;
+  /// Session tag ("" = untagged): echoed in responses, broken out in the
+  /// per-session stats counters.
+  std::string session;
+};
+
 /// One parsed request line. Exactly the fields of the active kind are
-/// meaningful (a solve populates `solve`, a sweep populates the sweep
-/// fields); `id` is echoed into the response when the client sent one.
+/// meaningful (a solve populates `solve`, an update populates `load` /
+/// `deltas`, ...); the envelope is always populated.
 struct WireRequest {
   WireKind kind = WireKind::kPing;
-  std::optional<std::int64_t> id;
+  WireEnvelope envelope;
 
   /// Solve payload. Wire solves always reference a dataset (the problem is
   /// materialized server-side through the Engine's cache); caller-owned
@@ -73,34 +123,59 @@ struct WireRequest {
   int shard_index = 0;
   int shard_count = 1;
   RequestOptions sweep_options;
+
+  /// Update payload: an optional dataset to (re)load into the market stream
+  /// (applied before the deltas), plus the delta batch.
+  std::optional<DatasetSpec> load;
+  std::vector<MarketDelta> deltas;
+
+  /// Resolve payload: spec text (same syntax as sweep; dataset axes are
+  /// rejected downstream — the market supplies the data) plus options.
+  std::string resolve_spec;
+  RequestOptions resolve_options;
+
+  /// Batch payload: each entry is a full solve payload (method, dataset,
+  /// knobs, options) without its own envelope.
+  std::vector<SolveRequest> batch;
 };
 
-/// Parses one request line. INVALID_ARGUMENT on malformed JSON, a non-object
-/// document, unknown/mistyped/missing fields, a bad shard selector, or an
-/// oversized line — the message names the problem and the valid
-/// alternatives. `error_id` (optional) receives the request's "id" whenever
-/// one was parseable, so even a *rejected* request's error response can echo
-/// it and pipelining clients stay in sync.
-StatusOr<WireRequest> ParseWireRequest(
-    const std::string& line, std::optional<std::int64_t>* error_id = nullptr);
+/// Parses one request line. INVALID_ARGUMENT on malformed JSON, a
+/// non-object document, an unsupported "v", unknown/mistyped/missing
+/// fields, a bad shard selector, a bad delta, or an oversized line — the
+/// message names the problem and the valid alternatives. `error_envelope`
+/// (optional) receives whatever envelope fields were parseable, so even a
+/// *rejected* request's error response can echo them and pipelining clients
+/// stay in sync.
+StatusOr<WireRequest> ParseWireRequest(const std::string& line,
+                                       WireEnvelope* error_envelope = nullptr);
 
 // ---- Response builders. Each returns a complete one-line document (render
-// ---- with Dump(0)); `id` is included iff the request carried one.
+// ---- with Dump(0)) echoing the envelope (see WireEnvelope).
 
-JsonValue ErrorResponseJson(const std::optional<std::int64_t>& id,
-                            const Status& status);
-JsonValue PingResponseJson(const std::optional<std::int64_t>& id);
+JsonValue ErrorResponseJson(const WireEnvelope& envelope, const Status& status);
+JsonValue PingResponseJson(const WireEnvelope& envelope);
 /// Deterministic solve payload: method, revenue, offer list, solve stats —
 /// no wall times.
-JsonValue SolveResponseJson(const std::optional<std::int64_t>& id,
+JsonValue SolveResponseJson(const WireEnvelope& envelope,
                             const SolveResponse& response);
 /// Sweep payload embedding the deterministic sweep artifact document.
-JsonValue SweepResponseJson(const std::optional<std::int64_t>& id,
+JsonValue SweepResponseJson(const WireEnvelope& envelope,
                             const SweepResponse& response);
+/// Update payload: the market version after the batch plus its dimensions.
+JsonValue UpdateResponseJson(const WireEnvelope& envelope,
+                             std::uint64_t version, int num_users,
+                             int num_items, std::size_t applied);
+/// Resolve payload: market version, grid shape, the incremental-work
+/// accounting, and the embedded sweep artifact (byte-identical to the batch
+/// rebuild's artifact).
+JsonValue ResolveResponseJson(const WireEnvelope& envelope,
+                              const ResolveResponse& response);
+/// Batch payload wrapping the per-entry responses (each built with an empty
+/// envelope), in request order.
+JsonValue BatchResponseJson(const WireEnvelope& envelope, JsonValue responses);
 /// Wraps a stats/summary document (server-built) as a stats response.
-JsonValue StatsResponseJson(const std::optional<std::int64_t>& id,
-                            JsonValue stats);
-JsonValue ShutdownResponseJson(const std::optional<std::int64_t>& id,
+JsonValue StatsResponseJson(const WireEnvelope& envelope, JsonValue stats);
+JsonValue ShutdownResponseJson(const WireEnvelope& envelope,
                                std::int64_t drained);
 
 }  // namespace bundlemine

@@ -112,6 +112,7 @@ bool ReadBoundedLine(std::istream& in, std::string* line, std::size_t cap) {
 BundleServer::BundleServer(const ServeOptions& options)
     : options_(options),
       engine_(options.engine),
+      market_("default"),
       queue_(options.queue_depth) {
   const int workers = std::max(1, options_.workers);
   workers_.reserve(static_cast<std::size_t>(workers));
@@ -179,43 +180,81 @@ void BundleServer::ServeStream(std::istream& in, std::ostream& out) {
 
 void BundleServer::HandleLine(const std::string& line,
                               const std::shared_ptr<ResponseSink>& sink) {
-  std::optional<std::int64_t> error_id;
-  StatusOr<WireRequest> parsed = ParseWireRequest(line, &error_id);
+  WireEnvelope error_envelope;
+  StatusOr<WireRequest> parsed = ParseWireRequest(line, &error_envelope);
   if (!parsed.ok()) {
     // A bad line never drops the connection: answer with the diagnostic —
-    // echoing the id when one was parseable — and keep reading.
+    // echoing whatever envelope fields were parseable — and keep reading.
     metrics_.RecordParseError();
-    sink->WriteLine(ErrorResponseJson(error_id, parsed.status()).Dump(0));
+    sink->WriteLine(ErrorResponseJson(error_envelope, parsed.status()).Dump(0));
     return;
   }
   WireRequest request = std::move(*parsed);
+  const WireEnvelope& envelope = request.envelope;
   switch (request.kind) {
     case WireKind::kPing: {
       WallTimer timer;
-      sink->WriteLine(PingResponseJson(request.id).Dump(0));
-      metrics_.RecordResult(WireKind::kPing, true, timer.Seconds());
+      sink->WriteLine(PingResponseJson(envelope).Dump(0));
+      metrics_.RecordResult(WireKind::kPing, true, timer.Seconds(),
+                            envelope.session);
       return;
     }
     case WireKind::kStats: {
       WallTimer timer;
-      sink->WriteLine(StatsResponseJson(request.id, StatsJson()).Dump(0));
-      metrics_.RecordResult(WireKind::kStats, true, timer.Seconds());
+      sink->WriteLine(StatsResponseJson(envelope, StatsJson()).Dump(0));
+      metrics_.RecordResult(WireKind::kStats, true, timer.Seconds(),
+                            envelope.session);
+      return;
+    }
+    case WireKind::kUpdate: {
+      // Inline on the connection thread: updates are metadata edits, and a
+      // lockstep client gets read-your-writes ordering against its own
+      // later resolves for free.
+      WallTimer timer;
+      bool ok = false;
+      JsonValue response = HandleUpdate(request, &ok);
+      metrics_.RecordResult(WireKind::kUpdate, ok, timer.Seconds(),
+                            envelope.session);
+      sink->WriteLine(response.Dump(0));
       return;
     }
     case WireKind::kShutdown:
-      DrainAndStop(request.id, sink);
+      DrainAndStop(envelope, sink);
       return;
     case WireKind::kSolve:
     case WireKind::kSweep:
+    case WireKind::kResolve:
+    case WireKind::kBatch:
       Admit(std::move(request), sink);
       return;
   }
 }
 
+JsonValue BundleServer::HandleUpdate(const WireRequest& request, bool* ok) {
+  *ok = false;
+  if (request.load.has_value()) {
+    StatusOr<std::shared_ptr<const RatingsDataset>> dataset =
+        engine_.Dataset(*request.load);
+    if (!dataset.ok()) {
+      return ErrorResponseJson(request.envelope, dataset.status());
+    }
+    if (Status loaded = market_.Load(**dataset); !loaded.ok()) {
+      return ErrorResponseJson(request.envelope, loaded);
+    }
+  }
+  StatusOr<std::uint64_t> version = market_.Apply(request.deltas);
+  if (!version.ok()) {
+    return ErrorResponseJson(request.envelope, version.status());
+  }
+  *ok = true;
+  return UpdateResponseJson(request.envelope, *version, market_.num_users(),
+                            market_.num_items(), request.deltas.size());
+}
+
 void BundleServer::Admit(WireRequest request,
                          const std::shared_ptr<ResponseSink>& sink) {
   const WireKind kind = request.kind;
-  const std::optional<std::int64_t> id = request.id;
+  const WireEnvelope envelope = request.envelope;
   bool draining = false;
   {
     MutexLock lock(state_mu_);
@@ -227,10 +266,11 @@ void BundleServer::Admit(WireRequest request,
   if (draining) {
     // Respond outside the lock: a peer that stopped reading must not be
     // able to stall the drain by blocking this write.
-    metrics_.RecordRejected(kind);
-    sink->WriteLine(
-        ErrorResponseJson(id, Status::Unavailable("rejected: server draining"))
-            .Dump(0));
+    metrics_.RecordRejected(kind, envelope.session);
+    sink->WriteLine(ErrorResponseJson(
+                        envelope,
+                        Status::Unavailable("rejected: server draining"))
+                        .Dump(0));
     return;
   }
   metrics_.RecordAdmitted(kind);
@@ -244,11 +284,11 @@ void BundleServer::Admit(WireRequest request,
     if (--outstanding_ == 0) drain_cv_.NotifyAll();
   }
   metrics_.RecordAdmissionRollback(kind);
-  metrics_.RecordRejected(kind);
+  metrics_.RecordRejected(kind, envelope.session);
   sink->WriteLine(
-      ErrorResponseJson(id, Status::Unavailable(StrFormat(
-                                "rejected: queue full (depth %zu)",
-                                queue_.capacity())))
+      ErrorResponseJson(envelope, Status::Unavailable(StrFormat(
+                                      "rejected: queue full (depth %zu)",
+                                      queue_.capacity())))
           .Dump(0));
 }
 
@@ -262,61 +302,113 @@ void BundleServer::WorkerLoop() {
 
 void BundleServer::ProcessQueued(QueuedWork work) {
   const WireKind kind = work.request.kind;
-  const std::optional<std::int64_t> id = work.request.id;
+  const WireEnvelope& envelope = work.request.envelope;
 
   // Deadline propagation: the budget is end-to-end, so queue wait comes out
   // of the Engine's share — and a request that already overstayed its budget
-  // is answered without burning a solver on it.
-  RequestOptions& options = kind == WireKind::kSolve
-                                ? work.request.solve.options
-                                : work.request.sweep_options;
+  // is answered without burning a solver on it. Batch entries carry their
+  // own per-entry options, so the batch kind skips the shared budget.
+  RequestOptions* options = nullptr;
+  switch (kind) {
+    case WireKind::kSolve: options = &work.request.solve.options; break;
+    case WireKind::kSweep: options = &work.request.sweep_options; break;
+    case WireKind::kResolve: options = &work.request.resolve_options; break;
+    default: break;
+  }
   const double waited = SecondsSince(work.admitted);
-  if (options.deadline_seconds > 0.0) {
-    if (waited >= options.deadline_seconds) {
+  if (options != nullptr && options->deadline_seconds > 0.0) {
+    if (waited >= options->deadline_seconds) {
       // Record before writing: a lockstep client may issue a stats request
       // the instant it reads this response line.
-      metrics_.RecordResult(kind, false, SecondsSince(work.admitted));
+      metrics_.RecordResult(kind, false, SecondsSince(work.admitted),
+                            envelope.session);
       work.sink->WriteLine(
           ErrorResponseJson(
-              id, Status::DeadlineExceeded(StrFormat(
-                      "deadline of %.3fs expired after %.3fs in the "
-                      "admission queue",
-                      options.deadline_seconds, waited)))
+              envelope, Status::DeadlineExceeded(StrFormat(
+                            "deadline of %.3fs expired after %.3fs in the "
+                            "admission queue",
+                            options->deadline_seconds, waited)))
               .Dump(0));
       return;
     }
-    options.deadline_seconds -= waited;
+    options->deadline_seconds -= waited;
   }
 
   JsonValue response;
   bool ok = false;
-  if (kind == WireKind::kSolve) {
-    StatusOr<SolveResponse> solved = engine_.Solve(work.request.solve);
-    ok = solved.ok();
-    response = ok ? SolveResponseJson(id, *solved)
-                  : ErrorResponseJson(id, solved.status());
-  } else {
-    StatusOr<ScenarioSpec> spec = ResolveScenarioSpec(work.request.sweep_spec);
-    if (!spec.ok()) {
-      response = ErrorResponseJson(id, spec.status());
-    } else {
+  switch (kind) {
+    case WireKind::kSolve: {
+      StatusOr<SolveResponse> solved = engine_.Solve(work.request.solve);
+      ok = solved.ok();
+      response = ok ? SolveResponseJson(envelope, *solved)
+                    : ErrorResponseJson(envelope, solved.status());
+      break;
+    }
+    case WireKind::kSweep: {
+      StatusOr<ScenarioSpec> spec =
+          ResolveScenarioSpec(work.request.sweep_spec);
+      if (!spec.ok()) {
+        response = ErrorResponseJson(envelope, spec.status());
+        break;
+      }
       SweepRequest sweep;
       sweep.spec = std::move(*spec);
-      sweep.options = options;
+      sweep.options = *options;
       sweep.shard_index = work.request.shard_index;
       sweep.shard_count = work.request.shard_count;
       StatusOr<SweepResponse> swept = engine_.Sweep(sweep);
       ok = swept.ok();
-      response = ok ? SweepResponseJson(id, *swept)
-                    : ErrorResponseJson(id, swept.status());
+      response = ok ? SweepResponseJson(envelope, *swept)
+                    : ErrorResponseJson(envelope, swept.status());
+      break;
     }
+    case WireKind::kResolve: {
+      StatusOr<ScenarioSpec> spec =
+          ResolveScenarioSpec(work.request.resolve_spec);
+      if (!spec.ok()) {
+        response = ErrorResponseJson(envelope, spec.status());
+        break;
+      }
+      ResolveRequest resolve;
+      resolve.market = &market_;
+      resolve.spec = std::move(*spec);
+      resolve.options = *options;
+      StatusOr<ResolveResponse> resolved = engine_.Resolve(resolve);
+      ok = resolved.ok();
+      response = ok ? ResolveResponseJson(envelope, *resolved)
+                    : ErrorResponseJson(envelope, resolved.status());
+      break;
+    }
+    case WireKind::kBatch: {
+      // One coalesced Engine call; per-entry failures become per-entry
+      // error documents, and the batch itself still succeeds. Entries are
+      // serialized with an empty envelope so each is byte-identical to the
+      // same solve sent alone without an id.
+      std::vector<StatusOr<SolveResponse>> solved =
+          engine_.SolveBatch(work.request.batch);
+      JsonValue responses = JsonValue::Array();
+      const WireEnvelope entry_envelope;
+      for (const StatusOr<SolveResponse>& entry : solved) {
+        responses.Add(entry.ok()
+                          ? SolveResponseJson(entry_envelope, *entry)
+                          : ErrorResponseJson(entry_envelope, entry.status()));
+      }
+      ok = true;
+      response = BatchResponseJson(envelope, std::move(responses));
+      break;
+    }
+    default:
+      response = ErrorResponseJson(
+          envelope, Status::Internal("unqueueable kind reached a worker"));
+      break;
   }
   // Record before writing (see the deadline path above for why).
-  metrics_.RecordResult(kind, ok, SecondsSince(work.admitted));
+  metrics_.RecordResult(kind, ok, SecondsSince(work.admitted),
+                        envelope.session);
   work.sink->WriteLine(response.Dump(0));
 }
 
-void BundleServer::DrainAndStop(const std::optional<std::int64_t>& id,
+void BundleServer::DrainAndStop(const WireEnvelope& envelope,
                                 const std::shared_ptr<ResponseSink>& sink) {
   WallTimer timer;
   listener_.Shutdown();  // No new connections (no-op in pipe mode).
@@ -329,8 +421,9 @@ void BundleServer::DrainAndStop(const std::optional<std::int64_t>& id,
   }
   queue_.Close();  // Queue is empty; workers exit their Pop loops.
   if (sink != nullptr) {
-    sink->WriteLine(ShutdownResponseJson(id, drained).Dump(0));
-    metrics_.RecordResult(WireKind::kShutdown, true, timer.Seconds());
+    sink->WriteLine(ShutdownResponseJson(envelope, drained).Dump(0));
+    metrics_.RecordResult(WireKind::kShutdown, true, timer.Seconds(),
+                          envelope.session);
   }
   {
     MutexLock lock(connections_mu_);
@@ -346,7 +439,7 @@ void BundleServer::DrainAndStop(const std::optional<std::int64_t>& id,
   stopped_cv_.NotifyAll();
 }
 
-void BundleServer::RequestShutdown() { DrainAndStop(std::nullopt, nullptr); }
+void BundleServer::RequestShutdown() { DrainAndStop(WireEnvelope(), nullptr); }
 
 bool BundleServer::stopped() const {
   MutexLock lock(state_mu_);
@@ -379,7 +472,9 @@ void BundleServer::JoinThreads() {
 JsonValue BundleServer::StatsJson() {
   JsonValue out = JsonValue::Object();
   out.Set("schema", JsonValue::Str("bundlemine.serve-stats"));
-  out.Set("schema_version", JsonValue::Int(1));
+  // v2: adds "market" (stream state), "resolve_cache", and per-session
+  // request counters.
+  out.Set("schema_version", JsonValue::Int(2));
   JsonValue server = JsonValue::Object();
   server.Set("queue_capacity",
              JsonValue::Int(static_cast<std::int64_t>(queue_.capacity())));
@@ -394,6 +489,13 @@ JsonValue BundleServer::StatsJson() {
     server.Set("draining", JsonValue::Bool(draining_));
   }
   out.Set("server", std::move(server));
+  JsonValue market = JsonValue::Object();
+  market.Set("loaded", JsonValue::Bool(market_.loaded()));
+  market.Set("version",
+             JsonValue::Int(static_cast<std::int64_t>(market_.version())));
+  market.Set("num_users", JsonValue::Int(market_.num_users()));
+  market.Set("num_items", JsonValue::Int(market_.num_items()));
+  out.Set("market", std::move(market));
   out.Set("requests", metrics_.ToJson());
   const Engine::CacheStats cache = engine_.dataset_cache_stats();
   JsonValue cache_json = JsonValue::Object();
@@ -409,6 +511,13 @@ JsonValue BundleServer::StatsJson() {
   wtp_json.Set("entries",
                JsonValue::Int(static_cast<std::int64_t>(wtp.entries)));
   out.Set("wtp_cache", std::move(wtp_json));
+  const Engine::CacheStats resolve = engine_.resolve_cache_stats();
+  JsonValue resolve_json = JsonValue::Object();
+  resolve_json.Set("hits", JsonValue::Int(resolve.hits));
+  resolve_json.Set("misses", JsonValue::Int(resolve.misses));
+  resolve_json.Set("entries",
+                   JsonValue::Int(static_cast<std::int64_t>(resolve.entries)));
+  out.Set("resolve_cache", std::move(resolve_json));
   out.Set("uptime_seconds", JsonValue::Double(uptime_timer_.Seconds()));
   return out;
 }

@@ -4,11 +4,18 @@
 // Architecture (one BundleServer per process):
 //
 //   connections ──lines──▶ HandleLine ──┬─ ping/stats: answered inline
+//                                       ├─ update: market delta, inline
 //                                       ├─ shutdown:  drain, answer, stop
-//                                       └─ solve/sweep: bounded FIFO
-//                                            admission queue ──▶ workers
-//                                                                 │
-//                                              Engine::Solve/Sweep ┘
+//                                       └─ solve/sweep/resolve/batch:
+//                                            bounded FIFO admission
+//                                            queue ──▶ workers
+//                                                        │
+//                     Engine::Solve/Sweep/Resolve/SolveBatch ┘
+//
+// The server owns one MarketStream ("update" mutates it, "resolve" solves
+// against it). Updates answer inline — they are cheap metadata edits, and
+// serializing them on the connection thread gives a lockstep client
+// read-your-writes ordering against its own later resolves.
 //
 // Admission control is the load-shedding edge: the queue has a fixed depth,
 // and a request that does not fit is answered *immediately* with a typed
@@ -45,6 +52,7 @@
 #include <vector>
 
 #include "api/engine.h"
+#include "market/market_stream.h"
 #include "serve/metrics.h"
 #include "serve/protocol.h"
 #include "util/bounded_queue.h"
@@ -64,9 +72,9 @@ class ResponseSink {
 };
 
 struct ServeOptions {
-  /// Admission-queue depth for solve/sweep requests. 0 turns the server
-  /// into a pure rejector (every queued-kind request answers "queue full")
-  /// — useful for drain tests and as a circuit breaker.
+  /// Admission-queue depth for solve/sweep/resolve/batch requests. 0 turns
+  /// the server into a pure rejector (every queued-kind request answers
+  /// "queue full") — useful for drain tests and as a circuit breaker.
   std::size_t queue_depth = 64;
   /// Worker threads draining the queue onto the Engine (min 1).
   int workers = 2;
@@ -112,6 +120,7 @@ class BundleServer {
   JsonValue StatsJson();
 
   Engine& engine() { return engine_; }
+  MarketStream& market() { return market_; }
   const ServeOptions& options() const { return options_; }
 
  private:
@@ -127,10 +136,13 @@ class BundleServer {
   void Admit(WireRequest request, const std::shared_ptr<ResponseSink>& sink);
   void WorkerLoop();
   void ProcessQueued(QueuedWork work);
+  /// Applies an update request (optional load, then the delta batch) to the
+  /// market stream and builds the response document.
+  JsonValue HandleUpdate(const WireRequest& request, bool* ok);
   /// Drains admitted requests and stops the server; when `sink` is non-null
   /// the shutdown response (with the drained count) is written after the
   /// drain completes.
-  void DrainAndStop(const std::optional<std::int64_t>& id,
+  void DrainAndStop(const WireEnvelope& envelope,
                     const std::shared_ptr<ResponseSink>& sink);
   void AcceptLoop();
   void ConnectionLoop(std::shared_ptr<class SocketSink> connection);
@@ -139,6 +151,9 @@ class BundleServer {
 
   ServeOptions options_;
   Engine engine_;
+  /// The resident streaming market: "update" mutates it (inline, connection
+  /// thread), "resolve" workers snapshot it. Internally synchronized.
+  MarketStream market_;
   ServeMetrics metrics_;
   BoundedQueue<QueuedWork> queue_;
   WallTimer uptime_timer_;

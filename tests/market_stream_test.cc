@@ -1,0 +1,324 @@
+// MarketStream unit tests: load validation, atomic apply/rollback, version
+// monotonicity, snapshot equivalence with from-scratch datasets and
+// transaction databases, touched-item bookkeeping, and the delta edge cases
+// the streaming API contract calls out (empty batch, delete-then-re-add,
+// deltas that empty an item's audience).
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/ratings.h"
+#include "data/wtp_matrix.h"
+#include "gtest/gtest.h"
+#include "market/market_delta.h"
+#include "market/market_stream.h"
+#include "mining/transactions.h"
+#include "util/status.h"
+
+namespace bundlemine {
+namespace {
+
+// 4 users x 3 items; every item has at least one rater, user 3 rates only
+// item 1 (the audience-emptying tests lean on this shape).
+RatingsDataset SmallDataset() {
+  std::vector<Rating> ratings = {
+      {0, 0, 5.0f}, {0, 1, 4.0f}, {1, 1, 3.0f}, {1, 2, 2.0f},
+      {2, 0, 1.0f}, {2, 2, 5.0f}, {3, 1, 2.0f},
+  };
+  return RatingsDataset(4, 3, std::move(ratings), {10.0, 20.0, 30.0});
+}
+
+MarketDelta Delta(MarketDeltaOp op, int user = -1, int item = -1,
+                  double stars = 0.0, double value = 0.0) {
+  MarketDelta d;
+  d.op = op;
+  d.user = user;
+  d.item = item;
+  d.stars = stars;
+  d.value = value;
+  return d;
+}
+
+// Two datasets hold the same market state: same shape, same sorted rating
+// multiset, same prices. (Snapshots emit (user, item)-sorted ratings, so
+// sorting both sides makes the comparison order-insensitive.)
+void ExpectSameMarket(const RatingsDataset& a, const RatingsDataset& b) {
+  ASSERT_EQ(a.num_users(), b.num_users());
+  ASSERT_EQ(a.num_items(), b.num_items());
+  EXPECT_EQ(a.prices(), b.prices());
+  auto sorted = [](const RatingsDataset& d) {
+    std::vector<Rating> r = d.ratings();
+    std::sort(r.begin(), r.end(), [](const Rating& x, const Rating& y) {
+      if (x.user != y.user) return x.user < y.user;
+      return x.item < y.item;
+    });
+    return r;
+  };
+  std::vector<Rating> ra = sorted(a);
+  std::vector<Rating> rb = sorted(b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].user, rb[i].user) << "rating " << i;
+    EXPECT_EQ(ra[i].item, rb[i].item) << "rating " << i;
+    EXPECT_EQ(ra[i].value, rb[i].value) << "rating " << i;
+  }
+}
+
+TEST(MarketStreamTest, LoadRejectsInvalidDatasetsAndKeepsPriorState) {
+  MarketStream stream("test");
+  EXPECT_FALSE(stream.loaded());
+  EXPECT_EQ(stream.version(), 0u);
+
+  // Apply before any load is a typed error, not a crash.
+  auto no_market = stream.Apply({Delta(MarketDeltaOp::kScalePrice, -1, 0, 0.0, 2.0)});
+  ASSERT_FALSE(no_market.ok());
+  EXPECT_EQ(no_market.status().code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(stream.Load(SmallDataset()).ok());
+  EXPECT_TRUE(stream.loaded());
+  EXPECT_EQ(stream.version(), 1u);
+  EXPECT_EQ(stream.num_users(), 4);
+  EXPECT_EQ(stream.num_items(), 3);
+
+  // Stars outside (0, 5]. (Out-of-range coordinates cannot be tested here:
+  // the RatingsDataset constructor itself checks them; Load's range check
+  // guards datasets built through other paths.)
+  {
+    RatingsDataset bad(2, 2, {{0, 0, 6.0f}}, {1.0, 2.0});
+    Status st = stream.Load(bad);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("outside (0, 5]"), std::string::npos);
+  }
+  {
+    RatingsDataset bad(2, 2, {{0, 0, 0.0f}}, {1.0, 2.0});
+    EXPECT_FALSE(stream.Load(bad).ok());
+  }
+  // Duplicate (user, item).
+  {
+    RatingsDataset bad(2, 2, {{0, 1, 3.0f}, {0, 1, 4.0f}}, {1.0, 2.0});
+    Status st = stream.Load(bad);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("duplicate rating"), std::string::npos);
+  }
+  // Non-positive price.
+  {
+    RatingsDataset bad(2, 2, {{0, 0, 3.0f}}, {1.0, 0.0});
+    Status st = stream.Load(bad);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("non-positive price"), std::string::npos);
+  }
+
+  // Every rejected load left the resident state (and version) untouched.
+  EXPECT_EQ(stream.version(), 1u);
+  EXPECT_EQ(stream.num_users(), 4);
+  EXPECT_EQ(stream.num_items(), 3);
+  ExpectSameMarket(*stream.TakeSnapshot().dataset, SmallDataset());
+}
+
+TEST(MarketStreamTest, AppliesEveryDeltaOpAndBumpsVersionOncePerBatch) {
+  MarketStream stream("test");
+  ASSERT_TRUE(stream.Load(SmallDataset()).ok());
+
+  MarketDelta add_user = Delta(MarketDeltaOp::kAddUser);
+  add_user.ratings = {{0, 4.0}, {2, 1.0}};
+  std::vector<MarketDelta> batch = {
+      add_user,                                              // user 4 arrives
+      Delta(MarketDeltaOp::kAddRating, 3, 0, 2.0),           // (3,0) = 2
+      Delta(MarketDeltaOp::kUpdateRating, 0, 1, 5.0),        // (0,1) 4 -> 5
+      Delta(MarketDeltaOp::kRemoveRating, 1, 2),             // (1,2) gone
+      Delta(MarketDeltaOp::kScalePrice, -1, 0, 0.0, 2.0),    // price 10 -> 20
+      Delta(MarketDeltaOp::kSetPrice, -1, 2, 0.0, 7.5),      // price 30 -> 7.5
+  };
+  auto version = stream.Apply(batch);
+  ASSERT_TRUE(version.ok());
+  // One batch, one version bump — regardless of how many deltas it held.
+  EXPECT_EQ(*version, 2u);
+  EXPECT_EQ(stream.num_users(), 5);
+
+  RatingsDataset expected(
+      5, 3,
+      {{0, 0, 5.0f}, {0, 1, 5.0f}, {1, 1, 3.0f}, {2, 0, 1.0f}, {2, 2, 5.0f},
+       {3, 0, 2.0f}, {3, 1, 2.0f}, {4, 0, 4.0f}, {4, 2, 1.0f}},
+      {20.0, 20.0, 7.5});
+  ExpectSameMarket(*stream.TakeSnapshot().dataset, expected);
+
+  // remove_user with an explicit interior id: ratings vanish, ids stay
+  // stable (user 1 becomes an empty row, users 2..4 keep their ids).
+  auto v3 = stream.Apply({Delta(MarketDeltaOp::kRemoveUser, 1)});
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(*v3, 3u);
+  EXPECT_EQ(stream.num_users(), 5);
+
+  // remove_user -1: the newest (tail) user is physically popped.
+  auto v4 = stream.Apply({Delta(MarketDeltaOp::kRemoveUser, -1)});
+  ASSERT_TRUE(v4.ok());
+  EXPECT_EQ(*v4, 4u);
+  EXPECT_EQ(stream.num_users(), 4);
+}
+
+TEST(MarketStreamTest, EmptyApplyIsANoOpWithoutVersionBump) {
+  MarketStream stream("test");
+  ASSERT_TRUE(stream.Load(SmallDataset()).ok());
+  MarketStream::Snapshot before = stream.TakeSnapshot();
+
+  auto version = stream.Apply({});
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1u);
+  EXPECT_EQ(stream.version(), 1u);
+
+  // The snapshot cache survives: same shared state, not a rebuild.
+  MarketStream::Snapshot after = stream.TakeSnapshot();
+  EXPECT_EQ(before.dataset.get(), after.dataset.get());
+  EXPECT_EQ(before.transactions.get(), after.transactions.get());
+}
+
+TEST(MarketStreamTest, FailedBatchRollsBackAtomically) {
+  MarketStream stream("test");
+  ASSERT_TRUE(stream.Load(SmallDataset()).ok());
+  MarketStream::Snapshot before = stream.TakeSnapshot();
+
+  // Every mutating op lands before the final delta fails (duplicate rating:
+  // the add_user above already inserted (4, 0)).
+  MarketDelta add_user = Delta(MarketDeltaOp::kAddUser);
+  add_user.ratings = {{0, 4.0}};
+  std::vector<MarketDelta> batch = {
+      add_user,
+      Delta(MarketDeltaOp::kUpdateRating, 0, 0, 1.0),
+      Delta(MarketDeltaOp::kRemoveRating, 2, 2),
+      Delta(MarketDeltaOp::kRemoveUser, 1),
+      Delta(MarketDeltaOp::kScalePrice, -1, 1, 0.0, 3.0),
+      Delta(MarketDeltaOp::kAddRating, 4, 0, 2.0),  // duplicate -> fails
+  };
+  auto version = stream.Apply(batch);
+  ASSERT_FALSE(version.ok());
+  // The error names the offending delta by index and op.
+  EXPECT_NE(version.status().message().find("delta 5 (add_rating)"),
+            std::string::npos);
+
+  // No version bump, no user-count change, no dirty items, and the exact
+  // prior state — down to the cached snapshot pointers.
+  EXPECT_EQ(stream.version(), 1u);
+  EXPECT_EQ(stream.num_users(), 4);
+  std::vector<char> dirty = stream.ItemsTouchedSince(1);
+  for (char d : dirty) EXPECT_EQ(d, 0);
+  MarketStream::Snapshot after = stream.TakeSnapshot();
+  EXPECT_EQ(before.dataset.get(), after.dataset.get());
+  ExpectSameMarket(*after.dataset, SmallDataset());
+  EXPECT_TRUE(*after.transactions == *before.transactions);
+}
+
+TEST(MarketStreamTest, DeleteThenReAddUserRestoresTheMarketState) {
+  MarketStream stream("test");
+  ASSERT_TRUE(stream.Load(SmallDataset()).ok());
+
+  // Drop the tail user, then re-add them with the same ratings. The market
+  // converges back to the original state (same ids, same ratings), even
+  // though two versions elapsed.
+  ASSERT_TRUE(stream.Apply({Delta(MarketDeltaOp::kRemoveUser, 3)}).ok());
+  EXPECT_EQ(stream.num_users(), 3);
+
+  MarketDelta re_add = Delta(MarketDeltaOp::kAddUser);
+  re_add.ratings = {{1, 2.0}};
+  ASSERT_TRUE(stream.Apply({re_add}).ok());
+  EXPECT_EQ(stream.version(), 3u);
+  ExpectSameMarket(*stream.TakeSnapshot().dataset, SmallDataset());
+
+  // Same round trip inside ONE batch: net-zero, but still one version bump
+  // and the touched item is marked dirty.
+  ASSERT_TRUE(stream.Apply({Delta(MarketDeltaOp::kRemoveUser, -1), re_add}).ok());
+  EXPECT_EQ(stream.version(), 4u);
+  ExpectSameMarket(*stream.TakeSnapshot().dataset, SmallDataset());
+  std::vector<char> dirty = stream.ItemsTouchedSince(3);
+  EXPECT_EQ(dirty, (std::vector<char>{0, 1, 0}));
+}
+
+TEST(MarketStreamTest, SnapshotTransactionsMatchFromScratchBuilds) {
+  MarketStream stream("test");
+  ASSERT_TRUE(stream.Load(SmallDataset()).ok());
+  ASSERT_TRUE(stream
+                  .Apply({Delta(MarketDeltaOp::kAddRating, 3, 0, 1.0),
+                          Delta(MarketDeltaOp::kRemoveRating, 1, 1),
+                          Delta(MarketDeltaOp::kScalePrice, -1, 2, 0.0, 0.5)})
+                  .ok());
+
+  MarketStream::Snapshot snap = stream.TakeSnapshot();
+  // The maintained incremental index equals TransactionDb::FromWtp of a WTP
+  // matrix built from the snapshot dataset — for any λ, since rating
+  // presence (stars > 0, price > 0) decides the bit, not the λ scale.
+  for (double lambda : {0.25, 1.0, 2.0}) {
+    WtpMatrix wtp = WtpMatrix::FromRatings(*snap.dataset, lambda);
+    TransactionDb rebuilt = TransactionDb::FromWtp(wtp);
+    EXPECT_TRUE(*snap.transactions == rebuilt) << "lambda=" << lambda;
+  }
+  EXPECT_EQ(snap.transactions->ItemSupport(0), 3);
+  EXPECT_EQ(snap.transactions->ItemSupport(1), 2);
+  EXPECT_EQ(snap.transactions->ItemSupport(2), 2);
+}
+
+TEST(MarketStreamTest, ItemsTouchedSinceTracksExactlyTheEditedItems) {
+  MarketStream stream("test");
+  ASSERT_TRUE(stream.Load(SmallDataset()).ok());
+  // Load marks everything touched at version 1.
+  EXPECT_EQ(stream.ItemsTouchedSince(0), (std::vector<char>{1, 1, 1}));
+  EXPECT_EQ(stream.ItemsTouchedSince(1), (std::vector<char>{0, 0, 0}));
+
+  ASSERT_TRUE(stream.Apply({Delta(MarketDeltaOp::kScalePrice, -1, 1, 0.0, 2.0)}).ok());
+  EXPECT_EQ(stream.ItemsTouchedSince(1), (std::vector<char>{0, 1, 0}));
+
+  ASSERT_TRUE(stream.Apply({Delta(MarketDeltaOp::kRemoveRating, 1, 2)}).ok());
+  // Since 1: both edits; since 2: only the second.
+  EXPECT_EQ(stream.ItemsTouchedSince(1), (std::vector<char>{0, 1, 1}));
+  EXPECT_EQ(stream.ItemsTouchedSince(2), (std::vector<char>{0, 0, 1}));
+  EXPECT_EQ(stream.ItemsTouchedSince(3), (std::vector<char>{0, 0, 0}));
+
+  // A removed user dirties every item they rated.
+  ASSERT_TRUE(stream.Apply({Delta(MarketDeltaOp::kRemoveUser, 0)}).ok());
+  EXPECT_EQ(stream.ItemsTouchedSince(3), (std::vector<char>{1, 1, 0}));
+}
+
+TEST(MarketStreamTest, DeltasCanEmptyAnItemsAudience) {
+  MarketStream stream("test");
+  ASSERT_TRUE(stream.Load(SmallDataset()).ok());
+
+  // Item 0's audience is users {0, 2}; remove both ratings.
+  ASSERT_TRUE(stream
+                  .Apply({Delta(MarketDeltaOp::kRemoveRating, 0, 0),
+                          Delta(MarketDeltaOp::kRemoveRating, 2, 0)})
+                  .ok());
+  MarketStream::Snapshot snap = stream.TakeSnapshot();
+  EXPECT_EQ(snap.transactions->ItemSupport(0), 0);
+  // The item stays in the catalogue (fixed item dimension) with its price;
+  // it simply has no willing buyers at any λ.
+  EXPECT_EQ(snap.dataset->num_items(), 3);
+  EXPECT_EQ(snap.dataset->price(0), 10.0);
+  WtpMatrix wtp = WtpMatrix::FromRatings(*snap.dataset, 1.0);
+  EXPECT_EQ(wtp.ItemUsers(0).size(), 0u);
+  EXPECT_TRUE(*snap.transactions == TransactionDb::FromWtp(wtp));
+
+  // The audience can come back.
+  ASSERT_TRUE(stream.Apply({Delta(MarketDeltaOp::kAddRating, 1, 0, 4.0)}).ok());
+  EXPECT_EQ(stream.TakeSnapshot().transactions->ItemSupport(0), 1);
+}
+
+TEST(MarketStreamTest, ReloadResetsTheMarketAndKeepsVersionsMonotonic) {
+  MarketStream stream("test");
+  ASSERT_TRUE(stream.Load(SmallDataset()).ok());
+  ASSERT_TRUE(stream.Apply({Delta(MarketDeltaOp::kScalePrice, -1, 0, 0.0, 2.0)}).ok());
+  EXPECT_EQ(stream.version(), 2u);
+
+  // Reloading replaces the state wholesale but the version keeps counting
+  // up — resolve caches keyed by (id, version) can never alias across loads.
+  RatingsDataset other(2, 2, {{0, 0, 3.0f}, {1, 1, 4.0f}}, {5.0, 6.0});
+  ASSERT_TRUE(stream.Load(other).ok());
+  EXPECT_EQ(stream.version(), 3u);
+  EXPECT_EQ(stream.num_users(), 2);
+  EXPECT_EQ(stream.num_items(), 2);
+  EXPECT_EQ(stream.ItemsTouchedSince(2), (std::vector<char>{1, 1}));
+  ExpectSameMarket(*stream.TakeSnapshot().dataset, other);
+}
+
+}  // namespace
+}  // namespace bundlemine

@@ -1,0 +1,273 @@
+// Engine::Resolve tests — the incremental re-solve contract:
+//
+//   * Replay determinism (the keystone): N deltas + Resolve produces an
+//     artifact byte-identical to a batch rebuild of the final market state,
+//     serial and threaded.
+//   * Incremental economy: a re-solve after a small delta reports
+//     pairs_reused > 0 and strictly fewer pairs_evaluated than the batch
+//     solve of the same state.
+//   * Response caching: resolving an unchanged market returns the previous
+//     response without solver work.
+//   * Edge cases: deltas that empty an item's audience, error paths
+//     (unloaded market, dataset axes in the spec).
+//
+// Specs here use matching methods on purpose: the round-1 pair-outcome
+// cache lives in MatchingBundler, so only matching cells can report reuse.
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/engine.h"
+#include "data/ratings.h"
+#include "gtest/gtest.h"
+#include "market/market_delta.h"
+#include "market/market_stream.h"
+#include "scenario/artifact_writer.h"
+#include "scenario/scenario_spec.h"
+#include "util/status.h"
+
+namespace bundlemine {
+namespace {
+
+constexpr char kSpecText[] =
+    "scale=tiny;seed=7;methods=components,pure-matching;"
+    "axis:theta=-0.05,0,0.05";
+
+ScenarioSpec Spec(const std::string& text = kSpecText) {
+  auto spec = ResolveScenarioSpec(text);
+  EXPECT_TRUE(spec.ok()) << spec.status().message();
+  return *spec;
+}
+
+DatasetSpec TinyDataset() {
+  DatasetSpec spec;
+  spec.profile = "tiny";
+  spec.seed = 7;
+  return spec;
+}
+
+MarketDelta Delta(MarketDeltaOp op, int user = -1, int item = -1,
+                  double stars = 0.0, double value = 0.0) {
+  MarketDelta d;
+  d.op = op;
+  d.user = user;
+  d.item = item;
+  d.stars = stars;
+  d.value = value;
+  return d;
+}
+
+// A small, data-driven delta batch against `dataset`: price moves, a rating
+// update and removal (targets read from the dataset so they exist), one
+// arriving user, and one fresh rating for that user.
+std::vector<MarketDelta> SmallDeltaBatch(const RatingsDataset& dataset) {
+  const Rating& r0 = dataset.ratings()[0];
+  const Rating& r1 = dataset.ratings()[1];
+  MarketDelta add_user = Delta(MarketDeltaOp::kAddUser);
+  add_user.ratings = {{2, 4.0}, {11, 3.0}};
+  return {
+      Delta(MarketDeltaOp::kScalePrice, -1, 3, 0.0, 2.0),
+      Delta(MarketDeltaOp::kSetPrice, -1, 10, 0.0, 12.5),
+      Delta(MarketDeltaOp::kUpdateRating, r0.user, r0.item, 5.0),
+      Delta(MarketDeltaOp::kRemoveRating, r1.user, r1.item),
+      add_user,
+      Delta(MarketDeltaOp::kAddRating, dataset.num_users(), 7, 2.0),
+  };
+}
+
+// Resolves `spec` against a fresh engine + fresh market loaded with
+// `dataset` — the batch rebuild both determinism tests compare against.
+// Returns (artifact bytes, pairs_evaluated).
+std::pair<std::string, std::int64_t> BatchRebuild(
+    const RatingsDataset& dataset, const ScenarioSpec& spec, int threads) {
+  Engine::Options options;
+  options.threads = threads;
+  Engine engine(options);
+  MarketStream market("batch");
+  EXPECT_TRUE(market.Load(dataset).ok());
+  ResolveRequest request;
+  request.market = &market;
+  request.spec = spec;
+  auto response = engine.Resolve(request);
+  EXPECT_TRUE(response.ok()) << response.status().message();
+  // A first-ever resolve is the batch solve: nothing to reuse.
+  EXPECT_EQ(response->pairs_reused, 0);
+  return {SweepArtifactJson(response->result), response->pairs_evaluated};
+}
+
+TEST(ResolveTest, ReplayDeterminismSerialAndThreaded) {
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(threads == 1 ? "serial" : "threaded");
+    Engine::Options options;
+    options.threads = threads;
+    Engine engine(options);
+    auto dataset = engine.Dataset(TinyDataset());
+    ASSERT_TRUE(dataset.ok());
+
+    MarketStream market("stream");
+    ASSERT_TRUE(market.Load(**dataset).ok());
+    ResolveRequest request;
+    request.market = &market;
+    request.spec = Spec();
+
+    // Prime the resolve cache, then stream the deltas in two batches so the
+    // final resolve is genuinely incremental (cached outcomes + dirty mask).
+    auto primed = engine.Resolve(request);
+    ASSERT_TRUE(primed.ok());
+    std::vector<MarketDelta> deltas = SmallDeltaBatch(**dataset);
+    std::vector<MarketDelta> first(deltas.begin(), deltas.begin() + 2);
+    std::vector<MarketDelta> rest(deltas.begin() + 2, deltas.end());
+    ASSERT_TRUE(market.Apply(first).ok());
+    ASSERT_TRUE(market.Apply(rest).ok());
+
+    auto incremental = engine.Resolve(request);
+    ASSERT_TRUE(incremental.ok());
+    EXPECT_FALSE(incremental->response_cache_hit);
+    EXPECT_EQ(incremental->market_version, market.version());
+
+    // Keystone: the incremental artifact is byte-identical to a batch
+    // rebuild of the final state, at this thread count.
+    RatingsDataset final_state = *market.TakeSnapshot().dataset;
+    auto [batch_bytes, batch_pairs] = BatchRebuild(final_state, Spec(), threads);
+    EXPECT_EQ(SweepArtifactJson(incremental->result), batch_bytes);
+
+    // Acceptance: the incremental solve did strictly less candidate work.
+    EXPECT_GT(incremental->pairs_reused, 0);
+    EXPECT_LT(incremental->pairs_evaluated, batch_pairs);
+    EXPECT_EQ(incremental->pairs_evaluated + incremental->pairs_reused,
+              batch_pairs);
+  }
+}
+
+TEST(ResolveTest, ThreadCountDoesNotChangeIncrementalBytes) {
+  // The same incremental resolve at 1 and 4 threads produces identical
+  // artifacts — reuse bookkeeping must not depend on scheduling.
+  std::string bytes[2];
+  int i = 0;
+  for (int threads : {1, 4}) {
+    Engine::Options options;
+    options.threads = threads;
+    Engine engine(options);
+    auto dataset = engine.Dataset(TinyDataset());
+    ASSERT_TRUE(dataset.ok());
+    MarketStream market("stream");
+    ASSERT_TRUE(market.Load(**dataset).ok());
+    ResolveRequest request;
+    request.market = &market;
+    request.spec = Spec();
+    ASSERT_TRUE(engine.Resolve(request).ok());
+    ASSERT_TRUE(market.Apply(SmallDeltaBatch(**dataset)).ok());
+    auto response = engine.Resolve(request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_GT(response->pairs_reused, 0);
+    bytes[i++] = SweepArtifactJson(response->result);
+  }
+  EXPECT_EQ(bytes[0], bytes[1]);
+}
+
+TEST(ResolveTest, UnchangedMarketIsAResponseCacheHit) {
+  Engine engine;
+  auto dataset = engine.Dataset(TinyDataset());
+  ASSERT_TRUE(dataset.ok());
+  MarketStream market("stream");
+  ASSERT_TRUE(market.Load(**dataset).ok());
+  ResolveRequest request;
+  request.market = &market;
+  request.spec = Spec();
+
+  auto first = engine.Resolve(request);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->response_cache_hit);
+  Engine::CacheStats after_first = engine.resolve_cache_stats();
+  EXPECT_EQ(after_first.entries, 1u);
+
+  // An empty delta batch does not bump the version, so the re-resolve is
+  // answered from the response cache: same bytes, zero new solver work.
+  ASSERT_TRUE(market.Apply({}).ok());
+  auto second = engine.Resolve(request);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->response_cache_hit);
+  EXPECT_EQ(second->market_version, first->market_version);
+  EXPECT_EQ(SweepArtifactJson(second->result), SweepArtifactJson(first->result));
+  Engine::CacheStats after_second = engine.resolve_cache_stats();
+  EXPECT_EQ(after_second.hits, after_first.hits + 1);
+
+  // A different spec against the same market is its own cache line.
+  ResolveRequest other = request;
+  other.spec = Spec(
+      "scale=tiny;seed=7;methods=pure-matching;axis:theta=0.1");
+  auto third = engine.Resolve(other);
+  ASSERT_TRUE(third.ok());
+  EXPECT_FALSE(third->response_cache_hit);
+  EXPECT_EQ(engine.resolve_cache_stats().entries, 2u);
+}
+
+TEST(ResolveTest, DeltaEmptyingAnItemsAudienceMatchesBatch) {
+  Engine engine;
+  auto dataset = engine.Dataset(TinyDataset());
+  ASSERT_TRUE(dataset.ok());
+  MarketStream market("stream");
+  ASSERT_TRUE(market.Load(**dataset).ok());
+  ResolveRequest request;
+  request.market = &market;
+  request.spec = Spec();
+  ASSERT_TRUE(engine.Resolve(request).ok());
+
+  // Remove every rating of item 0 — its audience drops to zero while the
+  // item stays in the (fixed) catalogue.
+  std::vector<MarketDelta> deltas;
+  for (const Rating& r : (*dataset)->ratings()) {
+    if (r.item == 0) {
+      deltas.push_back(Delta(MarketDeltaOp::kRemoveRating, r.user, r.item));
+    }
+  }
+  ASSERT_FALSE(deltas.empty());
+  ASSERT_TRUE(market.Apply(deltas).ok());
+  MarketStream::Snapshot snap = market.TakeSnapshot();
+  EXPECT_EQ(snap.transactions->ItemSupport(0), 0);
+
+  auto incremental = engine.Resolve(request);
+  ASSERT_TRUE(incremental.ok()) << incremental.status().message();
+  auto [batch_bytes, batch_pairs] = BatchRebuild(*snap.dataset, Spec(), 1);
+  EXPECT_EQ(SweepArtifactJson(incremental->result), batch_bytes);
+  EXPECT_GT(incremental->pairs_reused, 0);
+  EXPECT_LT(incremental->pairs_evaluated, batch_pairs);
+}
+
+TEST(ResolveTest, ErrorPaths) {
+  Engine engine;
+  MarketStream market("stream");
+  ResolveRequest request;
+  request.market = &market;
+  request.spec = Spec();
+
+  // Unloaded market.
+  auto unloaded = engine.Resolve(request);
+  ASSERT_FALSE(unloaded.ok());
+  EXPECT_EQ(unloaded.status().code(), StatusCode::kInvalidArgument);
+
+  // Dataset axes make no sense against a resident market.
+  auto dataset = engine.Dataset(TinyDataset());
+  ASSERT_TRUE(dataset.ok());
+  ASSERT_TRUE(market.Load(**dataset).ok());
+  ResolveRequest with_axis = request;
+  with_axis.spec = Spec(
+      "scale=tiny;seed=7;methods=pure-matching;axis:item-sample=20,40");
+  auto rejected = engine.Resolve(with_axis);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("dataset axes"),
+            std::string::npos);
+
+  // No market pointer at all.
+  ResolveRequest no_market;
+  no_market.spec = Spec();
+  auto null_market = engine.Resolve(no_market);
+  EXPECT_FALSE(null_market.ok());
+}
+
+}  // namespace
+}  // namespace bundlemine

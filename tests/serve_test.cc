@@ -29,6 +29,11 @@ namespace {
 constexpr const char* kTinySpecText =
     "scale=tiny;seed=7;methods=components,mixed-greedy;axis:theta=-0.05,0,0.05";
 
+// Resolve exercises the incremental matching path, so its spec uses the
+// matching bundler (the pair-outcome cache lives there, not in greedy).
+constexpr const char* kResolveSpecText =
+    "scale=tiny;seed=7;methods=components,pure-matching;axis:theta=-0.05,0,0.05";
+
 std::string SolveLine(std::int64_t id, const std::string& method, double theta,
                       std::uint64_t seed) {
   JsonValue request = JsonValue::Object();
@@ -56,10 +61,13 @@ std::string SweepLine(std::int64_t id, const std::string& shard) {
   return request.Dump(0);
 }
 
-// What a direct Engine call would serialize to for the same request — the
-// byte-identity oracle for served responses.
-std::string ExpectedSolveLine(Engine& engine, std::int64_t id,
-                              const std::string& method, double theta,
+WireEnvelope IdEnvelope(std::int64_t id) {
+  WireEnvelope envelope;
+  envelope.id = id;
+  return envelope;
+}
+
+SolveRequest TinySolveRequest(const std::string& method, double theta,
                               std::uint64_t seed) {
   SolveRequest request;
   request.method = method;
@@ -70,9 +78,18 @@ std::string ExpectedSolveLine(Engine& engine, std::int64_t id,
   request.dataset = dataset;
   request.theta = theta;
   request.options.seed = seed;
-  StatusOr<SolveResponse> response = engine.Solve(request);
+  return request;
+}
+
+// What a direct Engine call would serialize to for the same request — the
+// byte-identity oracle for served responses.
+std::string ExpectedSolveLine(Engine& engine, std::int64_t id,
+                              const std::string& method, double theta,
+                              std::uint64_t seed) {
+  StatusOr<SolveResponse> response =
+      engine.Solve(TinySolveRequest(method, theta, seed));
   EXPECT_TRUE(response.ok()) << response.status().ToString();
-  return SolveResponseJson(id, *response).Dump(0);
+  return SolveResponseJson(IdEnvelope(id), *response).Dump(0);
 }
 
 std::string ExpectedSweepLine(Engine& engine, std::int64_t id,
@@ -85,7 +102,7 @@ std::string ExpectedSweepLine(Engine& engine, std::int64_t id,
   request.shard_count = shard_count;
   StatusOr<SweepResponse> response = engine.Sweep(request);
   EXPECT_TRUE(response.ok()) << response.status().ToString();
-  return SweepResponseJson(id, *response).Dump(0);
+  return SweepResponseJson(IdEnvelope(id), *response).Dump(0);
 }
 
 // Expects an {"ok":false} response line whose error code is `code` and
@@ -118,8 +135,10 @@ TEST(WireProtocolTest, ParsesFullSolveRequest) {
       R"("options":{"threads":2,"deadline_seconds":0.25,"seed":99}})");
   ASSERT_TRUE(request.ok()) << request.status().ToString();
   EXPECT_EQ(request->kind, WireKind::kSolve);
-  ASSERT_TRUE(request->id.has_value());
-  EXPECT_EQ(*request->id, 9);
+  ASSERT_TRUE(request->envelope.id.has_value());
+  EXPECT_EQ(*request->envelope.id, 9);
+  EXPECT_FALSE(request->envelope.v_explicit);
+  EXPECT_TRUE(request->envelope.session.empty());
   EXPECT_EQ(request->solve.method, "mixed-greedy");
   ASSERT_TRUE(request->solve.dataset.has_value());
   EXPECT_EQ(request->solve.dataset->profile, "small");
@@ -144,11 +163,136 @@ TEST(WireProtocolTest, ParsesSweepRequestWithShard) {
       R"("options":{"threads":3}})");
   ASSERT_TRUE(request.ok()) << request.status().ToString();
   EXPECT_EQ(request->kind, WireKind::kSweep);
-  EXPECT_FALSE(request->id.has_value());
+  EXPECT_FALSE(request->envelope.id.has_value());
   EXPECT_EQ(request->sweep_spec, "fig2-theta");
   EXPECT_EQ(request->shard_index, 1);
   EXPECT_EQ(request->shard_count, 4);
   EXPECT_EQ(request->sweep_options.threads, 3);
+}
+
+TEST(WireProtocolTest, ParsesVersionedEnvelopeWithSession) {
+  StatusOr<WireRequest> request = ParseWireRequest(
+      R"({"kind":"ping","id":3,"v":1,"session":"tenant-a.7"})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->envelope.v, 1);
+  EXPECT_TRUE(request->envelope.v_explicit);
+  ASSERT_TRUE(request->envelope.id.has_value());
+  EXPECT_EQ(*request->envelope.id, 3);
+  EXPECT_EQ(request->envelope.session, "tenant-a.7");
+}
+
+TEST(WireProtocolTest, RejectsUnsupportedVersionAndBadSessions) {
+  StatusOr<WireRequest> v2 = ParseWireRequest(R"({"kind":"ping","v":2})");
+  ASSERT_FALSE(v2.ok());
+  EXPECT_NE(v2.status().message().find("unsupported protocol version 2"),
+            std::string::npos);
+  // The envelope of a rejected request is still recoverable for the error
+  // response.
+  WireEnvelope envelope;
+  StatusOr<WireRequest> bad =
+      ParseWireRequest(R"({"kind":"ping","id":7,"v":3})", &envelope);
+  ASSERT_FALSE(bad.ok());
+  ASSERT_TRUE(envelope.id.has_value());
+  EXPECT_EQ(*envelope.id, 7);
+  EXPECT_EQ(envelope.v, 3);
+
+  const char* bad_sessions[] = {
+      R"({"kind":"ping","session":""})",
+      R"({"kind":"ping","session":"has space"})",
+      R"({"kind":"ping","session":7})",
+  };
+  for (const char* line : bad_sessions) {
+    StatusOr<WireRequest> parsed = ParseWireRequest(line);
+    EXPECT_FALSE(parsed.ok()) << line;
+  }
+  const std::string too_long = std::string(R"({"kind":"ping","session":")") +
+                               std::string(kMaxSessionChars + 1, 'a') + "\"}";
+  EXPECT_FALSE(ParseWireRequest(too_long).ok());
+}
+
+TEST(WireProtocolTest, ParsesUpdateRequestWithLoadAndDeltas) {
+  StatusOr<WireRequest> request = ParseWireRequest(
+      R"({"kind":"update","id":4,"load":{"profile":"tiny","seed":7},)"
+      R"("deltas":[)"
+      R"({"op":"add_user","ratings":[{"item":2,"stars":4}]},)"
+      R"({"op":"remove_user","user":1},)"
+      R"({"op":"add_rating","user":0,"item":3,"stars":5},)"
+      R"({"op":"update_rating","user":0,"item":3,"stars":2},)"
+      R"({"op":"remove_rating","user":0,"item":3},)"
+      R"({"op":"scale_price","item":2,"factor":2.0},)"
+      R"({"op":"set_price","item":2,"price":9.5}]})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->kind, WireKind::kUpdate);
+  ASSERT_TRUE(request->load.has_value());
+  EXPECT_EQ(request->load->profile, "tiny");
+  EXPECT_EQ(request->load->seed, 7u);
+  ASSERT_EQ(request->deltas.size(), 7u);
+  EXPECT_EQ(request->deltas[0].op, MarketDeltaOp::kAddUser);
+  ASSERT_EQ(request->deltas[0].ratings.size(), 1u);
+  EXPECT_EQ(request->deltas[0].ratings[0].item, 2);
+  EXPECT_EQ(request->deltas[1].op, MarketDeltaOp::kRemoveUser);
+  EXPECT_EQ(request->deltas[1].user, 1);
+  EXPECT_EQ(request->deltas[2].op, MarketDeltaOp::kAddRating);
+  EXPECT_DOUBLE_EQ(request->deltas[2].stars, 5.0);
+  EXPECT_EQ(request->deltas[5].op, MarketDeltaOp::kScalePrice);
+  EXPECT_DOUBLE_EQ(request->deltas[5].value, 2.0);
+  EXPECT_EQ(request->deltas[6].op, MarketDeltaOp::kSetPrice);
+  EXPECT_DOUBLE_EQ(request->deltas[6].value, 9.5);
+}
+
+TEST(WireProtocolTest, RejectsBadUpdateShapes) {
+  struct Case {
+    const char* line;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {R"({"kind":"update"})", "'load' object and/or"},
+      {R"({"kind":"update","deltas":[{"op":"frob"}]})", "unknown op 'frob'"},
+      {R"({"kind":"update","deltas":[{"user":1}]})", "needs an 'op'"},
+      {R"({"kind":"update","deltas":[7]})", "delta 0 must be an object"},
+      {R"({"kind":"update","deltas":[{"op":"add_rating","user":1,"item":2}]})",
+       "needs field 'stars'"},
+      {R"({"kind":"update","deltas":[{"op":"set_price","item":2}]})",
+       "needs field 'price'"},
+      {R"({"kind":"update","deltas":[{"op":"remove_user","stars":1}]})",
+       "unknown delta 0 field 'stars'"},
+  };
+  for (const Case& c : cases) {
+    StatusOr<WireRequest> request = ParseWireRequest(c.line);
+    ASSERT_FALSE(request.ok()) << c.line;
+    EXPECT_NE(request.status().message().find(c.needle), std::string::npos)
+        << c.line << " → " << request.status().message();
+  }
+}
+
+TEST(WireProtocolTest, ParsesResolveAndBatchRequests) {
+  StatusOr<WireRequest> resolve = ParseWireRequest(
+      R"({"kind":"resolve","id":5,"spec":"fig2-theta",)"
+      R"("options":{"threads":2}})");
+  ASSERT_TRUE(resolve.ok()) << resolve.status().ToString();
+  EXPECT_EQ(resolve->kind, WireKind::kResolve);
+  EXPECT_EQ(resolve->resolve_spec, "fig2-theta");
+  EXPECT_EQ(resolve->resolve_options.threads, 2);
+
+  StatusOr<WireRequest> batch = ParseWireRequest(
+      R"({"kind":"batch","id":6,"requests":[)"
+      R"({"method":"components","dataset":{"profile":"tiny"}},)"
+      R"({"method":"mixed-greedy","dataset":{"profile":"tiny"},"theta":0.1}]})");
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->kind, WireKind::kBatch);
+  ASSERT_EQ(batch->batch.size(), 2u);
+  EXPECT_EQ(batch->batch[0].method, "components");
+  EXPECT_EQ(batch->batch[1].method, "mixed-greedy");
+  EXPECT_DOUBLE_EQ(batch->batch[1].theta, 0.1);
+
+  // Entries are bare solve payloads — no nested envelope.
+  StatusOr<WireRequest> nested = ParseWireRequest(
+      R"({"kind":"batch","requests":[)"
+      R"({"id":1,"method":"components","dataset":{"profile":"tiny"}}]})");
+  ASSERT_FALSE(nested.ok());
+  EXPECT_NE(nested.status().message().find("batch entry 0"), std::string::npos);
+  EXPECT_FALSE(ParseWireRequest(R"({"kind":"batch","requests":[]})").ok());
+  EXPECT_FALSE(ParseWireRequest(R"({"kind":"resolve","spec":""})").ok());
 }
 
 TEST(WireProtocolTest, RejectsMalformedShapesWithTypedErrors) {
@@ -549,6 +693,211 @@ TEST(ServeTest, InFlightGaugeIsVisibleWhileASweepRuns) {
                 ->FindMember("in_flight")
                 ->AsInt(),
             0);
+  server->RequestShutdown();
+  server->Wait();
+}
+
+TEST(ServeTest, BatchEntriesAreByteIdenticalToIndividualSolves) {
+  ServeOptions options;
+  options.workers = 2;
+  std::unique_ptr<BundleServer> server = StartServer(options);
+  WireClient client = ConnectTo(*server);
+
+  // One batch coalescing three solves (one of them invalid): the response
+  // must carry the per-entry documents in request order, each byte-identical
+  // to the same solve sent alone without an id.
+  JsonValue batch = JsonValue::Object();
+  batch.Set("kind", JsonValue::Str("batch"));
+  batch.Set("id", JsonValue::Int(1));
+  JsonValue requests = JsonValue::Array();
+  const struct {
+    const char* method;
+    double theta;
+  } entries[] = {{"components", 0.0}, {"no-such-method", 0.0},
+                 {"mixed-greedy", 0.05}};
+  for (const auto& entry : entries) {
+    JsonValue solve = JsonValue::Object();
+    solve.Set("method", JsonValue::Str(entry.method));
+    JsonValue dataset = JsonValue::Object();
+    dataset.Set("profile", JsonValue::Str("tiny"));
+    dataset.Set("seed", JsonValue::Int(7));
+    dataset.Set("lambda", JsonValue::Double(1.0));
+    solve.Set("dataset", std::move(dataset));
+    solve.Set("theta", JsonValue::Double(entry.theta));
+    JsonValue solve_options = JsonValue::Object();
+    solve_options.Set("seed", JsonValue::Int(42));
+    solve.Set("options", std::move(solve_options));
+    requests.Add(std::move(solve));
+  }
+  batch.Set("requests", std::move(requests));
+
+  StatusOr<JsonValue> response = client.CallJson(batch.Dump(0));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->FindMember("ok")->AsBool());
+  EXPECT_EQ(response->FindMember("kind")->AsString(), "batch");
+  const JsonValue* responses = response->FindMember("responses");
+  ASSERT_NE(responses, nullptr);
+  ASSERT_EQ(responses->size(), 3u);
+
+  Engine engine;
+  const WireEnvelope no_envelope;
+  for (std::size_t i = 0; i < 3; ++i) {
+    StatusOr<SolveResponse> direct =
+        engine.Solve(TinySolveRequest(entries[i].method, entries[i].theta, 42));
+    const std::string expected =
+        direct.ok() ? SolveResponseJson(no_envelope, *direct).Dump(0)
+                    : ErrorResponseJson(no_envelope, direct.status()).Dump(0);
+    EXPECT_EQ(responses->at(i).Dump(0), expected) << "entry " << i;
+  }
+  // A per-entry failure (entry 1) does not fail the batch.
+  EXPECT_FALSE(responses->at(1).FindMember("ok")->AsBool());
+  server->RequestShutdown();
+  server->Wait();
+}
+
+TEST(ServeTest, SessionTagsAreEchoedAndBrokenOutInStats) {
+  std::unique_ptr<BundleServer> server = StartServer(ServeOptions{});
+  WireClient client = ConnectTo(*server);
+
+  StatusOr<std::string> pong =
+      client.Call(R"({"kind":"ping","id":1,"session":"t1"})");
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_NE(pong->find("\"session\": \"t1\""), std::string::npos) << *pong;
+  // An explicit "v" is echoed; an implicit one is not (see the ping above).
+  EXPECT_EQ(pong->find("\"v\""), std::string::npos) << *pong;
+  StatusOr<std::string> versioned =
+      client.Call(R"({"kind":"ping","id":2,"v":1,"session":"t1"})");
+  ASSERT_TRUE(versioned.ok());
+  EXPECT_NE(versioned->find("\"v\": 1"), std::string::npos) << *versioned;
+
+  // Tagged solve (ok), tagged failing solve (error), different tag, and a
+  // rejected (unsupported-version) request that still echoes its session.
+  ASSERT_TRUE(client.Call(
+                        R"({"kind":"solve","session":"t1","method":"mixed-greedy",)"
+                        R"("dataset":{"profile":"tiny","seed":7,"lambda":1.0},)"
+                        R"("options":{"seed":42}})")
+                  .ok());
+  ASSERT_TRUE(client.Call(
+                        R"({"kind":"solve","session":"t1","method":"nope",)"
+                        R"("dataset":{"profile":"tiny","seed":7,"lambda":1.0}})")
+                  .ok());
+  ASSERT_TRUE(client.Call(R"({"kind":"ping","session":"t2"})").ok());
+  StatusOr<std::string> rejected =
+      client.Call(R"({"kind":"ping","v":9,"session":"t3"})");
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_NE(rejected->find("\"session\": \"t3\""), std::string::npos)
+      << *rejected;
+
+  StatusOr<JsonValue> stats = client.CallJson(R"({"kind":"stats"})");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const JsonValue* sessions =
+      stats->FindMember("stats")->FindMember("requests")->FindMember(
+          "sessions");
+  ASSERT_NE(sessions, nullptr);
+  const JsonValue* t1 = sessions->FindMember("t1");
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(t1->FindMember("ok")->AsInt(), 3);      // 2 pings + 1 solve.
+  EXPECT_EQ(t1->FindMember("errors")->AsInt(), 1);  // The failing solve.
+  const JsonValue* t2 = sessions->FindMember("t2");
+  ASSERT_NE(t2, nullptr);
+  EXPECT_EQ(t2->FindMember("ok")->AsInt(), 1);
+  server->RequestShutdown();
+  server->Wait();
+}
+
+TEST(ServeTest, UpdateAndResolveServeTheStreamingMarket) {
+  ServeOptions options;
+  options.workers = 2;
+  std::unique_ptr<BundleServer> server = StartServer(options);
+  WireClient client = ConnectTo(*server);
+
+  // Resolve before any load: a typed error, not a crash.
+  StatusOr<std::string> early = client.Call(
+      std::string(R"({"kind":"resolve","id":1,"spec":")") + kResolveSpecText +
+      "\"}");
+  ASSERT_TRUE(early.ok()) << early.status().ToString();
+  ExpectErrorResponse(*early, "INVALID_ARGUMENT", "no resident dataset");
+
+  // Load the tiny catalog into the market stream.
+  StatusOr<JsonValue> loaded = client.CallJson(
+      R"({"kind":"update","id":2,)"
+      R"("load":{"profile":"tiny","seed":7,"lambda":1.0}})");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->FindMember("ok")->AsBool()) << loaded->Dump(0);
+  EXPECT_EQ(loaded->FindMember("kind")->AsString(), "update");
+  EXPECT_EQ(loaded->FindMember("version")->AsInt(), 1);
+  const std::int64_t num_users = loaded->FindMember("num_users")->AsInt();
+  EXPECT_GT(num_users, 0);
+
+  // The resolve artifact must be byte-identical to a direct Engine sweep of
+  // the same spec (the market holds exactly the spec's dataset).
+  StatusOr<JsonValue> resolved = client.CallJson(
+      std::string(R"({"kind":"resolve","id":3,"spec":")") + kResolveSpecText +
+      "\"}");
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  ASSERT_TRUE(resolved->FindMember("ok")->AsBool()) << resolved->Dump(0);
+  EXPECT_EQ(resolved->FindMember("version")->AsInt(), 1);
+  Engine engine;
+  StatusOr<ScenarioSpec> spec = ResolveScenarioSpec(kResolveSpecText);
+  ASSERT_TRUE(spec.ok());
+  SweepRequest sweep;
+  sweep.spec = *spec;
+  StatusOr<SweepResponse> swept = engine.Sweep(sweep);
+  ASSERT_TRUE(swept.ok()) << swept.status().ToString();
+  EXPECT_EQ(resolved->FindMember("artifact")->Dump(2),
+            SweepResponseJson(WireEnvelope(), *swept)
+                .FindMember("artifact")
+                ->Dump(2));
+
+  // An identical re-resolve at the same market version is a response-cache
+  // hit with zero fresh solver work.
+  StatusOr<JsonValue> again = client.CallJson(
+      std::string(R"({"kind":"resolve","id":4,"spec":")") + kResolveSpecText +
+      "\"}");
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE(again->FindMember("ok")->AsBool()) << again->Dump(0);
+  EXPECT_TRUE(again->FindMember("incremental")
+                  ->FindMember("response_cache_hit")
+                  ->AsBool())
+      << again->Dump(0);
+  EXPECT_EQ(again->FindMember("artifact")->Dump(2),
+            resolved->FindMember("artifact")->Dump(2));
+
+  // A delta bumps the version; the next resolve is incremental: it reuses
+  // cached pair outcomes for the untouched items.
+  StatusOr<JsonValue> updated = client.CallJson(
+      R"({"kind":"update","id":5,)"
+      R"("deltas":[{"op":"scale_price","item":0,"factor":2.0}]})");
+  ASSERT_TRUE(updated.ok());
+  ASSERT_TRUE(updated->FindMember("ok")->AsBool()) << updated->Dump(0);
+  EXPECT_EQ(updated->FindMember("version")->AsInt(), 2);
+  EXPECT_EQ(updated->FindMember("applied")->AsInt(), 1);
+
+  StatusOr<JsonValue> incremental = client.CallJson(
+      std::string(R"({"kind":"resolve","id":6,"spec":")") + kResolveSpecText +
+      "\"}");
+  ASSERT_TRUE(incremental.ok());
+  ASSERT_TRUE(incremental->FindMember("ok")->AsBool()) << incremental->Dump(0);
+  EXPECT_EQ(incremental->FindMember("version")->AsInt(), 2);
+  const JsonValue* work = incremental->FindMember("incremental");
+  EXPECT_FALSE(work->FindMember("response_cache_hit")->AsBool());
+  EXPECT_GT(work->FindMember("pairs_reused")->AsInt(), 0)
+      << incremental->Dump(0);
+
+  // Stats v2 exposes the market and the resolve cache.
+  StatusOr<JsonValue> stats = client.CallJson(R"({"kind":"stats"})");
+  ASSERT_TRUE(stats.ok());
+  const JsonValue* market = stats->FindMember("stats")->FindMember("market");
+  ASSERT_NE(market, nullptr);
+  EXPECT_TRUE(market->FindMember("loaded")->AsBool());
+  EXPECT_EQ(market->FindMember("version")->AsInt(), 2);
+  EXPECT_EQ(market->FindMember("num_users")->AsInt(), num_users);
+  const JsonValue* resolve_cache =
+      stats->FindMember("stats")->FindMember("resolve_cache");
+  ASSERT_NE(resolve_cache, nullptr);
+  EXPECT_GE(resolve_cache->FindMember("hits")->AsInt(), 1);
+  EXPECT_EQ(stats->FindMember("stats")->FindMember("schema_version")->AsInt(),
+            2);
   server->RequestShutdown();
   server->Wait();
 }

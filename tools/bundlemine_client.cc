@@ -9,10 +9,14 @@
 // pretty-prints the responses; --json prints the raw response lines
 // instead. Requests without an "id" get sequential ids injected so
 // responses are attributable. --artifact-out re-renders the artifact
-// document embedded in a sweep response with the artifact writer's
-// indentation — byte-identical to what `configurator_cli --sweep --json=`
-// writes for the same spec and shard, which the CI serve-smoke step
-// asserts.
+// document embedded in the last sweep or resolve response with the
+// artifact writer's indentation — byte-identical to what
+// `configurator_cli --sweep --json=` writes for the same spec and shard
+// (for resolve: for a spec over an equal dataset), which the CI serve-smoke
+// and streaming-replay steps assert.
+//
+// Lockstep ordering means a session script can stream "update" deltas and
+// trust that a later "resolve" sees them (read-your-writes).
 //
 // Exit status: 0 when every response is ok, 1 when any response carries an
 // error document, 2 on usage or transport failures.
@@ -82,6 +86,41 @@ void PrettyPrint(const JsonValue& response) {
                 static_cast<long long>(response.FindMember("cells")->AsInt()),
                 static_cast<long long>(
                     response.FindMember("grid_cells")->AsInt()));
+  } else if (kind == "update") {
+    std::printf("%supdate ok: version=%lld users=%lld items=%lld applied=%lld\n",
+                tag.c_str(),
+                static_cast<long long>(response.FindMember("version")->AsInt()),
+                static_cast<long long>(response.FindMember("num_users")->AsInt()),
+                static_cast<long long>(response.FindMember("num_items")->AsInt()),
+                static_cast<long long>(response.FindMember("applied")->AsInt()));
+  } else if (kind == "resolve") {
+    const JsonValue* incremental = response.FindMember("incremental");
+    const JsonValue* reused =
+        incremental ? incremental->FindMember("pairs_reused") : nullptr;
+    std::printf("%sresolve ok: version=%lld cells=%lld pairs_reused=%lld\n",
+                tag.c_str(),
+                static_cast<long long>(response.FindMember("version")->AsInt()),
+                static_cast<long long>(response.FindMember("cells")->AsInt()),
+                static_cast<long long>(reused ? reused->AsInt() : 0));
+  } else if (kind == "batch") {
+    const JsonValue* responses = response.FindMember("responses");
+    std::int64_t entry_ok = 0;
+    std::int64_t entry_errors = 0;
+    if (responses != nullptr && responses->kind() == JsonValue::Kind::kArray) {
+      for (std::size_t i = 0; i < responses->size(); ++i) {
+        const JsonValue& entry = responses->at(i);
+        const JsonValue* entry_flag = entry.FindMember("ok");
+        if (entry_flag != nullptr && entry_flag->kind() == JsonValue::Kind::kBool &&
+            entry_flag->AsBool()) {
+          ++entry_ok;
+        } else {
+          ++entry_errors;
+        }
+      }
+    }
+    std::printf("%sbatch ok: %lld solved, %lld failed\n", tag.c_str(),
+                static_cast<long long>(entry_ok),
+                static_cast<long long>(entry_errors));
   } else if (kind == "stats") {
     std::printf("%sstats:\n%s\n", tag.c_str(),
                 response.FindMember("stats")->Dump(2).c_str());
@@ -106,8 +145,8 @@ int main(int argc, char** argv) {
   flags.Define("json", "false",
                "print raw response lines instead of pretty summaries");
   flags.Define("artifact-out", "",
-               "write the artifact document of the last sweep response "
-               "here (2-space indentation — byte-identical to "
+               "write the artifact document of the last sweep or resolve "
+               "response here (2-space indentation — byte-identical to "
                "configurator_cli --json output for the same spec/shard)");
   flags.Parse(argc, argv);
 
@@ -168,8 +207,9 @@ int main(int argc, char** argv) {
     }
     const JsonValue* kind = response->FindMember("kind");
     const JsonValue* artifact = response->FindMember("artifact");
-    if (kind != nullptr && kind->AsString() == "sweep" && artifact != nullptr &&
-        !flags.GetString("artifact-out").empty()) {
+    if (kind != nullptr &&
+        (kind->AsString() == "sweep" || kind->AsString() == "resolve") &&
+        artifact != nullptr && !flags.GetString("artifact-out").empty()) {
       std::FILE* file = std::fopen(flags.GetString("artifact-out").c_str(), "w");
       if (file == nullptr) {
         std::fprintf(stderr, "error: cannot write %s\n",
