@@ -129,6 +129,29 @@ void Engine::ClearDatasetCache() {
   wtp_cache_.clear();
 }
 
+void Engine::EvictMarketCaches(const std::string& market_id) {
+  const std::string resolve_prefix = "market:" + market_id + ";";
+  const std::string wtp_prefix = "market:" + market_id + "@";
+  const auto has_prefix = [](const std::string& key,
+                             const std::string& prefix) {
+    return key.compare(0, prefix.size(), prefix) == 0;
+  };
+  {
+    MutexLock lock(resolve_mu_);
+    for (auto it = resolve_cache_.begin(); it != resolve_cache_.end();) {
+      it = has_prefix(it->key, resolve_prefix) ? resolve_cache_.erase(it)
+                                               : std::next(it);
+    }
+  }
+  {
+    MutexLock lock(cache_mu_);
+    for (auto it = wtp_cache_.begin(); it != wtp_cache_.end();) {
+      it = has_prefix(it->key, wtp_prefix) ? wtp_cache_.erase(it)
+                                           : std::next(it);
+    }
+  }
+}
+
 Status ValidateMethodKey(const std::string& method) {
   if (!BundlerRegistry::Global().Has(method)) {
     return Status::NotFound(StrFormat("unknown method key '%s' (valid: %s)",

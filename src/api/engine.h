@@ -240,6 +240,14 @@ class Engine {
   /// accumulating.
   void ClearDatasetCache() EXCLUDES(cache_mu_);
 
+  /// Purges every cache entry derived from market `market_id` — its
+  /// resolve lines ("market:<id>;spec=...") and its versioned WTP
+  /// derivations ("market:<id>@v..."). The market-registry eviction hook:
+  /// once a market leaves residency, a later market under the same id must
+  /// start from a cold cache, never inherit the old market's work.
+  void EvictMarketCaches(const std::string& market_id)
+      EXCLUDES(cache_mu_, resolve_mu_);
+
   const Options& options() const { return options_; }
 
  private:

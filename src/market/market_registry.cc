@@ -1,0 +1,136 @@
+#include "market/market_registry.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace bundlemine {
+
+MarketRegistry::MarketRegistry(Options options) : options_(options) {
+  BM_CHECK_MSG(options_.max_markets >= 1,
+               "MarketRegistry needs room for at least one market");
+}
+
+MarketStream* MarketRegistry::Lease::get() const {
+  BM_CHECK_MSG(entry_ != nullptr, "dereferencing an empty market lease");
+  return &entry_->stream;
+}
+
+void MarketRegistry::Lease::Release() {
+  if (registry_ != nullptr && entry_ != nullptr) {
+    registry_->ReleasePin(entry_);
+  }
+  registry_ = nullptr;
+  entry_.reset();
+}
+
+void MarketRegistry::ReleasePin(const std::shared_ptr<Entry>& entry) {
+  bool notify = false;
+  {
+    MutexLock lock(mu_);
+    BM_CHECK_MSG(entry->pins > 0, "market lease released twice");
+    if (--entry->pins == 0) notify = true;
+  }
+  // Drop() waits for a specific market to reach zero pins; wake every
+  // waiter and let the predicate loops re-check.
+  if (notify) unpinned_.NotifyAll();
+}
+
+StatusOr<MarketRegistry::Lease> MarketRegistry::Acquire(
+    const std::string& id, const std::string& tenant) {
+  std::string evicted;  // Fire the hook after unlocking.
+  std::shared_ptr<Entry> entry;
+  {
+    MutexLock lock(mu_);
+    auto it = markets_.find(id);
+    if (it != markets_.end()) {
+      if (it->second->dropping) {
+        return Status::Unavailable(StrFormat(
+            "market '%s' is draining for drop — retry or pick another id",
+            id.c_str()));
+      }
+      entry = it->second;
+    } else {
+      if (markets_.size() >= static_cast<std::size_t>(options_.max_markets)) {
+        // Evict the least-recently-acquired idle market. Pinned (or
+        // draining) markets are never eviction candidates: in-flight work
+        // keeps its market resident.
+        auto victim = markets_.end();
+        for (auto jt = markets_.begin(); jt != markets_.end(); ++jt) {
+          if (jt->second->pins > 0 || jt->second->dropping) continue;
+          if (victim == markets_.end() ||
+              jt->second->last_used < victim->second->last_used) {
+            victim = jt;
+          }
+        }
+        if (victim == markets_.end()) {
+          return Status::Unavailable(StrFormat(
+              "market cap reached (%d resident, all busy) — cannot admit "
+              "market '%s'; drop one or raise --max-markets",
+              options_.max_markets, id.c_str()));
+        }
+        evicted = victim->first;
+        markets_.erase(victim);
+      }
+      entry = std::make_shared<Entry>(id);
+      entry->tenant = tenant;
+      markets_.emplace(id, entry);
+    }
+    ++entry->pins;
+    entry->last_used = ++acquire_clock_;
+  }
+  if (!evicted.empty() && hook_) hook_(evicted);
+  return Lease(this, std::move(entry));
+}
+
+std::vector<MarketRegistry::MarketInfo> MarketRegistry::List() const {
+  std::vector<MarketInfo> out;
+  MutexLock lock(mu_);
+  out.reserve(markets_.size());
+  for (const auto& [id, entry] : markets_) {
+    MarketInfo info;
+    info.id = id;
+    info.tenant = entry->tenant;
+    info.loaded = entry->stream.loaded();
+    info.version = entry->stream.version();
+    info.num_users = entry->stream.num_users();
+    info.num_items = entry->stream.num_items();
+    info.pins = entry->pins;
+    out.push_back(std::move(info));
+  }
+  return out;  // std::map iteration order is already sorted by id.
+}
+
+StatusOr<MarketRegistry::DropResult> MarketRegistry::Drop(
+    const std::string& id) {
+  std::shared_ptr<Entry> entry;
+  DropResult result;
+  {
+    MutexLock lock(mu_);
+    auto it = markets_.find(id);
+    if (it == markets_.end()) {
+      return Status::NotFound(
+          StrFormat("market '%s' is not resident", id.c_str()));
+    }
+    entry = it->second;
+    if (entry->dropping) {
+      return Status::Unavailable(StrFormat(
+          "market '%s' is already draining for drop", id.c_str()));
+    }
+    entry->dropping = true;  // Blocks new leases from this point on.
+    result.drained = entry->pins;
+    while (entry->pins > 0) unpinned_.Wait(mu_);
+    result.final_version = entry->stream.version();
+    markets_.erase(id);
+  }
+  if (hook_) hook_(id);
+  return result;
+}
+
+std::size_t MarketRegistry::size() const {
+  MutexLock lock(mu_);
+  return markets_.size();
+}
+
+}  // namespace bundlemine

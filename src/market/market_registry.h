@@ -1,0 +1,167 @@
+// Multi-tenant market residency: id → MarketStream, pinned by RAII leases.
+//
+// A MarketRegistry owns every resident MarketStream in a server process,
+// keyed by the wire envelope's "market" id. Each stream keeps its own
+// version line and (via Engine's "market:<id>..." key prefixes) its own
+// resolve-cache namespace, so deltas to one market can never perturb the
+// cached work — or the artifact bytes — of another.
+//
+// Residency protocol:
+//   * Acquire(id) pins the market for the duration of one request (create
+//     on first touch). The returned Lease is the pin: while any lease on a
+//     market is alive, that market can neither be LRU-evicted nor dropped
+//     out from under the request holding it.
+//   * The registry holds at most `max_markets` streams. Acquiring a new id
+//     at the cap first tries to evict the least-recently-acquired market
+//     with zero pins; if every resident market is pinned (or draining),
+//     Acquire fails with typed UNAVAILABLE "market cap reached" — overload
+//     is an error the caller sees, never a silent eviction of in-flight
+//     work.
+//   * Drop(id) drains first: it blocks new leases on the id, waits for the
+//     existing pins to release, then removes the stream and fires the
+//     eviction hook (the server points it at Engine cache purging).
+//
+// Every eviction path — LRU and explicit drop — reports the departing id
+// through the eviction hook, called with no registry lock held.
+
+#ifndef BUNDLEMINE_MARKET_MARKET_REGISTRY_H_
+#define BUNDLEMINE_MARKET_MARKET_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "market/market_stream.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace bundlemine {
+
+/// The resident market map. See file comment for the residency protocol.
+class MarketRegistry {
+ private:
+  struct Entry;  // Defined below; leases hold one.
+
+ public:
+  struct Options {
+    /// Resident-market cap. Acquire of a new id beyond this evicts the LRU
+    /// idle market or fails UNAVAILABLE when all are pinned. Must be ≥ 1.
+    int max_markets = 8;
+  };
+
+  /// Called (outside the registry lock) with the id of every market that
+  /// leaves residency — LRU eviction and explicit Drop alike — so the
+  /// owner can purge derived state (Engine resolve/WTP cache namespaces).
+  using EvictionHook = std::function<void(const std::string& market_id)>;
+
+  explicit MarketRegistry(Options options);
+  MarketRegistry() : MarketRegistry(Options()) {}
+
+  MarketRegistry(const MarketRegistry&) = delete;
+  MarketRegistry& operator=(const MarketRegistry&) = delete;
+
+  void set_eviction_hook(EvictionHook hook) { hook_ = std::move(hook); }
+
+  /// An RAII pin on one resident market. Empty leases (default-constructed
+  /// or moved-from) hold nothing; a live lease keeps its market resident
+  /// and its MarketStream pointer valid until destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : registry_(std::exchange(other.registry_, nullptr)),
+          entry_(std::move(other.entry_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        registry_ = std::exchange(other.registry_, nullptr);
+        entry_ = std::move(other.entry_);
+      }
+      return *this;
+    }
+    ~Lease() { Release(); }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    explicit operator bool() const { return entry_ != nullptr; }
+    MarketStream* get() const;
+    MarketStream* operator->() const { return get(); }
+
+   private:
+    friend class MarketRegistry;
+    Lease(MarketRegistry* registry, std::shared_ptr<Entry> entry)
+        : registry_(registry), entry_(std::move(entry)) {}
+    void Release();
+
+    MarketRegistry* registry_ = nullptr;
+    std::shared_ptr<Entry> entry_;
+  };
+
+  /// Pins market `id`, creating an empty stream on first touch (recording
+  /// `tenant` as its owner). Fails UNAVAILABLE ("market cap reached") when
+  /// the cap is hit and every resident market is pinned, and UNAVAILABLE
+  /// when `id` is mid-drop.
+  StatusOr<Lease> Acquire(const std::string& id, const std::string& tenant)
+      EXCLUDES(mu_);
+
+  /// One row of List(): the market's identity and current stream state.
+  struct MarketInfo {
+    std::string id;
+    std::string tenant;  ///< Creating tenant ("" for untagged sessions).
+    bool loaded = false;
+    std::uint64_t version = 0;
+    int num_users = 0;
+    int num_items = 0;
+    int pins = 0;  ///< Leases alive at sampling time.
+  };
+
+  /// Snapshot of every resident market, sorted by id (deterministic wire
+  /// output).
+  std::vector<MarketInfo> List() const EXCLUDES(mu_);
+
+  struct DropResult {
+    std::uint64_t final_version = 0;
+    int drained = 0;  ///< Pins that were alive when the drop began.
+  };
+
+  /// Removes market `id`: blocks new leases, waits for in-flight ones to
+  /// release, erases the stream, fires the eviction hook. NOT_FOUND when
+  /// the id is not resident; UNAVAILABLE when another drop is draining it.
+  StatusOr<DropResult> Drop(const std::string& id) EXCLUDES(mu_);
+
+  /// Resident markets right now (draining ones included until erased).
+  std::size_t size() const EXCLUDES(mu_);
+
+ private:
+  // All Entry fields besides `stream` are protected by the registry's mu_
+  // (leases reach them only through the owning registry, which outlives
+  // every lease). MarketStream itself is internally synchronized.
+  struct Entry {
+    explicit Entry(std::string id) : stream(std::move(id)) {}
+    MarketStream stream;
+    std::string tenant;
+    int pins = 0;
+    bool dropping = false;
+    std::uint64_t last_used = 0;  ///< LRU stamp (acquire counter).
+  };
+
+  void ReleasePin(const std::shared_ptr<Entry>& entry) EXCLUDES(mu_);
+
+  const Options options_;
+  EvictionHook hook_;  ///< Set once at wiring time, before concurrent use.
+
+  mutable Mutex mu_;
+  CondVar unpinned_;  ///< Signaled whenever a market's pin count hits 0.
+  std::uint64_t acquire_clock_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::shared_ptr<Entry>> markets_ GUARDED_BY(mu_);
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_MARKET_MARKET_REGISTRY_H_

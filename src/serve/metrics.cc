@@ -13,7 +13,7 @@ ServeMetrics::SessionCounters& ServeMetrics::SessionBucket(
 }
 
 void ServeMetrics::RecordResult(WireKind kind, bool ok, double seconds,
-                                const std::string& session) {
+                                const std::string& session, bool admitted) {
   MutexLock lock(mu_);
   KindCounters& counters = counters_[static_cast<int>(kind)];
   if (ok) {
@@ -22,8 +22,9 @@ void ServeMetrics::RecordResult(WireKind kind, bool ok, double seconds,
     ++counters.errors;
   }
   // Control kinds answer inline without an admission, so their gauge never
-  // rose; only a queued kind's completion takes it back down.
-  if (counters.in_flight > 0) --counters.in_flight;
+  // rose; only a queued kind's completion takes it back down. Pre-admission
+  // answers (denials) pass admitted=false and leave the gauge alone.
+  if (admitted && counters.in_flight > 0) --counters.in_flight;
   counters.total_seconds += seconds;
   counters.max_seconds = std::max(counters.max_seconds, seconds);
   if (!session.empty()) {
@@ -56,6 +57,39 @@ void ServeMetrics::RecordRejected(WireKind kind, const std::string& session) {
 void ServeMetrics::RecordParseError() {
   MutexLock lock(mu_);
   ++parse_errors_;
+}
+
+ServeMetrics::TenantCounters& ServeMetrics::TenantBucket(
+    const std::string& tenant) {
+  const std::string key = tenant.empty() ? "(untagged)" : tenant;
+  auto it = tenants_.find(key);
+  if (it != tenants_.end()) return it->second;
+  if (tenants_.size() >= kMaxSessions) return tenants_["(other)"];
+  return tenants_[key];
+}
+
+void ServeMetrics::RecordDenial(const std::string& tenant) {
+  MutexLock lock(mu_);
+  ++TenantBucket(tenant).denials;
+}
+
+void ServeMetrics::RecordDeltasApplied(const std::string& tenant,
+                                       std::int64_t applied) {
+  if (tenant.empty()) return;  // Unattributable: no binding session.
+  MutexLock lock(mu_);
+  TenantBucket(tenant).deltas_applied += applied;
+}
+
+void ServeMetrics::RecordResolve(const std::string& tenant) {
+  if (tenant.empty()) return;  // Unattributable: no binding session.
+  MutexLock lock(mu_);
+  ++TenantBucket(tenant).resolves;
+}
+
+std::map<std::string, ServeMetrics::TenantCounters>
+ServeMetrics::TenantSnapshot() const {
+  MutexLock lock(mu_);
+  return tenants_;
 }
 
 std::int64_t ServeMetrics::TotalCompleted() const {

@@ -36,9 +36,12 @@ class ServeMetrics {
   /// a typed error response; `seconds` is admission-to-response latency.
   /// Decrements the kind's in-flight gauge when one was admitted (control
   /// kinds answer inline and never show up in flight). A non-empty `session`
-  /// also bumps that session's counters.
+  /// also bumps that session's counters. Pass `admitted = false` for a
+  /// queued-kind request answered before admission (tenant denial, market
+  /// cap) so it cannot deflate a concurrent request's in-flight gauge.
   void RecordResult(WireKind kind, bool ok, double seconds,
-                    const std::string& session = std::string()) EXCLUDES(mu_);
+                    const std::string& session = std::string(),
+                    bool admitted = true) EXCLUDES(mu_);
 
   /// Records that a request of `kind` was admitted (queued for a worker).
   /// The kind's in-flight gauge rises until RecordResult — the signal a
@@ -57,6 +60,27 @@ class ServeMetrics {
 
   /// Records a line that failed ParseWireRequest (no kind to attribute).
   void RecordParseError() EXCLUDES(mu_);
+
+  /// Tenant-auth accounting (populated once --tenant-map makes sessions
+  /// binding). `tenant` is the session tag; the untagged "" session folds
+  /// into "(untagged)".
+  void RecordDenial(const std::string& tenant) EXCLUDES(mu_);
+  /// `applied` deltas landed on a market under `tenant`'s session.
+  void RecordDeltasApplied(const std::string& tenant, std::int64_t applied)
+      EXCLUDES(mu_);
+  /// One resolve completed under `tenant`'s session.
+  void RecordResolve(const std::string& tenant) EXCLUDES(mu_);
+
+  struct TenantCounters {
+    std::int64_t deltas_applied = 0;
+    std::int64_t resolves = 0;
+    std::int64_t denials = 0;
+  };
+
+  /// Snapshot of the per-tenant counters, keyed by tenant tag (ordered —
+  /// deterministic stats output). The server merges this with the market
+  /// registry's ownership view into the stats document's "tenants" block.
+  std::map<std::string, TenantCounters> TenantSnapshot() const EXCLUDES(mu_);
 
   /// Requests completed (ok + error) across all kinds.
   std::int64_t TotalCompleted() const EXCLUDES(mu_);
@@ -86,12 +110,15 @@ class ServeMetrics {
   /// Session bucket for `session`, folding overflow beyond kMaxSessions
   /// into "(other)".
   SessionCounters& SessionBucket(const std::string& session) REQUIRES(mu_);
+  /// Tenant bucket, same folding policy ("" folds into "(untagged)").
+  TenantCounters& TenantBucket(const std::string& tenant) REQUIRES(mu_);
 
   mutable Mutex mu_;
   KindCounters counters_[kNumWireKinds] GUARDED_BY(mu_);
   // Ordered map: stats output iterates it, and deterministic key order keeps
   // the stats document stable for a given request history.
   std::map<std::string, SessionCounters> sessions_ GUARDED_BY(mu_);
+  std::map<std::string, TenantCounters> tenants_ GUARDED_BY(mu_);
   std::int64_t parse_errors_ GUARDED_BY(mu_) = 0;
 };
 

@@ -21,9 +21,10 @@ constexpr const char* kDatasetFields[] = {
 constexpr const char* kSweepFields[] = {"spec", "shard", "options"};
 constexpr const char* kOptionsFields[] = {"threads", "deadline_seconds",
                                           "seed"};
-constexpr const char* kUpdateFields[] = {"load", "deltas"};
-constexpr const char* kResolveFields[] = {"spec", "options"};
-constexpr const char* kBatchFields[] = {"requests"};
+constexpr const char* kUpdateFields[] = {"load", "deltas", "market"};
+constexpr const char* kResolveFields[] = {"spec", "options", "market"};
+constexpr const char* kBatchFields[] = {"requests", "market"};
+constexpr const char* kMarketDropFields[] = {"market"};
 // Per-op delta field tables ("op" always allowed).
 constexpr const char* kDeltaAddUserFields[] = {"op", "ratings"};
 constexpr const char* kDeltaRemoveUserFields[] = {"op", "user"};
@@ -34,7 +35,8 @@ constexpr const char* kDeltaSetPriceFields[] = {"op", "item", "price"};
 constexpr const char* kDeltaRatingEntryFields[] = {"item", "stars"};
 
 constexpr const char* kKindList =
-    "ping, solve, sweep, update, resolve, batch, stats, shutdown";
+    "ping, solve, sweep, update, resolve, batch, stats, shutdown, "
+    "market-list, market-drop";
 constexpr const char* kDeltaOpList =
     "add_user, remove_user, add_rating, update_rating, remove_rating, "
     "scale_price, set_price";
@@ -504,18 +506,20 @@ Status ParseBatch(const JsonValue& document, WireRequest* request) {
   return Status::Ok();
 }
 
-Status ValidateSessionTag(const std::string& session) {
+// Session tags and market ids share one identifier alphabet; `what` names
+// the offending field ("'session' tag" / "'market' id") in the diagnostic.
+Status ValidateWireTag(const std::string& tag, const char* what) {
   const auto valid_char = [](char c) {
     return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
            (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
   };
-  bool ok = !session.empty() && session.size() <= kMaxSessionChars;
-  for (std::size_t i = 0; ok && i < session.size(); ++i) {
-    ok = valid_char(session[i]);
+  bool ok = !tag.empty() && tag.size() <= kMaxSessionChars;
+  for (std::size_t i = 0; ok && i < tag.size(); ++i) {
+    ok = valid_char(tag[i]);
   }
   if (!ok) {
     return Status::InvalidArgument(
-        StrFormat("bad 'session' tag: must be 1-%zu chars of [A-Za-z0-9._-]",
+        StrFormat("bad %s: must be 1-%zu chars of [A-Za-z0-9._-]", what,
                   kMaxSessionChars));
   }
   return Status::Ok();
@@ -531,6 +535,11 @@ void SetEnvelope(JsonValue* response, const WireEnvelope& envelope) {
   if (!envelope.session.empty()) {
     response->Set("session", JsonValue::Str(envelope.session));
   }
+  // "market" mirrors "v": echoed only when spelled out, so traffic that
+  // rides the default market keeps its exact pre-v2 response bytes.
+  if (envelope.market_explicit) {
+    response->Set("market", JsonValue::Str(envelope.market));
+  }
 }
 
 }  // namespace
@@ -545,6 +554,8 @@ const char* WireKindName(WireKind kind) {
     case WireKind::kUpdate: return "update";
     case WireKind::kResolve: return "resolve";
     case WireKind::kBatch: return "batch";
+    case WireKind::kMarketList: return "market-list";
+    case WireKind::kMarketDrop: return "market-drop";
   }
   return "";
 }
@@ -601,16 +612,36 @@ StatusOr<WireRequest> ParseWireRequest(const std::string& line,
     if (session->kind() != JsonValue::Kind::kString) {
       return TypeError("request", "session", "a string");
     }
-    if (Status s = ValidateSessionTag(session->AsString()); !s.ok()) return s;
+    if (Status s = ValidateWireTag(session->AsString(), "'session' tag");
+        !s.ok()) {
+      return s;
+    }
     request.envelope.session = session->AsString();
     if (error_envelope != nullptr) {
       error_envelope->session = request.envelope.session;
     }
   }
-  if (request.envelope.v != kWireProtocolVersion) {
-    return Status::InvalidArgument(
-        StrFormat("unsupported protocol version %d (this server speaks v%d)",
-                  request.envelope.v, kWireProtocolVersion));
+  if (const JsonValue* market = document->FindMember("market");
+      market != nullptr) {
+    if (market->kind() != JsonValue::Kind::kString) {
+      return TypeError("request", "market", "a string");
+    }
+    if (Status s = ValidateWireTag(market->AsString(), "'market' id");
+        !s.ok()) {
+      return s;
+    }
+    request.envelope.market = market->AsString();
+    request.envelope.market_explicit = true;
+    if (error_envelope != nullptr) {
+      error_envelope->market = request.envelope.market;
+      error_envelope->market_explicit = true;
+    }
+  }
+  if (request.envelope.v < kWireProtocolVersion ||
+      request.envelope.v > kWireProtocolVersionMax) {
+    return Status::InvalidArgument(StrFormat(
+        "unsupported protocol version %d (this server speaks v%d-v%d)",
+        request.envelope.v, kWireProtocolVersion, kWireProtocolVersionMax));
   }
 
   const JsonValue* kind = document->FindMember("kind");
@@ -642,6 +673,21 @@ StatusOr<WireRequest> ParseWireRequest(const std::string& line,
     case WireKind::kBatch:
       if (Status s = ParseBatch(*document, &request); !s.ok()) return s;
       break;
+    case WireKind::kMarketDrop: {
+      if (Status s = CheckFields(*document, "market-drop request",
+                                 kMarketDropFields, true);
+          !s.ok()) {
+        return s;
+      }
+      // Dropping whatever "default" happens to be would be a footgun;
+      // drops always name their target.
+      if (!request.envelope.market_explicit) {
+        return Status::InvalidArgument(
+            "market-drop request needs an explicit 'market' id");
+      }
+      break;
+    }
+    case WireKind::kMarketList:
     case WireKind::kPing:
     case WireKind::kStats:
     case WireKind::kShutdown: {
@@ -787,6 +833,45 @@ JsonValue ShutdownResponseJson(const WireEnvelope& envelope,
   out.Set("ok", JsonValue::Bool(true));
   out.Set("kind", JsonValue::Str("shutdown"));
   out.Set("drained", JsonValue::Int(drained));
+  return out;
+}
+
+JsonValue MarketListResponseJson(const WireEnvelope& envelope,
+                                 const std::vector<MarketListEntry>& markets) {
+  JsonValue out = JsonValue::Object();
+  SetEnvelope(&out, envelope);
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("kind", JsonValue::Str("market-list"));
+  JsonValue rows = JsonValue::Array();
+  for (const MarketListEntry& market : markets) {
+    JsonValue row = JsonValue::Object();
+    row.Set("id", JsonValue::Str(market.id));
+    if (!market.tenant.empty()) {
+      row.Set("tenant", JsonValue::Str(market.tenant));
+    }
+    row.Set("loaded", JsonValue::Bool(market.loaded));
+    row.Set("version",
+            JsonValue::Int(static_cast<std::int64_t>(market.version)));
+    row.Set("num_users", JsonValue::Int(market.num_users));
+    row.Set("num_items", JsonValue::Int(market.num_items));
+    rows.Add(std::move(row));
+  }
+  out.Set("markets", std::move(rows));
+  return out;
+}
+
+JsonValue MarketDropResponseJson(const WireEnvelope& envelope,
+                                 const std::string& market_id,
+                                 std::int64_t drained,
+                                 std::uint64_t final_version) {
+  JsonValue out = JsonValue::Object();
+  SetEnvelope(&out, envelope);
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("kind", JsonValue::Str("market-drop"));
+  out.Set("dropped", JsonValue::Str(market_id));
+  out.Set("drained", JsonValue::Int(drained));
+  out.Set("final_version",
+          JsonValue::Int(static_cast<std::int64_t>(final_version)));
   return out;
 }
 

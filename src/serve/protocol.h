@@ -3,9 +3,9 @@
 //
 // Every request is one JSON object per line, dispatched on "kind" and
 // wrapped in a common envelope: an optional protocol version "v" (default
-// 1 — the only version this server speaks), an optional integer "id" echoed
-// into the response, and an optional "session" tag echoed into the response
-// and broken out in the stats counters:
+// 1; this server speaks v1 and v2), an optional integer "id" echoed into
+// the response, and an optional "session" tag echoed into the response and
+// broken out in the stats counters:
 //
 //   {"kind":"ping","id":1}
 //   {"kind":"solve","id":2,"v":1,"session":"tenant-a","method":"mixed-greedy",
@@ -22,14 +22,27 @@
 //   {"kind":"stats","id":7}
 //   {"kind":"shutdown","id":8}
 //
+// Schema v2 adds multi-tenant markets, strictly as optional extensions —
+// a v1 request line is also a valid v2 request line with identical
+// semantics. The update, resolve, batch, and market-drop kinds accept an
+// optional "market" id (same alphabet as session tags, default "default")
+// selecting which resident MarketStream the request addresses, echoed in
+// the response only when the request spelled it out; two new kinds manage
+// residency:
+//
+//   {"kind":"update","id":9,"market":"movies-eu","deltas":[...]}
+//   {"kind":"market-list","id":10}
+//   {"kind":"market-drop","id":11,"market":"movies-eu"}
+//
 // Every response is one line echoing the envelope (id and session when sent;
-// "v" only when the request spelled it out, so implicit-v1 traffic keeps its
-// exact historical bytes): successes carry {"ok":true,"kind":...} plus the
-// payload, failures carry {"ok":false,"error":{"code","message"}} built from
-// the Engine's typed Status — a malformed or unserviceable request NEVER
-// drops the connection. Parsing is strict: an unknown "kind", an unknown
-// field, a wrong field type, a missing required field, an unsupported "v",
-// and an oversized line each name the offending token in an INVALID_ARGUMENT
+// "v" and "market" only when the request spelled them out, so implicit-v1
+// traffic keeps its exact historical bytes): successes carry
+// {"ok":true,"kind":...} plus the payload, failures carry
+// {"ok":false,"error":{"code","message"}} built from the Engine's typed
+// Status — a malformed or unserviceable request NEVER drops the
+// connection. Parsing is strict: an unknown "kind", an unknown field, a
+// wrong field type, a missing required field, an unsupported "v", and an
+// oversized line each name the offending token in an INVALID_ARGUMENT
 // response.
 //
 // Solve, sweep, resolve, and batch response bodies are deterministic (they
@@ -70,13 +83,19 @@ enum class WireKind {
   kUpdate,
   kResolve,
   kBatch,
+  kMarketList,
+  kMarketDrop,
 };
 
-inline constexpr int kNumWireKinds = 8;
+inline constexpr int kNumWireKinds = 10;
 
-/// The one protocol version this server speaks. Requests may spell it out
-/// ("v":1) or omit it; any other value is rejected before kind dispatch.
+/// The default protocol version when a request omits "v". Requests may
+/// spell out any version in [kWireProtocolVersion, kWireProtocolVersionMax];
+/// anything else is rejected before kind dispatch. v2 is a strict superset
+/// of v1 (the optional "market" field and the market-* kinds), so the
+/// default stays 1 and v1 traffic keeps its historical response bytes.
 inline constexpr int kWireProtocolVersion = 1;
+inline constexpr int kWireProtocolVersionMax = 2;
 
 /// Canonical kind name ("ping", "solve", ...).
 const char* WireKindName(WireKind kind);
@@ -90,7 +109,11 @@ inline constexpr std::size_t kMaxWireRequestBytes = 1u << 20;
 inline constexpr std::size_t kMaxBatchRequests = 64;
 
 /// Session tags are bounded identifiers: [A-Za-z0-9._-], at most this long.
+/// Market ids share the same alphabet and bound.
 inline constexpr std::size_t kMaxSessionChars = 64;
+
+/// The market a request addresses when it carries no "market" field.
+inline constexpr const char* kDefaultMarketId = "default";
 
 /// The fields shared by every request kind, echoed into responses.
 struct WireEnvelope {
@@ -100,8 +123,14 @@ struct WireEnvelope {
   bool v_explicit = false;
   std::optional<std::int64_t> id;
   /// Session tag ("" = untagged): echoed in responses, broken out in the
-  /// per-session stats counters.
+  /// per-session stats counters. With --tenant-map active it is binding:
+  /// it names the tenant whose market permissions gate the request.
   std::string session;
+  /// Market id the request addresses (update/resolve/batch/market-drop).
+  /// Echoed in responses only when explicit, mirroring "v" — so v1 traffic
+  /// that never sends it sees byte-identical responses.
+  std::string market = kDefaultMarketId;
+  bool market_explicit = false;
 };
 
 /// One parsed request line. Exactly the fields of the active kind are
@@ -177,6 +206,27 @@ JsonValue BatchResponseJson(const WireEnvelope& envelope, JsonValue responses);
 JsonValue StatsResponseJson(const WireEnvelope& envelope, JsonValue stats);
 JsonValue ShutdownResponseJson(const WireEnvelope& envelope,
                                std::int64_t drained);
+
+/// One market row of a market-list response (protocol-level mirror of the
+/// registry's MarketInfo, so the wire layer stays decoupled from it).
+struct MarketListEntry {
+  std::string id;
+  std::string tenant;  ///< Creating tenant ("" when untagged).
+  bool loaded = false;
+  std::uint64_t version = 0;
+  int num_users = 0;
+  int num_items = 0;
+};
+/// Market-list payload: one object per resident market, in the given
+/// (id-sorted) order.
+JsonValue MarketListResponseJson(const WireEnvelope& envelope,
+                                 const std::vector<MarketListEntry>& markets);
+/// Market-drop payload: the dropped id, in-flight requests drained while
+/// the drop waited, and the stream's final version.
+JsonValue MarketDropResponseJson(const WireEnvelope& envelope,
+                                 const std::string& market_id,
+                                 std::int64_t drained,
+                                 std::uint64_t final_version);
 
 }  // namespace bundlemine
 

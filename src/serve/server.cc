@@ -112,8 +112,13 @@ bool ReadBoundedLine(std::istream& in, std::string* line, std::size_t cap) {
 BundleServer::BundleServer(const ServeOptions& options)
     : options_(options),
       engine_(options.engine),
-      market_("default"),
+      registry_(MarketRegistry::Options{std::max(1, options.max_markets)}),
       queue_(options.queue_depth) {
+  // A market that leaves residency (LRU eviction or explicit drop) takes
+  // its Engine cache namespace with it: a later market under the same id
+  // must never inherit the old one's cached work.
+  registry_.set_eviction_hook(
+      [this](const std::string& id) { engine_.EvictMarketCaches(id); });
   const int workers = std::max(1, options_.workers);
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -209,11 +214,44 @@ void BundleServer::HandleLine(const std::string& line,
     case WireKind::kUpdate: {
       // Inline on the connection thread: updates are metadata edits, and a
       // lockstep client gets read-your-writes ordering against its own
-      // later resolves for free.
+      // later resolves for free. The market lease spans exactly this
+      // handler.
       WallTimer timer;
       bool ok = false;
-      JsonValue response = HandleUpdate(request, &ok);
+      JsonValue response;
+      if (Status denied = CheckTenant(envelope); !denied.ok()) {
+        response = ErrorResponseJson(envelope, denied);
+      } else if (StatusOr<MarketRegistry::Lease> lease =
+                     registry_.Acquire(envelope.market, envelope.session);
+                 !lease.ok()) {
+        response = ErrorResponseJson(envelope, lease.status());
+      } else {
+        response = HandleUpdate(request, *lease->get(), &ok);
+      }
       metrics_.RecordResult(WireKind::kUpdate, ok, timer.Seconds(),
+                            envelope.session);
+      sink->WriteLine(response.Dump(0));
+      return;
+    }
+    case WireKind::kMarketList: {
+      WallTimer timer;
+      sink->WriteLine(HandleMarketList(envelope).Dump(0));
+      metrics_.RecordResult(WireKind::kMarketList, true, timer.Seconds(),
+                            envelope.session);
+      return;
+    }
+    case WireKind::kMarketDrop: {
+      // Inline like update: the drop drains in-flight leases on its market
+      // (worker progress does not depend on this connection thread).
+      WallTimer timer;
+      bool ok = false;
+      JsonValue response;
+      if (Status denied = CheckTenant(envelope); !denied.ok()) {
+        response = ErrorResponseJson(envelope, denied);
+      } else {
+        response = HandleMarketDrop(envelope, &ok);
+      }
+      metrics_.RecordResult(WireKind::kMarketDrop, ok, timer.Seconds(),
                             envelope.session);
       sink->WriteLine(response.Dump(0));
       return;
@@ -221,16 +259,45 @@ void BundleServer::HandleLine(const std::string& line,
     case WireKind::kShutdown:
       DrainAndStop(envelope, sink);
       return;
+    case WireKind::kResolve:
+    case WireKind::kBatch: {
+      // Market-addressing queued kinds: the tenant gate and the market pin
+      // both happen here, at admission on the connection thread — so a
+      // later market-drop's drain covers queued-but-unstarted work, and a
+      // denied tenant never occupies a queue slot. Batch solves reference
+      // datasets rather than the market stream, so the "market" field on a
+      // batch participates in auth but takes no lease.
+      if (Status denied = CheckTenant(envelope); !denied.ok()) {
+        metrics_.RecordResult(request.kind, false, 0.0, envelope.session,
+                              /*admitted=*/false);
+        sink->WriteLine(ErrorResponseJson(envelope, denied).Dump(0));
+        return;
+      }
+      MarketRegistry::Lease lease;
+      if (request.kind == WireKind::kResolve) {
+        StatusOr<MarketRegistry::Lease> acquired =
+            registry_.Acquire(envelope.market, envelope.session);
+        if (!acquired.ok()) {
+          metrics_.RecordResult(request.kind, false, 0.0, envelope.session,
+                                /*admitted=*/false);
+          sink->WriteLine(
+              ErrorResponseJson(envelope, acquired.status()).Dump(0));
+          return;
+        }
+        lease = std::move(*acquired);
+      }
+      Admit(std::move(request), sink, std::move(lease));
+      return;
+    }
     case WireKind::kSolve:
     case WireKind::kSweep:
-    case WireKind::kResolve:
-    case WireKind::kBatch:
-      Admit(std::move(request), sink);
+      Admit(std::move(request), sink, MarketRegistry::Lease());
       return;
   }
 }
 
-JsonValue BundleServer::HandleUpdate(const WireRequest& request, bool* ok) {
+JsonValue BundleServer::HandleUpdate(const WireRequest& request,
+                                     MarketStream& market, bool* ok) {
   *ok = false;
   if (request.load.has_value()) {
     StatusOr<std::shared_ptr<const RatingsDataset>> dataset =
@@ -238,21 +305,60 @@ JsonValue BundleServer::HandleUpdate(const WireRequest& request, bool* ok) {
     if (!dataset.ok()) {
       return ErrorResponseJson(request.envelope, dataset.status());
     }
-    if (Status loaded = market_.Load(**dataset); !loaded.ok()) {
+    if (Status loaded = market.Load(**dataset); !loaded.ok()) {
       return ErrorResponseJson(request.envelope, loaded);
     }
   }
-  StatusOr<std::uint64_t> version = market_.Apply(request.deltas);
+  StatusOr<std::uint64_t> version = market.Apply(request.deltas);
   if (!version.ok()) {
     return ErrorResponseJson(request.envelope, version.status());
   }
   *ok = true;
-  return UpdateResponseJson(request.envelope, *version, market_.num_users(),
-                            market_.num_items(), request.deltas.size());
+  metrics_.RecordDeltasApplied(
+      request.envelope.session,
+      static_cast<std::int64_t>(request.deltas.size()));
+  return UpdateResponseJson(request.envelope, *version, market.num_users(),
+                            market.num_items(), request.deltas.size());
+}
+
+JsonValue BundleServer::HandleMarketList(const WireEnvelope& envelope) {
+  std::vector<MarketListEntry> rows;
+  for (const MarketRegistry::MarketInfo& info : registry_.List()) {
+    // With the tenant map active a tenant sees exactly the markets it may
+    // touch — listing is not a side channel across tenants.
+    if (!options_.tenant_map.Allowed(envelope.session, info.id)) continue;
+    MarketListEntry row;
+    row.id = info.id;
+    row.tenant = info.tenant;
+    row.loaded = info.loaded;
+    row.version = info.version;
+    row.num_users = info.num_users;
+    row.num_items = info.num_items;
+    rows.push_back(std::move(row));
+  }
+  return MarketListResponseJson(envelope, rows);
+}
+
+JsonValue BundleServer::HandleMarketDrop(const WireEnvelope& envelope,
+                                         bool* ok) {
+  *ok = false;
+  StatusOr<MarketRegistry::DropResult> result =
+      registry_.Drop(envelope.market);
+  if (!result.ok()) return ErrorResponseJson(envelope, result.status());
+  *ok = true;
+  return MarketDropResponseJson(envelope, envelope.market, result->drained,
+                                result->final_version);
+}
+
+Status BundleServer::CheckTenant(const WireEnvelope& envelope) {
+  Status status = options_.tenant_map.Check(envelope.session, envelope.market);
+  if (!status.ok()) metrics_.RecordDenial(envelope.session);
+  return status;
 }
 
 void BundleServer::Admit(WireRequest request,
-                         const std::shared_ptr<ResponseSink>& sink) {
+                         const std::shared_ptr<ResponseSink>& sink,
+                         MarketRegistry::Lease lease) {
   const WireKind kind = request.kind;
   const WireEnvelope envelope = request.envelope;
   bool draining = false;
@@ -278,6 +384,7 @@ void BundleServer::Admit(WireRequest request,
   work.request = std::move(request);
   work.sink = sink;
   work.admitted = std::chrono::steady_clock::now();
+  work.lease = std::move(lease);  // Rejection paths below unpin on destroy.
   if (queue_.TryPush(std::move(work))) return;
   {
     MutexLock lock(state_mu_);
@@ -370,11 +477,12 @@ void BundleServer::ProcessQueued(QueuedWork work) {
         break;
       }
       ResolveRequest resolve;
-      resolve.market = &market_;
+      resolve.market = work.lease.get();  // Pinned since admission.
       resolve.spec = std::move(*spec);
       resolve.options = *options;
       StatusOr<ResolveResponse> resolved = engine_.Resolve(resolve);
       ok = resolved.ok();
+      if (ok) metrics_.RecordResolve(envelope.session);
       response = ok ? ResolveResponseJson(envelope, *resolved)
                     : ErrorResponseJson(envelope, resolved.status());
       break;
@@ -472,9 +580,10 @@ void BundleServer::JoinThreads() {
 JsonValue BundleServer::StatsJson() {
   JsonValue out = JsonValue::Object();
   out.Set("schema", JsonValue::Str("bundlemine.serve-stats"));
-  // v2: adds "market" (stream state), "resolve_cache", and per-session
-  // request counters.
-  out.Set("schema_version", JsonValue::Int(2));
+  // v2 added "market" (stream state), "resolve_cache", and per-session
+  // request counters; v3 adds the multi-tenant view: "markets" (every
+  // resident stream) and "tenants" (per-tenant ownership/denial counters).
+  out.Set("schema_version", JsonValue::Int(3));
   JsonValue server = JsonValue::Object();
   server.Set("queue_capacity",
              JsonValue::Int(static_cast<std::int64_t>(queue_.capacity())));
@@ -489,13 +598,75 @@ JsonValue BundleServer::StatsJson() {
     server.Set("draining", JsonValue::Bool(draining_));
   }
   out.Set("server", std::move(server));
+  const std::vector<MarketRegistry::MarketInfo> resident = registry_.List();
+  // "market" keeps its pre-registry shape, reporting the default market
+  // (zeroes when it is not resident) — the view single-tenant dashboards
+  // already read; "markets" is the full registry.
   JsonValue market = JsonValue::Object();
-  market.Set("loaded", JsonValue::Bool(market_.loaded()));
-  market.Set("version",
-             JsonValue::Int(static_cast<std::int64_t>(market_.version())));
-  market.Set("num_users", JsonValue::Int(market_.num_users()));
-  market.Set("num_items", JsonValue::Int(market_.num_items()));
+  {
+    const MarketRegistry::MarketInfo* default_market = nullptr;
+    for (const MarketRegistry::MarketInfo& info : resident) {
+      if (info.id == kDefaultMarketId) default_market = &info;
+    }
+    market.Set("loaded",
+               JsonValue::Bool(default_market != nullptr &&
+                               default_market->loaded));
+    market.Set("version",
+               JsonValue::Int(static_cast<std::int64_t>(
+                   default_market != nullptr ? default_market->version : 0)));
+    market.Set("num_users",
+               JsonValue::Int(default_market != nullptr
+                                  ? default_market->num_users
+                                  : 0));
+    market.Set("num_items",
+               JsonValue::Int(default_market != nullptr
+                                  ? default_market->num_items
+                                  : 0));
+  }
   out.Set("market", std::move(market));
+  JsonValue markets = JsonValue::Array();
+  for (const MarketRegistry::MarketInfo& info : resident) {
+    JsonValue row = JsonValue::Object();
+    row.Set("id", JsonValue::Str(info.id));
+    if (!info.tenant.empty()) row.Set("tenant", JsonValue::Str(info.tenant));
+    row.Set("loaded", JsonValue::Bool(info.loaded));
+    row.Set("version",
+            JsonValue::Int(static_cast<std::int64_t>(info.version)));
+    row.Set("num_users", JsonValue::Int(info.num_users));
+    row.Set("num_items", JsonValue::Int(info.num_items));
+    row.Set("in_flight", JsonValue::Int(info.pins));
+    markets.Add(std::move(row));
+  }
+  out.Set("markets", std::move(markets));
+  // Per-tenant block: auth counters from the metrics merged with market
+  // ownership from the registry. Ordered map → deterministic output.
+  {
+    std::map<std::string, ServeMetrics::TenantCounters> tenants =
+        metrics_.TenantSnapshot();
+    std::map<std::string, std::int64_t> owned;
+    for (const MarketRegistry::MarketInfo& info : resident) {
+      if (!info.tenant.empty()) ++owned[info.tenant];
+    }
+    for (const auto& [tenant, count] : owned) {
+      (void)count;  // Ensure owners with zero recorded ops still appear.
+      tenants.emplace(tenant, ServeMetrics::TenantCounters());
+    }
+    if (!tenants.empty()) {
+      JsonValue block = JsonValue::Object();
+      for (const auto& [tenant, counters] : tenants) {
+        JsonValue row = JsonValue::Object();
+        const auto owned_it = owned.find(tenant);
+        row.Set("markets_owned",
+                JsonValue::Int(owned_it != owned.end() ? owned_it->second
+                                                       : 0));
+        row.Set("deltas_applied", JsonValue::Int(counters.deltas_applied));
+        row.Set("resolves", JsonValue::Int(counters.resolves));
+        row.Set("denials", JsonValue::Int(counters.denials));
+        block.Set(tenant, std::move(row));
+      }
+      out.Set("tenants", std::move(block));
+    }
+  }
   out.Set("requests", metrics_.ToJson());
   const Engine::CacheStats cache = engine_.dataset_cache_stats();
   JsonValue cache_json = JsonValue::Object();

@@ -5,6 +5,7 @@
 //
 //   connections ──lines──▶ HandleLine ──┬─ ping/stats: answered inline
 //                                       ├─ update: market delta, inline
+//                                       ├─ market-list/market-drop: inline
 //                                       ├─ shutdown:  drain, answer, stop
 //                                       └─ solve/sweep/resolve/batch:
 //                                            bounded FIFO admission
@@ -12,10 +13,23 @@
 //                                                        │
 //                     Engine::Solve/Sweep/Resolve/SolveBatch ┘
 //
-// The server owns one MarketStream ("update" mutates it, "resolve" solves
-// against it). Updates answer inline — they are cheap metadata edits, and
-// serializing them on the connection thread gives a lockstep client
-// read-your-writes ordering against its own later resolves.
+// The server owns a MarketRegistry of resident MarketStreams keyed by the
+// envelope's "market" id (default "default"): "update" mutates one,
+// "resolve" solves against one, "market-list"/"market-drop" manage
+// residency. Market-addressing requests pin their market with a registry
+// lease for their whole lifetime — acquired on the connection thread at
+// admission, released when the response is written — so an LRU eviction or
+// a market-drop can never yank a market out from under in-flight work
+// (drop drains: it waits for the pins to release first). Updates answer
+// inline — they are cheap metadata edits, and serializing them on the
+// connection thread gives a lockstep client read-your-writes ordering
+// against its own later resolves.
+//
+// When a tenant map is loaded (--tenant-map), the envelope's "session" tag
+// is binding: it names the tenant, and every market-addressing request is
+// checked against the tenant's allowed market globs before any lease is
+// taken — a mismatch answers a typed PERMISSION_DENIED naming tenant and
+// market, counted in the per-tenant stats block.
 //
 // Admission control is the load-shedding edge: the queue has a fixed depth,
 // and a request that does not fit is answered *immediately* with a typed
@@ -52,9 +66,10 @@
 #include <vector>
 
 #include "api/engine.h"
-#include "market/market_stream.h"
+#include "market/market_registry.h"
 #include "serve/metrics.h"
 #include "serve/protocol.h"
+#include "serve/tenant_map.h"
 #include "util/bounded_queue.h"
 #include "util/mutex.h"
 #include "util/socket.h"
@@ -78,6 +93,14 @@ struct ServeOptions {
   std::size_t queue_depth = 64;
   /// Worker threads draining the queue onto the Engine (min 1).
   int workers = 2;
+  /// Resident-market cap for the registry (min 1): beyond it, acquiring a
+  /// new market id evicts the LRU idle market or answers UNAVAILABLE
+  /// "market cap reached" when every resident market has in-flight work.
+  int max_markets = 8;
+  /// Tenant → allowed-market authorization. Default-constructed (inactive):
+  /// any session may touch any market. Once active, market access is
+  /// deny-by-default per the session tag.
+  TenantMap tenant_map;
   /// The owned Engine's options (solver threads, dataset cache capacity).
   Engine::Options engine;
 };
@@ -120,7 +143,7 @@ class BundleServer {
   JsonValue StatsJson();
 
   Engine& engine() { return engine_; }
-  MarketStream& market() { return market_; }
+  MarketRegistry& markets() { return registry_; }
   const ServeOptions& options() const { return options_; }
 
  private:
@@ -128,17 +151,32 @@ class BundleServer {
     WireRequest request;
     std::shared_ptr<ResponseSink> sink;
     std::chrono::steady_clock::time_point admitted;
+    /// Pin on the market a resolve addresses, taken at admission so a
+    /// market-drop's drain covers queued-but-unstarted work too. Empty for
+    /// kinds that do not touch a market.
+    MarketRegistry::Lease lease;
   };
 
   /// Parses and dispatches one request line from `sink`'s peer.
   void HandleLine(const std::string& line,
                   const std::shared_ptr<ResponseSink>& sink);
-  void Admit(WireRequest request, const std::shared_ptr<ResponseSink>& sink);
+  void Admit(WireRequest request, const std::shared_ptr<ResponseSink>& sink,
+             MarketRegistry::Lease lease);
   void WorkerLoop();
   void ProcessQueued(QueuedWork work);
   /// Applies an update request (optional load, then the delta batch) to the
-  /// market stream and builds the response document.
-  JsonValue HandleUpdate(const WireRequest& request, bool* ok);
+  /// leased market stream and builds the response document.
+  JsonValue HandleUpdate(const WireRequest& request, MarketStream& market,
+                         bool* ok);
+  /// Lists resident markets, filtered to those the requesting tenant may
+  /// touch when the tenant map is active.
+  JsonValue HandleMarketList(const WireEnvelope& envelope);
+  /// Drains and drops the addressed market, then purges its Engine caches.
+  JsonValue HandleMarketDrop(const WireEnvelope& envelope, bool* ok);
+  /// Tenant-map gate for a market-addressing request: OK, or the
+  /// PERMISSION_DENIED (recorded in the per-tenant denial counter) the
+  /// caller must answer with.
+  Status CheckTenant(const WireEnvelope& envelope);
   /// Drains admitted requests and stops the server; when `sink` is non-null
   /// the shutdown response (with the drained count) is written after the
   /// drain completes.
@@ -151,9 +189,10 @@ class BundleServer {
 
   ServeOptions options_;
   Engine engine_;
-  /// The resident streaming market: "update" mutates it (inline, connection
-  /// thread), "resolve" workers snapshot it. Internally synchronized.
-  MarketStream market_;
+  /// The resident markets: "update" mutates one (inline, connection
+  /// thread), "resolve" workers snapshot one, leases pin them. Internally
+  /// synchronized; its eviction hook purges the Engine's per-market caches.
+  MarketRegistry registry_;
   ServeMetrics metrics_;
   BoundedQueue<QueuedWork> queue_;
   WallTimer uptime_timer_;

@@ -1,0 +1,159 @@
+#include "serve/tenant_map.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace bundlemine {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  const std::size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return std::string();
+  const std::size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+bool ValidTenantTag(const std::string& tag) {
+  if (tag.empty() || tag.size() > 64) return false;
+  for (char c : tag) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool ValidMarketGlob(const std::string& glob) {
+  if (glob.empty() || glob.size() > 64) return false;
+  for (char c : glob) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-' || c == '*' || c == '?';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool GlobMatch(const std::string& glob, const std::string& text) {
+  // Iterative wildcard match with the classic star-backtrack: remember the
+  // last '*' and retry it against one more character on mismatch.
+  std::size_t g = 0;
+  std::size_t t = 0;
+  std::size_t star = std::string::npos;
+  std::size_t star_t = 0;
+  while (t < text.size()) {
+    if (g < glob.size() && (glob[g] == '?' || glob[g] == text[t])) {
+      ++g;
+      ++t;
+    } else if (g < glob.size() && glob[g] == '*') {
+      star = g++;
+      star_t = t;
+    } else if (star != std::string::npos) {
+      g = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (g < glob.size() && glob[g] == '*') ++g;
+  return g == glob.size();
+}
+
+StatusOr<TenantMap> TenantMap::Parse(const std::string& text) {
+  TenantMap map;
+  std::istringstream in(text);
+  std::string raw;
+  int line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    const std::string line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(StrFormat(
+          "tenant-map line %d: expected 'tenant: glob[, glob...]', got '%s'",
+          line_number, line.c_str()));
+    }
+    const std::string tenant = Trim(line.substr(0, colon));
+    if (!ValidTenantTag(tenant)) {
+      return Status::InvalidArgument(StrFormat(
+          "tenant-map line %d: bad tenant tag '%s' (1-64 chars of "
+          "[A-Za-z0-9._-])",
+          line_number, tenant.c_str()));
+    }
+    if (map.rules_.count(tenant) != 0) {
+      return Status::InvalidArgument(StrFormat(
+          "tenant-map line %d: duplicate tenant '%s'", line_number,
+          tenant.c_str()));
+    }
+    std::vector<std::string> globs;
+    std::istringstream rhs(line.substr(colon + 1));
+    std::string piece;
+    while (std::getline(rhs, piece, ',')) {
+      const std::string glob = Trim(piece);
+      if (glob.empty()) continue;
+      if (!ValidMarketGlob(glob)) {
+        return Status::InvalidArgument(StrFormat(
+            "tenant-map line %d: bad market glob '%s' (1-64 chars of "
+            "[A-Za-z0-9._*?-])",
+            line_number, glob.c_str()));
+      }
+      globs.push_back(glob);
+    }
+    if (globs.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "tenant-map line %d: tenant '%s' lists no market globs",
+          line_number, tenant.c_str()));
+    }
+    map.rules_.emplace(tenant, std::move(globs));
+  }
+  return map;
+}
+
+StatusOr<TenantMap> TenantMap::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound(
+        StrFormat("cannot read tenant map '%s'", path.c_str()));
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  StatusOr<TenantMap> map = Parse(text.str());
+  if (!map.ok()) {
+    return Status::InvalidArgument(
+        StrFormat("%s: %s", path.c_str(), map.status().message().c_str()));
+  }
+  return map;
+}
+
+bool TenantMap::Allowed(const std::string& tenant,
+                        const std::string& market) const {
+  if (rules_.empty()) return true;
+  auto it = rules_.find(tenant);
+  if (it == rules_.end()) return false;
+  for (const std::string& glob : it->second) {
+    if (GlobMatch(glob, market)) return true;
+  }
+  return false;
+}
+
+Status TenantMap::Check(const std::string& tenant,
+                        const std::string& market) const {
+  if (Allowed(tenant, market)) return Status::Ok();
+  if (tenant.empty()) {
+    return Status::PermissionDenied(StrFormat(
+        "untagged session may not touch market '%s' — this server binds "
+        "sessions to tenants (--tenant-map)",
+        market.c_str()));
+  }
+  return Status::PermissionDenied(StrFormat(
+      "tenant '%s' is not allowed to touch market '%s'", tenant.c_str(),
+      market.c_str()));
+}
+
+}  // namespace bundlemine

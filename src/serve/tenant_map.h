@@ -1,0 +1,69 @@
+// Tenant → allowed-market authorization map for bundlemined.
+//
+// The wire envelope's "session" tag names a tenant. Without a tenant map
+// the tag is purely observational (it breaks out metrics); once a map is
+// loaded (`bundlemined --tenant-map=FILE`) the tag becomes *binding*:
+// every market-addressing request (update, resolve, batch, market-drop,
+// and market-list filtering) is checked against the tenant's allowed
+// market-id globs before any work is admitted, and a mismatch is a typed
+// PERMISSION_DENIED naming both the tenant and the market.
+//
+// File grammar (one rule per line):
+//
+//   # comment — blank lines and leading/trailing whitespace are ignored
+//   tenant-a: alpha, alpha-staging
+//   tenant-b: beta-*
+//   ops: *
+//
+// The left side is a session/tenant tag (same alphabet as wire session
+// tags); the right side is a comma-separated list of market-id globs where
+// `*` matches any run (including empty) and `?` matches one character.
+// A tenant absent from the map — including the untagged "" session — is
+// allowed nothing.
+
+#ifndef BUNDLEMINE_SERVE_TENANT_MAP_H_
+#define BUNDLEMINE_SERVE_TENANT_MAP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bundlemine {
+
+/// Does `glob` (with `*` and `?` wildcards) match all of `text`?
+bool GlobMatch(const std::string& glob, const std::string& text);
+
+/// Immutable after construction — safe to share across server threads.
+class TenantMap {
+ public:
+  /// An empty map: no tenants, enforcement off (`active()` is false).
+  TenantMap() = default;
+
+  /// Parses the grammar above. Errors name the offending line.
+  static StatusOr<TenantMap> Parse(const std::string& text);
+
+  /// Parse() over the contents of `path`.
+  static StatusOr<TenantMap> Load(const std::string& path);
+
+  /// True once rules exist: market access becomes deny-by-default.
+  bool active() const { return !rules_.empty(); }
+
+  std::size_t num_tenants() const { return rules_.size(); }
+
+  /// Is `tenant` allowed to touch `market`? With no rules loaded this is
+  /// always true (single-tenant servers stay open); with rules, unknown
+  /// tenants (and the untagged "" session) are allowed nothing.
+  bool Allowed(const std::string& tenant, const std::string& market) const;
+
+  /// Typed check: OK or PERMISSION_DENIED naming the tenant and market.
+  Status Check(const std::string& tenant, const std::string& market) const;
+
+ private:
+  std::map<std::string, std::vector<std::string>> rules_;
+};
+
+}  // namespace bundlemine
+
+#endif  // BUNDLEMINE_SERVE_TENANT_MAP_H_

@@ -10,6 +10,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
   }
   BM_CHECK_MSG(false, "unreachable status code");
   return "";

@@ -33,6 +33,7 @@ enum class StatusCode {
   kDeadlineExceeded, ///< Request deadline expired before (or while) solving.
   kUnavailable,      ///< Transient overload: admission queue full, draining.
   kInternal,         ///< Library bug surfaced as a value instead of an abort.
+  kPermissionDenied, ///< Tenant not allowed to touch the named market.
 };
 
 /// Canonical code name ("INVALID_ARGUMENT", "NOT_FOUND", ...).
@@ -66,6 +67,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status PermissionDenied(std::string message) {
+    return Status(StatusCode::kPermissionDenied, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,179 @@
+// MarketRegistry residency-protocol tests: create-on-first-touch leases,
+// pin semantics, LRU eviction at the cap, the typed "market cap reached"
+// overflow error, and drop-drains-pins — including the threaded drain path
+// (CI also runs this suite under TSan).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "market/market_registry.h"
+
+namespace bundlemine {
+namespace {
+
+MarketRegistry::Options Cap(int max_markets) {
+  MarketRegistry::Options options;
+  options.max_markets = max_markets;
+  return options;
+}
+
+TEST(MarketRegistryTest, AcquireCreatesOnFirstTouchAndPins) {
+  MarketRegistry registry(Cap(4));
+  StatusOr<MarketRegistry::Lease> lease = registry.Acquire("alpha", "tenant-a");
+  ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+  ASSERT_TRUE(*lease);
+  EXPECT_EQ(lease->get()->id(), "alpha");
+  EXPECT_EQ(registry.size(), 1u);
+
+  std::vector<MarketRegistry::MarketInfo> markets = registry.List();
+  ASSERT_EQ(markets.size(), 1u);
+  EXPECT_EQ(markets[0].id, "alpha");
+  EXPECT_EQ(markets[0].tenant, "tenant-a");
+  EXPECT_FALSE(markets[0].loaded);
+  EXPECT_EQ(markets[0].pins, 1);
+
+  // A second lease on the same id shares the stream; releasing both drops
+  // the pin count to zero without evicting.
+  {
+    StatusOr<MarketRegistry::Lease> second = registry.Acquire("alpha", "");
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(second->get(), lease->get());
+    EXPECT_EQ(registry.List()[0].pins, 2);
+  }
+  *lease = MarketRegistry::Lease();
+  EXPECT_EQ(registry.List()[0].pins, 0);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MarketRegistryTest, ListIsSortedById) {
+  MarketRegistry registry(Cap(8));
+  for (const char* id : {"zeta", "alpha", "mid"}) {
+    StatusOr<MarketRegistry::Lease> lease = registry.Acquire(id, "");
+    ASSERT_TRUE(lease.ok());
+  }
+  std::vector<MarketRegistry::MarketInfo> markets = registry.List();
+  ASSERT_EQ(markets.size(), 3u);
+  EXPECT_EQ(markets[0].id, "alpha");
+  EXPECT_EQ(markets[1].id, "mid");
+  EXPECT_EQ(markets[2].id, "zeta");
+}
+
+TEST(MarketRegistryTest, CapEvictsLeastRecentlyAcquiredIdleMarket) {
+  MarketRegistry registry(Cap(2));
+  std::vector<std::string> evicted;
+  registry.set_eviction_hook(
+      [&evicted](const std::string& id) { evicted.push_back(id); });
+
+  { StatusOr<MarketRegistry::Lease> a = registry.Acquire("a", ""); ASSERT_TRUE(a.ok()); }
+  { StatusOr<MarketRegistry::Lease> b = registry.Acquire("b", ""); ASSERT_TRUE(b.ok()); }
+  // Touch "a" again: "b" becomes the LRU victim.
+  { StatusOr<MarketRegistry::Lease> a = registry.Acquire("a", ""); ASSERT_TRUE(a.ok()); }
+  { StatusOr<MarketRegistry::Lease> c = registry.Acquire("c", ""); ASSERT_TRUE(c.ok()); }
+
+  EXPECT_EQ(registry.size(), 2u);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "b");
+  std::vector<MarketRegistry::MarketInfo> markets = registry.List();
+  EXPECT_EQ(markets[0].id, "a");
+  EXPECT_EQ(markets[1].id, "c");
+}
+
+TEST(MarketRegistryTest, CapWithEveryMarketPinnedIsTypedUnavailable) {
+  MarketRegistry registry(Cap(2));
+  StatusOr<MarketRegistry::Lease> a = registry.Acquire("a", "");
+  StatusOr<MarketRegistry::Lease> b = registry.Acquire("b", "");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  StatusOr<MarketRegistry::Lease> c = registry.Acquire("c", "");
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(c.status().message().find("market cap reached"),
+            std::string::npos);
+  // In-flight markets were NOT silently evicted to make room.
+  EXPECT_EQ(registry.size(), 2u);
+
+  // Releasing one pin opens the LRU slot again.
+  *a = MarketRegistry::Lease();
+  StatusOr<MarketRegistry::Lease> retry = registry.Acquire("c", "");
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MarketRegistryTest, DropRemovesIdleMarketAndFiresHook) {
+  MarketRegistry registry(Cap(4));
+  std::vector<std::string> evicted;
+  registry.set_eviction_hook(
+      [&evicted](const std::string& id) { evicted.push_back(id); });
+  {
+    StatusOr<MarketRegistry::Lease> lease = registry.Acquire("alpha", "");
+    ASSERT_TRUE(lease.ok());
+  }
+  StatusOr<MarketRegistry::DropResult> dropped = registry.Drop("alpha");
+  ASSERT_TRUE(dropped.ok()) << dropped.status().ToString();
+  EXPECT_EQ(dropped->drained, 0);
+  EXPECT_EQ(registry.size(), 0u);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "alpha");
+
+  StatusOr<MarketRegistry::DropResult> missing = registry.Drop("alpha");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MarketRegistryTest, DropDrainsInFlightLeasesBeforeRemoving) {
+  MarketRegistry registry(Cap(4));
+  StatusOr<MarketRegistry::Lease> pin = registry.Acquire("alpha", "");
+  ASSERT_TRUE(pin.ok());
+
+  std::atomic<bool> drop_returned{false};
+  std::thread dropper([&] {
+    StatusOr<MarketRegistry::DropResult> dropped = registry.Drop("alpha");
+    EXPECT_TRUE(dropped.ok()) << dropped.status().ToString();
+    EXPECT_EQ(dropped->drained, 1);
+    drop_returned.store(true);
+  });
+
+  // The drop must block while our lease pins the market, and new leases on
+  // the draining id must be refused (typed UNAVAILABLE).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(drop_returned.load());
+  StatusOr<MarketRegistry::Lease> late = registry.Acquire("alpha", "");
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(late.status().message().find("draining"), std::string::npos);
+
+  *pin = MarketRegistry::Lease();  // Release: the drain completes.
+  dropper.join();
+  EXPECT_TRUE(drop_returned.load());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(MarketRegistryTest, ConcurrentAcquireReleaseKeepsPinsConsistent) {
+  MarketRegistry registry(Cap(4));
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      const std::string id = t % 2 == 0 ? "even" : "odd";
+      for (int i = 0; i < kIterations; ++i) {
+        StatusOr<MarketRegistry::Lease> lease = registry.Acquire(id, "");
+        ASSERT_TRUE(lease.ok());
+        ASSERT_NE(lease->get(), nullptr);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::vector<MarketRegistry::MarketInfo> markets = registry.List();
+  ASSERT_EQ(markets.size(), 2u);
+  EXPECT_EQ(markets[0].pins, 0);
+  EXPECT_EQ(markets[1].pins, 0);
+}
+
+}  // namespace
+}  // namespace bundlemine

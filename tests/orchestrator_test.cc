@@ -9,9 +9,12 @@
 // in-process equivalent). The run report's accounting is validated against
 // the per-shard assignment logs it summarizes.
 
+#include <stdlib.h>
+
 #include <algorithm>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -31,16 +34,32 @@ namespace {
 // timing-window tests scale their budgets so "delayed past the timeout"
 // keeps meaning the injected delay, not an honestly slow solve.
 #if defined(__SANITIZE_THREAD__)
-constexpr double kTimeScale = 10.0;
+constexpr double kSanitizerTimeScale = 10.0;
 #elif defined(__has_feature)
 #if __has_feature(thread_sanitizer)
-constexpr double kTimeScale = 10.0;
+constexpr double kSanitizerTimeScale = 10.0;
 #else
-constexpr double kTimeScale = 1.0;
+constexpr double kSanitizerTimeScale = 1.0;
 #endif
 #else
-constexpr double kTimeScale = 1.0;
+constexpr double kSanitizerTimeScale = 1.0;
 #endif
+
+// A loaded box stretches honest solves the same way TSan does, so the
+// timing windows additionally scale by the run-queue pressure sampled once
+// at suite start (capped — a pathological load average must not inflate the
+// injected delays past the ctest timeout). ctest runs this suite RUN_SERIAL
+// so sibling tests are not the load source, but external load still counts.
+double DetectedLoadScale() {
+  double loadavg[1] = {0.0};
+  if (getloadavg(loadavg, 1) != 1) return 1.0;
+  const double cores =
+      std::max(1.0, static_cast<double>(std::thread::hardware_concurrency()));
+  const double pressure = loadavg[0] / cores;
+  return std::clamp(pressure, 1.0, 4.0);
+}
+
+const double kTimeScale = kSanitizerTimeScale * DetectedLoadScale();
 
 constexpr const char* kTinySpecText =
     "scale=tiny;seed=7;methods=components,mixed-greedy;axis:theta=-0.05,0,0.05";

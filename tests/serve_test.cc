@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -182,9 +183,14 @@ TEST(WireProtocolTest, ParsesVersionedEnvelopeWithSession) {
 }
 
 TEST(WireProtocolTest, RejectsUnsupportedVersionAndBadSessions) {
+  // v2 became speakable when the market envelope landed; v3 is the first
+  // unsupported version now.
   StatusOr<WireRequest> v2 = ParseWireRequest(R"({"kind":"ping","v":2})");
-  ASSERT_FALSE(v2.ok());
-  EXPECT_NE(v2.status().message().find("unsupported protocol version 2"),
+  ASSERT_TRUE(v2.ok()) << v2.status().message();
+  EXPECT_EQ(v2->envelope.v, 2);
+  StatusOr<WireRequest> v3 = ParseWireRequest(R"({"kind":"ping","v":3})");
+  ASSERT_FALSE(v3.ok());
+  EXPECT_NE(v3.status().message().find("unsupported protocol version 3"),
             std::string::npos);
   // The envelope of a rejected request is still recoverable for the error
   // response.
@@ -897,7 +903,442 @@ TEST(ServeTest, UpdateAndResolveServeTheStreamingMarket) {
   ASSERT_NE(resolve_cache, nullptr);
   EXPECT_GE(resolve_cache->FindMember("hits")->AsInt(), 1);
   EXPECT_EQ(stats->FindMember("stats")->FindMember("schema_version")->AsInt(),
-            2);
+            3);
+  server->RequestShutdown();
+  server->Wait();
+}
+
+TEST(WireProtocolTest, ParsesMarketEnvelope) {
+  // Default market: implicit, not echoed.
+  StatusOr<WireRequest> implicit = ParseWireRequest(
+      R"({"kind":"update","load":{"profile":"tiny","seed":7,"lambda":1.0}})");
+  ASSERT_TRUE(implicit.ok()) << implicit.status().ToString();
+  EXPECT_EQ(implicit->envelope.market, kDefaultMarketId);
+  EXPECT_FALSE(implicit->envelope.market_explicit);
+
+  StatusOr<WireRequest> explicit_market = ParseWireRequest(
+      R"({"kind":"resolve","id":4,"market":"alpha","spec":"tiny-theta"})");
+  ASSERT_TRUE(explicit_market.ok()) << explicit_market.status().ToString();
+  EXPECT_EQ(explicit_market->envelope.market, "alpha");
+  EXPECT_TRUE(explicit_market->envelope.market_explicit);
+
+  // The market id shares the session-tag alphabet.
+  EXPECT_FALSE(ParseWireRequest(
+                   R"({"kind":"resolve","market":"has space","spec":"x"})")
+                   .ok());
+  EXPECT_FALSE(
+      ParseWireRequest(R"({"kind":"resolve","market":7,"spec":"x"})").ok());
+
+  // market-drop refuses to default: dropping a market must be spelled out.
+  StatusOr<WireRequest> implicit_drop =
+      ParseWireRequest(R"({"kind":"market-drop"})");
+  ASSERT_FALSE(implicit_drop.ok());
+  EXPECT_NE(implicit_drop.status().message().find("explicit 'market'"),
+            std::string::npos);
+  EXPECT_TRUE(
+      ParseWireRequest(R"({"kind":"market-drop","market":"alpha"})").ok());
+
+  // Control kinds do not address a market.
+  EXPECT_FALSE(
+      ParseWireRequest(R"({"kind":"ping","market":"alpha"})").ok());
+  EXPECT_FALSE(
+      ParseWireRequest(R"({"kind":"market-list","market":"alpha"})").ok());
+}
+
+TEST(ServeTest, MarketFieldRoutesToIndependentStreams) {
+  ServeOptions options;
+  options.workers = 2;
+  std::unique_ptr<BundleServer> server = StartServer(options);
+  WireClient client = ConnectTo(*server);
+
+  // Two markets with different catalogs (seeds) and their own version lines.
+  StatusOr<JsonValue> alpha = client.CallJson(
+      R"({"kind":"update","id":1,"market":"alpha",)"
+      R"("load":{"profile":"tiny","seed":7,"lambda":1.0}})");
+  ASSERT_TRUE(alpha.ok()) << alpha.status().ToString();
+  ASSERT_TRUE(alpha->FindMember("ok")->AsBool()) << alpha->Dump(0);
+  EXPECT_EQ(alpha->FindMember("market")->AsString(), "alpha");
+  EXPECT_EQ(alpha->FindMember("version")->AsInt(), 1);
+
+  StatusOr<JsonValue> beta = client.CallJson(
+      R"({"kind":"update","id":2,"market":"beta",)"
+      R"("load":{"profile":"tiny","seed":11,"lambda":1.0}})");
+  ASSERT_TRUE(beta.ok()) << beta.status().ToString();
+  ASSERT_TRUE(beta->FindMember("ok")->AsBool()) << beta->Dump(0);
+
+  // Deltas to alpha do not move beta's version.
+  StatusOr<JsonValue> bumped = client.CallJson(
+      R"({"kind":"update","id":3,"market":"alpha",)"
+      R"("deltas":[{"op":"scale_price","item":0,"factor":2.0}]})");
+  ASSERT_TRUE(bumped.ok());
+  EXPECT_EQ(bumped->FindMember("version")->AsInt(), 2);
+  StatusOr<JsonValue> beta_resolve = client.CallJson(
+      std::string(R"({"kind":"resolve","id":4,"market":"beta","spec":")") +
+      kResolveSpecText + "\"}");
+  ASSERT_TRUE(beta_resolve.ok());
+  ASSERT_TRUE(beta_resolve->FindMember("ok")->AsBool())
+      << beta_resolve->Dump(0);
+  EXPECT_EQ(beta_resolve->FindMember("version")->AsInt(), 1);
+  EXPECT_EQ(beta_resolve->FindMember("market")->AsString(), "beta");
+
+  // market-list reports both, sorted by id.
+  StatusOr<JsonValue> list =
+      client.CallJson(R"({"kind":"market-list","id":5})");
+  ASSERT_TRUE(list.ok());
+  ASSERT_TRUE(list->FindMember("ok")->AsBool()) << list->Dump(0);
+  const JsonValue* markets = list->FindMember("markets");
+  ASSERT_NE(markets, nullptr);
+  ASSERT_EQ(markets->size(), 2u);
+  EXPECT_EQ(markets->at(0).FindMember("id")->AsString(), "alpha");
+  EXPECT_EQ(markets->at(0).FindMember("version")->AsInt(), 2);
+  EXPECT_EQ(markets->at(1).FindMember("id")->AsString(), "beta");
+  EXPECT_EQ(markets->at(1).FindMember("version")->AsInt(), 1);
+
+  // market-drop drains beta and reports its final version; the id is gone
+  // from the next list, and touching it again starts a fresh stream.
+  StatusOr<JsonValue> dropped = client.CallJson(
+      R"({"kind":"market-drop","id":6,"market":"beta"})");
+  ASSERT_TRUE(dropped.ok());
+  ASSERT_TRUE(dropped->FindMember("ok")->AsBool()) << dropped->Dump(0);
+  EXPECT_EQ(dropped->FindMember("dropped")->AsString(), "beta");
+  EXPECT_EQ(dropped->FindMember("final_version")->AsInt(), 1);
+  StatusOr<JsonValue> after =
+      client.CallJson(R"({"kind":"market-list","id":7})");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->FindMember("markets")->size(), 1u);
+  StatusOr<std::string> fresh = client.Call(
+      std::string(R"({"kind":"resolve","id":8,"market":"beta","spec":")") +
+      kResolveSpecText + "\"}");
+  ASSERT_TRUE(fresh.ok());
+  ExpectErrorResponse(*fresh, "INVALID_ARGUMENT", "no resident dataset");
+
+  // Dropping a market that is not resident is NOT_FOUND.
+  StatusOr<std::string> missing = client.Call(
+      R"({"kind":"market-drop","id":9,"market":"gamma"})");
+  ASSERT_TRUE(missing.ok());
+  ExpectErrorResponse(*missing, "NOT_FOUND", "not resident");
+  server->RequestShutdown();
+  server->Wait();
+}
+
+TEST(ServeTest, LruMarketEvictionKeepsTheCapAndPurgesCaches) {
+  ServeOptions options;
+  options.max_markets = 2;
+  std::unique_ptr<BundleServer> server = StartServer(options);
+  WireClient client = ConnectTo(*server);
+
+  for (const char* market : {"m1", "m2"}) {
+    StatusOr<JsonValue> loaded = client.CallJson(
+        std::string(R"({"kind":"update","market":")") + market +
+        R"(","load":{"profile":"tiny","seed":7,"lambda":1.0}})");
+    ASSERT_TRUE(loaded.ok());
+    ASSERT_TRUE(loaded->FindMember("ok")->AsBool()) << loaded->Dump(0);
+  }
+  // A third market evicts the LRU idle one (m1).
+  StatusOr<JsonValue> third = client.CallJson(
+      R"({"kind":"update","market":"m3",)"
+      R"("load":{"profile":"tiny","seed":7,"lambda":1.0}})");
+  ASSERT_TRUE(third.ok());
+  ASSERT_TRUE(third->FindMember("ok")->AsBool()) << third->Dump(0);
+
+  StatusOr<JsonValue> list = client.CallJson(R"({"kind":"market-list"})");
+  ASSERT_TRUE(list.ok());
+  const JsonValue* markets = list->FindMember("markets");
+  ASSERT_EQ(markets->size(), 2u);
+  EXPECT_EQ(markets->at(0).FindMember("id")->AsString(), "m2");
+  EXPECT_EQ(markets->at(1).FindMember("id")->AsString(), "m3");
+  server->RequestShutdown();
+  server->Wait();
+}
+
+TEST(ServeTest, TenantMapBindsSessionsToMarkets) {
+  ServeOptions options;
+  StatusOr<TenantMap> map = TenantMap::Parse(
+      "tenant-a: alpha, alpha-*\n"
+      "tenant-b: beta\n");
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  options.tenant_map = std::move(map).value();
+  std::unique_ptr<BundleServer> server = StartServer(options);
+  WireClient client = ConnectTo(*server);
+
+  // tenant-a may load its own market.
+  StatusOr<JsonValue> loaded = client.CallJson(
+      R"({"kind":"update","id":1,"session":"tenant-a","market":"alpha",)"
+      R"("load":{"profile":"tiny","seed":7,"lambda":1.0}})");
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->FindMember("ok")->AsBool()) << loaded->Dump(0);
+
+  // tenant-b updating alpha is a typed denial naming tenant and market —
+  // before any delta lands (alpha's version must not move).
+  StatusOr<std::string> denied = client.Call(
+      R"({"kind":"update","id":2,"session":"tenant-b","market":"alpha",)"
+      R"("deltas":[{"op":"scale_price","item":0,"factor":2.0}]})");
+  ASSERT_TRUE(denied.ok());
+  ExpectErrorResponse(*denied, "PERMISSION_DENIED", "tenant 'tenant-b'");
+  ExpectErrorResponse(*denied, "PERMISSION_DENIED", "market 'alpha'");
+
+  // ...and so is a resolve and a drop.
+  StatusOr<std::string> denied_resolve = client.Call(
+      std::string(
+          R"({"kind":"resolve","id":3,"session":"tenant-b","market":"alpha",)"
+          R"("spec":")") +
+      kResolveSpecText + "\"}");
+  ASSERT_TRUE(denied_resolve.ok());
+  ExpectErrorResponse(*denied_resolve, "PERMISSION_DENIED", "tenant-b");
+  StatusOr<std::string> denied_drop = client.Call(
+      R"({"kind":"market-drop","id":4,"session":"tenant-b","market":"alpha"})");
+  ASSERT_TRUE(denied_drop.ok());
+  ExpectErrorResponse(*denied_drop, "PERMISSION_DENIED", "tenant-b");
+
+  // Untagged sessions are allowed nothing once the map is binding.
+  StatusOr<std::string> untagged = client.Call(
+      R"({"kind":"update","id":5,"market":"alpha",)"
+      R"("deltas":[{"op":"scale_price","item":0,"factor":2.0}]})");
+  ASSERT_TRUE(untagged.ok());
+  ExpectErrorResponse(*untagged, "PERMISSION_DENIED", "untagged session");
+
+  // Globs: tenant-a reaches alpha-staging too.
+  StatusOr<JsonValue> staging = client.CallJson(
+      R"({"kind":"update","id":6,"session":"tenant-a",)"
+      R"("market":"alpha-staging",)"
+      R"("load":{"profile":"tiny","seed":11,"lambda":1.0}})");
+  ASSERT_TRUE(staging.ok());
+  ASSERT_TRUE(staging->FindMember("ok")->AsBool()) << staging->Dump(0);
+
+  // market-list is filtered to what the requesting tenant may touch.
+  StatusOr<JsonValue> list_a = client.CallJson(
+      R"({"kind":"market-list","id":7,"session":"tenant-a"})");
+  ASSERT_TRUE(list_a.ok());
+  EXPECT_EQ(list_a->FindMember("markets")->size(), 2u);
+  StatusOr<JsonValue> list_b = client.CallJson(
+      R"({"kind":"market-list","id":8,"session":"tenant-b"})");
+  ASSERT_TRUE(list_b.ok());
+  EXPECT_EQ(list_b->FindMember("markets")->size(), 0u);
+
+  // Alpha's version never moved past the load: the denials were pre-write.
+  StatusOr<JsonValue> list_again = client.CallJson(
+      R"({"kind":"market-list","id":9,"session":"tenant-a"})");
+  ASSERT_TRUE(list_again.ok());
+  EXPECT_EQ(list_again->FindMember("markets")->at(0).FindMember("version")
+                ->AsInt(),
+            1);
+
+  // The owner's deltas do land, and are attributed to the tenant.
+  StatusOr<JsonValue> owner_delta = client.CallJson(
+      R"({"kind":"update","id":10,"session":"tenant-a","market":"alpha",)"
+      R"("deltas":[{"op":"scale_price","item":1,"factor":1.5}]})");
+  ASSERT_TRUE(owner_delta.ok());
+  ASSERT_TRUE(owner_delta->FindMember("ok")->AsBool()) << owner_delta->Dump(0);
+  EXPECT_EQ(owner_delta->FindMember("version")->AsInt(), 2);
+
+  // The stats document breaks the story out per tenant.
+  StatusOr<JsonValue> stats =
+      client.CallJson(R"({"kind":"stats","session":"tenant-a"})");
+  ASSERT_TRUE(stats.ok());
+  const JsonValue* tenants = stats->FindMember("stats")->FindMember("tenants");
+  ASSERT_NE(tenants, nullptr) << stats->Dump(2);
+  const JsonValue* tenant_a = tenants->FindMember("tenant-a");
+  ASSERT_NE(tenant_a, nullptr);
+  EXPECT_EQ(tenant_a->FindMember("markets_owned")->AsInt(), 2);
+  EXPECT_EQ(tenant_a->FindMember("deltas_applied")->AsInt(), 1);
+  EXPECT_EQ(tenant_a->FindMember("denials")->AsInt(), 0);
+  const JsonValue* tenant_b = tenants->FindMember("tenant-b");
+  ASSERT_NE(tenant_b, nullptr);
+  EXPECT_EQ(tenant_b->FindMember("denials")->AsInt(), 3);
+  const JsonValue* untagged_row = tenants->FindMember("(untagged)");
+  ASSERT_NE(untagged_row, nullptr);
+  EXPECT_EQ(untagged_row->FindMember("denials")->AsInt(), 1);
+  server->RequestShutdown();
+  server->Wait();
+}
+
+// One tenant's full update history applied to a fresh single-market server,
+// resolved once: the oracle for what that tenant's artifact bytes must be
+// regardless of what other tenants did on a shared server.
+std::string SoloArtifact(const std::vector<std::string>& update_lines) {
+  std::unique_ptr<BundleServer> server = StartServer(ServeOptions{});
+  WireClient client = ConnectTo(*server);
+  for (const std::string& line : update_lines) {
+    StatusOr<JsonValue> response = client.CallJson(line);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->FindMember("ok")->AsBool()) << response->Dump(0);
+  }
+  StatusOr<JsonValue> resolved = client.CallJson(
+      std::string(R"({"kind":"resolve","spec":")") + kResolveSpecText + "\"}");
+  EXPECT_TRUE(resolved.ok()) << resolved.status().ToString();
+  EXPECT_TRUE(resolved->FindMember("ok")->AsBool()) << resolved->Dump(0);
+  std::string artifact = resolved->FindMember("artifact")->Dump(2);
+  server->RequestShutdown();
+  server->Wait();
+  return artifact;
+}
+
+// The isolation keystone, serial form: two tenants interleave deltas on
+// their own markets through one server; each market's resolve artifact is
+// byte-identical to the artifact of a server that only ever saw that
+// tenant's updates.
+TEST(ServeTest, CrossTenantDeltasCannotPerturbAnotherMarketsArtifact) {
+  const std::vector<std::string> alpha_updates = {
+      R"({"kind":"update","load":{"profile":"tiny","seed":7,"lambda":1.0}})",
+      R"({"kind":"update","deltas":[{"op":"scale_price","item":0,"factor":2.0}]})",
+      R"({"kind":"update","deltas":[{"op":"scale_price","item":2,"factor":0.5}]})",
+  };
+  const std::vector<std::string> beta_updates = {
+      R"({"kind":"update","load":{"profile":"tiny","seed":11,"lambda":1.0}})",
+      R"({"kind":"update","deltas":[{"op":"scale_price","item":1,"factor":3.0}]})",
+      R"({"kind":"update","deltas":[{"op":"scale_price","item":4,"factor":0.25}]})",
+  };
+  const std::string alpha_expected = SoloArtifact(alpha_updates);
+  const std::string beta_expected = SoloArtifact(beta_updates);
+  ASSERT_NE(alpha_expected, beta_expected);
+
+  ServeOptions options;
+  StatusOr<TenantMap> map = TenantMap::Parse(
+      "tenant-a: alpha\n"
+      "tenant-b: beta\n");
+  ASSERT_TRUE(map.ok());
+  options.tenant_map = std::move(map).value();
+  std::unique_ptr<BundleServer> server = StartServer(options);
+  WireClient client = ConnectTo(*server);
+
+  // Interleave the two tenants' update streams request by request.
+  auto Retarget = [](const std::string& line, const std::string& session,
+                     const std::string& market) {
+    std::string out = line;
+    out.insert(out.find('{') + 1, R"("session":")" + session +
+                                      R"(","market":")" + market + R"(",)");
+    return out;
+  };
+  for (std::size_t i = 0; i < alpha_updates.size(); ++i) {
+    for (const auto& [updates, session, market] :
+         {std::tuple{&alpha_updates, "tenant-a", "alpha"},
+          std::tuple{&beta_updates, "tenant-b", "beta"}}) {
+      StatusOr<JsonValue> response =
+          client.CallJson(Retarget((*updates)[i], session, market));
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_TRUE(response->FindMember("ok")->AsBool()) << response->Dump(0);
+    }
+  }
+
+  StatusOr<JsonValue> alpha = client.CallJson(
+      std::string(R"({"kind":"resolve","session":"tenant-a",)"
+                  R"("market":"alpha","spec":")") +
+      kResolveSpecText + "\"}");
+  ASSERT_TRUE(alpha.ok());
+  ASSERT_TRUE(alpha->FindMember("ok")->AsBool()) << alpha->Dump(0);
+  EXPECT_EQ(alpha->FindMember("artifact")->Dump(2), alpha_expected);
+
+  StatusOr<JsonValue> beta = client.CallJson(
+      std::string(R"({"kind":"resolve","session":"tenant-b",)"
+                  R"("market":"beta","spec":")") +
+      kResolveSpecText + "\"}");
+  ASSERT_TRUE(beta.ok());
+  ASSERT_TRUE(beta->FindMember("ok")->AsBool()) << beta->Dump(0);
+  EXPECT_EQ(beta->FindMember("artifact")->Dump(2), beta_expected);
+  server->RequestShutdown();
+  server->Wait();
+}
+
+// The same keystone under real concurrency: each tenant hammers its own
+// market from its own connection, with deltas and resolves racing the other
+// tenant's. Final artifacts must still match the solo oracles. (CI also
+// runs this suite under TSan.)
+TEST(ServeTest, ConcurrentTenantsKeepArtifactByteIsolation) {
+  constexpr int kRounds = 3;
+  auto UpdateSequence = [](std::uint64_t seed, int item_stride) {
+    std::vector<std::string> lines;
+    lines.push_back(
+        std::string(
+            R"({"kind":"update","load":{"profile":"tiny","seed":)") +
+        std::to_string(seed) + R"(,"lambda":1.0}})");
+    for (int round = 0; round < kRounds; ++round) {
+      lines.push_back(
+          std::string(R"({"kind":"update","deltas":[{"op":"scale_price",)"
+                      R"("item":)") +
+          std::to_string((round * item_stride) % 5) + R"(,"factor":1.5}]})");
+    }
+    return lines;
+  };
+  const std::vector<std::string> alpha_updates = UpdateSequence(7, 2);
+  const std::vector<std::string> beta_updates = UpdateSequence(11, 3);
+  const std::string alpha_expected = SoloArtifact(alpha_updates);
+  const std::string beta_expected = SoloArtifact(beta_updates);
+
+  ServeOptions options;
+  options.workers = 3;
+  StatusOr<TenantMap> map = TenantMap::Parse(
+      "tenant-a: alpha\n"
+      "tenant-b: beta\n");
+  ASSERT_TRUE(map.ok());
+  options.tenant_map = std::move(map).value();
+  std::unique_ptr<BundleServer> server = StartServer(options);
+
+  auto Tenant = [&](const std::vector<std::string>& updates,
+                    const std::string& session, const std::string& market,
+                    std::string* final_artifact) {
+    WireClient client = ConnectTo(*server);
+    const std::string prefix = R"("session":")" + session +
+                               R"(","market":")" + market + R"(",)";
+    for (const std::string& line : updates) {
+      std::string targeted = line;
+      targeted.insert(targeted.find('{') + 1, prefix);
+      StatusOr<JsonValue> response = client.CallJson(targeted);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_TRUE(response->FindMember("ok")->AsBool()) << response->Dump(0);
+      // Resolve after every delta so reads race the other tenant's writes.
+      StatusOr<JsonValue> resolved = client.CallJson(
+          std::string(R"({"kind":"resolve",)") + prefix + R"("spec":")" +
+          kResolveSpecText + "\"}");
+      ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+      ASSERT_TRUE(resolved->FindMember("ok")->AsBool()) << resolved->Dump(0);
+      *final_artifact = resolved->FindMember("artifact")->Dump(2);
+    }
+  };
+  std::string alpha_artifact;
+  std::string beta_artifact;
+  std::thread alpha_thread(Tenant, std::cref(alpha_updates), "tenant-a",
+                           "alpha", &alpha_artifact);
+  std::thread beta_thread(Tenant, std::cref(beta_updates), "tenant-b", "beta",
+                          &beta_artifact);
+  alpha_thread.join();
+  beta_thread.join();
+
+  EXPECT_EQ(alpha_artifact, alpha_expected);
+  EXPECT_EQ(beta_artifact, beta_expected);
+  server->RequestShutdown();
+  server->Wait();
+}
+
+// Replays the frozen wire-fixture corpus (tests/fixtures/wire/) captured
+// from the protocol-v1 server: every v1 request must still produce the
+// exact response bytes it produced before multi-tenant markets landed.
+TEST(ServeTest, WireFixtureCorpusReplaysByteIdentical) {
+  auto ReadLines = [](const std::string& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) lines.push_back(line);
+    }
+    return lines;
+  };
+  const std::string dir =
+      std::string(BUNDLEMINE_SOURCE_DIR) + "/tests/fixtures/wire";
+  const std::vector<std::string> requests = ReadLines(dir + "/requests.jsonl");
+  const std::vector<std::string> expected = ReadLines(dir + "/expected.jsonl");
+  ASSERT_FALSE(requests.empty());
+  ASSERT_EQ(requests.size(), expected.size());
+
+  ServeOptions options;
+  options.workers = 2;
+  std::unique_ptr<BundleServer> server = StartServer(options);
+  WireClient client = ConnectTo(*server);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    StatusOr<std::string> response = client.Call(requests[i]);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(*response, expected[i]) << "request: " << requests[i];
+  }
   server->RequestShutdown();
   server->Wait();
 }

@@ -1,0 +1,103 @@
+// TenantMap tests: the glob matcher, the file grammar (with typed errors
+// naming the offending line), and the binding Allowed/Check semantics the
+// server enforces at envelope-extraction time.
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "serve/tenant_map.h"
+
+namespace bundlemine {
+namespace {
+
+TEST(GlobMatchTest, LiteralStarAndQuestionMark) {
+  EXPECT_TRUE(GlobMatch("alpha", "alpha"));
+  EXPECT_FALSE(GlobMatch("alpha", "alpha2"));
+  EXPECT_FALSE(GlobMatch("alpha", "alph"));
+
+  EXPECT_TRUE(GlobMatch("*", ""));
+  EXPECT_TRUE(GlobMatch("*", "anything"));
+  EXPECT_TRUE(GlobMatch("beta-*", "beta-"));
+  EXPECT_TRUE(GlobMatch("beta-*", "beta-staging"));
+  EXPECT_FALSE(GlobMatch("beta-*", "beta"));
+  EXPECT_TRUE(GlobMatch("*-prod", "eu-prod"));
+  EXPECT_TRUE(GlobMatch("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(GlobMatch("a*b*c", "aXXcYYb"));
+
+  EXPECT_TRUE(GlobMatch("shard-?", "shard-3"));
+  EXPECT_FALSE(GlobMatch("shard-?", "shard-30"));
+  EXPECT_FALSE(GlobMatch("shard-?", "shard-"));
+}
+
+TEST(TenantMapTest, ParsesGrammarWithCommentsAndBlanks) {
+  StatusOr<TenantMap> map = TenantMap::Parse(
+      "# fleet tenants\n"
+      "\n"
+      "tenant-a: alpha, alpha-*\n"
+      "  ops : *  \n");
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  EXPECT_TRUE(map->active());
+  EXPECT_EQ(map->num_tenants(), 2u);
+  EXPECT_TRUE(map->Allowed("tenant-a", "alpha"));
+  EXPECT_TRUE(map->Allowed("tenant-a", "alpha-staging"));
+  EXPECT_FALSE(map->Allowed("tenant-a", "beta"));
+  EXPECT_TRUE(map->Allowed("ops", "beta"));
+}
+
+TEST(TenantMapTest, GrammarErrorsNameTheLine) {
+  StatusOr<TenantMap> missing_colon = TenantMap::Parse("tenant-a alpha\n");
+  ASSERT_FALSE(missing_colon.ok());
+  EXPECT_NE(missing_colon.status().message().find("line 1"),
+            std::string::npos);
+
+  StatusOr<TenantMap> empty_globs = TenantMap::Parse("\n\ntenant-a:\n");
+  ASSERT_FALSE(empty_globs.ok());
+  EXPECT_NE(empty_globs.status().message().find("line 3"), std::string::npos);
+
+  StatusOr<TenantMap> duplicate =
+      TenantMap::Parse("tenant-a: alpha\ntenant-a: beta\n");
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_NE(duplicate.status().message().find("line 2"), std::string::npos);
+
+  StatusOr<TenantMap> bad_tag = TenantMap::Parse("bad tenant: alpha\n");
+  ASSERT_FALSE(bad_tag.ok());
+}
+
+TEST(TenantMapTest, InactiveMapAllowsEverything) {
+  TenantMap map;
+  EXPECT_FALSE(map.active());
+  EXPECT_TRUE(map.Allowed("anyone", "anything"));
+  EXPECT_TRUE(map.Allowed("", "anything"));
+  EXPECT_TRUE(map.Check("anyone", "anything").ok());
+}
+
+TEST(TenantMapTest, ActiveMapDeniesByDefaultWithTypedErrors) {
+  StatusOr<TenantMap> map = TenantMap::Parse("tenant-a: alpha\n");
+  ASSERT_TRUE(map.ok());
+
+  EXPECT_TRUE(map->Check("tenant-a", "alpha").ok());
+
+  Status cross = map->Check("tenant-b", "alpha");
+  ASSERT_FALSE(cross.ok());
+  EXPECT_EQ(cross.code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(cross.message().find("tenant 'tenant-b'"), std::string::npos);
+  EXPECT_NE(cross.message().find("market 'alpha'"), std::string::npos);
+
+  Status wrong_market = map->Check("tenant-a", "beta");
+  ASSERT_FALSE(wrong_market.ok());
+  EXPECT_EQ(wrong_market.code(), StatusCode::kPermissionDenied);
+
+  Status untagged = map->Check("", "alpha");
+  ASSERT_FALSE(untagged.ok());
+  EXPECT_EQ(untagged.code(), StatusCode::kPermissionDenied);
+  EXPECT_NE(untagged.message().find("untagged session"), std::string::npos);
+}
+
+TEST(TenantMapTest, LoadReportsMissingFile) {
+  StatusOr<TenantMap> map = TenantMap::Load("/nonexistent/tenants.map");
+  ASSERT_FALSE(map.ok());
+  EXPECT_EQ(map.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace bundlemine

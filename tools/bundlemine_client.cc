@@ -121,6 +121,33 @@ void PrettyPrint(const JsonValue& response) {
     std::printf("%sbatch ok: %lld solved, %lld failed\n", tag.c_str(),
                 static_cast<long long>(entry_ok),
                 static_cast<long long>(entry_errors));
+  } else if (kind == "market-list") {
+    const JsonValue* markets = response.FindMember("markets");
+    std::printf("%smarket-list: %lld resident\n", tag.c_str(),
+                static_cast<long long>(markets ? markets->size() : 0));
+    if (markets != nullptr && markets->kind() == JsonValue::Kind::kArray) {
+      for (std::size_t i = 0; i < markets->size(); ++i) {
+        const JsonValue& entry = markets->at(i);
+        const JsonValue* tenant = entry.FindMember("tenant");
+        std::printf("  %s: version=%lld users=%lld items=%lld%s%s\n",
+                    entry.FindMember("id")->AsString().c_str(),
+                    static_cast<long long>(
+                        entry.FindMember("version")->AsInt()),
+                    static_cast<long long>(
+                        entry.FindMember("num_users")->AsInt()),
+                    static_cast<long long>(
+                        entry.FindMember("num_items")->AsInt()),
+                    tenant != nullptr ? " tenant=" : "",
+                    tenant != nullptr ? tenant->AsString().c_str() : "");
+      }
+    }
+  } else if (kind == "market-drop") {
+    std::printf("%smarket-drop ok: dropped=%s drained=%lld final_version=%lld\n",
+                tag.c_str(),
+                response.FindMember("dropped")->AsString().c_str(),
+                static_cast<long long>(response.FindMember("drained")->AsInt()),
+                static_cast<long long>(
+                    response.FindMember("final_version")->AsInt()));
   } else if (kind == "stats") {
     std::printf("%sstats:\n%s\n", tag.c_str(),
                 response.FindMember("stats")->Dump(2).c_str());

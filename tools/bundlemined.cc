@@ -57,14 +57,37 @@ int main(int argc, char** argv) {
                "Engine solver threads (default width for requests that "
                "leave options.threads at 0)");
   flags.Define("cache", "8", "dataset cache capacity (entries; 0 disables)");
+  flags.Define("max-markets", "8",
+               "resident-market cap: beyond it the LRU idle market is "
+               "evicted, and when every market is busy new market ids get "
+               "a typed 'market cap reached' response");
+  flags.Define("tenant-map", "",
+               "tenant authorization file ('tenant: glob, glob' per line); "
+               "when set, the 'session' tag is binding and market access is "
+               "deny-by-default");
   flags.Parse(argc, argv);
 
   ServeOptions options;
   options.queue_depth = static_cast<std::size_t>(flags.GetInt("queue-depth"));
   options.workers = static_cast<int>(flags.GetInt("workers"));
+  options.max_markets = static_cast<int>(flags.GetInt("max-markets"));
   options.engine.threads = static_cast<int>(flags.GetInt("threads"));
   options.engine.dataset_cache_capacity =
       static_cast<std::size_t>(flags.GetInt("cache"));
+  if (!flags.GetString("tenant-map").empty()) {
+    StatusOr<TenantMap> loaded = TenantMap::Load(flags.GetString("tenant-map"));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   loaded.status().message().c_str());
+      return 1;
+    }
+    options.tenant_map = std::move(loaded).value();
+    std::fprintf(stderr,
+                 "bundlemined: tenant map %s loaded (%zu tenants; sessions "
+                 "are binding)\n",
+                 flags.GetString("tenant-map").c_str(),
+                 options.tenant_map.num_tenants());
+  }
   BundleServer server(options);
 
   if (flags.GetBool("stdio")) {
